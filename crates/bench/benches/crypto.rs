@@ -1,0 +1,68 @@
+//! Criterion micro-benchmarks for the cryptographic substrate.
+//!
+//! These gauge the per-packet cost of the encryption countermeasure: the
+//! paper argues systematic encryption mitigates InjectaBLE; this quantifies
+//! what that costs per Link-Layer PDU in our implementation.
+
+use ble_crypto::{ccm, Aes128, Direction, LinkCipher, SessionKeyMaterial};
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+
+fn bench_aes_block(c: &mut Criterion) {
+    let cipher = Aes128::new(&[0x2B; 16]);
+    let block = [0x6B; 16];
+    c.bench_function("aes128/encrypt_block", |b| {
+        b.iter(|| std::hint::black_box(cipher.encrypt_block(std::hint::black_box(&block))))
+    });
+}
+
+fn bench_key_schedule(c: &mut Criterion) {
+    c.bench_function("aes128/key_schedule", |b| {
+        b.iter(|| std::hint::black_box(Aes128::new(std::hint::black_box(&[0x42; 16]))))
+    });
+}
+
+fn bench_ccm(c: &mut Criterion) {
+    let cipher = Aes128::new(&[0x42; 16]);
+    let nonce = [0x13; 13];
+    for len in [27usize, 251] {
+        let payload = vec![0xA5u8; len];
+        c.bench_function(&format!("ccm/encrypt_{len}B"), |b| {
+            b.iter(|| std::hint::black_box(ccm::encrypt(&cipher, &nonce, &[0x02], &payload, 4)))
+        });
+        let sealed = ccm::encrypt(&cipher, &nonce, &[0x02], &payload, 4);
+        c.bench_function(&format!("ccm/decrypt_{len}B"), |b| {
+            b.iter(|| {
+                std::hint::black_box(
+                    ccm::decrypt(&cipher, &nonce, &[0x02], &sealed, 4).expect("valid"),
+                )
+            })
+        });
+    }
+}
+
+fn bench_link_cipher_packet(c: &mut Criterion) {
+    let material = SessionKeyMaterial {
+        skd_m: [1; 8],
+        skd_s: [2; 8],
+        iv_m: [3; 4],
+        iv_s: [4; 4],
+    };
+    c.bench_function("link_cipher/per_packet_27B", |b| {
+        b.iter_batched(
+            || LinkCipher::new(&[0x4C; 16], &material),
+            |mut cipher| {
+                std::hint::black_box(cipher.encrypt(Direction::MasterToSlave, 0x02, &[0xA5; 27]))
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_aes_block,
+    bench_key_schedule,
+    bench_ccm,
+    bench_link_cipher_packet
+);
+criterion_main!(benches);

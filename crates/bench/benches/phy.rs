@@ -1,0 +1,68 @@
+//! Criterion micro-benchmarks for PHY/Link-Layer algorithms: the per-frame
+//! code paths the simulated radio and the attack tooling execute millions
+//! of times during the sensitivity sweeps.
+
+use ble_link::{ChannelMap, ConnectionParams, Csa1, Csa2, DataPdu, Llid};
+use ble_phy::{crc24, whitened, AccessAddress, Channel};
+use criterion::{criterion_group, criterion_main, Criterion};
+use simkit::SimRng;
+
+fn bench_crc(c: &mut Criterion) {
+    let payload: Vec<u8> = (0..27).collect();
+    c.bench_function("phy/crc24_27B", |b| {
+        b.iter(|| std::hint::black_box(crc24(0xABCDEF, std::hint::black_box(&payload))))
+    });
+    let big: Vec<u8> = (0..255u8).collect();
+    c.bench_function("phy/crc24_255B", |b| {
+        b.iter(|| std::hint::black_box(crc24(0xABCDEF, std::hint::black_box(&big))))
+    });
+}
+
+fn bench_whitening(c: &mut Criterion) {
+    let ch = Channel::new(17).expect("valid channel");
+    let payload: Vec<u8> = (0..27).collect();
+    c.bench_function("phy/whitening_27B", |b| {
+        b.iter(|| std::hint::black_box(whitened(ch, std::hint::black_box(&payload))))
+    });
+}
+
+fn bench_channel_selection(c: &mut Criterion) {
+    let map = ChannelMap::ALL.without(3).without(17).without(30);
+    c.bench_function("csa1/next_channel", |b| {
+        let mut csa = Csa1::new(7);
+        b.iter(|| std::hint::black_box(csa.next_channel(&map)))
+    });
+    let csa2 = Csa2::new(AccessAddress::new(0x50C2_33A1));
+    c.bench_function("csa2/channel_for_event", |b| {
+        let mut counter = 0u16;
+        b.iter(|| {
+            counter = counter.wrapping_add(1);
+            std::hint::black_box(csa2.channel_for_event(counter, &map))
+        })
+    });
+}
+
+fn bench_pdu_codec(c: &mut Criterion) {
+    let pdu = DataPdu::new(Llid::StartOrComplete, true, false, false, vec![0xA5; 20]);
+    let bytes = pdu.to_bytes();
+    c.bench_function("pdu/data_encode", |b| {
+        b.iter(|| std::hint::black_box(pdu.to_bytes()))
+    });
+    c.bench_function("pdu/data_decode", |b| {
+        b.iter(|| std::hint::black_box(DataPdu::from_bytes(std::hint::black_box(&bytes))))
+    });
+    let params = ConnectionParams::typical(&mut SimRng::seed_from(1), 36);
+    let encoded = params.to_bytes();
+    c.bench_function("pdu/connect_req_params_decode", |b| {
+        b.iter(|| std::hint::black_box(ConnectionParams::from_bytes(std::hint::black_box(&encoded))))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_crc,
+    bench_whitening,
+    bench_channel_selection,
+    bench_pdu_codec
+);
+criterion_main!(benches);

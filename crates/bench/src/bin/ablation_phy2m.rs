@@ -1,0 +1,31 @@
+//! BLE 5 extension: the injection race on the LE 2M PHY.
+//!
+//! At 2 Mbit/s every frame's airtime halves, so the injected frame exposes
+//! fewer microseconds to the colliding Master frame. The paper evaluates
+//! LE 1M only; this ablation quantifies how the faster PHY changes the
+//! attacker's cost on otherwise identical scenes.
+
+use bench::{print_series, run_trials_parallel, SeriesReport, TrialConfig};
+use ble_phy::PhyMode;
+
+fn main() {
+    let trials = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(25u64);
+    let mut rows = Vec::new();
+    for (label, phy) in [(1.0, PhyMode::Le1M), (2.0, PhyMode::Le2M)] {
+        let mut cfg = TrialConfig::new(12_000 + label as u64);
+        cfg.rig.phy = phy;
+        // A distance where collisions matter (4 m).
+        cfg.rig.attacker_distance = 4.0;
+        let outcomes = run_trials_parallel(&cfg, trials);
+        rows.push(SeriesReport::from_outcomes("phy_mbit", label, &outcomes));
+        eprintln!("LE {label}M: done");
+    }
+    print_series(
+        "ablation_phy2m",
+        "Ablation — LE 1M vs LE 2M PHY (attacker at 4 m)",
+        &rows,
+    );
+}

@@ -1,0 +1,31 @@
+//! Figure 9, experiment 1: injection attempts vs Hop Interval (paper §VII-A).
+//!
+//! 25 injection trials per hop interval in {25, 50, 75, 100, 125, 150};
+//! geometry: 2 m equilateral triangle; injected frame: the 22-byte bulb
+//! Write Request.
+
+use bench::{print_series, run_trials_parallel, SeriesReport, TrialConfig};
+
+fn main() {
+    let trials = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(25u64);
+    let mut rows = Vec::new();
+    for hop_interval in [25u16, 50, 75, 100, 125, 150] {
+        let mut cfg = TrialConfig::new(1_000 + u64::from(hop_interval));
+        cfg.rig.hop_interval = hop_interval;
+        let outcomes = run_trials_parallel(&cfg, trials);
+        rows.push(SeriesReport::from_outcomes(
+            "hop_interval",
+            f64::from(hop_interval),
+            &outcomes,
+        ));
+        eprintln!("hop interval {hop_interval}: done");
+    }
+    print_series(
+        "exp1_hop_interval",
+        "Experiment 1 — Hop Interval (paper Fig. 9, panel 1)",
+        &rows,
+    );
+}

@@ -1,0 +1,28 @@
+//! Figure 9, experiment 2: injection attempts vs payload size (paper §VII-B).
+//!
+//! Hop interval fixed at 75; Link-Layer payload sizes {4, 9, 14, 16} bytes,
+//! 25 trials each.
+
+use bench::trial::raw_payload_of_len;
+use bench::{print_series, run_trials_parallel, SeriesReport, TrialConfig};
+
+fn main() {
+    let trials = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(25u64);
+    let mut rows = Vec::new();
+    for size in [4usize, 9, 14, 16] {
+        let mut cfg = TrialConfig::new(2_000 + size as u64);
+        cfg.rig.hop_interval = 75;
+        cfg.payload = raw_payload_of_len(size);
+        let outcomes = run_trials_parallel(&cfg, trials);
+        rows.push(SeriesReport::from_outcomes("payload_bytes", size as f64, &outcomes));
+        eprintln!("payload {size} B: done");
+    }
+    print_series(
+        "exp2_payload_size",
+        "Experiment 2 — Payload size (paper Fig. 9, panel 2)",
+        &rows,
+    );
+}

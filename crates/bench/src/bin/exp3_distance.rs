@@ -1,0 +1,26 @@
+//! Figure 9, experiment 3: injection attempts vs attacker distance
+//! (paper §VII-C). Bulb and phone 2 m apart (hop interval 36, the paper's
+//! smartphone default); attacker from 1 m to 10 m.
+
+use bench::{print_series, run_trials_parallel, SeriesReport, TrialConfig};
+
+fn main() {
+    let trials = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(25u64);
+    let mut rows = Vec::new();
+    for distance in [1.0f64, 2.0, 4.0, 6.0, 8.0, 10.0] {
+        let mut cfg = TrialConfig::new(3_000 + distance as u64);
+        cfg.rig.hop_interval = 36;
+        cfg.rig.attacker_distance = distance;
+        let outcomes = run_trials_parallel(&cfg, trials);
+        rows.push(SeriesReport::from_outcomes("distance_m", distance, &outcomes));
+        eprintln!("distance {distance} m: done");
+    }
+    print_series(
+        "exp3_distance",
+        "Experiment 3 — Attacker distance (paper Fig. 9, panel 3)",
+        &rows,
+    );
+}

@@ -1,0 +1,27 @@
+//! Figure 9, wall experiment: injection attempts with the attacker behind
+//! a wall at 2–8 m (paper §VII-C, final paragraph).
+
+use bench::{print_series, run_trials_parallel, SeriesReport, TrialConfig};
+
+fn main() {
+    let trials = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(25u64);
+    let mut rows = Vec::new();
+    for distance in [2.0f64, 4.0, 6.0, 8.0] {
+        let mut cfg = TrialConfig::new(4_000 + distance as u64);
+        cfg.rig.hop_interval = 36;
+        cfg.rig.attacker_distance = distance;
+        cfg.rig.wall_db = Some(8.0);
+        cfg.sim_budget = simkit::Duration::from_secs(240);
+        let outcomes = run_trials_parallel(&cfg, trials);
+        rows.push(SeriesReport::from_outcomes("distance_m", distance, &outcomes));
+        eprintln!("wall distance {distance} m: done");
+    }
+    print_series(
+        "exp4_wall",
+        "Experiment 4 — Attacker behind a wall (paper Fig. 9, panel 4)",
+        &rows,
+    );
+}

@@ -1,0 +1,183 @@
+//! Experiment reporting: console tables + JSON artefacts.
+
+use std::io::Write as _;
+use std::path::PathBuf;
+
+use serde::Serialize;
+
+use crate::stats::Summary;
+use crate::trial::TrialOutcome;
+
+/// One row of an experiment series: a parameter value and its outcome
+/// distribution.
+#[derive(Debug, Clone, Serialize)]
+pub struct SeriesReport {
+    /// The swept parameter's name.
+    pub parameter: String,
+    /// The swept parameter's value for this row.
+    pub value: f64,
+    /// Successful trials out of total.
+    pub succeeded: usize,
+    /// Total trials.
+    pub trials: usize,
+    /// Attempts-before-success distribution over successful trials.
+    pub attempts: Summary,
+    /// Raw attempt counts.
+    pub raw: Vec<u32>,
+}
+
+impl SeriesReport {
+    /// Builds a row from trial outcomes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no trial succeeded (the experiment cannot be summarised).
+    pub fn from_outcomes(parameter: &str, value: f64, outcomes: &[TrialOutcome]) -> SeriesReport {
+        let raw: Vec<u32> = outcomes.iter().filter_map(|o| o.attempts).collect();
+        assert!(
+            !raw.is_empty(),
+            "{parameter}={value}: no successful trial to summarise"
+        );
+        SeriesReport {
+            parameter: parameter.to_string(),
+            value,
+            succeeded: raw.len(),
+            trials: outcomes.len(),
+            attempts: Summary::of(&raw),
+            raw,
+        }
+    }
+}
+
+/// Prints a Figure 9-style table and writes the JSON artefact to
+/// `target/experiments/<name>.json`.
+pub fn print_series(name: &str, title: &str, rows: &[SeriesReport]) {
+    println!();
+    println!("=== {title} ===");
+    println!("(metric: injection attempts before the first confirmed success)");
+    println!();
+    println!(
+        "{:>12} | {:>7} | {:>6} {:>6} {:>6} {:>6} {:>6} | {:>7} | {:>8}",
+        rows.first().map(|r| r.parameter.as_str()).unwrap_or("value"),
+        "success",
+        "min",
+        "q1",
+        "median",
+        "q3",
+        "max",
+        "mean",
+        "variance"
+    );
+    println!("{}", "-".repeat(92));
+    for r in rows {
+        println!(
+            "{:>12} | {:>4}/{:<2} | {:>6.0} {:>6.1} {:>6.1} {:>6.1} {:>6.0} | {:>7.2} | {:>8.2}",
+            r.value,
+            r.succeeded,
+            r.trials,
+            r.attempts.min,
+            r.attempts.q1,
+            r.attempts.median,
+            r.attempts.q3,
+            r.attempts.max,
+            r.attempts.mean,
+            r.attempts.variance
+        );
+    }
+    println!();
+    if let Err(err) = write_json(name, rows) {
+        eprintln!("warning: could not write JSON artefact: {err}");
+    }
+}
+
+fn write_json(name: &str, rows: &[SeriesReport]) -> std::io::Result<()> {
+    let dir = artefact_dir();
+    std::fs::create_dir_all(&dir)?;
+    let path = dir.join(format!("{name}.json"));
+    let mut file = std::fs::File::create(&path)?;
+    let json = to_json(rows);
+    file.write_all(json.as_bytes())?;
+    println!("[artefact] {}", path.display());
+    Ok(())
+}
+
+/// Workspace-relative artefact directory.
+pub fn artefact_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../../target/experiments")
+}
+
+/// Minimal JSON encoding (serde-derive model, hand-rolled writer keeps the
+/// dependency surface small).
+fn to_json(rows: &[SeriesReport]) -> String {
+    let mut out = String::from("[\n");
+    for (i, r) in rows.iter().enumerate() {
+        if i > 0 {
+            out.push_str(",\n");
+        }
+        out.push_str(&format!(
+            "  {{\"parameter\":\"{}\",\"value\":{},\"succeeded\":{},\"trials\":{},\
+             \"min\":{},\"q1\":{},\"median\":{},\"q3\":{},\"max\":{},\"mean\":{:.3},\
+             \"variance\":{:.3},\"raw\":{:?}}}",
+            r.parameter,
+            r.value,
+            r.succeeded,
+            r.trials,
+            r.attempts.min,
+            r.attempts.q1,
+            r.attempts.median,
+            r.attempts.q3,
+            r.attempts.max,
+            r.attempts.mean,
+            r.attempts.variance,
+            r.raw
+        ));
+    }
+    out.push_str("\n]\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trial::TrialOutcome;
+
+    fn outcomes(attempts: &[u32]) -> Vec<TrialOutcome> {
+        attempts
+            .iter()
+            .map(|&a| TrialOutcome {
+                attempts: Some(a),
+                sim_seconds: 1.0,
+                effect_observed: true,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn report_from_outcomes() {
+        let r = SeriesReport::from_outcomes("hop", 25.0, &outcomes(&[1, 2, 3]));
+        assert_eq!(r.succeeded, 3);
+        assert_eq!(r.attempts.median, 2.0);
+    }
+
+    #[test]
+    fn failed_trials_excluded_from_distribution() {
+        let mut o = outcomes(&[4, 6]);
+        o.push(TrialOutcome {
+            attempts: None,
+            sim_seconds: 60.0,
+            effect_observed: false,
+        });
+        let r = SeriesReport::from_outcomes("d", 10.0, &o);
+        assert_eq!(r.succeeded, 2);
+        assert_eq!(r.trials, 3);
+    }
+
+    #[test]
+    fn json_is_wellformed_enough() {
+        let r = SeriesReport::from_outcomes("x", 1.0, &outcomes(&[1]));
+        let json = to_json(&[r]);
+        assert!(json.starts_with('['));
+        assert!(json.contains("\"median\":1"));
+    }
+}

@@ -1,0 +1,178 @@
+//! The experiment rig: the paper's testbed geometry in simulation.
+//!
+//! Experiments 1–2: Peripheral (lightbulb), Central and attacker on the
+//! vertices of a 2 m equilateral triangle (§VII-A, Figure 8). Experiment 3:
+//! bulb and phone 2 m apart, attacker at 1–10 m. The wall experiment adds
+//! an 8 dB wall between the attacker and the room.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use ble_devices::{Central, Lightbulb};
+use ble_link::ConnectionParams;
+use ble_phy::{Environment, NodeConfig, NodeId, Position, Simulation, Wall};
+use injectable::{Attacker, AttackerConfig};
+use simkit::{DriftClock, Duration, SimRng};
+
+/// Default attacker transmit power: an nRF52840 dongle's default 0 dBm.
+pub const ATTACKER_TX_DBM: f64 = 0.0;
+
+/// A complete experiment scene.
+pub struct ExperimentRig {
+    /// The simulation world.
+    pub sim: Simulation,
+    /// The victim Peripheral (lightbulb).
+    pub bulb: Rc<RefCell<Lightbulb>>,
+    /// The legitimate Central.
+    pub central: Rc<RefCell<Central>>,
+    /// The attacker.
+    pub attacker: Rc<RefCell<Attacker>>,
+    /// Attacker node id (for moving it between runs).
+    pub attacker_id: NodeId,
+    /// Handle of the bulb's control characteristic.
+    pub control_handle: u16,
+}
+
+/// Scene geometry and radio parameters for a rig.
+#[derive(Debug, Clone)]
+pub struct RigConfig {
+    /// Connection hop interval (×1.25 ms).
+    pub hop_interval: u16,
+    /// Attacker distance from the Peripheral, in metres.
+    pub attacker_distance: f64,
+    /// Central distance from the Peripheral, in metres.
+    pub central_distance: f64,
+    /// Wall between the attacker and the room, with this attenuation (dB).
+    pub wall_db: Option<f64>,
+    /// Victim sleep-clock accuracy bound (ppm).
+    pub victim_sca_ppm: f64,
+    /// Attacker sleep-clock accuracy bound (ppm).
+    pub attacker_sca_ppm: f64,
+    /// Scale on the victim slave's window widening (§VIII countermeasure 1;
+    /// 1.0 = spec behaviour).
+    pub widening_scale: f64,
+    /// PHY mode for every node (LE 1M in all paper experiments).
+    pub phy: ble_phy::PhyMode,
+    /// Override of the attacker's anchor-timestamp noise (µs).
+    pub attacker_anchor_noise_us: Option<f64>,
+}
+
+impl Default for RigConfig {
+    fn default() -> Self {
+        RigConfig {
+            hop_interval: 36,
+            attacker_distance: 2.0,
+            central_distance: 2.0,
+            wall_db: None,
+            victim_sca_ppm: 50.0,
+            attacker_sca_ppm: 20.0,
+            widening_scale: 1.0,
+            phy: ble_phy::PhyMode::Le1M,
+            attacker_anchor_noise_us: None,
+        }
+    }
+}
+
+impl ExperimentRig {
+    /// Builds the scene. The Peripheral sits at the origin, the Central on
+    /// the +x axis, the attacker on the −y axis (behind the optional wall
+    /// at y = −0.5 m).
+    pub fn new(seed: u64, cfg: &RigConfig) -> Self {
+        let mut rng = SimRng::seed_from(seed);
+        let mut env = Environment::indoor_default();
+        if let Some(db) = cfg.wall_db {
+            env = env.with_wall(Wall::new(
+                Position::new(-100.0, -0.5),
+                Position::new(100.0, -0.5),
+                db,
+            ));
+        }
+        let mut sim = Simulation::new(env, rng.fork());
+
+        let mut bulb_obj = Lightbulb::new(0xB1, rng.fork());
+        bulb_obj.ll.set_widening_scale(cfg.widening_scale);
+        let control_handle = bulb_obj.control_handle();
+        let bulb_addr = bulb_obj.ll.address();
+        let bulb = Rc::new(RefCell::new(bulb_obj));
+
+        let params = ConnectionParams::typical(&mut rng, cfg.hop_interval);
+        let central = Rc::new(RefCell::new(Central::new(0xA0, bulb_addr, params, rng.fork())));
+
+        let mut attacker_cfg = AttackerConfig {
+            target_slave: Some(bulb_addr),
+            ..AttackerConfig::default()
+        };
+        if let Some(noise) = cfg.attacker_anchor_noise_us {
+            attacker_cfg.anchor_noise_us = noise;
+        }
+        let attacker = Rc::new(RefCell::new(Attacker::new(attacker_cfg)));
+
+        let bulb_id = sim.add_node(
+            NodeConfig::new("bulb", Position::new(0.0, 0.0))
+                .with_phy(cfg.phy)
+                .with_clock(
+                    DriftClock::realistic(cfg.victim_sca_ppm, &mut rng).with_jitter_us(1.0),
+                ),
+            bulb.clone(),
+        );
+        let central_id = sim.add_node(
+            NodeConfig::new("phone", Position::new(cfg.central_distance, 0.0))
+                .with_phy(cfg.phy)
+                .with_clock(
+                    DriftClock::realistic(cfg.victim_sca_ppm, &mut rng).with_jitter_us(1.0),
+                ),
+            central.clone(),
+        );
+        let attacker_id = sim.add_node(
+            NodeConfig::new("attacker", Position::new(0.0, -cfg.attacker_distance))
+                .with_tx_power(ATTACKER_TX_DBM)
+                .with_phy(cfg.phy)
+                .with_clock(
+                    DriftClock::realistic(cfg.attacker_sca_ppm, &mut rng).with_jitter_us(1.0),
+                ),
+            attacker.clone(),
+        );
+
+        {
+            let bulb = bulb.clone();
+            sim.with_ctx(bulb_id, |ctx| bulb.borrow_mut().start(ctx));
+        }
+        {
+            let central = central.clone();
+            sim.with_ctx(central_id, |ctx| central.borrow_mut().start(ctx));
+        }
+        {
+            let attacker = attacker.clone();
+            sim.with_ctx(attacker_id, |ctx| attacker.borrow_mut().start(ctx));
+        }
+
+        ExperimentRig {
+            sim,
+            bulb,
+            central,
+            attacker,
+            attacker_id,
+            control_handle,
+        }
+    }
+
+    /// Runs until the connection is up and the attacker follows it with
+    /// sequence state. Returns `false` on setup timeout.
+    pub fn wait_synchronised(&mut self, budget: Duration) -> bool {
+        let deadline = self.sim.now() + budget;
+        while self.sim.now() < deadline {
+            self.sim.run_for(Duration::from_millis(100));
+            let connected = self.central.borrow().ll.is_connected();
+            let following = self
+                .attacker
+                .borrow()
+                .connection()
+                .map(|c| c.has_slave_seq())
+                .unwrap_or(false);
+            if connected && following {
+                return true;
+            }
+        }
+        false
+    }
+}

@@ -1,0 +1,204 @@
+//! One injection trial = one data point of Figure 9.
+
+use ble_link::Llid;
+use injectable::Mission;
+use simkit::Duration;
+
+use crate::rig::{ExperimentRig, RigConfig};
+
+/// Configuration of a single trial.
+#[derive(Debug, Clone)]
+pub struct TrialConfig {
+    /// Deterministic seed.
+    pub seed: u64,
+    /// Scene parameters.
+    pub rig: RigConfig,
+    /// Raw Link-Layer payload to inject.
+    pub payload: Vec<u8>,
+    /// LLID for the injected frame.
+    pub llid: Llid,
+    /// Give up after this much simulated time.
+    pub sim_budget: Duration,
+}
+
+impl TrialConfig {
+    /// A trial with default geometry and the canonical bulb write payload.
+    pub fn new(seed: u64) -> Self {
+        TrialConfig {
+            seed,
+            rig: RigConfig::default(),
+            payload: canonical_write_payload(),
+            llid: Llid::StartOrComplete,
+            sim_budget: Duration::from_secs(120),
+        }
+    }
+}
+
+/// The paper's canonical injected frame: the ATT Write Request that turns
+/// the lightbulb off, L2CAP framed (§VII-A). Padded so the whole frame is
+/// 22 bytes on the air like the paper's.
+pub fn canonical_write_payload() -> Vec<u8> {
+    // Frame = 1 preamble + 4 AA + 2 header + LL payload + 3 CRC bytes.
+    // 22 bytes over the air → LL payload of 12 bytes:
+    // 4 (L2CAP) + 3 (ATT write hdr) + 5 (value).
+    // Value: bulb "ping" command padded to 5 bytes keeps an observable,
+    // acknowledged effect.
+    let att = ble_host::att::AttPdu::WriteRequest {
+        handle: 6, // the bulb control characteristic in the standard rig
+        value: ble_devices::bulb_payloads::ping_padded(5),
+    }
+    .to_bytes();
+    let frags = ble_host::l2cap::fragment(ble_host::l2cap::CID_ATT, &att, 27);
+    assert_eq!(frags.len(), 1);
+    frags.into_iter().next().expect("single fragment").1
+}
+
+/// A raw filler payload of an exact Link-Layer payload size (for the
+/// payload-size sweep). Shaped like an L2CAP frame so victims parse it
+/// harmlessly.
+pub fn raw_payload_of_len(len: usize) -> Vec<u8> {
+    assert!(len >= 1);
+    let mut v = vec![0xEE; len];
+    if len >= 4 {
+        // Plausible L2CAP header: length + a CID nobody listens on.
+        let sdu_len = (len - 4) as u16;
+        v[0..2].copy_from_slice(&sdu_len.to_le_bytes());
+        v[2..4].copy_from_slice(&0x00FFu16.to_le_bytes());
+    }
+    v
+}
+
+/// Outcome of one trial.
+#[derive(Debug, Clone)]
+pub struct TrialOutcome {
+    /// Attempts before the first confirmed success; `None` if the budget
+    /// ran out first.
+    pub attempts: Option<u32>,
+    /// Simulated seconds consumed.
+    pub sim_seconds: f64,
+    /// Whether the injected command observably reached the application.
+    pub effect_observed: bool,
+}
+
+/// Runs a single trial to its first confirmed injection.
+pub fn run_trial(cfg: &TrialConfig) -> TrialOutcome {
+    let mut rig = ExperimentRig::new(cfg.seed, &cfg.rig);
+    if !rig.wait_synchronised(Duration::from_secs(30)) {
+        return TrialOutcome {
+            attempts: None,
+            sim_seconds: rig.sim.now().as_micros_f64() / 1e6,
+            effect_observed: false,
+        };
+    }
+    rig.attacker.borrow_mut().arm(Mission::InjectRaw {
+        llid: cfg.llid,
+        payload: cfg.payload.clone(),
+        wanted_successes: 1,
+    });
+    let deadline = rig.sim.now() + cfg.sim_budget;
+    let mut attempts = None;
+    let mut desync_ticks = 0u32;
+    while rig.sim.now() < deadline {
+        rig.sim.run_for(Duration::from_millis(200));
+        {
+            let attacker = rig.attacker.borrow();
+            if attacker.stats().successes() >= 1 {
+                attempts = attacker.stats().attempts_to_first_success();
+                break;
+            }
+            // The attacker can permanently desynchronise if the connection
+            // cycled while it was injecting blind. The paper's operators
+            // simply restarted the connection; do the same: bounce the
+            // central so a fresh CONNECT_REQ reaches the scanning sniffer.
+            if attacker.connection().is_none() && rig.central.borrow().ll.is_connected() {
+                desync_ticks += 1;
+            } else {
+                desync_ticks = 0;
+            }
+        }
+        if desync_ticks >= 10 {
+            desync_ticks = 0;
+            rig.central.borrow_mut().ll.request_disconnect(0x13);
+        }
+    }
+    let effect_observed = rig.bulb.borrow().app.pings > 0;
+    TrialOutcome {
+        attempts,
+        sim_seconds: rig.sim.now().as_micros_f64() / 1e6,
+        effect_observed,
+    }
+}
+
+/// Runs `count` trials with consecutive seeds across OS threads.
+pub fn run_trials_parallel(base: &TrialConfig, count: u64) -> Vec<TrialOutcome> {
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4)
+        .min(count as usize)
+        .max(1);
+    let mut outcomes: Vec<Option<TrialOutcome>> = vec![None; count as usize];
+    let next = std::sync::atomic::AtomicU64::new(0);
+    std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for _ in 0..threads {
+            let next = &next;
+            let base = base.clone();
+            handles.push(scope.spawn(move || {
+                let mut mine = Vec::new();
+                loop {
+                    let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    if i >= count {
+                        break;
+                    }
+                    let mut cfg = base.clone();
+                    cfg.seed = base.seed.wrapping_add(i.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+                    mine.push((i as usize, run_trial(&cfg)));
+                }
+                mine
+            }));
+        }
+        for handle in handles {
+            for (i, outcome) in handle.join().expect("trial thread panicked") {
+                outcomes[i] = Some(outcome);
+            }
+        }
+    });
+    outcomes.into_iter().map(|o| o.expect("all trials ran")).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn canonical_payload_gives_22_byte_frame() {
+        let p = canonical_write_payload();
+        // LL payload 12 → 1+4+2+12+3 = 22 bytes over the air.
+        assert_eq!(p.len(), 12);
+    }
+
+    #[test]
+    fn raw_payload_sizes() {
+        for len in [1usize, 4, 9, 14, 16, 27] {
+            assert_eq!(raw_payload_of_len(len).len(), len);
+        }
+    }
+
+    #[test]
+    fn one_trial_succeeds_quickly_at_close_range() {
+        let cfg = TrialConfig::new(42);
+        let out = run_trial(&cfg);
+        assert!(out.attempts.is_some(), "trial must succeed: {out:?}");
+        assert!(out.attempts.unwrap() <= 50);
+        assert!(out.effect_observed, "padded ping must reach the bulb app");
+    }
+
+    #[test]
+    fn parallel_trials_are_deterministic() {
+        let cfg = TrialConfig::new(7);
+        let a = run_trials_parallel(&cfg, 4);
+        let b = run_trials_parallel(&cfg, 4);
+        let attempts = |v: &Vec<TrialOutcome>| v.iter().map(|o| o.attempts).collect::<Vec<_>>();
+        assert_eq!(attempts(&a), attempts(&b));
+    }
+}

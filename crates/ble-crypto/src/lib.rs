@@ -1,0 +1,33 @@
+//! Bluetooth Low Energy link-layer cryptography.
+//!
+//! The InjectaBLE paper's countermeasure discussion (§VIII) hinges on the
+//! BLE encryption stack: when AES-CCM link encryption is active, an injected
+//! plaintext frame fails message-integrity checking, limiting the attack's
+//! impact to denial of service. To reproduce those experiments this crate
+//! implements, from scratch (no external crypto dependencies):
+//!
+//! * [`Aes128`] — FIPS-197 AES-128 block encryption (the only primitive BLE
+//!   security is built on);
+//! * [`ccm`] — AES-CCM authenticated encryption with the BLE parameters
+//!   (2-byte length field, 4-byte MIC) as specified in Core Spec Vol 6
+//!   Part E;
+//! * [`LinkCipher`] — the per-connection packet cipher: nonce construction
+//!   from packet counters and IV, header masking for additional
+//!   authenticated data;
+//! * [`pairing`] — the legacy-pairing confirm (`c1`) and key-generation
+//!   (`s1`) functions used by the minimal Security Manager in `ble-host`.
+//!
+//! This is a *simulation-grade* implementation: correct and well-tested, but
+//! table-based and not hardened against side channels.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod aes;
+pub mod ccm;
+mod link_cipher;
+pub mod pairing;
+
+pub use aes::Aes128;
+pub use ccm::{CcmError, MIC_LEN};
+pub use link_cipher::{Direction, LinkCipher, SessionKeyMaterial};

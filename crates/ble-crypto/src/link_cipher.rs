@@ -1,0 +1,312 @@
+//! The per-connection BLE packet cipher (Core Spec Vol 6, Part E).
+//!
+//! After the encryption-start procedure, each data-channel PDU payload is
+//! encrypted with AES-CCM under the *session key* `SK = AES(LTK, SKD)`,
+//! where `SKD = SKDm || SKDs` is exchanged in `LL_ENC_REQ` / `LL_ENC_RSP`.
+//! The 13-byte CCM nonce is built from a 39-bit per-direction packet
+//! counter, a direction bit and the 8-byte IV (`IVm || IVs`). The AAD is the
+//! first PDU header byte with the NESN, SN and MD bits masked to zero.
+//!
+//! For the InjectaBLE reproduction, the important consequence is: an
+//! attacker who does not know the LTK cannot produce a payload whose MIC
+//! verifies — an injected frame is discarded by the Slave's Link Layer
+//! (denial of service at worst), which is the paper's §VIII countermeasure
+//! argument.
+
+use crate::aes::Aes128;
+use crate::ccm::{self, CcmError, MIC_LEN, NONCE_LEN};
+
+/// Direction of a data PDU, determining which packet counter and nonce
+/// direction bit are used.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Direction {
+    /// Master → Slave.
+    MasterToSlave,
+    /// Slave → Master.
+    SlaveToMaster,
+}
+
+/// The key material both sides contribute during encryption setup.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SessionKeyMaterial {
+    /// Master's session key diversifier half (`SKDm`).
+    pub skd_m: [u8; 8],
+    /// Slave's session key diversifier half (`SKDs`).
+    pub skd_s: [u8; 8],
+    /// Master's IV half (`IVm`).
+    pub iv_m: [u8; 4],
+    /// Slave's IV half (`IVs`).
+    pub iv_s: [u8; 4],
+}
+
+impl SessionKeyMaterial {
+    /// The concatenated session key diversifier `SKD = SKDm || SKDs`
+    /// (little-endian convention: master half in the least significant
+    /// position).
+    pub fn skd(&self) -> [u8; 16] {
+        let mut out = [0u8; 16];
+        out[..8].copy_from_slice(&self.skd_m);
+        out[8..].copy_from_slice(&self.skd_s);
+        out
+    }
+
+    /// The concatenated IV.
+    pub fn iv(&self) -> [u8; 8] {
+        let mut out = [0u8; 8];
+        out[..4].copy_from_slice(&self.iv_m);
+        out[4..].copy_from_slice(&self.iv_s);
+        out
+    }
+}
+
+/// Stateful packet cipher for one encrypted connection.
+///
+/// Holds the session cipher, IV and both directions' packet counters.
+///
+/// # Example
+///
+/// ```
+/// use ble_crypto::{Direction, LinkCipher, SessionKeyMaterial};
+/// let ltk = [0x4C; 16];
+/// let material = SessionKeyMaterial {
+///     skd_m: [1; 8], skd_s: [2; 8], iv_m: [3; 4], iv_s: [4; 4],
+/// };
+/// let mut master = LinkCipher::new(&ltk, &material);
+/// let mut slave = LinkCipher::new(&ltk, &material);
+/// let sealed = master.encrypt(Direction::MasterToSlave, 0x02, b"secret");
+/// let opened = slave.decrypt(Direction::MasterToSlave, 0x02, &sealed).unwrap();
+/// assert_eq!(opened, b"secret");
+/// ```
+#[derive(Clone)]
+pub struct LinkCipher {
+    session: Aes128,
+    iv: [u8; 8],
+    tx_counter_m2s: u64,
+    tx_counter_s2m: u64,
+}
+
+impl std::fmt::Debug for LinkCipher {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LinkCipher")
+            .field("tx_counter_m2s", &self.tx_counter_m2s)
+            .field("tx_counter_s2m", &self.tx_counter_s2m)
+            .finish_non_exhaustive()
+    }
+}
+
+impl LinkCipher {
+    /// Derives the session key from the long-term key and the exchanged
+    /// material, and initialises both packet counters to zero.
+    pub fn new(ltk: &[u8; 16], material: &SessionKeyMaterial) -> Self {
+        let session_key = Aes128::new(ltk).encrypt_block(&material.skd());
+        LinkCipher {
+            session: Aes128::new(&session_key),
+            iv: material.iv(),
+            tx_counter_m2s: 0,
+            tx_counter_s2m: 0,
+        }
+    }
+
+    fn nonce(&self, direction: Direction, counter: u64) -> [u8; NONCE_LEN] {
+        let mut nonce = [0u8; NONCE_LEN];
+        // 39-bit counter, little-endian, in bytes 0..5; bit 7 of byte 4 is
+        // the direction bit (1 = master→slave).
+        let c = counter & 0x7F_FFFF_FFFF;
+        nonce[0] = (c & 0xFF) as u8;
+        nonce[1] = ((c >> 8) & 0xFF) as u8;
+        nonce[2] = ((c >> 16) & 0xFF) as u8;
+        nonce[3] = ((c >> 24) & 0xFF) as u8;
+        nonce[4] = ((c >> 32) & 0x7F) as u8;
+        if direction == Direction::MasterToSlave {
+            nonce[4] |= 0x80;
+        }
+        nonce[5..].copy_from_slice(&self.iv);
+        nonce
+    }
+
+    /// Masks the PDU header byte for use as AAD: NESN (bit 2), SN (bit 3)
+    /// and MD (bit 4) are zeroed because they may legitimately be changed by
+    /// retransmission without re-encryption.
+    pub fn masked_header(header: u8) -> u8 {
+        header & 0b1110_0011
+    }
+
+    /// Encrypts an outgoing payload, consuming one packet counter value for
+    /// `direction`. Returns ciphertext with the 4-byte MIC appended.
+    pub fn encrypt(&mut self, direction: Direction, header: u8, payload: &[u8]) -> Vec<u8> {
+        let counter = self.advance(direction);
+        let nonce = self.nonce(direction, counter);
+        ccm::encrypt(
+            &self.session,
+            &nonce,
+            &[Self::masked_header(header)],
+            payload,
+            MIC_LEN,
+        )
+    }
+
+    /// Decrypts an incoming payload using the receive counter for
+    /// `direction` (which equals the peer's transmit counter), consuming it
+    /// on success. On MIC failure the counter is *not* consumed, mirroring
+    /// real Link Layers that drop the packet and keep state.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CcmError`] when the MIC does not verify.
+    pub fn decrypt(
+        &mut self,
+        direction: Direction,
+        header: u8,
+        sealed: &[u8],
+    ) -> Result<Vec<u8>, CcmError> {
+        let counter = self.peek(direction);
+        let nonce = self.nonce(direction, counter);
+        let out = ccm::decrypt(
+            &self.session,
+            &nonce,
+            &[Self::masked_header(header)],
+            sealed,
+            MIC_LEN,
+        )?;
+        self.advance(direction);
+        Ok(out)
+    }
+
+    fn peek(&self, direction: Direction) -> u64 {
+        match direction {
+            Direction::MasterToSlave => self.tx_counter_m2s,
+            Direction::SlaveToMaster => self.tx_counter_s2m,
+        }
+    }
+
+    fn advance(&mut self, direction: Direction) -> u64 {
+        match direction {
+            Direction::MasterToSlave => {
+                let c = self.tx_counter_m2s;
+                self.tx_counter_m2s += 1;
+                c
+            }
+            Direction::SlaveToMaster => {
+                let c = self.tx_counter_s2m;
+                self.tx_counter_s2m += 1;
+                c
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn material() -> SessionKeyMaterial {
+        SessionKeyMaterial {
+            skd_m: [0x11; 8],
+            skd_s: [0x22; 8],
+            iv_m: [0x33; 4],
+            iv_s: [0x44; 4],
+        }
+    }
+
+    #[test]
+    fn two_sides_interoperate_over_many_packets() {
+        let ltk = [0xAB; 16];
+        let mut master = LinkCipher::new(&ltk, &material());
+        let mut slave = LinkCipher::new(&ltk, &material());
+        for i in 0..50u8 {
+            let m2s = master.encrypt(Direction::MasterToSlave, 0x02, &[i, i + 1]);
+            assert_eq!(
+                slave.decrypt(Direction::MasterToSlave, 0x02, &m2s).unwrap(),
+                vec![i, i + 1]
+            );
+            let s2m = slave.encrypt(Direction::SlaveToMaster, 0x01, &[i]);
+            assert_eq!(
+                master.decrypt(Direction::SlaveToMaster, 0x01, &s2m).unwrap(),
+                vec![i]
+            );
+        }
+    }
+
+    #[test]
+    fn directions_use_independent_counters_and_nonces() {
+        let ltk = [0xAB; 16];
+        let mut cipher = LinkCipher::new(&ltk, &material());
+        let a = cipher.encrypt(Direction::MasterToSlave, 0x02, b"same");
+        let b = cipher.encrypt(Direction::SlaveToMaster, 0x02, b"same");
+        assert_ne!(a, b, "direction bit must differentiate nonces");
+    }
+
+    #[test]
+    fn same_plaintext_different_counter_different_ciphertext() {
+        let ltk = [0xAB; 16];
+        let mut cipher = LinkCipher::new(&ltk, &material());
+        let a = cipher.encrypt(Direction::MasterToSlave, 0x02, b"same");
+        let b = cipher.encrypt(Direction::MasterToSlave, 0x02, b"same");
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn attacker_without_ltk_cannot_forge() {
+        let mut victim = LinkCipher::new(&[0xAB; 16], &material());
+        let mut attacker = LinkCipher::new(&[0xCD; 16], &material());
+        let forged = attacker.encrypt(Direction::MasterToSlave, 0x02, b"inject");
+        assert!(victim.decrypt(Direction::MasterToSlave, 0x02, &forged).is_err());
+    }
+
+    #[test]
+    fn failed_decrypt_does_not_advance_counter() {
+        let ltk = [0xAB; 16];
+        let mut master = LinkCipher::new(&ltk, &material());
+        let mut slave = LinkCipher::new(&ltk, &material());
+        let good = master.encrypt(Direction::MasterToSlave, 0x02, b"one");
+        // Garbage first: rejected, counter unchanged.
+        assert!(slave.decrypt(Direction::MasterToSlave, 0x02, b"garbage!").is_err());
+        assert_eq!(slave.decrypt(Direction::MasterToSlave, 0x02, &good).unwrap(), b"one");
+    }
+
+    #[test]
+    fn sn_nesn_md_bits_do_not_affect_aad() {
+        // Retransmissions flip SN/NESN/MD without re-encrypting.
+        let ltk = [0xAB; 16];
+        let mut master = LinkCipher::new(&ltk, &material());
+        let mut slave = LinkCipher::new(&ltk, &material());
+        let sealed = master.encrypt(Direction::MasterToSlave, 0b0000_0010, b"x");
+        let opened = slave
+            .decrypt(Direction::MasterToSlave, 0b0001_1110, &sealed)
+            .unwrap();
+        assert_eq!(opened, b"x");
+    }
+
+    #[test]
+    fn llid_bits_are_authenticated() {
+        let ltk = [0xAB; 16];
+        let mut master = LinkCipher::new(&ltk, &material());
+        let mut slave = LinkCipher::new(&ltk, &material());
+        // LLID (bits 0-1) is part of the masked header: changing 0b10
+        // (start) to 0b11 (control) must break the MIC.
+        let sealed = master.encrypt(Direction::MasterToSlave, 0b0000_0010, b"x");
+        assert!(slave.decrypt(Direction::MasterToSlave, 0b0000_0011, &sealed).is_err());
+    }
+
+    #[test]
+    fn session_key_depends_on_both_skd_halves() {
+        let ltk = [0xAB; 16];
+        let mut m1 = material();
+        let c1 = LinkCipher::new(&ltk, &m1);
+        m1.skd_s = [0x23; 8];
+        let c2 = LinkCipher::new(&ltk, &m1);
+        let mut a = c1.clone();
+        let mut b = c2.clone();
+        assert_ne!(
+            a.encrypt(Direction::MasterToSlave, 0x02, b"p"),
+            b.encrypt(Direction::MasterToSlave, 0x02, b"p")
+        );
+    }
+
+    #[test]
+    fn debug_hides_key_material() {
+        let cipher = LinkCipher::new(&[0xAB; 16], &material());
+        let s = format!("{cipher:?}");
+        assert!(!s.to_lowercase().contains("ab"), "{s}");
+    }
+}

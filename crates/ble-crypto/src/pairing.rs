@@ -1,0 +1,163 @@
+//! BLE legacy-pairing cryptographic functions (Core Spec Vol 3, Part H).
+//!
+//! The minimal Security Manager in `ble-host` uses these to provision a
+//! Long-Term Key for the encrypted-connection countermeasure experiments:
+//!
+//! * [`c1`] — the *confirm value generation* function, binding the pairing
+//!   random value to the pairing requests and device addresses;
+//! * [`s1`] — the *key generation* function producing the Short-Term Key
+//!   from both sides' random values.
+//!
+//! (These legacy functions are famously weak — CRACKLE brute-forces the TK —
+//! which the paper cites as prior art; weakness is irrelevant for our use:
+//! we only need interoperable key agreement inside the simulation.)
+
+use crate::aes::Aes128;
+
+/// The security function `e`: AES-128 encryption of one block.
+pub fn e(key: &[u8; 16], plaintext: &[u8; 16]) -> [u8; 16] {
+    Aes128::new(key).encrypt_block(plaintext)
+}
+
+fn xor16(a: &[u8; 16], b: &[u8; 16]) -> [u8; 16] {
+    let mut out = [0u8; 16];
+    for i in 0..16 {
+        out[i] = a[i] ^ b[i];
+    }
+    out
+}
+
+/// The confirm value generation function `c1`.
+///
+/// `k` is the temporary key, `r` the pairing random value, `preq`/`pres`
+/// the 7-byte Pairing Request/Response PDUs, `iat`/`rat` the initiating and
+/// responding address types (0 public, 1 random), and `ia`/`ra` the 6-byte
+/// device addresses.
+///
+/// Defined as `e(k, e(k, r ⊕ p1) ⊕ p2)` with
+/// `p1 = pres || preq || rat' || iat'` and `p2 = 0⁴ || ia || ra`
+/// (little-endian concatenation order).
+#[allow(clippy::too_many_arguments)]
+pub fn c1(
+    k: &[u8; 16],
+    r: &[u8; 16],
+    preq: &[u8; 7],
+    pres: &[u8; 7],
+    iat: u8,
+    rat: u8,
+    ia: &[u8; 6],
+    ra: &[u8; 6],
+) -> [u8; 16] {
+    // p1 = pres || preq || rat' || iat' — little-endian: iat' is the least
+    // significant octet.
+    let mut p1 = [0u8; 16];
+    p1[0] = iat & 1;
+    p1[1] = rat & 1;
+    p1[2..9].copy_from_slice(preq);
+    p1[9..16].copy_from_slice(pres);
+    // p2 = padding || ia || ra — little-endian: ra is least significant.
+    let mut p2 = [0u8; 16];
+    p2[0..6].copy_from_slice(ra);
+    p2[6..12].copy_from_slice(ia);
+    let inner = e(k, &xor16(r, &p1));
+    e(k, &xor16(&inner, &p2))
+}
+
+/// The key generation function `s1`.
+///
+/// Produces the Short-Term Key from the temporary key `k` and both pairing
+/// randoms: `s1(k, r1, r2) = e(k, r1' || r2')` where `r1'`/`r2'` are the
+/// least significant 8 octets of each random value.
+pub fn s1(k: &[u8; 16], r1: &[u8; 16], r2: &[u8; 16]) -> [u8; 16] {
+    let mut r = [0u8; 16];
+    // Little-endian convention: r2' occupies the least significant half.
+    r[0..8].copy_from_slice(&r2[0..8]);
+    r[8..16].copy_from_slice(&r1[0..8]);
+    e(k, &r)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn c1_is_deterministic_and_sensitive_to_every_input() {
+        let k = [1u8; 16];
+        let r = [2u8; 16];
+        let preq = [3u8; 7];
+        let pres = [4u8; 7];
+        let ia = [5u8; 6];
+        let ra = [6u8; 6];
+        let base = c1(&k, &r, &preq, &pres, 0, 1, &ia, &ra);
+        assert_eq!(base, c1(&k, &r, &preq, &pres, 0, 1, &ia, &ra));
+
+        let mut k2 = k;
+        k2[0] ^= 1;
+        assert_ne!(base, c1(&k2, &r, &preq, &pres, 0, 1, &ia, &ra));
+        let mut r2 = r;
+        r2[15] ^= 1;
+        assert_ne!(base, c1(&k, &r2, &preq, &pres, 0, 1, &ia, &ra));
+        let mut preq2 = preq;
+        preq2[3] ^= 1;
+        assert_ne!(base, c1(&k, &r, &preq2, &pres, 0, 1, &ia, &ra));
+        let mut pres2 = pres;
+        pres2[6] ^= 1;
+        assert_ne!(base, c1(&k, &r, &preq, &pres2, 0, 1, &ia, &ra));
+        assert_ne!(base, c1(&k, &r, &preq, &pres, 1, 1, &ia, &ra));
+        assert_ne!(base, c1(&k, &r, &preq, &pres, 0, 0, &ia, &ra));
+        let mut ia2 = ia;
+        ia2[0] ^= 1;
+        assert_ne!(base, c1(&k, &r, &preq, &pres, 0, 1, &ia2, &ra));
+        let mut ra2 = ra;
+        ra2[5] ^= 1;
+        assert_ne!(base, c1(&k, &r, &preq, &pres, 0, 1, &ia, &ra2));
+    }
+
+    #[test]
+    fn c1_matches_manual_composition() {
+        // Independent recomputation of the e(k, e(k, r^p1)^p2) structure.
+        let k = [9u8; 16];
+        let r = [7u8; 16];
+        let preq = [0xAA; 7];
+        let pres = [0xBB; 7];
+        let ia = [0xCC; 6];
+        let ra = [0xDD; 6];
+        let mut p1 = [0u8; 16];
+        p1[0] = 1;
+        p1[1] = 0;
+        p1[2..9].copy_from_slice(&preq);
+        p1[9..16].copy_from_slice(&pres);
+        let mut p2 = [0u8; 16];
+        p2[0..6].copy_from_slice(&ra);
+        p2[6..12].copy_from_slice(&ia);
+        let inner = e(&k, &xor16(&r, &p1));
+        let expected = e(&k, &xor16(&inner, &p2));
+        assert_eq!(expected, c1(&k, &r, &preq, &pres, 1, 0, &ia, &ra));
+    }
+
+    #[test]
+    fn s1_uses_low_halves_of_both_randoms() {
+        let k = [1u8; 16];
+        let mut r1 = [0u8; 16];
+        let mut r2 = [0u8; 16];
+        r1[..8].copy_from_slice(&[1, 2, 3, 4, 5, 6, 7, 8]);
+        r2[..8].copy_from_slice(&[9, 10, 11, 12, 13, 14, 15, 16]);
+        let base = s1(&k, &r1, &r2);
+        // Changing the *high* half of either random must not matter.
+        r1[12] ^= 0xFF;
+        r2[9] ^= 0xFF;
+        assert_eq!(base, s1(&k, &r1, &r2));
+        // Changing the low half must matter.
+        r1[0] ^= 1;
+        assert_ne!(base, s1(&k, &r1, &r2));
+    }
+
+    #[test]
+    fn both_sides_derive_the_same_stk() {
+        // Initiator and responder run s1 with the same inputs: same STK.
+        let tk = [0u8; 16]; // Just Works: TK = 0.
+        let mrand = [0x55; 16];
+        let srand = [0x66; 16];
+        assert_eq!(s1(&tk, &srand, &mrand), s1(&tk, &srand, &mrand));
+    }
+}

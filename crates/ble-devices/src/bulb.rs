@@ -1,0 +1,252 @@
+//! The connected lightbulb — the paper's main experimental target.
+//!
+//! Reverse-engineered shape (paper §VII-A: "We reversed the communication
+//! protocol built over GATT used by this lightbulb, then selected a Write
+//! Request allowing to turn the light off as our injection frame"): a
+//! vendor service with one control characteristic taking tagged commands.
+
+use ble_host::{HostEvent, HostStack, Uuid};
+use ble_link::{AddressType, DeviceAddress, SleepClockAccuracy};
+use simkit::SimRng;
+
+use crate::peripheral::{host_with_gap, Peripheral, PeripheralApp};
+
+/// The bulb's vendor service UUID.
+pub const BULB_SERVICE_UUID: Uuid = Uuid::Short(0xFFE0);
+/// The bulb's control characteristic UUID.
+pub const BULB_CONTROL_UUID: Uuid = Uuid::Short(0xFFE1);
+
+/// Command opcodes of the bulb's vendor protocol.
+pub mod command {
+    /// `[0x01, on]` — power on/off.
+    pub const POWER: u8 = 0x01;
+    /// `[0x02, r, g, b]` — set colour.
+    pub const COLOUR: u8 = 0x02;
+    /// `[0x03, level]` — set brightness (0–100).
+    pub const BRIGHTNESS: u8 = 0x03;
+    /// `[0x04, padding...]` — vendor ping/no-op of arbitrary length (lets
+    /// experiments vary payload size with an acknowledged effect).
+    pub const PING: u8 = 0x04;
+}
+
+/// The bulb's application state.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BulbApp {
+    /// Whether the bulb is lit.
+    pub on: bool,
+    /// Current colour.
+    pub rgb: (u8, u8, u8),
+    /// Current brightness (0–100).
+    pub brightness: u8,
+    /// Log of every command applied, in order.
+    pub command_log: Vec<Vec<u8>>,
+    /// Count of vendor pings received.
+    pub pings: usize,
+    control_handle: u16,
+}
+
+impl PeripheralApp for BulbApp {
+    fn handle_event(&mut self, _host: &mut HostStack, event: &HostEvent) {
+        let HostEvent::Written { handle, value, .. } = event else {
+            return;
+        };
+        if *handle != self.control_handle {
+            return;
+        }
+        self.command_log.push(value.clone());
+        match value.split_first() {
+            Some((&command::POWER, rest)) => {
+                self.on = rest.first().copied().unwrap_or(0) != 0;
+            }
+            Some((&command::COLOUR, rest)) if rest.len() >= 3 => {
+                self.rgb = (rest[0], rest[1], rest[2]);
+            }
+            Some((&command::BRIGHTNESS, rest)) => {
+                self.brightness = rest.first().copied().unwrap_or(0).min(100);
+            }
+            Some((&command::PING, _)) => self.pings += 1,
+            _ => {}
+        }
+    }
+}
+
+/// A simulated connected lightbulb.
+pub type Lightbulb = Peripheral<BulbApp>;
+
+impl Lightbulb {
+    /// Creates a lightbulb with the given address seed.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use ble_devices::Lightbulb;
+    /// use simkit::SimRng;
+    /// let bulb = Lightbulb::new(0xB1, SimRng::seed_from(1));
+    /// assert!(!bulb.app.on);
+    /// assert!(bulb.control_handle() > 0);
+    /// ```
+    pub fn new(addr_seed: u8, rng: SimRng) -> Lightbulb {
+        use ble_host::gatt::props;
+        let address = DeviceAddress::new([addr_seed; 6], AddressType::Public);
+        let (mut host, _name) = host_with_gap(address, "SmartBulb", rng);
+        let control_handle = host
+            .server_mut()
+            .service(BULB_SERVICE_UUID)
+            .characteristic(
+                BULB_CONTROL_UUID,
+                props::READ | props::WRITE | props::WRITE_WITHOUT_RESPONSE,
+                vec![0],
+            )
+            .finish();
+        let app = BulbApp {
+            on: false,
+            rgb: (255, 255, 255),
+            brightness: 100,
+            command_log: Vec::new(),
+            pings: 0,
+            control_handle,
+        };
+        Peripheral::assemble(
+            address,
+            SleepClockAccuracy::Ppm50,
+            host,
+            app,
+            // Flags + complete local name.
+            adv_data_with_name("SmartBulb"),
+        )
+    }
+
+    /// Handle of the control characteristic (what the attacker writes to).
+    pub fn control_handle(&self) -> u16 {
+        self.app.control_handle
+    }
+}
+
+/// Standard AD structure: flags + complete local name.
+pub(crate) fn adv_data_with_name(name: &str) -> Vec<u8> {
+    let mut out = vec![0x02, 0x01, 0x06];
+    out.push(name.len() as u8 + 1);
+    out.push(0x09);
+    out.extend_from_slice(name.as_bytes());
+    out
+}
+
+/// Builds the bulb command payloads used throughout the experiments.
+pub mod payloads {
+    use super::command;
+
+    /// Turn the bulb off — the paper's canonical injected write.
+    pub fn power_off() -> Vec<u8> {
+        vec![command::POWER, 0]
+    }
+
+    /// Turn the bulb on.
+    pub fn power_on() -> Vec<u8> {
+        vec![command::POWER, 1]
+    }
+
+    /// Set an RGB colour.
+    pub fn colour(r: u8, g: u8, b: u8) -> Vec<u8> {
+        vec![command::COLOUR, r, g, b]
+    }
+
+    /// Set brightness.
+    pub fn brightness(level: u8) -> Vec<u8> {
+        vec![command::BRIGHTNESS, level]
+    }
+
+    /// A ping padded to an exact value length.
+    pub fn ping_padded(value_len: usize) -> Vec<u8> {
+        assert!(value_len >= 1);
+        let mut v = vec![command::PING];
+        v.resize(value_len, 0xEE);
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bulb() -> Lightbulb {
+        Lightbulb::new(0xB1, SimRng::seed_from(1))
+    }
+
+    fn write_event(handle: u16, value: Vec<u8>) -> HostEvent {
+        HostEvent::Written {
+            handle,
+            value,
+            acknowledged: true,
+        }
+    }
+
+    #[test]
+    fn power_commands_toggle_state() {
+        let mut b = bulb();
+        let h = b.control_handle();
+        let mut host_dummy = {
+            let (host, _) = host_with_gap(
+                DeviceAddress::new([1; 6], AddressType::Public),
+                "x",
+                SimRng::seed_from(2),
+            );
+            host
+        };
+        b.app.handle_event(&mut host_dummy, &write_event(h, payloads::power_on()));
+        assert!(b.app.on);
+        b.app.handle_event(&mut host_dummy, &write_event(h, payloads::power_off()));
+        assert!(!b.app.on);
+        assert_eq!(b.app.command_log.len(), 2);
+    }
+
+    #[test]
+    fn colour_and_brightness() {
+        let mut b = bulb();
+        let h = b.control_handle();
+        let (mut host, _) = host_with_gap(
+            DeviceAddress::new([1; 6], AddressType::Public),
+            "x",
+            SimRng::seed_from(2),
+        );
+        b.app.handle_event(&mut host, &write_event(h, payloads::colour(10, 20, 30)));
+        assert_eq!(b.app.rgb, (10, 20, 30));
+        b.app.handle_event(&mut host, &write_event(h, payloads::brightness(250)));
+        assert_eq!(b.app.brightness, 100, "clamped");
+    }
+
+    #[test]
+    fn writes_to_other_handles_ignored() {
+        let mut b = bulb();
+        let (mut host, _) = host_with_gap(
+            DeviceAddress::new([1; 6], AddressType::Public),
+            "x",
+            SimRng::seed_from(2),
+        );
+        b.app.handle_event(&mut host, &write_event(0x7777, payloads::power_on()));
+        assert!(!b.app.on);
+        assert!(b.app.command_log.is_empty());
+    }
+
+    #[test]
+    fn padded_ping_lengths() {
+        assert_eq!(payloads::ping_padded(1).len(), 1);
+        assert_eq!(payloads::ping_padded(9).len(), 9);
+        let mut b = bulb();
+        let h = b.control_handle();
+        let (mut host, _) = host_with_gap(
+            DeviceAddress::new([1; 6], AddressType::Public),
+            "x",
+            SimRng::seed_from(2),
+        );
+        b.app.handle_event(&mut host, &write_event(h, payloads::ping_padded(5)));
+        assert_eq!(b.app.pings, 1);
+    }
+
+    #[test]
+    fn adv_data_contains_name() {
+        let b = bulb();
+        let _ = b;
+        let ad = adv_data_with_name("SmartBulb");
+        assert!(ad.windows(9).any(|w| w == b"SmartBulb"));
+    }
+}

@@ -1,0 +1,191 @@
+//! A smartphone-like Central.
+//!
+//! Initiates connections to a target peripheral, keeps them alive, can pair
+//! and encrypt, and re-establishes the connection after a loss — the role
+//! the paper fills with a Mirage-driven HCI Central (experiments 1–2) and a
+//! real smartphone (experiment 3).
+
+use std::collections::VecDeque;
+
+use ble_host::{GattServer, HostEvent, HostStack, SecurityAction};
+use ble_link::{
+    ConnectionParams, DeviceAddress, LinkLayer, SleepClockAccuracy, UpdateRequest,
+};
+use ble_phy::{NodeCtx, RadioEvent, RadioListener, TimerKey};
+use simkit::{Duration, SimRng};
+
+use crate::peripheral::APP_TIMER_BASE;
+
+const RECONNECT_TIMER: u64 = APP_TIMER_BASE;
+
+/// A Central device: connection initiator and application driver.
+pub struct Central {
+    /// The Link Layer.
+    pub ll: LinkLayer,
+    /// The host stack (ATT client + GATT server with a GAP name).
+    pub host: HostStack,
+    target: DeviceAddress,
+    params: ConnectionParams,
+    /// Reconnect automatically after disconnection.
+    pub auto_reconnect: bool,
+    reconnect_delay: Duration,
+    /// Number of connections successfully initiated.
+    pub connections: usize,
+    /// Number of disconnections observed.
+    pub disconnections: usize,
+    /// Reason of the last disconnection.
+    pub last_disconnect_reason: Option<u8>,
+    /// Application events drained from the host, for inspection by tests
+    /// and experiment harnesses.
+    pub event_log: VecDeque<HostEvent>,
+    /// Writes to enqueue on (re)connection: (handle, value, acknowledged).
+    pub on_connect_writes: Vec<(u16, Vec<u8>, bool)>,
+    /// Pair (and then encrypt) automatically on connection.
+    pub pair_on_connect: bool,
+    rng: SimRng,
+}
+
+impl Central {
+    /// Creates a Central that will connect to `target` using `params`.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use ble_devices::Central;
+    /// use ble_link::{AddressType, ConnectionParams, DeviceAddress};
+    /// use simkit::SimRng;
+    /// let mut rng = SimRng::seed_from(1);
+    /// let params = ConnectionParams::typical(&mut rng, 36);
+    /// let central = Central::new(0xA0, DeviceAddress::new([0xB1; 6], AddressType::Public), params, rng);
+    /// assert_eq!(central.connections, 0);
+    /// ```
+    pub fn new(
+        addr_seed: u8,
+        target: DeviceAddress,
+        params: ConnectionParams,
+        mut rng: SimRng,
+    ) -> Central {
+        let address = DeviceAddress::new([addr_seed; 6], ble_link::AddressType::Public);
+        let host_rng = SimRng::seed_from(rng.below(u64::MAX - 1));
+        let host = HostStack::new(address, GattServer::new(), host_rng);
+        Central {
+            ll: LinkLayer::new(address, SleepClockAccuracy::Ppm50),
+            host,
+            target,
+            params,
+            auto_reconnect: true,
+            reconnect_delay: Duration::from_millis(50),
+            connections: 0,
+            disconnections: 0,
+            last_disconnect_reason: None,
+            event_log: VecDeque::new(),
+            on_connect_writes: Vec::new(),
+            pair_on_connect: false,
+            rng,
+        }
+    }
+
+    /// Starts scanning/initiating (call once from `Simulation::with_ctx`).
+    pub fn start(&mut self, ctx: &mut NodeCtx<'_>) {
+        self.ll.start_initiating(ctx, self.target, self.params);
+    }
+
+    /// Replaces the connection parameters used for *future* connections.
+    pub fn set_params(&mut self, params: ConnectionParams) {
+        self.params = params;
+    }
+
+    /// Requests Channel Selection Algorithm #2 (BLE 5) for future
+    /// connections.
+    pub fn set_prefer_csa2(&mut self, prefer: bool) {
+        self.ll.set_prefer_csa2(prefer);
+    }
+
+    /// The parameters used for connections.
+    pub fn params(&self) -> ConnectionParams {
+        self.params
+    }
+
+    /// Queues a write to be sent immediately (if connected).
+    pub fn write(&mut self, handle: u16, value: Vec<u8>) {
+        self.host.write(handle, value);
+    }
+
+    /// Requests a connection-parameter update on the live connection.
+    pub fn update_connection(&mut self, update: UpdateRequest, instant_delta: u16) {
+        self.ll.request_connection_update(update, instant_delta);
+    }
+
+    fn pump(&mut self, ctx: &mut NodeCtx<'_>) {
+        while let Some(action) = self.host.take_action() {
+            match action {
+                SecurityAction::StartEncryption { key, rand, ediv } => {
+                    if self.ll.is_connected() {
+                        self.ll.request_encryption(ctx, key, rand, ediv);
+                    }
+                }
+            }
+        }
+        while let Some(event) = self.host.poll_event() {
+            match &event {
+                HostEvent::Connected { .. } => {
+                    self.connections += 1;
+                    let writes = self.on_connect_writes.clone();
+                    for (handle, value, acknowledged) in writes {
+                        if acknowledged {
+                            self.host.write(handle, value);
+                        } else {
+                            self.host.write_command(handle, value);
+                        }
+                    }
+                    if self.pair_on_connect {
+                        if self.host.bonded_key().is_some() {
+                            self.host.encrypt_with_bonded_key();
+                        } else {
+                            self.host.start_pairing();
+                        }
+                    }
+                }
+                HostEvent::Disconnected { reason } => {
+                    self.disconnections += 1;
+                    self.last_disconnect_reason = Some(*reason);
+                    if self.auto_reconnect {
+                        let jitter = Duration::from_micros(self.rng.below(20_000));
+                        ctx.set_timer_local(
+                            self.reconnect_delay + jitter,
+                            TimerKey(RECONNECT_TIMER),
+                        );
+                    }
+                }
+                _ => {}
+            }
+            self.event_log.push_back(event);
+        }
+        // Re-run actions that may have been queued by event handling
+        // (e.g. pairing completion queues StartEncryption).
+        while let Some(action) = self.host.take_action() {
+            match action {
+                SecurityAction::StartEncryption { key, rand, ediv } => {
+                    if self.ll.is_connected() {
+                        self.ll.request_encryption(ctx, key, rand, ediv);
+                    }
+                }
+            }
+        }
+    }
+}
+
+impl RadioListener for Central {
+    fn on_event(&mut self, ctx: &mut NodeCtx<'_>, event: RadioEvent) {
+        if let RadioEvent::Timer { key, .. } = &event {
+            if key.0 & 0xFF >= APP_TIMER_BASE {
+                if key.0 == RECONNECT_TIMER && !self.ll.is_connected() {
+                    self.ll.start_initiating(ctx, self.target, self.params);
+                }
+                return;
+            }
+        }
+        self.ll.handle(ctx, event, &mut self.host);
+        self.pump(ctx);
+    }
+}

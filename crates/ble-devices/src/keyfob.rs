@@ -1,0 +1,107 @@
+//! The keyfob — paper scenario A: "making the keyfob ring".
+
+use ble_host::{gatt::props, HostEvent, HostStack, Uuid};
+use ble_link::{AddressType, DeviceAddress, SleepClockAccuracy};
+use simkit::SimRng;
+
+use crate::bulb::adv_data_with_name;
+use crate::peripheral::{host_with_gap, Peripheral, PeripheralApp};
+
+/// The keyfob application state.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct KeyfobApp {
+    /// Current alert level (0 = silent, 1 = mild, 2 = high).
+    pub alert_level: u8,
+    /// How many times the fob has been made to ring (level > 0 writes).
+    pub rings: usize,
+    alert_handle: u16,
+}
+
+impl PeripheralApp for KeyfobApp {
+    fn handle_event(&mut self, _host: &mut HostStack, event: &HostEvent) {
+        let HostEvent::Written { handle, value, .. } = event else {
+            return;
+        };
+        if *handle != self.alert_handle {
+            return;
+        }
+        self.alert_level = value.first().copied().unwrap_or(0).min(2);
+        if self.alert_level > 0 {
+            self.rings += 1;
+        }
+    }
+}
+
+/// A simulated keyfob exposing the Immediate Alert profile.
+pub type Keyfob = Peripheral<KeyfobApp>;
+
+impl Keyfob {
+    /// Creates a keyfob.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use ble_devices::Keyfob;
+    /// use simkit::SimRng;
+    /// let fob = Keyfob::new(0xF0, SimRng::seed_from(1));
+    /// assert_eq!(fob.app.rings, 0);
+    /// ```
+    pub fn new(addr_seed: u8, rng: SimRng) -> Keyfob {
+        let address = DeviceAddress::new([addr_seed; 6], AddressType::Public);
+        let (mut host, _) = host_with_gap(address, "KeyFob", rng);
+        let alert_handle = host
+            .server_mut()
+            .service(Uuid::IMMEDIATE_ALERT_SERVICE)
+            .characteristic(
+                Uuid::ALERT_LEVEL,
+                props::WRITE | props::WRITE_WITHOUT_RESPONSE,
+                vec![0],
+            )
+            .finish();
+        let app = KeyfobApp {
+            alert_level: 0,
+            rings: 0,
+            alert_handle,
+        };
+        Peripheral::assemble(
+            address,
+            SleepClockAccuracy::Ppm50,
+            host,
+            app,
+            adv_data_with_name("KeyFob"),
+        )
+    }
+
+    /// Handle of the Alert Level characteristic.
+    pub fn alert_handle(&self) -> u16 {
+        self.app.alert_handle
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_counting_and_clamping() {
+        let mut fob = Keyfob::new(0xF0, SimRng::seed_from(1));
+        let h = fob.alert_handle();
+        let (mut host, _) = host_with_gap(
+            DeviceAddress::new([1; 6], AddressType::Public),
+            "x",
+            SimRng::seed_from(2),
+        );
+        for (value, expected_level) in [(vec![2u8], 2u8), (vec![0], 0), (vec![9], 2)] {
+            fob.app.handle_event(
+                &mut host,
+                &HostEvent::Written {
+                    handle: h,
+                    value,
+                    acknowledged: false,
+                },
+            );
+            assert_eq!(fob.app.alert_level, expected_level);
+        }
+        assert_eq!(fob.app.rings, 2);
+    }
+}

@@ -1,0 +1,114 @@
+//! The smartwatch — paper scenario A: "transmitting a forged SMS to the
+//! watch"; scenario D: rewriting an SMS on the fly in a Man-in-the-Middle.
+
+use ble_host::{gatt::props, HostEvent, HostStack, Uuid};
+use ble_link::{AddressType, DeviceAddress, SleepClockAccuracy};
+use simkit::SimRng;
+
+use crate::bulb::adv_data_with_name;
+use crate::peripheral::{host_with_gap, Peripheral, PeripheralApp};
+
+/// The watch's vendor messaging service.
+pub const WATCH_SERVICE_UUID: Uuid = Uuid::Short(0xFFA0);
+/// The characteristic the phone writes SMS text to.
+pub const WATCH_MESSAGE_UUID: Uuid = Uuid::Short(0xFFA1);
+
+/// The watch application state.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WatchApp {
+    /// Every message displayed, in arrival order.
+    pub inbox: Vec<Vec<u8>>,
+    message_handle: u16,
+}
+
+impl PeripheralApp for WatchApp {
+    fn handle_event(&mut self, _host: &mut HostStack, event: &HostEvent) {
+        let HostEvent::Written { handle, value, .. } = event else {
+            return;
+        };
+        if *handle == self.message_handle {
+            self.inbox.push(value.clone());
+        }
+    }
+}
+
+/// A simulated smartwatch receiving SMS-style messages.
+pub type Smartwatch = Peripheral<WatchApp>;
+
+impl Smartwatch {
+    /// Creates a smartwatch.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use ble_devices::Smartwatch;
+    /// use simkit::SimRng;
+    /// let watch = Smartwatch::new(0xCC, SimRng::seed_from(1));
+    /// assert!(watch.app.inbox.is_empty());
+    /// ```
+    pub fn new(addr_seed: u8, rng: SimRng) -> Smartwatch {
+        let address = DeviceAddress::new([addr_seed; 6], AddressType::Public);
+        let (mut host, _) = host_with_gap(address, "SmartWatch", rng);
+        let message_handle = host
+            .server_mut()
+            .service(WATCH_SERVICE_UUID)
+            .characteristic(
+                WATCH_MESSAGE_UUID,
+                props::WRITE | props::WRITE_WITHOUT_RESPONSE,
+                vec![],
+            )
+            .finish();
+        let app = WatchApp {
+            inbox: Vec::new(),
+            message_handle,
+        };
+        Peripheral::assemble(
+            address,
+            SleepClockAccuracy::Ppm50,
+            host,
+            app,
+            adv_data_with_name("SmartWatch"),
+        )
+    }
+
+    /// Handle of the message characteristic.
+    pub fn message_handle(&self) -> u16 {
+        self.app.message_handle
+    }
+
+    /// The inbox as strings (lossy) for assertions and demos.
+    pub fn inbox_strings(&self) -> Vec<String> {
+        self.app
+            .inbox
+            .iter()
+            .map(|m| String::from_utf8_lossy(m).into_owned())
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_accumulate_in_order() {
+        let mut watch = Smartwatch::new(0xCC, SimRng::seed_from(1));
+        let h = watch.message_handle();
+        let (mut host, _) = host_with_gap(
+            DeviceAddress::new([1; 6], AddressType::Public),
+            "x",
+            SimRng::seed_from(2),
+        );
+        for text in [b"hello".to_vec(), b"world".to_vec()] {
+            watch.app.handle_event(
+                &mut host,
+                &HostEvent::Written {
+                    handle: h,
+                    value: text,
+                    acknowledged: true,
+                },
+            );
+        }
+        assert_eq!(watch.inbox_strings(), vec!["hello", "world"]);
+    }
+}

@@ -1,0 +1,384 @@
+//! The Attribute Protocol (ATT).
+//!
+//! The paper's scenario A is literally "injecting *ATT Requests* … to
+//! interact with the ATT server, which is used in BLE as a generic
+//! application layer" (§VI-A). These are the PDUs being forged.
+
+use crate::uuid::Uuid;
+
+/// ATT error codes (subset).
+pub mod error_code {
+    /// The attribute handle is invalid.
+    pub const INVALID_HANDLE: u8 = 0x01;
+    /// The attribute cannot be read.
+    pub const READ_NOT_PERMITTED: u8 = 0x02;
+    /// The attribute cannot be written.
+    pub const WRITE_NOT_PERMITTED: u8 = 0x03;
+    /// The request is not supported.
+    pub const REQUEST_NOT_SUPPORTED: u8 = 0x06;
+    /// No attribute found within the given range.
+    pub const ATTRIBUTE_NOT_FOUND: u8 = 0x0A;
+    /// The attribute value has an invalid length.
+    pub const INVALID_ATTRIBUTE_VALUE_LENGTH: u8 = 0x0D;
+}
+
+/// A decoded ATT PDU.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AttPdu {
+    /// Error Response (0x01).
+    ErrorResponse {
+        /// Opcode of the request that failed.
+        request_opcode: u8,
+        /// Handle the failure relates to.
+        handle: u16,
+        /// One of [`error_code`].
+        code: u8,
+    },
+    /// Exchange MTU Request (0x02).
+    ExchangeMtuRequest {
+        /// Client receive MTU.
+        mtu: u16,
+    },
+    /// Exchange MTU Response (0x03).
+    ExchangeMtuResponse {
+        /// Server receive MTU.
+        mtu: u16,
+    },
+    /// Read By Group Type Request (0x10) — primary service discovery.
+    ReadByGroupTypeRequest {
+        /// First handle of the range.
+        start: u16,
+        /// Last handle of the range.
+        end: u16,
+        /// The group type (0x2800 for primary services).
+        group_type: Uuid,
+    },
+    /// Read By Group Type Response (0x11).
+    ReadByGroupTypeResponse {
+        /// Length of each entry.
+        entry_len: u8,
+        /// Concatenated (handle, end handle, value) entries.
+        data: Vec<u8>,
+    },
+    /// Read By Type Request (0x08) — characteristic discovery.
+    ReadByTypeRequest {
+        /// First handle of the range.
+        start: u16,
+        /// Last handle of the range.
+        end: u16,
+        /// The attribute type.
+        attribute_type: Uuid,
+    },
+    /// Read By Type Response (0x09).
+    ReadByTypeResponse {
+        /// Length of each entry.
+        entry_len: u8,
+        /// Concatenated (handle, value) entries.
+        data: Vec<u8>,
+    },
+    /// Read Request (0x0A).
+    ReadRequest {
+        /// Handle to read.
+        handle: u16,
+    },
+    /// Read Response (0x0B).
+    ReadResponse {
+        /// The attribute value.
+        value: Vec<u8>,
+    },
+    /// Write Request (0x12) — acknowledged write.
+    WriteRequest {
+        /// Handle to write.
+        handle: u16,
+        /// The value.
+        value: Vec<u8>,
+    },
+    /// Write Response (0x13).
+    WriteResponse,
+    /// Write Command (0x52) — unacknowledged write.
+    WriteCommand {
+        /// Handle to write.
+        handle: u16,
+        /// The value.
+        value: Vec<u8>,
+    },
+    /// Handle Value Notification (0x1B).
+    Notification {
+        /// Source handle.
+        handle: u16,
+        /// The value.
+        value: Vec<u8>,
+    },
+    /// Handle Value Indication (0x1D).
+    Indication {
+        /// Source handle.
+        handle: u16,
+        /// The value.
+        value: Vec<u8>,
+    },
+    /// Handle Value Confirmation (0x1E).
+    Confirmation,
+}
+
+impl AttPdu {
+    /// The PDU opcode.
+    pub fn opcode(&self) -> u8 {
+        match self {
+            AttPdu::ErrorResponse { .. } => 0x01,
+            AttPdu::ExchangeMtuRequest { .. } => 0x02,
+            AttPdu::ExchangeMtuResponse { .. } => 0x03,
+            AttPdu::ReadByTypeRequest { .. } => 0x08,
+            AttPdu::ReadByTypeResponse { .. } => 0x09,
+            AttPdu::ReadRequest { .. } => 0x0A,
+            AttPdu::ReadResponse { .. } => 0x0B,
+            AttPdu::ReadByGroupTypeRequest { .. } => 0x10,
+            AttPdu::ReadByGroupTypeResponse { .. } => 0x11,
+            AttPdu::WriteRequest { .. } => 0x12,
+            AttPdu::WriteResponse => 0x13,
+            AttPdu::WriteCommand { .. } => 0x52,
+            AttPdu::Notification { .. } => 0x1B,
+            AttPdu::Indication { .. } => 0x1D,
+            AttPdu::Confirmation => 0x1E,
+        }
+    }
+
+    /// Serialises to ATT bytes.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = vec![self.opcode()];
+        match self {
+            AttPdu::ErrorResponse {
+                request_opcode,
+                handle,
+                code,
+            } => {
+                out.push(*request_opcode);
+                out.extend_from_slice(&handle.to_le_bytes());
+                out.push(*code);
+            }
+            AttPdu::ExchangeMtuRequest { mtu } | AttPdu::ExchangeMtuResponse { mtu } => {
+                out.extend_from_slice(&mtu.to_le_bytes());
+            }
+            AttPdu::ReadByGroupTypeRequest {
+                start,
+                end,
+                group_type,
+            } => {
+                out.extend_from_slice(&start.to_le_bytes());
+                out.extend_from_slice(&end.to_le_bytes());
+                out.extend_from_slice(&group_type.to_bytes());
+            }
+            AttPdu::ReadByTypeRequest {
+                start,
+                end,
+                attribute_type,
+            } => {
+                out.extend_from_slice(&start.to_le_bytes());
+                out.extend_from_slice(&end.to_le_bytes());
+                out.extend_from_slice(&attribute_type.to_bytes());
+            }
+            AttPdu::ReadByGroupTypeResponse { entry_len, data }
+            | AttPdu::ReadByTypeResponse { entry_len, data } => {
+                out.push(*entry_len);
+                out.extend_from_slice(data);
+            }
+            AttPdu::ReadRequest { handle } => out.extend_from_slice(&handle.to_le_bytes()),
+            AttPdu::ReadResponse { value } => out.extend_from_slice(value),
+            AttPdu::WriteRequest { handle, value }
+            | AttPdu::WriteCommand { handle, value }
+            | AttPdu::Notification { handle, value }
+            | AttPdu::Indication { handle, value } => {
+                out.extend_from_slice(&handle.to_le_bytes());
+                out.extend_from_slice(value);
+            }
+            AttPdu::WriteResponse | AttPdu::Confirmation => {}
+        }
+        out
+    }
+
+    /// Parses ATT bytes; `None` on malformed or unsupported input.
+    pub fn from_bytes(bytes: &[u8]) -> Option<AttPdu> {
+        let (&opcode, data) = bytes.split_first()?;
+        let u16_at = |i: usize| -> Option<u16> {
+            Some(u16::from_le_bytes([*data.get(i)?, *data.get(i + 1)?]))
+        };
+        match opcode {
+            0x01 => {
+                if data.len() != 4 {
+                    return None;
+                }
+                Some(AttPdu::ErrorResponse {
+                    request_opcode: data[0],
+                    handle: u16_at(1)?,
+                    code: data[3],
+                })
+            }
+            0x02 | 0x03 => {
+                if data.len() != 2 {
+                    return None;
+                }
+                let mtu = u16_at(0)?;
+                Some(if opcode == 0x02 {
+                    AttPdu::ExchangeMtuRequest { mtu }
+                } else {
+                    AttPdu::ExchangeMtuResponse { mtu }
+                })
+            }
+            0x08 | 0x10 => {
+                if data.len() != 6 && data.len() != 20 {
+                    return None;
+                }
+                let ty = Uuid::from_bytes(&data[4..])?;
+                let (start, end) = (u16_at(0)?, u16_at(2)?);
+                Some(if opcode == 0x08 {
+                    AttPdu::ReadByTypeRequest {
+                        start,
+                        end,
+                        attribute_type: ty,
+                    }
+                } else {
+                    AttPdu::ReadByGroupTypeRequest {
+                        start,
+                        end,
+                        group_type: ty,
+                    }
+                })
+            }
+            0x09 | 0x11 => {
+                let (&entry_len, rest) = data.split_first()?;
+                let pdu_data = rest.to_vec();
+                Some(if opcode == 0x09 {
+                    AttPdu::ReadByTypeResponse {
+                        entry_len,
+                        data: pdu_data,
+                    }
+                } else {
+                    AttPdu::ReadByGroupTypeResponse {
+                        entry_len,
+                        data: pdu_data,
+                    }
+                })
+            }
+            0x0A => {
+                if data.len() != 2 {
+                    return None;
+                }
+                Some(AttPdu::ReadRequest { handle: u16_at(0)? })
+            }
+            0x0B => Some(AttPdu::ReadResponse { value: data.to_vec() }),
+            0x12 | 0x52 | 0x1B | 0x1D => {
+                if data.len() < 2 {
+                    return None;
+                }
+                let handle = u16_at(0)?;
+                let value = data[2..].to_vec();
+                Some(match opcode {
+                    0x12 => AttPdu::WriteRequest { handle, value },
+                    0x52 => AttPdu::WriteCommand { handle, value },
+                    0x1B => AttPdu::Notification { handle, value },
+                    _ => AttPdu::Indication { handle, value },
+                })
+            }
+            0x13 => {
+                if !data.is_empty() {
+                    return None;
+                }
+                Some(AttPdu::WriteResponse)
+            }
+            0x1E => {
+                if !data.is_empty() {
+                    return None;
+                }
+                Some(AttPdu::Confirmation)
+            }
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(pdu: AttPdu) {
+        assert_eq!(AttPdu::from_bytes(&pdu.to_bytes()), Some(pdu));
+    }
+
+    #[test]
+    fn all_pdus_roundtrip() {
+        roundtrip(AttPdu::ErrorResponse {
+            request_opcode: 0x0A,
+            handle: 0x0003,
+            code: error_code::READ_NOT_PERMITTED,
+        });
+        roundtrip(AttPdu::ExchangeMtuRequest { mtu: 185 });
+        roundtrip(AttPdu::ExchangeMtuResponse { mtu: 23 });
+        roundtrip(AttPdu::ReadByGroupTypeRequest {
+            start: 1,
+            end: 0xFFFF,
+            group_type: Uuid::PRIMARY_SERVICE,
+        });
+        roundtrip(AttPdu::ReadByGroupTypeResponse {
+            entry_len: 6,
+            data: vec![1, 0, 5, 0, 0x00, 0x18],
+        });
+        roundtrip(AttPdu::ReadByTypeRequest {
+            start: 1,
+            end: 10,
+            attribute_type: Uuid::long([3; 16]),
+        });
+        roundtrip(AttPdu::ReadByTypeResponse {
+            entry_len: 7,
+            data: vec![2, 0, 0x02, 3, 0, 0x00, 0x2A],
+        });
+        roundtrip(AttPdu::ReadRequest { handle: 0x000C });
+        roundtrip(AttPdu::ReadResponse { value: b"Hacked".to_vec() });
+        roundtrip(AttPdu::WriteRequest {
+            handle: 0x0021,
+            value: vec![0x55, 0x10, 0x01, 0x0D, 0x0A],
+        });
+        roundtrip(AttPdu::WriteResponse);
+        roundtrip(AttPdu::WriteCommand {
+            handle: 0x0021,
+            value: vec![1],
+        });
+        roundtrip(AttPdu::Notification {
+            handle: 9,
+            value: b"SMS: hi".to_vec(),
+        });
+        roundtrip(AttPdu::Indication {
+            handle: 9,
+            value: vec![1, 2],
+        });
+        roundtrip(AttPdu::Confirmation);
+    }
+
+    #[test]
+    fn paper_write_request_size() {
+        // §VII-A: a Write Request payload of 14 bytes → ATT PDU of
+        // 1 (opcode) + 2 (handle) + 11 (value) = 14 bytes.
+        let pdu = AttPdu::WriteRequest {
+            handle: 0x0021,
+            value: vec![0; 11],
+        };
+        assert_eq!(pdu.to_bytes().len(), 14);
+    }
+
+    #[test]
+    fn malformed_rejected() {
+        assert_eq!(AttPdu::from_bytes(&[]), None);
+        assert_eq!(AttPdu::from_bytes(&[0x0A, 1]), None);
+        assert_eq!(AttPdu::from_bytes(&[0x02, 1]), None);
+        assert_eq!(AttPdu::from_bytes(&[0x13, 9]), None);
+        assert_eq!(AttPdu::from_bytes(&[0xFF, 0, 0]), None);
+        assert_eq!(AttPdu::from_bytes(&[0x12, 1]), None);
+        assert_eq!(AttPdu::from_bytes(&[0x08, 1, 0, 2, 0, 9]), None);
+    }
+
+    #[test]
+    fn empty_write_value_allowed() {
+        roundtrip(AttPdu::WriteRequest {
+            handle: 7,
+            value: vec![],
+        });
+    }
+}

@@ -1,0 +1,534 @@
+//! GATT: an attribute-database server with service/characteristic builders.
+//!
+//! The victim devices of the paper (lightbulb, keyfob, smartwatch) each
+//! expose a GATT profile; the attack triggers their features by writing to
+//! characteristics in exactly the way a legitimate Central would.
+
+use crate::att::{error_code, AttPdu};
+use crate::uuid::Uuid;
+
+/// Characteristic property flags (subset of the GATT property bitfield).
+pub mod props {
+    /// Value can be read.
+    pub const READ: u8 = 0x02;
+    /// Value can be written without response.
+    pub const WRITE_WITHOUT_RESPONSE: u8 = 0x04;
+    /// Value can be written.
+    pub const WRITE: u8 = 0x08;
+    /// Value can be notified.
+    pub const NOTIFY: u8 = 0x10;
+}
+
+/// One attribute in the database.
+#[derive(Debug, Clone)]
+struct Attribute {
+    handle: u16,
+    attribute_type: Uuid,
+    value: Vec<u8>,
+    readable: bool,
+    writable: bool,
+    /// For characteristic value attributes: the characteristic's UUID.
+    char_uuid: Option<Uuid>,
+}
+
+/// Something the server did in response to a request, for the application
+/// to react to (e.g. a lightbulb turning its LED on).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GattEvent {
+    /// A characteristic value was written (request or command).
+    Written {
+        /// The value attribute's handle.
+        handle: u16,
+        /// The new value.
+        value: Vec<u8>,
+        /// Whether the write was an acknowledged Write Request.
+        acknowledged: bool,
+    },
+    /// A characteristic value was read.
+    Read {
+        /// The value attribute's handle.
+        handle: u16,
+    },
+}
+
+/// An ATT/GATT server: attribute database plus request execution.
+///
+/// # Example
+///
+/// ```
+/// use ble_host::{GattServer, Uuid};
+/// use ble_host::gatt::props;
+///
+/// let mut server = GattServer::new();
+/// let bulb_state = server
+///     .service(Uuid::short(0xFF00))
+///     .characteristic(Uuid::short(0xFF01), props::READ | props::WRITE, vec![0])
+///     .finish();
+/// assert!(server.value(bulb_state).is_some());
+/// ```
+#[derive(Debug, Default)]
+pub struct GattServer {
+    attributes: Vec<Attribute>,
+    next_handle: u16,
+    mtu: u16,
+}
+
+impl GattServer {
+    /// Creates an empty server (first handle 0x0001, default MTU 23).
+    pub fn new() -> Self {
+        GattServer {
+            attributes: Vec::new(),
+            next_handle: 1,
+            mtu: 23,
+        }
+    }
+
+    /// Starts declaring a primary service.
+    pub fn service(&mut self, uuid: Uuid) -> ServiceBuilder<'_> {
+        let handle = self.allocate();
+        self.attributes.push(Attribute {
+            handle,
+            attribute_type: Uuid::PRIMARY_SERVICE,
+            value: uuid.to_bytes(),
+            readable: true,
+            writable: false,
+            char_uuid: None,
+        });
+        ServiceBuilder {
+            server: self,
+            last_value_handle: 0,
+        }
+    }
+
+    fn allocate(&mut self) -> u16 {
+        let h = self.next_handle;
+        self.next_handle += 1;
+        h
+    }
+
+    /// The negotiated ATT MTU.
+    pub fn mtu(&self) -> u16 {
+        self.mtu
+    }
+
+    /// Current value of an attribute.
+    pub fn value(&self, handle: u16) -> Option<&[u8]> {
+        self.attributes
+            .iter()
+            .find(|a| a.handle == handle)
+            .map(|a| a.value.as_slice())
+    }
+
+    /// Replaces an attribute's value (application-side update).
+    pub fn set_value(&mut self, handle: u16, value: Vec<u8>) {
+        if let Some(a) = self.attributes.iter_mut().find(|a| a.handle == handle) {
+            a.value = value;
+        }
+    }
+
+    /// Finds the value handle of a characteristic by UUID.
+    pub fn handle_of(&self, char_uuid: Uuid) -> Option<u16> {
+        self.attributes
+            .iter()
+            .find(|a| a.char_uuid == Some(char_uuid))
+            .map(|a| a.handle)
+    }
+
+    /// Executes one ATT PDU against the database. Returns the response to
+    /// send (if any) and application events.
+    pub fn handle_att(&mut self, pdu: &AttPdu) -> (Option<AttPdu>, Vec<GattEvent>) {
+        let mut events = Vec::new();
+        let response = match pdu {
+            AttPdu::ExchangeMtuRequest { mtu } => {
+                self.mtu = (*mtu).clamp(23, 247);
+                Some(AttPdu::ExchangeMtuResponse { mtu: self.mtu })
+            }
+            AttPdu::ReadRequest { handle } => match self.attributes.iter().find(|a| a.handle == *handle) {
+                Some(attr) if attr.readable => {
+                    events.push(GattEvent::Read { handle: *handle });
+                    let limit = usize::from(self.mtu) - 1;
+                    let mut value = attr.value.clone();
+                    value.truncate(limit);
+                    Some(AttPdu::ReadResponse { value })
+                }
+                Some(_) => Some(AttPdu::ErrorResponse {
+                    request_opcode: pdu.opcode(),
+                    handle: *handle,
+                    code: error_code::READ_NOT_PERMITTED,
+                }),
+                None => Some(AttPdu::ErrorResponse {
+                    request_opcode: pdu.opcode(),
+                    handle: *handle,
+                    code: error_code::INVALID_HANDLE,
+                }),
+            },
+            AttPdu::WriteRequest { handle, value } | AttPdu::WriteCommand { handle, value } => {
+                let acknowledged = matches!(pdu, AttPdu::WriteRequest { .. });
+                match self.attributes.iter_mut().find(|a| a.handle == *handle) {
+                    Some(attr) if attr.writable => {
+                        attr.value = value.clone();
+                        events.push(GattEvent::Written {
+                            handle: *handle,
+                            value: value.clone(),
+                            acknowledged,
+                        });
+                        acknowledged.then_some(AttPdu::WriteResponse)
+                    }
+                    Some(_) => acknowledged.then_some(AttPdu::ErrorResponse {
+                        request_opcode: pdu.opcode(),
+                        handle: *handle,
+                        code: error_code::WRITE_NOT_PERMITTED,
+                    }),
+                    None => acknowledged.then_some(AttPdu::ErrorResponse {
+                        request_opcode: pdu.opcode(),
+                        handle: *handle,
+                        code: error_code::INVALID_HANDLE,
+                    }),
+                }
+            }
+            AttPdu::ReadByGroupTypeRequest {
+                start,
+                end,
+                group_type,
+            } => Some(self.read_by_group_type(*start, *end, *group_type)),
+            AttPdu::ReadByTypeRequest {
+                start,
+                end,
+                attribute_type,
+            } => Some(self.read_by_type(*start, *end, *attribute_type)),
+            // Server side ignores responses/notifications.
+            _ => None,
+        };
+        (response, events)
+    }
+
+    /// Primary-service discovery: groups run from a service declaration to
+    /// just before the next one.
+    fn read_by_group_type(&self, start: u16, end: u16, group_type: Uuid) -> AttPdu {
+        if group_type != Uuid::PRIMARY_SERVICE {
+            return AttPdu::ErrorResponse {
+                request_opcode: 0x10,
+                handle: start,
+                code: error_code::REQUEST_NOT_SUPPORTED,
+            };
+        }
+        let services: Vec<(u16, u16, Vec<u8>)> = self
+            .attributes
+            .iter()
+            .enumerate()
+            .filter(|(_, a)| {
+                a.attribute_type == Uuid::PRIMARY_SERVICE && a.handle >= start && a.handle <= end
+            })
+            .map(|(i, a)| {
+                let group_end = self.attributes[i + 1..]
+                    .iter()
+                    .find(|b| b.attribute_type == Uuid::PRIMARY_SERVICE)
+                    .map(|b| b.handle - 1)
+                    .unwrap_or(0xFFFF);
+                (a.handle, group_end, a.value.clone())
+            })
+            .collect();
+        let Some(first) = services.first() else {
+            return AttPdu::ErrorResponse {
+                request_opcode: 0x10,
+                handle: start,
+                code: error_code::ATTRIBUTE_NOT_FOUND,
+            };
+        };
+        // All entries in one response must share a value length.
+        let vlen = first.2.len();
+        let entry_len = (4 + vlen) as u8;
+        let mut data = Vec::new();
+        for (h, e, v) in services.iter().filter(|(_, _, v)| v.len() == vlen) {
+            if data.len() + usize::from(entry_len) > usize::from(self.mtu) - 2 {
+                break;
+            }
+            data.extend_from_slice(&h.to_le_bytes());
+            data.extend_from_slice(&e.to_le_bytes());
+            data.extend_from_slice(v);
+        }
+        AttPdu::ReadByGroupTypeResponse { entry_len, data }
+    }
+
+    fn read_by_type(&self, start: u16, end: u16, attribute_type: Uuid) -> AttPdu {
+        let matches: Vec<&Attribute> = self
+            .attributes
+            .iter()
+            .filter(|a| {
+                a.attribute_type == attribute_type
+                    && a.handle >= start
+                    && a.handle <= end
+                    && a.readable
+            })
+            .collect();
+        let Some(first) = matches.first() else {
+            return AttPdu::ErrorResponse {
+                request_opcode: 0x08,
+                handle: start,
+                code: error_code::ATTRIBUTE_NOT_FOUND,
+            };
+        };
+        let vlen = first.value.len();
+        let entry_len = (2 + vlen) as u8;
+        let mut data = Vec::new();
+        for a in matches.iter().filter(|a| a.value.len() == vlen) {
+            if data.len() + usize::from(entry_len) > usize::from(self.mtu) - 2 {
+                break;
+            }
+            data.extend_from_slice(&a.handle.to_le_bytes());
+            data.extend_from_slice(&a.value);
+        }
+        AttPdu::ReadByTypeResponse { entry_len, data }
+    }
+}
+
+/// Builder adding characteristics to a service.
+pub struct ServiceBuilder<'a> {
+    server: &'a mut GattServer,
+    last_value_handle: u16,
+}
+
+impl<'a> ServiceBuilder<'a> {
+    /// Adds a characteristic; returns the builder for chaining. The value
+    /// handle of the *last* characteristic added is returned by
+    /// [`ServiceBuilder::finish`]; intermediate handles can be fetched via
+    /// [`GattServer::handle_of`].
+    pub fn characteristic(mut self, uuid: Uuid, properties: u8, initial: Vec<u8>) -> Self {
+        let decl_handle = self.server.allocate();
+        let value_handle = self.server.allocate();
+        // Characteristic declaration: properties, value handle, UUID.
+        let mut decl = vec![properties];
+        decl.extend_from_slice(&value_handle.to_le_bytes());
+        decl.extend_from_slice(&uuid.to_bytes());
+        self.server.attributes.push(Attribute {
+            handle: decl_handle,
+            attribute_type: Uuid::CHARACTERISTIC,
+            value: decl,
+            readable: true,
+            writable: false,
+            char_uuid: None,
+        });
+        self.server.attributes.push(Attribute {
+            handle: value_handle,
+            attribute_type: uuid,
+            value: initial,
+            readable: properties & props::READ != 0,
+            writable: properties & (props::WRITE | props::WRITE_WITHOUT_RESPONSE) != 0,
+            char_uuid: Some(uuid),
+        });
+        if properties & props::NOTIFY != 0 {
+            let cccd_handle = self.server.allocate();
+            self.server.attributes.push(Attribute {
+                handle: cccd_handle,
+                attribute_type: Uuid::CCCD,
+                value: vec![0, 0],
+                readable: true,
+                writable: true,
+                char_uuid: None,
+            });
+        }
+        self.last_value_handle = value_handle;
+        self
+    }
+
+    /// Ends the service; returns the value handle of the last
+    /// characteristic added (0 if none).
+    pub fn finish(self) -> u16 {
+        self.last_value_handle
+    }
+}
+
+/// Alias kept for API symmetry with common GATT libraries.
+pub type CharacteristicBuilder<'a> = ServiceBuilder<'a>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn demo_server() -> (GattServer, u16, u16) {
+        let mut server = GattServer::new();
+        let name = server
+            .service(Uuid::GAP_SERVICE)
+            .characteristic(Uuid::DEVICE_NAME, props::READ, b"Bulb".to_vec())
+            .finish();
+        let control = server
+            .service(Uuid::short(0xFFE0))
+            .characteristic(
+                Uuid::short(0xFFE1),
+                props::WRITE | props::WRITE_WITHOUT_RESPONSE | props::READ,
+                vec![0],
+            )
+            .finish();
+        (server, name, control)
+    }
+
+    #[test]
+    fn read_request_returns_value() {
+        let (mut server, name, _) = demo_server();
+        let (rsp, events) = server.handle_att(&AttPdu::ReadRequest { handle: name });
+        assert_eq!(rsp, Some(AttPdu::ReadResponse { value: b"Bulb".to_vec() }));
+        assert_eq!(events, vec![GattEvent::Read { handle: name }]);
+    }
+
+    #[test]
+    fn write_request_updates_value_and_reports_event() {
+        let (mut server, _, control) = demo_server();
+        let (rsp, events) = server.handle_att(&AttPdu::WriteRequest {
+            handle: control,
+            value: vec![1, 2, 3],
+        });
+        assert_eq!(rsp, Some(AttPdu::WriteResponse));
+        assert_eq!(
+            events,
+            vec![GattEvent::Written {
+                handle: control,
+                value: vec![1, 2, 3],
+                acknowledged: true
+            }]
+        );
+        assert_eq!(server.value(control), Some(&[1u8, 2, 3][..]));
+    }
+
+    #[test]
+    fn write_command_is_silent() {
+        let (mut server, _, control) = demo_server();
+        let (rsp, events) = server.handle_att(&AttPdu::WriteCommand {
+            handle: control,
+            value: vec![9],
+        });
+        assert_eq!(rsp, None);
+        assert_eq!(events.len(), 1);
+        assert_eq!(server.value(control), Some(&[9u8][..]));
+    }
+
+    #[test]
+    fn invalid_handle_errors() {
+        let (mut server, _, _) = demo_server();
+        let (rsp, events) = server.handle_att(&AttPdu::ReadRequest { handle: 0x1234 });
+        assert_eq!(
+            rsp,
+            Some(AttPdu::ErrorResponse {
+                request_opcode: 0x0A,
+                handle: 0x1234,
+                code: error_code::INVALID_HANDLE
+            })
+        );
+        assert!(events.is_empty());
+    }
+
+    #[test]
+    fn permissions_enforced() {
+        let (mut server, name, _) = demo_server();
+        // Device name is read-only.
+        let (rsp, events) = server.handle_att(&AttPdu::WriteRequest {
+            handle: name,
+            value: vec![1],
+        });
+        assert_eq!(
+            rsp,
+            Some(AttPdu::ErrorResponse {
+                request_opcode: 0x12,
+                handle: name,
+                code: error_code::WRITE_NOT_PERMITTED
+            })
+        );
+        assert!(events.is_empty());
+        // The characteristic *declaration* is not writable either.
+        let (rsp, _) = server.handle_att(&AttPdu::WriteRequest {
+            handle: name - 1,
+            value: vec![1],
+        });
+        assert!(matches!(rsp, Some(AttPdu::ErrorResponse { .. })));
+    }
+
+    #[test]
+    fn service_discovery_lists_both_services() {
+        let (mut server, _, _) = demo_server();
+        let (rsp, _) = server.handle_att(&AttPdu::ReadByGroupTypeRequest {
+            start: 1,
+            end: 0xFFFF,
+            group_type: Uuid::PRIMARY_SERVICE,
+        });
+        let Some(AttPdu::ReadByGroupTypeResponse { entry_len, data }) = rsp else {
+            panic!("expected group response, got {rsp:?}");
+        };
+        assert_eq!(entry_len, 6);
+        assert_eq!(data.len() / 6, 2);
+        // First service starts at handle 1; last group extends to 0xFFFF.
+        assert_eq!(u16::from_le_bytes([data[0], data[1]]), 1);
+        let last = &data[6..];
+        assert_eq!(u16::from_le_bytes([last[2], last[3]]), 0xFFFF);
+    }
+
+    #[test]
+    fn characteristic_discovery_by_type() {
+        let (mut server, name, _) = demo_server();
+        let (rsp, _) = server.handle_att(&AttPdu::ReadByTypeRequest {
+            start: 1,
+            end: 0xFFFF,
+            attribute_type: Uuid::DEVICE_NAME,
+        });
+        let Some(AttPdu::ReadByTypeResponse { data, .. }) = rsp else {
+            panic!("expected read-by-type response");
+        };
+        assert_eq!(u16::from_le_bytes([data[0], data[1]]), name);
+        assert_eq!(&data[2..], b"Bulb");
+    }
+
+    #[test]
+    fn discovery_outside_range_is_not_found() {
+        let (mut server, _, _) = demo_server();
+        let (rsp, _) = server.handle_att(&AttPdu::ReadByGroupTypeRequest {
+            start: 0x100,
+            end: 0xFFFF,
+            group_type: Uuid::PRIMARY_SERVICE,
+        });
+        assert!(matches!(
+            rsp,
+            Some(AttPdu::ErrorResponse {
+                code: error_code::ATTRIBUTE_NOT_FOUND,
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn mtu_exchange_clamps() {
+        let (mut server, _, _) = demo_server();
+        let (rsp, _) = server.handle_att(&AttPdu::ExchangeMtuRequest { mtu: 512 });
+        assert_eq!(rsp, Some(AttPdu::ExchangeMtuResponse { mtu: 247 }));
+        let (rsp, _) = server.handle_att(&AttPdu::ExchangeMtuRequest { mtu: 5 });
+        assert_eq!(rsp, Some(AttPdu::ExchangeMtuResponse { mtu: 23 }));
+    }
+
+    #[test]
+    fn handle_of_finds_characteristics() {
+        let (server, name, control) = demo_server();
+        assert_eq!(server.handle_of(Uuid::DEVICE_NAME), Some(name));
+        assert_eq!(server.handle_of(Uuid::short(0xFFE1)), Some(control));
+        assert_eq!(server.handle_of(Uuid::short(0xDEAD)), None);
+    }
+
+    #[test]
+    fn set_value_changes_reads() {
+        let (mut server, name, _) = demo_server();
+        server.set_value(name, b"Hacked".to_vec());
+        let (rsp, _) = server.handle_att(&AttPdu::ReadRequest { handle: name });
+        assert_eq!(rsp, Some(AttPdu::ReadResponse { value: b"Hacked".to_vec() }));
+    }
+
+    #[test]
+    fn notify_characteristic_gets_cccd() {
+        let mut server = GattServer::new();
+        let h = server
+            .service(Uuid::short(0xAA00))
+            .characteristic(Uuid::short(0xAA01), props::NOTIFY | props::READ, vec![])
+            .finish();
+        // CCCD sits right after the value handle and is writable.
+        let (rsp, _) = server.handle_att(&AttPdu::WriteRequest {
+            handle: h + 1,
+            value: vec![1, 0],
+        });
+        assert_eq!(rsp, Some(AttPdu::WriteResponse));
+    }
+}

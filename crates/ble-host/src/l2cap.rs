@@ -1,0 +1,207 @@
+//! L2CAP basic-mode fragmentation over LE fixed channels.
+//!
+//! Every host SDU is prefixed with a 4-byte header (2-byte SDU length,
+//! 2-byte channel id) and cut into Link-Layer payloads: the first fragment
+//! travels in an LLID `10` (start) PDU, continuations in LLID `01` PDUs.
+
+use ble_link::Llid;
+
+/// The ATT fixed channel.
+pub const CID_ATT: u16 = 0x0004;
+/// The LE signalling fixed channel.
+pub const CID_SIGNALING: u16 = 0x0005;
+/// The Security Manager fixed channel.
+pub const CID_SMP: u16 = 0x0006;
+
+/// Default Link-Layer payload budget per fragment (BLE 4.0 data length).
+pub const DEFAULT_LL_PAYLOAD: usize = 27;
+
+/// Splits one `(cid, sdu)` into LL fragments ready for transmission.
+///
+/// # Example
+///
+/// ```
+/// use ble_host::l2cap::{fragment, reassemble_iter, CID_ATT};
+/// let frags = fragment(CID_ATT, &[0x0A, 0x03, 0x00], 27);
+/// assert_eq!(frags.len(), 1); // small SDU: single start fragment
+/// ```
+pub fn fragment(cid: u16, sdu: &[u8], ll_payload: usize) -> Vec<(Llid, Vec<u8>)> {
+    assert!(ll_payload >= 5, "LL payload must fit the L2CAP header plus data");
+    let mut framed = Vec::with_capacity(4 + sdu.len());
+    framed.extend_from_slice(&(sdu.len() as u16).to_le_bytes());
+    framed.extend_from_slice(&cid.to_le_bytes());
+    framed.extend_from_slice(sdu);
+
+    let mut out = Vec::new();
+    let mut offset = 0;
+    let mut first = true;
+    while offset < framed.len() {
+        let take = (framed.len() - offset).min(ll_payload);
+        let llid = if first {
+            Llid::StartOrComplete
+        } else {
+            Llid::ContinuationOrEmpty
+        };
+        out.push((llid, framed[offset..offset + take].to_vec()));
+        offset += take;
+        first = false;
+    }
+    out
+}
+
+/// Convenience: feed fragments back through a fresh [`Reassembler`].
+pub fn reassemble_iter<'a>(
+    fragments: impl IntoIterator<Item = &'a (Llid, Vec<u8>)>,
+) -> Vec<(u16, Vec<u8>)> {
+    let mut r = Reassembler::new();
+    let mut out = Vec::new();
+    for (llid, payload) in fragments {
+        out.extend(r.push(*llid, payload));
+    }
+    out
+}
+
+/// Stateful L2CAP recombination: feed LL data PDUs, collect complete SDUs.
+#[derive(Debug, Default)]
+pub struct Reassembler {
+    buffer: Vec<u8>,
+    expected: Option<usize>,
+}
+
+impl Reassembler {
+    /// Creates an empty reassembler.
+    pub fn new() -> Self {
+        Reassembler::default()
+    }
+
+    /// Feeds one LL data PDU; returns any completed `(cid, sdu)`.
+    ///
+    /// Malformed sequences (continuation without start, overflow) reset the
+    /// reassembly state and are dropped — the resilience a real stack needs
+    /// against the corrupted fragments an injection attack can leave behind.
+    pub fn push(&mut self, llid: Llid, payload: &[u8]) -> Option<(u16, Vec<u8>)> {
+        match llid {
+            Llid::Control => return None,
+            Llid::StartOrComplete => {
+                self.buffer.clear();
+                self.buffer.extend_from_slice(payload);
+                self.expected = None;
+            }
+            Llid::ContinuationOrEmpty => {
+                if payload.is_empty() {
+                    return None; // empty keep-alive PDU
+                }
+                if self.buffer.is_empty() {
+                    return None; // continuation without start: drop
+                }
+                self.buffer.extend_from_slice(payload);
+            }
+        }
+        // Parse the header once available.
+        if self.expected.is_none() && self.buffer.len() >= 4 {
+            let len = u16::from_le_bytes([self.buffer[0], self.buffer[1]]) as usize;
+            self.expected = Some(len + 4);
+        }
+        if let Some(total) = self.expected {
+            if self.buffer.len() >= total {
+                let cid = u16::from_le_bytes([self.buffer[2], self.buffer[3]]);
+                let sdu = self.buffer[4..total].to_vec();
+                self.buffer.clear();
+                self.expected = None;
+                return Some((cid, sdu));
+            }
+        }
+        None
+    }
+
+    /// Drops any partial reassembly in progress.
+    pub fn reset(&mut self) {
+        self.buffer.clear();
+        self.expected = None;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_sdu_single_fragment_roundtrip() {
+        let frags = fragment(CID_ATT, &[1, 2, 3], DEFAULT_LL_PAYLOAD);
+        assert_eq!(frags.len(), 1);
+        assert_eq!(frags[0].0, Llid::StartOrComplete);
+        let sdus = reassemble_iter(&frags);
+        assert_eq!(sdus, vec![(CID_ATT, vec![1, 2, 3])]);
+    }
+
+    #[test]
+    fn large_sdu_fragments_and_reassembles() {
+        let sdu: Vec<u8> = (0..200).map(|i| i as u8).collect();
+        let frags = fragment(CID_SMP, &sdu, DEFAULT_LL_PAYLOAD);
+        assert!(frags.len() > 1);
+        assert_eq!(frags[0].0, Llid::StartOrComplete);
+        assert!(frags[1..].iter().all(|(l, _)| *l == Llid::ContinuationOrEmpty));
+        // Total bytes = SDU + 4-byte header.
+        let total: usize = frags.iter().map(|(_, p)| p.len()).sum();
+        assert_eq!(total, sdu.len() + 4);
+        assert_eq!(reassemble_iter(&frags), vec![(CID_SMP, sdu)]);
+    }
+
+    #[test]
+    fn back_to_back_sdus() {
+        let mut r = Reassembler::new();
+        let mut out = Vec::new();
+        for sdu in [vec![9u8; 40], vec![7u8; 3], vec![1u8]] {
+            for (llid, p) in fragment(CID_ATT, &sdu, 27) {
+                out.extend(r.push(llid, &p));
+            }
+        }
+        assert_eq!(out.len(), 3);
+        assert_eq!(out[0].1.len(), 40);
+        assert_eq!(out[2].1, vec![1]);
+    }
+
+    #[test]
+    fn empty_pdus_and_orphan_continuations_ignored() {
+        let mut r = Reassembler::new();
+        assert_eq!(r.push(Llid::ContinuationOrEmpty, &[]), None);
+        assert_eq!(r.push(Llid::ContinuationOrEmpty, &[1, 2, 3]), None);
+        // A proper SDU still works afterwards.
+        let frags = fragment(CID_ATT, &[5], 27);
+        assert_eq!(r.push(frags[0].0, &frags[0].1), Some((CID_ATT, vec![5])));
+    }
+
+    #[test]
+    fn new_start_discards_partial() {
+        let mut r = Reassembler::new();
+        let big: Vec<u8> = vec![1; 50];
+        let frags = fragment(CID_ATT, &big, 27);
+        assert!(r.push(frags[0].0, &frags[0].1).is_none());
+        // New start interrupts: old partial dropped, new SDU completes.
+        let fresh = fragment(CID_ATT, &[9, 9], 27);
+        assert_eq!(r.push(fresh[0].0, &fresh[0].1), Some((CID_ATT, vec![9, 9])));
+    }
+
+    #[test]
+    fn control_pdus_pass_through_unharmed() {
+        let mut r = Reassembler::new();
+        let big: Vec<u8> = vec![1; 50];
+        let frags = fragment(CID_ATT, &big, 27);
+        r.push(frags[0].0, &frags[0].1);
+        assert_eq!(r.push(Llid::Control, &[0x02, 0x13]), None);
+        // Partial reassembly not corrupted by the interleaved control PDU.
+        assert_eq!(r.push(frags[1].0, &frags[1].1), Some((CID_ATT, big)));
+    }
+
+    #[test]
+    fn zero_length_sdu() {
+        let frags = fragment(CID_ATT, &[], 27);
+        assert_eq!(reassemble_iter(&frags), vec![(CID_ATT, vec![])]);
+    }
+
+    #[test]
+    #[should_panic(expected = "payload must fit")]
+    fn tiny_ll_payload_rejected() {
+        let _ = fragment(CID_ATT, &[1], 4);
+    }
+}

@@ -1,0 +1,32 @@
+//! The BLE host stack: L2CAP, ATT, GATT and a minimal Security Manager.
+//!
+//! The InjectaBLE paper's scenario A injects **ATT requests** — reads and
+//! writes against the victim's attribute server — to trigger device
+//! features ("turning the bulb on and off, changing its colour…", §VI-A).
+//! Scenario B serves a forged *Device Name* characteristic from a hijacked
+//! Slave. Reproducing those scenarios needs a working host stack on the
+//! victim devices, which this crate provides:
+//!
+//! * [`l2cap`] — fragmentation/recombination of host SDUs over Link-Layer
+//!   data PDUs (fixed channels: ATT 0x0004, SMP 0x0006);
+//! * [`att`] — the Attribute Protocol PDUs (requests, responses, errors,
+//!   notifications);
+//! * [`gatt`] — an attribute-database server with service/characteristic
+//!   building, plus client-side request tracking;
+//! * [`smp`] — legacy Just Works pairing (confirm exchange via `c1`, STK
+//!   via `s1`) to provision keys for the encryption countermeasure;
+//! * [`HostStack`] — the glue implementing `ble_link::LinkLayerDelegate`.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod att;
+pub mod gatt;
+mod host;
+pub mod l2cap;
+pub mod smp;
+mod uuid;
+
+pub use gatt::{CharacteristicBuilder, GattServer, ServiceBuilder};
+pub use host::{HostEvent, HostStack, SecurityAction};
+pub use uuid::Uuid;

@@ -1,0 +1,119 @@
+//! Attribute UUIDs.
+
+use std::fmt;
+
+/// A Bluetooth UUID: 16-bit SIG-assigned shorthand or full 128-bit.
+///
+/// # Example
+///
+/// ```
+/// use ble_host::Uuid;
+/// assert_eq!(Uuid::DEVICE_NAME, Uuid::short(0x2A00));
+/// let vendor = Uuid::long([0xF0; 16]);
+/// assert_ne!(vendor, Uuid::DEVICE_NAME);
+/// assert_eq!(Uuid::short(0x2800).to_bytes().len(), 2);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Uuid {
+    /// 16-bit SIG-assigned UUID.
+    Short(u16),
+    /// Full 128-bit UUID (little-endian byte order).
+    Long([u8; 16]),
+}
+
+impl Uuid {
+    /// GATT Primary Service declaration (0x2800).
+    pub const PRIMARY_SERVICE: Uuid = Uuid::Short(0x2800);
+    /// GATT Characteristic declaration (0x2803).
+    pub const CHARACTERISTIC: Uuid = Uuid::Short(0x2803);
+    /// Client Characteristic Configuration descriptor (0x2902).
+    pub const CCCD: Uuid = Uuid::Short(0x2902);
+    /// GAP service (0x1800).
+    pub const GAP_SERVICE: Uuid = Uuid::Short(0x1800);
+    /// Device Name characteristic (0x2A00) — the characteristic the paper's
+    /// scenario B serves a forged "Hacked" value from.
+    pub const DEVICE_NAME: Uuid = Uuid::Short(0x2A00);
+    /// Immediate Alert service (0x1802) — used by the keyfob.
+    pub const IMMEDIATE_ALERT_SERVICE: Uuid = Uuid::Short(0x1802);
+    /// Alert Level characteristic (0x2A06).
+    pub const ALERT_LEVEL: Uuid = Uuid::Short(0x2A06);
+
+    /// Creates a 16-bit UUID.
+    pub const fn short(value: u16) -> Uuid {
+        Uuid::Short(value)
+    }
+
+    /// Creates a 128-bit UUID from little-endian bytes.
+    pub const fn long(bytes: [u8; 16]) -> Uuid {
+        Uuid::Long(bytes)
+    }
+
+    /// Over-the-air encoding (2 or 16 bytes, little-endian).
+    pub fn to_bytes(self) -> Vec<u8> {
+        match self {
+            Uuid::Short(v) => v.to_le_bytes().to_vec(),
+            Uuid::Long(b) => b.to_vec(),
+        }
+    }
+
+    /// Parses an over-the-air UUID (2 or 16 bytes).
+    pub fn from_bytes(bytes: &[u8]) -> Option<Uuid> {
+        match bytes.len() {
+            2 => Some(Uuid::Short(u16::from_le_bytes([bytes[0], bytes[1]]))),
+            16 => Some(Uuid::Long(bytes.try_into().expect("checked length"))),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Uuid {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Uuid::Short(v) => write!(f, "0x{v:04X}"),
+            Uuid::Long(b) => {
+                // Canonical 8-4-4-4-12 form from little-endian storage.
+                write!(
+                    f,
+                    "{:02x}{:02x}{:02x}{:02x}-{:02x}{:02x}-{:02x}{:02x}-{:02x}{:02x}-{:02x}{:02x}{:02x}{:02x}{:02x}{:02x}",
+                    b[15], b[14], b[13], b[12], b[11], b[10], b[9], b[8],
+                    b[7], b[6], b[5], b[4], b[3], b[2], b[1], b[0]
+                )
+            }
+        }
+    }
+}
+
+impl From<u16> for Uuid {
+    fn from(value: u16) -> Self {
+        Uuid::Short(value)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn byte_roundtrips() {
+        for u in [Uuid::short(0x2A00), Uuid::long([7; 16])] {
+            assert_eq!(Uuid::from_bytes(&u.to_bytes()), Some(u));
+        }
+    }
+
+    #[test]
+    fn invalid_lengths_rejected() {
+        assert_eq!(Uuid::from_bytes(&[1]), None);
+        assert_eq!(Uuid::from_bytes(&[1, 2, 3]), None);
+        assert_eq!(Uuid::from_bytes(&[0; 17]), None);
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Uuid::short(0x2A00).to_string(), "0x2A00");
+        let long = Uuid::long([
+            0x00, 0x01, 0x02, 0x03, 0x04, 0x05, 0x06, 0x07, 0x08, 0x09, 0x0A, 0x0B, 0x0C, 0x0D,
+            0x0E, 0x0F,
+        ]);
+        assert_eq!(long.to_string(), "0f0e0d0c-0b0a-0908-0706-050403020100");
+    }
+}

@@ -1,0 +1,112 @@
+//! Bluetooth device addresses.
+
+use std::fmt;
+
+use simkit::SimRng;
+
+/// Whether an address is public (IEEE-assigned) or random.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum AddressType {
+    /// Public device address.
+    #[default]
+    Public,
+    /// Random device address.
+    Random,
+}
+
+impl AddressType {
+    /// The TxAdd/RxAdd header bit encoding.
+    pub fn bit(self) -> u8 {
+        match self {
+            AddressType::Public => 0,
+            AddressType::Random => 1,
+        }
+    }
+
+    /// Decodes from a header bit.
+    pub fn from_bit(bit: u8) -> Self {
+        if bit & 1 == 0 {
+            AddressType::Public
+        } else {
+            AddressType::Random
+        }
+    }
+}
+
+/// A 48-bit Bluetooth device address with its type.
+///
+/// # Example
+///
+/// ```
+/// use ble_link::{AddressType, DeviceAddress};
+/// let addr = DeviceAddress::new([0x01, 0x02, 0x03, 0x04, 0x05, 0x06], AddressType::Public);
+/// assert_eq!(addr.to_string(), "06:05:04:03:02:01");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct DeviceAddress {
+    /// The six address octets, least significant first (over-the-air order).
+    pub octets: [u8; 6],
+    /// Public or random.
+    pub kind: AddressType,
+}
+
+impl DeviceAddress {
+    /// Creates an address from over-the-air-ordered octets.
+    pub const fn new(octets: [u8; 6], kind: AddressType) -> Self {
+        DeviceAddress { octets, kind }
+    }
+
+    /// Generates a random static address (two most significant bits set, as
+    /// the spec requires for static random addresses).
+    pub fn random_static(rng: &mut SimRng) -> Self {
+        let mut octets = [0u8; 6];
+        for o in &mut octets {
+            *o = rng.below(256) as u8;
+        }
+        octets[5] |= 0xC0;
+        DeviceAddress::new(octets, AddressType::Random)
+    }
+}
+
+impl fmt::Display for DeviceAddress {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // Human convention: most significant octet first.
+        write!(
+            f,
+            "{:02X}:{:02X}:{:02X}:{:02X}:{:02X}:{:02X}",
+            self.octets[5],
+            self.octets[4],
+            self.octets[3],
+            self.octets[2],
+            self.octets[1],
+            self.octets[0]
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_reverses_octets() {
+        let a = DeviceAddress::new([0xAA, 0xBB, 0xCC, 0xDD, 0xEE, 0xFF], AddressType::Public);
+        assert_eq!(a.to_string(), "FF:EE:DD:CC:BB:AA");
+    }
+
+    #[test]
+    fn random_static_sets_top_bits() {
+        let mut rng = SimRng::seed_from(3);
+        for _ in 0..20 {
+            let a = DeviceAddress::random_static(&mut rng);
+            assert_eq!(a.kind, AddressType::Random);
+            assert_eq!(a.octets[5] & 0xC0, 0xC0);
+        }
+    }
+
+    #[test]
+    fn address_type_bits_roundtrip() {
+        assert_eq!(AddressType::from_bit(AddressType::Public.bit()), AddressType::Public);
+        assert_eq!(AddressType::from_bit(AddressType::Random.bit()), AddressType::Random);
+    }
+}

@@ -1,0 +1,211 @@
+//! Connection parameters — the `LL Data` portion of `CONNECT_REQ`
+//! (paper Table II).
+
+use ble_phy::AccessAddress;
+use simkit::{Duration, SimRng};
+
+use crate::channel_map::ChannelMap;
+use crate::sca::SleepClockAccuracy;
+use crate::timing;
+
+/// The parameters a `CONNECT_REQ` establishes for a connection
+/// (paper Table II, after the two device addresses).
+///
+/// Over-the-air layout (22 bytes, little-endian fields):
+/// `AA(4) CRCInit(3) WinSize(1) WinOffset(2) Interval(2) Latency(2)
+/// Timeout(2) ChannelMap(5) Hop(5 bits)+SCA(3 bits)`.
+///
+/// # Example
+///
+/// ```
+/// use ble_link::ConnectionParams;
+/// use simkit::SimRng;
+/// let mut rng = SimRng::seed_from(7);
+/// let params = ConnectionParams::typical(&mut rng, 36);
+/// let bytes = params.to_bytes();
+/// assert_eq!(bytes.len(), 22);
+/// assert_eq!(ConnectionParams::from_bytes(&bytes).unwrap(), params);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ConnectionParams {
+    /// The connection's access address.
+    pub access_address: AccessAddress,
+    /// CRC initialisation value (24 bits).
+    pub crc_init: u32,
+    /// Transmit window size, ×1.25 ms.
+    pub win_size: u8,
+    /// Transmit window offset, ×1.25 ms.
+    pub win_offset: u16,
+    /// Connection ("hop") interval, ×1.25 ms. Valid range 6–3200.
+    pub hop_interval: u16,
+    /// Slave latency: connection events the slave may skip.
+    pub latency: u16,
+    /// Supervision timeout, ×10 ms.
+    pub timeout: u16,
+    /// The data channel map.
+    pub channel_map: ChannelMap,
+    /// Channel-selection hop increment (5 bits, valid range 5–16).
+    pub hop_increment: u8,
+    /// The master's advertised sleep clock accuracy.
+    pub master_sca: SleepClockAccuracy,
+}
+
+impl ConnectionParams {
+    /// Encoded length in bytes.
+    pub const ENCODED_LEN: usize = 22;
+
+    /// A typical parameter set with a random access address, CRC init and
+    /// hop increment — what a phone-like Central would send.
+    pub fn typical(rng: &mut SimRng, hop_interval: u16) -> Self {
+        ConnectionParams {
+            access_address: AccessAddress::random_for_data(rng),
+            crc_init: (rng.below(1 << 24)) as u32,
+            win_size: 2,
+            win_offset: 1,
+            hop_interval,
+            latency: 0,
+            // ≥ 1 s, and at least ~8 connection intervals at large hop
+            // intervals (field unit 10 ms; interval unit 1.25 ms).
+            timeout: 100u16.max(hop_interval),
+            channel_map: ChannelMap::ALL,
+            hop_increment: 5 + rng.below(12) as u8,
+            master_sca: SleepClockAccuracy::Ppm50,
+        }
+    }
+
+    /// The connection interval as a duration.
+    pub fn interval(&self) -> Duration {
+        timing::connection_interval(self.hop_interval)
+    }
+
+    /// The supervision timeout as a duration.
+    pub fn supervision_timeout(&self) -> Duration {
+        timing::supervision_timeout(self.timeout)
+    }
+
+    /// Serialises to the 22-byte over-the-air layout.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(Self::ENCODED_LEN);
+        out.extend_from_slice(&self.access_address.to_le_bytes());
+        out.extend_from_slice(&self.crc_init.to_le_bytes()[..3]);
+        out.push(self.win_size);
+        out.extend_from_slice(&self.win_offset.to_le_bytes());
+        out.extend_from_slice(&self.hop_interval.to_le_bytes());
+        out.extend_from_slice(&self.latency.to_le_bytes());
+        out.extend_from_slice(&self.timeout.to_le_bytes());
+        out.extend_from_slice(&self.channel_map.to_bytes());
+        out.push((self.hop_increment & 0x1F) | (self.master_sca.field() << 5));
+        out
+    }
+
+    /// Parses the 22-byte over-the-air layout; `None` if truncated.
+    pub fn from_bytes(bytes: &[u8]) -> Option<Self> {
+        if bytes.len() < Self::ENCODED_LEN {
+            return None;
+        }
+        let access_address =
+            AccessAddress::from_le_bytes([bytes[0], bytes[1], bytes[2], bytes[3]]);
+        let crc_init = u32::from(bytes[4]) | u32::from(bytes[5]) << 8 | u32::from(bytes[6]) << 16;
+        let win_size = bytes[7];
+        let win_offset = u16::from_le_bytes([bytes[8], bytes[9]]);
+        let hop_interval = u16::from_le_bytes([bytes[10], bytes[11]]);
+        let latency = u16::from_le_bytes([bytes[12], bytes[13]]);
+        let timeout = u16::from_le_bytes([bytes[14], bytes[15]]);
+        let channel_map =
+            ChannelMap::from_bytes([bytes[16], bytes[17], bytes[18], bytes[19], bytes[20]]);
+        let hop_increment = bytes[21] & 0x1F;
+        let master_sca = SleepClockAccuracy::from_field(bytes[21] >> 5);
+        Some(ConnectionParams {
+            access_address,
+            crc_init,
+            win_size,
+            win_offset,
+            hop_interval,
+            latency,
+            timeout,
+            channel_map,
+            hop_increment,
+            master_sca,
+        })
+    }
+
+    /// Whether the parameters satisfy the specification's validity ranges.
+    pub fn is_valid(&self) -> bool {
+        (6..=3200).contains(&self.hop_interval)
+            && (5..=16).contains(&self.hop_increment)
+            && self.access_address.is_valid_for_data()
+            && self.channel_map.is_valid()
+            && self.win_size >= 1
+            && u16::from(self.win_size) <= self.hop_interval.saturating_sub(1).max(1)
+            && self.crc_init <= 0xFF_FFFF
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(rng_seed: u64) -> ConnectionParams {
+        let mut rng = SimRng::seed_from(rng_seed);
+        ConnectionParams::typical(&mut rng, 75)
+    }
+
+    #[test]
+    fn roundtrip_many() {
+        for seed in 0..50 {
+            let p = sample(seed);
+            let bytes = p.to_bytes();
+            assert_eq!(bytes.len(), ConnectionParams::ENCODED_LEN);
+            assert_eq!(ConnectionParams::from_bytes(&bytes).unwrap(), p, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn typical_params_are_valid() {
+        for seed in 0..50 {
+            assert!(sample(seed).is_valid());
+        }
+    }
+
+    #[test]
+    fn truncated_rejected() {
+        let p = sample(1);
+        let bytes = p.to_bytes();
+        assert!(ConnectionParams::from_bytes(&bytes[..21]).is_none());
+    }
+
+    #[test]
+    fn hop_and_sca_share_final_byte() {
+        let mut p = sample(2);
+        p.hop_increment = 0x1F;
+        p.master_sca = SleepClockAccuracy::Ppm20;
+        let bytes = p.to_bytes();
+        assert_eq!(bytes[21], 0x1F | (7 << 5));
+        let parsed = ConnectionParams::from_bytes(&bytes).unwrap();
+        assert_eq!(parsed.hop_increment, 0x1F);
+        assert_eq!(parsed.master_sca, SleepClockAccuracy::Ppm20);
+    }
+
+    #[test]
+    fn validity_rules() {
+        let mut p = sample(3);
+        assert!(p.is_valid());
+        p.hop_interval = 5;
+        assert!(!p.is_valid());
+        p.hop_interval = 3300;
+        assert!(!p.is_valid());
+        let mut p = sample(3);
+        p.hop_increment = 4;
+        assert!(!p.is_valid());
+        let mut p = sample(3);
+        p.channel_map = ChannelMap::from_indices(&[4]);
+        assert!(!p.is_valid());
+    }
+
+    #[test]
+    fn interval_durations() {
+        let p = sample(4);
+        assert_eq!(p.interval().as_micros(), 75 * 1250);
+        assert_eq!(p.supervision_timeout().as_micros(), 1_000_000);
+    }
+}

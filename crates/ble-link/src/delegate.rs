@@ -1,0 +1,78 @@
+//! The upward-facing interface of the Link Layer.
+
+use crate::address::DeviceAddress;
+use crate::connect_params::ConnectionParams;
+use crate::pdu::advertising::AdvertisingPdu;
+use crate::pdu::data::Llid;
+
+/// Which side of the connection a Link Layer plays.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Role {
+    /// The Central / Master side: transmits the anchor frame of every
+    /// connection event.
+    Master,
+    /// The Peripheral / Slave side: listens in the (widened) receive window
+    /// and responds 150 µs after the Master's frame.
+    Slave,
+}
+
+impl Role {
+    /// The opposite role.
+    pub fn peer(self) -> Role {
+        match self {
+            Role::Master => Role::Slave,
+            Role::Slave => Role::Master,
+        }
+    }
+}
+
+/// Callbacks and data source the Link Layer drives — implemented by the
+/// host stack (ATT/GATT in `ble-host`) or by test harnesses.
+///
+/// The data path is pull-based: at each transmit opportunity the Link Layer
+/// calls [`LinkLayerDelegate::poll_outgoing`]; queueing and L2CAP
+/// fragmentation live above.
+pub trait LinkLayerDelegate {
+    /// A connection reached the Link Layer connected state.
+    fn on_connected(&mut self, role: Role, params: &ConnectionParams, peer: DeviceAddress);
+
+    /// The connection ended; `reason` is an HCI error code
+    /// (`0x13` remote terminated, `0x08` supervision timeout,
+    /// `0x3D` MIC failure, ...).
+    fn on_disconnected(&mut self, reason: u8);
+
+    /// A data PDU arrived (decrypted if encryption is active).
+    fn on_data(&mut self, llid: Llid, payload: &[u8]);
+
+    /// The Link Layer can transmit: hand it the next data PDU, or `None`
+    /// to send an empty keep-alive.
+    fn poll_outgoing(&mut self) -> Option<(Llid, Vec<u8>)>;
+
+    /// Whether more data is queued — sets the MD (More Data) bit to extend
+    /// the connection event.
+    fn has_outgoing(&self) -> bool;
+
+    /// Encryption was switched on (or off) at the Link Layer.
+    fn on_encryption_change(&mut self, _enabled: bool) {}
+
+    /// Slave side: look up the Long-Term Key identified by `rand`/`ediv`
+    /// from an `LL_ENC_REQ`. Returning `None` rejects encryption.
+    fn ltk_lookup(&mut self, _rand: &[u8; 8], _ediv: u16) -> Option<[u8; 16]> {
+        None
+    }
+
+    /// Observer/scanner role: an advertising-channel PDU was overheard.
+    fn on_advertising_pdu(&mut self, _pdu: &AdvertisingPdu, _rssi_dbm: f64) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn role_peer_is_involutive() {
+        assert_eq!(Role::Master.peer(), Role::Slave);
+        assert_eq!(Role::Slave.peer(), Role::Master);
+        assert_eq!(Role::Master.peer().peer(), Role::Master);
+    }
+}

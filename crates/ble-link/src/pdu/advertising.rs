@@ -1,0 +1,295 @@
+//! Advertising-channel PDUs.
+
+use crate::address::{AddressType, DeviceAddress};
+use crate::connect_params::ConnectionParams;
+use crate::pdu::PduError;
+
+/// An advertising-channel PDU (Core Spec Vol 6 Part B §2.3).
+///
+/// # Example
+///
+/// ```
+/// use ble_link::{AddressType, AdvertisingPdu, DeviceAddress};
+/// let adv = AdvertisingPdu::AdvInd {
+///     advertiser: DeviceAddress::new([1, 2, 3, 4, 5, 6], AddressType::Public),
+///     data: b"\x02\x01\x06".to_vec(),
+/// };
+/// let bytes = adv.to_bytes();
+/// assert_eq!(AdvertisingPdu::from_bytes(&bytes).unwrap(), adv);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AdvertisingPdu {
+    /// Connectable undirected advertising.
+    AdvInd {
+        /// The advertiser's address.
+        advertiser: DeviceAddress,
+        /// Advertising data (flags, name, ...), up to 31 bytes.
+        data: Vec<u8>,
+    },
+    /// Non-connectable undirected advertising.
+    AdvNonconnInd {
+        /// The advertiser's address.
+        advertiser: DeviceAddress,
+        /// Advertising data.
+        data: Vec<u8>,
+    },
+    /// Scan request from a scanner to an advertiser.
+    ScanReq {
+        /// The scanner's address.
+        scanner: DeviceAddress,
+        /// The advertiser being queried.
+        advertiser: DeviceAddress,
+    },
+    /// Scan response.
+    ScanRsp {
+        /// The advertiser's address.
+        advertiser: DeviceAddress,
+        /// Scan response data.
+        data: Vec<u8>,
+    },
+    /// Connection request — the packet the InjectaBLE sniffer hunts for,
+    /// since it carries every parameter needed to follow the connection.
+    ConnectReq {
+        /// The initiator's (future Master's) address.
+        initiator: DeviceAddress,
+        /// The advertiser's (future Slave's) address.
+        advertiser: DeviceAddress,
+        /// The connection parameters (paper Table II).
+        params: ConnectionParams,
+        /// The ChSel header bit: `true` selects Channel Selection
+        /// Algorithm #2 (BLE 5) for the connection.
+        ch_sel: bool,
+    },
+}
+
+/// PDU type codes.
+const TYPE_ADV_IND: u8 = 0b0000;
+const TYPE_ADV_NONCONN_IND: u8 = 0b0010;
+const TYPE_SCAN_REQ: u8 = 0b0011;
+const TYPE_SCAN_RSP: u8 = 0b0100;
+const TYPE_CONNECT_REQ: u8 = 0b0101;
+
+impl AdvertisingPdu {
+    /// Serialises to over-the-air bytes: 2-byte header then payload.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let (ty, tx_add, rx_add, payload): (u8, u8, u8, Vec<u8>) = match self {
+            AdvertisingPdu::AdvInd { advertiser, data } => {
+                let mut p = advertiser.octets.to_vec();
+                p.extend_from_slice(data);
+                (TYPE_ADV_IND, advertiser.kind.bit(), 0, p)
+            }
+            AdvertisingPdu::AdvNonconnInd { advertiser, data } => {
+                let mut p = advertiser.octets.to_vec();
+                p.extend_from_slice(data);
+                (TYPE_ADV_NONCONN_IND, advertiser.kind.bit(), 0, p)
+            }
+            AdvertisingPdu::ScanReq { scanner, advertiser } => {
+                let mut p = scanner.octets.to_vec();
+                p.extend_from_slice(&advertiser.octets);
+                (TYPE_SCAN_REQ, scanner.kind.bit(), advertiser.kind.bit(), p)
+            }
+            AdvertisingPdu::ScanRsp { advertiser, data } => {
+                let mut p = advertiser.octets.to_vec();
+                p.extend_from_slice(data);
+                (TYPE_SCAN_RSP, advertiser.kind.bit(), 0, p)
+            }
+            AdvertisingPdu::ConnectReq {
+                initiator,
+                advertiser,
+                params,
+                ch_sel,
+            } => {
+                let mut p = initiator.octets.to_vec();
+                p.extend_from_slice(&advertiser.octets);
+                p.extend_from_slice(&params.to_bytes());
+                let mut ty_bits = TYPE_CONNECT_REQ;
+                if *ch_sel {
+                    ty_bits |= 1 << 5; // the spec's ChSel header bit
+                }
+                (ty_bits, initiator.kind.bit(), advertiser.kind.bit(), p)
+            }
+        };
+        assert!(payload.len() <= 255, "advertising payload too long");
+        let header0 = ty | (tx_add << 6) | (rx_add << 7);
+        let mut out = vec![header0, payload.len() as u8];
+        out.extend_from_slice(&payload);
+        out
+    }
+
+    /// Parses over-the-air bytes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PduError`] on truncation, length mismatch or an
+    /// unsupported PDU type.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, PduError> {
+        if bytes.len() < 2 {
+            return Err(PduError::new("shorter than advertising header"));
+        }
+        let ty = bytes[0] & 0x0F;
+        let ch_sel = (bytes[0] >> 5) & 1 == 1;
+        let tx_add = (bytes[0] >> 6) & 1;
+        let rx_add = (bytes[0] >> 7) & 1;
+        let len = bytes[1] as usize;
+        let payload = &bytes[2..];
+        if payload.len() != len {
+            return Err(PduError::new("length field mismatch"));
+        }
+        let addr = |slice: &[u8], kind_bit: u8| -> Result<DeviceAddress, PduError> {
+            let octets: [u8; 6] = slice
+                .try_into()
+                .map_err(|_| PduError::new("truncated address"))?;
+            Ok(DeviceAddress::new(octets, AddressType::from_bit(kind_bit)))
+        };
+        match ty {
+            TYPE_ADV_IND | TYPE_ADV_NONCONN_IND => {
+                if payload.len() < 6 {
+                    return Err(PduError::new("ADV payload shorter than address"));
+                }
+                let advertiser = addr(&payload[..6], tx_add)?;
+                let data = payload[6..].to_vec();
+                if data.len() > 31 {
+                    return Err(PduError::new("advertising data exceeds 31 bytes"));
+                }
+                Ok(if ty == TYPE_ADV_IND {
+                    AdvertisingPdu::AdvInd { advertiser, data }
+                } else {
+                    AdvertisingPdu::AdvNonconnInd { advertiser, data }
+                })
+            }
+            TYPE_SCAN_REQ => {
+                if payload.len() != 12 {
+                    return Err(PduError::new("SCAN_REQ must be 12 bytes"));
+                }
+                Ok(AdvertisingPdu::ScanReq {
+                    scanner: addr(&payload[..6], tx_add)?,
+                    advertiser: addr(&payload[6..12], rx_add)?,
+                })
+            }
+            TYPE_SCAN_RSP => {
+                if payload.len() < 6 {
+                    return Err(PduError::new("SCAN_RSP shorter than address"));
+                }
+                Ok(AdvertisingPdu::ScanRsp {
+                    advertiser: addr(&payload[..6], tx_add)?,
+                    data: payload[6..].to_vec(),
+                })
+            }
+            TYPE_CONNECT_REQ => {
+                if payload.len() != 12 + ConnectionParams::ENCODED_LEN {
+                    return Err(PduError::new("CONNECT_REQ must be 34 bytes"));
+                }
+                Ok(AdvertisingPdu::ConnectReq {
+                    initiator: addr(&payload[..6], tx_add)?,
+                    advertiser: addr(&payload[6..12], rx_add)?,
+                    params: ConnectionParams::from_bytes(&payload[12..])
+                        .ok_or(PduError::new("truncated connection parameters"))?,
+                    ch_sel,
+                })
+            }
+            _ => Err(PduError::new("unsupported advertising PDU type")),
+        }
+    }
+
+    /// The advertiser address carried by this PDU.
+    pub fn advertiser(&self) -> &DeviceAddress {
+        match self {
+            AdvertisingPdu::AdvInd { advertiser, .. }
+            | AdvertisingPdu::AdvNonconnInd { advertiser, .. }
+            | AdvertisingPdu::ScanRsp { advertiser, .. }
+            | AdvertisingPdu::ScanReq { advertiser, .. }
+            | AdvertisingPdu::ConnectReq { advertiser, .. } => advertiser,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simkit::SimRng;
+
+    fn addr(seed: u8, kind: AddressType) -> DeviceAddress {
+        DeviceAddress::new([seed; 6], kind)
+    }
+
+    #[test]
+    fn adv_ind_roundtrip() {
+        let pdu = AdvertisingPdu::AdvInd {
+            advertiser: addr(0x11, AddressType::Random),
+            data: vec![0x02, 0x01, 0x06, 0x05, 0x09, b'B', b'u', b'l', b'b'],
+        };
+        let bytes = pdu.to_bytes();
+        assert_eq!(bytes[1] as usize, bytes.len() - 2);
+        assert_eq!(AdvertisingPdu::from_bytes(&bytes).unwrap(), pdu);
+    }
+
+    #[test]
+    fn scan_req_and_rsp_roundtrip() {
+        let req = AdvertisingPdu::ScanReq {
+            scanner: addr(0x22, AddressType::Public),
+            advertiser: addr(0x33, AddressType::Random),
+        };
+        assert_eq!(AdvertisingPdu::from_bytes(&req.to_bytes()).unwrap(), req);
+        let rsp = AdvertisingPdu::ScanRsp {
+            advertiser: addr(0x33, AddressType::Random),
+            data: vec![1, 2, 3],
+        };
+        assert_eq!(AdvertisingPdu::from_bytes(&rsp.to_bytes()).unwrap(), rsp);
+    }
+
+    #[test]
+    fn connect_req_roundtrip_is_34_byte_pdu() {
+        let mut rng = SimRng::seed_from(9);
+        let pdu = AdvertisingPdu::ConnectReq {
+            initiator: addr(0x44, AddressType::Public),
+            advertiser: addr(0x55, AddressType::Random),
+            params: ConnectionParams::typical(&mut rng, 36),
+            ch_sel: false,
+        };
+        let bytes = pdu.to_bytes();
+        assert_eq!(bytes.len(), 2 + 34);
+        assert_eq!(AdvertisingPdu::from_bytes(&bytes).unwrap(), pdu);
+    }
+
+    #[test]
+    fn address_type_bits_preserved() {
+        let pdu = AdvertisingPdu::ConnectReq {
+            initiator: addr(0x44, AddressType::Random),
+            advertiser: addr(0x55, AddressType::Public),
+            params: ConnectionParams::typical(&mut SimRng::seed_from(1), 24),
+            ch_sel: true,
+        };
+        let parsed = AdvertisingPdu::from_bytes(&pdu.to_bytes()).unwrap();
+        let AdvertisingPdu::ConnectReq { initiator, advertiser, ch_sel, .. } = parsed else {
+            panic!("wrong type");
+        };
+        assert_eq!(initiator.kind, AddressType::Random);
+        assert_eq!(advertiser.kind, AddressType::Public);
+        assert!(ch_sel, "ChSel bit survives the roundtrip");
+    }
+
+    #[test]
+    fn malformed_inputs_rejected() {
+        assert!(AdvertisingPdu::from_bytes(&[]).is_err());
+        assert!(AdvertisingPdu::from_bytes(&[0x00]).is_err());
+        // Bad length field.
+        assert!(AdvertisingPdu::from_bytes(&[0x00, 10, 1, 2]).is_err());
+        // Unknown type (0b1111).
+        assert!(AdvertisingPdu::from_bytes(&[0x0F, 0]).is_err());
+        // SCAN_REQ with wrong size.
+        assert!(AdvertisingPdu::from_bytes(&[0x03, 3, 1, 2, 3]).is_err());
+        // Oversized adv data.
+        let mut big = vec![0x00, 38];
+        big.extend(vec![0u8; 38]);
+        assert!(AdvertisingPdu::from_bytes(&big).is_err());
+    }
+
+    #[test]
+    fn advertiser_accessor() {
+        let pdu = AdvertisingPdu::AdvInd {
+            advertiser: addr(0x66, AddressType::Public),
+            data: vec![],
+        };
+        assert_eq!(pdu.advertiser().octets, [0x66; 6]);
+    }
+}

@@ -1,0 +1,374 @@
+//! LL control PDUs (Core Spec Vol 6 Part B §2.4.2).
+//!
+//! These are the attack's favourite payloads: `LL_TERMINATE_IND` evicts the
+//! Slave (scenario B), `LL_CONNECTION_UPDATE_IND` desynchronises the Master
+//! from the Slave (scenarios C/D), and the `LL_ENC_*` family carries the
+//! encryption-start procedure exercised by the countermeasure experiments.
+
+use crate::channel_map::ChannelMap;
+use crate::pdu::PduError;
+
+/// A decoded LL control PDU.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ControlPdu {
+    /// `LL_CONNECTION_UPDATE_IND` (0x00): new timing parameters taking
+    /// effect at `instant`.
+    ConnectionUpdateInd {
+        /// New transmit window size, ×1.25 ms.
+        win_size: u8,
+        /// New transmit window offset, ×1.25 ms.
+        win_offset: u16,
+        /// New connection interval, ×1.25 ms.
+        interval: u16,
+        /// New slave latency.
+        latency: u16,
+        /// New supervision timeout, ×10 ms.
+        timeout: u16,
+        /// Connection event counter at which the update applies.
+        instant: u16,
+    },
+    /// `LL_CHANNEL_MAP_IND` (0x01): new channel map at `instant`.
+    ChannelMapInd {
+        /// The new channel map.
+        channel_map: ChannelMap,
+        /// Connection event counter at which the map applies.
+        instant: u16,
+    },
+    /// `LL_TERMINATE_IND` (0x02).
+    TerminateInd {
+        /// HCI error code explaining the termination.
+        error_code: u8,
+    },
+    /// `LL_ENC_REQ` (0x03).
+    EncReq {
+        /// Random value identifying the LTK (paired with `ediv`).
+        rand: [u8; 8],
+        /// Encrypted diversifier.
+        ediv: u16,
+        /// Master's session key diversifier half.
+        skd_m: [u8; 8],
+        /// Master's IV half.
+        iv_m: [u8; 4],
+    },
+    /// `LL_ENC_RSP` (0x04).
+    EncRsp {
+        /// Slave's session key diversifier half.
+        skd_s: [u8; 8],
+        /// Slave's IV half.
+        iv_s: [u8; 4],
+    },
+    /// `LL_START_ENC_REQ` (0x05).
+    StartEncReq,
+    /// `LL_START_ENC_RSP` (0x06).
+    StartEncRsp,
+    /// `LL_UNKNOWN_RSP` (0x07).
+    UnknownRsp {
+        /// The opcode that was not understood.
+        unknown_type: u8,
+    },
+    /// `LL_FEATURE_REQ` (0x08).
+    FeatureReq {
+        /// Feature bitmask.
+        features: [u8; 8],
+    },
+    /// `LL_FEATURE_RSP` (0x09).
+    FeatureRsp {
+        /// Feature bitmask.
+        features: [u8; 8],
+    },
+    /// `LL_VERSION_IND` (0x0C).
+    VersionInd {
+        /// Link-layer version number.
+        version: u8,
+        /// Company identifier.
+        company: u16,
+        /// Implementation subversion.
+        subversion: u16,
+    },
+    /// `LL_REJECT_IND` (0x0D).
+    RejectInd {
+        /// HCI error code.
+        error_code: u8,
+    },
+    /// `LL_PING_REQ` (0x12).
+    PingReq,
+    /// `LL_PING_RSP` (0x13).
+    PingRsp,
+}
+
+impl ControlPdu {
+    /// The control opcode.
+    pub fn opcode(&self) -> u8 {
+        match self {
+            ControlPdu::ConnectionUpdateInd { .. } => 0x00,
+            ControlPdu::ChannelMapInd { .. } => 0x01,
+            ControlPdu::TerminateInd { .. } => 0x02,
+            ControlPdu::EncReq { .. } => 0x03,
+            ControlPdu::EncRsp { .. } => 0x04,
+            ControlPdu::StartEncReq => 0x05,
+            ControlPdu::StartEncRsp => 0x06,
+            ControlPdu::UnknownRsp { .. } => 0x07,
+            ControlPdu::FeatureReq { .. } => 0x08,
+            ControlPdu::FeatureRsp { .. } => 0x09,
+            ControlPdu::VersionInd { .. } => 0x0C,
+            ControlPdu::RejectInd { .. } => 0x0D,
+            ControlPdu::PingReq => 0x12,
+            ControlPdu::PingRsp => 0x13,
+        }
+    }
+
+    /// Serialises to a control payload (opcode + CtrData).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = vec![self.opcode()];
+        match self {
+            ControlPdu::ConnectionUpdateInd {
+                win_size,
+                win_offset,
+                interval,
+                latency,
+                timeout,
+                instant,
+            } => {
+                out.push(*win_size);
+                out.extend_from_slice(&win_offset.to_le_bytes());
+                out.extend_from_slice(&interval.to_le_bytes());
+                out.extend_from_slice(&latency.to_le_bytes());
+                out.extend_from_slice(&timeout.to_le_bytes());
+                out.extend_from_slice(&instant.to_le_bytes());
+            }
+            ControlPdu::ChannelMapInd { channel_map, instant } => {
+                out.extend_from_slice(&channel_map.to_bytes());
+                out.extend_from_slice(&instant.to_le_bytes());
+            }
+            ControlPdu::TerminateInd { error_code } | ControlPdu::RejectInd { error_code } => {
+                out.push(*error_code);
+            }
+            ControlPdu::EncReq { rand, ediv, skd_m, iv_m } => {
+                out.extend_from_slice(rand);
+                out.extend_from_slice(&ediv.to_le_bytes());
+                out.extend_from_slice(skd_m);
+                out.extend_from_slice(iv_m);
+            }
+            ControlPdu::EncRsp { skd_s, iv_s } => {
+                out.extend_from_slice(skd_s);
+                out.extend_from_slice(iv_s);
+            }
+            ControlPdu::StartEncReq
+            | ControlPdu::StartEncRsp
+            | ControlPdu::PingReq
+            | ControlPdu::PingRsp => {}
+            ControlPdu::UnknownRsp { unknown_type } => out.push(*unknown_type),
+            ControlPdu::FeatureReq { features } | ControlPdu::FeatureRsp { features } => {
+                out.extend_from_slice(features)
+            }
+            ControlPdu::VersionInd {
+                version,
+                company,
+                subversion,
+            } => {
+                out.push(*version);
+                out.extend_from_slice(&company.to_le_bytes());
+                out.extend_from_slice(&subversion.to_le_bytes());
+            }
+        }
+        out
+    }
+
+    /// Parses a control payload.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PduError`] on truncation, trailing bytes or an opcode this
+    /// implementation does not know.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, PduError> {
+        let (&opcode, data) = bytes
+            .split_first()
+            .ok_or(PduError::new("empty control PDU"))?;
+        let expect_len = |n: usize| -> Result<(), PduError> {
+            if data.len() == n {
+                Ok(())
+            } else {
+                Err(PduError::new("control PDU length mismatch"))
+            }
+        };
+        match opcode {
+            0x00 => {
+                expect_len(11)?;
+                Ok(ControlPdu::ConnectionUpdateInd {
+                    win_size: data[0],
+                    win_offset: u16::from_le_bytes([data[1], data[2]]),
+                    interval: u16::from_le_bytes([data[3], data[4]]),
+                    latency: u16::from_le_bytes([data[5], data[6]]),
+                    timeout: u16::from_le_bytes([data[7], data[8]]),
+                    instant: u16::from_le_bytes([data[9], data[10]]),
+                })
+            }
+            0x01 => {
+                expect_len(7)?;
+                Ok(ControlPdu::ChannelMapInd {
+                    channel_map: ChannelMap::from_bytes([
+                        data[0], data[1], data[2], data[3], data[4],
+                    ]),
+                    instant: u16::from_le_bytes([data[5], data[6]]),
+                })
+            }
+            0x02 => {
+                expect_len(1)?;
+                Ok(ControlPdu::TerminateInd { error_code: data[0] })
+            }
+            0x03 => {
+                expect_len(22)?;
+                Ok(ControlPdu::EncReq {
+                    rand: data[0..8].try_into().expect("checked length"),
+                    ediv: u16::from_le_bytes([data[8], data[9]]),
+                    skd_m: data[10..18].try_into().expect("checked length"),
+                    iv_m: data[18..22].try_into().expect("checked length"),
+                })
+            }
+            0x04 => {
+                expect_len(12)?;
+                Ok(ControlPdu::EncRsp {
+                    skd_s: data[0..8].try_into().expect("checked length"),
+                    iv_s: data[8..12].try_into().expect("checked length"),
+                })
+            }
+            0x05 => {
+                expect_len(0)?;
+                Ok(ControlPdu::StartEncReq)
+            }
+            0x06 => {
+                expect_len(0)?;
+                Ok(ControlPdu::StartEncRsp)
+            }
+            0x07 => {
+                expect_len(1)?;
+                Ok(ControlPdu::UnknownRsp { unknown_type: data[0] })
+            }
+            0x08 | 0x09 => {
+                expect_len(8)?;
+                let features = data.try_into().expect("checked length");
+                Ok(if opcode == 0x08 {
+                    ControlPdu::FeatureReq { features }
+                } else {
+                    ControlPdu::FeatureRsp { features }
+                })
+            }
+            0x0C => {
+                expect_len(5)?;
+                Ok(ControlPdu::VersionInd {
+                    version: data[0],
+                    company: u16::from_le_bytes([data[1], data[2]]),
+                    subversion: u16::from_le_bytes([data[3], data[4]]),
+                })
+            }
+            0x0D => {
+                expect_len(1)?;
+                Ok(ControlPdu::RejectInd { error_code: data[0] })
+            }
+            0x12 => {
+                expect_len(0)?;
+                Ok(ControlPdu::PingReq)
+            }
+            0x13 => {
+                expect_len(0)?;
+                Ok(ControlPdu::PingRsp)
+            }
+            other => Err(PduError::new(format!("unknown control opcode 0x{other:02X}"))),
+        }
+    }
+}
+
+/// HCI error code: remote user terminated connection.
+pub const ERR_REMOTE_USER_TERMINATED: u8 = 0x13;
+/// HCI error code: connection terminated due to MIC failure.
+pub const ERR_MIC_FAILURE: u8 = 0x3D;
+/// HCI error code: connection failed to be established / supervision timeout.
+pub const ERR_CONNECTION_TIMEOUT: u8 = 0x08;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(pdu: ControlPdu) {
+        let bytes = pdu.to_bytes();
+        assert_eq!(ControlPdu::from_bytes(&bytes).unwrap(), pdu);
+    }
+
+    #[test]
+    fn all_pdus_roundtrip() {
+        roundtrip(ControlPdu::ConnectionUpdateInd {
+            win_size: 2,
+            win_offset: 4,
+            interval: 75,
+            latency: 1,
+            timeout: 200,
+            instant: 0x1234,
+        });
+        roundtrip(ControlPdu::ChannelMapInd {
+            channel_map: ChannelMap::from_indices(&[0, 9, 36]),
+            instant: 77,
+        });
+        roundtrip(ControlPdu::TerminateInd { error_code: 0x13 });
+        roundtrip(ControlPdu::EncReq {
+            rand: [1; 8],
+            ediv: 0xBEEF,
+            skd_m: [2; 8],
+            iv_m: [3; 4],
+        });
+        roundtrip(ControlPdu::EncRsp { skd_s: [4; 8], iv_s: [5; 4] });
+        roundtrip(ControlPdu::StartEncReq);
+        roundtrip(ControlPdu::StartEncRsp);
+        roundtrip(ControlPdu::UnknownRsp { unknown_type: 0x42 });
+        roundtrip(ControlPdu::FeatureReq { features: [6; 8] });
+        roundtrip(ControlPdu::FeatureRsp { features: [7; 8] });
+        roundtrip(ControlPdu::VersionInd {
+            version: 9,
+            company: 0x0059,
+            subversion: 0x2103,
+        });
+        roundtrip(ControlPdu::RejectInd { error_code: 0x06 });
+        roundtrip(ControlPdu::PingReq);
+        roundtrip(ControlPdu::PingRsp);
+    }
+
+    #[test]
+    fn connection_update_layout_matches_paper_figure() {
+        // CtrData: WinSize(1) WinOffset(2) Interval(2) Latency(2)
+        // Timeout(2) Instant(2) — 12 bytes with opcode.
+        let pdu = ControlPdu::ConnectionUpdateInd {
+            win_size: 1,
+            win_offset: 0x0203,
+            interval: 0x0405,
+            latency: 0,
+            timeout: 0x0607,
+            instant: 0x0809,
+        };
+        let b = pdu.to_bytes();
+        assert_eq!(b.len(), 12);
+        assert_eq!(b[0], 0x00);
+        assert_eq!(b[1], 1);
+        assert_eq!(&b[2..4], &[0x03, 0x02]);
+        assert_eq!(&b[10..12], &[0x09, 0x08]);
+    }
+
+    #[test]
+    fn terminate_ind_is_two_bytes() {
+        // The paper's scenario B injects exactly this: a 2-byte control PDU.
+        let b = ControlPdu::TerminateInd { error_code: ERR_REMOTE_USER_TERMINATED }.to_bytes();
+        assert_eq!(b, vec![0x02, 0x13]);
+    }
+
+    #[test]
+    fn malformed_rejected() {
+        assert!(ControlPdu::from_bytes(&[]).is_err());
+        assert!(ControlPdu::from_bytes(&[0x00, 1, 2]).is_err());
+        assert!(ControlPdu::from_bytes(&[0x05, 0]).is_err());
+        assert!(ControlPdu::from_bytes(&[0xFE]).is_err());
+    }
+
+    #[test]
+    fn unknown_opcode_error_mentions_opcode() {
+        let err = ControlPdu::from_bytes(&[0x20]).unwrap_err();
+        assert!(err.to_string().contains("0x20"));
+    }
+}

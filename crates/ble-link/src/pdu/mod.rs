@@ -1,0 +1,38 @@
+//! Link-Layer PDU encodings.
+//!
+//! Three PDU families matter to the InjectaBLE reproduction:
+//!
+//! * [`advertising`] — broadcast PDUs on channels 37–39, including
+//!   `CONNECT_REQ` (paper Table II), which the sniffer captures to recover
+//!   all connection parameters;
+//! * [`data`] — connected-mode data PDUs whose header carries the SN/NESN
+//!   acknowledgement bits the attacker must forge (paper eq. 6) and observe
+//!   (paper eq. 7);
+//! * [`control`] — LL control PDUs: `LL_TERMINATE_IND` (scenario B),
+//!   `LL_CONNECTION_UPDATE_IND` (scenarios C/D), `LL_CHANNEL_MAP_IND`,
+//!   the encryption-start family, and the housekeeping opcodes.
+
+pub mod advertising;
+pub mod control;
+pub mod data;
+
+/// Error produced when PDU bytes cannot be parsed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PduError {
+    /// Human-readable description of the malformation.
+    pub reason: String,
+}
+
+impl PduError {
+    pub(crate) fn new(reason: impl Into<String>) -> Self {
+        PduError { reason: reason.into() }
+    }
+}
+
+impl std::fmt::Display for PduError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "malformed PDU: {}", self.reason)
+    }
+}
+
+impl std::error::Error for PduError {}

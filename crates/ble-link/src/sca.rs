@@ -1,0 +1,125 @@
+//! Sleep clock accuracy classes.
+//!
+//! `CONNECT_REQ` carries a 3-bit field advertising the Master's worst-case
+//! sleep-clock accuracy. The Slave combines it with its own accuracy to
+//! compute window widening (paper eq. 4/5) — and so does the InjectaBLE
+//! attacker, who reads the field from the sniffed `CONNECT_REQ` and assumes
+//! the worst case (20 ppm) for the unknown Slave.
+
+/// A sleep clock accuracy class (Core Spec Vol 6 Part B, Table 2.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum SleepClockAccuracy {
+    /// 251–500 ppm.
+    Ppm500 = 0,
+    /// 151–250 ppm.
+    Ppm250 = 1,
+    /// 101–150 ppm.
+    Ppm150 = 2,
+    /// 76–100 ppm.
+    Ppm100 = 3,
+    /// 51–75 ppm.
+    Ppm75 = 4,
+    /// 31–50 ppm.
+    Ppm50 = 5,
+    /// 21–30 ppm.
+    Ppm30 = 6,
+    /// 0–20 ppm (the most accurate class).
+    Ppm20 = 7,
+}
+
+impl SleepClockAccuracy {
+    /// Decodes the 3-bit field value.
+    pub fn from_field(value: u8) -> Self {
+        match value & 0x7 {
+            0 => SleepClockAccuracy::Ppm500,
+            1 => SleepClockAccuracy::Ppm250,
+            2 => SleepClockAccuracy::Ppm150,
+            3 => SleepClockAccuracy::Ppm100,
+            4 => SleepClockAccuracy::Ppm75,
+            5 => SleepClockAccuracy::Ppm50,
+            6 => SleepClockAccuracy::Ppm30,
+            _ => SleepClockAccuracy::Ppm20,
+        }
+    }
+
+    /// The 3-bit field encoding.
+    pub fn field(self) -> u8 {
+        self as u8
+    }
+
+    /// The worst-case (upper bound) clock error of this class, in ppm —
+    /// the value window-widening computations must assume.
+    pub fn worst_case_ppm(self) -> f64 {
+        match self {
+            SleepClockAccuracy::Ppm500 => 500.0,
+            SleepClockAccuracy::Ppm250 => 250.0,
+            SleepClockAccuracy::Ppm150 => 150.0,
+            SleepClockAccuracy::Ppm100 => 100.0,
+            SleepClockAccuracy::Ppm75 => 75.0,
+            SleepClockAccuracy::Ppm50 => 50.0,
+            SleepClockAccuracy::Ppm30 => 30.0,
+            SleepClockAccuracy::Ppm20 => 20.0,
+        }
+    }
+
+    /// The tightest class whose bound covers a clock of `ppm` error.
+    pub fn covering(ppm: f64) -> Self {
+        let ppm = ppm.abs();
+        if ppm <= 20.0 {
+            SleepClockAccuracy::Ppm20
+        } else if ppm <= 30.0 {
+            SleepClockAccuracy::Ppm30
+        } else if ppm <= 50.0 {
+            SleepClockAccuracy::Ppm50
+        } else if ppm <= 75.0 {
+            SleepClockAccuracy::Ppm75
+        } else if ppm <= 100.0 {
+            SleepClockAccuracy::Ppm100
+        } else if ppm <= 150.0 {
+            SleepClockAccuracy::Ppm150
+        } else if ppm <= 250.0 {
+            SleepClockAccuracy::Ppm250
+        } else {
+            SleepClockAccuracy::Ppm500
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn field_roundtrip() {
+        for v in 0..8 {
+            assert_eq!(SleepClockAccuracy::from_field(v).field(), v);
+        }
+    }
+
+    #[test]
+    fn worst_case_is_monotone_decreasing_in_field() {
+        let mut last = f64::INFINITY;
+        for v in 0..8 {
+            let ppm = SleepClockAccuracy::from_field(v).worst_case_ppm();
+            assert!(ppm < last);
+            last = ppm;
+        }
+    }
+
+    #[test]
+    fn covering_picks_tightest_class() {
+        assert_eq!(SleepClockAccuracy::covering(0.0), SleepClockAccuracy::Ppm20);
+        assert_eq!(SleepClockAccuracy::covering(20.0), SleepClockAccuracy::Ppm20);
+        assert_eq!(SleepClockAccuracy::covering(21.0), SleepClockAccuracy::Ppm30);
+        assert_eq!(SleepClockAccuracy::covering(-49.0), SleepClockAccuracy::Ppm50);
+        assert_eq!(SleepClockAccuracy::covering(400.0), SleepClockAccuracy::Ppm500);
+        assert_eq!(SleepClockAccuracy::covering(9999.0), SleepClockAccuracy::Ppm500);
+    }
+
+    #[test]
+    fn covering_bound_actually_covers() {
+        for ppm in [0.0, 15.0, 29.0, 42.0, 66.0, 88.0, 120.0, 200.0, 450.0] {
+            assert!(SleepClockAccuracy::covering(ppm).worst_case_ppm() >= ppm);
+        }
+    }
+}

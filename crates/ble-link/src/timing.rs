@@ -1,0 +1,113 @@
+//! Link-Layer timing rules.
+//!
+//! These are the formulas at the heart of the paper: the connection
+//! interval (eq. 2), the transmit window (eq. 1) and the window widening
+//! the attack exploits (eqs. 4–5).
+
+use simkit::Duration;
+
+/// The inter-frame spacing: 150 µs between consecutive frames of a
+/// connection event.
+pub const T_IFS: Duration = Duration::from_micros(150);
+
+/// The base time unit for connection parameters: 1.25 ms.
+pub const UNIT_1_25_MS: Duration = Duration::from_micros(1250);
+
+/// The supervision-timeout unit: 10 ms.
+pub const UNIT_10_MS: Duration = Duration::from_millis(10);
+
+/// The constant instantaneous-jitter allowance in window widening: 32 µs
+/// (16 µs of sleep-clock instantaneous deviation on each side).
+pub const WIDENING_JITTER: Duration = Duration::from_micros(32);
+
+/// Connection interval from the `Hop Interval` field (paper eq. 2):
+/// `interval × 1.25 ms`.
+///
+/// # Example
+///
+/// ```
+/// use ble_link::timing::connection_interval;
+/// // The paper's smartphone default: hop interval 36 → 45 ms.
+/// assert_eq!(connection_interval(36).as_micros(), 45_000);
+/// ```
+pub fn connection_interval(hop_interval: u16) -> Duration {
+    UNIT_1_25_MS * u64::from(hop_interval)
+}
+
+/// Window widening for a receiver expecting the next anchor (paper eq. 4):
+///
+/// `w = (SCA_m + SCA_s)/10⁶ × (t_nextAnchor − t_lastAnchor) + 32 µs`
+///
+/// `elapsed_since_anchor` is the time between the last *observed* anchor
+/// point and the predicted next one — equal to the connection interval when
+/// every event is received (paper eq. 5), and larger after missed events or
+/// with nonzero slave latency.
+///
+/// # Example
+///
+/// ```
+/// use ble_link::timing::{connection_interval, window_widening};
+/// // 50 ppm master + 20 ppm slave over a 45 ms interval: 3.15 + 32 µs.
+/// let w = window_widening(50.0, 20.0, connection_interval(36));
+/// assert_eq!(w.as_nanos(), 35_150);
+/// ```
+pub fn window_widening(sca_master_ppm: f64, sca_slave_ppm: f64, elapsed_since_anchor: Duration) -> Duration {
+    let drift = elapsed_since_anchor.mul_f64((sca_master_ppm + sca_slave_ppm) * 1e-6);
+    drift + WIDENING_JITTER
+}
+
+/// Start offset of the transmit window relative to its reference point
+/// (paper eq. 1): `1.25 ms + WinOffset × 1.25 ms`. The reference is the end
+/// of `CONNECT_REQ` at connection initiation, or the would-have-been anchor
+/// at a connection update's instant.
+pub fn transmit_window_offset(win_offset: u16) -> Duration {
+    UNIT_1_25_MS + UNIT_1_25_MS * u64::from(win_offset)
+}
+
+/// Size of the transmit window: `WinSize × 1.25 ms`.
+pub fn transmit_window_size(win_size: u8) -> Duration {
+    UNIT_1_25_MS * u64::from(win_size)
+}
+
+/// Supervision timeout duration from its field value.
+pub fn supervision_timeout(timeout: u16) -> Duration {
+    UNIT_10_MS * u64::from(timeout)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_equation_5_values() {
+        // Paper experiment 1 range: hop intervals 25..150 with ~50+20 ppm.
+        let w25 = window_widening(50.0, 20.0, connection_interval(25));
+        let w150 = window_widening(50.0, 20.0, connection_interval(150));
+        // 70 ppm × 31.25 ms = 2.1875 µs; +32 → 34.1875 µs.
+        assert_eq!(w25.as_nanos(), 34_188); // rounded to ns
+        // 70 ppm × 187.5 ms = 13.125 µs; +32 → 45.125 µs.
+        assert_eq!(w150.as_nanos(), 45_125);
+        assert!(w150 > w25, "widening grows with the interval");
+    }
+
+    #[test]
+    fn widening_has_constant_floor() {
+        let w = window_widening(0.0, 0.0, Duration::from_millis(100));
+        assert_eq!(w, WIDENING_JITTER);
+    }
+
+    #[test]
+    fn missed_anchors_widen_further() {
+        let one = window_widening(50.0, 50.0, connection_interval(36));
+        let three = window_widening(50.0, 50.0, connection_interval(36) * 3);
+        assert!(three > one);
+    }
+
+    #[test]
+    fn transmit_window_formulas() {
+        assert_eq!(transmit_window_offset(0).as_micros(), 1_250);
+        assert_eq!(transmit_window_offset(4).as_micros(), 6_250);
+        assert_eq!(transmit_window_size(2).as_micros(), 2_500);
+        assert_eq!(supervision_timeout(100).as_micros(), 1_000_000);
+    }
+}

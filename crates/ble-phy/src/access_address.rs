@@ -1,0 +1,205 @@
+//! Access addresses.
+//!
+//! Every BLE frame begins (after the preamble) with a 32-bit access address.
+//! Advertising traffic uses the fixed value `0x8E89BED6`; each connection
+//! uses a random address chosen by the initiator in `CONNECT_REQ`, subject
+//! to the validity rules of the Core Specification (Vol 6, Part B, §2.1.2).
+//! Radios synchronise on the access address, which is why the sniffer in the
+//! InjectaBLE attack must recover it before it can follow a connection.
+
+use std::fmt;
+
+use simkit::SimRng;
+
+/// A 32-bit BLE access address.
+///
+/// # Example
+///
+/// ```
+/// use ble_phy::AccessAddress;
+/// assert!(AccessAddress::ADVERTISING.is_advertising());
+/// let aa = AccessAddress::new(0x8E89BED7);
+/// // Differs from the advertising address by one bit: invalid for data.
+/// assert!(!aa.is_valid_for_data());
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct AccessAddress(u32);
+
+impl AccessAddress {
+    /// The fixed advertising-channel access address.
+    pub const ADVERTISING: AccessAddress = AccessAddress(0x8E89_BED6);
+
+    /// Wraps a raw 32-bit value.
+    pub const fn new(value: u32) -> Self {
+        AccessAddress(value)
+    }
+
+    /// The raw 32-bit value.
+    pub const fn value(self) -> u32 {
+        self.0
+    }
+
+    /// Whether this is the advertising access address.
+    pub const fn is_advertising(self) -> bool {
+        self.0 == Self::ADVERTISING.0
+    }
+
+    /// The four over-the-air bytes (least-significant byte first).
+    pub const fn to_le_bytes(self) -> [u8; 4] {
+        self.0.to_le_bytes()
+    }
+
+    /// Parses from over-the-air byte order.
+    pub const fn from_le_bytes(bytes: [u8; 4]) -> Self {
+        AccessAddress(u32::from_le_bytes(bytes))
+    }
+
+    /// Checks the Core Specification validity rules for a *data channel*
+    /// access address:
+    ///
+    /// * not the advertising address, nor one bit away from it;
+    /// * no more than six consecutive equal bits;
+    /// * the four bytes are not all identical;
+    /// * no more than 24 bit transitions overall;
+    /// * at least two transitions in the most significant six bits.
+    pub fn is_valid_for_data(self) -> bool {
+        if self.is_advertising() {
+            return false;
+        }
+        if (self.0 ^ Self::ADVERTISING.0).count_ones() == 1 {
+            return false;
+        }
+        let bytes = self.0.to_le_bytes();
+        if bytes.iter().all(|&b| b == bytes[0]) {
+            return false;
+        }
+        let bits: Vec<u8> = (0..32).map(|i| ((self.0 >> i) & 1) as u8).collect();
+        // Runs of equal bits.
+        let mut run = 1usize;
+        for i in 1..32 {
+            if bits[i] == bits[i - 1] {
+                run += 1;
+                if run > 6 {
+                    return false;
+                }
+            } else {
+                run = 1;
+            }
+        }
+        // Total transitions.
+        let transitions = (1..32).filter(|&i| bits[i] != bits[i - 1]).count();
+        if transitions > 24 {
+            return false;
+        }
+        // Transitions within the six most significant bits (bits 26..32).
+        let msb_transitions = (27..32).filter(|&i| bits[i] != bits[i - 1]).count();
+        if msb_transitions < 2 {
+            return false;
+        }
+        true
+    }
+
+    /// Generates a uniformly random *valid* data-channel access address.
+    pub fn random_for_data(rng: &mut SimRng) -> Self {
+        loop {
+            let candidate = AccessAddress(((rng.below(1 << 16) as u32) << 16) | rng.below(1 << 16) as u32);
+            if candidate.is_valid_for_data() {
+                return candidate;
+            }
+        }
+    }
+}
+
+impl fmt::Debug for AccessAddress {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "AA(0x{:08X})", self.0)
+    }
+}
+
+impl fmt::Display for AccessAddress {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "0x{:08X}", self.0)
+    }
+}
+
+impl fmt::LowerHex for AccessAddress {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::LowerHex::fmt(&self.0, f)
+    }
+}
+
+impl From<u32> for AccessAddress {
+    fn from(value: u32) -> Self {
+        AccessAddress(value)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn advertising_address_is_not_valid_for_data() {
+        assert!(!AccessAddress::ADVERTISING.is_valid_for_data());
+    }
+
+    #[test]
+    fn one_bit_neighbours_of_advertising_are_invalid() {
+        for bit in 0..32 {
+            let aa = AccessAddress::new(AccessAddress::ADVERTISING.value() ^ (1 << bit));
+            assert!(!aa.is_valid_for_data(), "bit {bit}");
+        }
+    }
+
+    #[test]
+    fn all_equal_bytes_invalid() {
+        assert!(!AccessAddress::new(0x5555_5555).is_valid_for_data());
+        assert!(!AccessAddress::new(0x0000_0000).is_valid_for_data());
+        assert!(!AccessAddress::new(0xFFFF_FFFF).is_valid_for_data());
+    }
+
+    #[test]
+    fn long_runs_invalid() {
+        // 0x0000_7F... has more than six consecutive zeros.
+        assert!(!AccessAddress::new(0b0000_0000_1010_1010_1010_1010_1010_1010).is_valid_for_data());
+    }
+
+    #[test]
+    fn too_many_transitions_invalid() {
+        // Alternating bits: 31 transitions.
+        assert!(!AccessAddress::new(0xAAAA_AAAA).is_valid_for_data());
+        assert!(!AccessAddress::new(0x5555_5555).is_valid_for_data());
+    }
+
+    #[test]
+    fn known_reasonable_address_is_valid() {
+        // A plausible connection AA with mixed structure.
+        assert!(AccessAddress::new(0x50C2_33A1).is_valid_for_data());
+    }
+
+    #[test]
+    fn random_addresses_are_valid_and_varied() {
+        let mut rng = SimRng::seed_from(99);
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..100 {
+            let aa = AccessAddress::random_for_data(&mut rng);
+            assert!(aa.is_valid_for_data(), "{aa}");
+            seen.insert(aa.value());
+        }
+        assert!(seen.len() > 90, "addresses should be diverse");
+    }
+
+    #[test]
+    fn byte_roundtrip() {
+        let aa = AccessAddress::new(0x1234_5678);
+        assert_eq!(AccessAddress::from_le_bytes(aa.to_le_bytes()), aa);
+        assert_eq!(aa.to_le_bytes(), [0x78, 0x56, 0x34, 0x12]);
+    }
+
+    #[test]
+    fn display_formats() {
+        let aa = AccessAddress::ADVERTISING;
+        assert_eq!(format!("{aa}"), "0x8E89BED6");
+        assert!(format!("{aa:?}").contains("8E89BED6"));
+    }
+}

@@ -1,0 +1,170 @@
+//! BLE channel indices and frequency mapping.
+//!
+//! BLE defines 40 channels of 2 MHz width in the 2.4 GHz ISM band. Channels
+//! 37, 38 and 39 are *advertising* channels (placed at 2402, 2426 and
+//! 2480 MHz to dodge busy Wi-Fi channels); channels 0–36 are *data*
+//! channels used by the connected mode's hopping sequence.
+
+use std::fmt;
+
+/// A BLE channel index (0–39).
+///
+/// # Example
+///
+/// ```
+/// use ble_phy::Channel;
+/// let ch = Channel::new(37).unwrap();
+/// assert!(ch.is_advertising());
+/// assert_eq!(ch.frequency_mhz(), 2402);
+/// assert_eq!(Channel::new(0).unwrap().frequency_mhz(), 2404);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Channel(u8);
+
+impl Channel {
+    /// Number of BLE channels.
+    pub const COUNT: u8 = 40;
+    /// Number of data channels (indices 0–36).
+    pub const DATA_COUNT: u8 = 37;
+    /// The three advertising channels in scan order.
+    pub const ADVERTISING: [Channel; 3] = [Channel(37), Channel(38), Channel(39)];
+
+    /// Creates a channel from an index, returning `None` above 39.
+    pub const fn new(index: u8) -> Option<Channel> {
+        if index < Self::COUNT {
+            Some(Channel(index))
+        } else {
+            None
+        }
+    }
+
+    /// Creates a data channel (0–36), returning `None` otherwise.
+    pub const fn data(index: u8) -> Option<Channel> {
+        if index < Self::DATA_COUNT {
+            Some(Channel(index))
+        } else {
+            None
+        }
+    }
+
+    /// The channel index.
+    pub const fn index(self) -> u8 {
+        self.0
+    }
+
+    /// Whether this is one of the three advertising channels.
+    pub const fn is_advertising(self) -> bool {
+        self.0 >= 37
+    }
+
+    /// Whether this is a data channel.
+    pub const fn is_data(self) -> bool {
+        self.0 < 37
+    }
+
+    /// Centre frequency in MHz.
+    ///
+    /// Data channels 0–10 sit at 2404–2424 MHz, 11–36 at 2428–2478 MHz;
+    /// the advertising channels fill the gaps at 2402, 2426 and 2480 MHz.
+    pub const fn frequency_mhz(self) -> u16 {
+        match self.0 {
+            37 => 2402,
+            38 => 2426,
+            39 => 2480,
+            n if n <= 10 => 2404 + 2 * n as u16,
+            n => 2428 + 2 * (n as u16 - 11),
+        }
+    }
+
+    /// The whitening LFSR initial value for this channel
+    /// (bit 6 set, bits 5..0 = channel index).
+    pub const fn whitening_init(self) -> u8 {
+        0x40 | self.0
+    }
+}
+
+impl fmt::Debug for Channel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ch{}", self.0)
+    }
+}
+
+impl fmt::Display for Channel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+impl TryFrom<u8> for Channel {
+    type Error = InvalidChannelError;
+    fn try_from(value: u8) -> Result<Self, Self::Error> {
+        Channel::new(value).ok_or(InvalidChannelError(value))
+    }
+}
+
+/// Error returned when a channel index exceeds 39.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InvalidChannelError(pub u8);
+
+impl fmt::Display for InvalidChannelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid BLE channel index {}", self.0)
+    }
+}
+
+impl std::error::Error for InvalidChannelError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn advertising_channels_have_spec_frequencies() {
+        assert_eq!(Channel::new(37).unwrap().frequency_mhz(), 2402);
+        assert_eq!(Channel::new(38).unwrap().frequency_mhz(), 2426);
+        assert_eq!(Channel::new(39).unwrap().frequency_mhz(), 2480);
+    }
+
+    #[test]
+    fn data_channel_frequencies_skip_advertising_slots() {
+        assert_eq!(Channel::new(0).unwrap().frequency_mhz(), 2404);
+        assert_eq!(Channel::new(10).unwrap().frequency_mhz(), 2424);
+        assert_eq!(Channel::new(11).unwrap().frequency_mhz(), 2428);
+        assert_eq!(Channel::new(36).unwrap().frequency_mhz(), 2478);
+    }
+
+    #[test]
+    fn all_frequencies_are_unique_and_even() {
+        let mut freqs: Vec<u16> = (0..40)
+            .map(|i| Channel::new(i).unwrap().frequency_mhz())
+            .collect();
+        freqs.sort_unstable();
+        freqs.dedup();
+        assert_eq!(freqs.len(), 40);
+        assert!(freqs.iter().all(|f| f % 2 == 0 && (2402..=2480).contains(f)));
+    }
+
+    #[test]
+    fn out_of_range_rejected() {
+        assert!(Channel::new(40).is_none());
+        assert!(Channel::data(37).is_none());
+        assert!(Channel::try_from(41).is_err());
+        assert_eq!(
+            Channel::try_from(41).unwrap_err().to_string(),
+            "invalid BLE channel index 41"
+        );
+    }
+
+    #[test]
+    fn classification() {
+        assert!(Channel::new(37).unwrap().is_advertising());
+        assert!(!Channel::new(36).unwrap().is_advertising());
+        assert!(Channel::new(0).unwrap().is_data());
+    }
+
+    #[test]
+    fn whitening_init_sets_bit_six() {
+        assert_eq!(Channel::new(0).unwrap().whitening_init(), 0x40);
+        assert_eq!(Channel::new(37).unwrap().whitening_init(), 0x65);
+    }
+}

@@ -1,0 +1,164 @@
+//! The BLE CRC-24.
+//!
+//! Every Link-Layer packet carries a 24-bit CRC over the PDU, computed by an
+//! LFSR implementing x²⁴ + x¹⁰ + x⁹ + x⁶ + x⁴ + x³ + x + 1, seeded with
+//! 0x555555 on the advertising channels and with the connection's `CRCInit`
+//! (carried in `CONNECT_REQ`) on data channels. Bits are processed in
+//! over-the-air order (least-significant bit of each byte first).
+//!
+//! The CRC plays two roles in the InjectaBLE attack: the attacker must forge
+//! frames with a valid CRC for the connection (requiring `CRCInit` recovered
+//! by the sniffer), and the paper's success heuristic (eq. 7) detects a
+//! collision-corrupted injection through the *Slave not acknowledging* a
+//! frame whose CRC check failed.
+
+/// Length of the CRC field in bytes.
+pub const CRC_LEN: usize = 3;
+
+/// The CRC preset used on advertising channels.
+pub const ADVERTISING_CRC_INIT: u32 = 0x555555;
+
+/// Computes the BLE CRC-24 over `data` with the given 24-bit initial value.
+///
+/// The returned value occupies the low 24 bits.
+///
+/// # Example
+///
+/// ```
+/// use ble_phy::crc24;
+/// let crc = crc24(0x555555, &[0x00, 0x01, 0x02]);
+/// assert!(crc <= 0xFF_FFFF);
+/// // CRC changes if any bit of the input changes.
+/// assert_ne!(crc, crc24(0x555555, &[0x01, 0x01, 0x02]));
+/// ```
+pub fn crc24(init: u32, data: &[u8]) -> u32 {
+    // Reflected (LSB-first) LFSR; taps 0x5A6000 are the reversed polynomial.
+    let mut state = init & 0xFF_FFFF;
+    for &byte in data {
+        let mut cur = byte;
+        for _ in 0..8 {
+            let next_bit = (state ^ u32::from(cur)) & 1;
+            cur >>= 1;
+            state >>= 1;
+            if next_bit != 0 {
+                state |= 1 << 23;
+                state ^= 0x5A_6000;
+            }
+        }
+    }
+    state
+}
+
+/// Computes the CRC and returns its three over-the-air bytes
+/// (least-significant state byte first).
+pub fn crc24_bytes(init: u32, data: &[u8]) -> [u8; CRC_LEN] {
+    let c = crc24(init, data);
+    [(c & 0xFF) as u8, ((c >> 8) & 0xFF) as u8, ((c >> 16) & 0xFF) as u8]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Bit-at-a-time long-division oracle, written independently of the LFSR
+    /// formulation above: reflect the polynomial explicitly and divide.
+    fn crc24_oracle(init: u32, data: &[u8]) -> u32 {
+        // Galois LFSR over reflected polynomial REV(0x00065B) for x^24+...+1.
+        // rev24(0x00065B with implicit x^24): taps at k in {0(implicit via
+        // carry-in), 1,3,4,6,9,10}. Reflected positions: 23-k.
+        let mut reg = init & 0xFF_FFFF;
+        for &byte in data {
+            for bit in 0..8 {
+                let incoming = u32::from((byte >> bit) & 1);
+                let feedback = (reg & 1) ^ incoming;
+                reg >>= 1;
+                if feedback != 0 {
+                    // x^24 term: inject at bit 23; other taps x^10,x^9,x^6,
+                    // x^4,x^3,x^1 reflect to bits 13,14,17,19,20,22.
+                    reg ^= (1 << 23)
+                        | (1 << 13)
+                        | (1 << 14)
+                        | (1 << 17)
+                        | (1 << 19)
+                        | (1 << 20)
+                        | (1 << 22);
+                }
+            }
+        }
+        reg
+    }
+
+    #[test]
+    fn matches_independent_oracle() {
+        let cases: [(&[u8], u32); 5] = [
+            (&[], ADVERTISING_CRC_INIT),
+            (&[0x00], ADVERTISING_CRC_INIT),
+            (&[0xFF, 0x00, 0xAA, 0x55], 0x123456),
+            (b"InjectaBLE attack frame", 0xABCDEF),
+            (&[0xD6, 0xBE, 0x89, 0x8E, 0x40, 0x24], 0x555555),
+        ];
+        for (data, init) in cases {
+            assert_eq!(crc24(init, data), crc24_oracle(init, data), "{data:?}");
+        }
+    }
+
+    #[test]
+    fn empty_input_returns_init() {
+        assert_eq!(crc24(0x555555, &[]), 0x555555);
+        assert_eq!(crc24(0xABCDEF, &[]), 0xABCDEF);
+    }
+
+    #[test]
+    fn result_fits_in_24_bits() {
+        for i in 0..100u8 {
+            let c = crc24(0xFF_FFFF, &[i, i.wrapping_mul(3), 0xFF]);
+            assert!(c <= 0xFF_FFFF);
+        }
+    }
+
+    #[test]
+    fn single_bit_flips_change_crc() {
+        let base = b"connection event payload".to_vec();
+        let reference = crc24(0x00F0F0, &base);
+        for byte_idx in 0..base.len() {
+            for bit in 0..8 {
+                let mut flipped = base.clone();
+                flipped[byte_idx] ^= 1 << bit;
+                assert_ne!(
+                    crc24(0x00F0F0, &flipped),
+                    reference,
+                    "flip at {byte_idx}.{bit} undetected"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn different_init_different_crc() {
+        let data = b"pdu";
+        assert_ne!(crc24(0x111111, data), crc24(0x222222, data));
+    }
+
+    #[test]
+    fn bytes_are_little_endian_of_state() {
+        let c = crc24(0x555555, b"x");
+        let b = crc24_bytes(0x555555, b"x");
+        assert_eq!(u32::from(b[0]) | u32::from(b[1]) << 8 | u32::from(b[2]) << 16, c);
+    }
+
+    #[test]
+    fn crc_is_linear_over_gf2() {
+        // crc(a) ^ crc(b) ^ crc(0) == crc(a ^ b) for equal-length inputs with
+        // the same init — a structural property of CRCs that catches most
+        // implementation mistakes.
+        let a = [0x13, 0x37, 0xC0, 0xDE];
+        let b = [0xFA, 0xCE, 0xB0, 0x0C];
+        let z = [0u8; 4];
+        let x: Vec<u8> = a.iter().zip(&b).map(|(p, q)| p ^ q).collect();
+        let init = 0x9A8B7C;
+        assert_eq!(
+            crc24(init, &a) ^ crc24(init, &b) ^ crc24(init, &z),
+            crc24(init, &x)
+        );
+    }
+}

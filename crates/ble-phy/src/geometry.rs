@@ -1,0 +1,162 @@
+//! Node placement and obstacles.
+//!
+//! The paper's experiments vary the attacker's *position*: an equilateral
+//! triangle with 2 m edges (experiments 1–2), attacker distances from 1 to
+//! 10 m (experiment 3) and positions behind a wall (the wall experiment).
+//! This module provides the 2-D geometry those setups are expressed in.
+
+use std::fmt;
+
+/// A point in the 2-D floor plan, in metres.
+///
+/// # Example
+///
+/// ```
+/// use ble_phy::Position;
+/// let a = Position::new(0.0, 0.0);
+/// let b = Position::new(3.0, 4.0);
+/// assert_eq!(a.distance_to(b), 5.0);
+/// ```
+#[derive(Clone, Copy, PartialEq, Debug, Default)]
+pub struct Position {
+    /// X coordinate in metres.
+    pub x: f64,
+    /// Y coordinate in metres.
+    pub y: f64,
+}
+
+impl Position {
+    /// The origin.
+    pub const ORIGIN: Position = Position { x: 0.0, y: 0.0 };
+
+    /// Creates a position from metre coordinates.
+    pub const fn new(x: f64, y: f64) -> Self {
+        Position { x, y }
+    }
+
+    /// Euclidean distance to another position, in metres.
+    pub fn distance_to(self, other: Position) -> f64 {
+        ((self.x - other.x).powi(2) + (self.y - other.y).powi(2)).sqrt()
+    }
+}
+
+impl fmt::Display for Position {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({:.2} m, {:.2} m)", self.x, self.y)
+    }
+}
+
+/// A wall segment with an RF attenuation, in dB.
+///
+/// A transmission whose line of sight crosses the segment loses
+/// `attenuation_db` of power — the standard first-order model for indoor
+/// obstruction, matching the paper's "attacker behind a wall" experiment.
+///
+/// # Example
+///
+/// ```
+/// use ble_phy::{Position, Wall};
+/// let wall = Wall::new(Position::new(1.0, -5.0), Position::new(1.0, 5.0), 8.0);
+/// assert!(wall.blocks(Position::new(0.0, 0.0), Position::new(2.0, 0.0)));
+/// assert!(!wall.blocks(Position::new(0.0, 0.0), Position::new(0.5, 1.0)));
+/// ```
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct Wall {
+    /// One endpoint of the wall segment.
+    pub a: Position,
+    /// The other endpoint.
+    pub b: Position,
+    /// Power lost crossing the wall, in dB.
+    pub attenuation_db: f64,
+}
+
+impl Wall {
+    /// Creates a wall between two endpoints with the given attenuation.
+    pub const fn new(a: Position, b: Position, attenuation_db: f64) -> Self {
+        Wall { a, b, attenuation_db }
+    }
+
+    /// Whether the segment from `p` to `q` crosses this wall.
+    pub fn blocks(&self, p: Position, q: Position) -> bool {
+        segments_intersect(p, q, self.a, self.b)
+    }
+}
+
+/// Orientation of the ordered triple (a, b, c):
+/// positive = counter-clockwise, negative = clockwise, zero = collinear.
+fn orientation(a: Position, b: Position, c: Position) -> f64 {
+    (b.x - a.x) * (c.y - a.y) - (b.y - a.y) * (c.x - a.x)
+}
+
+fn on_segment(a: Position, b: Position, p: Position) -> bool {
+    p.x >= a.x.min(b.x) - 1e-12
+        && p.x <= a.x.max(b.x) + 1e-12
+        && p.y >= a.y.min(b.y) - 1e-12
+        && p.y <= a.y.max(b.y) + 1e-12
+}
+
+/// Proper segment-intersection test including collinear-overlap cases.
+fn segments_intersect(p1: Position, p2: Position, q1: Position, q2: Position) -> bool {
+    let o1 = orientation(p1, p2, q1);
+    let o2 = orientation(p1, p2, q2);
+    let o3 = orientation(q1, q2, p1);
+    let o4 = orientation(q1, q2, p2);
+
+    if (o1 * o2 < 0.0) && (o3 * o4 < 0.0) {
+        return true;
+    }
+    // Collinear touching cases.
+    (o1.abs() < 1e-12 && on_segment(p1, p2, q1))
+        || (o2.abs() < 1e-12 && on_segment(p1, p2, q2))
+        || (o3.abs() < 1e-12 && on_segment(q1, q2, p1))
+        || (o4.abs() < 1e-12 && on_segment(q1, q2, p2))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distance_basics() {
+        assert_eq!(Position::ORIGIN.distance_to(Position::new(0.0, 2.0)), 2.0);
+        let d = Position::new(1.0, 1.0).distance_to(Position::new(2.0, 2.0));
+        assert!((d - std::f64::consts::SQRT_2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn crossing_wall_blocks() {
+        let wall = Wall::new(Position::new(0.0, -1.0), Position::new(0.0, 1.0), 8.0);
+        assert!(wall.blocks(Position::new(-1.0, 0.0), Position::new(1.0, 0.0)));
+    }
+
+    #[test]
+    fn parallel_paths_do_not_block() {
+        let wall = Wall::new(Position::new(0.0, -1.0), Position::new(0.0, 1.0), 8.0);
+        assert!(!wall.blocks(Position::new(1.0, -1.0), Position::new(1.0, 1.0)));
+        assert!(!wall.blocks(Position::new(-2.0, 0.0), Position::new(-1.0, 0.0)));
+    }
+
+    #[test]
+    fn path_ending_short_of_wall_does_not_block() {
+        let wall = Wall::new(Position::new(5.0, -1.0), Position::new(5.0, 1.0), 8.0);
+        assert!(!wall.blocks(Position::ORIGIN, Position::new(4.9, 0.0)));
+        assert!(wall.blocks(Position::ORIGIN, Position::new(5.1, 0.0)));
+    }
+
+    #[test]
+    fn touching_endpoint_counts_as_blocked() {
+        let wall = Wall::new(Position::new(0.0, 0.0), Position::new(2.0, 0.0), 8.0);
+        assert!(wall.blocks(Position::new(1.0, 0.0), Position::new(1.0, 3.0)));
+    }
+
+    #[test]
+    fn collinear_disjoint_segments_do_not_intersect() {
+        let wall = Wall::new(Position::new(0.0, 0.0), Position::new(1.0, 0.0), 8.0);
+        assert!(!wall.blocks(Position::new(2.0, 0.0), Position::new(3.0, 0.0)));
+    }
+
+    #[test]
+    fn display_position() {
+        assert_eq!(format!("{}", Position::new(1.0, 2.5)), "(1.00 m, 2.50 m)");
+    }
+}

@@ -1,0 +1,712 @@
+//! The shared radio medium and simulation driver.
+//!
+//! [`Simulation`] owns the event queue, the node radios and the set of
+//! in-flight transmissions. Frame delivery follows first-lock-wins radio
+//! semantics: a receiver synchronises on the first frame whose preamble it
+//! hears (passing its access-address filter), and any frame overlapping the
+//! locked reception contributes interference. At the end of the locked
+//! frame the [`crate::CaptureModel`] decides — from the signal-to-
+//! interference ratio and the overlap duration — whether the frame survived
+//! or was corrupted.
+//!
+//! This is precisely the mechanism the InjectaBLE race exploits: the
+//! attacker's frame, transmitted at the start of the widened receive
+//! window, arrives *first*, so the victim locks onto it; the legitimate
+//! Master frame then only matters as interference.
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::rc::Rc;
+
+use simkit::{Duration, EventQueue, Instant, SimRng, Trace};
+
+use crate::channel::Channel;
+use crate::frame::{RawFrame, ReceivedFrame};
+use crate::geometry::Position;
+use crate::phy_mode::PhyMode;
+use crate::propagation::Environment;
+use crate::radio::{
+    AccessFilter, NodeConfig, NodeCtx, NodeId, RadioEvent, RadioListener, TimerHandle, TimerKey,
+};
+
+/// Handle describing a transmission that was just started.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TxHandle {
+    /// When the first preamble bit left the antenna.
+    pub start: Instant,
+    /// When the last bit will leave the antenna.
+    pub end: Instant,
+    pub(crate) id: u64,
+}
+
+#[derive(Debug)]
+enum SimEvent {
+    TxEnd { node: NodeId },
+    RxStart { node: NodeId, tx_id: u64 },
+    RxEnd { node: NodeId, tx_id: u64 },
+    LateSync { node: NodeId, tx_id: u64 },
+    Timer { node: NodeId, key: TimerKey },
+}
+
+#[derive(Debug, Clone)]
+struct Interference {
+    power_dbm: f64,
+    overlap: Duration,
+}
+
+#[derive(Debug)]
+struct RxLock {
+    tx_id: u64,
+    arrival: Instant,
+    end: Instant,
+    signal_dbm: f64,
+    interference: Vec<Interference>,
+}
+
+#[derive(Debug)]
+enum RadioState {
+    Idle,
+    Rx {
+        channel: Channel,
+        filter: AccessFilter,
+        crc_init: u32,
+        lock: Option<RxLock>,
+    },
+    Tx {
+        until: Instant,
+    },
+}
+
+struct NodeState {
+    config: NodeConfig,
+    rng: SimRng,
+    radio: RadioState,
+}
+
+struct ActiveTx {
+    from: NodeId,
+    channel: Channel,
+    phy: PhyMode,
+    frame: RawFrame,
+    start: Instant,
+    end: Instant,
+}
+
+/// Internal simulation state shared between the driver and [`NodeCtx`].
+pub(crate) struct SimInner {
+    queue: EventQueue<SimEvent>,
+    env: Environment,
+    nodes: Vec<NodeState>,
+    txs: HashMap<u64, ActiveTx>,
+    next_tx_id: u64,
+    rng: SimRng,
+    trace: Trace,
+}
+
+/// How long finished transmissions are retained for interference accounting
+/// before garbage collection.
+const TX_RETENTION: Duration = Duration::from_millis(1);
+
+impl SimInner {
+    pub(crate) fn now(&self) -> Instant {
+        self.queue.now()
+    }
+
+    pub(crate) fn node_label(&self, node: NodeId) -> &str {
+        &self.nodes[node.0].config.label
+    }
+
+    pub(crate) fn node_clock(&self, node: NodeId) -> &simkit::DriftClock {
+        &self.nodes[node.0].config.clock
+    }
+
+    pub(crate) fn node_phy(&self, node: NodeId) -> PhyMode {
+        self.nodes[node.0].config.phy
+    }
+
+    pub(crate) fn node_rng(&mut self, node: NodeId) -> &mut SimRng {
+        &mut self.nodes[node.0].rng
+    }
+
+    pub(crate) fn trace_record(&mut self, at: Instant, tag: &'static str, detail: String) {
+        self.trace.record(at, tag, detail);
+    }
+
+    fn received_power_dbm(&mut self, from: NodeId, to: NodeId) -> f64 {
+        let tx = &self.nodes[from.0].config;
+        let rx = &self.nodes[to.0].config;
+        let mean = self
+            .env
+            .mean_received_power_dbm(tx.tx_power_dbm, tx.position, rx.position);
+        mean + self.env.fading_db(&mut self.rng)
+    }
+
+    pub(crate) fn transmit(&mut self, node: NodeId, channel: Channel, frame: RawFrame) -> TxHandle {
+        let now = self.now();
+        let phy = self.nodes[node.0].config.phy;
+        // Half-duplex: transmitting abandons any reception in progress, but
+        // starting a second transmission is a protocol-machine bug.
+        if matches!(self.nodes[node.0].radio, RadioState::Tx { .. }) {
+            panic!(
+                "{}: transmit() while already transmitting",
+                self.node_label(node)
+            );
+        }
+        let airtime = frame.airtime(phy);
+        let end = now + airtime;
+        self.nodes[node.0].radio = RadioState::Tx { until: end };
+
+        let tx_id = self.next_tx_id;
+        self.next_tx_id += 1;
+        self.trace.record(
+            now,
+            "tx-start",
+            format!(
+                "{} {} aa={} len={} end={}",
+                self.node_label(node),
+                channel,
+                frame.access_address,
+                frame.pdu.len(),
+                end
+            ),
+        );
+        self.txs.insert(
+            tx_id,
+            ActiveTx {
+                from: node,
+                channel,
+                phy,
+                frame,
+                start: now,
+                end,
+            },
+        );
+        self.queue.schedule_at(end, SimEvent::TxEnd { node });
+        let from_pos = self.nodes[node.0].config.position;
+        for other in 0..self.nodes.len() {
+            if other == node.0 {
+                continue;
+            }
+            let to_pos = self.nodes[other].config.position;
+            let arrival = now + self.env.propagation_delay(from_pos, to_pos);
+            self.queue.schedule_at(
+                arrival,
+                SimEvent::RxStart {
+                    node: NodeId(other),
+                    tx_id,
+                },
+            );
+        }
+        TxHandle {
+            start: now,
+            end,
+            id: tx_id,
+        }
+    }
+
+    pub(crate) fn start_rx(
+        &mut self,
+        node: NodeId,
+        channel: Channel,
+        filter: AccessFilter,
+        crc_init: u32,
+    ) {
+        let now = self.now();
+        if let RadioState::Tx { .. } = self.nodes[node.0].radio {
+            panic!("{}: start_rx() while transmitting", self.node_label(node));
+        }
+        self.nodes[node.0].radio = RadioState::Rx {
+            channel,
+            filter,
+            crc_init,
+            lock: None,
+        };
+        // Late lock: a frame whose preamble began moments ago can still be
+        // caught — required for window semantics where a receiver opens just
+        // in time.
+        let phy = self.nodes[node.0].config.phy;
+        let grace = phy.preamble_duration() / 4;
+        let mut best: Option<(u64, Instant)> = None;
+        let rx_pos = self.nodes[node.0].config.position;
+        for (&tx_id, tx) in &self.txs {
+            if tx.from == node || tx.channel != channel || tx.phy != phy {
+                continue;
+            }
+            let delay = self
+                .env
+                .propagation_delay(self.nodes[tx.from.0].config.position, rx_pos);
+            let arrival = tx.start + delay;
+            let tx_end = tx.end + delay;
+            if arrival <= now && now <= arrival + grace && tx_end > now {
+                if !filter.matches(tx.frame.access_address) {
+                    continue;
+                }
+                if best.map_or(true, |(_, a)| arrival < a) {
+                    best = Some((tx_id, arrival));
+                }
+            }
+        }
+        if let Some((tx_id, arrival)) = best {
+            if self.try_lock(node, tx_id, arrival, None) {
+                self.queue
+                    .schedule_at(now, SimEvent::LateSync { node, tx_id });
+            }
+        }
+    }
+
+    /// Attempts to lock `node`'s receiver onto transmission `tx_id` whose
+    /// leading edge arrived at `arrival`. `known_power` reuses an already
+    /// drawn per-frame fading realisation. Returns whether the lock
+    /// happened.
+    fn try_lock(
+        &mut self,
+        node: NodeId,
+        tx_id: u64,
+        arrival: Instant,
+        known_power: Option<f64>,
+    ) -> bool {
+        let (tx_start, tx_end, tx_from) = {
+            let tx = &self.txs[&tx_id];
+            (tx.start, tx.end, tx.from)
+        };
+        let signal_dbm = known_power.unwrap_or_else(|| self.received_power_dbm(tx_from, node));
+        if signal_dbm < self.env.sensitivity_dbm {
+            return false;
+        }
+        let lock_end = arrival + (tx_end - tx_start);
+        // Frames that started earlier and are still in the air interfere
+        // from the very start of this lock.
+        let interference = self.scan_existing_interference(node, tx_id, arrival, lock_end);
+        let channel = {
+            let RadioState::Rx { lock, channel, .. } = &mut self.nodes[node.0].radio else {
+                return false;
+            };
+            *lock = Some(RxLock {
+                tx_id,
+                arrival,
+                end: lock_end,
+                signal_dbm,
+                interference,
+            });
+            *channel
+        };
+        self.queue
+            .schedule_at(lock_end, SimEvent::RxEnd { node, tx_id });
+        self.trace.record(
+            arrival,
+            "rx-lock",
+            format!("{} {} tx#{}", self.node_label(node), channel, tx_id),
+        );
+        true
+    }
+
+    /// Interference from transmissions already on the air at lock time.
+    fn scan_existing_interference(
+        &mut self,
+        node: NodeId,
+        locked_tx: u64,
+        window_start: Instant,
+        window_end: Instant,
+    ) -> Vec<Interference> {
+        let rx_pos = self.nodes[node.0].config.position;
+        let channel = match &self.txs.get(&locked_tx) {
+            Some(tx) => tx.channel,
+            None => return Vec::new(),
+        };
+        let candidates: Vec<(NodeId, Instant, Instant)> = self
+            .txs
+            .iter()
+            .filter(|(&id, tx)| id != locked_tx && tx.from != node && tx.channel == channel)
+            .map(|(_, tx)| {
+                let delay = self
+                    .env
+                    .propagation_delay(self.nodes[tx.from.0].config.position, rx_pos);
+                (tx.from, tx.start + delay, tx.end + delay)
+            })
+            .collect();
+        let mut out = Vec::new();
+        for (from, arrival, end) in candidates {
+            if arrival <= window_start && end > window_start {
+                let overlap = end.min(window_end) - window_start;
+                let power_dbm = self.received_power_dbm(from, node);
+                out.push(Interference { power_dbm, overlap });
+            }
+        }
+        out
+    }
+
+    /// Processes the arrival of `tx_id`'s leading edge at `node`. Returns a
+    /// sync notification to dispatch if the radio locked on.
+    fn handle_rx_start(&mut self, node: NodeId, tx_id: u64) -> Option<RadioEvent> {
+        let now = self.now();
+        let (tx_channel, tx_aa, tx_from, tx_len) = {
+            let tx = self.txs.get(&tx_id)?;
+            (tx.channel, tx.frame.access_address, tx.from, tx.end - tx.start)
+        };
+        let already_locked = {
+            let RadioState::Rx { channel, lock, .. } = &self.nodes[node.0].radio else {
+                return None;
+            };
+            if *channel != tx_channel {
+                return None;
+            }
+            lock.is_some()
+        };
+        if already_locked {
+            let power_dbm = self.received_power_dbm(tx_from, node);
+            // A dominant late arrival steals the lock (receiver
+            // re-synchronisation): the previously locked frame is lost.
+            let (steals, matches_filter) = {
+                let RadioState::Rx { lock: Some(lock), filter, .. } = &self.nodes[node.0].radio
+                else {
+                    return None;
+                };
+                (
+                    power_dbm >= lock.signal_dbm + self.env.capture.relock_threshold_db,
+                    filter.matches(tx_aa),
+                )
+            };
+            let phy_matches = self.nodes[node.0].config.phy == self.txs[&tx_id].phy;
+            if steals && matches_filter && phy_matches {
+                self.trace.record(
+                    now,
+                    "relock",
+                    format!("{} re-locks onto stronger frame", self.node_label(node)),
+                );
+                if self.try_lock(node, tx_id, now, Some(power_dbm)) {
+                    return Some(RadioEvent::SyncDetected {
+                        channel: tx_channel,
+                        access_address: tx_aa,
+                        at: now,
+                    });
+                }
+                return None;
+            }
+            // Otherwise: interference on the locked reception.
+            let RadioState::Rx { lock: Some(lock), .. } = &mut self.nodes[node.0].radio else {
+                return None;
+            };
+            if now < lock.end {
+                let overlap = (now + tx_len).min(lock.end) - now;
+                lock.interference.push(Interference { power_dbm, overlap });
+            }
+            return None;
+        }
+        // Unlocked: try to synchronise.
+        let (filter, phy) = {
+            let RadioState::Rx { filter, .. } = &self.nodes[node.0].radio else {
+                return None;
+            };
+            (*filter, self.nodes[node.0].config.phy)
+        };
+        if phy != self.txs[&tx_id].phy || !filter.matches(tx_aa) {
+            return None;
+        }
+        if self.try_lock(node, tx_id, now, None) {
+            Some(RadioEvent::SyncDetected {
+                channel: tx_channel,
+                access_address: tx_aa,
+                at: now,
+            })
+        } else {
+            None
+        }
+    }
+
+    /// Completes a locked reception. Returns the frame to deliver.
+    fn handle_rx_end(&mut self, node: NodeId, tx_id: u64) -> Option<ReceivedFrame> {
+        let lock = {
+            let RadioState::Rx { lock, .. } = &mut self.nodes[node.0].radio else {
+                return None;
+            };
+            if lock.as_ref().map(|l| l.tx_id) != Some(tx_id) {
+                return None;
+            }
+            lock.take().expect("just matched")
+        };
+        let (channel, rx_crc_init) = match &self.nodes[node.0].radio {
+            RadioState::Rx { channel, crc_init, .. } => (*channel, *crc_init),
+            _ => return None,
+        };
+        let tx = self.txs.get(&tx_id)?;
+        let tx_crc_init = tx.frame.crc_init;
+        let aa = tx.frame.access_address;
+        let mut pdu = tx.frame.pdu.clone();
+
+        // Collision resolution: the locked frame must survive every
+        // interferer independently (capture effect).
+        let mut survived = true;
+        let capture = self.env.capture.clone();
+        let interference = lock.interference.clone();
+        for i in &interference {
+            let sir_db = lock.signal_dbm - i.power_dbm;
+            let p = capture.survival_probability(sir_db, i.overlap.as_micros_f64());
+            if !self.rng.chance(p) {
+                survived = false;
+            }
+        }
+        if !survived && !pdu.is_empty() {
+            // Corrupt a few bits so higher layers see garbage that fails CRC.
+            let flips = 1 + self.rng.below(3);
+            for _ in 0..flips {
+                let bit = self.rng.below(pdu.len() as u64 * 8) as usize;
+                pdu[bit / 8] ^= 1 << (bit % 8);
+            }
+        }
+        let crc_ok = survived && rx_crc_init == tx_crc_init;
+        self.trace.record(
+            lock.end,
+            "rx-end",
+            format!(
+                "{} {} aa={} crc_ok={} interferers={}",
+                self.node_label(node),
+                channel,
+                aa,
+                crc_ok,
+                interference.len()
+            ),
+        );
+        Some(ReceivedFrame {
+            channel,
+            access_address: aa,
+            pdu,
+            crc_ok,
+            rssi_dbm: lock.signal_dbm,
+            start: lock.arrival,
+            end: lock.end,
+        })
+    }
+
+    fn finish_tx(&mut self, node: NodeId) -> Option<RadioEvent> {
+        let now = self.now();
+        match self.nodes[node.0].radio {
+            RadioState::Tx { until } if until <= now => {
+                self.nodes[node.0].radio = RadioState::Idle;
+                Some(RadioEvent::TxDone { at: now })
+            }
+            _ => None,
+        }
+    }
+
+    pub(crate) fn stop_rx(&mut self, node: NodeId) {
+        if let RadioState::Rx { .. } = self.nodes[node.0].radio {
+            self.nodes[node.0].radio = RadioState::Idle;
+        }
+    }
+
+    pub(crate) fn is_receiving(&self, node: NodeId) -> bool {
+        matches!(self.nodes[node.0].radio, RadioState::Rx { .. })
+    }
+
+    pub(crate) fn is_transmitting(&self, node: NodeId) -> bool {
+        matches!(self.nodes[node.0].radio, RadioState::Tx { .. })
+    }
+
+    pub(crate) fn set_timer_local_from(
+        &mut self,
+        node: NodeId,
+        reference: Instant,
+        local_delay: Duration,
+        key: TimerKey,
+    ) -> TimerHandle {
+        let at = {
+            let state = &mut self.nodes[node.0];
+            let clock = state.config.clock.clone();
+            clock.true_after_jittered(reference, local_delay, &mut state.rng)
+        };
+        TimerHandle(self.queue.schedule_at(at, SimEvent::Timer { node, key }))
+    }
+
+    pub(crate) fn set_timer_at(&mut self, node: NodeId, at: Instant, key: TimerKey) -> TimerHandle {
+        TimerHandle(self.queue.schedule_at(at, SimEvent::Timer { node, key }))
+    }
+
+    pub(crate) fn cancel_timer(&mut self, handle: TimerHandle) {
+        self.queue.cancel(handle.0);
+    }
+
+    fn gc(&mut self) {
+        let now = self.now();
+        self.txs
+            .retain(|_, tx| tx.end + TX_RETENTION >= now);
+    }
+}
+
+/// A discrete-event BLE radio simulation.
+///
+/// See the crate-level documentation for the overall architecture.
+pub struct Simulation {
+    inner: SimInner,
+    listeners: Vec<Rc<RefCell<dyn RadioListener>>>,
+}
+
+impl Simulation {
+    /// Creates a simulation with the given environment and random seed
+    /// source.
+    pub fn new(env: Environment, rng: SimRng) -> Self {
+        Simulation {
+            inner: SimInner {
+                queue: EventQueue::new(),
+                env,
+                nodes: Vec::new(),
+                txs: HashMap::new(),
+                next_tx_id: 0,
+                rng,
+                trace: Trace::disabled(),
+            },
+            listeners: Vec::new(),
+        }
+    }
+
+    /// Enables the simulation trace (for debugging and assertions).
+    pub fn enable_trace(&mut self) {
+        self.inner.trace = Trace::enabled();
+    }
+
+    /// The collected trace.
+    pub fn trace(&self) -> &Trace {
+        &self.inner.trace
+    }
+
+    /// Current simulation time.
+    pub fn now(&self) -> Instant {
+        self.inner.now()
+    }
+
+    /// The environment (read-only).
+    pub fn env(&self) -> &Environment {
+        &self.inner.env
+    }
+
+    /// Mutable access to the environment (e.g. to move walls mid-run).
+    pub fn env_mut(&mut self) -> &mut Environment {
+        &mut self.inner.env
+    }
+
+    /// Adds a node with its protocol listener; returns its identifier.
+    pub fn add_node(
+        &mut self,
+        config: NodeConfig,
+        listener: Rc<RefCell<dyn RadioListener>>,
+    ) -> NodeId {
+        let rng = self.inner.rng.fork();
+        let id = NodeId(self.inner.nodes.len());
+        self.inner.nodes.push(NodeState {
+            config,
+            rng,
+            radio: RadioState::Idle,
+        });
+        self.listeners.push(listener);
+        id
+    }
+
+    /// A node's position.
+    pub fn node_position(&self, node: NodeId) -> Position {
+        self.inner.nodes[node.0].config.position
+    }
+
+    /// Moves a node (used by the distance-sweep experiments).
+    pub fn set_node_position(&mut self, node: NodeId, position: Position) {
+        self.inner.nodes[node.0].config.position = position;
+    }
+
+    /// Runs a closure with a [`NodeCtx`] for `node` — the way device state
+    /// machines are bootstrapped (arming their first timer, opening RX).
+    pub fn with_ctx<R>(&mut self, node: NodeId, f: impl FnOnce(&mut NodeCtx<'_>) -> R) -> R {
+        let mut ctx = NodeCtx {
+            node,
+            sim: &mut self.inner,
+        };
+        f(&mut ctx)
+    }
+
+    /// Processes the next pending event. Returns `false` when idle.
+    pub fn step(&mut self) -> bool {
+        self.inner.gc();
+        let Some((at, event)) = self.inner.queue.pop() else {
+            return false;
+        };
+        match event {
+            SimEvent::Timer { node, key } => {
+                self.dispatch(node, RadioEvent::Timer { key, at });
+            }
+            SimEvent::TxEnd { node } => {
+                if let Some(ev) = self.inner.finish_tx(node) {
+                    self.dispatch(node, ev);
+                }
+            }
+            SimEvent::RxStart { node, tx_id } => {
+                if let Some(ev) = self.inner.handle_rx_start(node, tx_id) {
+                    self.dispatch(node, ev);
+                }
+            }
+            SimEvent::LateSync { node, tx_id } => {
+                let pending = match &self.inner.nodes[node.0].radio {
+                    RadioState::Rx { lock: Some(lock), channel, .. } if lock.tx_id == tx_id => {
+                        Some((*channel, lock.arrival))
+                    }
+                    _ => None,
+                };
+                if let Some((channel, arrival)) = pending {
+                    let aa = match self.inner.txs.get(&tx_id) {
+                        Some(tx) => tx.frame.access_address,
+                        None => return true,
+                    };
+                    self.dispatch(
+                        node,
+                        RadioEvent::SyncDetected {
+                            channel,
+                            access_address: aa,
+                            at: arrival,
+                        },
+                    );
+                }
+            }
+            SimEvent::RxEnd { node, tx_id } => {
+                if let Some(frame) = self.inner.handle_rx_end(node, tx_id) {
+                    self.dispatch(node, RadioEvent::FrameReceived(frame));
+                }
+            }
+        }
+        true
+    }
+
+    /// Runs all events up to and including time `t`, then advances the
+    /// clock to `t`.
+    pub fn run_until(&mut self, t: Instant) {
+        loop {
+            match self.inner.queue.peek_time() {
+                Some(next) if next <= t => {
+                    self.step();
+                }
+                _ => break,
+            }
+        }
+        self.inner.queue.advance_to(t);
+    }
+
+    /// Runs for a span of simulated time from *now*.
+    pub fn run_for(&mut self, d: Duration) {
+        let t = self.now() + d;
+        self.run_until(t);
+    }
+
+    fn dispatch(&mut self, node: NodeId, event: RadioEvent) {
+        let listener = Rc::clone(&self.listeners[node.0]);
+        let mut ctx = NodeCtx {
+            node,
+            sim: &mut self.inner,
+        };
+        listener.borrow_mut().on_event(&mut ctx, event);
+    }
+}
+
+impl std::fmt::Debug for Simulation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Simulation")
+            .field("now", &self.now())
+            .field("nodes", &self.inner.nodes.len())
+            .field("pending_events", &self.inner.queue.len())
+            .finish()
+    }
+}

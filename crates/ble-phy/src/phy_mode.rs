@@ -1,0 +1,112 @@
+//! Physical-layer modes and airtime computation.
+
+use simkit::Duration;
+
+/// A BLE physical layer mode.
+///
+/// The paper's experiments all use LE 1M (1 Mbit/s uncoded, the mandatory
+/// PHY); LE 2M and the coded PHYs are provided for the BLE 5 extension
+/// experiments.
+///
+/// # Example
+///
+/// ```
+/// use ble_phy::PhyMode;
+/// // The paper's 22-byte over-the-air frame takes 176 µs on LE 1M.
+/// let airtime = PhyMode::Le1M.airtime_for_total_bytes(22);
+/// assert_eq!(airtime.as_micros(), 176);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Default)]
+pub enum PhyMode {
+    /// Uncoded 1 Mbit/s GFSK (BLE 4.x mandatory PHY).
+    #[default]
+    Le1M,
+    /// Uncoded 2 Mbit/s GFSK (BLE 5).
+    Le2M,
+    /// Coded PHY, S=2 (500 kbit/s).
+    LeCodedS2,
+    /// Coded PHY, S=8 (125 kbit/s).
+    LeCodedS8,
+}
+
+impl PhyMode {
+    /// Nanoseconds to transmit one bit.
+    pub const fn ns_per_bit(self) -> u64 {
+        match self {
+            PhyMode::Le1M => 1_000,
+            PhyMode::Le2M => 500,
+            PhyMode::LeCodedS2 => 2_000,
+            PhyMode::LeCodedS8 => 8_000,
+        }
+    }
+
+    /// Nanoseconds to transmit one byte.
+    pub const fn ns_per_byte(self) -> u64 {
+        self.ns_per_bit() * 8
+    }
+
+    /// Preamble length in bytes (1 for LE 1M, 2 for LE 2M; the coded PHY
+    /// preamble is longer but modelled as its uncoded-equivalent here).
+    pub const fn preamble_len(self) -> usize {
+        match self {
+            PhyMode::Le1M | PhyMode::LeCodedS2 | PhyMode::LeCodedS8 => 1,
+            PhyMode::Le2M => 2,
+        }
+    }
+
+    /// Airtime of a frame given its *total* over-the-air byte count
+    /// (preamble + access address + PDU + CRC).
+    pub fn airtime_for_total_bytes(self, total_bytes: usize) -> Duration {
+        Duration::from_nanos(total_bytes as u64 * self.ns_per_byte())
+    }
+
+    /// Airtime of a frame given only its PDU length, adding preamble,
+    /// access address (4 bytes) and CRC (3 bytes) automatically.
+    pub fn airtime_for_pdu(self, pdu_len: usize) -> Duration {
+        self.airtime_for_total_bytes(self.preamble_len() + 4 + pdu_len + 3)
+    }
+
+    /// Duration of the preamble alone — the window a late-opening receiver
+    /// has to still catch frame synchronisation.
+    pub fn preamble_duration(self) -> Duration {
+        Duration::from_nanos(self.preamble_len() as u64 * self.ns_per_byte())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn le1m_matches_paper_example() {
+        // Paper §VII-A: a 22-byte frame is 176 µs on LE 1M.
+        assert_eq!(PhyMode::Le1M.airtime_for_total_bytes(22).as_micros(), 176);
+    }
+
+    #[test]
+    fn airtime_for_pdu_adds_framing_overhead() {
+        // Empty data PDU: 1 preamble + 4 AA + 2 header... the PDU here is
+        // header+payload, so an empty *payload* PDU of 2 bytes gives
+        // 1+4+2+3 = 10 bytes = 80 µs.
+        assert_eq!(PhyMode::Le1M.airtime_for_pdu(2).as_micros(), 80);
+    }
+
+    #[test]
+    fn le2m_is_twice_as_fast() {
+        let a1 = PhyMode::Le1M.airtime_for_total_bytes(30);
+        let a2 = PhyMode::Le2M.airtime_for_total_bytes(30);
+        assert_eq!(a1.as_nanos(), 2 * a2.as_nanos());
+    }
+
+    #[test]
+    fn coded_phys_are_slower() {
+        assert!(PhyMode::LeCodedS8.ns_per_bit() > PhyMode::LeCodedS2.ns_per_bit());
+        assert!(PhyMode::LeCodedS2.ns_per_bit() > PhyMode::Le1M.ns_per_bit());
+    }
+
+    #[test]
+    fn preamble_durations() {
+        assert_eq!(PhyMode::Le1M.preamble_duration().as_micros(), 8);
+        assert_eq!(PhyMode::Le2M.preamble_duration().as_micros(), 8);
+    }
+}

@@ -1,0 +1,195 @@
+//! Radio propagation model.
+//!
+//! The paper's distance and wall experiments (§VII-C) probe how the injected
+//! signal's power at the victim Slave — relative to the legitimate Master's —
+//! controls injection reliability. We model the standard indoor propagation
+//! stack for 2.4 GHz:
+//!
+//! * **log-distance path loss**: `PL(d) = PL₀ + 10·n·log₁₀(d/1 m)` with
+//!   `PL₀ ≈ 40 dB` (free-space loss at 1 m for 2.4 GHz) and exponent
+//!   `n ≈ 1.8` for indoor line-of-sight (corridor/room waveguiding);
+//! * **wall attenuation**: a fixed dB loss per crossed wall segment;
+//! * **multipath fading**: a per-frame, per-link Gaussian (in dB) term —
+//!   each injection attempt sees a different instantaneous channel, which is
+//!   what lets a distant attacker eventually win a collision.
+
+use simkit::{Duration, SimRng};
+
+use crate::capture::CaptureModel;
+use crate::geometry::{Position, Wall};
+
+/// Speed of light in metres per second.
+const SPEED_OF_LIGHT_M_PER_S: f64 = 299_792_458.0;
+
+/// The RF environment: propagation constants, obstacles and the collision
+/// capture model.
+///
+/// # Example
+///
+/// ```
+/// use ble_phy::{Environment, Position};
+/// let env = Environment::indoor_default();
+/// let near = env.mean_received_power_dbm(0.0, Position::new(0.0, 0.0), Position::new(1.0, 0.0));
+/// let far = env.mean_received_power_dbm(0.0, Position::new(0.0, 0.0), Position::new(10.0, 0.0));
+/// assert!(near > far, "power decays with distance");
+/// ```
+#[derive(Debug, Clone)]
+pub struct Environment {
+    /// Path loss at the 1 m reference distance, in dB.
+    pub path_loss_at_1m_db: f64,
+    /// Log-distance path-loss exponent.
+    pub path_loss_exponent: f64,
+    /// Standard deviation of per-frame multipath fading, in dB.
+    pub fading_sigma_db: f64,
+    /// Minimum power a radio can synchronise on, in dBm.
+    pub sensitivity_dbm: f64,
+    /// Wall segments in the floor plan.
+    pub walls: Vec<Wall>,
+    /// Capture-effect model deciding collision outcomes.
+    pub capture: CaptureModel,
+}
+
+impl Environment {
+    /// A realistic indoor environment matching the paper's experimental
+    /// rooms: 2.4 GHz reference loss, mild line-of-sight exponent, moderate
+    /// multipath, no walls.
+    pub fn indoor_default() -> Self {
+        Environment {
+            path_loss_at_1m_db: 40.0,
+            path_loss_exponent: 1.8,
+            fading_sigma_db: 5.0,
+            sensitivity_dbm: -94.0,
+            walls: Vec::new(),
+            capture: CaptureModel::default(),
+        }
+    }
+
+    /// An idealised environment with no fading and deterministic capture,
+    /// for exact unit tests of protocol machinery.
+    pub fn ideal() -> Self {
+        Environment {
+            path_loss_at_1m_db: 40.0,
+            path_loss_exponent: 2.0,
+            fading_sigma_db: 0.0,
+            sensitivity_dbm: -94.0,
+            walls: Vec::new(),
+            capture: CaptureModel::hard_threshold(0.0),
+        }
+    }
+
+    /// Adds a wall and returns the environment (builder style).
+    pub fn with_wall(mut self, wall: Wall) -> Self {
+        self.walls.push(wall);
+        self
+    }
+
+    /// Total wall attenuation along the straight path `from → to`, in dB.
+    pub fn wall_loss_db(&self, from: Position, to: Position) -> f64 {
+        self.walls
+            .iter()
+            .filter(|w| w.blocks(from, to))
+            .map(|w| w.attenuation_db)
+            .sum()
+    }
+
+    /// Deterministic (mean) received power for a transmission, in dBm:
+    /// transmit power minus path loss minus wall loss. Fading is *not*
+    /// included — draw it per frame with [`Environment::fading_db`].
+    pub fn mean_received_power_dbm(&self, tx_power_dbm: f64, from: Position, to: Position) -> f64 {
+        let d = from.distance_to(to).max(0.1);
+        let path_loss = self.path_loss_at_1m_db + 10.0 * self.path_loss_exponent * d.log10();
+        tx_power_dbm - path_loss - self.wall_loss_db(from, to)
+    }
+
+    /// Draws one per-frame fading realisation, in dB (zero-mean Gaussian).
+    pub fn fading_db(&self, rng: &mut SimRng) -> f64 {
+        if self.fading_sigma_db <= 0.0 {
+            0.0
+        } else {
+            rng.normal(0.0, self.fading_sigma_db)
+        }
+    }
+
+    /// Signal propagation delay over the straight-line distance.
+    pub fn propagation_delay(&self, from: Position, to: Position) -> Duration {
+        let seconds = from.distance_to(to) / SPEED_OF_LIGHT_M_PER_S;
+        Duration::from_nanos((seconds * 1e9).round() as u64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn path_loss_follows_log_distance_law() {
+        let env = Environment::indoor_default();
+        let tx = Position::ORIGIN;
+        let p1 = env.mean_received_power_dbm(0.0, tx, Position::new(1.0, 0.0));
+        let p10 = env.mean_received_power_dbm(0.0, tx, Position::new(10.0, 0.0));
+        // One decade of distance costs 10·n dB.
+        assert!((p1 - p10 - 10.0 * env.path_loss_exponent).abs() < 1e-9);
+        assert!((p1 - -40.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn distances_below_10cm_are_clamped() {
+        let env = Environment::indoor_default();
+        let p0 = env.mean_received_power_dbm(0.0, Position::ORIGIN, Position::ORIGIN);
+        let p_close = env.mean_received_power_dbm(0.0, Position::ORIGIN, Position::new(0.05, 0.0));
+        assert_eq!(p0, p_close);
+        assert!(p0.is_finite());
+    }
+
+    #[test]
+    fn walls_attenuate_only_crossing_paths() {
+        let wall = Wall::new(Position::new(1.0, -5.0), Position::new(1.0, 5.0), 8.0);
+        let env = Environment::indoor_default().with_wall(wall);
+        let tx = Position::ORIGIN;
+        let behind = Position::new(2.0, 0.0);
+        let beside = Position::new(0.5, 3.0);
+        let base = Environment::indoor_default();
+        assert!(
+            (base.mean_received_power_dbm(0.0, tx, behind)
+                - env.mean_received_power_dbm(0.0, tx, behind)
+                - 8.0)
+                .abs()
+                < 1e-9
+        );
+        assert_eq!(
+            base.mean_received_power_dbm(0.0, tx, beside),
+            env.mean_received_power_dbm(0.0, tx, beside)
+        );
+    }
+
+    #[test]
+    fn multiple_walls_stack() {
+        let w1 = Wall::new(Position::new(1.0, -5.0), Position::new(1.0, 5.0), 8.0);
+        let w2 = Wall::new(Position::new(2.0, -5.0), Position::new(2.0, 5.0), 6.0);
+        let env = Environment::indoor_default().with_wall(w1).with_wall(w2);
+        assert_eq!(env.wall_loss_db(Position::ORIGIN, Position::new(3.0, 0.0)), 14.0);
+    }
+
+    #[test]
+    fn fading_is_zero_mean_and_disabled_when_sigma_zero() {
+        let mut env = Environment::indoor_default();
+        let mut rng = SimRng::seed_from(5);
+        let n = 10_000;
+        let mean: f64 = (0..n).map(|_| env.fading_db(&mut rng)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.2, "mean fading {mean}");
+        env.fading_sigma_db = 0.0;
+        assert_eq!(env.fading_db(&mut rng), 0.0);
+    }
+
+    #[test]
+    fn propagation_delay_scales_with_distance() {
+        let env = Environment::indoor_default();
+        let d = env.propagation_delay(Position::ORIGIN, Position::new(300.0, 0.0));
+        // 300 m ≈ 1 µs.
+        assert!((d.as_nanos() as i64 - 1_000).abs() <= 2);
+        assert_eq!(
+            env.propagation_delay(Position::ORIGIN, Position::ORIGIN),
+            Duration::ZERO
+        );
+    }
+}

@@ -1,0 +1,123 @@
+//! BLE data whitening.
+//!
+//! The Link Layer whitens the PDU and CRC with a 7-bit LFSR (polynomial
+//! x⁷ + x⁴ + 1) seeded from the channel index, to avoid long runs of
+//! identical bits on air. Whitening is an involution: applying it twice with
+//! the same channel restores the original bytes.
+//!
+//! In the simulated medium frames are carried unwhitened (every receiver
+//! knows the channel, so whitening is information-neutral); the algorithm is
+//! provided because the Link Layer test suite and the attack tooling verify
+//! frame encodings against it, exactly as the paper's nRF52840 firmware
+//! relies on the hardware whitener.
+
+use crate::channel::Channel;
+
+/// Whitens (or de-whitens) `data` in place for the given channel.
+///
+/// # Example
+///
+/// ```
+/// use ble_phy::{whiten_in_place, Channel};
+/// let ch = Channel::new(37).unwrap();
+/// let mut bytes = *b"InjectaBLE";
+/// whiten_in_place(ch, &mut bytes);
+/// assert_ne!(&bytes, b"InjectaBLE");
+/// whiten_in_place(ch, &mut bytes); // involution
+/// assert_eq!(&bytes, b"InjectaBLE");
+/// ```
+pub fn whiten_in_place(channel: Channel, data: &mut [u8]) {
+    let mut lfsr = channel.whitening_init();
+    for byte in data {
+        let mut b = *byte;
+        for bit in 0..8 {
+            if lfsr & 1 != 0 {
+                b ^= 1 << bit;
+                lfsr ^= 0x88;
+            }
+            lfsr >>= 1;
+        }
+        *byte = b;
+    }
+}
+
+/// Returns a whitened copy of `data` for the given channel.
+pub fn whitened(channel: Channel, data: &[u8]) -> Vec<u8> {
+    let mut out = data.to_vec();
+    whiten_in_place(channel, &mut out);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ch(i: u8) -> Channel {
+        Channel::new(i).unwrap()
+    }
+
+    #[test]
+    fn whitening_is_an_involution_on_every_channel() {
+        let original: Vec<u8> = (0..=255u8).collect();
+        for i in 0..40 {
+            let once = whitened(ch(i), &original);
+            let twice = whitened(ch(i), &once);
+            assert_eq!(twice, original, "channel {i}");
+        }
+    }
+
+    #[test]
+    fn keystream_differs_between_channels() {
+        let zeros = vec![0u8; 16];
+        let a = whitened(ch(0), &zeros);
+        let b = whitened(ch(1), &zeros);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn keystream_is_nonzero() {
+        let zeros = vec![0u8; 16];
+        for i in 0..40 {
+            let ks = whitened(ch(i), &zeros);
+            assert!(ks.iter().any(|&b| b != 0), "channel {i} keystream all zero");
+        }
+    }
+
+    #[test]
+    fn keystream_period_is_127_bits() {
+        // A maximal-length 7-bit LFSR repeats after 127 bits.
+        let zeros = vec![0u8; 254 / 8 + 2];
+        let ks = whitened(ch(5), &zeros);
+        let bit = |n: usize| (ks[n / 8] >> (n % 8)) & 1;
+        for n in 0..120 {
+            assert_eq!(bit(n), bit(n + 127), "bit {n}");
+        }
+        // ... and not after any smaller power-of-two-ish shift.
+        let mut all_equal = true;
+        for n in 0..64 {
+            if bit(n) != bit(n + 63) {
+                all_equal = false;
+                break;
+            }
+        }
+        assert!(!all_equal, "period must not be 63");
+    }
+
+    #[test]
+    fn whitening_is_xor_additive() {
+        // whiten(a) XOR whiten(b) == a XOR b (keystream cancels).
+        let a: Vec<u8> = (10..30).collect();
+        let b: Vec<u8> = (100..120).collect();
+        let wa = whitened(ch(9), &a);
+        let wb = whitened(ch(9), &b);
+        for i in 0..a.len() {
+            assert_eq!(wa[i] ^ wb[i], a[i] ^ b[i]);
+        }
+    }
+
+    #[test]
+    fn empty_slice_is_fine() {
+        let mut empty: [u8; 0] = [];
+        whiten_in_place(ch(0), &mut empty);
+    }
+}

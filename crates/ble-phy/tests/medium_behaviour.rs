@@ -1,0 +1,428 @@
+//! Behavioural tests of the radio medium: delivery, timing, the
+//! first-lock-wins race and capture-effect collision resolution — the exact
+//! semantics the InjectaBLE attack depends on.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use ble_phy::{
+    AccessAddress, AccessFilter, Channel, Environment, NodeConfig, NodeCtx, Position, RadioEvent,
+    RadioListener, RawFrame, ReceivedFrame, Simulation, TimerKey,
+};
+use simkit::{DriftClock, Duration, Instant, SimRng};
+
+/// A scriptable listener: records every event and optionally reacts.
+#[derive(Default)]
+struct Recorder {
+    events: Vec<RadioEvent>,
+    /// Frames to transmit when a given timer key fires: (key, channel, frame).
+    on_timer_tx: Vec<(u64, Channel, RawFrame)>,
+    /// Open RX on this channel/filter when timer fires: (key, channel, filter, crc_init).
+    on_timer_rx: Vec<(u64, Channel, AccessFilter, u32)>,
+}
+
+impl Recorder {
+    fn new() -> Rc<RefCell<Self>> {
+        Rc::new(RefCell::new(Recorder::default()))
+    }
+    fn received(&self) -> Vec<&ReceivedFrame> {
+        self.events
+            .iter()
+            .filter_map(|e| match e {
+                RadioEvent::FrameReceived(f) => Some(f),
+                _ => None,
+            })
+            .collect()
+    }
+    fn syncs(&self) -> usize {
+        self.events
+            .iter()
+            .filter(|e| matches!(e, RadioEvent::SyncDetected { .. }))
+            .count()
+    }
+}
+
+impl RadioListener for Recorder {
+    fn on_event(&mut self, ctx: &mut NodeCtx<'_>, event: RadioEvent) {
+        if let RadioEvent::Timer { key, .. } = &event {
+            let actions_tx: Vec<_> = self
+                .on_timer_tx
+                .iter()
+                .filter(|(k, _, _)| *k == key.0)
+                .cloned()
+                .collect();
+            for (_, ch, frame) in actions_tx {
+                ctx.transmit(ch, frame);
+            }
+            let actions_rx: Vec<_> = self
+                .on_timer_rx
+                .iter()
+                .filter(|(k, _, _, _)| *k == key.0)
+                .cloned()
+                .collect();
+            for (_, ch, filter, crc_init) in actions_rx {
+                ctx.start_rx(ch, filter, crc_init);
+            }
+        }
+        self.events.push(event);
+    }
+}
+
+fn ideal_sim() -> Simulation {
+    Simulation::new(Environment::ideal(), SimRng::seed_from(42))
+}
+
+const AA: AccessAddress = AccessAddress::new(0x50C2_33A1);
+const CH: Channel = match Channel::new(5) {
+    Some(c) => c,
+    None => unreachable!(),
+};
+
+fn frame(bytes: &[u8]) -> RawFrame {
+    RawFrame::new(AA, bytes.to_vec(), 0xABCDEF)
+}
+
+#[test]
+fn frame_is_delivered_with_correct_timing_and_content() {
+    let mut sim = ideal_sim();
+    let tx = Recorder::new();
+    let rx = Recorder::new();
+    let tx_id = sim.add_node(NodeConfig::new("tx", Position::new(0.0, 0.0)), tx.clone());
+    let _rx_id = {
+        let id = sim.add_node(NodeConfig::new("rx", Position::new(2.0, 0.0)), rx.clone());
+        sim.with_ctx(id, |ctx| ctx.start_rx(CH, AccessFilter::One(AA), 0xABCDEF));
+        id
+    };
+    let handle = sim.with_ctx(tx_id, |ctx| ctx.transmit(CH, frame(&[1, 2, 3, 4])));
+    sim.run_for(Duration::from_millis(1));
+
+    let rx = rx.borrow();
+    let frames = rx.received();
+    assert_eq!(frames.len(), 1);
+    let f = frames[0];
+    assert_eq!(f.pdu, vec![1, 2, 3, 4]);
+    assert!(f.crc_ok);
+    assert_eq!(f.access_address, AA);
+    // 1+4+4+3 = 12 bytes → 96 µs on LE 1M.
+    assert_eq!((f.end - f.start).as_micros(), 96);
+    assert_eq!(handle.end - handle.start, f.end - f.start);
+    // Propagation at 2 m is ~7 ns.
+    assert!(f.start.signed_delta_ns(handle.start).abs() < 20);
+    assert_eq!(rx.syncs(), 1);
+
+    // The transmitter got TxDone at frame end.
+    let tx = tx.borrow();
+    assert!(tx
+        .events
+        .iter()
+        .any(|e| matches!(e, RadioEvent::TxDone { at } if *at == handle.end)));
+}
+
+#[test]
+fn wrong_access_address_is_filtered_but_promiscuous_hears_it() {
+    let mut sim = ideal_sim();
+    let tx = Recorder::new();
+    let strict = Recorder::new();
+    let sniffer = Recorder::new();
+    let tx_id = sim.add_node(NodeConfig::new("tx", Position::ORIGIN), tx);
+    let s1 = sim.add_node(NodeConfig::new("strict", Position::new(1.0, 0.0)), strict.clone());
+    let s2 = sim.add_node(NodeConfig::new("sniffer", Position::new(1.0, 1.0)), sniffer.clone());
+    sim.with_ctx(s1, |ctx| {
+        ctx.start_rx(CH, AccessFilter::One(AccessAddress::new(0xDEAD_BEEF)), 0)
+    });
+    sim.with_ctx(s2, |ctx| ctx.start_rx(CH, AccessFilter::Any, 0xABCDEF));
+    sim.with_ctx(tx_id, |ctx| ctx.transmit(CH, frame(&[9])));
+    sim.run_for(Duration::from_millis(1));
+
+    assert!(strict.borrow().received().is_empty());
+    let sniffer = sniffer.borrow();
+    assert_eq!(sniffer.received().len(), 1);
+    assert!(sniffer.received()[0].crc_ok, "matching crc_init validates");
+}
+
+#[test]
+fn wrong_crc_init_fails_crc_check() {
+    let mut sim = ideal_sim();
+    let tx = Recorder::new();
+    let rx = Recorder::new();
+    let t = sim.add_node(NodeConfig::new("tx", Position::ORIGIN), tx);
+    let r = sim.add_node(NodeConfig::new("rx", Position::new(1.0, 0.0)), rx.clone());
+    sim.with_ctx(r, |ctx| ctx.start_rx(CH, AccessFilter::One(AA), 0x111111));
+    sim.with_ctx(t, |ctx| ctx.transmit(CH, frame(&[1])));
+    sim.run_for(Duration::from_millis(1));
+    let rx = rx.borrow();
+    assert_eq!(rx.received().len(), 1);
+    assert!(!rx.received()[0].crc_ok);
+}
+
+#[test]
+fn different_channel_is_not_received() {
+    let mut sim = ideal_sim();
+    let tx = Recorder::new();
+    let rx = Recorder::new();
+    let t = sim.add_node(NodeConfig::new("tx", Position::ORIGIN), tx);
+    let r = sim.add_node(NodeConfig::new("rx", Position::new(1.0, 0.0)), rx.clone());
+    sim.with_ctx(r, |ctx| {
+        ctx.start_rx(Channel::new(6).unwrap(), AccessFilter::Any, 0)
+    });
+    sim.with_ctx(t, |ctx| ctx.transmit(CH, frame(&[1])));
+    sim.run_for(Duration::from_millis(1));
+    assert!(rx.borrow().received().is_empty());
+}
+
+#[test]
+fn first_frame_wins_the_lock_and_survives_when_stronger() {
+    // The InjectaBLE race in miniature: an "attacker" transmits slightly
+    // before the "master"; the receiver locks the attacker frame. With the
+    // attacker much closer (ideal env = hard 0 dB capture threshold), the
+    // attacker frame survives the collision.
+    let mut sim = ideal_sim();
+    let attacker = Recorder::new();
+    let master = Recorder::new();
+    let slave = Recorder::new();
+
+    let a = sim.add_node(NodeConfig::new("attacker", Position::new(0.5, 0.0)), attacker.clone());
+    let m = sim.add_node(NodeConfig::new("master", Position::new(4.0, 0.0)), master.clone());
+    let s = sim.add_node(NodeConfig::new("slave", Position::new(0.0, 0.0)), slave.clone());
+
+    // Script: attacker transmits at t=100 µs, master at t=130 µs (collides:
+    // attacker frame is 96 µs long), slave listens from t=0.
+    attacker.borrow_mut().on_timer_tx.push((1, CH, frame(&[0xAA; 4])));
+    master.borrow_mut().on_timer_tx.push((1, CH, frame(&[0x55; 4])));
+    sim.with_ctx(s, |ctx| ctx.start_rx(CH, AccessFilter::One(AA), 0xABCDEF));
+    sim.with_ctx(a, |ctx| {
+        ctx.set_timer_at(Instant::from_micros(100), TimerKey(1));
+    });
+    sim.with_ctx(m, |ctx| {
+        ctx.set_timer_at(Instant::from_micros(130), TimerKey(1));
+    });
+    sim.run_for(Duration::from_millis(1));
+
+    let slave = slave.borrow();
+    let frames = slave.received();
+    assert_eq!(frames.len(), 1, "only the locked frame is delivered");
+    assert_eq!(frames[0].pdu, vec![0xAA; 4], "attacker frame won the race");
+    assert!(frames[0].crc_ok, "attacker is closer: capture survives");
+    assert!(frames[0].start.signed_delta_ns(Instant::from_micros(100)).abs() < 100);
+}
+
+#[test]
+fn locked_frame_is_corrupted_when_interferer_is_stronger() {
+    let mut sim = ideal_sim();
+    let attacker = Recorder::new();
+    let master = Recorder::new();
+    let slave = Recorder::new();
+
+    // Attacker far (8 m), master very close (0.5 m): master's frame crushes
+    // the attacker's during the overlap.
+    let a = sim.add_node(NodeConfig::new("attacker", Position::new(8.0, 0.0)), attacker.clone());
+    let m = sim.add_node(NodeConfig::new("master", Position::new(0.5, 0.0)), master.clone());
+    let s = sim.add_node(NodeConfig::new("slave", Position::ORIGIN), slave.clone());
+
+    attacker.borrow_mut().on_timer_tx.push((1, CH, frame(&[0xAA; 4])));
+    master.borrow_mut().on_timer_tx.push((1, CH, frame(&[0x55; 4])));
+    sim.with_ctx(s, |ctx| ctx.start_rx(CH, AccessFilter::One(AA), 0xABCDEF));
+    sim.with_ctx(a, |ctx| {
+        ctx.set_timer_at(Instant::from_micros(100), TimerKey(1));
+    });
+    sim.with_ctx(m, |ctx| {
+        ctx.set_timer_at(Instant::from_micros(130), TimerKey(1));
+    });
+    sim.run_for(Duration::from_millis(1));
+
+    let slave = slave.borrow();
+    let frames = slave.received();
+    assert_eq!(frames.len(), 1);
+    assert!(
+        frames[0].start.signed_delta_ns(Instant::from_micros(100)).abs() < 100,
+        "still locked first frame"
+    );
+    assert!(!frames[0].crc_ok, "strong interferer corrupts the locked frame");
+}
+
+#[test]
+fn non_overlapping_frames_both_delivered() {
+    let mut sim = ideal_sim();
+    let a_rec = Recorder::new();
+    let b_rec = Recorder::new();
+    let rx = Recorder::new();
+    let a = sim.add_node(NodeConfig::new("a", Position::new(1.0, 0.0)), a_rec.clone());
+    let b = sim.add_node(NodeConfig::new("b", Position::new(0.0, 1.0)), b_rec.clone());
+    let r = sim.add_node(NodeConfig::new("rx", Position::ORIGIN), rx.clone());
+    a_rec.borrow_mut().on_timer_tx.push((1, CH, frame(&[1])));
+    b_rec.borrow_mut().on_timer_tx.push((1, CH, frame(&[2])));
+    sim.with_ctx(r, |ctx| ctx.start_rx(CH, AccessFilter::One(AA), 0xABCDEF));
+    sim.with_ctx(a, |ctx| {
+        ctx.set_timer_at(Instant::from_micros(100), TimerKey(1));
+    });
+    sim.with_ctx(b, |ctx| {
+        ctx.set_timer_at(Instant::from_micros(400), TimerKey(1));
+    });
+    sim.run_for(Duration::from_millis(1));
+    let rx = rx.borrow();
+    let frames = rx.received();
+    assert_eq!(frames.len(), 2);
+    assert!(frames.iter().all(|f| f.crc_ok));
+}
+
+#[test]
+fn late_rx_open_within_grace_still_locks() {
+    let mut sim = ideal_sim();
+    let tx_rec = Recorder::new();
+    let rx_rec = Recorder::new();
+    let t = sim.add_node(NodeConfig::new("tx", Position::new(1.0, 0.0)), tx_rec.clone());
+    let r = sim.add_node(NodeConfig::new("rx", Position::ORIGIN), rx_rec.clone());
+    tx_rec.borrow_mut().on_timer_tx.push((1, CH, frame(&[7; 8])));
+    // Receiver opens 1.5 µs *after* the frame's leading edge: within the
+    // 2 µs quarter-preamble grace.
+    rx_rec
+        .borrow_mut()
+        .on_timer_rx
+        .push((2, CH, AccessFilter::One(AA), 0xABCDEF));
+    sim.with_ctx(t, |ctx| {
+        ctx.set_timer_at(Instant::from_micros(100), TimerKey(1));
+    });
+    sim.with_ctx(r, |ctx| {
+        ctx.set_timer_at(Instant::from_nanos(101_500), TimerKey(2));
+    });
+    sim.run_for(Duration::from_millis(1));
+    let rx = rx_rec.borrow();
+    assert_eq!(rx.received().len(), 1, "grace lock must catch the frame");
+    assert!(rx.received()[0].crc_ok);
+    assert_eq!(rx.syncs(), 1);
+}
+
+#[test]
+fn late_rx_open_beyond_grace_misses_the_frame() {
+    let mut sim = ideal_sim();
+    let tx_rec = Recorder::new();
+    let rx_rec = Recorder::new();
+    let t = sim.add_node(NodeConfig::new("tx", Position::new(1.0, 0.0)), tx_rec.clone());
+    let r = sim.add_node(NodeConfig::new("rx", Position::ORIGIN), rx_rec.clone());
+    tx_rec.borrow_mut().on_timer_tx.push((1, CH, frame(&[7; 8])));
+    rx_rec
+        .borrow_mut()
+        .on_timer_rx
+        .push((2, CH, AccessFilter::One(AA), 0xABCDEF));
+    sim.with_ctx(t, |ctx| {
+        ctx.set_timer_at(Instant::from_micros(100), TimerKey(1));
+    });
+    // 10 µs late: preamble is gone.
+    sim.with_ctx(r, |ctx| {
+        ctx.set_timer_at(Instant::from_micros(110), TimerKey(2));
+    });
+    sim.run_for(Duration::from_millis(1));
+    assert!(rx_rec.borrow().received().is_empty());
+}
+
+#[test]
+fn transmitting_node_cannot_receive_concurrently() {
+    let mut sim = ideal_sim();
+    let a_rec = Recorder::new();
+    let b_rec = Recorder::new();
+    let a = sim.add_node(NodeConfig::new("a", Position::ORIGIN), a_rec.clone());
+    let b = sim.add_node(NodeConfig::new("b", Position::new(1.0, 0.0)), b_rec.clone());
+    a_rec.borrow_mut().on_timer_tx.push((1, CH, frame(&[1; 20])));
+    b_rec.borrow_mut().on_timer_tx.push((1, CH, frame(&[2; 20])));
+    // Both transmit at the same instant; neither receives the other.
+    sim.with_ctx(a, |ctx| {
+        ctx.set_timer_at(Instant::from_micros(100), TimerKey(1));
+    });
+    sim.with_ctx(b, |ctx| {
+        ctx.set_timer_at(Instant::from_micros(100), TimerKey(1));
+    });
+    sim.run_for(Duration::from_millis(1));
+    assert!(a_rec.borrow().received().is_empty());
+    assert!(b_rec.borrow().received().is_empty());
+}
+
+#[test]
+fn out_of_range_frame_is_not_locked() {
+    let mut env = Environment::ideal();
+    env.path_loss_exponent = 4.0; // harsh environment
+    let mut sim = Simulation::new(env, SimRng::seed_from(1));
+    let tx_rec = Recorder::new();
+    let rx_rec = Recorder::new();
+    let t = sim.add_node(
+        NodeConfig::new("tx", Position::ORIGIN).with_tx_power(-20.0),
+        tx_rec,
+    );
+    let r = sim.add_node(NodeConfig::new("rx", Position::new(500.0, 0.0)), rx_rec.clone());
+    sim.with_ctx(r, |ctx| ctx.start_rx(CH, AccessFilter::Any, 0));
+    sim.with_ctx(t, |ctx| ctx.transmit(CH, frame(&[1])));
+    sim.run_for(Duration::from_millis(1));
+    assert!(rx_rec.borrow().received().is_empty());
+}
+
+#[test]
+fn drifting_clock_shifts_timer_firing() {
+    let mut sim = ideal_sim();
+    let rec = Recorder::new();
+    let fast = sim.add_node(
+        NodeConfig::new("fast", Position::ORIGIN).with_clock(DriftClock::new(200.0, 200.0)),
+        rec.clone(),
+    );
+    sim.with_ctx(fast, |ctx| {
+        ctx.set_timer_local(Duration::from_millis(100), TimerKey(9));
+    });
+    sim.run_for(Duration::from_millis(200));
+    let rec = rec.borrow();
+    let at = rec
+        .events
+        .iter()
+        .find_map(|e| match e {
+            RadioEvent::Timer { key, at } if key.0 == 9 => Some(*at),
+            _ => None,
+        })
+        .expect("timer fired");
+    // 200 ppm fast over 100 ms → fires ~20 µs early.
+    let early_ns = Instant::from_millis_helper(100).signed_delta_ns(at);
+    assert!(early_ns > 15_000 && early_ns < 25_000, "early by {early_ns} ns");
+}
+
+trait InstantExt {
+    fn from_millis_helper(ms: u64) -> Instant;
+}
+impl InstantExt for Instant {
+    fn from_millis_helper(ms: u64) -> Instant {
+        Instant::from_micros(ms * 1000)
+    }
+}
+
+#[test]
+fn capture_model_probabilistic_band_gives_mixed_outcomes() {
+    // With the default (soft) capture model and equal powers, collisions
+    // sometimes corrupt and sometimes don't — the paper's "phase difference"
+    // luck. Run many independent seeds and check both outcomes occur.
+    let mut survived = 0;
+    let mut corrupted = 0;
+    for seed in 0..60 {
+        let mut sim = Simulation::new(Environment::indoor_default(), SimRng::seed_from(seed));
+        let a_rec = Recorder::new();
+        let m_rec = Recorder::new();
+        let s_rec = Recorder::new();
+        let a = sim.add_node(NodeConfig::new("a", Position::new(2.0, 0.0)), a_rec.clone());
+        let m = sim.add_node(NodeConfig::new("m", Position::new(0.0, 2.0)), m_rec.clone());
+        let s = sim.add_node(NodeConfig::new("s", Position::ORIGIN), s_rec.clone());
+        a_rec.borrow_mut().on_timer_tx.push((1, CH, frame(&[0xAA; 16])));
+        m_rec.borrow_mut().on_timer_tx.push((1, CH, frame(&[0x55; 16])));
+        sim.with_ctx(s, |ctx| ctx.start_rx(CH, AccessFilter::One(AA), 0xABCDEF));
+        sim.with_ctx(a, |ctx| {
+            ctx.set_timer_at(Instant::from_micros(100), TimerKey(1));
+        });
+        sim.with_ctx(m, |ctx| {
+            ctx.set_timer_at(Instant::from_micros(140), TimerKey(1));
+        });
+        sim.run_for(Duration::from_millis(1));
+        let s_rec = s_rec.borrow();
+        let frames = s_rec.received();
+        assert_eq!(frames.len(), 1);
+        if frames[0].crc_ok {
+            survived += 1;
+        } else {
+            corrupted += 1;
+        }
+    }
+    assert!(survived > 5, "some collisions must survive ({survived})");
+    assert!(corrupted > 5, "some collisions must corrupt ({corrupted})");
+}

@@ -1,0 +1,174 @@
+//! The paper's injection-success heuristic (eq. 7).
+//!
+//! The attacker cannot observe the collision at the Slave directly (it is
+//! busy transmitting), so success is inferred from the Slave's response:
+//!
+//! 1. **Timing**: the Slave answers 150 µs after the end of the frame it
+//!    anchored on. If that frame was ours, its response starts inside
+//!    `t_a + d_a + 150 µs ± 5 µs` (the paper's empirically-measured window).
+//! 2. **Acknowledgement**: a CRC-valid reception advances the Slave's NESN;
+//!    eq. 7 checks `(SN_a + 1) mod 2 == NESN'_s ∧ NESN_a == SN'_s`.
+
+use simkit::{Duration, Instant};
+
+/// The paper's ±5 µs tolerance around the expected response start.
+pub const RESPONSE_TOLERANCE: Duration = Duration::from_micros(5);
+
+/// The inter-frame spacing used in the timing check.
+const T_IFS: Duration = Duration::from_micros(150);
+
+/// What the attacker knows about its own injection attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InjectionAttempt {
+    /// Start of transmission of the injected frame (`t_a`).
+    pub t_a: Instant,
+    /// Transmission duration of the injected frame (`d_a`).
+    pub d_a: Duration,
+    /// The injected frame's SN bit (`SN_a`).
+    pub sn_a: bool,
+    /// The injected frame's NESN bit (`NESN_a`).
+    pub nesn_a: bool,
+}
+
+impl InjectionAttempt {
+    /// The expected start of the Slave's response if the injection won:
+    /// `t_a + d_a + 150 µs`.
+    pub fn expected_response_start(&self) -> Instant {
+        self.t_a + self.d_a + T_IFS
+    }
+}
+
+/// What the attacker observed after the attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ObservedResponse {
+    /// Start of transmission of the Slave's response (`t_s`).
+    pub t_s: Instant,
+    /// The response's SN bit (`SN'_s`).
+    pub sn_s: bool,
+    /// The response's NESN bit (`NESN'_s`).
+    pub nesn_s: bool,
+}
+
+/// Evaluates the paper's propositional formula 7:
+///
+/// ```text
+/// (t_a + d_a + 150 − 5 < t_s < t_a + d_a + 150 + 5)
+///   ∧ ((SN_a + 1) mod 2 = NESN'_s)
+///   ∧ (NESN_a = SN'_s)
+/// ```
+///
+/// # Example
+///
+/// ```
+/// use injectable::heuristic::{injection_succeeded, InjectionAttempt, ObservedResponse};
+/// use simkit::{Duration, Instant};
+///
+/// let attempt = InjectionAttempt {
+///     t_a: Instant::from_micros(1000),
+///     d_a: Duration::from_micros(176),
+///     sn_a: false,
+///     nesn_a: true,
+/// };
+/// let response = ObservedResponse {
+///     t_s: Instant::from_micros(1000 + 176 + 150),
+///     sn_s: true,   // == NESN_a
+///     nesn_s: true, // == SN_a + 1
+/// };
+/// assert!(injection_succeeded(&attempt, &response));
+/// ```
+pub fn injection_succeeded(attempt: &InjectionAttempt, response: &ObservedResponse) -> bool {
+    let expected = attempt.expected_response_start();
+    let lo = expected - RESPONSE_TOLERANCE;
+    let hi = expected + RESPONSE_TOLERANCE;
+    let timing_ok = response.t_s > lo && response.t_s < hi;
+    let nesn_ok = !attempt.sn_a == response.nesn_s;
+    let sn_ok = attempt.nesn_a == response.sn_s;
+    timing_ok && nesn_ok && sn_ok
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn attempt() -> InjectionAttempt {
+        InjectionAttempt {
+            t_a: Instant::from_micros(10_000),
+            d_a: Duration::from_micros(176),
+            sn_a: true,
+            nesn_a: false,
+        }
+    }
+
+    fn good_response() -> ObservedResponse {
+        ObservedResponse {
+            t_s: attempt().expected_response_start(),
+            sn_s: false, // == NESN_a
+            nesn_s: false, // == (SN_a + 1) mod 2
+        }
+    }
+
+    #[test]
+    fn exact_response_succeeds() {
+        assert!(injection_succeeded(&attempt(), &good_response()));
+    }
+
+    #[test]
+    fn response_within_tolerance_succeeds() {
+        for offset_ns in [-4_900i64, -1, 1, 4_900] {
+            let mut r = good_response();
+            r.t_s = r.t_s.offset_ns(offset_ns);
+            assert!(injection_succeeded(&attempt(), &r), "{offset_ns}");
+        }
+    }
+
+    #[test]
+    fn response_outside_tolerance_fails() {
+        for offset_ns in [-5_000i64, -6_000, 5_000, 50_000, 1_000_000] {
+            let mut r = good_response();
+            r.t_s = r.t_s.offset_ns(offset_ns);
+            assert!(!injection_succeeded(&attempt(), &r), "{offset_ns}");
+        }
+    }
+
+    #[test]
+    fn unacknowledged_nesn_fails() {
+        // CRC-corrupted injection: the Slave's NESN does not advance.
+        let mut r = good_response();
+        r.nesn_s = !r.nesn_s;
+        assert!(!injection_succeeded(&attempt(), &r));
+    }
+
+    #[test]
+    fn wrong_sn_fails() {
+        let mut r = good_response();
+        r.sn_s = !r.sn_s;
+        assert!(!injection_succeeded(&attempt(), &r));
+    }
+
+    #[test]
+    fn all_seq_combinations_consistent() {
+        // Exhaustive check of the boolean algebra in eq. 6/7: the heuristic
+        // passes exactly when the response matches the forged bits.
+        for sn_a in [false, true] {
+            for nesn_a in [false, true] {
+                let a = InjectionAttempt {
+                    t_a: Instant::from_micros(0),
+                    d_a: Duration::from_micros(100),
+                    sn_a,
+                    nesn_a,
+                };
+                for sn_s in [false, true] {
+                    for nesn_s in [false, true] {
+                        let r = ObservedResponse {
+                            t_s: a.expected_response_start(),
+                            sn_s,
+                            nesn_s,
+                        };
+                        let expected = (nesn_s == !sn_a) && (sn_s == nesn_a);
+                        assert_eq!(injection_succeeded(&a, &r), expected);
+                    }
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,235 @@
+//! Man-in-the-Middle support (paper scenario D).
+//!
+//! After the forged `CONNECTION_UPDATE` takes effect, the Slave lives on
+//! the attacker's new timing while the legitimate Master continues on the
+//! old one. The attacker then speaks to *both*: one radio follows the Slave
+//! as a fake Master (handled inside [`crate::Attacker`]), a second,
+//! co-located radio impersonates the Slave towards the legitimate Master —
+//! this module's [`MitmSlaveHalf`].
+//!
+//! (The paper performs this with a single nRF52840 that time-multiplexes
+//! both roles; two co-located simulated radios are behaviourally equivalent
+//! for the protocol-level questions studied here and keep the state
+//! machines honest. The substitution is documented in `DESIGN.md`.)
+
+use std::cell::RefCell;
+use std::collections::VecDeque;
+use std::rc::Rc;
+
+use ble_host::{HostEvent, HostStack, SecurityAction};
+use ble_link::{AdoptedConnection, LinkLayer, SleepClockAccuracy};
+use ble_phy::{NodeCtx, RadioEvent, RadioListener, TimerKey};
+use simkit::Duration;
+
+/// An app-payload rewrite applied to traffic relayed through the MITM —
+/// the paper's "SMS transmitted by the smartphone to the smartwatch has
+/// been modified on the fly".
+#[derive(Debug, Clone)]
+pub struct RewriteRule {
+    /// Only rewrite writes to this handle (`None` = all handles).
+    pub handle: Option<u16>,
+    /// Byte pattern to search for.
+    pub find: Vec<u8>,
+    /// Replacement bytes.
+    pub replace: Vec<u8>,
+}
+
+impl RewriteRule {
+    /// Applies the rule to a value, returning the rewritten bytes.
+    pub fn apply(&self, handle: u16, value: &[u8]) -> Vec<u8> {
+        if let Some(h) = self.handle {
+            if h != handle {
+                return value.to_vec();
+            }
+        }
+        if self.find.is_empty() || self.find.len() > value.len() {
+            return value.to_vec();
+        }
+        let mut out = Vec::with_capacity(value.len());
+        let mut i = 0;
+        while i < value.len() {
+            if value[i..].starts_with(&self.find) {
+                out.extend_from_slice(&self.replace);
+                i += self.find.len();
+            } else {
+                out.push(value[i]);
+                i += 1;
+            }
+        }
+        out
+    }
+}
+
+/// State shared between the two MITM halves.
+#[derive(Debug, Default)]
+pub struct MitmShared {
+    /// Connection state for the slave half, posted by the attacker at the
+    /// update instant.
+    pub slave_adoption: Option<AdoptedConnection>,
+    /// Writes intercepted from the legitimate Master, already rewritten,
+    /// waiting to be forwarded to the real Slave: (handle, value, acked).
+    pub to_slave: VecDeque<(u16, Vec<u8>, bool)>,
+    /// Raw writes as the legitimate Master sent them (for reporting).
+    pub intercepted: Vec<(u16, Vec<u8>)>,
+    /// Whether to forward intercepted traffic at all (`false` = blackhole,
+    /// the paper's "not forwarding the legitimate traffic to perform a
+    /// denial of service").
+    pub forward: bool,
+}
+
+/// Shared handle between [`crate::Attacker`] and [`MitmSlaveHalf`].
+pub type MitmHandoff = Rc<RefCell<MitmShared>>;
+
+/// Creates a fresh handoff with forwarding enabled.
+pub fn new_handoff() -> MitmHandoff {
+    Rc::new(RefCell::new(MitmShared {
+        forward: true,
+        ..MitmShared::default()
+    }))
+}
+
+const POLL_TIMER: u64 = 0x90;
+
+/// The MITM's Slave-facing half: impersonates the victim Slave towards the
+/// legitimate Master on the *old* connection timeline.
+pub struct MitmSlaveHalf {
+    /// Link layer for the impersonated slave.
+    pub ll: LinkLayer,
+    /// Host stack exposing a mirror GATT profile.
+    pub host: HostStack,
+    handoff: MitmHandoff,
+    rewrites: Vec<RewriteRule>,
+    adopted: bool,
+    started: bool,
+}
+
+impl MitmSlaveHalf {
+    /// Creates the slave half. `host` should expose a GATT profile
+    /// mirroring the real Slave's (so the Master's writes land on matching
+    /// handles).
+    pub fn new(host: HostStack, handoff: MitmHandoff, rewrites: Vec<RewriteRule>) -> Self {
+        // Address is irrelevant post-adoption; reuse the host's GATT.
+        let address = ble_link::DeviceAddress::new([0xEE; 6], ble_link::AddressType::Random);
+        MitmSlaveHalf {
+            ll: LinkLayer::new(address, SleepClockAccuracy::Ppm20),
+            host,
+            handoff,
+            rewrites,
+            adopted: false,
+            started: false,
+        }
+    }
+
+    /// Arms the adoption-poll timer (call once via `Simulation::with_ctx`).
+    pub fn start(&mut self, ctx: &mut NodeCtx<'_>) {
+        self.started = true;
+        ctx.set_timer_local(Duration::from_millis(2), TimerKey(POLL_TIMER));
+    }
+
+    fn pump(&mut self, ctx: &mut NodeCtx<'_>) {
+        while let Some(action) = self.host.take_action() {
+            match action {
+                SecurityAction::StartEncryption { .. } => {
+                    // The MITM cannot complete encryption without the LTK;
+                    // ignore (plaintext connections only, like the paper).
+                }
+            }
+        }
+        let _ = ctx;
+        while let Some(event) = self.host.poll_event() {
+            if let HostEvent::Written {
+                handle,
+                value,
+                acknowledged,
+            } = &event
+            {
+                let mut shared = self.handoff.borrow_mut();
+                shared.intercepted.push((*handle, value.clone()));
+                if shared.forward {
+                    let mut rewritten = value.clone();
+                    for rule in &self.rewrites {
+                        rewritten = rule.apply(*handle, &rewritten);
+                    }
+                    shared.to_slave.push_back((*handle, rewritten, *acknowledged));
+                }
+            }
+        }
+    }
+}
+
+impl RadioListener for MitmSlaveHalf {
+    fn on_event(&mut self, ctx: &mut NodeCtx<'_>, event: RadioEvent) {
+        if let RadioEvent::Timer { key, .. } = &event {
+            if key.0 == POLL_TIMER {
+                if !self.adopted {
+                    let adoption = self.handoff.borrow_mut().slave_adoption.take();
+                    if let Some(adoption) = adoption {
+                        self.adopted = true;
+                        self.ll.adopt_connection(ctx, adoption, &mut self.host);
+                    } else {
+                        ctx.set_timer_local(Duration::from_millis(2), TimerKey(POLL_TIMER));
+                    }
+                }
+                self.pump(ctx);
+                return;
+            }
+        }
+        self.ll.handle(ctx, event, &mut self.host);
+        self.pump(ctx);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rewrite_replaces_matches() {
+        let rule = RewriteRule {
+            handle: None,
+            find: b"noon".to_vec(),
+            replace: b"MIDNIGHT".to_vec(),
+        };
+        assert_eq!(rule.apply(1, b"meet at noon"), b"meet at MIDNIGHT");
+        assert_eq!(rule.apply(1, b"no match here"), b"no match here");
+    }
+
+    #[test]
+    fn rewrite_respects_handle_filter() {
+        let rule = RewriteRule {
+            handle: Some(7),
+            find: b"a".to_vec(),
+            replace: b"b".to_vec(),
+        };
+        assert_eq!(rule.apply(7, b"aaa"), b"bbb");
+        assert_eq!(rule.apply(8, b"aaa"), b"aaa");
+    }
+
+    #[test]
+    fn rewrite_handles_multiple_and_empty() {
+        let rule = RewriteRule {
+            handle: None,
+            find: b"ab".to_vec(),
+            replace: b"X".to_vec(),
+        };
+        assert_eq!(rule.apply(0, b"abab!ab"), b"XX!X");
+        let empty = RewriteRule {
+            handle: None,
+            find: vec![],
+            replace: b"Y".to_vec(),
+        };
+        assert_eq!(empty.apply(0, b"zz"), b"zz");
+    }
+
+    #[test]
+    fn rgb_value_rewrite() {
+        // Paper: "the RGB values describing the colour of the lightbulb
+        // have also been altered on the fly".
+        let rule = RewriteRule {
+            handle: Some(5),
+            find: vec![0x02, 255, 0, 0],
+            replace: vec![0x02, 0, 255, 0],
+        };
+        assert_eq!(rule.apply(5, &[0x02, 255, 0, 0]), vec![0x02, 0, 255, 0]);
+    }
+}

@@ -1,0 +1,86 @@
+//! Attack statistics — the measurements the paper's Figure 9 reports.
+
+use simkit::Instant;
+
+/// Outcome of one injection attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AttemptOutcome {
+    /// The heuristic (eq. 7) confirmed the injection.
+    Success,
+    /// A Slave response was observed but failed the heuristic.
+    Rejected,
+    /// No Slave response was observed at all.
+    NoResponse,
+}
+
+/// Per-run injection statistics.
+///
+/// The paper's key metric is "the number of injection attempts before a
+/// successful injection" (§VII): [`AttackStats::attempts_per_success`]
+/// records exactly that, one entry per confirmed success.
+#[derive(Debug, Clone, Default)]
+pub struct AttackStats {
+    /// Total injection attempts made.
+    pub attempts_total: u32,
+    /// Attempts since the last confirmed success.
+    pub attempts_since_success: u32,
+    /// For each confirmed success: how many attempts it took.
+    pub attempts_per_success: Vec<u32>,
+    /// Log of every attempt: (time, outcome).
+    pub log: Vec<(Instant, AttemptOutcome)>,
+    /// Connections followed (sniffer synchronisations).
+    pub connections_followed: u32,
+    /// Connections lost while following (desynchronised or terminated).
+    pub connections_lost: u32,
+}
+
+impl AttackStats {
+    /// Records one attempt and its outcome.
+    pub fn record(&mut self, at: Instant, outcome: AttemptOutcome) {
+        self.attempts_total += 1;
+        self.attempts_since_success += 1;
+        self.log.push((at, outcome));
+        if outcome == AttemptOutcome::Success {
+            self.attempts_per_success.push(self.attempts_since_success);
+            self.attempts_since_success = 0;
+        }
+    }
+
+    /// Number of confirmed successful injections.
+    pub fn successes(&self) -> usize {
+        self.attempts_per_success.len()
+    }
+
+    /// Attempts needed for the first success, if any succeeded.
+    pub fn attempts_to_first_success(&self) -> Option<u32> {
+        self.attempts_per_success.first().copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_attempts_per_success() {
+        let mut s = AttackStats::default();
+        let t = Instant::ZERO;
+        s.record(t, AttemptOutcome::NoResponse);
+        s.record(t, AttemptOutcome::Rejected);
+        s.record(t, AttemptOutcome::Success);
+        s.record(t, AttemptOutcome::Success);
+        s.record(t, AttemptOutcome::Rejected);
+        assert_eq!(s.attempts_total, 5);
+        assert_eq!(s.attempts_per_success, vec![3, 1]);
+        assert_eq!(s.successes(), 2);
+        assert_eq!(s.attempts_to_first_success(), Some(3));
+        assert_eq!(s.attempts_since_success, 1);
+    }
+
+    #[test]
+    fn empty_stats() {
+        let s = AttackStats::default();
+        assert_eq!(s.successes(), 0);
+        assert_eq!(s.attempts_to_first_success(), None);
+    }
+}

@@ -1,0 +1,131 @@
+//! Shared attack-test rig: lightbulb + smartphone central + attacker on a
+//! simulated indoor radio environment — the paper's experimental triangle.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use ble_devices::{Central, Lightbulb};
+use ble_link::ConnectionParams;
+use ble_phy::{Environment, NodeConfig, NodeId, Position, Simulation};
+use injectable::{Attacker, AttackerConfig};
+use simkit::{DriftClock, Duration, SimRng};
+
+/// The standard rig: bulb at origin, central and attacker 2 m away
+/// (the paper's 2 m equilateral triangle), everything seeded.
+///
+/// Fields are intentionally public for ad-hoc inspection by the various
+/// test binaries; not every test touches every field.
+#[allow(dead_code)]
+pub struct AttackRig {
+    pub sim: Simulation,
+    pub bulb: Rc<RefCell<Lightbulb>>,
+    pub central: Rc<RefCell<Central>>,
+    pub attacker: Rc<RefCell<Attacker>>,
+    pub bulb_id: NodeId,
+    pub central_id: NodeId,
+    pub attacker_id: NodeId,
+    pub control_handle: u16,
+}
+
+impl AttackRig {
+    pub fn new(seed: u64, hop_interval: u16) -> Self {
+        Self::with_positions(seed, hop_interval, 2.0, 2.0)
+    }
+
+    /// `attacker_distance` and `central_distance` from the bulb, in metres.
+    pub fn with_positions(
+        seed: u64,
+        hop_interval: u16,
+        attacker_distance: f64,
+        central_distance: f64,
+    ) -> Self {
+        let mut rng = SimRng::seed_from(seed);
+        let mut sim = Simulation::new(Environment::indoor_default(), rng.fork());
+
+        let bulb_obj = Lightbulb::new(0xB1, rng.fork());
+        let control_handle = bulb_obj.control_handle();
+        let bulb_addr = bulb_obj.ll.address();
+        let bulb = Rc::new(RefCell::new(bulb_obj));
+
+        let params = ConnectionParams::typical(&mut rng, hop_interval);
+        let central = Rc::new(RefCell::new(Central::new(0xA0, bulb_addr, params, rng.fork())));
+
+        let attacker = Rc::new(RefCell::new(Attacker::new(AttackerConfig {
+            target_slave: Some(bulb_addr),
+            ..AttackerConfig::default()
+        })));
+
+        let bulb_id = sim.add_node(
+            NodeConfig::new("bulb", Position::new(0.0, 0.0))
+                .with_clock(DriftClock::with_random_error(50.0, &mut rng).with_jitter_us(1.0)),
+            bulb.clone(),
+        );
+        let central_id = sim.add_node(
+            NodeConfig::new("phone", Position::new(central_distance, 0.0))
+                .with_clock(DriftClock::with_random_error(50.0, &mut rng).with_jitter_us(1.0)),
+            central.clone(),
+        );
+        // Attacker hardware: nRF52840-grade crystal (±20 ppm) and +8 dBm TX.
+        let attacker_id = sim.add_node(
+            NodeConfig::new("attacker", Position::new(0.0, attacker_distance))
+                .with_tx_power(8.0)
+                .with_clock(DriftClock::with_random_error(20.0, &mut rng).with_jitter_us(1.0)),
+            attacker.clone(),
+        );
+
+        {
+            let bulb = bulb.clone();
+            sim.with_ctx(bulb_id, |ctx| bulb.borrow_mut().start(ctx));
+        }
+        {
+            let central = central.clone();
+            sim.with_ctx(central_id, |ctx| central.borrow_mut().start(ctx));
+        }
+        {
+            let attacker = attacker.clone();
+            sim.with_ctx(attacker_id, |ctx| attacker.borrow_mut().start(ctx));
+        }
+
+        AttackRig {
+            sim,
+            bulb,
+            central,
+            attacker,
+            bulb_id,
+            central_id,
+            attacker_id,
+            control_handle,
+        }
+    }
+
+    /// Runs until the legitimate connection is up and the attacker follows
+    /// it (bounded wait).
+    #[allow(dead_code)]
+    pub fn run_until_connected(&mut self) {
+        for _ in 0..100 {
+            self.sim.run_for(Duration::from_millis(100));
+            let connected = self.central.borrow().ll.is_connected();
+            let following = self.attacker.borrow().connection().is_some();
+            if connected && following {
+                // Give the sniffer a few events to learn the slave's
+                // SN/NESN bits.
+                self.sim.run_for(Duration::from_millis(400));
+                return;
+            }
+        }
+        panic!(
+            "setup failed: central connected={}, attacker following={}",
+            self.central.borrow().ll.is_connected(),
+            self.attacker.borrow().connection().is_some()
+        );
+    }
+}
+
+/// Builds the raw LL payload of an ATT Write Request (L2CAP framed).
+#[allow(dead_code)]
+pub fn att_write_frame(handle: u16, value: Vec<u8>) -> Vec<u8> {
+    let att = ble_host::att::AttPdu::WriteRequest { handle, value }.to_bytes();
+    let frags = ble_host::l2cap::fragment(ble_host::l2cap::CID_ATT, &att, 27);
+    assert_eq!(frags.len(), 1);
+    frags.into_iter().next().unwrap().1
+}

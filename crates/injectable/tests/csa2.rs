@@ -1,0 +1,115 @@
+//! BLE 5 / CSA#2 extension: the paper notes its approach "can be easily
+//! adapted" to Channel Selection Algorithm #2 (§III-B.3). Verify that the
+//! whole pipeline — connection, sniffing, injection, hijack — works when
+//! the connection hops with CSA#2.
+
+mod common;
+
+use ble_devices::bulb_payloads;
+use ble_host::att::AttPdu;
+use common::*;
+use injectable::{Mission, MissionState};
+use simkit::Duration;
+
+fn csa2_rig(seed: u64) -> AttackRig {
+    let rig = AttackRig::new(seed, 36);
+    rig.central.borrow_mut().set_prefer_csa2(true);
+    // Restart the connection so it is established with CSA#2.
+    rig.central.borrow_mut().ll.request_disconnect(0x13);
+    rig
+}
+
+#[test]
+fn connection_and_traffic_work_over_csa2() {
+    let mut rig = csa2_rig(40);
+    rig.run_until_connected();
+    {
+        let central = rig.central.borrow();
+        let info = central.ll.connection_info().unwrap();
+        assert!(info.csa2, "connection must be using CSA#2");
+    }
+    {
+        let bulb = rig.bulb.borrow();
+        assert!(bulb.ll.connection_info().unwrap().csa2);
+    }
+    rig.central.borrow_mut().write(rig.control_handle, bulb_payloads::power_on());
+    rig.sim.run_for(Duration::from_secs(1));
+    assert!(rig.bulb.borrow().app.on, "GATT write over a CSA#2 connection");
+    // Long-run stability: both sides keep hopping in sync.
+    rig.sim.run_for(Duration::from_secs(5));
+    assert!(rig.central.borrow().ll.is_connected());
+    assert!(rig.bulb.borrow().ll.is_connected());
+}
+
+#[test]
+fn sniffer_follows_csa2_connections() {
+    let mut rig = csa2_rig(41);
+    rig.run_until_connected();
+    rig.sim.run_for(Duration::from_secs(3));
+    let attacker = rig.attacker.borrow();
+    let conn = attacker.connection().expect("following");
+    assert!(conn.uses_csa2(), "tracker recognised the ChSel bit");
+    assert!(conn.next_event_counter > 40, "followed many CSA#2 events");
+    assert!(conn.has_slave_seq());
+}
+
+#[test]
+fn injection_works_over_csa2() {
+    let mut rig = csa2_rig(42);
+    rig.run_until_connected();
+    let att = AttPdu::WriteRequest {
+        handle: rig.control_handle,
+        value: bulb_payloads::colour(9, 8, 7),
+    }
+    .to_bytes();
+    rig.attacker.borrow_mut().arm(Mission::InjectAtt { att });
+    rig.sim.run_for(Duration::from_secs(20));
+    let attacker = rig.attacker.borrow();
+    assert_eq!(
+        attacker.mission_state(),
+        MissionState::Complete,
+        "stats: {:?}",
+        attacker.stats()
+    );
+    assert_eq!(rig.bulb.borrow().app.rgb, (9, 8, 7));
+    assert!(rig.central.borrow().ll.is_connected(), "victims unaware");
+}
+
+#[test]
+fn master_hijack_works_over_csa2() {
+    use ble_host::{GattServer, HostStack};
+    use ble_link::{AddressType, DeviceAddress, UpdateRequest};
+    let mut rig = csa2_rig(43);
+    rig.central.borrow_mut().auto_reconnect = true;
+    rig.run_until_connected();
+    rig.central.borrow_mut().auto_reconnect = false;
+    rig.attacker.borrow_mut().arm(Mission::HijackMaster {
+        update: UpdateRequest {
+            win_size: 2,
+            win_offset: 3,
+            interval: 60,
+            latency: 0,
+            timeout: 300,
+        },
+        instant_delta: 6,
+        host: Box::new(HostStack::new(
+            DeviceAddress::new([0xAD; 6], AddressType::Random),
+            GattServer::new(),
+            simkit::SimRng::seed_from(5),
+        )),
+        on_takeover_writes: vec![(rig.control_handle, bulb_payloads::power_on())],
+        mitm: None,
+    });
+    rig.sim.run_for(Duration::from_secs(40));
+    assert_eq!(
+        rig.attacker.borrow().mission_state(),
+        MissionState::TakenOver,
+        "stats: {:?}",
+        rig.attacker.borrow().stats()
+    );
+    rig.sim.run_for(Duration::from_secs(5));
+    assert!(rig.bulb.borrow().app.on, "hijacked master drives the CSA#2 slave");
+    let ll = rig.attacker.borrow();
+    let info = ll.takeover_ll().unwrap().connection_info().unwrap();
+    assert!(info.csa2, "the hijacked connection still hops with CSA#2");
+}

@@ -1,0 +1,126 @@
+//! Scenario A end-to-end: injecting ATT requests into a live connection to
+//! trigger device features (paper §VI-A).
+
+mod common;
+
+use ble_devices::bulb_payloads;
+use ble_host::att::AttPdu;
+use common::*;
+use injectable::{AttemptOutcome, Mission, MissionState};
+use simkit::Duration;
+
+#[test]
+fn injected_write_turns_the_bulb_off() {
+    let mut rig = AttackRig::new(1, 36);
+    rig.run_until_connected();
+    {
+        let bulb = rig.bulb.borrow();
+        assert!(!bulb.app.on);
+    }
+    // Legitimate traffic first: the central turns the bulb on.
+    rig.central.borrow_mut().write(rig.control_handle, bulb_payloads::power_on());
+    rig.sim.run_for(Duration::from_millis(500));
+    assert!(rig.bulb.borrow().app.on, "precondition: bulb on");
+
+    // Attack: inject a Write Request turning it off.
+    let att = AttPdu::WriteRequest {
+        handle: rig.control_handle,
+        value: bulb_payloads::power_off(),
+    }
+    .to_bytes();
+    rig.attacker.borrow_mut().arm(Mission::InjectAtt { att });
+    rig.sim.run_for(Duration::from_secs(20));
+
+    let bulb = rig.bulb.borrow();
+    let attacker = rig.attacker.borrow();
+    assert_eq!(
+        attacker.mission_state(),
+        MissionState::Complete,
+        "attempts: {:?}",
+        attacker.stats()
+    );
+    assert!(!bulb.app.on, "bulb turned off by the injection");
+    assert!(attacker.stats().successes() >= 1);
+    // The connection survived the injection: both sides still connected.
+    assert!(rig.central.borrow().ll.is_connected(), "master unaware");
+    assert!(bulb.ll.is_connected(), "slave still in the connection");
+    assert_eq!(bulb.disconnections, 0);
+}
+
+#[test]
+fn injected_read_captures_the_device_name() {
+    let mut rig = AttackRig::new(2, 36);
+    rig.run_until_connected();
+    let name_handle = rig
+        .bulb
+        .borrow()
+        .host
+        .server()
+        .handle_of(ble_host::Uuid::DEVICE_NAME)
+        .expect("GAP device name");
+    let att = AttPdu::ReadRequest { handle: name_handle }.to_bytes();
+    rig.attacker.borrow_mut().arm(Mission::InjectAtt { att });
+    rig.sim.run_for(Duration::from_secs(20));
+
+    let attacker = rig.attacker.borrow();
+    assert_eq!(attacker.mission_state(), MissionState::Complete);
+    // The Slave's response contained the ATT Read Response with the name —
+    // the paper's confidentiality impact.
+    let captured = attacker.captured();
+    assert!(!captured.is_empty(), "no response captured");
+    let found = captured
+        .iter()
+        .any(|payload| payload.windows(9).any(|w| w == b"SmartBulb"));
+    assert!(found, "device name not found in {captured:?}");
+}
+
+#[test]
+fn repeated_injections_all_land() {
+    let mut rig = AttackRig::new(3, 75);
+    // Pace the campaign so the legitimate Master keeps seeing responses on
+    // the non-attacked events and the connection stays healthy throughout.
+    rig.attacker.borrow_mut().set_inject_gap(2);
+    rig.run_until_connected();
+    rig.attacker.borrow_mut().arm(Mission::InjectRaw {
+        llid: ble_link::Llid::StartOrComplete,
+        payload: att_write_frame(rig.control_handle, bulb_payloads::colour(1, 2, 3)),
+        wanted_successes: 5,
+    });
+    rig.sim.run_for(Duration::from_secs(60));
+    let attacker = rig.attacker.borrow();
+    assert_eq!(attacker.mission_state(), MissionState::Complete);
+    assert_eq!(attacker.stats().successes(), 5);
+    assert_eq!(rig.bulb.borrow().app.rgb, (1, 2, 3));
+    // Median attempts stays low, as in the paper.
+    let attempts = &attacker.stats().attempts_per_success;
+    let mut sorted = attempts.clone();
+    sorted.sort_unstable();
+    let median = sorted[sorted.len() / 2];
+    assert!(median <= 10, "median attempts {median}, history {attempts:?}");
+}
+
+#[test]
+fn injection_attempts_eventually_succeed_even_with_failures() {
+    // Attacker far away (8 m) vs central at 2 m: more collisions lost, but
+    // the attack still lands (paper experiment 3's headline result).
+    let mut rig = AttackRig::with_positions(4, 36, 8.0, 2.0);
+    rig.run_until_connected();
+    let att = AttPdu::WriteRequest {
+        handle: rig.control_handle,
+        value: bulb_payloads::power_on(),
+    }
+    .to_bytes();
+    rig.attacker.borrow_mut().arm(Mission::InjectAtt { att });
+    rig.sim.run_for(Duration::from_secs(120));
+    let attacker = rig.attacker.borrow();
+    assert_eq!(
+        attacker.mission_state(),
+        MissionState::Complete,
+        "stats {:?}",
+        attacker.stats()
+    );
+    assert!(rig.bulb.borrow().app.on);
+    // From that far away at least some attempts typically fail first.
+    let outcomes: Vec<AttemptOutcome> = attacker.stats().log.iter().map(|(_, o)| *o).collect();
+    assert!(!outcomes.is_empty());
+}

@@ -1,0 +1,110 @@
+//! Scenario B end-to-end: evicting the Slave with an injected
+//! `LL_TERMINATE_IND` and impersonating it towards the Master (paper §VI-B).
+
+mod common;
+
+use ble_host::gatt::props;
+use ble_host::{GattServer, HostEvent, HostStack, Uuid};
+use ble_link::{AddressType, DeviceAddress, Role};
+use common::*;
+use injectable::{Mission, MissionState};
+use simkit::{Duration, SimRng};
+
+/// The host stack the attacker serves after the takeover: the paper's
+/// forged "Hacked" device name.
+fn hacked_host() -> Box<HostStack> {
+    let mut server = GattServer::new();
+    server
+        .service(Uuid::GAP_SERVICE)
+        .characteristic(Uuid::DEVICE_NAME, props::READ, b"Hacked".to_vec())
+        .finish();
+    Box::new(HostStack::new(
+        DeviceAddress::new([0xAD; 6], AddressType::Random),
+        server,
+        SimRng::seed_from(999),
+    ))
+}
+
+#[test]
+fn slave_hijack_evicts_bulb_and_serves_forged_name() {
+    let mut rig = AttackRig::new(10, 36);
+    // The bulb must not re-advertise instantly, or the real central
+    // rig has: the attacker takes the slave role; the bulb believes it was
+    // disconnected by the master.
+    rig.bulb.borrow_mut().auto_readvertise = false;
+    rig.central.borrow_mut().auto_reconnect = false;
+    rig.run_until_connected();
+
+    rig.attacker.borrow_mut().arm(Mission::HijackSlave { host: hacked_host() });
+    rig.sim.run_for(Duration::from_secs(30));
+
+    {
+        let attacker = rig.attacker.borrow();
+        assert_eq!(
+            attacker.mission_state(),
+            MissionState::TakenOver,
+            "stats: {:?}",
+            attacker.stats()
+        );
+        let ll = attacker.takeover_ll().expect("takeover LL");
+        assert!(ll.is_connected(), "attacker-as-slave connected");
+        assert_eq!(ll.connection_info().unwrap().role, Role::Slave);
+    }
+    // The real slave was evicted by the injected TERMINATE_IND...
+    let bulb = rig.bulb.borrow();
+    assert!(!bulb.ll.is_connected(), "bulb evicted");
+    assert_eq!(bulb.disconnections, 1);
+    assert_eq!(
+        bulb.last_disconnect_reason,
+        Some(ble_link::ERR_REMOTE_USER_TERMINATED)
+    );
+    // ...while the master still believes the connection is healthy.
+    assert!(rig.central.borrow().ll.is_connected(), "master unaware");
+    drop(bulb);
+
+    // The master reads the Device Name and gets the forged value.
+    let name_handle = {
+        let attacker = rig.attacker.borrow();
+        attacker
+            .takeover_host()
+            .unwrap()
+            .server()
+            .handle_of(Uuid::DEVICE_NAME)
+            .expect("forged GAP profile")
+    };
+    rig.central.borrow_mut().host.read(name_handle);
+    rig.sim.run_for(Duration::from_secs(2));
+    let central = rig.central.borrow();
+    let got: Vec<&HostEvent> = central
+        .event_log
+        .iter()
+        .filter(|e| matches!(e, HostEvent::ReadResponse { .. }))
+        .collect();
+    assert!(
+        got.iter().any(
+            |e| matches!(e, HostEvent::ReadResponse { value } if value == b"Hacked")
+        ),
+        "master read {:?}",
+        got
+    );
+}
+
+#[test]
+fn slave_hijack_keeps_master_connection_alive_long_term() {
+    let mut rig = AttackRig::new(11, 24);
+    rig.bulb.borrow_mut().auto_readvertise = false;
+    rig.central.borrow_mut().auto_reconnect = false;
+    rig.run_until_connected();
+    rig.attacker.borrow_mut().arm(Mission::HijackSlave { host: hacked_host() });
+    rig.sim.run_for(Duration::from_secs(30));
+    assert_eq!(rig.attacker.borrow().mission_state(), MissionState::TakenOver);
+    // Run for several more seconds: the fake slave must keep answering the
+    // master's connection events (no supervision timeout on either side).
+    rig.sim.run_for(Duration::from_secs(10));
+    assert!(rig.central.borrow().ll.is_connected(), "master still alive");
+    assert!(
+        rig.attacker.borrow().takeover_ll().unwrap().is_connected(),
+        "fake slave still alive"
+    );
+    assert_eq!(rig.central.borrow().disconnections, 0);
+}

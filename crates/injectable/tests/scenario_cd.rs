@@ -1,0 +1,233 @@
+//! Scenarios C and D end-to-end: hijacking the Master via a forged
+//! `LL_CONNECTION_UPDATE_IND`, and the full Man-in-the-Middle
+//! (paper §VI-C/D).
+
+mod common;
+
+use ble_devices::bulb_payloads;
+use ble_host::{GattServer, HostStack};
+use ble_link::{AddressType, DeviceAddress, Role, UpdateRequest};
+use common::*;
+use injectable::{new_handoff, Mission, MissionState, MitmSlaveHalf, RewriteRule};
+use simkit::{Duration, SimRng};
+
+fn attacker_master_host(seed: u64) -> Box<HostStack> {
+    Box::new(HostStack::new(
+        DeviceAddress::new([0xAD; 6], AddressType::Random),
+        GattServer::new(),
+        SimRng::seed_from(seed),
+    ))
+}
+
+fn forged_update() -> UpdateRequest {
+    UpdateRequest {
+        win_size: 2,
+        win_offset: 3,
+        interval: 60,
+        latency: 0,
+        timeout: 300,
+    }
+}
+
+#[test]
+fn master_hijack_steals_the_slave_and_drives_its_features() {
+    let mut rig = AttackRig::new(20, 36);
+    rig.central.borrow_mut().auto_reconnect = false;
+    rig.run_until_connected();
+    assert!(!rig.bulb.borrow().app.on);
+
+    rig.attacker.borrow_mut().arm(Mission::HijackMaster {
+        update: forged_update(),
+        instant_delta: 6,
+        host: attacker_master_host(1),
+        on_takeover_writes: vec![(rig.control_handle, bulb_payloads::power_on())],
+        mitm: None,
+    });
+    rig.sim.run_for(Duration::from_secs(30));
+
+    {
+        let attacker = rig.attacker.borrow();
+        assert_eq!(
+            attacker.mission_state(),
+            MissionState::TakenOver,
+            "stats: {:?}",
+            attacker.stats()
+        );
+        let ll = attacker.takeover_ll().expect("takeover LL");
+        assert!(ll.is_connected(), "attacker-as-master connected to the slave");
+        assert_eq!(ll.connection_info().unwrap().role, Role::Master);
+        // The hijacked connection runs on the forged parameters.
+        assert_eq!(ll.connection_info().unwrap().params.hop_interval, 60);
+    }
+    // The attacker drove the slave's feature, as in scenario A but from a
+    // fully hijacked Master role.
+    assert!(rig.bulb.borrow().app.on, "attacker's write applied");
+    // The slave never disconnected: the hijack is seamless on its side.
+    assert_eq!(rig.bulb.borrow().disconnections, 0);
+    assert!(rig.bulb.borrow().ll.is_connected());
+
+    // The legitimate master, meanwhile, starves and hits its supervision
+    // timeout ("it leaves the connection due to timeout", §VI-C).
+    let central = rig.central.borrow();
+    assert!(!central.ll.is_connected(), "legitimate master timed out");
+    assert_eq!(
+        central.last_disconnect_reason,
+        Some(ble_link::ERR_CONNECTION_TIMEOUT)
+    );
+}
+
+#[test]
+fn mitm_intercepts_and_rewrites_traffic_on_the_fly() {
+    let mut rig = AttackRig::new(21, 36);
+    rig.central.borrow_mut().auto_reconnect = false;
+    rig.run_until_connected();
+
+    // Scenario D: the slave half mirrors the bulb's GATT profile so the
+    // legitimate master's writes land on matching handles.
+    let handoff = new_handoff();
+    let mirror = {
+        let mut host = HostStack::new(
+            DeviceAddress::new([0xEE; 6], AddressType::Random),
+            GattServer::new(),
+            SimRng::seed_from(5),
+        );
+        use ble_host::gatt::props;
+        use ble_host::Uuid;
+        host.server_mut()
+            .service(Uuid::GAP_SERVICE)
+            .characteristic(Uuid::DEVICE_NAME, props::READ, b"SmartBulb".to_vec())
+            .finish();
+        host.server_mut()
+            .service(ble_devices::BULB_SERVICE_UUID)
+            .characteristic(
+                ble_devices::BULB_CONTROL_UUID,
+                props::READ | props::WRITE | props::WRITE_WITHOUT_RESPONSE,
+                vec![0],
+            )
+            .finish();
+        host
+    };
+    // Rewrite rule: red becomes green (the paper rewrote RGB values).
+    let rewrite = RewriteRule {
+        handle: Some(rig.control_handle),
+        find: bulb_payloads::colour(255, 0, 0),
+        replace: bulb_payloads::colour(0, 255, 0),
+    };
+    let slave_half = std::rc::Rc::new(std::cell::RefCell::new(MitmSlaveHalf::new(
+        mirror,
+        handoff.clone(),
+        vec![rewrite],
+    )));
+    // Co-located with the attacker.
+    let pos = rig.sim.node_position(rig.attacker_id);
+    let half_id = rig.sim.add_node(
+        ble_phy::NodeConfig::new("mitm-slave-half", pos).with_tx_power(8.0),
+        slave_half.clone(),
+    );
+    {
+        let slave_half = slave_half.clone();
+        rig.sim.with_ctx(half_id, |ctx| slave_half.borrow_mut().start(ctx));
+    }
+
+    rig.attacker.borrow_mut().arm(Mission::HijackMaster {
+        update: forged_update(),
+        instant_delta: 6,
+        host: attacker_master_host(2),
+        on_takeover_writes: vec![],
+        mitm: Some(handoff.clone()),
+    });
+    rig.sim.run_for(Duration::from_secs(30));
+    assert_eq!(
+        rig.attacker.borrow().mission_state(),
+        MissionState::TakenOver,
+        "stats: {:?}",
+        rig.attacker.borrow().stats()
+    );
+    // Both halves are connected: full MITM established mid-connection.
+    assert!(rig.attacker.borrow().takeover_ll().unwrap().is_connected());
+    assert!(slave_half.borrow().ll.is_connected(), "slave half holds the master");
+    assert!(rig.central.borrow().ll.is_connected(), "legit master unaware");
+    assert!(rig.bulb.borrow().ll.is_connected(), "slave unaware");
+
+    // The legitimate master sets the bulb red; the MITM rewrites to green.
+    rig.central
+        .borrow_mut()
+        .write(rig.control_handle, bulb_payloads::colour(255, 0, 0));
+    rig.sim.run_for(Duration::from_secs(5));
+
+    let bulb = rig.bulb.borrow();
+    assert_eq!(bulb.app.rgb, (0, 255, 0), "colour rewritten on the fly");
+    let shared = handoff.borrow();
+    assert!(
+        shared
+            .intercepted
+            .iter()
+            .any(|(h, v)| *h == rig.control_handle && v == &bulb_payloads::colour(255, 0, 0)),
+        "original write intercepted: {:?}",
+        shared.intercepted
+    );
+}
+
+#[test]
+fn mitm_blackhole_denies_service() {
+    // §VIII: "initiating a Man-in-the-Middle and not forwarding the
+    // legitimate traffic to perform a denial of service".
+    let mut rig = AttackRig::new(22, 36);
+    rig.central.borrow_mut().auto_reconnect = false;
+    rig.run_until_connected();
+    let handoff = new_handoff();
+    handoff.borrow_mut().forward = false;
+    let mirror = {
+        let mut host = HostStack::new(
+            DeviceAddress::new([0xEE; 6], AddressType::Random),
+            GattServer::new(),
+            SimRng::seed_from(5),
+        );
+        use ble_host::gatt::props;
+        use ble_host::Uuid;
+        // Mirror the bulb's full attribute layout so handles align.
+        host.server_mut()
+            .service(Uuid::GAP_SERVICE)
+            .characteristic(Uuid::DEVICE_NAME, props::READ, b"SmartBulb".to_vec())
+            .finish();
+        host.server_mut()
+            .service(ble_devices::BULB_SERVICE_UUID)
+            .characteristic(
+                ble_devices::BULB_CONTROL_UUID,
+                props::READ | props::WRITE | props::WRITE_WITHOUT_RESPONSE,
+                vec![0],
+            )
+            .finish();
+        host
+    };
+    let slave_half = std::rc::Rc::new(std::cell::RefCell::new(MitmSlaveHalf::new(
+        mirror,
+        handoff.clone(),
+        vec![],
+    )));
+    let pos = rig.sim.node_position(rig.attacker_id);
+    let half_id = rig.sim.add_node(
+        ble_phy::NodeConfig::new("mitm-slave-half", pos).with_tx_power(8.0),
+        slave_half.clone(),
+    );
+    {
+        let slave_half = slave_half.clone();
+        rig.sim.with_ctx(half_id, |ctx| slave_half.borrow_mut().start(ctx));
+    }
+    rig.attacker.borrow_mut().arm(Mission::HijackMaster {
+        update: forged_update(),
+        instant_delta: 6,
+        host: attacker_master_host(3),
+        on_takeover_writes: vec![],
+        mitm: Some(handoff.clone()),
+    });
+    rig.sim.run_for(Duration::from_secs(30));
+    assert_eq!(rig.attacker.borrow().mission_state(), MissionState::TakenOver);
+    rig.central
+        .borrow_mut()
+        .write(rig.control_handle, bulb_payloads::power_on());
+    rig.sim.run_for(Duration::from_secs(5));
+    // Intercepted but never delivered.
+    assert!(!handoff.borrow().intercepted.is_empty());
+    assert!(!rig.bulb.borrow().app.on, "write blackholed");
+}

@@ -1,0 +1,188 @@
+//! Imperfect sleep-clock model.
+//!
+//! BLE devices time their connection events with a low-power *sleep clock*
+//! whose worst-case inaccuracy (in parts per million) is advertised in the
+//! `SCA` field of `CONNECT_REQ`. The Link Layer compensates for the combined
+//! master+slave inaccuracy by *window widening* — the mechanism the
+//! InjectaBLE attack abuses. This module models a clock with a fixed
+//! fractional frequency error plus white per-wakeup jitter.
+
+use crate::rng::SimRng;
+use crate::time::{Duration, Instant};
+
+/// A sleep clock with a constant fractional frequency error and Gaussian
+/// wake-up jitter.
+///
+/// `ppm_error` is the clock's *actual* frequency error; `sca_bound_ppm` is
+/// the worst-case bound the device advertises (the value other devices use
+/// for window widening). A real crystal rated at ±50 ppm typically runs with
+/// some fixed error well inside that bound, which is why drawing the actual
+/// error uniformly inside the bound ([`DriftClock::with_random_error`]) is
+/// the realistic configuration.
+///
+/// # Example
+///
+/// ```
+/// use simkit::{DriftClock, Duration, Instant};
+/// // A clock running 50 ppm fast sees 45 ms elapse ~2.25 µs early.
+/// let clock = DriftClock::new(50.0, 50.0);
+/// let t = clock.true_after(Instant::ZERO, Duration::from_micros(45_000));
+/// assert!(t < Instant::from_micros(45_000));
+/// assert!(t > Instant::from_micros(44_995));
+/// ```
+#[derive(Debug, Clone)]
+pub struct DriftClock {
+    ppm_error: f64,
+    sca_bound_ppm: f64,
+    jitter_sigma_us: f64,
+}
+
+impl DriftClock {
+    /// Creates a clock with a known fixed frequency error (ppm, signed:
+    /// positive runs fast) and an advertised worst-case bound (ppm).
+    pub fn new(ppm_error: f64, sca_bound_ppm: f64) -> Self {
+        DriftClock {
+            ppm_error,
+            sca_bound_ppm,
+            jitter_sigma_us: 0.0,
+        }
+    }
+
+    /// Creates a perfectly accurate clock (useful in deterministic tests).
+    pub fn ideal() -> Self {
+        DriftClock::new(0.0, 0.0)
+    }
+
+    /// Creates a clock whose actual error is drawn uniformly within
+    /// ±`sca_bound_ppm`.
+    pub fn with_random_error(sca_bound_ppm: f64, rng: &mut SimRng) -> Self {
+        let ppm = if sca_bound_ppm > 0.0 {
+            rng.uniform_range(-sca_bound_ppm, sca_bound_ppm)
+        } else {
+            0.0
+        };
+        DriftClock::new(ppm, sca_bound_ppm)
+    }
+
+    /// Creates a clock with a *realistic* error draw: the advertised bound
+    /// covers temperature and aging extremes, so a crystal at room
+    /// temperature typically runs well inside it. The error is Gaussian
+    /// with σ = bound/3, clamped to the bound.
+    pub fn realistic(sca_bound_ppm: f64, rng: &mut SimRng) -> Self {
+        if sca_bound_ppm <= 0.0 {
+            return DriftClock::new(0.0, 0.0);
+        }
+        let ppm = rng
+            .normal(0.0, sca_bound_ppm / 3.0)
+            .clamp(-sca_bound_ppm, sca_bound_ppm);
+        DriftClock::new(ppm, sca_bound_ppm)
+    }
+
+    /// Sets the standard deviation (µs) of white jitter added at every
+    /// scheduled wake-up (scheduling granularity, radio ramp-up variation).
+    pub fn with_jitter_us(mut self, sigma_us: f64) -> Self {
+        self.jitter_sigma_us = sigma_us;
+        self
+    }
+
+    /// The actual fractional frequency error in ppm.
+    pub fn ppm_error(&self) -> f64 {
+        self.ppm_error
+    }
+
+    /// The advertised worst-case accuracy bound in ppm (what the `SCA` field
+    /// encodes).
+    pub fn sca_bound_ppm(&self) -> f64 {
+        self.sca_bound_ppm
+    }
+
+    /// True simulation time at which a local timer of `local_delay`, armed at
+    /// true time `reference`, expires.
+    ///
+    /// A fast clock (positive error) accumulates local time quickly, so its
+    /// timers fire *early* in true time.
+    pub fn true_after(&self, reference: Instant, local_delay: Duration) -> Instant {
+        let scale = 1.0 / (1.0 + self.ppm_error * 1e-6);
+        reference + local_delay.mul_f64(scale)
+    }
+
+    /// Like [`DriftClock::true_after`] but with per-wakeup Gaussian jitter.
+    pub fn true_after_jittered(
+        &self,
+        reference: Instant,
+        local_delay: Duration,
+        rng: &mut SimRng,
+    ) -> Instant {
+        let base = self.true_after(reference, local_delay);
+        if self.jitter_sigma_us <= 0.0 {
+            return base;
+        }
+        let jitter_ns = (rng.normal(0.0, self.jitter_sigma_us) * 1_000.0).round() as i64;
+        base.offset_ns(jitter_ns)
+    }
+
+    /// Local elapsed time corresponding to a true elapsed span.
+    pub fn local_elapsed(&self, true_elapsed: Duration) -> Duration {
+        true_elapsed.mul_f64(1.0 + self.ppm_error * 1e-6)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ideal_clock_is_exact() {
+        let c = DriftClock::ideal();
+        let t = c.true_after(Instant::from_micros(100), Duration::from_micros(1250));
+        assert_eq!(t, Instant::from_micros(1350));
+    }
+
+    #[test]
+    fn fast_clock_fires_early_slow_clock_fires_late() {
+        let fast = DriftClock::new(100.0, 100.0);
+        let slow = DriftClock::new(-100.0, 100.0);
+        let delay = Duration::from_millis(100);
+        let tf = fast.true_after(Instant::ZERO, delay);
+        let ts = slow.true_after(Instant::ZERO, delay);
+        assert!(tf < Instant::ZERO + delay);
+        assert!(ts > Instant::ZERO + delay);
+        // 100 ppm over 100 ms = 10 µs.
+        assert!((Instant::ZERO + delay).signed_delta_ns(tf).abs() - 10_000 < 100);
+        assert!(ts.signed_delta_ns(Instant::ZERO + delay).abs() - 10_000 < 100);
+    }
+
+    #[test]
+    fn random_error_respects_bound() {
+        let mut rng = SimRng::seed_from(11);
+        for _ in 0..100 {
+            let c = DriftClock::with_random_error(50.0, &mut rng);
+            assert!(c.ppm_error().abs() <= 50.0);
+            assert_eq!(c.sca_bound_ppm(), 50.0);
+        }
+    }
+
+    #[test]
+    fn jitter_perturbs_but_stays_close() {
+        let mut rng = SimRng::seed_from(12);
+        let c = DriftClock::ideal().with_jitter_us(2.0);
+        let nominal = Instant::from_micros(45_000);
+        let mut max_dev = 0i64;
+        for _ in 0..200 {
+            let t = c.true_after_jittered(Instant::ZERO, Duration::from_micros(45_000), &mut rng);
+            max_dev = max_dev.max(t.signed_delta_ns(nominal).abs());
+        }
+        assert!(max_dev > 0, "jitter should actually perturb");
+        assert!(max_dev < 10_000, "5 sigma bound: {max_dev} ns");
+    }
+
+    #[test]
+    fn local_elapsed_inverts_true_after() {
+        let c = DriftClock::new(37.0, 50.0);
+        let local = Duration::from_millis(200);
+        let true_elapsed = c.true_after(Instant::ZERO, local) - Instant::ZERO;
+        let roundtrip = c.local_elapsed(true_elapsed);
+        let err = roundtrip.as_nanos() as i64 - local.as_nanos() as i64;
+        assert!(err.abs() < 10, "roundtrip error {err} ns");
+    }
+}

@@ -1,0 +1,258 @@
+//! Cancellable discrete-event queue.
+
+use std::cmp::Ordering;
+use std::collections::{BinaryHeap, HashSet};
+
+use crate::time::Instant;
+
+/// Identifier of a scheduled event, usable to cancel it before it fires.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct EventId(u64);
+
+struct Entry<E> {
+    at: Instant,
+    id: EventId,
+    event: E,
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.id == other.id
+    }
+}
+impl<E> Eq for Entry<E> {}
+
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reverse ordering: BinaryHeap is a max-heap and we want the earliest
+        // event first. Ties break by insertion order for determinism.
+        other
+            .at
+            .cmp(&self.at)
+            .then_with(|| other.id.cmp(&self.id))
+    }
+}
+
+/// A min-heap of timestamped events with stable FIFO ordering for ties and
+/// O(log n) cancellation via tombstones.
+///
+/// The queue tracks the current simulation time: popping an event advances
+/// `now` to that event's timestamp, and scheduling in the past is clamped to
+/// `now` (events never fire retroactively).
+///
+/// # Example
+///
+/// ```
+/// use simkit::{Duration, EventQueue};
+///
+/// let mut q = EventQueue::new();
+/// let a = q.schedule_after(Duration::from_micros(10), 'a');
+/// let _b = q.schedule_after(Duration::from_micros(5), 'b');
+/// q.cancel(a);
+/// let fired: Vec<char> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+/// assert_eq!(fired, vec!['b']);
+/// ```
+#[derive(Debug)]
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Entry<E>>,
+    cancelled: HashSet<EventId>,
+    next_id: u64,
+    now: Instant,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> std::fmt::Debug for Entry<E> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Entry")
+            .field("at", &self.at)
+            .field("id", &self.id)
+            .finish_non_exhaustive()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// Creates an empty queue with `now` at time zero.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            cancelled: HashSet::new(),
+            next_id: 0,
+            now: Instant::ZERO,
+        }
+    }
+
+    /// The current simulation time (the timestamp of the last popped event).
+    pub fn now(&self) -> Instant {
+        self.now
+    }
+
+    /// Schedules `event` at absolute time `at`. Times in the past are clamped
+    /// to `now` so the event still fires (immediately), preserving causality.
+    pub fn schedule_at(&mut self, at: Instant, event: E) -> EventId {
+        let id = EventId(self.next_id);
+        self.next_id += 1;
+        self.heap.push(Entry {
+            at: at.max(self.now),
+            id,
+            event,
+        });
+        id
+    }
+
+    /// Schedules `event` at `now + delay`.
+    pub fn schedule_after(&mut self, delay: crate::Duration, event: E) -> EventId {
+        self.schedule_at(self.now + delay, event)
+    }
+
+    /// Cancels a previously scheduled event. Cancelling an event that has
+    /// already fired (or was already cancelled) is a harmless no-op.
+    pub fn cancel(&mut self, id: EventId) {
+        self.cancelled.insert(id);
+    }
+
+    /// Removes and returns the earliest pending event, advancing `now` to its
+    /// timestamp. Cancelled events are skipped silently.
+    pub fn pop(&mut self) -> Option<(Instant, E)> {
+        while let Some(entry) = self.heap.pop() {
+            if self.cancelled.remove(&entry.id) {
+                continue;
+            }
+            debug_assert!(entry.at >= self.now, "event queue time went backwards");
+            self.now = entry.at;
+            return Some((entry.at, entry.event));
+        }
+        None
+    }
+
+    /// The timestamp of the earliest live pending event, if any.
+    pub fn peek_time(&mut self) -> Option<Instant> {
+        while let Some(entry) = self.heap.peek() {
+            if self.cancelled.contains(&entry.id) {
+                let entry = self.heap.pop().expect("peeked entry exists");
+                self.cancelled.remove(&entry.id);
+                continue;
+            }
+            return Some(entry.at);
+        }
+        None
+    }
+
+    /// Advances `now` to `t` without firing anything. Intended for "run
+    /// until wall-clock T" simulation loops after the last event before `T`
+    /// has been popped.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a live event is pending earlier than `t`.
+    pub fn advance_to(&mut self, t: Instant) {
+        if t <= self.now {
+            return;
+        }
+        if let Some(next) = self.peek_time() {
+            assert!(
+                next >= t,
+                "advance_to({t:?}) would skip a pending event at {next:?}"
+            );
+        }
+        self.now = t;
+    }
+
+    /// Number of live pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len() - self.cancelled.len()
+    }
+
+    /// Whether no live events remain.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Duration;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule_at(Instant::from_micros(30), 3);
+        q.schedule_at(Instant::from_micros(10), 1);
+        q.schedule_at(Instant::from_micros(20), 2);
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn ties_break_in_insertion_order() {
+        let mut q = EventQueue::new();
+        let t = Instant::from_micros(5);
+        for i in 0..10 {
+            q.schedule_at(t, i);
+        }
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn now_advances_with_pops() {
+        let mut q = EventQueue::new();
+        q.schedule_at(Instant::from_micros(42), ());
+        assert_eq!(q.now(), Instant::ZERO);
+        q.pop();
+        assert_eq!(q.now(), Instant::from_micros(42));
+    }
+
+    #[test]
+    fn past_events_are_clamped_to_now() {
+        let mut q = EventQueue::new();
+        q.schedule_at(Instant::from_micros(100), "later");
+        q.pop();
+        q.schedule_at(Instant::from_micros(1), "past");
+        let (at, ev) = q.pop().expect("event fires");
+        assert_eq!(ev, "past");
+        assert_eq!(at, Instant::from_micros(100));
+    }
+
+    #[test]
+    fn cancellation_skips_events() {
+        let mut q = EventQueue::new();
+        let a = q.schedule_after(Duration::from_micros(1), "a");
+        q.schedule_after(Duration::from_micros(2), "b");
+        q.cancel(a);
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.pop().map(|(_, e)| e), Some("b"));
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn cancel_after_fire_is_noop() {
+        let mut q = EventQueue::new();
+        let a = q.schedule_after(Duration::ZERO, "a");
+        assert!(q.pop().is_some());
+        q.cancel(a);
+        q.schedule_after(Duration::ZERO, "b");
+        assert_eq!(q.pop().map(|(_, e)| e), Some("b"));
+    }
+
+    #[test]
+    fn peek_time_skips_cancelled() {
+        let mut q = EventQueue::new();
+        let a = q.schedule_at(Instant::from_micros(1), "a");
+        q.schedule_at(Instant::from_micros(7), "b");
+        q.cancel(a);
+        assert_eq!(q.peek_time(), Some(Instant::from_micros(7)));
+        assert!(!q.is_empty());
+    }
+}

@@ -1,0 +1,364 @@
+//! Virtual time primitives.
+//!
+//! All simulation time is expressed in integer nanoseconds. The BLE
+//! specification phrases every Link-Layer timing rule in microseconds
+//! (inter-frame spacing, window widening, connection intervals, ...); using
+//! nanoseconds internally keeps sub-microsecond clock-drift arithmetic exact
+//! enough without floating-point time.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
+
+/// A point in virtual time, measured in nanoseconds since simulation start.
+///
+/// # Example
+///
+/// ```
+/// use simkit::{Duration, Instant};
+/// let t0 = Instant::ZERO;
+/// let t1 = t0 + Duration::from_micros(1250);
+/// assert_eq!(t1.as_micros_f64(), 1250.0);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Instant(u64);
+
+/// A span of virtual time, measured in nanoseconds. Always non-negative.
+///
+/// # Example
+///
+/// ```
+/// use simkit::Duration;
+/// let ifs = Duration::from_micros(150);
+/// assert_eq!(ifs.as_nanos(), 150_000);
+/// assert_eq!(ifs * 2, Duration::from_micros(300));
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Duration(u64);
+
+impl Instant {
+    /// The origin of simulation time.
+    pub const ZERO: Instant = Instant(0);
+
+    /// Creates an instant from raw nanoseconds since simulation start.
+    pub const fn from_nanos(nanos: u64) -> Self {
+        Instant(nanos)
+    }
+
+    /// Creates an instant from microseconds since simulation start.
+    pub const fn from_micros(micros: u64) -> Self {
+        Instant(micros * 1_000)
+    }
+
+    /// Nanoseconds since simulation start.
+    pub const fn as_nanos(self) -> u64 {
+        self.0
+    }
+
+    /// Microseconds since simulation start, as a float (lossless for any
+    /// simulation of realistic length).
+    pub fn as_micros_f64(self) -> f64 {
+        self.0 as f64 / 1_000.0
+    }
+
+    /// The non-negative span from `earlier` to `self`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `earlier` is later than `self`.
+    pub fn duration_since(self, earlier: Instant) -> Duration {
+        Duration(
+            self.0
+                .checked_sub(earlier.0)
+                .expect("duration_since: earlier instant is in the future"),
+        )
+    }
+
+    /// The span from `earlier` to `self`, or `None` if `earlier > self`.
+    pub fn checked_duration_since(self, earlier: Instant) -> Option<Duration> {
+        self.0.checked_sub(earlier.0).map(Duration)
+    }
+
+    /// Signed difference `self - other` in nanoseconds.
+    ///
+    /// Useful for expressing clock *error*, which may be early (negative) or
+    /// late (positive).
+    pub fn signed_delta_ns(self, other: Instant) -> i64 {
+        self.0 as i64 - other.0 as i64
+    }
+
+    /// `self + delta` where `delta` may be negative; saturates at time zero.
+    pub fn offset_ns(self, delta: i64) -> Instant {
+        if delta >= 0 {
+            Instant(self.0.saturating_add(delta as u64))
+        } else {
+            Instant(self.0.saturating_sub(delta.unsigned_abs()))
+        }
+    }
+
+    /// Saturating subtraction of a duration (clamps at time zero).
+    pub fn saturating_sub(self, d: Duration) -> Instant {
+        Instant(self.0.saturating_sub(d.0))
+    }
+
+    /// The later of two instants.
+    pub fn max(self, other: Instant) -> Instant {
+        Instant(self.0.max(other.0))
+    }
+
+    /// The earlier of two instants.
+    pub fn min(self, other: Instant) -> Instant {
+        Instant(self.0.min(other.0))
+    }
+}
+
+impl Duration {
+    /// The zero-length span.
+    pub const ZERO: Duration = Duration(0);
+
+    /// Creates a duration from raw nanoseconds.
+    pub const fn from_nanos(nanos: u64) -> Self {
+        Duration(nanos)
+    }
+
+    /// Creates a duration from microseconds.
+    pub const fn from_micros(micros: u64) -> Self {
+        Duration(micros * 1_000)
+    }
+
+    /// Creates a duration from milliseconds.
+    pub const fn from_millis(millis: u64) -> Self {
+        Duration(millis * 1_000_000)
+    }
+
+    /// Creates a duration from seconds.
+    pub const fn from_secs(secs: u64) -> Self {
+        Duration(secs * 1_000_000_000)
+    }
+
+    /// Creates a duration from fractional microseconds, rounding to the
+    /// nearest nanosecond and clamping negative inputs to zero.
+    pub fn from_micros_f64(micros: f64) -> Self {
+        if micros <= 0.0 {
+            Duration(0)
+        } else {
+            Duration((micros * 1_000.0).round() as u64)
+        }
+    }
+
+    /// Raw nanoseconds.
+    pub const fn as_nanos(self) -> u64 {
+        self.0
+    }
+
+    /// Whole microseconds (truncating).
+    pub const fn as_micros(self) -> u64 {
+        self.0 / 1_000
+    }
+
+    /// Microseconds as a float.
+    pub fn as_micros_f64(self) -> f64 {
+        self.0 as f64 / 1_000.0
+    }
+
+    /// Seconds as a float.
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1_000_000_000.0
+    }
+
+    /// Saturating subtraction.
+    pub fn saturating_sub(self, other: Duration) -> Duration {
+        Duration(self.0.saturating_sub(other.0))
+    }
+
+    /// Checked subtraction; `None` when `other > self`.
+    pub fn checked_sub(self, other: Duration) -> Option<Duration> {
+        self.0.checked_sub(other.0).map(Duration)
+    }
+
+    /// Multiplies by a float factor, clamping negative results to zero.
+    pub fn mul_f64(self, factor: f64) -> Duration {
+        Duration::from_micros_f64(self.as_micros_f64() * factor)
+    }
+
+    /// The larger of two durations.
+    pub fn max(self, other: Duration) -> Duration {
+        Duration(self.0.max(other.0))
+    }
+
+    /// The smaller of two durations.
+    pub fn min(self, other: Duration) -> Duration {
+        Duration(self.0.min(other.0))
+    }
+
+    /// Whether this duration is zero.
+    pub const fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+}
+
+impl Add<Duration> for Instant {
+    type Output = Instant;
+    fn add(self, rhs: Duration) -> Instant {
+        Instant(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign<Duration> for Instant {
+    fn add_assign(&mut self, rhs: Duration) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub<Duration> for Instant {
+    type Output = Instant;
+    fn sub(self, rhs: Duration) -> Instant {
+        Instant(
+            self.0
+                .checked_sub(rhs.0)
+                .expect("Instant - Duration underflowed simulation time zero"),
+        )
+    }
+}
+
+impl Sub<Instant> for Instant {
+    type Output = Duration;
+    fn sub(self, rhs: Instant) -> Duration {
+        self.duration_since(rhs)
+    }
+}
+
+impl Add for Duration {
+    type Output = Duration;
+    fn add(self, rhs: Duration) -> Duration {
+        Duration(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for Duration {
+    fn add_assign(&mut self, rhs: Duration) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for Duration {
+    type Output = Duration;
+    fn sub(self, rhs: Duration) -> Duration {
+        Duration(
+            self.0
+                .checked_sub(rhs.0)
+                .expect("Duration subtraction underflowed"),
+        )
+    }
+}
+
+impl SubAssign for Duration {
+    fn sub_assign(&mut self, rhs: Duration) {
+        *self = *self - rhs;
+    }
+}
+
+impl Mul<u64> for Duration {
+    type Output = Duration;
+    fn mul(self, rhs: u64) -> Duration {
+        Duration(self.0 * rhs)
+    }
+}
+
+impl Div<u64> for Duration {
+    type Output = Duration;
+    fn div(self, rhs: u64) -> Duration {
+        Duration(self.0 / rhs)
+    }
+}
+
+impl fmt::Debug for Instant {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t={:.3}µs", self.as_micros_f64())
+    }
+}
+
+impl fmt::Display for Instant {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+impl fmt::Debug for Duration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.3}µs", self.as_micros_f64())
+    }
+}
+
+impl fmt::Display for Duration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn instant_arithmetic_roundtrips() {
+        let t = Instant::from_micros(100) + Duration::from_micros(50);
+        assert_eq!(t, Instant::from_micros(150));
+        assert_eq!(t - Duration::from_micros(150), Instant::ZERO);
+        assert_eq!(t - Instant::from_micros(100), Duration::from_micros(50));
+    }
+
+    #[test]
+    fn signed_delta_is_symmetric() {
+        let a = Instant::from_micros(10);
+        let b = Instant::from_micros(25);
+        assert_eq!(a.signed_delta_ns(b), -15_000);
+        assert_eq!(b.signed_delta_ns(a), 15_000);
+    }
+
+    #[test]
+    fn offset_ns_saturates_at_zero() {
+        let a = Instant::from_micros(1);
+        assert_eq!(a.offset_ns(-5_000), Instant::ZERO);
+        assert_eq!(a.offset_ns(5_000), Instant::from_micros(6));
+    }
+
+    #[test]
+    fn duration_float_conversions() {
+        let d = Duration::from_micros_f64(32.5);
+        assert_eq!(d.as_nanos(), 32_500);
+        assert_eq!(Duration::from_micros_f64(-1.0), Duration::ZERO);
+        assert!((d.as_micros_f64() - 32.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn duration_scalar_ops() {
+        let hop_unit = Duration::from_micros(1250);
+        assert_eq!(hop_unit * 36, Duration::from_micros(45_000));
+        assert_eq!(hop_unit / 2, Duration::from_micros(625));
+        assert_eq!(hop_unit.mul_f64(0.5), Duration::from_micros(625));
+    }
+
+    #[test]
+    #[should_panic(expected = "underflow")]
+    fn instant_sub_underflow_panics() {
+        let _ = Instant::from_micros(1) - Duration::from_micros(2);
+    }
+
+    #[test]
+    fn checked_and_saturating_helpers() {
+        let a = Instant::from_micros(5);
+        assert_eq!(a.checked_duration_since(Instant::from_micros(9)), None);
+        assert_eq!(a.saturating_sub(Duration::from_micros(9)), Instant::ZERO);
+        assert_eq!(
+            Duration::from_micros(3).saturating_sub(Duration::from_micros(9)),
+            Duration::ZERO
+        );
+    }
+
+    #[test]
+    fn debug_formats_are_nonempty() {
+        assert!(!format!("{:?}", Instant::ZERO).is_empty());
+        assert!(!format!("{:?}", Duration::ZERO).is_empty());
+        assert_eq!(format!("{}", Duration::from_micros(150)), "150.000µs");
+    }
+}

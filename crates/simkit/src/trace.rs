@@ -1,0 +1,139 @@
+//! Lightweight simulation tracing.
+//!
+//! The attack tooling and the test suite both need to inspect *what happened
+//! when* inside a simulation run (anchor points, frame starts, heuristic
+//! decisions). [`Trace`] is an in-memory, optionally-disabled record of
+//! tagged events.
+
+use std::fmt;
+
+use crate::time::Instant;
+
+/// One trace record: a timestamp, a static tag and free-form detail text.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceRecord {
+    /// When the event happened.
+    pub at: Instant,
+    /// Machine-friendly category tag, e.g. `"tx-start"` or `"anchor"`.
+    pub tag: &'static str,
+    /// Human-friendly detail.
+    pub detail: String,
+}
+
+impl fmt::Display for TraceRecord {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}] {}: {}", self.at, self.tag, self.detail)
+    }
+}
+
+/// An append-only in-memory event trace.
+///
+/// # Example
+///
+/// ```
+/// use simkit::{Instant, Trace};
+/// let mut trace = Trace::enabled();
+/// trace.record(Instant::ZERO, "anchor", "connection event 0".into());
+/// assert_eq!(trace.records().len(), 1);
+/// assert_eq!(trace.count_tag("anchor"), 1);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Trace {
+    records: Vec<TraceRecord>,
+    enabled: bool,
+}
+
+impl Trace {
+    /// Creates a disabled trace: `record` calls are dropped at zero cost
+    /// beyond a branch. This is the default for large experiment sweeps.
+    pub fn disabled() -> Self {
+        Trace {
+            records: Vec::new(),
+            enabled: false,
+        }
+    }
+
+    /// Creates an enabled trace.
+    pub fn enabled() -> Self {
+        Trace {
+            records: Vec::new(),
+            enabled: true,
+        }
+    }
+
+    /// Whether records are currently being kept.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Appends a record if tracing is enabled.
+    pub fn record(&mut self, at: Instant, tag: &'static str, detail: String) {
+        if self.enabled {
+            self.records.push(TraceRecord { at, tag, detail });
+        }
+    }
+
+    /// All records collected so far, in insertion (time) order.
+    pub fn records(&self) -> &[TraceRecord] {
+        &self.records
+    }
+
+    /// Iterates over records matching a tag.
+    pub fn with_tag<'a>(&'a self, tag: &'a str) -> impl Iterator<Item = &'a TraceRecord> + 'a {
+        self.records.iter().filter(move |r| r.tag == tag)
+    }
+
+    /// Counts records matching a tag.
+    pub fn count_tag(&self, tag: &str) -> usize {
+        self.with_tag(tag).count()
+    }
+
+    /// Drops all collected records, keeping the enabled/disabled state.
+    pub fn clear(&mut self) {
+        self.records.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_trace_records_nothing() {
+        let mut t = Trace::disabled();
+        t.record(Instant::ZERO, "x", "y".into());
+        assert!(t.records().is_empty());
+        assert!(!t.is_enabled());
+    }
+
+    #[test]
+    fn enabled_trace_keeps_order_and_filters() {
+        let mut t = Trace::enabled();
+        t.record(Instant::from_micros(1), "a", "first".into());
+        t.record(Instant::from_micros(2), "b", "second".into());
+        t.record(Instant::from_micros(3), "a", "third".into());
+        assert_eq!(t.records().len(), 3);
+        assert_eq!(t.count_tag("a"), 2);
+        let details: Vec<&str> = t.with_tag("a").map(|r| r.detail.as_str()).collect();
+        assert_eq!(details, vec!["first", "third"]);
+    }
+
+    #[test]
+    fn clear_retains_enabled_state() {
+        let mut t = Trace::enabled();
+        t.record(Instant::ZERO, "a", String::new());
+        t.clear();
+        assert!(t.records().is_empty());
+        assert!(t.is_enabled());
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        let r = TraceRecord {
+            at: Instant::from_micros(150),
+            tag: "ifs",
+            detail: "slave response".into(),
+        };
+        assert!(format!("{r}").contains("ifs"));
+    }
+}

@@ -1,0 +1,1 @@
+//! Example binaries live alongside this package; see `[[bin]]` entries.

@@ -1,0 +1,99 @@
+//! Quickstart: inject one frame into a live BLE connection.
+//!
+//! Builds the smallest complete scene — a lightbulb, a smartphone Central
+//! and an InjectaBLE attacker on a simulated 2.4 GHz medium — then injects
+//! an ATT Write Request that turns the bulb off while the legitimate
+//! connection keeps running.
+//!
+//! Run with: `cargo run -p injectable-examples --bin quickstart`
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use ble_devices::{bulb_payloads, Central, Lightbulb};
+use ble_host::att::AttPdu;
+use ble_link::ConnectionParams;
+use ble_phy::{Environment, NodeConfig, Position, Simulation};
+use injectable::{Attacker, AttackerConfig, Mission, MissionState};
+use simkit::{DriftClock, Duration, SimRng};
+
+fn main() {
+    // 1. A simulated indoor radio environment, fully deterministic.
+    let mut rng = SimRng::seed_from(2021);
+    let mut sim = Simulation::new(Environment::indoor_default(), rng.fork());
+
+    // 2. The victim: a connected lightbulb at the origin.
+    let bulb = Rc::new(RefCell::new(Lightbulb::new(0xB1, rng.fork())));
+    let control = bulb.borrow().control_handle();
+    let bulb_addr = bulb.borrow().ll.address();
+
+    // 3. The legitimate smartphone, 2 m away, hop interval 36 (45 ms).
+    let params = ConnectionParams::typical(&mut rng, 36);
+    let central = Rc::new(RefCell::new(Central::new(0xA0, bulb_addr, params, rng.fork())));
+
+    // 4. The attacker, also 2 m away — the paper's equilateral triangle.
+    let attacker = Rc::new(RefCell::new(Attacker::new(AttackerConfig {
+        target_slave: Some(bulb_addr),
+        ..AttackerConfig::default()
+    })));
+
+    let b = sim.add_node(
+        NodeConfig::new("bulb", Position::new(0.0, 0.0))
+            .with_clock(DriftClock::realistic(50.0, &mut rng).with_jitter_us(1.0)),
+        bulb.clone(),
+    );
+    let c = sim.add_node(
+        NodeConfig::new("phone", Position::new(2.0, 0.0))
+            .with_clock(DriftClock::realistic(50.0, &mut rng).with_jitter_us(1.0)),
+        central.clone(),
+    );
+    let a = sim.add_node(
+        NodeConfig::new("attacker", Position::new(0.0, 2.0))
+            .with_clock(DriftClock::realistic(20.0, &mut rng).with_jitter_us(1.0)),
+        attacker.clone(),
+    );
+    sim.with_ctx(b, |ctx| bulb.borrow_mut().start(ctx));
+    sim.with_ctx(c, |ctx| central.borrow_mut().start(ctx));
+    sim.with_ctx(a, |ctx| attacker.borrow_mut().start(ctx));
+
+    // 5. Let the connection establish; the phone turns the bulb on.
+    sim.run_for(Duration::from_secs(1));
+    central.borrow_mut().write(control, bulb_payloads::power_on());
+    sim.run_for(Duration::from_secs(1));
+    println!("[t={:>6.2}s] bulb is on: {}", seconds(&sim), bulb.borrow().app.on);
+    assert!(bulb.borrow().app.on);
+
+    // 6. Attack: inject a Write Request turning the bulb off (paper §VI-A).
+    let att = AttPdu::WriteRequest {
+        handle: control,
+        value: bulb_payloads::power_off(),
+    }
+    .to_bytes();
+    attacker.borrow_mut().arm(Mission::InjectAtt { att });
+    println!("[t={:>6.2}s] attacker armed: injecting an ATT Write Request", seconds(&sim));
+
+    while attacker.borrow().mission_state() != MissionState::Complete {
+        sim.run_for(Duration::from_millis(200));
+    }
+    let attempts = attacker.borrow().stats().attempts_to_first_success();
+    println!(
+        "[t={:>6.2}s] injection confirmed after {} attempt(s)",
+        seconds(&sim),
+        attempts.expect("success recorded")
+    );
+    println!("[t={:>6.2}s] bulb is on: {}", seconds(&sim), bulb.borrow().app.on);
+    assert!(!bulb.borrow().app.on, "the injected write turned the bulb off");
+
+    // 7. The legitimate connection never noticed.
+    sim.run_for(Duration::from_secs(2));
+    assert!(central.borrow().ll.is_connected(), "master unaware");
+    assert!(bulb.borrow().ll.is_connected(), "slave unaware");
+    println!(
+        "[t={:>6.2}s] legitimate connection still healthy — attack was invisible",
+        seconds(&sim)
+    );
+}
+
+fn seconds(sim: &Simulation) -> f64 {
+    sim.now().as_micros_f64() / 1e6
+}

@@ -1,0 +1,1 @@
+//! Integration tests live in the `tests/` subdirectory of this package.

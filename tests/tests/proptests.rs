@@ -1,0 +1,262 @@
+//! Property-based tests on the core data structures and invariants,
+//! spanning all workspace crates.
+
+use ble_host::att::AttPdu;
+use ble_host::l2cap;
+use ble_link::{
+    AddressType, AdvertisingPdu, ChannelMap, ConnectionParams, ControlPdu, Csa1, Csa2, DataPdu,
+    DeviceAddress, Llid, SleepClockAccuracy,
+};
+use ble_phy::{crc24, whitened, AccessAddress, Channel};
+use proptest::prelude::*;
+
+fn arb_channel_map() -> impl Strategy<Value = ChannelMap> {
+    proptest::collection::btree_set(0u8..37, 2..37)
+        .prop_map(|set| ChannelMap::from_indices(&set.into_iter().collect::<Vec<_>>()))
+}
+
+fn arb_llid() -> impl Strategy<Value = Llid> {
+    prop_oneof![
+        Just(Llid::ContinuationOrEmpty),
+        Just(Llid::StartOrComplete),
+        Just(Llid::Control),
+    ]
+}
+
+proptest! {
+    // ---------------- PHY ----------------
+
+    #[test]
+    fn whitening_roundtrips(channel in 0u8..40, data in proptest::collection::vec(any::<u8>(), 0..64)) {
+        let ch = Channel::new(channel).unwrap();
+        let once = whitened(ch, &data);
+        prop_assert_eq!(whitened(ch, &once), data);
+    }
+
+    #[test]
+    fn crc_detects_any_single_bit_flip(
+        init in 0u32..0x100_0000,
+        data in proptest::collection::vec(any::<u8>(), 1..40),
+        flip_bit in 0usize..8,
+        flip_byte_seed in any::<u64>(),
+    ) {
+        let flip_byte = (flip_byte_seed % data.len() as u64) as usize;
+        let mut corrupted = data.clone();
+        corrupted[flip_byte] ^= 1 << flip_bit;
+        prop_assert_ne!(crc24(init, &data), crc24(init, &corrupted));
+    }
+
+    #[test]
+    fn crc_is_deterministic_and_24_bit(init in any::<u32>(), data in proptest::collection::vec(any::<u8>(), 0..64)) {
+        let a = crc24(init, &data);
+        prop_assert_eq!(a, crc24(init, &data));
+        prop_assert!(a <= 0xFF_FFFF);
+    }
+
+    // ---------------- Link Layer PDUs ----------------
+
+    #[test]
+    fn data_pdu_roundtrips(
+        llid in arb_llid(),
+        nesn in any::<bool>(),
+        sn in any::<bool>(),
+        md in any::<bool>(),
+        payload in proptest::collection::vec(any::<u8>(), 0..255),
+    ) {
+        let pdu = DataPdu::new(llid, nesn, sn, md, payload);
+        prop_assert_eq!(DataPdu::from_bytes(&pdu.to_bytes()).unwrap(), pdu);
+    }
+
+    #[test]
+    fn data_pdu_parser_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..300)) {
+        let _ = DataPdu::from_bytes(&bytes);
+    }
+
+    #[test]
+    fn control_pdu_parser_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..64)) {
+        let _ = ControlPdu::from_bytes(&bytes);
+    }
+
+    #[test]
+    fn advertising_pdu_parser_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..80)) {
+        let _ = AdvertisingPdu::from_bytes(&bytes);
+    }
+
+    #[test]
+    fn connection_update_roundtrips(
+        win_size in any::<u8>(),
+        win_offset in any::<u16>(),
+        interval in any::<u16>(),
+        latency in any::<u16>(),
+        timeout in any::<u16>(),
+        instant in any::<u16>(),
+    ) {
+        let pdu = ControlPdu::ConnectionUpdateInd { win_size, win_offset, interval, latency, timeout, instant };
+        prop_assert_eq!(ControlPdu::from_bytes(&pdu.to_bytes()).unwrap(), pdu);
+    }
+
+    #[test]
+    fn channel_map_bytes_roundtrip(map in arb_channel_map()) {
+        prop_assert_eq!(ChannelMap::from_bytes(map.to_bytes()), map);
+    }
+
+    #[test]
+    fn connect_req_roundtrips(
+        seed in any::<u64>(),
+        hop_interval in 6u16..3200,
+        init_seed in any::<u8>(),
+        adv_seed in any::<u8>(),
+    ) {
+        let mut rng = simkit::SimRng::seed_from(seed);
+        let params = ConnectionParams::typical(&mut rng, hop_interval);
+        let pdu = AdvertisingPdu::ConnectReq {
+            initiator: DeviceAddress::new([init_seed; 6], AddressType::Public),
+            advertiser: DeviceAddress::new([adv_seed; 6], AddressType::Random),
+            params,
+            ch_sel: seed % 2 == 0,
+        };
+        prop_assert_eq!(AdvertisingPdu::from_bytes(&pdu.to_bytes()).unwrap(), pdu);
+    }
+
+    // ---------------- Channel selection ----------------
+
+    #[test]
+    fn csa1_always_lands_on_used_channels(
+        hop in 5u8..17,
+        map in arb_channel_map(),
+        events in 1usize..200,
+    ) {
+        let mut csa = Csa1::new(hop);
+        for _ in 0..events {
+            let ch = csa.next_channel(&map);
+            prop_assert!(map.is_used(ch.index()));
+        }
+    }
+
+    #[test]
+    fn csa2_always_lands_on_used_channels(
+        aa in any::<u32>(),
+        map in arb_channel_map(),
+        counter in any::<u16>(),
+    ) {
+        let csa = Csa2::new(AccessAddress::new(aa));
+        let ch = csa.channel_for_event(counter, &map);
+        prop_assert!(map.is_used(ch.index()));
+    }
+
+    #[test]
+    fn csa1_followers_stay_synchronised(hop in 5u8..17, map in arb_channel_map(), start in 0u8..37) {
+        // A sniffer resuming from a mid-connection snapshot follows exactly.
+        let mut original = Csa1::with_state(hop, start);
+        let mut follower = Csa1::with_state(hop, original.last_unmapped());
+        for _ in 0..100 {
+            prop_assert_eq!(original.next_channel(&map), follower.next_channel(&map));
+        }
+    }
+
+    // ---------------- Host ----------------
+
+    #[test]
+    fn l2cap_roundtrips_any_sdu(
+        cid in any::<u16>(),
+        sdu in proptest::collection::vec(any::<u8>(), 0..600),
+        ll_payload in 5usize..252,
+    ) {
+        let frags = l2cap::fragment(cid, &sdu, ll_payload);
+        let out = l2cap::reassemble_iter(&frags);
+        prop_assert_eq!(out, vec![(cid, sdu)]);
+    }
+
+    #[test]
+    fn l2cap_reassembler_survives_garbage(
+        chunks in proptest::collection::vec(
+            (arb_llid(), proptest::collection::vec(any::<u8>(), 0..40)),
+            0..30
+        ),
+    ) {
+        let mut r = l2cap::Reassembler::new();
+        for (llid, payload) in &chunks {
+            let _ = r.push(*llid, payload);
+        }
+    }
+
+    #[test]
+    fn att_parser_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..64)) {
+        let _ = AttPdu::from_bytes(&bytes);
+    }
+
+    #[test]
+    fn att_write_roundtrips(handle in any::<u16>(), value in proptest::collection::vec(any::<u8>(), 0..100)) {
+        let pdu = AttPdu::WriteRequest { handle, value };
+        prop_assert_eq!(AttPdu::from_bytes(&pdu.to_bytes()), Some(pdu));
+    }
+
+    // ---------------- Crypto ----------------
+
+    #[test]
+    fn ccm_roundtrips_and_rejects_tampering(
+        key in any::<[u8; 16]>(),
+        nonce in any::<[u8; 13]>(),
+        aad in proptest::collection::vec(any::<u8>(), 0..8),
+        payload in proptest::collection::vec(any::<u8>(), 0..128),
+        tamper_byte in any::<u64>(),
+    ) {
+        let cipher = ble_crypto::Aes128::new(&key);
+        let sealed = ble_crypto::ccm::encrypt(&cipher, &nonce, &aad, &payload, 4);
+        prop_assert_eq!(
+            ble_crypto::ccm::decrypt(&cipher, &nonce, &aad, &sealed, 4).unwrap(),
+            payload
+        );
+        let mut bad = sealed.clone();
+        let idx = (tamper_byte % bad.len() as u64) as usize;
+        bad[idx] ^= 0x01;
+        prop_assert!(ble_crypto::ccm::decrypt(&cipher, &nonce, &aad, &bad, 4).is_err());
+    }
+
+    // ---------------- Timing ----------------
+
+    #[test]
+    fn window_widening_is_monotone(
+        sca_m in 0f64..500.0,
+        sca_s in 0f64..500.0,
+        interval_a in 6u64..3200,
+        interval_b in 6u64..3200,
+    ) {
+        use ble_link::timing::{connection_interval, window_widening};
+        let (lo, hi) = if interval_a <= interval_b { (interval_a, interval_b) } else { (interval_b, interval_a) };
+        let w_lo = window_widening(sca_m, sca_s, connection_interval(lo as u16));
+        let w_hi = window_widening(sca_m, sca_s, connection_interval(hi as u16));
+        prop_assert!(w_lo <= w_hi);
+        prop_assert!(w_lo >= ble_link::timing::WIDENING_JITTER);
+    }
+
+    #[test]
+    fn sca_covering_always_covers(ppm in 0f64..500.0) {
+        let class = SleepClockAccuracy::covering(ppm);
+        prop_assert!(class.worst_case_ppm() >= ppm);
+    }
+
+    // ---------------- Heuristic (paper eq. 6/7 algebra) ----------------
+
+    #[test]
+    fn forged_frame_is_acknowledged_by_the_algebra(sn_s in any::<bool>(), nesn_s in any::<bool>()) {
+        // eq. 6: SN_a = NESN_s, NESN_a = SN_s + 1.
+        let sn_a = nesn_s;
+        let nesn_a = !sn_s;
+        // A slave that accepts the frame advances NESN and sends SN = NESN_a-acked value.
+        let response_nesn = !sn_a;
+        let response_sn = nesn_a;
+        let attempt = injectable::InjectionAttempt {
+            t_a: simkit::Instant::from_micros(1000),
+            d_a: simkit::Duration::from_micros(176),
+            sn_a,
+            nesn_a,
+        };
+        let response = injectable::ObservedResponse {
+            t_s: attempt.expected_response_start(),
+            sn_s: response_sn,
+            nesn_s: response_nesn,
+        };
+        prop_assert!(injectable::injection_succeeded(&attempt, &response));
+    }
+}
