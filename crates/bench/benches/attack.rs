@@ -41,5 +41,9 @@ fn bench_full_injection_trial(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_connection_simulation, bench_full_injection_trial);
+criterion_group!(
+    benches,
+    bench_connection_simulation,
+    bench_full_injection_trial
+);
 criterion_main!(benches);

@@ -54,7 +54,9 @@ fn bench_pdu_codec(c: &mut Criterion) {
     let params = ConnectionParams::typical(&mut SimRng::seed_from(1), 36);
     let encoded = params.to_bytes();
     c.bench_function("pdu/connect_req_params_decode", |b| {
-        b.iter(|| std::hint::black_box(ConnectionParams::from_bytes(std::hint::black_box(&encoded))))
+        b.iter(|| {
+            std::hint::black_box(ConnectionParams::from_bytes(std::hint::black_box(&encoded)))
+        })
     });
 }
 

@@ -29,8 +29,10 @@ fn run_point(scale: f64, trials: u64) -> Row {
     let mut attempts = Vec::new();
     let mut victim_drops = 0u32;
     for i in 0..trials {
-        let mut cfg = RigConfig::default();
-        cfg.widening_scale = scale;
+        let cfg = RigConfig {
+            widening_scale: scale,
+            ..RigConfig::default()
+        };
         let seed = 9_000 + i * 7 + (scale * 1000.0) as u64;
         let mut rig = ExperimentRig::new(seed, &cfg);
         if !rig.wait_synchronised(Duration::from_secs(30)) {

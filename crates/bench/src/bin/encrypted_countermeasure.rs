@@ -8,9 +8,9 @@
 //!     availability" — the injected plaintext fails MIC validation and the
 //!     Slave tears the connection down (DoS).
 
+use bench::rig::{ExperimentRig, RigConfig};
 use ble_devices::bulb_payloads;
 use ble_host::att::AttPdu;
-use bench::rig::{ExperimentRig, RigConfig};
 use injectable::Mission;
 use simkit::{Duration, SimRng};
 
@@ -84,7 +84,11 @@ fn main() {
         println!(
             "{:>6} | {:>18} | {:>22} | {:>9}",
             o.seed,
-            if o.feature_triggered { "YES (bad!)" } else { "no" },
+            if o.feature_triggered {
+                "YES (bad!)"
+            } else {
+                "no"
+            },
             if o.dos_disconnect { "yes" } else { "no" },
             o.attempts
         );
@@ -92,9 +96,7 @@ fn main() {
         dos += u32::from(o.dos_disconnect);
     }
     println!();
-    println!(
-        "features triggered: {triggered}/{runs} (paper: 0 — encryption blocks the payload)"
-    );
+    println!("features triggered: {triggered}/{runs} (paper: 0 — encryption blocks the payload)");
     println!(
         "availability impact: {dos}/{runs} connections torn down by MIC failure (paper: DoS remains possible)"
     );

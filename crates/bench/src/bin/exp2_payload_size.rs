@@ -17,7 +17,11 @@ fn main() {
         cfg.rig.hop_interval = 75;
         cfg.payload = raw_payload_of_len(size);
         let outcomes = run_trials_parallel(&cfg, trials);
-        rows.push(SeriesReport::from_outcomes("payload_bytes", size as f64, &outcomes));
+        rows.push(SeriesReport::from_outcomes(
+            "payload_bytes",
+            size as f64,
+            &outcomes,
+        ));
         eprintln!("payload {size} B: done");
     }
     print_series(

@@ -15,7 +15,11 @@ fn main() {
         cfg.rig.hop_interval = 36;
         cfg.rig.attacker_distance = distance;
         let outcomes = run_trials_parallel(&cfg, trials);
-        rows.push(SeriesReport::from_outcomes("distance_m", distance, &outcomes));
+        rows.push(SeriesReport::from_outcomes(
+            "distance_m",
+            distance,
+            &outcomes,
+        ));
         eprintln!("distance {distance} m: done");
     }
     print_series(

@@ -16,7 +16,11 @@ fn main() {
         cfg.rig.wall_db = Some(8.0);
         cfg.sim_budget = simkit::Duration::from_secs(240);
         let outcomes = run_trials_parallel(&cfg, trials);
-        rows.push(SeriesReport::from_outcomes("distance_m", distance, &outcomes));
+        rows.push(SeriesReport::from_outcomes(
+            "distance_m",
+            distance,
+            &outcomes,
+        ));
         eprintln!("wall distance {distance} m: done");
     }
     print_series(

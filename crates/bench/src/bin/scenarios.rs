@@ -12,7 +12,9 @@
 use std::cell::RefCell;
 use std::rc::Rc;
 
-use ble_devices::{bulb_payloads, Central, Keyfob, Lightbulb, Peripheral, PeripheralApp, Smartwatch};
+use ble_devices::{
+    bulb_payloads, Central, Keyfob, Lightbulb, Peripheral, PeripheralApp, Smartwatch,
+};
 use ble_host::att::AttPdu;
 use ble_host::gatt::props;
 use ble_host::{GattServer, HostEvent, HostStack, Uuid};
@@ -35,8 +37,8 @@ fn print_table(rows: &[Row]) {
     println!();
     println!("=== Attack scenarios (paper §VI) ===");
     println!(
-        "{:<10} | {:<10} | {:<34} | {:<7} | {}",
-        "scenario", "device", "action", "success", "injection attempts"
+        "{:<10} | {:<10} | {:<34} | {:<7} | injection attempts",
+        "scenario", "device", "action", "success"
     );
     println!("{}", "-".repeat(88));
     for r in rows {
@@ -46,7 +48,9 @@ fn print_table(rows: &[Row]) {
             r.device,
             r.action,
             if r.success { "yes" } else { "NO" },
-            r.attempts.map(|a| a.to_string()).unwrap_or_else(|| "-".into())
+            r.attempts
+                .map(|a| a.to_string())
+                .unwrap_or_else(|| "-".into())
         );
     }
     println!();
@@ -74,13 +78,24 @@ struct Scene<P: ble_phy::RadioListener + 'static> {
 fn scene<P, F>(seed: u64, make: F) -> Scene<P>
 where
     P: ble_phy::RadioListener + 'static,
-    F: FnOnce(SimRng) -> (Rc<RefCell<P>>, DeviceAddress, Box<dyn Fn(&Rc<RefCell<P>>, &mut ble_phy::NodeCtx<'_>)>),
+    F: FnOnce(
+        SimRng,
+    ) -> (
+        Rc<RefCell<P>>,
+        DeviceAddress,
+        Box<dyn Fn(&Rc<RefCell<P>>, &mut ble_phy::NodeCtx<'_>)>,
+    ),
 {
     let mut rng = SimRng::seed_from(seed);
     let mut sim = Simulation::new(Environment::indoor_default(), rng.fork());
     let (device, device_addr, starter) = make(rng.fork());
     let params = ConnectionParams::typical(&mut rng, 36);
-    let central = Rc::new(RefCell::new(Central::new(0xA0, device_addr, params, rng.fork())));
+    let central = Rc::new(RefCell::new(Central::new(
+        0xA0,
+        device_addr,
+        params,
+        rng.fork(),
+    )));
     let attacker = Rc::new(RefCell::new(Attacker::new(AttackerConfig {
         target_slave: Some(device_addr),
         ..AttackerConfig::default()
@@ -161,11 +176,19 @@ fn hacked_host(seed: u64) -> Box<HostStack> {
     ))
 }
 
+/// An ATT action to inject plus the device-state predicate proving it took
+/// effect.
+type BulbAction = (&'static str, Vec<u8>, Box<dyn Fn(&Lightbulb) -> bool>);
+
 fn scenario_a(rows: &mut Vec<Row>) {
     // Lightbulb: off, colour, brightness.
-    let bulb_actions: [(&str, Vec<u8>, Box<dyn Fn(&Lightbulb) -> bool>); 4] = [
+    let bulb_actions: [BulbAction; 4] = [
         ("turn on", bulb_payloads::power_on(), Box::new(|b| b.app.on)),
-        ("turn off", bulb_payloads::power_off(), Box::new(|b| !b.app.on)),
+        (
+            "turn off",
+            bulb_payloads::power_off(),
+            Box::new(|b| !b.app.on),
+        ),
         (
             "set colour to red",
             bulb_payloads::colour(255, 0, 0),
@@ -181,10 +204,25 @@ fn scenario_a(rows: &mut Vec<Row>) {
         let mut s = scene(100 + i as u64, |rng| {
             let bulb = Rc::new(RefCell::new(Lightbulb::new(0xB1, rng)));
             let addr = bulb.borrow().ll.address();
-            (bulb, addr, Box::new(|b: &Rc<RefCell<Lightbulb>>, ctx: &mut ble_phy::NodeCtx<'_>| b.borrow_mut().start(ctx)))
+            (
+                bulb,
+                addr,
+                Box::new(
+                    |b: &Rc<RefCell<Lightbulb>>, ctx: &mut ble_phy::NodeCtx<'_>| {
+                        b.borrow_mut().start(ctx)
+                    },
+                ),
+            )
         });
         let handle = s.device.borrow().control_handle();
-        let attempts = inject_att(&mut s, AttPdu::WriteRequest { handle, value: payload }.to_bytes());
+        let attempts = inject_att(
+            &mut s,
+            AttPdu::WriteRequest {
+                handle,
+                value: payload,
+            }
+            .to_bytes(),
+        );
         rows.push(Row {
             scenario: "A",
             device: "lightbulb",
@@ -197,10 +235,23 @@ fn scenario_a(rows: &mut Vec<Row>) {
     let mut s = scene(110, |rng| {
         let fob = Rc::new(RefCell::new(Keyfob::new(0xF0, rng)));
         let addr = fob.borrow().ll.address();
-        (fob, addr, Box::new(|f: &Rc<RefCell<Keyfob>>, ctx: &mut ble_phy::NodeCtx<'_>| f.borrow_mut().start(ctx)))
+        (
+            fob,
+            addr,
+            Box::new(|f: &Rc<RefCell<Keyfob>>, ctx: &mut ble_phy::NodeCtx<'_>| {
+                f.borrow_mut().start(ctx)
+            }),
+        )
     });
     let handle = s.device.borrow().alert_handle();
-    let attempts = inject_att(&mut s, AttPdu::WriteRequest { handle, value: vec![2] }.to_bytes());
+    let attempts = inject_att(
+        &mut s,
+        AttPdu::WriteRequest {
+            handle,
+            value: vec![2],
+        }
+        .to_bytes(),
+    );
     rows.push(Row {
         scenario: "A",
         device: "keyfob",
@@ -212,7 +263,15 @@ fn scenario_a(rows: &mut Vec<Row>) {
     let mut s = scene(111, |rng| {
         let watch = Rc::new(RefCell::new(Smartwatch::new(0xCC, rng)));
         let addr = watch.borrow().ll.address();
-        (watch, addr, Box::new(|w: &Rc<RefCell<Smartwatch>>, ctx: &mut ble_phy::NodeCtx<'_>| w.borrow_mut().start(ctx)))
+        (
+            watch,
+            addr,
+            Box::new(
+                |w: &Rc<RefCell<Smartwatch>>, ctx: &mut ble_phy::NodeCtx<'_>| {
+                    w.borrow_mut().start(ctx)
+                },
+            ),
+        )
     });
     let handle = s.device.borrow().message_handle();
     let attempts = inject_att(
@@ -228,16 +287,28 @@ fn scenario_a(rows: &mut Vec<Row>) {
         device: "smartwatch",
         action: "deliver a forged SMS",
         success: attempts.is_some()
-            && s.device.borrow().inbox_strings().contains(&"Forged SMS".to_string()),
+            && s.device
+                .borrow()
+                .inbox_strings()
+                .contains(&"Forged SMS".to_string()),
         attempts,
     });
 }
 
 fn scenario_b(rows: &mut Vec<Row>) {
     let outcomes = [
-        ("lightbulb", run_b_peripheral(120, |rng| Lightbulb::new(0xB1, rng))),
-        ("keyfob", run_b_peripheral(121, |rng| Keyfob::new(0xF0, rng))),
-        ("smartwatch", run_b_peripheral(122, |rng| Smartwatch::new(0xCC, rng))),
+        (
+            "lightbulb",
+            run_b_peripheral(120, |rng| Lightbulb::new(0xB1, rng)),
+        ),
+        (
+            "keyfob",
+            run_b_peripheral(121, |rng| Keyfob::new(0xF0, rng)),
+        ),
+        (
+            "smartwatch",
+            run_b_peripheral(122, |rng| Smartwatch::new(0xCC, rng)),
+        ),
     ];
     for (device, (success, attempts)) in outcomes {
         rows.push(Row {
@@ -263,15 +334,17 @@ fn run_b_peripheral<A: PeripheralApp + 'static>(
         (
             peripheral,
             addr,
-            Box::new(|p: &Rc<RefCell<Peripheral<A>>>, ctx: &mut ble_phy::NodeCtx<'_>| {
-                p.borrow_mut().start(ctx)
-            }),
+            Box::new(
+                |p: &Rc<RefCell<Peripheral<A>>>, ctx: &mut ble_phy::NodeCtx<'_>| {
+                    p.borrow_mut().start(ctx)
+                },
+            ),
         )
     });
     s.central.borrow_mut().auto_reconnect = false;
-    s.attacker
-        .borrow_mut()
-        .arm(Mission::HijackSlave { host: hacked_host(seed) });
+    s.attacker.borrow_mut().arm(Mission::HijackSlave {
+        host: hacked_host(seed),
+    });
     for _ in 0..300 {
         s.sim.run_for(Duration::from_millis(200));
         if s.attacker.borrow().mission_state() == MissionState::TakenOver {
@@ -298,7 +371,13 @@ fn run_b_peripheral<A: PeripheralApp + 'static>(
         .event_log
         .iter()
         .any(|e| matches!(e, HostEvent::ReadResponse { value } if value == b"Hacked"));
-    let attempts = s.attacker.borrow().stats().attempts_per_success.last().copied();
+    let attempts = s
+        .attacker
+        .borrow()
+        .stats()
+        .attempts_per_success
+        .last()
+        .copied();
     (
         got_hacked && !s.device.borrow().ll.is_connected() && s.central.borrow().ll.is_connected(),
         attempts,
@@ -309,7 +388,15 @@ fn scenario_c(rows: &mut Vec<Row>) {
     let mut s = scene(140, |rng| {
         let bulb = Rc::new(RefCell::new(Lightbulb::new(0xB1, rng)));
         let addr = bulb.borrow().ll.address();
-        (bulb, addr, Box::new(|b: &Rc<RefCell<Lightbulb>>, ctx: &mut ble_phy::NodeCtx<'_>| b.borrow_mut().start(ctx)))
+        (
+            bulb,
+            addr,
+            Box::new(
+                |b: &Rc<RefCell<Lightbulb>>, ctx: &mut ble_phy::NodeCtx<'_>| {
+                    b.borrow_mut().start(ctx)
+                },
+            ),
+        )
     });
     s.central.borrow_mut().auto_reconnect = false;
     let handle = s.device.borrow().control_handle();
@@ -346,7 +433,13 @@ fn scenario_c(rows: &mut Vec<Row>) {
         device: "lightbulb",
         action: "hijack master, drive colour",
         success,
-        attempts: s.attacker.borrow().stats().attempts_per_success.first().copied(),
+        attempts: s
+            .attacker
+            .borrow()
+            .stats()
+            .attempts_per_success
+            .first()
+            .copied(),
     });
 }
 
@@ -354,7 +447,15 @@ fn scenario_d(rows: &mut Vec<Row>) {
     let mut s = scene(150, |rng| {
         let watch = Rc::new(RefCell::new(Smartwatch::new(0xCC, rng)));
         let addr = watch.borrow().ll.address();
-        (watch, addr, Box::new(|w: &Rc<RefCell<Smartwatch>>, ctx: &mut ble_phy::NodeCtx<'_>| w.borrow_mut().start(ctx)))
+        (
+            watch,
+            addr,
+            Box::new(
+                |w: &Rc<RefCell<Smartwatch>>, ctx: &mut ble_phy::NodeCtx<'_>| {
+                    w.borrow_mut().start(ctx)
+                },
+            ),
+        )
     });
     s.central.borrow_mut().auto_reconnect = false;
     let msg_handle = s.device.borrow().message_handle();
@@ -385,11 +486,14 @@ fn scenario_d(rows: &mut Vec<Row>) {
         find: b"noon".to_vec(),
         replace: b"MIDNIGHT".to_vec(),
     };
-    let half = Rc::new(RefCell::new(MitmSlaveHalf::new(mirror, handoff.clone(), vec![rewrite])));
-    let half_id = s.sim.add_node(
-        NodeConfig::new("mitm-half", s.attacker_pos),
-        half.clone(),
-    );
+    let half = Rc::new(RefCell::new(MitmSlaveHalf::new(
+        mirror,
+        handoff.clone(),
+        vec![rewrite],
+    )));
+    let half_id = s
+        .sim
+        .add_node(NodeConfig::new("mitm-half", s.attacker_pos), half.clone());
     {
         let half = half.clone();
         s.sim.with_ctx(half_id, |ctx| half.borrow_mut().start(ctx));
@@ -423,14 +527,20 @@ fn scenario_d(rows: &mut Vec<Row>) {
         .write(msg_handle, b"meet at noon".to_vec());
     s.sim.run_for(Duration::from_secs(5));
     let inbox = s.device.borrow().inbox_strings();
-    let success = inbox.contains(&"meet at MIDNIGHT".to_string())
-        && !handoff.borrow().intercepted.is_empty();
+    let success =
+        inbox.contains(&"meet at MIDNIGHT".to_string()) && !handoff.borrow().intercepted.is_empty();
     rows.push(Row {
         scenario: "D",
         device: "smartwatch",
         action: "MITM: rewrite SMS on the fly",
         success,
-        attempts: s.attacker.borrow().stats().attempts_per_success.first().copied(),
+        attempts: s
+            .attacker
+            .borrow()
+            .stats()
+            .attempts_per_success
+            .first()
+            .copied(),
     });
 }
 

@@ -58,7 +58,9 @@ pub fn print_series(name: &str, title: &str, rows: &[SeriesReport]) {
     println!();
     println!(
         "{:>12} | {:>7} | {:>6} {:>6} {:>6} {:>6} {:>6} | {:>7} | {:>8}",
-        rows.first().map(|r| r.parameter.as_str()).unwrap_or("value"),
+        rows.first()
+            .map(|r| r.parameter.as_str())
+            .unwrap_or("value"),
         "success",
         "min",
         "q1",
@@ -103,8 +105,7 @@ fn write_json(name: &str, rows: &[SeriesReport]) -> std::io::Result<()> {
 
 /// Workspace-relative artefact directory.
 pub fn artefact_dir() -> PathBuf {
-    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
-        .join("../../target/experiments")
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../target/experiments")
 }
 
 /// Minimal JSON encoding (serde-derive model, hand-rolled writer keeps the

@@ -96,7 +96,12 @@ impl ExperimentRig {
         let bulb = Rc::new(RefCell::new(bulb_obj));
 
         let params = ConnectionParams::typical(&mut rng, cfg.hop_interval);
-        let central = Rc::new(RefCell::new(Central::new(0xA0, bulb_addr, params, rng.fork())));
+        let central = Rc::new(RefCell::new(Central::new(
+            0xA0,
+            bulb_addr,
+            params,
+            rng.fork(),
+        )));
 
         let mut attacker_cfg = AttackerConfig {
             target_slave: Some(bulb_addr),

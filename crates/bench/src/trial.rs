@@ -151,7 +151,9 @@ pub fn run_trials_parallel(base: &TrialConfig, count: u64) -> Vec<TrialOutcome> 
                         break;
                     }
                     let mut cfg = base.clone();
-                    cfg.seed = base.seed.wrapping_add(i.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+                    cfg.seed = base
+                        .seed
+                        .wrapping_add(i.wrapping_mul(0x9E37_79B9_7F4A_7C15));
                     mine.push((i as usize, run_trial(&cfg)));
                 }
                 mine
@@ -163,7 +165,10 @@ pub fn run_trials_parallel(base: &TrialConfig, count: u64) -> Vec<TrialOutcome> 
             }
         }
     });
-    outcomes.into_iter().map(|o| o.expect("all trials ran")).collect()
+    outcomes
+        .into_iter()
+        .map(|o| o.expect("all trials ran"))
+        .collect()
 }
 
 #[cfg(test)]

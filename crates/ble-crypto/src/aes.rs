@@ -7,30 +7,33 @@
 
 /// The AES S-box.
 const SBOX: [u8; 256] = [
-    0x63, 0x7c, 0x77, 0x7b, 0xf2, 0x6b, 0x6f, 0xc5, 0x30, 0x01, 0x67, 0x2b, 0xfe, 0xd7, 0xab,
-    0x76, 0xca, 0x82, 0xc9, 0x7d, 0xfa, 0x59, 0x47, 0xf0, 0xad, 0xd4, 0xa2, 0xaf, 0x9c, 0xa4,
-    0x72, 0xc0, 0xb7, 0xfd, 0x93, 0x26, 0x36, 0x3f, 0xf7, 0xcc, 0x34, 0xa5, 0xe5, 0xf1, 0x71,
-    0xd8, 0x31, 0x15, 0x04, 0xc7, 0x23, 0xc3, 0x18, 0x96, 0x05, 0x9a, 0x07, 0x12, 0x80, 0xe2,
-    0xeb, 0x27, 0xb2, 0x75, 0x09, 0x83, 0x2c, 0x1a, 0x1b, 0x6e, 0x5a, 0xa0, 0x52, 0x3b, 0xd6,
-    0xb3, 0x29, 0xe3, 0x2f, 0x84, 0x53, 0xd1, 0x00, 0xed, 0x20, 0xfc, 0xb1, 0x5b, 0x6a, 0xcb,
-    0xbe, 0x39, 0x4a, 0x4c, 0x58, 0xcf, 0xd0, 0xef, 0xaa, 0xfb, 0x43, 0x4d, 0x33, 0x85, 0x45,
-    0xf9, 0x02, 0x7f, 0x50, 0x3c, 0x9f, 0xa8, 0x51, 0xa3, 0x40, 0x8f, 0x92, 0x9d, 0x38, 0xf5,
-    0xbc, 0xb6, 0xda, 0x21, 0x10, 0xff, 0xf3, 0xd2, 0xcd, 0x0c, 0x13, 0xec, 0x5f, 0x97, 0x44,
-    0x17, 0xc4, 0xa7, 0x7e, 0x3d, 0x64, 0x5d, 0x19, 0x73, 0x60, 0x81, 0x4f, 0xdc, 0x22, 0x2a,
-    0x90, 0x88, 0x46, 0xee, 0xb8, 0x14, 0xde, 0x5e, 0x0b, 0xdb, 0xe0, 0x32, 0x3a, 0x0a, 0x49,
-    0x06, 0x24, 0x5c, 0xc2, 0xd3, 0xac, 0x62, 0x91, 0x95, 0xe4, 0x79, 0xe7, 0xc8, 0x37, 0x6d,
-    0x8d, 0xd5, 0x4e, 0xa9, 0x6c, 0x56, 0xf4, 0xea, 0x65, 0x7a, 0xae, 0x08, 0xba, 0x78, 0x25,
-    0x2e, 0x1c, 0xa6, 0xb4, 0xc6, 0xe8, 0xdd, 0x74, 0x1f, 0x4b, 0xbd, 0x8b, 0x8a, 0x70, 0x3e,
-    0xb5, 0x66, 0x48, 0x03, 0xf6, 0x0e, 0x61, 0x35, 0x57, 0xb9, 0x86, 0xc1, 0x1d, 0x9e, 0xe1,
-    0xf8, 0x98, 0x11, 0x69, 0xd9, 0x8e, 0x94, 0x9b, 0x1e, 0x87, 0xe9, 0xce, 0x55, 0x28, 0xdf,
-    0x8c, 0xa1, 0x89, 0x0d, 0xbf, 0xe6, 0x42, 0x68, 0x41, 0x99, 0x2d, 0x0f, 0xb0, 0x54, 0xbb,
-    0x16,
+    0x63, 0x7c, 0x77, 0x7b, 0xf2, 0x6b, 0x6f, 0xc5, 0x30, 0x01, 0x67, 0x2b, 0xfe, 0xd7, 0xab, 0x76,
+    0xca, 0x82, 0xc9, 0x7d, 0xfa, 0x59, 0x47, 0xf0, 0xad, 0xd4, 0xa2, 0xaf, 0x9c, 0xa4, 0x72, 0xc0,
+    0xb7, 0xfd, 0x93, 0x26, 0x36, 0x3f, 0xf7, 0xcc, 0x34, 0xa5, 0xe5, 0xf1, 0x71, 0xd8, 0x31, 0x15,
+    0x04, 0xc7, 0x23, 0xc3, 0x18, 0x96, 0x05, 0x9a, 0x07, 0x12, 0x80, 0xe2, 0xeb, 0x27, 0xb2, 0x75,
+    0x09, 0x83, 0x2c, 0x1a, 0x1b, 0x6e, 0x5a, 0xa0, 0x52, 0x3b, 0xd6, 0xb3, 0x29, 0xe3, 0x2f, 0x84,
+    0x53, 0xd1, 0x00, 0xed, 0x20, 0xfc, 0xb1, 0x5b, 0x6a, 0xcb, 0xbe, 0x39, 0x4a, 0x4c, 0x58, 0xcf,
+    0xd0, 0xef, 0xaa, 0xfb, 0x43, 0x4d, 0x33, 0x85, 0x45, 0xf9, 0x02, 0x7f, 0x50, 0x3c, 0x9f, 0xa8,
+    0x51, 0xa3, 0x40, 0x8f, 0x92, 0x9d, 0x38, 0xf5, 0xbc, 0xb6, 0xda, 0x21, 0x10, 0xff, 0xf3, 0xd2,
+    0xcd, 0x0c, 0x13, 0xec, 0x5f, 0x97, 0x44, 0x17, 0xc4, 0xa7, 0x7e, 0x3d, 0x64, 0x5d, 0x19, 0x73,
+    0x60, 0x81, 0x4f, 0xdc, 0x22, 0x2a, 0x90, 0x88, 0x46, 0xee, 0xb8, 0x14, 0xde, 0x5e, 0x0b, 0xdb,
+    0xe0, 0x32, 0x3a, 0x0a, 0x49, 0x06, 0x24, 0x5c, 0xc2, 0xd3, 0xac, 0x62, 0x91, 0x95, 0xe4, 0x79,
+    0xe7, 0xc8, 0x37, 0x6d, 0x8d, 0xd5, 0x4e, 0xa9, 0x6c, 0x56, 0xf4, 0xea, 0x65, 0x7a, 0xae, 0x08,
+    0xba, 0x78, 0x25, 0x2e, 0x1c, 0xa6, 0xb4, 0xc6, 0xe8, 0xdd, 0x74, 0x1f, 0x4b, 0xbd, 0x8b, 0x8a,
+    0x70, 0x3e, 0xb5, 0x66, 0x48, 0x03, 0xf6, 0x0e, 0x61, 0x35, 0x57, 0xb9, 0x86, 0xc1, 0x1d, 0x9e,
+    0xe1, 0xf8, 0x98, 0x11, 0x69, 0xd9, 0x8e, 0x94, 0x9b, 0x1e, 0x87, 0xe9, 0xce, 0x55, 0x28, 0xdf,
+    0x8c, 0xa1, 0x89, 0x0d, 0xbf, 0xe6, 0x42, 0x68, 0x41, 0x99, 0x2d, 0x0f, 0xb0, 0x54, 0xbb, 0x16,
 ];
 
 const ROUND_CONSTANTS: [u8; 10] = [0x01, 0x02, 0x04, 0x08, 0x10, 0x20, 0x40, 0x80, 0x1b, 0x36];
 
 fn xtime(b: u8) -> u8 {
     (b << 1) ^ (if b & 0x80 != 0 { 0x1b } else { 0 })
+}
+
+/// S-box lookup; a `u8` index is always in range for the 256-entry table.
+fn sbox(b: u8) -> u8 {
+    SBOX[usize::from(b) % 256]
 }
 
 /// An AES-128 encryption context with a pre-expanded key schedule.
@@ -61,7 +64,9 @@ pub struct Aes128 {
 impl std::fmt::Debug for Aes128 {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         // Never print key material.
-        f.debug_struct("Aes128").field("key", &"<redacted>").finish()
+        f.debug_struct("Aes128")
+            .field("key", &"<redacted>")
+            .finish()
     }
 }
 
@@ -70,23 +75,28 @@ impl Aes128 {
     pub fn new(key: &[u8; 16]) -> Self {
         let mut round_keys = [[0u8; 16]; 11];
         round_keys[0] = *key;
-        for round in 1..11 {
-            let prev = round_keys[round - 1];
+        let mut prev = *key;
+        for (rk_slot, rcon) in round_keys.iter_mut().skip(1).zip(ROUND_CONSTANTS) {
             let mut word = [prev[12], prev[13], prev[14], prev[15]];
             // RotWord + SubWord + Rcon.
             word.rotate_left(1);
             for b in &mut word {
-                *b = SBOX[*b as usize];
+                *b = sbox(*b);
             }
-            word[0] ^= ROUND_CONSTANTS[round - 1];
+            word[0] ^= rcon;
+            // Each 4-byte output word is the matching word of the previous
+            // round key XOR the previous output word (the transformed last
+            // word for the first one).
             let mut rk = [0u8; 16];
-            for i in 0..4 {
-                rk[i] = prev[i] ^ word[i];
+            let mut carry = word;
+            for (chunk, prev_chunk) in rk.chunks_mut(4).zip(prev.chunks(4)) {
+                for ((dst, &p), &c) in chunk.iter_mut().zip(prev_chunk).zip(&carry) {
+                    *dst = p ^ c;
+                }
+                carry.copy_from_slice(chunk);
             }
-            for i in 4..16 {
-                rk[i] = prev[i] ^ rk[i - 4];
-            }
-            round_keys[round] = rk;
+            *rk_slot = rk;
+            prev = rk;
         }
         Aes128 { round_keys }
     }
@@ -95,11 +105,11 @@ impl Aes128 {
     pub fn encrypt_block(&self, block: &[u8; 16]) -> [u8; 16] {
         let mut state = *block;
         add_round_key(&mut state, &self.round_keys[0]);
-        for round in 1..10 {
+        for rk in &self.round_keys[1..10] {
             sub_bytes(&mut state);
             shift_rows(&mut state);
             mix_columns(&mut state);
-            add_round_key(&mut state, &self.round_keys[round]);
+            add_round_key(&mut state, rk);
         }
         sub_bytes(&mut state);
         shift_rows(&mut state);
@@ -109,39 +119,34 @@ impl Aes128 {
 }
 
 fn add_round_key(state: &mut [u8; 16], rk: &[u8; 16]) {
-    for i in 0..16 {
-        state[i] ^= rk[i];
+    for (s, k) in state.iter_mut().zip(rk) {
+        *s ^= k;
     }
 }
 
 fn sub_bytes(state: &mut [u8; 16]) {
     for b in state.iter_mut() {
-        *b = SBOX[*b as usize];
+        *b = sbox(*b);
     }
 }
 
 /// State is column-major: byte `i` is row `i % 4`, column `i / 4`.
 fn shift_rows(state: &mut [u8; 16]) {
     let s = *state;
-    for row in 1..4 {
-        for col in 0..4 {
-            state[col * 4 + row] = s[((col + row) % 4) * 4 + row];
-        }
+    for (i, b) in state.iter_mut().enumerate() {
+        let (col, row) = (i / 4, i % 4);
+        // Row `r` rotates left by `r` columns; row 0 maps to itself.
+        *b = s[((col + row) % 4) * 4 + row];
     }
 }
 
 fn mix_columns(state: &mut [u8; 16]) {
-    for col in 0..4 {
-        let a = [
-            state[col * 4],
-            state[col * 4 + 1],
-            state[col * 4 + 2],
-            state[col * 4 + 3],
-        ];
-        state[col * 4] = xtime(a[0]) ^ (xtime(a[1]) ^ a[1]) ^ a[2] ^ a[3];
-        state[col * 4 + 1] = a[0] ^ xtime(a[1]) ^ (xtime(a[2]) ^ a[2]) ^ a[3];
-        state[col * 4 + 2] = a[0] ^ a[1] ^ xtime(a[2]) ^ (xtime(a[3]) ^ a[3]);
-        state[col * 4 + 3] = (xtime(a[0]) ^ a[0]) ^ a[1] ^ a[2] ^ xtime(a[3]);
+    for chunk in state.chunks_mut(4) {
+        let a = [chunk[0], chunk[1], chunk[2], chunk[3]];
+        chunk[0] = xtime(a[0]) ^ (xtime(a[1]) ^ a[1]) ^ a[2] ^ a[3];
+        chunk[1] = a[0] ^ xtime(a[1]) ^ (xtime(a[2]) ^ a[2]) ^ a[3];
+        chunk[2] = a[0] ^ a[1] ^ xtime(a[2]) ^ (xtime(a[3]) ^ a[3]);
+        chunk[3] = (xtime(a[0]) ^ a[0]) ^ a[1] ^ a[2] ^ xtime(a[3]);
     }
 }
 
@@ -171,13 +176,29 @@ mod tests {
     fn nist_sp800_38a_ecb_vectors() {
         let cipher = Aes128::new(&block("2b7e151628aed2a6abf7158809cf4f3c"));
         let cases = [
-            ("6bc1bee22e409f96e93d7e117393172a", "3ad77bb40d7a3660a89ecaf32466ef97"),
-            ("ae2d8a571e03ac9c9eb76fac45af8e51", "f5d3d58503b9699de785895a96fdbaaf"),
-            ("30c81c46a35ce411e5fbc1191a0a52ef", "43b1cd7f598ece23881b00e3ed030688"),
-            ("f69f2445df4f9b17ad2b417be66c3710", "7b0c785e27e8ad3f8223207104725dd4"),
+            (
+                "6bc1bee22e409f96e93d7e117393172a",
+                "3ad77bb40d7a3660a89ecaf32466ef97",
+            ),
+            (
+                "ae2d8a571e03ac9c9eb76fac45af8e51",
+                "f5d3d58503b9699de785895a96fdbaaf",
+            ),
+            (
+                "30c81c46a35ce411e5fbc1191a0a52ef",
+                "43b1cd7f598ece23881b00e3ed030688",
+            ),
+            (
+                "f69f2445df4f9b17ad2b417be66c3710",
+                "7b0c785e27e8ad3f8223207104725dd4",
+            ),
         ];
         for (pt, expected) in cases {
-            assert_eq!(cipher.encrypt_block(&block(pt)).to_vec(), hex(expected), "{pt}");
+            assert_eq!(
+                cipher.encrypt_block(&block(pt)).to_vec(),
+                hex(expected),
+                "{pt}"
+            );
         }
     }
 

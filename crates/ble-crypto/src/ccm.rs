@@ -5,6 +5,8 @@
 //! The functions here take `M` as a parameter so the RFC 3610 test vectors
 //! (which use `M = 8`) can validate the implementation directly.
 
+use ble_invariants::{lsb16, lsb8};
+
 use crate::aes::Aes128;
 
 /// Length of the BLE message integrity check, in bytes.
@@ -25,16 +27,29 @@ impl std::fmt::Display for CcmError {
 
 impl std::error::Error for CcmError {}
 
+/// XORs `src` into the front of `x` (stops at the shorter of the two).
+fn xor_into(x: &mut [u8; 16], src: &[u8]) {
+    for (x_byte, s) in x.iter_mut().zip(src) {
+        *x_byte ^= s;
+    }
+}
+
 /// Computes the CBC-MAC over the CCM-formatted blocks.
-fn cbc_mac(cipher: &Aes128, nonce: &[u8; NONCE_LEN], aad: &[u8], payload: &[u8], mic_len: usize) -> [u8; 16] {
-    // B0: flags | nonce | message length (L = 2).
+fn cbc_mac(
+    cipher: &Aes128,
+    nonce: &[u8; NONCE_LEN],
+    aad: &[u8],
+    payload: &[u8],
+    mic_len: usize,
+) -> [u8; 16] {
+    // B0: flags | nonce | message length (L = 2 bounds the length field, so
+    // the masked encoding below is exact for every valid CCM payload).
     let mut b0 = [0u8; 16];
     let adata = u8::from(!aad.is_empty());
-    let m_enc = ((mic_len - 2) / 2) as u8;
+    let m_enc = lsb8((mic_len.saturating_sub(2) / 2) as u64);
     b0[0] = (adata << 6) | (m_enc << 3) | 0x01; // L' = L-1 = 1
     b0[1..14].copy_from_slice(nonce);
-    b0[14] = ((payload.len() >> 8) & 0xFF) as u8;
-    b0[15] = (payload.len() & 0xFF) as u8;
+    b0[14..16].copy_from_slice(&lsb16(payload.len() as u64).to_be_bytes());
 
     let mut x = cipher.encrypt_block(&b0);
 
@@ -43,34 +58,24 @@ fn cbc_mac(cipher: &Aes128, nonce: &[u8; NONCE_LEN], aad: &[u8], payload: &[u8],
     if !aad.is_empty() {
         assert!(aad.len() < 0xFF00, "AAD too long for simple encoding");
         let mut block = [0u8; 16];
-        block[0] = ((aad.len() >> 8) & 0xFF) as u8;
-        block[1] = (aad.len() & 0xFF) as u8;
+        block[..2].copy_from_slice(&lsb16(aad.len() as u64).to_be_bytes());
+        // First block carries up to 14 AAD bytes after the length prefix.
         let take = aad.len().min(14);
-        block[2..2 + take].copy_from_slice(&aad[..take]);
-        for (i, b) in block.iter().enumerate() {
-            x[i] ^= b;
+        for (dst, &src) in block[2..].iter_mut().zip(aad) {
+            *dst = src;
         }
+        xor_into(&mut x, &block);
         x = cipher.encrypt_block(&x);
-        let mut rest = &aad[take..];
-        while !rest.is_empty() {
-            let take = rest.len().min(16);
-            for i in 0..take {
-                x[i] ^= rest[i];
-            }
+        for chunk in aad.get(take..).unwrap_or(&[]).chunks(16) {
+            xor_into(&mut x, chunk);
             x = cipher.encrypt_block(&x);
-            rest = &rest[take..];
         }
     }
 
     // Payload blocks.
-    let mut rest = payload;
-    while !rest.is_empty() {
-        let take = rest.len().min(16);
-        for i in 0..take {
-            x[i] ^= rest[i];
-        }
+    for chunk in payload.chunks(16) {
+        xor_into(&mut x, chunk);
         x = cipher.encrypt_block(&x);
-        rest = &rest[take..];
     }
     x
 }
@@ -80,8 +85,7 @@ fn ctr_block(cipher: &Aes128, nonce: &[u8; NONCE_LEN], counter: u16) -> [u8; 16]
     let mut a = [0u8; 16];
     a[0] = 0x01; // flags: L' = 1
     a[1..14].copy_from_slice(nonce);
-    a[14] = (counter >> 8) as u8;
-    a[15] = (counter & 0xFF) as u8;
+    a[14..16].copy_from_slice(&counter.to_be_bytes());
     cipher.encrypt_block(&a)
 }
 
@@ -106,14 +110,14 @@ pub fn encrypt(
     mic_len: usize,
 ) -> Vec<u8> {
     assert!(
-        (4..=16).contains(&mic_len) && mic_len % 2 == 0,
+        (4..=16).contains(&mic_len) && mic_len.is_multiple_of(2),
         "CCM MIC length must be an even value in 4..=16"
     );
     let tag = cbc_mac(cipher, nonce, aad, payload, mic_len);
     let mut out = Vec::with_capacity(payload.len() + mic_len);
     // Encrypt payload with counters 1..; counter 0 encrypts the MIC.
     for (i, chunk) in payload.chunks(16).enumerate() {
-        let ks = ctr_block(cipher, nonce, (i + 1) as u16);
+        let ks = ctr_block(cipher, nonce, lsb16((i + 1) as u64));
         out.extend(chunk.iter().zip(ks.iter()).map(|(p, k)| p ^ k));
     }
     let s0 = ctr_block(cipher, nonce, 0);
@@ -140,12 +144,17 @@ pub fn decrypt(
     let (ciphertext, mic) = sealed.split_at(sealed.len() - mic_len);
     let mut payload = Vec::with_capacity(ciphertext.len());
     for (i, chunk) in ciphertext.chunks(16).enumerate() {
-        let ks = ctr_block(cipher, nonce, (i + 1) as u16);
+        let ks = ctr_block(cipher, nonce, lsb16((i + 1) as u64));
         payload.extend(chunk.iter().zip(ks.iter()).map(|(c, k)| c ^ k));
     }
     let tag = cbc_mac(cipher, nonce, aad, &payload, mic_len);
     let s0 = ctr_block(cipher, nonce, 0);
-    let expected: Vec<u8> = tag.iter().zip(s0.iter()).take(mic_len).map(|(t, k)| t ^ k).collect();
+    let expected: Vec<u8> = tag
+        .iter()
+        .zip(s0.iter())
+        .take(mic_len)
+        .map(|(t, k)| t ^ k)
+        .collect();
     // Constant-time-ish comparison (simulation grade).
     let mut diff = 0u8;
     for (a, b) in expected.iter().zip(mic) {
@@ -193,8 +202,7 @@ mod tests {
         let payload = hex("08090A0B0C0D0E0F101112131415161718191A1B1C1D1E1F");
         let cipher = Aes128::new(&key);
         let sealed = encrypt(&cipher, &nonce, &aad, &payload, 8);
-        let expected =
-            hex("72C91A36E135F8CF291CA894085C87E3CC15C439C9E43A3BA091D56E10400916");
+        let expected = hex("72C91A36E135F8CF291CA894085C87E3CC15C439C9E43A3BA091D56E10400916");
         assert_eq!(sealed, expected);
     }
 
@@ -207,8 +215,7 @@ mod tests {
         let payload = hex("08090A0B0C0D0E0F101112131415161718191A1B1C1D1E1F20");
         let cipher = Aes128::new(&key);
         let sealed = encrypt(&cipher, &nonce, &aad, &payload, 8);
-        let expected =
-            hex("51B1E5F44A197D1DA46B0F8E2D282AE871E838BB64DA8596574ADAA76FBD9FB0C5");
+        let expected = hex("51B1E5F44A197D1DA46B0F8E2D282AE871E838BB64DA8596574ADAA76FBD9FB0C5");
         assert_eq!(sealed, expected);
     }
 
@@ -257,7 +264,10 @@ mod tests {
     #[test]
     fn too_short_message_rejected() {
         let cipher = Aes128::new(&[0x42; 16]);
-        assert_eq!(decrypt(&cipher, &[0; 13], &[], &[1, 2], MIC_LEN), Err(CcmError));
+        assert_eq!(
+            decrypt(&cipher, &[0; 13], &[], &[1, 2], MIC_LEN),
+            Err(CcmError)
+        );
     }
 
     #[test]
@@ -266,7 +276,10 @@ mod tests {
         let nonce = [0u8; 13];
         let sealed = encrypt(&cipher, &nonce, &[0x01], &[], MIC_LEN);
         assert_eq!(sealed.len(), MIC_LEN);
-        assert_eq!(decrypt(&cipher, &nonce, &[0x01], &sealed, MIC_LEN).unwrap(), Vec::<u8>::new());
+        assert_eq!(
+            decrypt(&cipher, &nonce, &[0x01], &sealed, MIC_LEN).unwrap(),
+            Vec::<u8>::new()
+        );
     }
 
     #[test]

@@ -22,6 +22,16 @@
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
+// Tests may panic freely; the denies below only harden non-test code.
+#![cfg_attr(
+    test,
+    allow(
+        clippy::unwrap_used,
+        clippy::expect_used,
+        clippy::panic,
+        clippy::cast_possible_truncation
+    )
+)]
 
 mod aes;
 pub mod ccm;

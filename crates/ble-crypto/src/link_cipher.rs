@@ -112,11 +112,7 @@ impl LinkCipher {
         // 39-bit counter, little-endian, in bytes 0..5; bit 7 of byte 4 is
         // the direction bit (1 = master→slave).
         let c = counter & 0x7F_FFFF_FFFF;
-        nonce[0] = (c & 0xFF) as u8;
-        nonce[1] = ((c >> 8) & 0xFF) as u8;
-        nonce[2] = ((c >> 16) & 0xFF) as u8;
-        nonce[3] = ((c >> 24) & 0xFF) as u8;
-        nonce[4] = ((c >> 32) & 0x7F) as u8;
+        nonce[..5].copy_from_slice(&c.to_le_bytes()[..5]);
         if direction == Direction::MasterToSlave {
             nonce[4] |= 0x80;
         }
@@ -221,7 +217,9 @@ mod tests {
             );
             let s2m = slave.encrypt(Direction::SlaveToMaster, 0x01, &[i]);
             assert_eq!(
-                master.decrypt(Direction::SlaveToMaster, 0x01, &s2m).unwrap(),
+                master
+                    .decrypt(Direction::SlaveToMaster, 0x01, &s2m)
+                    .unwrap(),
                 vec![i]
             );
         }
@@ -250,7 +248,9 @@ mod tests {
         let mut victim = LinkCipher::new(&[0xAB; 16], &material());
         let mut attacker = LinkCipher::new(&[0xCD; 16], &material());
         let forged = attacker.encrypt(Direction::MasterToSlave, 0x02, b"inject");
-        assert!(victim.decrypt(Direction::MasterToSlave, 0x02, &forged).is_err());
+        assert!(victim
+            .decrypt(Direction::MasterToSlave, 0x02, &forged)
+            .is_err());
     }
 
     #[test]
@@ -260,8 +260,15 @@ mod tests {
         let mut slave = LinkCipher::new(&ltk, &material());
         let good = master.encrypt(Direction::MasterToSlave, 0x02, b"one");
         // Garbage first: rejected, counter unchanged.
-        assert!(slave.decrypt(Direction::MasterToSlave, 0x02, b"garbage!").is_err());
-        assert_eq!(slave.decrypt(Direction::MasterToSlave, 0x02, &good).unwrap(), b"one");
+        assert!(slave
+            .decrypt(Direction::MasterToSlave, 0x02, b"garbage!")
+            .is_err());
+        assert_eq!(
+            slave
+                .decrypt(Direction::MasterToSlave, 0x02, &good)
+                .unwrap(),
+            b"one"
+        );
     }
 
     #[test]
@@ -285,7 +292,9 @@ mod tests {
         // LLID (bits 0-1) is part of the masked header: changing 0b10
         // (start) to 0b11 (control) must break the MIC.
         let sealed = master.encrypt(Direction::MasterToSlave, 0b0000_0010, b"x");
-        assert!(slave.decrypt(Direction::MasterToSlave, 0b0000_0011, &sealed).is_err());
+        assert!(slave
+            .decrypt(Direction::MasterToSlave, 0b0000_0011, &sealed)
+            .is_err());
     }
 
     #[test]

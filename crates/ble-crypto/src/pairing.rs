@@ -21,8 +21,8 @@ pub fn e(key: &[u8; 16], plaintext: &[u8; 16]) -> [u8; 16] {
 
 fn xor16(a: &[u8; 16], b: &[u8; 16]) -> [u8; 16] {
     let mut out = [0u8; 16];
-    for i in 0..16 {
-        out[i] = a[i] ^ b[i];
+    for ((o, &x), &y) in out.iter_mut().zip(a).zip(b) {
+        *o = x ^ y;
     }
     out
 }

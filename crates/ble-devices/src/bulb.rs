@@ -192,9 +192,11 @@ mod tests {
             );
             host
         };
-        b.app.handle_event(&mut host_dummy, &write_event(h, payloads::power_on()));
+        b.app
+            .handle_event(&mut host_dummy, &write_event(h, payloads::power_on()));
         assert!(b.app.on);
-        b.app.handle_event(&mut host_dummy, &write_event(h, payloads::power_off()));
+        b.app
+            .handle_event(&mut host_dummy, &write_event(h, payloads::power_off()));
         assert!(!b.app.on);
         assert_eq!(b.app.command_log.len(), 2);
     }
@@ -208,9 +210,11 @@ mod tests {
             "x",
             SimRng::seed_from(2),
         );
-        b.app.handle_event(&mut host, &write_event(h, payloads::colour(10, 20, 30)));
+        b.app
+            .handle_event(&mut host, &write_event(h, payloads::colour(10, 20, 30)));
         assert_eq!(b.app.rgb, (10, 20, 30));
-        b.app.handle_event(&mut host, &write_event(h, payloads::brightness(250)));
+        b.app
+            .handle_event(&mut host, &write_event(h, payloads::brightness(250)));
         assert_eq!(b.app.brightness, 100, "clamped");
     }
 
@@ -222,7 +226,8 @@ mod tests {
             "x",
             SimRng::seed_from(2),
         );
-        b.app.handle_event(&mut host, &write_event(0x7777, payloads::power_on()));
+        b.app
+            .handle_event(&mut host, &write_event(0x7777, payloads::power_on()));
         assert!(!b.app.on);
         assert!(b.app.command_log.is_empty());
     }
@@ -238,7 +243,8 @@ mod tests {
             "x",
             SimRng::seed_from(2),
         );
-        b.app.handle_event(&mut host, &write_event(h, payloads::ping_padded(5)));
+        b.app
+            .handle_event(&mut host, &write_event(h, payloads::ping_padded(5)));
         assert_eq!(b.app.pings, 1);
     }
 

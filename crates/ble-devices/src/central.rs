@@ -8,9 +8,7 @@
 use std::collections::VecDeque;
 
 use ble_host::{GattServer, HostEvent, HostStack, SecurityAction};
-use ble_link::{
-    ConnectionParams, DeviceAddress, LinkLayer, SleepClockAccuracy, UpdateRequest,
-};
+use ble_link::{ConnectionParams, DeviceAddress, LinkLayer, SleepClockAccuracy, UpdateRequest};
 use ble_phy::{NodeCtx, RadioEvent, RadioListener, TimerKey};
 use simkit::{Duration, SimRng};
 

@@ -24,7 +24,9 @@ mod keyfob;
 mod peripheral;
 mod watch;
 
-pub use bulb::{payloads as bulb_payloads, BulbApp, Lightbulb, BULB_CONTROL_UUID, BULB_SERVICE_UUID};
+pub use bulb::{
+    payloads as bulb_payloads, BulbApp, Lightbulb, BULB_CONTROL_UUID, BULB_SERVICE_UUID,
+};
 pub use central::Central;
 pub use keyfob::{Keyfob, KeyfobApp};
 pub use peripheral::{Peripheral, PeripheralApp, APP_TIMER_BASE};

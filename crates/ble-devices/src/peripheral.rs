@@ -116,11 +116,7 @@ impl<A: PeripheralApp> RadioListener for Peripheral<A> {
 
 /// Builds a host stack with a GAP service exposing `name` as the Device
 /// Name characteristic — shared scaffolding for the concrete devices.
-pub(crate) fn host_with_gap(
-    address: DeviceAddress,
-    name: &str,
-    rng: SimRng,
-) -> (HostStack, u16) {
+pub(crate) fn host_with_gap(address: DeviceAddress, name: &str, rng: SimRng) -> (HostStack, u16) {
     use ble_host::gatt::props;
     use ble_host::{GattServer, Uuid};
     let mut server = GattServer::new();

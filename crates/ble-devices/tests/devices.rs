@@ -50,11 +50,14 @@ fn central_turns_the_bulb_on_and_recolours_it() {
     assert_eq!(bulb.connections, 1);
     let central = central.borrow();
     assert_eq!(central.connections, 1);
-    assert!(central
-        .event_log
-        .iter()
-        .filter(|e| matches!(e, HostEvent::WriteConfirmed))
-        .count() >= 2);
+    assert!(
+        central
+            .event_log
+            .iter()
+            .filter(|e| matches!(e, HostEvent::WriteConfirmed))
+            .count()
+            >= 2
+    );
 }
 
 #[test]
@@ -138,7 +141,11 @@ fn central_reconnects_after_disconnection() {
     sim.run_for(Duration::from_secs(2));
     let central = central.borrow();
     let bulb = bulb.borrow();
-    assert!(central.connections >= 2, "reconnected ({})", central.connections);
+    assert!(
+        central.connections >= 2,
+        "reconnected ({})",
+        central.connections
+    );
     assert!(bulb.connections >= 2, "bulb re-advertised and reconnected");
     assert!(central.ll.is_connected() && bulb.ll.is_connected());
 }
@@ -164,10 +171,15 @@ fn pairing_and_encryption_through_real_devices() {
     sim.with_ctx(b, |ctx| bulb.borrow_mut().start(ctx));
     sim.with_ctx(c, |ctx| central.borrow_mut().start(ctx));
     sim.run_for(Duration::from_secs(3));
-    assert!(central.borrow().host.is_encrypted(), "central link encrypted");
+    assert!(
+        central.borrow().host.is_encrypted(),
+        "central link encrypted"
+    );
     assert!(bulb.borrow().host.is_encrypted(), "bulb link encrypted");
     // Application traffic still works over the encrypted link.
-    central.borrow_mut().write(control, bulb_payloads::power_on());
+    central
+        .borrow_mut()
+        .write(control, bulb_payloads::power_on());
     sim.run_for(Duration::from_secs(1));
     assert!(bulb.borrow().app.on, "encrypted write applied");
 }

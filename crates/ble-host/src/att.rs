@@ -264,7 +264,9 @@ impl AttPdu {
                 }
                 Some(AttPdu::ReadRequest { handle: u16_at(0)? })
             }
-            0x0B => Some(AttPdu::ReadResponse { value: data.to_vec() }),
+            0x0B => Some(AttPdu::ReadResponse {
+                value: data.to_vec(),
+            }),
             0x12 | 0x52 | 0x1B | 0x1D => {
                 if data.len() < 2 {
                     return None;
@@ -331,7 +333,9 @@ mod tests {
             data: vec![2, 0, 0x02, 3, 0, 0x00, 0x2A],
         });
         roundtrip(AttPdu::ReadRequest { handle: 0x000C });
-        roundtrip(AttPdu::ReadResponse { value: b"Hacked".to_vec() });
+        roundtrip(AttPdu::ReadResponse {
+            value: b"Hacked".to_vec(),
+        });
         roundtrip(AttPdu::WriteRequest {
             handle: 0x0021,
             value: vec![0x55, 0x10, 0x01, 0x0D, 0x0A],

@@ -143,25 +143,27 @@ impl GattServer {
                 self.mtu = (*mtu).clamp(23, 247);
                 Some(AttPdu::ExchangeMtuResponse { mtu: self.mtu })
             }
-            AttPdu::ReadRequest { handle } => match self.attributes.iter().find(|a| a.handle == *handle) {
-                Some(attr) if attr.readable => {
-                    events.push(GattEvent::Read { handle: *handle });
-                    let limit = usize::from(self.mtu) - 1;
-                    let mut value = attr.value.clone();
-                    value.truncate(limit);
-                    Some(AttPdu::ReadResponse { value })
+            AttPdu::ReadRequest { handle } => {
+                match self.attributes.iter().find(|a| a.handle == *handle) {
+                    Some(attr) if attr.readable => {
+                        events.push(GattEvent::Read { handle: *handle });
+                        let limit = usize::from(self.mtu) - 1;
+                        let mut value = attr.value.clone();
+                        value.truncate(limit);
+                        Some(AttPdu::ReadResponse { value })
+                    }
+                    Some(_) => Some(AttPdu::ErrorResponse {
+                        request_opcode: pdu.opcode(),
+                        handle: *handle,
+                        code: error_code::READ_NOT_PERMITTED,
+                    }),
+                    None => Some(AttPdu::ErrorResponse {
+                        request_opcode: pdu.opcode(),
+                        handle: *handle,
+                        code: error_code::INVALID_HANDLE,
+                    }),
                 }
-                Some(_) => Some(AttPdu::ErrorResponse {
-                    request_opcode: pdu.opcode(),
-                    handle: *handle,
-                    code: error_code::READ_NOT_PERMITTED,
-                }),
-                None => Some(AttPdu::ErrorResponse {
-                    request_opcode: pdu.opcode(),
-                    handle: *handle,
-                    code: error_code::INVALID_HANDLE,
-                }),
-            },
+            }
             AttPdu::WriteRequest { handle, value } | AttPdu::WriteCommand { handle, value } => {
                 let acknowledged = matches!(pdu, AttPdu::WriteRequest { .. });
                 match self.attributes.iter_mut().find(|a| a.handle == *handle) {
@@ -366,7 +368,12 @@ mod tests {
     fn read_request_returns_value() {
         let (mut server, name, _) = demo_server();
         let (rsp, events) = server.handle_att(&AttPdu::ReadRequest { handle: name });
-        assert_eq!(rsp, Some(AttPdu::ReadResponse { value: b"Bulb".to_vec() }));
+        assert_eq!(
+            rsp,
+            Some(AttPdu::ReadResponse {
+                value: b"Bulb".to_vec()
+            })
+        );
         assert_eq!(events, vec![GattEvent::Read { handle: name }]);
     }
 
@@ -514,7 +521,12 @@ mod tests {
         let (mut server, name, _) = demo_server();
         server.set_value(name, b"Hacked".to_vec());
         let (rsp, _) = server.handle_att(&AttPdu::ReadRequest { handle: name });
-        assert_eq!(rsp, Some(AttPdu::ReadResponse { value: b"Hacked".to_vec() }));
+        assert_eq!(
+            rsp,
+            Some(AttPdu::ReadResponse {
+                value: b"Hacked".to_vec()
+            })
+        );
     }
 
     #[test]

@@ -241,7 +241,11 @@ impl HostStack {
     ///
     /// Panics if not connected as master.
     pub fn start_pairing(&mut self) {
-        assert_eq!(self.role, Some(Role::Master), "pairing initiator must be master");
+        assert_eq!(
+            self.role,
+            Some(Role::Master),
+            "pairing initiator must be master"
+        );
         let ctx = self.smp_ctx().expect("connected");
         let (initiator, first) = SmpInitiator::start(ctx, &mut self.rng);
         self.smp_initiator = Some(initiator);
@@ -338,10 +342,12 @@ impl HostStack {
                 handle: *handle,
                 code: *code,
             }),
-            AttPdu::Notification { handle, value } => self.events.push_back(HostEvent::Notification {
-                handle: *handle,
-                value: value.clone(),
-            }),
+            AttPdu::Notification { handle, value } => {
+                self.events.push_back(HostEvent::Notification {
+                    handle: *handle,
+                    value: value.clone(),
+                })
+            }
             AttPdu::ReadByGroupTypeResponse { entry_len, data } => {
                 self.events.push_back(HostEvent::ServicesDiscovered {
                     entry_len: *entry_len,
@@ -415,7 +421,12 @@ impl HostStack {
 }
 
 impl LinkLayerDelegate for HostStack {
-    fn on_connected(&mut self, role: Role, _params: &ble_link::ConnectionParams, peer: DeviceAddress) {
+    fn on_connected(
+        &mut self,
+        role: Role,
+        _params: &ble_link::ConnectionParams,
+        peer: DeviceAddress,
+    ) {
         self.role = Some(role);
         self.peer = Some(peer);
         self.encrypted = false;
@@ -523,9 +534,13 @@ mod tests {
         master.read(name_handle);
         pump(&mut master, &mut slave);
         let events: Vec<HostEvent> = std::iter::from_fn(|| master.poll_event()).collect();
-        assert!(events.contains(&HostEvent::ReadResponse { value: b"Dev".to_vec() }));
+        assert!(events.contains(&HostEvent::ReadResponse {
+            value: b"Dev".to_vec()
+        }));
         let slave_events: Vec<HostEvent> = std::iter::from_fn(|| slave.poll_event()).collect();
-        assert!(slave_events.contains(&HostEvent::ReadByPeer { handle: name_handle }));
+        assert!(slave_events.contains(&HostEvent::ReadByPeer {
+            handle: name_handle
+        }));
     }
 
     #[test]

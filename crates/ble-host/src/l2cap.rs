@@ -26,7 +26,10 @@ pub const DEFAULT_LL_PAYLOAD: usize = 27;
 /// assert_eq!(frags.len(), 1); // small SDU: single start fragment
 /// ```
 pub fn fragment(cid: u16, sdu: &[u8], ll_payload: usize) -> Vec<(Llid, Vec<u8>)> {
-    assert!(ll_payload >= 5, "LL payload must fit the L2CAP header plus data");
+    assert!(
+        ll_payload >= 5,
+        "LL payload must fit the L2CAP header plus data"
+    );
     let mut framed = Vec::with_capacity(4 + sdu.len());
     framed.extend_from_slice(&(sdu.len() as u16).to_le_bytes());
     framed.extend_from_slice(&cid.to_le_bytes());
@@ -140,7 +143,9 @@ mod tests {
         let frags = fragment(CID_SMP, &sdu, DEFAULT_LL_PAYLOAD);
         assert!(frags.len() > 1);
         assert_eq!(frags[0].0, Llid::StartOrComplete);
-        assert!(frags[1..].iter().all(|(l, _)| *l == Llid::ContinuationOrEmpty));
+        assert!(frags[1..]
+            .iter()
+            .all(|(l, _)| *l == Llid::ContinuationOrEmpty));
         // Total bytes = SDU + 4-byte header.
         let total: usize = frags.iter().map(|(_, p)| p.len()).sum();
         assert_eq!(total, sdu.len() + 4);

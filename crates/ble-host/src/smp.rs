@@ -88,7 +88,9 @@ impl SmpPdu {
                     SmpPdu::PairingRandom { value }
                 })
             }
-            0x05 => Some(SmpPdu::PairingFailed { reason: *data.first()? }),
+            0x05 => Some(SmpPdu::PairingFailed {
+                reason: *data.first()?,
+            }),
             _ => None,
         }
     }
@@ -382,8 +384,12 @@ mod tests {
     #[test]
     fn pdu_roundtrips() {
         for pdu in [
-            SmpPdu::PairingRequest { params: JUST_WORKS_PARAMS },
-            SmpPdu::PairingResponse { params: [1, 2, 3, 4, 5, 6] },
+            SmpPdu::PairingRequest {
+                params: JUST_WORKS_PARAMS,
+            },
+            SmpPdu::PairingResponse {
+                params: [1, 2, 3, 4, 5, 6],
+            },
             SmpPdu::PairingConfirm { value: [7; 16] },
             SmpPdu::PairingRandom { value: [8; 16] },
             SmpPdu::PairingFailed { reason: 0x05 },

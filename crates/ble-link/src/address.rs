@@ -2,6 +2,7 @@
 
 use std::fmt;
 
+use ble_invariants::lsb8;
 use simkit::SimRng;
 
 /// Whether an address is public (IEEE-assigned) or random.
@@ -61,7 +62,7 @@ impl DeviceAddress {
     pub fn random_static(rng: &mut SimRng) -> Self {
         let mut octets = [0u8; 6];
         for o in &mut octets {
-            *o = rng.below(256) as u8;
+            *o = lsb8(rng.below(256));
         }
         octets[5] |= 0xC0;
         DeviceAddress::new(octets, AddressType::Random)
@@ -106,7 +107,13 @@ mod tests {
 
     #[test]
     fn address_type_bits_roundtrip() {
-        assert_eq!(AddressType::from_bit(AddressType::Public.bit()), AddressType::Public);
-        assert_eq!(AddressType::from_bit(AddressType::Random.bit()), AddressType::Random);
+        assert_eq!(
+            AddressType::from_bit(AddressType::Public.bit()),
+            AddressType::Public
+        );
+        assert_eq!(
+            AddressType::from_bit(AddressType::Random.bit()),
+            AddressType::Random
+        );
     }
 }

@@ -62,7 +62,7 @@ impl ChannelMap {
     pub fn to_bytes(self) -> [u8; 5] {
         let mut out = [0u8; 5];
         for (i, b) in out.iter_mut().enumerate() {
-            *b = ((self.bits >> (8 * i)) & 0xFF) as u8;
+            *b = ble_invariants::lsb8(self.bits >> (8 * i));
         }
         out
     }
@@ -84,9 +84,11 @@ impl ChannelMap {
 
     /// Used channels in ascending order.
     pub fn used_channels(self) -> Vec<Channel> {
+        // Indices from `used_indices` are < 37 by construction, so the
+        // modulo in `data_wrapped` never changes a value.
         self.used_indices()
             .into_iter()
-            .map(|i| Channel::data(i).expect("index < 37"))
+            .map(Channel::data_wrapped)
             .collect()
     }
 
@@ -112,7 +114,12 @@ impl Default for ChannelMap {
 
 impl fmt::Debug for ChannelMap {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "ChannelMap({:010X}, {} used)", self.bits, self.used_count())
+        write!(
+            f,
+            "ChannelMap({:010X}, {} used)",
+            self.bits,
+            self.used_count()
+        )
     }
 }
 

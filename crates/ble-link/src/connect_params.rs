@@ -59,7 +59,7 @@ impl ConnectionParams {
     pub fn typical(rng: &mut SimRng, hop_interval: u16) -> Self {
         ConnectionParams {
             access_address: AccessAddress::random_for_data(rng),
-            crc_init: (rng.below(1 << 24)) as u32,
+            crc_init: ble_invariants::lsb32(rng.below(1 << 24)),
             win_size: 2,
             win_offset: 1,
             hop_interval,
@@ -68,7 +68,7 @@ impl ConnectionParams {
             // intervals (field unit 10 ms; interval unit 1.25 ms).
             timeout: 100u16.max(hop_interval),
             channel_map: ChannelMap::ALL,
-            hop_increment: 5 + rng.below(12) as u8,
+            hop_increment: ble_invariants::lsb8(5 + rng.below(12)),
             master_sca: SleepClockAccuracy::Ppm50,
         }
     }
@@ -100,21 +100,20 @@ impl ConnectionParams {
 
     /// Parses the 22-byte over-the-air layout; `None` if truncated.
     pub fn from_bytes(bytes: &[u8]) -> Option<Self> {
-        if bytes.len() < Self::ENCODED_LEN {
+        let &[a0, a1, a2, a3, c0, c1, c2, win_size, wo0, wo1, i0, i1, l0, l1, t0, t1, m0, m1, m2, m3, m4, hop_sca] =
+            bytes.get(..Self::ENCODED_LEN)?
+        else {
             return None;
-        }
-        let access_address =
-            AccessAddress::from_le_bytes([bytes[0], bytes[1], bytes[2], bytes[3]]);
-        let crc_init = u32::from(bytes[4]) | u32::from(bytes[5]) << 8 | u32::from(bytes[6]) << 16;
-        let win_size = bytes[7];
-        let win_offset = u16::from_le_bytes([bytes[8], bytes[9]]);
-        let hop_interval = u16::from_le_bytes([bytes[10], bytes[11]]);
-        let latency = u16::from_le_bytes([bytes[12], bytes[13]]);
-        let timeout = u16::from_le_bytes([bytes[14], bytes[15]]);
-        let channel_map =
-            ChannelMap::from_bytes([bytes[16], bytes[17], bytes[18], bytes[19], bytes[20]]);
-        let hop_increment = bytes[21] & 0x1F;
-        let master_sca = SleepClockAccuracy::from_field(bytes[21] >> 5);
+        };
+        let access_address = AccessAddress::from_le_bytes([a0, a1, a2, a3]);
+        let crc_init = u32::from(c0) | u32::from(c1) << 8 | u32::from(c2) << 16;
+        let win_offset = u16::from_le_bytes([wo0, wo1]);
+        let hop_interval = u16::from_le_bytes([i0, i1]);
+        let latency = u16::from_le_bytes([l0, l1]);
+        let timeout = u16::from_le_bytes([t0, t1]);
+        let channel_map = ChannelMap::from_bytes([m0, m1, m2, m3, m4]);
+        let hop_increment = hop_sca & 0x1F;
+        let master_sca = SleepClockAccuracy::from_field(hop_sca >> 5);
         Some(ConnectionParams {
             access_address,
             crc_init,
@@ -156,7 +155,11 @@ mod tests {
             let p = sample(seed);
             let bytes = p.to_bytes();
             assert_eq!(bytes.len(), ConnectionParams::ENCODED_LEN);
-            assert_eq!(ConnectionParams::from_bytes(&bytes).unwrap(), p, "seed {seed}");
+            assert_eq!(
+                ConnectionParams::from_bytes(&bytes).unwrap(),
+                p,
+                "seed {seed}"
+            );
         }
     }
 

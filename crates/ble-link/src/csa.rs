@@ -6,6 +6,7 @@
 //! both are implemented here, with the attacker's sniffer able to follow
 //! either.
 
+use ble_invariants::{invariant, invariant_channel, lsb16, lsb8};
 use ble_phy::{AccessAddress, Channel};
 
 use crate::channel_map::ChannelMap;
@@ -44,15 +45,19 @@ impl Csa1 {
 
     /// Advances to and returns the channel for the next connection event.
     pub fn next_channel(&mut self, map: &ChannelMap) -> Channel {
-        self.last_unmapped = (self.last_unmapped + self.hop_increment) % 37;
+        // Widen before adding: a hostile hop increment ≥ 220 would overflow
+        // the u8 sum before the modulo could reduce it.
+        self.last_unmapped =
+            lsb8((u64::from(self.last_unmapped) + u64::from(self.hop_increment)) % 37);
         let index = if map.is_used(self.last_unmapped) {
             self.last_unmapped
         } else {
             let used = map.used_indices();
-            let remapping_index = usize::from(self.last_unmapped) % used.len();
-            used[remapping_index]
+            let remapping_index = usize::from(self.last_unmapped) % used.len().max(1);
+            remap(&used, remapping_index, self.last_unmapped)
         };
-        Channel::data(index).expect("index < 37")
+        invariant_channel!(index);
+        Channel::data_wrapped(index)
     }
 
     /// The current unmapped channel (after the last `next_channel` call).
@@ -68,6 +73,21 @@ impl Csa1 {
             last_unmapped: last_unmapped % 37,
         }
     }
+}
+
+/// Remapping-table lookup shared by both algorithms: `used[remapping_index]`.
+///
+/// A channel map with no used channels is spec-invalid (maps carry at least
+/// two used channels) and can only arrive through a hostile
+/// `LL_CHANNEL_MAP_IND`; debug builds assert, release builds keep hopping on
+/// the unmapped index rather than dividing by zero or panicking.
+fn remap(used: &[u8], remapping_index: usize, unmapped: u8) -> u8 {
+    invariant!(
+        !used.is_empty(),
+        "channel-map",
+        "remapping through an empty channel map"
+    );
+    used.get(remapping_index).copied().unwrap_or(unmapped)
 }
 
 /// Channel Selection Algorithm #2 (Core Spec Vol 6 Part B 4.5.8.3),
@@ -86,22 +106,23 @@ impl Csa2 {
     pub fn new(access_address: AccessAddress) -> Self {
         let aa = access_address.value();
         Csa2 {
-            channel_identifier: ((aa >> 16) ^ (aa & 0xFFFF)) as u16,
+            channel_identifier: lsb16(u64::from((aa >> 16) ^ (aa & 0xFFFF))),
         }
     }
 
     /// The channel for connection event `counter`.
     pub fn channel_for_event(&self, counter: u16, map: &ChannelMap) -> Channel {
         let prn_e = self.prn_e(counter);
-        let unmapped = (prn_e % 37) as u8;
+        let unmapped = lsb8(u64::from(prn_e) % 37);
         let index = if map.is_used(unmapped) {
             unmapped
         } else {
             let used = map.used_indices();
             let remapping_index = (usize::from(prn_e) * used.len()) >> 16;
-            used[remapping_index]
+            remap(&used, remapping_index, unmapped)
         };
-        Channel::data(index).expect("index < 37")
+        invariant_channel!(index);
+        Channel::data_wrapped(index)
     }
 
     fn prn_e(&self, counter: u16) -> u16 {
@@ -115,8 +136,7 @@ impl Csa2 {
 
     /// Bit-reversal within each of the two bytes.
     fn perm(x: u16) -> u16 {
-        let lo = (x & 0xFF) as u8;
-        let hi = (x >> 8) as u8;
+        let [lo, hi] = x.to_le_bytes();
         u16::from(lo.reverse_bits()) | (u16::from(hi.reverse_bits()) << 8)
     }
 
@@ -184,6 +204,26 @@ mod tests {
         for _ in 0..500 {
             assert_eq!(a.next_channel(&map), b.next_channel(&map));
         }
+    }
+
+    #[test]
+    fn csa1_hostile_hop_increment_does_not_overflow() {
+        // A forged CONNECT_REQ can carry any 5-bit hop field, but a raw u8
+        // from a hand-built selector used to overflow `last + hop` for
+        // values ≥ 220; the widened arithmetic must stay in range.
+        let mut csa = Csa1::new(255);
+        let map = ChannelMap::ALL;
+        for _ in 0..100 {
+            assert!(csa.next_channel(&map).is_data());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "channel-map")]
+    fn csa1_empty_map_trips_invariant_in_debug() {
+        let map = ChannelMap::from_indices(&[]);
+        let mut csa = Csa1::new(2); // first unmapped index 2 is unused
+        let _ = csa.next_channel(&map);
     }
 
     #[test]

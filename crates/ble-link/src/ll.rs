@@ -23,6 +23,7 @@
 use std::collections::VecDeque;
 
 use ble_crypto::{Direction, LinkCipher, SessionKeyMaterial};
+use ble_invariants::{invariant, lsb8};
 use ble_phy::{AccessFilter, Channel, NodeCtx, RadioEvent, RawFrame, ReceivedFrame, TimerKey};
 use simkit::{Duration, Instant};
 
@@ -36,8 +37,7 @@ use crate::pdu::control::{ControlPdu, ERR_CONNECTION_TIMEOUT, ERR_MIC_FAILURE};
 use crate::pdu::data::{DataPdu, Llid};
 use crate::sca::SleepClockAccuracy;
 use crate::timing::{
-    connection_interval, transmit_window_offset, transmit_window_size,
-    window_widening, T_IFS,
+    connection_interval, transmit_window_offset, transmit_window_size, window_widening, T_IFS,
 };
 
 /// CRC preset for advertising channels.
@@ -186,7 +186,10 @@ enum IfsAction {
         peer: DeviceAddress,
     },
     /// Transmit a `SCAN_RSP`.
-    ScanRsp { channel: Channel, pdu_bytes: Vec<u8> },
+    ScanRsp {
+        channel: Channel,
+        pdu_bytes: Vec<u8>,
+    },
 }
 
 struct AdvState {
@@ -362,7 +365,10 @@ impl LinkLayer {
     ///
     /// Panics unless `0.0 < scale <= 1.0`.
     pub fn set_widening_scale(&mut self, scale: f64) {
-        assert!(scale > 0.0 && scale <= 1.0, "widening scale must be in (0, 1]");
+        assert!(
+            scale > 0.0 && scale <= 1.0,
+            "widening scale must be in (0, 1]"
+        );
         self.widening_scale = scale;
     }
 
@@ -423,13 +429,20 @@ impl LinkLayer {
 
     fn arm_local(&mut self, ctx: &mut NodeCtx<'_>, reference: Instant, delay: Duration, p: u8) {
         self.timer_gen += 1;
-        self.expected_gen[p as usize] = self.timer_gen;
-        let key = TimerKey(u64::from(p) | (self.timer_gen << 8));
+        let gen = self.timer_gen;
+        if let Some(slot) = self.expected_gen.get_mut(usize::from(p)) {
+            *slot = gen;
+        } else {
+            invariant!(false, "timer-purpose", "timer purpose {p} out of range");
+        }
+        let key = TimerKey(u64::from(p) | (gen << 8));
         ctx.set_timer_local_from(reference, delay, key);
     }
 
     fn disarm(&mut self, p: u8) {
-        self.expected_gen[p as usize] = 0;
+        if let Some(slot) = self.expected_gen.get_mut(usize::from(p)) {
+            *slot = 0;
+        }
     }
 
     fn disarm_all(&mut self) {
@@ -438,12 +451,11 @@ impl LinkLayer {
     }
 
     fn decode_timer(&self, key: TimerKey) -> Option<u8> {
-        let p = (key.0 & 0xFF) as u8;
+        let p = lsb8(key.0);
         let gen = key.0 >> 8;
-        if (p as usize) < self.expected_gen.len() && self.expected_gen[p as usize] == gen {
-            Some(p)
-        } else {
-            None
+        match self.expected_gen.get(usize::from(p)) {
+            Some(&expected) if expected == gen => Some(p),
+            _ => None,
         }
     }
 
@@ -521,7 +533,7 @@ impl LinkLayer {
             peer: adopt.peer,
             hop,
             next_event_counter: adopt.next_event_counter,
-            current_channel: Channel::data(0).expect("channel 0"),
+            current_channel: Channel::data_wrapped(0),
             last_anchor: adopt.last_anchor,
             intervals_since_anchor: 1,
             window: WindowSpec {
@@ -582,7 +594,8 @@ impl LinkLayer {
     /// transmitted.
     pub fn request_disconnect(&mut self, reason: u8) {
         if let State::Connected(c) = &mut self.state {
-            c.ctrl_queue.push_back(ControlPdu::TerminateInd { error_code: reason });
+            c.ctrl_queue
+                .push_back(ControlPdu::TerminateInd { error_code: reason });
             c.terminate_after_tx = Some(reason);
         }
     }
@@ -590,14 +603,21 @@ impl LinkLayer {
     /// Master only: queues a connection-update procedure taking effect
     /// `instant_delta` events from the next one.
     ///
-    /// # Panics
-    ///
-    /// Panics if called on a slave or without a connection.
+    /// Calling this without a connection, or as the slave, is a host-layer
+    /// bug: debug builds assert, release builds ignore the request.
     pub fn request_connection_update(&mut self, update: UpdateRequest, instant_delta: u16) {
         let State::Connected(c) = &mut self.state else {
-            panic!("request_connection_update: not connected");
+            invariant!(
+                false,
+                "host-request",
+                "request_connection_update: not connected"
+            );
+            return;
         };
-        assert_eq!(c.role, Role::Master, "only the master updates parameters");
+        if c.role != Role::Master {
+            invariant!(false, "host-request", "only the master updates parameters");
+            return;
+        }
         let instant = c.next_event_counter.wrapping_add(instant_delta);
         c.pending_update = Some((update, instant));
         c.ctrl_queue.push_back(ControlPdu::ConnectionUpdateInd {
@@ -612,14 +632,21 @@ impl LinkLayer {
 
     /// Master only: queues a channel-map update.
     ///
-    /// # Panics
-    ///
-    /// Panics if called on a slave or without a connection.
+    /// Calling this without a connection, or as the slave, is a host-layer
+    /// bug: debug builds assert, release builds ignore the request.
     pub fn request_channel_map_update(&mut self, map: ChannelMap, instant_delta: u16) {
         let State::Connected(c) = &mut self.state else {
-            panic!("request_channel_map_update: not connected");
+            invariant!(
+                false,
+                "host-request",
+                "request_channel_map_update: not connected"
+            );
+            return;
         };
-        assert_eq!(c.role, Role::Master, "only the master updates the map");
+        if c.role != Role::Master {
+            invariant!(false, "host-request", "only the master updates the map");
+            return;
+        }
         let instant = c.next_event_counter.wrapping_add(instant_delta);
         c.pending_chmap = Some((map, instant));
         c.ctrl_queue.push_back(ControlPdu::ChannelMapInd {
@@ -630,9 +657,8 @@ impl LinkLayer {
 
     /// Master only: starts the encryption procedure with the given LTK.
     ///
-    /// # Panics
-    ///
-    /// Panics if called on a slave or without a connection.
+    /// Calling this without a connection, or as the slave, is a host-layer
+    /// bug: debug builds assert, release builds ignore the request.
     pub fn request_encryption(
         &mut self,
         ctx: &mut NodeCtx<'_>,
@@ -641,16 +667,20 @@ impl LinkLayer {
         ediv: u16,
     ) {
         let State::Connected(c) = &mut self.state else {
-            panic!("request_encryption: not connected");
+            invariant!(false, "host-request", "request_encryption: not connected");
+            return;
         };
-        assert_eq!(c.role, Role::Master, "only the master starts encryption");
+        if c.role != Role::Master {
+            invariant!(false, "host-request", "only the master starts encryption");
+            return;
+        }
         let mut skd_m = [0u8; 8];
         let mut iv_m = [0u8; 4];
         for b in &mut skd_m {
-            *b = ctx.rng().below(256) as u8;
+            *b = lsb8(ctx.rng().below(256));
         }
         for b in &mut iv_m {
-            *b = ctx.rng().below(256) as u8;
+            *b = lsb8(ctx.rng().below(256));
         }
         c.enc.phase = EncPhase::AwaitEncRsp;
         c.enc.ltk = Some(ltk);
@@ -672,7 +702,7 @@ impl LinkLayer {
         let State::Advertising(adv) = &self.state else {
             return;
         };
-        let channel = Channel::ADVERTISING[adv.channel_pos];
+        let channel = Channel::advertising_wrapped(adv.channel_pos);
         let pdu = AdvertisingPdu::AdvInd {
             advertiser: self.address,
             data: adv.adv_data.clone(),
@@ -682,7 +712,11 @@ impl LinkLayer {
         }
         ctx.transmit(
             channel,
-            RawFrame::new(ble_phy::AccessAddress::ADVERTISING, pdu.to_bytes(), ADV_CRC_INIT),
+            RawFrame::new(
+                ble_phy::AccessAddress::ADVERTISING,
+                pdu.to_bytes(),
+                ADV_CRC_INIT,
+            ),
         );
     }
 
@@ -690,7 +724,7 @@ impl LinkLayer {
         let State::Scanning(scan) = &self.state else {
             return;
         };
-        let channel = Channel::ADVERTISING[scan.channel_pos];
+        let channel = Channel::advertising_wrapped(scan.channel_pos);
         if ctx.is_receiving() {
             ctx.stop_rx();
         }
@@ -729,7 +763,10 @@ impl LinkLayer {
     /// stores it as pending for retransmission.
     fn build_outgoing(&mut self, delegate: &mut dyn LinkLayerDelegate) -> DataPdu {
         let State::Connected(c) = &mut self.state else {
-            unreachable!("build_outgoing outside connection");
+            // Only reachable from inside a connection event; outside one
+            // there is nothing to send and callers re-check the state.
+            invariant!(false, "link-state", "build_outgoing outside connection");
+            return DataPdu::empty(false, false);
         };
         let pdu = if let Some(pending) = &c.pending {
             // Unacknowledged: retransmit with the same SN, fresh NESN.
@@ -749,8 +786,8 @@ impl LinkLayer {
             DataPdu::empty(c.nesn, c.sn)
         };
         // MD: more control or host data waiting?
-        let more = !c.ctrl_queue.is_empty()
-            || (!c.enc.handshake_active() && delegate.has_outgoing());
+        let more =
+            !c.ctrl_queue.is_empty() || (!c.enc.handshake_active() && delegate.has_outgoing());
         let pdu = pdu.with_md(more);
         c.sent_md = more;
         c.pending = Some(pdu.clone());
@@ -767,11 +804,15 @@ impl LinkLayer {
             Role::Slave => Direction::SlaveToMaster,
         };
         let header = llid.bits();
-        c.enc
-            .cipher
-            .as_mut()
-            .expect("tx_on implies cipher")
-            .encrypt(dir, header, &payload)
+        match c.enc.cipher.as_mut() {
+            Some(cipher) => cipher.encrypt(dir, header, &payload),
+            None => {
+                // tx_on is only ever set after the cipher is installed;
+                // release builds fall back to plaintext rather than panic.
+                invariant!(false, "enc-state", "tx_on without a session cipher");
+                payload
+            }
+        }
     }
 
     // ------------------------------------------------------------------
@@ -893,7 +934,12 @@ impl LinkLayer {
         }
     }
 
-    fn on_tx_done(&mut self, ctx: &mut NodeCtx<'_>, at: Instant, delegate: &mut dyn LinkLayerDelegate) {
+    fn on_tx_done(
+        &mut self,
+        ctx: &mut NodeCtx<'_>,
+        at: Instant,
+        delegate: &mut dyn LinkLayerDelegate,
+    ) {
         // CONNECT_REQ completed? Become master.
         if let Some((params, peer)) = self.pending_connect.take() {
             self.become_master(ctx, at, params, peer, delegate);
@@ -906,7 +952,7 @@ impl LinkLayer {
                     let State::Advertising(adv) = &self.state else {
                         return;
                     };
-                    Channel::ADVERTISING[adv.channel_pos]
+                    Channel::advertising_wrapped(adv.channel_pos)
                 };
                 ctx.start_rx(
                     channel,
@@ -983,7 +1029,7 @@ impl LinkLayer {
             peer,
             hop,
             next_event_counter: 0,
-            current_channel: Channel::data(0).expect("channel 0"),
+            current_channel: Channel::data_wrapped(0),
             last_anchor: connect_req_end,
             intervals_since_anchor: 1,
             window: WindowSpec {
@@ -1044,7 +1090,7 @@ impl LinkLayer {
             peer,
             hop,
             next_event_counter: 0,
-            current_channel: Channel::data(0).expect("channel 0"),
+            current_channel: Channel::data_wrapped(0),
             // Provisional anchor chain reference: the nominal window start,
             // so missed first events still predict future windows.
             last_anchor: connect_req_end + offset,
@@ -1127,7 +1173,8 @@ impl LinkLayer {
                     let old_w = c.window.widening;
                     let master_ppm = c.params.master_sca.worst_case_ppm();
                     let span = offset + connection_interval(c.params.hop_interval);
-                    let w = Self::scaled_widening(master_ppm, self.own_sca, self.widening_scale, span);
+                    let w =
+                        Self::scaled_widening(master_ppm, self.own_sca, self.widening_scale, span);
                     c.window = WindowSpec {
                         extra: transmit_window_size(win_size),
                         widening: w,
@@ -1157,7 +1204,9 @@ impl LinkLayer {
             && c.pending_chmap.is_none()
             && !has_outgoing
         {
-            let _skipped = c.hop.channel_for(c.next_event_counter, &c.params.channel_map);
+            let _skipped = c
+                .hop
+                .channel_for(c.next_event_counter, &c.params.channel_map);
             c.events_since_listen += 1;
             c.intervals_since_anchor += 1;
             c.next_event_counter = c.next_event_counter.wrapping_add(1);
@@ -1179,7 +1228,9 @@ impl LinkLayer {
         if c.role == Role::Slave {
             c.events_since_listen = 0;
         }
-        let channel = c.hop.channel_for(c.next_event_counter, &c.params.channel_map);
+        let channel = c
+            .hop
+            .channel_for(c.next_event_counter, &c.params.channel_map);
         c.current_channel = channel;
         c.in_event = true;
         c.got_sync = false;
@@ -1292,11 +1343,13 @@ impl LinkLayer {
             return;
         };
         match pdu {
-            AdvertisingPdu::ScanReq { advertiser, .. } if advertiser.octets == self.address.octets => {
+            AdvertisingPdu::ScanReq { advertiser, .. }
+                if advertiser.octets == self.address.octets =>
+            {
                 let State::Advertising(adv) = &self.state else {
                     return;
                 };
-                let channel = Channel::ADVERTISING[adv.channel_pos];
+                let channel = Channel::advertising_wrapped(adv.channel_pos);
                 let rsp = AdvertisingPdu::ScanRsp {
                     advertiser: self.address,
                     data: adv.scan_data.clone(),
@@ -1324,7 +1377,13 @@ impl LinkLayer {
                 ctx.trace("connect-req-rx", format!("slave connecting to {initiator}"));
                 self.become_slave(ctx, frame.end, params, initiator, ch_sel, delegate);
             }
-            _ => {}
+            // Explicit per R4: ScanReq/ConnectReq for other advertisers fall
+            // through their guards; the rest are not addressed to us.
+            AdvertisingPdu::ScanReq { .. }
+            | AdvertisingPdu::ConnectReq { .. }
+            | AdvertisingPdu::AdvInd { .. }
+            | AdvertisingPdu::AdvNonconnInd { .. }
+            | AdvertisingPdu::ScanRsp { .. } => {}
         }
     }
 
@@ -1348,7 +1407,7 @@ impl LinkLayer {
             (&scan.target, &pdu)
         {
             if advertiser.octets == target.octets {
-                let channel = Channel::ADVERTISING[scan.channel_pos];
+                let channel = Channel::advertising_wrapped(scan.channel_pos);
                 let connect = AdvertisingPdu::ConnectReq {
                     initiator: self.address,
                     advertiser: *advertiser,
@@ -1404,7 +1463,10 @@ impl LinkLayer {
 
         if !frame.crc_ok {
             // Spec: close the connection event on CRC failure; no response.
-            ctx.trace("crc-fail", format!("{} event closed", ctx.label().to_owned()));
+            ctx.trace(
+                "crc-fail",
+                format!("{} event closed", ctx.label().to_owned()),
+            );
             if ctx.is_receiving() {
                 ctx.stop_rx();
             }
@@ -1447,17 +1509,22 @@ impl LinkLayer {
                     Role::Master => Direction::SlaveToMaster,
                     Role::Slave => Direction::MasterToSlave,
                 };
-                match c
-                    .enc
-                    .cipher
-                    .as_mut()
-                    .expect("rx_on implies cipher")
-                    .decrypt(dir, pdu.header.llid.bits(), &pdu.payload)
-                {
-                    Ok(p) => Some(p),
-                    Err(_) => {
-                        // MIC failure: the spec terminates immediately —
-                        // the paper's encrypted-injection DoS outcome.
+                match c.enc.cipher.as_mut() {
+                    Some(cipher) => {
+                        match cipher.decrypt(dir, pdu.header.llid.bits(), &pdu.payload) {
+                            Ok(p) => Some(p),
+                            Err(_) => {
+                                // MIC failure: the spec terminates immediately —
+                                // the paper's encrypted-injection DoS outcome.
+                                terminated = true;
+                                None
+                            }
+                        }
+                    }
+                    None => {
+                        // rx_on is only ever set after the cipher is
+                        // installed; treat the gap like a MIC failure.
+                        invariant!(false, "enc-state", "rx_on without a session cipher");
                         terminated = true;
                         None
                     }
@@ -1469,7 +1536,9 @@ impl LinkLayer {
                 self.teardown(ctx, ERR_MIC_FAILURE, delegate);
                 return;
             }
-            let payload = payload.expect("not terminated");
+            let Some(payload) = payload else {
+                return;
+            };
             if pdu.header.llid == Llid::Control {
                 if self.handle_control(ctx, &payload, delegate) {
                     return; // connection torn down
@@ -1563,7 +1632,8 @@ impl LinkLayer {
             // Unknown opcode: answer LL_UNKNOWN_RSP if we at least got one.
             if let Some(&op) = payload.first() {
                 if let State::Connected(c) = &mut self.state {
-                    c.ctrl_queue.push_back(ControlPdu::UnknownRsp { unknown_type: op });
+                    c.ctrl_queue
+                        .push_back(ControlPdu::UnknownRsp { unknown_type: op });
                 }
             }
             return false;
@@ -1571,7 +1641,10 @@ impl LinkLayer {
         let State::Connected(c) = &mut self.state else {
             return false;
         };
-        ctx.trace("ll-control", format!("{} received {ctrl:?}", ctx.label().to_owned()));
+        ctx.trace(
+            "ll-control",
+            format!("{} received {ctrl:?}", ctx.label().to_owned()),
+        );
         match ctrl {
             ControlPdu::TerminateInd { error_code } => {
                 self.teardown(ctx, error_code, delegate);
@@ -1604,22 +1677,30 @@ impl LinkLayer {
                     ));
                 }
             }
-            ControlPdu::ChannelMapInd { channel_map, instant } => {
+            ControlPdu::ChannelMapInd {
+                channel_map,
+                instant,
+            } => {
                 if c.role == Role::Slave && channel_map.is_valid() {
                     c.pending_chmap = Some((channel_map, instant));
                 }
             }
-            ControlPdu::EncReq { rand, ediv, skd_m, iv_m } => {
+            ControlPdu::EncReq {
+                rand,
+                ediv,
+                skd_m,
+                iv_m,
+            } => {
                 if c.role == Role::Slave {
                     match delegate.ltk_lookup(&rand, ediv) {
                         Some(ltk) => {
                             let mut skd_s = [0u8; 8];
                             let mut iv_s = [0u8; 4];
                             for b in &mut skd_s {
-                                *b = ctx.rng().below(256) as u8;
+                                *b = lsb8(ctx.rng().below(256));
                             }
                             for b in &mut iv_s {
-                                *b = ctx.rng().below(256) as u8;
+                                *b = lsb8(ctx.rng().below(256));
                             }
                             let material = SessionKeyMaterial {
                                 skd_m,
@@ -1636,7 +1717,8 @@ impl LinkLayer {
                             c.enc.rx_on = true;
                         }
                         None => {
-                            c.ctrl_queue.push_back(ControlPdu::RejectInd { error_code: 0x06 });
+                            c.ctrl_queue
+                                .push_back(ControlPdu::RejectInd { error_code: 0x06 });
                         }
                     }
                 }
@@ -1649,7 +1731,12 @@ impl LinkLayer {
                         iv_m: c.enc.iv_m,
                         iv_s,
                     };
-                    let ltk = c.enc.ltk.expect("phase implies ltk");
+                    let Some(ltk) = c.enc.ltk else {
+                        // AwaitEncRsp is only entered by request_encryption,
+                        // which stores the LTK; ignore the response otherwise.
+                        invariant!(false, "enc-state", "AwaitEncRsp without an LTK");
+                        return false;
+                    };
                     c.enc.cipher = Some(LinkCipher::new(&ltk, &material));
                     c.enc.phase = EncPhase::AwaitStartReq;
                 }
@@ -1697,11 +1784,19 @@ impl LinkLayer {
         false
     }
 
-    fn teardown(&mut self, ctx: &mut NodeCtx<'_>, reason: u8, delegate: &mut dyn LinkLayerDelegate) {
+    fn teardown(
+        &mut self,
+        ctx: &mut NodeCtx<'_>,
+        reason: u8,
+        delegate: &mut dyn LinkLayerDelegate,
+    ) {
         if ctx.is_receiving() {
             ctx.stop_rx();
         }
-        ctx.trace("disconnect", format!("{} reason 0x{reason:02X}", ctx.label().to_owned()));
+        ctx.trace(
+            "disconnect",
+            format!("{} reason 0x{reason:02X}", ctx.label().to_owned()),
+        );
         self.disarm_all();
         self.state = State::Standby;
         delegate.on_disconnected(reason);

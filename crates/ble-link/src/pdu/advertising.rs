@@ -1,8 +1,10 @@
 //! Advertising-channel PDUs.
 
+use ble_invariants::len_u8;
+
 use crate::address::{AddressType, DeviceAddress};
 use crate::connect_params::ConnectionParams;
-use crate::pdu::PduError;
+use crate::pdu::{take, ParseError};
 
 /// An advertising-channel PDU (Core Spec Vol 6 Part B §2.3).
 ///
@@ -83,7 +85,10 @@ impl AdvertisingPdu {
                 p.extend_from_slice(data);
                 (TYPE_ADV_NONCONN_IND, advertiser.kind.bit(), 0, p)
             }
-            AdvertisingPdu::ScanReq { scanner, advertiser } => {
+            AdvertisingPdu::ScanReq {
+                scanner,
+                advertiser,
+            } => {
                 let mut p = scanner.octets.to_vec();
                 p.extend_from_slice(&advertiser.octets);
                 (TYPE_SCAN_REQ, scanner.kind.bit(), advertiser.kind.bit(), p)
@@ -111,7 +116,7 @@ impl AdvertisingPdu {
         };
         assert!(payload.len() <= 255, "advertising payload too long");
         let header0 = ty | (tx_add << 6) | (rx_add << 7);
-        let mut out = vec![header0, payload.len() as u8];
+        let mut out = vec![header0, len_u8(payload.len())];
         out.extend_from_slice(&payload);
         out
     }
@@ -120,36 +125,31 @@ impl AdvertisingPdu {
     ///
     /// # Errors
     ///
-    /// Returns [`PduError`] on truncation, length mismatch or an
+    /// Returns [`ParseError`] on truncation, length mismatch or an
     /// unsupported PDU type.
-    pub fn from_bytes(bytes: &[u8]) -> Result<Self, PduError> {
-        if bytes.len() < 2 {
-            return Err(PduError::new("shorter than advertising header"));
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, ParseError> {
+        let [header0, len] = take::<2>(bytes, 0, "advertising header")?;
+        let ty = header0 & 0x0F;
+        let ch_sel = (header0 >> 5) & 1 == 1;
+        let tx_add = (header0 >> 6) & 1;
+        let rx_add = (header0 >> 7) & 1;
+        let payload = bytes.get(2..).unwrap_or(&[]);
+        if payload.len() != usize::from(len) {
+            return Err(ParseError::LengthMismatch {
+                declared: usize::from(len),
+                actual: payload.len(),
+            });
         }
-        let ty = bytes[0] & 0x0F;
-        let ch_sel = (bytes[0] >> 5) & 1 == 1;
-        let tx_add = (bytes[0] >> 6) & 1;
-        let rx_add = (bytes[0] >> 7) & 1;
-        let len = bytes[1] as usize;
-        let payload = &bytes[2..];
-        if payload.len() != len {
-            return Err(PduError::new("length field mismatch"));
-        }
-        let addr = |slice: &[u8], kind_bit: u8| -> Result<DeviceAddress, PduError> {
-            let octets: [u8; 6] = slice
-                .try_into()
-                .map_err(|_| PduError::new("truncated address"))?;
+        let addr = |offset: usize, kind_bit: u8| -> Result<DeviceAddress, ParseError> {
+            let octets = take::<6>(payload, offset, "device address")?;
             Ok(DeviceAddress::new(octets, AddressType::from_bit(kind_bit)))
         };
         match ty {
             TYPE_ADV_IND | TYPE_ADV_NONCONN_IND => {
-                if payload.len() < 6 {
-                    return Err(PduError::new("ADV payload shorter than address"));
-                }
-                let advertiser = addr(&payload[..6], tx_add)?;
-                let data = payload[6..].to_vec();
+                let advertiser = addr(0, tx_add)?;
+                let data = payload.get(6..).unwrap_or(&[]).to_vec();
                 if data.len() > 31 {
-                    return Err(PduError::new("advertising data exceeds 31 bytes"));
+                    return Err(ParseError::InvalidField("advertising data over 31 bytes"));
                 }
                 Ok(if ty == TYPE_ADV_IND {
                     AdvertisingPdu::AdvInd { advertiser, data }
@@ -159,35 +159,36 @@ impl AdvertisingPdu {
             }
             TYPE_SCAN_REQ => {
                 if payload.len() != 12 {
-                    return Err(PduError::new("SCAN_REQ must be 12 bytes"));
+                    return Err(ParseError::LengthMismatch {
+                        declared: 12,
+                        actual: payload.len(),
+                    });
                 }
                 Ok(AdvertisingPdu::ScanReq {
-                    scanner: addr(&payload[..6], tx_add)?,
-                    advertiser: addr(&payload[6..12], rx_add)?,
+                    scanner: addr(0, tx_add)?,
+                    advertiser: addr(6, rx_add)?,
                 })
             }
-            TYPE_SCAN_RSP => {
-                if payload.len() < 6 {
-                    return Err(PduError::new("SCAN_RSP shorter than address"));
-                }
-                Ok(AdvertisingPdu::ScanRsp {
-                    advertiser: addr(&payload[..6], tx_add)?,
-                    data: payload[6..].to_vec(),
-                })
-            }
+            TYPE_SCAN_RSP => Ok(AdvertisingPdu::ScanRsp {
+                advertiser: addr(0, tx_add)?,
+                data: payload.get(6..).unwrap_or(&[]).to_vec(),
+            }),
             TYPE_CONNECT_REQ => {
                 if payload.len() != 12 + ConnectionParams::ENCODED_LEN {
-                    return Err(PduError::new("CONNECT_REQ must be 34 bytes"));
+                    return Err(ParseError::LengthMismatch {
+                        declared: 12 + ConnectionParams::ENCODED_LEN,
+                        actual: payload.len(),
+                    });
                 }
                 Ok(AdvertisingPdu::ConnectReq {
-                    initiator: addr(&payload[..6], tx_add)?,
-                    advertiser: addr(&payload[6..12], rx_add)?,
-                    params: ConnectionParams::from_bytes(&payload[12..])
-                        .ok_or(PduError::new("truncated connection parameters"))?,
+                    initiator: addr(0, tx_add)?,
+                    advertiser: addr(6, rx_add)?,
+                    params: ConnectionParams::from_bytes(payload.get(12..).unwrap_or(&[]))
+                        .ok_or(ParseError::InvalidField("connection parameters"))?,
                     ch_sel,
                 })
             }
-            _ => Err(PduError::new("unsupported advertising PDU type")),
+            other => Err(ParseError::UnknownAdvType(other)),
         }
     }
 
@@ -260,7 +261,13 @@ mod tests {
             ch_sel: true,
         };
         let parsed = AdvertisingPdu::from_bytes(&pdu.to_bytes()).unwrap();
-        let AdvertisingPdu::ConnectReq { initiator, advertiser, ch_sel, .. } = parsed else {
+        let AdvertisingPdu::ConnectReq {
+            initiator,
+            advertiser,
+            ch_sel,
+            ..
+        } = parsed
+        else {
             panic!("wrong type");
         };
         assert_eq!(initiator.kind, AddressType::Random);

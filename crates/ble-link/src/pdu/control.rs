@@ -6,7 +6,7 @@
 //! encryption-start procedure exercised by the countermeasure experiments.
 
 use crate::channel_map::ChannelMap;
-use crate::pdu::PduError;
+use crate::pdu::{take, ParseError};
 
 /// A decoded LL control PDU.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -136,14 +136,22 @@ impl ControlPdu {
                 out.extend_from_slice(&timeout.to_le_bytes());
                 out.extend_from_slice(&instant.to_le_bytes());
             }
-            ControlPdu::ChannelMapInd { channel_map, instant } => {
+            ControlPdu::ChannelMapInd {
+                channel_map,
+                instant,
+            } => {
                 out.extend_from_slice(&channel_map.to_bytes());
                 out.extend_from_slice(&instant.to_le_bytes());
             }
             ControlPdu::TerminateInd { error_code } | ControlPdu::RejectInd { error_code } => {
                 out.push(*error_code);
             }
-            ControlPdu::EncReq { rand, ediv, skd_m, iv_m } => {
+            ControlPdu::EncReq {
+                rand,
+                ediv,
+                skd_m,
+                iv_m,
+            } => {
                 out.extend_from_slice(rand);
                 out.extend_from_slice(&ediv.to_le_bytes());
                 out.extend_from_slice(skd_m);
@@ -178,58 +186,68 @@ impl ControlPdu {
     ///
     /// # Errors
     ///
-    /// Returns [`PduError`] on truncation, trailing bytes or an opcode this
-    /// implementation does not know.
-    pub fn from_bytes(bytes: &[u8]) -> Result<Self, PduError> {
-        let (&opcode, data) = bytes
-            .split_first()
-            .ok_or(PduError::new("empty control PDU"))?;
-        let expect_len = |n: usize| -> Result<(), PduError> {
+    /// Returns [`ParseError`] on truncation, trailing bytes or an opcode
+    /// this implementation does not know.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, ParseError> {
+        let (&opcode, data) = bytes.split_first().ok_or(ParseError::Truncated {
+            field: "control opcode",
+            expected: 1,
+            got: 0,
+        })?;
+        let expect_len = |n: usize| -> Result<(), ParseError> {
             if data.len() == n {
                 Ok(())
             } else {
-                Err(PduError::new("control PDU length mismatch"))
+                Err(ParseError::LengthMismatch {
+                    declared: n,
+                    actual: data.len(),
+                })
             }
         };
         match opcode {
             0x00 => {
                 expect_len(11)?;
+                let [win_size, wo0, wo1, i0, i1, l0, l1, t0, t1, n0, n1] =
+                    take::<11>(data, 0, "LL_CONNECTION_UPDATE_IND")?;
                 Ok(ControlPdu::ConnectionUpdateInd {
-                    win_size: data[0],
-                    win_offset: u16::from_le_bytes([data[1], data[2]]),
-                    interval: u16::from_le_bytes([data[3], data[4]]),
-                    latency: u16::from_le_bytes([data[5], data[6]]),
-                    timeout: u16::from_le_bytes([data[7], data[8]]),
-                    instant: u16::from_le_bytes([data[9], data[10]]),
+                    win_size,
+                    win_offset: u16::from_le_bytes([wo0, wo1]),
+                    interval: u16::from_le_bytes([i0, i1]),
+                    latency: u16::from_le_bytes([l0, l1]),
+                    timeout: u16::from_le_bytes([t0, t1]),
+                    instant: u16::from_le_bytes([n0, n1]),
                 })
             }
             0x01 => {
                 expect_len(7)?;
                 Ok(ControlPdu::ChannelMapInd {
-                    channel_map: ChannelMap::from_bytes([
-                        data[0], data[1], data[2], data[3], data[4],
-                    ]),
-                    instant: u16::from_le_bytes([data[5], data[6]]),
+                    channel_map: ChannelMap::from_bytes(take::<5>(
+                        data,
+                        0,
+                        "LL_CHANNEL_MAP_IND map",
+                    )?),
+                    instant: u16::from_le_bytes(take::<2>(data, 5, "LL_CHANNEL_MAP_IND instant")?),
                 })
             }
             0x02 => {
                 expect_len(1)?;
-                Ok(ControlPdu::TerminateInd { error_code: data[0] })
+                let [error_code] = take::<1>(data, 0, "LL_TERMINATE_IND")?;
+                Ok(ControlPdu::TerminateInd { error_code })
             }
             0x03 => {
                 expect_len(22)?;
                 Ok(ControlPdu::EncReq {
-                    rand: data[0..8].try_into().expect("checked length"),
-                    ediv: u16::from_le_bytes([data[8], data[9]]),
-                    skd_m: data[10..18].try_into().expect("checked length"),
-                    iv_m: data[18..22].try_into().expect("checked length"),
+                    rand: take::<8>(data, 0, "LL_ENC_REQ rand")?,
+                    ediv: u16::from_le_bytes(take::<2>(data, 8, "LL_ENC_REQ ediv")?),
+                    skd_m: take::<8>(data, 10, "LL_ENC_REQ skd_m")?,
+                    iv_m: take::<4>(data, 18, "LL_ENC_REQ iv_m")?,
                 })
             }
             0x04 => {
                 expect_len(12)?;
                 Ok(ControlPdu::EncRsp {
-                    skd_s: data[0..8].try_into().expect("checked length"),
-                    iv_s: data[8..12].try_into().expect("checked length"),
+                    skd_s: take::<8>(data, 0, "LL_ENC_RSP skd_s")?,
+                    iv_s: take::<4>(data, 8, "LL_ENC_RSP iv_s")?,
                 })
             }
             0x05 => {
@@ -242,11 +260,12 @@ impl ControlPdu {
             }
             0x07 => {
                 expect_len(1)?;
-                Ok(ControlPdu::UnknownRsp { unknown_type: data[0] })
+                let [unknown_type] = take::<1>(data, 0, "LL_UNKNOWN_RSP")?;
+                Ok(ControlPdu::UnknownRsp { unknown_type })
             }
             0x08 | 0x09 => {
                 expect_len(8)?;
-                let features = data.try_into().expect("checked length");
+                let features = take::<8>(data, 0, "LL_FEATURE_REQ/RSP features")?;
                 Ok(if opcode == 0x08 {
                     ControlPdu::FeatureReq { features }
                 } else {
@@ -255,15 +274,17 @@ impl ControlPdu {
             }
             0x0C => {
                 expect_len(5)?;
+                let [version, c0, c1, s0, s1] = take::<5>(data, 0, "LL_VERSION_IND")?;
                 Ok(ControlPdu::VersionInd {
-                    version: data[0],
-                    company: u16::from_le_bytes([data[1], data[2]]),
-                    subversion: u16::from_le_bytes([data[3], data[4]]),
+                    version,
+                    company: u16::from_le_bytes([c0, c1]),
+                    subversion: u16::from_le_bytes([s0, s1]),
                 })
             }
             0x0D => {
                 expect_len(1)?;
-                Ok(ControlPdu::RejectInd { error_code: data[0] })
+                let [error_code] = take::<1>(data, 0, "LL_REJECT_IND")?;
+                Ok(ControlPdu::RejectInd { error_code })
             }
             0x12 => {
                 expect_len(0)?;
@@ -273,7 +294,7 @@ impl ControlPdu {
                 expect_len(0)?;
                 Ok(ControlPdu::PingRsp)
             }
-            other => Err(PduError::new(format!("unknown control opcode 0x{other:02X}"))),
+            other => Err(ParseError::UnknownOpcode(other)),
         }
     }
 }
@@ -315,7 +336,10 @@ mod tests {
             skd_m: [2; 8],
             iv_m: [3; 4],
         });
-        roundtrip(ControlPdu::EncRsp { skd_s: [4; 8], iv_s: [5; 4] });
+        roundtrip(ControlPdu::EncRsp {
+            skd_s: [4; 8],
+            iv_s: [5; 4],
+        });
         roundtrip(ControlPdu::StartEncReq);
         roundtrip(ControlPdu::StartEncRsp);
         roundtrip(ControlPdu::UnknownRsp { unknown_type: 0x42 });
@@ -354,7 +378,10 @@ mod tests {
     #[test]
     fn terminate_ind_is_two_bytes() {
         // The paper's scenario B injects exactly this: a 2-byte control PDU.
-        let b = ControlPdu::TerminateInd { error_code: ERR_REMOTE_USER_TERMINATED }.to_bytes();
+        let b = ControlPdu::TerminateInd {
+            error_code: ERR_REMOTE_USER_TERMINATED,
+        }
+        .to_bytes();
         assert_eq!(b, vec![0x02, 0x13]);
     }
 

@@ -5,7 +5,9 @@
 //! per eq. 6 and observed per eq. 7) and the **MD** (More Data) bit that
 //! extends a connection event.
 
-use crate::pdu::PduError;
+use ble_invariants::len_u8;
+
+use crate::pdu::ParseError;
 
 /// The LLID field: what kind of data PDU this is.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -32,13 +34,13 @@ impl Llid {
     ///
     /// # Errors
     ///
-    /// `0b00` is reserved and returns an error.
-    pub fn from_bits(bits: u8) -> Result<Self, PduError> {
+    /// `0b00` is reserved and returns [`ParseError::ReservedLlid`].
+    pub fn from_bits(bits: u8) -> Result<Self, ParseError> {
         match bits & 0b11 {
             0b01 => Ok(Llid::ContinuationOrEmpty),
             0b10 => Ok(Llid::StartOrComplete),
             0b11 => Ok(Llid::Control),
-            _ => Err(PduError::new("reserved LLID 0b00")),
+            _ => Err(ParseError::ReservedLlid),
         }
     }
 }
@@ -103,7 +105,7 @@ impl DataPdu {
                 nesn,
                 sn,
                 md,
-                length: payload.len() as u8,
+                length: len_u8(payload.len()),
             },
             payload,
         }
@@ -133,25 +135,27 @@ impl DataPdu {
     ///
     /// # Errors
     ///
-    /// Returns [`PduError`] on truncation, length mismatch or reserved LLID.
-    pub fn from_bytes(bytes: &[u8]) -> Result<Self, PduError> {
-        if bytes.len() < 2 {
-            return Err(PduError::new("shorter than data header"));
-        }
-        let llid = Llid::from_bits(bytes[0])?;
-        let length = bytes[1];
-        if bytes.len() != 2 + length as usize {
-            return Err(PduError::new("data length field mismatch"));
+    /// Returns [`ParseError`] on truncation, length mismatch or reserved
+    /// LLID.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, ParseError> {
+        let [flags, length] = crate::pdu::take::<2>(bytes, 0, "data header")?;
+        let llid = Llid::from_bits(flags)?;
+        let payload = bytes.get(2..).unwrap_or(&[]);
+        if payload.len() != usize::from(length) {
+            return Err(ParseError::LengthMismatch {
+                declared: usize::from(length),
+                actual: payload.len(),
+            });
         }
         Ok(DataPdu {
             header: DataHeader {
                 llid,
-                nesn: bytes[0] & 0b0000_0100 != 0,
-                sn: bytes[0] & 0b0000_1000 != 0,
-                md: bytes[0] & 0b0001_0000 != 0,
+                nesn: flags & 0b0000_0100 != 0,
+                sn: flags & 0b0000_1000 != 0,
+                md: flags & 0b0001_0000 != 0,
                 length,
             },
-            payload: bytes[2..].to_vec(),
+            payload: payload.to_vec(),
         })
     }
 
@@ -190,7 +194,11 @@ mod tests {
         for nesn in [false, true] {
             for sn in [false, true] {
                 for md in [false, true] {
-                    for llid in [Llid::ContinuationOrEmpty, Llid::StartOrComplete, Llid::Control] {
+                    for llid in [
+                        Llid::ContinuationOrEmpty,
+                        Llid::StartOrComplete,
+                        Llid::Control,
+                    ] {
                         let pdu = DataPdu::new(llid, nesn, sn, md, vec![7; 5]);
                         assert_eq!(DataPdu::from_bytes(&pdu.to_bytes()).unwrap(), pdu);
                     }

@@ -44,6 +44,7 @@ impl SleepClockAccuracy {
 
     /// The 3-bit field encoding.
     pub fn field(self) -> u8 {
+        // xtask-allow: R2 — discriminants are 0..=7 by declaration, lossless in u8
         self as u8
     }
 
@@ -109,11 +110,26 @@ mod tests {
     #[test]
     fn covering_picks_tightest_class() {
         assert_eq!(SleepClockAccuracy::covering(0.0), SleepClockAccuracy::Ppm20);
-        assert_eq!(SleepClockAccuracy::covering(20.0), SleepClockAccuracy::Ppm20);
-        assert_eq!(SleepClockAccuracy::covering(21.0), SleepClockAccuracy::Ppm30);
-        assert_eq!(SleepClockAccuracy::covering(-49.0), SleepClockAccuracy::Ppm50);
-        assert_eq!(SleepClockAccuracy::covering(400.0), SleepClockAccuracy::Ppm500);
-        assert_eq!(SleepClockAccuracy::covering(9999.0), SleepClockAccuracy::Ppm500);
+        assert_eq!(
+            SleepClockAccuracy::covering(20.0),
+            SleepClockAccuracy::Ppm20
+        );
+        assert_eq!(
+            SleepClockAccuracy::covering(21.0),
+            SleepClockAccuracy::Ppm30
+        );
+        assert_eq!(
+            SleepClockAccuracy::covering(-49.0),
+            SleepClockAccuracy::Ppm50
+        );
+        assert_eq!(
+            SleepClockAccuracy::covering(400.0),
+            SleepClockAccuracy::Ppm500
+        );
+        assert_eq!(
+            SleepClockAccuracy::covering(9999.0),
+            SleepClockAccuracy::Ppm500
+        );
     }
 
     #[test]

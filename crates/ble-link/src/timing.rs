@@ -4,6 +4,7 @@
 //! interval (eq. 2), the transmit window (eq. 1) and the window widening
 //! the attack exploits (eqs. 4–5).
 
+use ble_invariants::invariant_window;
 use simkit::Duration;
 
 /// The inter-frame spacing: 150 µs between consecutive frames of a
@@ -31,7 +32,7 @@ pub const WIDENING_JITTER: Duration = Duration::from_micros(32);
 /// assert_eq!(connection_interval(36).as_micros(), 45_000);
 /// ```
 pub fn connection_interval(hop_interval: u16) -> Duration {
-    UNIT_1_25_MS * u64::from(hop_interval)
+    UNIT_1_25_MS.saturating_mul(u64::from(hop_interval))
 }
 
 /// Window widening for a receiver expecting the next anchor (paper eq. 4):
@@ -51,9 +52,17 @@ pub fn connection_interval(hop_interval: u16) -> Duration {
 /// let w = window_widening(50.0, 20.0, connection_interval(36));
 /// assert_eq!(w.as_nanos(), 35_150);
 /// ```
-pub fn window_widening(sca_master_ppm: f64, sca_slave_ppm: f64, elapsed_since_anchor: Duration) -> Duration {
+pub fn window_widening(
+    sca_master_ppm: f64,
+    sca_slave_ppm: f64,
+    elapsed_since_anchor: Duration,
+) -> Duration {
     let drift = elapsed_since_anchor.mul_f64((sca_master_ppm + sca_slave_ppm) * 1e-6);
-    drift + WIDENING_JITTER
+    let widening = drift.saturating_add(WIDENING_JITTER);
+    // Eq. 4's constant term is a hard floor: a widening below 32 µs means
+    // the drift arithmetic went negative or wrapped.
+    invariant_window!(WIDENING_JITTER, widening, "widening below jitter floor");
+    widening
 }
 
 /// Start offset of the transmit window relative to its reference point
@@ -61,17 +70,17 @@ pub fn window_widening(sca_master_ppm: f64, sca_slave_ppm: f64, elapsed_since_an
 /// of `CONNECT_REQ` at connection initiation, or the would-have-been anchor
 /// at a connection update's instant.
 pub fn transmit_window_offset(win_offset: u16) -> Duration {
-    UNIT_1_25_MS + UNIT_1_25_MS * u64::from(win_offset)
+    UNIT_1_25_MS.saturating_add(UNIT_1_25_MS.saturating_mul(u64::from(win_offset)))
 }
 
 /// Size of the transmit window: `WinSize × 1.25 ms`.
 pub fn transmit_window_size(win_size: u8) -> Duration {
-    UNIT_1_25_MS * u64::from(win_size)
+    UNIT_1_25_MS.saturating_mul(u64::from(win_size))
 }
 
 /// Supervision timeout duration from its field value.
 pub fn supervision_timeout(timeout: u16) -> Duration {
-    UNIT_10_MS * u64::from(timeout)
+    UNIT_10_MS.saturating_mul(u64::from(timeout))
 }
 
 #[cfg(test)]
@@ -85,7 +94,7 @@ mod tests {
         let w150 = window_widening(50.0, 20.0, connection_interval(150));
         // 70 ppm × 31.25 ms = 2.1875 µs; +32 → 34.1875 µs.
         assert_eq!(w25.as_nanos(), 34_188); // rounded to ns
-        // 70 ppm × 187.5 ms = 13.125 µs; +32 → 45.125 µs.
+                                            // 70 ppm × 187.5 ms = 13.125 µs; +32 → 45.125 µs.
         assert_eq!(w150.as_nanos(), 45_125);
         assert!(w150 > w25, "widening grows with the interval");
     }

@@ -2,6 +2,8 @@
 //! connection establishment, data exchange, acknowledgement, updates,
 //! termination, supervision timeout and encryption.
 
+#![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)] // test code may panic freely
+
 use std::cell::RefCell;
 use std::collections::VecDeque;
 use std::rc::Rc;
@@ -101,8 +103,12 @@ fn connected_rig(seed: u64, hop_interval: u16) -> Rig {
     let params = ConnectionParams::typical(&mut rng, hop_interval);
     sim.with_ctx(slave_id, |ctx| {
         let dev = &mut *slave.borrow_mut();
-        dev.ll
-            .start_advertising(ctx, b"\x02\x01\x06".to_vec(), vec![], Duration::from_millis(60));
+        dev.ll.start_advertising(
+            ctx,
+            b"\x02\x01\x06".to_vec(),
+            vec![],
+            Duration::from_millis(60),
+        );
     });
     sim.with_ctx(master_id, |ctx| {
         let dev = &mut *master.borrow_mut();
@@ -167,7 +173,11 @@ fn data_flows_in_both_directions_with_acknowledgement() {
     rig.sim.run_for(Duration::from_millis(500));
     let m = rig.master.borrow();
     let s = rig.slave.borrow();
-    assert!(s.host.received.iter().any(|(_, p)| p == &vec![0xAA, 1, 2, 3]));
+    assert!(s
+        .host
+        .received
+        .iter()
+        .any(|(_, p)| p == &vec![0xAA, 1, 2, 3]));
     assert!(m.host.received.iter().any(|(_, p)| p == &vec![0xBB, 9]));
     // Nothing delivered twice despite retransmission machinery.
     assert_eq!(
@@ -223,7 +233,8 @@ fn slave_initiated_terminate_disconnects_both() {
 fn supervision_timeout_fires_when_peer_vanishes() {
     let mut rig = connected_rig(7, 36);
     // Move the master out of radio range: the slave stops hearing anchors.
-    rig.sim.set_node_position(rig.master_id, Position::new(1.0e7, 0.0));
+    rig.sim
+        .set_node_position(rig.master_id, Position::new(1.0e7, 0.0));
     rig.sim.run_for(Duration::from_secs(3));
     let m = rig.master.borrow();
     let s = rig.slave.borrow();
@@ -249,7 +260,10 @@ fn connection_update_changes_interval_and_connection_survives() {
     {
         let m = rig.master.borrow();
         let s = rig.slave.borrow();
-        assert!(m.ll.is_connected() && s.ll.is_connected(), "survives the update");
+        assert!(
+            m.ll.is_connected() && s.ll.is_connected(),
+            "survives the update"
+        );
         let mi = m.ll.connection_info().unwrap();
         let si = s.ll.connection_info().unwrap();
         assert_eq!(mi.params.hop_interval, 60);
@@ -276,12 +290,18 @@ fn connection_update_changes_interval_and_connection_survives() {
 fn channel_map_update_restricts_hopping() {
     let mut rig = connected_rig(9, 24);
     let map = ChannelMap::from_indices(&[0, 4, 8, 12, 16, 20, 24, 28, 32, 36]);
-    rig.master.borrow_mut().ll.request_channel_map_update(map, 8);
+    rig.master
+        .borrow_mut()
+        .ll
+        .request_channel_map_update(map, 8);
     rig.sim.run_for(Duration::from_secs(3));
     {
         let m = rig.master.borrow();
         let s = rig.slave.borrow();
-        assert!(m.ll.is_connected() && s.ll.is_connected(), "survives the map change");
+        assert!(
+            m.ll.is_connected() && s.ll.is_connected(),
+            "survives the map change"
+        );
         assert_eq!(m.ll.connection_info().unwrap().params.channel_map, map);
         assert_eq!(s.ll.connection_info().unwrap().params.channel_map, map);
     }
@@ -316,8 +336,14 @@ fn encryption_activates_and_data_still_flows() {
         });
     }
     rig.sim.run_for(Duration::from_secs(2));
-    assert!(rig.master.borrow().host.encrypted, "master reports encryption");
-    assert!(rig.slave.borrow().host.encrypted, "slave reports encryption");
+    assert!(
+        rig.master.borrow().host.encrypted,
+        "master reports encryption"
+    );
+    assert!(
+        rig.slave.borrow().host.encrypted,
+        "slave reports encryption"
+    );
     rig.master
         .borrow_mut()
         .host
@@ -361,7 +387,10 @@ fn encryption_rejected_without_ltk() {
     }
     rig.sim.run_for(Duration::from_secs(2));
     assert!(!rig.slave.borrow().host.encrypted);
-    assert!(rig.slave.borrow().ll.is_connected(), "connection survives rejection");
+    assert!(
+        rig.slave.borrow().ll.is_connected(),
+        "connection survives rejection"
+    );
 }
 
 #[test]
@@ -463,10 +492,16 @@ fn slave_latency_skips_events_but_connection_survives() {
             .start_advertising(ctx, vec![1], vec![], Duration::from_millis(60));
     });
     sim.with_ctx(master_id, |ctx| {
-        master.borrow_mut().ll.start_initiating(ctx, addr(0xB0), params);
+        master
+            .borrow_mut()
+            .ll
+            .start_initiating(ctx, addr(0xB0), params);
     });
     sim.run_for(Duration::from_secs(6));
-    assert!(master.borrow().ll.is_connected(), "connection survives latency");
+    assert!(
+        master.borrow().ll.is_connected(),
+        "connection survives latency"
+    );
     assert!(slave.borrow().ll.is_connected());
 
     // Data still flows (slave wakes up to receive retransmissions and to

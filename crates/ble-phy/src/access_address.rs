@@ -73,11 +73,11 @@ impl AccessAddress {
         if bytes.iter().all(|&b| b == bytes[0]) {
             return false;
         }
-        let bits: Vec<u8> = (0..32).map(|i| ((self.0 >> i) & 1) as u8).collect();
+        let bits: Vec<bool> = (0..32).map(|i| (self.0 >> i) & 1 != 0).collect();
         // Runs of equal bits.
         let mut run = 1usize;
-        for i in 1..32 {
-            if bits[i] == bits[i - 1] {
+        for pair in bits.windows(2) {
+            if pair[0] == pair[1] {
                 run += 1;
                 if run > 6 {
                     return false;
@@ -87,12 +87,12 @@ impl AccessAddress {
             }
         }
         // Total transitions.
-        let transitions = (1..32).filter(|&i| bits[i] != bits[i - 1]).count();
+        let transitions = bits.windows(2).filter(|p| p[0] != p[1]).count();
         if transitions > 24 {
             return false;
         }
         // Transitions within the six most significant bits (bits 26..32).
-        let msb_transitions = (27..32).filter(|&i| bits[i] != bits[i - 1]).count();
+        let msb_transitions = bits[26..].windows(2).filter(|p| p[0] != p[1]).count();
         if msb_transitions < 2 {
             return false;
         }
@@ -102,7 +102,7 @@ impl AccessAddress {
     /// Generates a uniformly random *valid* data-channel access address.
     pub fn random_for_data(rng: &mut SimRng) -> Self {
         loop {
-            let candidate = AccessAddress(((rng.below(1 << 16) as u32) << 16) | rng.below(1 << 16) as u32);
+            let candidate = AccessAddress(ble_invariants::lsb32(rng.below(1 << 32)));
             if candidate.is_valid_for_data() {
                 return candidate;
             }

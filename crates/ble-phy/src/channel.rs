@@ -47,6 +47,25 @@ impl Channel {
         }
     }
 
+    /// Creates a data channel from an index taken modulo 37.
+    ///
+    /// Infallible counterpart of [`Channel::data`] for call sites whose
+    /// arithmetic already reduces modulo the data-channel count (the channel
+    /// selection algorithms): the redundant modulo makes out-of-range inputs
+    /// impossible by construction instead of a runtime error path.
+    pub const fn data_wrapped(index: u8) -> Channel {
+        Channel(index % Self::DATA_COUNT)
+    }
+
+    /// The advertising channel at scan position `pos % 3`.
+    ///
+    /// Infallible counterpart of indexing [`Channel::ADVERTISING`] for call
+    /// sites that cycle a scan/advertise position: the modulo makes
+    /// out-of-range positions impossible by construction.
+    pub const fn advertising_wrapped(pos: usize) -> Channel {
+        Self::ADVERTISING[pos % 3]
+    }
+
     /// The channel index.
     pub const fn index(self) -> u8 {
         self.0
@@ -71,8 +90,9 @@ impl Channel {
             37 => 2402,
             38 => 2426,
             39 => 2480,
-            n if n <= 10 => 2404 + 2 * n as u16,
-            n => 2428 + 2 * (n as u16 - 11),
+            // Lossless u8→u16 widening; `as` is unavoidable in a const fn.
+            n if n <= 10 => 2404 + 2 * n as u16, // xtask-allow: R2
+            n => 2428 + 2 * (n as u16 - 11),     // xtask-allow: R2
         }
     }
 
@@ -141,7 +161,9 @@ mod tests {
         freqs.sort_unstable();
         freqs.dedup();
         assert_eq!(freqs.len(), 40);
-        assert!(freqs.iter().all(|f| f % 2 == 0 && (2402..=2480).contains(f)));
+        assert!(freqs
+            .iter()
+            .all(|f| f % 2 == 0 && (2402..=2480).contains(f)));
     }
 
     #[test]
@@ -153,6 +175,24 @@ mod tests {
             Channel::try_from(41).unwrap_err().to_string(),
             "invalid BLE channel index 41"
         );
+    }
+
+    #[test]
+    fn data_wrapped_reduces_modulo_37() {
+        assert_eq!(Channel::data_wrapped(0).index(), 0);
+        assert_eq!(Channel::data_wrapped(36).index(), 36);
+        assert_eq!(Channel::data_wrapped(37).index(), 0);
+        assert_eq!(Channel::data_wrapped(255).index(), 255 % 37);
+    }
+
+    #[test]
+    fn advertising_wrapped_cycles_scan_order() {
+        assert_eq!(Channel::advertising_wrapped(0).index(), 37);
+        assert_eq!(Channel::advertising_wrapped(1).index(), 38);
+        assert_eq!(Channel::advertising_wrapped(2).index(), 39);
+        assert_eq!(Channel::advertising_wrapped(3).index(), 37);
+        // 2^64 ≡ 1 (mod 3), so usize::MAX = 2^64 − 1 ≡ 0 → channel 37.
+        assert_eq!(Channel::advertising_wrapped(usize::MAX).index(), 37);
     }
 
     #[test]

@@ -52,8 +52,8 @@ pub fn crc24(init: u32, data: &[u8]) -> u32 {
 /// Computes the CRC and returns its three over-the-air bytes
 /// (least-significant state byte first).
 pub fn crc24_bytes(init: u32, data: &[u8]) -> [u8; CRC_LEN] {
-    let c = crc24(init, data);
-    [(c & 0xFF) as u8, ((c >> 8) & 0xFF) as u8, ((c >> 16) & 0xFF) as u8]
+    let [b0, b1, b2, _] = crc24(init, data).to_le_bytes();
+    [b0, b1, b2]
 }
 
 #[cfg(test)]
@@ -143,7 +143,10 @@ mod tests {
     fn bytes_are_little_endian_of_state() {
         let c = crc24(0x555555, b"x");
         let b = crc24_bytes(0x555555, b"x");
-        assert_eq!(u32::from(b[0]) | u32::from(b[1]) << 8 | u32::from(b[2]) << 16, c);
+        assert_eq!(
+            u32::from(b[0]) | u32::from(b[1]) << 8 | u32::from(b[2]) << 16,
+            c
+        );
     }
 
     #[test]

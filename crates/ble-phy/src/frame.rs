@@ -1,5 +1,6 @@
 //! Over-the-air frame representations.
 
+use ble_invariants::invariant_window;
 use simkit::{Duration, Instant};
 
 use crate::access_address::AccessAddress;
@@ -79,8 +80,15 @@ pub struct ReceivedFrame {
 
 impl ReceivedFrame {
     /// Airtime of the frame as observed (end − start).
+    ///
+    /// A frame whose timestamps are inverted trips the window invariant in
+    /// debug builds; release builds report a zero duration rather than
+    /// panicking in the radio path.
     pub fn duration(&self) -> Duration {
-        self.end - self.start
+        invariant_window!(self.start, self.end, "received frame timestamps");
+        self.end
+            .checked_duration_since(self.start)
+            .unwrap_or(Duration::ZERO)
     }
 }
 

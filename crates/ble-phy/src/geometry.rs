@@ -73,7 +73,11 @@ pub struct Wall {
 impl Wall {
     /// Creates a wall between two endpoints with the given attenuation.
     pub const fn new(a: Position, b: Position, attenuation_db: f64) -> Self {
-        Wall { a, b, attenuation_db }
+        Wall {
+            a,
+            b,
+            attenuation_db,
+        }
     }
 
     /// Whether the segment from `p` to `q` crosses this wall.

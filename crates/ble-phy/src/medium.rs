@@ -18,6 +18,7 @@ use std::cell::RefCell;
 use std::collections::HashMap;
 use std::rc::Rc;
 
+use ble_invariants::invariant;
 use simkit::{Duration, EventQueue, Instant, SimRng, Trace};
 
 use crate::channel::Channel;
@@ -112,20 +113,48 @@ impl SimInner {
         self.queue.now()
     }
 
+    /// Central node lookup. A `NodeId` is only minted by
+    /// [`Simulation::add_node`], so the table is non-empty whenever one
+    /// exists and the modulo is an identity in correct programs; an
+    /// out-of-range id is an internal bug caught by the invariant in debug
+    /// builds.
+    fn node_state(&self, node: NodeId) -> &NodeState {
+        invariant!(
+            node.0 < self.nodes.len(),
+            "node-id",
+            "NodeId({}) out of range ({} nodes)",
+            node.0,
+            self.nodes.len()
+        );
+        &self.nodes[node.0 % self.nodes.len()]
+    }
+
+    fn node_state_mut(&mut self, node: NodeId) -> &mut NodeState {
+        invariant!(
+            node.0 < self.nodes.len(),
+            "node-id",
+            "NodeId({}) out of range ({} nodes)",
+            node.0,
+            self.nodes.len()
+        );
+        let len = self.nodes.len();
+        &mut self.nodes[node.0 % len]
+    }
+
     pub(crate) fn node_label(&self, node: NodeId) -> &str {
-        &self.nodes[node.0].config.label
+        &self.node_state(node).config.label
     }
 
     pub(crate) fn node_clock(&self, node: NodeId) -> &simkit::DriftClock {
-        &self.nodes[node.0].config.clock
+        &self.node_state(node).config.clock
     }
 
     pub(crate) fn node_phy(&self, node: NodeId) -> PhyMode {
-        self.nodes[node.0].config.phy
+        self.node_state(node).config.phy
     }
 
     pub(crate) fn node_rng(&mut self, node: NodeId) -> &mut SimRng {
-        &mut self.nodes[node.0].rng
+        &mut self.node_state_mut(node).rng
     }
 
     pub(crate) fn trace_record(&mut self, at: Instant, tag: &'static str, detail: String) {
@@ -133,8 +162,8 @@ impl SimInner {
     }
 
     fn received_power_dbm(&mut self, from: NodeId, to: NodeId) -> f64 {
-        let tx = &self.nodes[from.0].config;
-        let rx = &self.nodes[to.0].config;
+        let tx = &self.node_state(from).config;
+        let rx = &self.node_state(to).config;
         let mean = self
             .env
             .mean_received_power_dbm(tx.tx_power_dbm, tx.position, rx.position);
@@ -143,18 +172,20 @@ impl SimInner {
 
     pub(crate) fn transmit(&mut self, node: NodeId, channel: Channel, frame: RawFrame) -> TxHandle {
         let now = self.now();
-        let phy = self.nodes[node.0].config.phy;
-        // Half-duplex: transmitting abandons any reception in progress, but
-        // starting a second transmission is a protocol-machine bug.
-        if matches!(self.nodes[node.0].radio, RadioState::Tx { .. }) {
-            panic!(
-                "{}: transmit() while already transmitting",
-                self.node_label(node)
-            );
-        }
+        let phy = self.node_state(node).config.phy;
+        // Half-duplex: transmitting abandons any reception in progress.
+        // Starting a second transmission is a protocol-machine bug — debug
+        // builds assert; release builds abandon the in-flight frame (it
+        // stays on the air as interference) and retune to the new one.
+        invariant!(
+            !matches!(self.node_state(node).radio, RadioState::Tx { .. }),
+            "half-duplex",
+            "{}: transmit() while already transmitting",
+            self.node_label(node)
+        );
         let airtime = frame.airtime(phy);
         let end = now + airtime;
-        self.nodes[node.0].radio = RadioState::Tx { until: end };
+        self.node_state_mut(node).radio = RadioState::Tx { until: end };
 
         let tx_id = self.next_tx_id;
         self.next_tx_id += 1;
@@ -182,13 +213,18 @@ impl SimInner {
             },
         );
         self.queue.schedule_at(end, SimEvent::TxEnd { node });
-        let from_pos = self.nodes[node.0].config.position;
-        for other in 0..self.nodes.len() {
-            if other == node.0 {
-                continue;
-            }
-            let to_pos = self.nodes[other].config.position;
-            let arrival = now + self.env.propagation_delay(from_pos, to_pos);
+        let from_pos = self.node_state(node).config.position;
+        let arrivals: Vec<(usize, Instant)> = self
+            .nodes
+            .iter()
+            .enumerate()
+            .filter(|&(other, _)| other != node.0)
+            .map(|(other, state)| {
+                let to_pos = state.config.position;
+                (other, now + self.env.propagation_delay(from_pos, to_pos))
+            })
+            .collect();
+        for (other, arrival) in arrivals {
             self.queue.schedule_at(
                 arrival,
                 SimEvent::RxStart {
@@ -212,10 +248,19 @@ impl SimInner {
         crc_init: u32,
     ) {
         let now = self.now();
-        if let RadioState::Tx { .. } = self.nodes[node.0].radio {
-            panic!("{}: start_rx() while transmitting", self.node_label(node));
+        // Opening the receiver mid-transmission is a protocol-machine bug —
+        // debug builds assert; release builds ignore the request and let the
+        // transmission finish.
+        if matches!(self.node_state(node).radio, RadioState::Tx { .. }) {
+            invariant!(
+                false,
+                "half-duplex",
+                "{}: start_rx() while transmitting",
+                self.node_label(node)
+            );
+            return;
         }
-        self.nodes[node.0].radio = RadioState::Rx {
+        self.node_state_mut(node).radio = RadioState::Rx {
             channel,
             filter,
             crc_init,
@@ -224,24 +269,24 @@ impl SimInner {
         // Late lock: a frame whose preamble began moments ago can still be
         // caught — required for window semantics where a receiver opens just
         // in time.
-        let phy = self.nodes[node.0].config.phy;
+        let phy = self.node_state(node).config.phy;
         let grace = phy.preamble_duration() / 4;
         let mut best: Option<(u64, Instant)> = None;
-        let rx_pos = self.nodes[node.0].config.position;
+        let rx_pos = self.node_state(node).config.position;
         for (&tx_id, tx) in &self.txs {
             if tx.from == node || tx.channel != channel || tx.phy != phy {
                 continue;
             }
             let delay = self
                 .env
-                .propagation_delay(self.nodes[tx.from.0].config.position, rx_pos);
+                .propagation_delay(self.node_state(tx.from).config.position, rx_pos);
             let arrival = tx.start + delay;
             let tx_end = tx.end + delay;
             if arrival <= now && now <= arrival + grace && tx_end > now {
                 if !filter.matches(tx.frame.access_address) {
                     continue;
                 }
-                if best.map_or(true, |(_, a)| arrival < a) {
+                if best.is_none_or(|(_, a)| arrival < a) {
                     best = Some((tx_id, arrival));
                 }
             }
@@ -266,7 +311,10 @@ impl SimInner {
         known_power: Option<f64>,
     ) -> bool {
         let (tx_start, tx_end, tx_from) = {
-            let tx = &self.txs[&tx_id];
+            let Some(tx) = self.txs.get(&tx_id) else {
+                invariant!(false, "tx-id", "try_lock on unknown transmission #{tx_id}");
+                return false;
+            };
             (tx.start, tx.end, tx.from)
         };
         let signal_dbm = known_power.unwrap_or_else(|| self.received_power_dbm(tx_from, node));
@@ -278,7 +326,7 @@ impl SimInner {
         // from the very start of this lock.
         let interference = self.scan_existing_interference(node, tx_id, arrival, lock_end);
         let channel = {
-            let RadioState::Rx { lock, channel, .. } = &mut self.nodes[node.0].radio else {
+            let RadioState::Rx { lock, channel, .. } = &mut self.node_state_mut(node).radio else {
                 return false;
             };
             *lock = Some(RxLock {
@@ -308,7 +356,7 @@ impl SimInner {
         window_start: Instant,
         window_end: Instant,
     ) -> Vec<Interference> {
-        let rx_pos = self.nodes[node.0].config.position;
+        let rx_pos = self.node_state(node).config.position;
         let channel = match &self.txs.get(&locked_tx) {
             Some(tx) => tx.channel,
             None => return Vec::new(),
@@ -320,7 +368,7 @@ impl SimInner {
             .map(|(_, tx)| {
                 let delay = self
                     .env
-                    .propagation_delay(self.nodes[tx.from.0].config.position, rx_pos);
+                    .propagation_delay(self.node_state(tx.from).config.position, rx_pos);
                 (tx.from, tx.start + delay, tx.end + delay)
             })
             .collect();
@@ -341,10 +389,15 @@ impl SimInner {
         let now = self.now();
         let (tx_channel, tx_aa, tx_from, tx_len) = {
             let tx = self.txs.get(&tx_id)?;
-            (tx.channel, tx.frame.access_address, tx.from, tx.end - tx.start)
+            (
+                tx.channel,
+                tx.frame.access_address,
+                tx.from,
+                tx.end - tx.start,
+            )
         };
         let already_locked = {
-            let RadioState::Rx { channel, lock, .. } = &self.nodes[node.0].radio else {
+            let RadioState::Rx { channel, lock, .. } = &self.node_state(node).radio else {
                 return None;
             };
             if *channel != tx_channel {
@@ -357,7 +410,11 @@ impl SimInner {
             // A dominant late arrival steals the lock (receiver
             // re-synchronisation): the previously locked frame is lost.
             let (steals, matches_filter) = {
-                let RadioState::Rx { lock: Some(lock), filter, .. } = &self.nodes[node.0].radio
+                let RadioState::Rx {
+                    lock: Some(lock),
+                    filter,
+                    ..
+                } = &self.node_state(node).radio
                 else {
                     return None;
                 };
@@ -366,7 +423,8 @@ impl SimInner {
                     filter.matches(tx_aa),
                 )
             };
-            let phy_matches = self.nodes[node.0].config.phy == self.txs[&tx_id].phy;
+            let rx_phy = self.node_state(node).config.phy;
+            let phy_matches = self.txs.get(&tx_id).is_some_and(|tx| tx.phy == rx_phy);
             if steals && matches_filter && phy_matches {
                 self.trace.record(
                     now,
@@ -383,7 +441,10 @@ impl SimInner {
                 return None;
             }
             // Otherwise: interference on the locked reception.
-            let RadioState::Rx { lock: Some(lock), .. } = &mut self.nodes[node.0].radio else {
+            let RadioState::Rx {
+                lock: Some(lock), ..
+            } = &mut self.node_state_mut(node).radio
+            else {
                 return None;
             };
             if now < lock.end {
@@ -394,12 +455,12 @@ impl SimInner {
         }
         // Unlocked: try to synchronise.
         let (filter, phy) = {
-            let RadioState::Rx { filter, .. } = &self.nodes[node.0].radio else {
+            let RadioState::Rx { filter, .. } = &self.node_state(node).radio else {
                 return None;
             };
-            (*filter, self.nodes[node.0].config.phy)
+            (*filter, self.node_state(node).config.phy)
         };
-        if phy != self.txs[&tx_id].phy || !filter.matches(tx_aa) {
+        if !self.txs.get(&tx_id).is_some_and(|tx| tx.phy == phy) || !filter.matches(tx_aa) {
             return None;
         }
         if self.try_lock(node, tx_id, now, None) {
@@ -416,16 +477,21 @@ impl SimInner {
     /// Completes a locked reception. Returns the frame to deliver.
     fn handle_rx_end(&mut self, node: NodeId, tx_id: u64) -> Option<ReceivedFrame> {
         let lock = {
-            let RadioState::Rx { lock, .. } = &mut self.nodes[node.0].radio else {
+            let RadioState::Rx { lock, .. } = &mut self.node_state_mut(node).radio else {
                 return None;
             };
-            if lock.as_ref().map(|l| l.tx_id) != Some(tx_id) {
-                return None;
+            match lock.take() {
+                Some(l) if l.tx_id == tx_id => l,
+                other => {
+                    *lock = other;
+                    return None;
+                }
             }
-            lock.take().expect("just matched")
         };
-        let (channel, rx_crc_init) = match &self.nodes[node.0].radio {
-            RadioState::Rx { channel, crc_init, .. } => (*channel, *crc_init),
+        let (channel, rx_crc_init) = match &self.node_state(node).radio {
+            RadioState::Rx {
+                channel, crc_init, ..
+            } => (*channel, *crc_init),
             _ => return None,
         };
         let tx = self.txs.get(&tx_id)?;
@@ -448,9 +514,12 @@ impl SimInner {
         if !survived && !pdu.is_empty() {
             // Corrupt a few bits so higher layers see garbage that fails CRC.
             let flips = 1 + self.rng.below(3);
+            let bit_count = pdu.len() as u64 * 8;
             for _ in 0..flips {
-                let bit = self.rng.below(pdu.len() as u64 * 8) as usize;
-                pdu[bit / 8] ^= 1 << (bit % 8);
+                let bit = usize::try_from(self.rng.below(bit_count)).unwrap_or(0);
+                if let Some(byte) = pdu.get_mut(bit / 8) {
+                    *byte ^= 1 << (bit % 8);
+                }
             }
         }
         let crc_ok = survived && rx_crc_init == tx_crc_init;
@@ -479,9 +548,9 @@ impl SimInner {
 
     fn finish_tx(&mut self, node: NodeId) -> Option<RadioEvent> {
         let now = self.now();
-        match self.nodes[node.0].radio {
+        match self.node_state(node).radio {
             RadioState::Tx { until } if until <= now => {
-                self.nodes[node.0].radio = RadioState::Idle;
+                self.node_state_mut(node).radio = RadioState::Idle;
                 Some(RadioEvent::TxDone { at: now })
             }
             _ => None,
@@ -489,17 +558,18 @@ impl SimInner {
     }
 
     pub(crate) fn stop_rx(&mut self, node: NodeId) {
-        if let RadioState::Rx { .. } = self.nodes[node.0].radio {
-            self.nodes[node.0].radio = RadioState::Idle;
+        let state = self.node_state_mut(node);
+        if let RadioState::Rx { .. } = state.radio {
+            state.radio = RadioState::Idle;
         }
     }
 
     pub(crate) fn is_receiving(&self, node: NodeId) -> bool {
-        matches!(self.nodes[node.0].radio, RadioState::Rx { .. })
+        matches!(self.node_state(node).radio, RadioState::Rx { .. })
     }
 
     pub(crate) fn is_transmitting(&self, node: NodeId) -> bool {
-        matches!(self.nodes[node.0].radio, RadioState::Tx { .. })
+        matches!(self.node_state(node).radio, RadioState::Tx { .. })
     }
 
     pub(crate) fn set_timer_local_from(
@@ -510,7 +580,7 @@ impl SimInner {
         key: TimerKey,
     ) -> TimerHandle {
         let at = {
-            let state = &mut self.nodes[node.0];
+            let state = self.node_state_mut(node);
             let clock = state.config.clock.clone();
             clock.true_after_jittered(reference, local_delay, &mut state.rng)
         };
@@ -527,8 +597,7 @@ impl SimInner {
 
     fn gc(&mut self) {
         let now = self.now();
-        self.txs
-            .retain(|_, tx| tx.end + TX_RETENTION >= now);
+        self.txs.retain(|_, tx| tx.end + TX_RETENTION >= now);
     }
 }
 
@@ -602,12 +671,12 @@ impl Simulation {
 
     /// A node's position.
     pub fn node_position(&self, node: NodeId) -> Position {
-        self.inner.nodes[node.0].config.position
+        self.inner.node_state(node).config.position
     }
 
     /// Moves a node (used by the distance-sweep experiments).
     pub fn set_node_position(&mut self, node: NodeId, position: Position) {
-        self.inner.nodes[node.0].config.position = position;
+        self.inner.node_state_mut(node).config.position = position;
     }
 
     /// Runs a closure with a [`NodeCtx`] for `node` — the way device state
@@ -641,10 +710,12 @@ impl Simulation {
                 }
             }
             SimEvent::LateSync { node, tx_id } => {
-                let pending = match &self.inner.nodes[node.0].radio {
-                    RadioState::Rx { lock: Some(lock), channel, .. } if lock.tx_id == tx_id => {
-                        Some((*channel, lock.arrival))
-                    }
+                let pending = match &self.inner.node_state(node).radio {
+                    RadioState::Rx {
+                        lock: Some(lock),
+                        channel,
+                        ..
+                    } if lock.tx_id == tx_id => Some((*channel, lock.arrival)),
                     _ => None,
                 };
                 if let Some((channel, arrival)) = pending {
@@ -692,7 +763,10 @@ impl Simulation {
     }
 
     fn dispatch(&mut self, node: NodeId, event: RadioEvent) {
-        let listener = Rc::clone(&self.listeners[node.0]);
+        let Some(listener) = self.listeners.get(node.0).map(Rc::clone) else {
+            invariant!(false, "node-id", "dispatch to unknown NodeId({})", node.0);
+            return;
+        };
         let mut ctx = NodeCtx {
             node,
             sim: &mut self.inner,

@@ -113,7 +113,11 @@ impl Environment {
     /// Signal propagation delay over the straight-line distance.
     pub fn propagation_delay(&self, from: Position, to: Position) -> Duration {
         let seconds = from.distance_to(to) / SPEED_OF_LIGHT_M_PER_S;
-        Duration::from_nanos((seconds * 1e9).round() as u64)
+        // Saturating float→int conversion; indoor distances give delays in
+        // the tens of nanoseconds, far below u64 range.
+        #[allow(clippy::cast_possible_truncation)]
+        let nanos = (seconds * 1e9).round() as u64;
+        Duration::from_nanos(nanos)
     }
 }
 
@@ -167,7 +171,10 @@ mod tests {
         let w1 = Wall::new(Position::new(1.0, -5.0), Position::new(1.0, 5.0), 8.0);
         let w2 = Wall::new(Position::new(2.0, -5.0), Position::new(2.0, 5.0), 6.0);
         let env = Environment::indoor_default().with_wall(w1).with_wall(w2);
-        assert_eq!(env.wall_loss_db(Position::ORIGIN, Position::new(3.0, 0.0)), 14.0);
+        assert_eq!(
+            env.wall_loss_db(Position::ORIGIN, Position::new(3.0, 0.0)),
+            14.0
+        );
     }
 
     #[test]

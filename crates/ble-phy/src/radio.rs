@@ -182,10 +182,8 @@ impl<'a> NodeCtx<'a> {
     /// Starts transmitting `frame` on `channel` immediately.
     ///
     /// Any reception in progress is abandoned (the radio is half-duplex).
-    ///
-    /// # Panics
-    ///
-    /// Panics if the radio is already transmitting.
+    /// Calling this while already transmitting is a protocol-machine bug:
+    /// debug builds assert, release builds retune to the new frame.
     pub fn transmit(&mut self, channel: Channel, frame: RawFrame) -> TxHandle {
         self.sim.transmit(self.node, channel, frame)
     }
@@ -197,9 +195,8 @@ impl<'a> NodeCtx<'a> {
     /// receiver still locks onto it — opening the window "just in time"
     /// works, as it must for window-widening semantics.
     ///
-    /// # Panics
-    ///
-    /// Panics if the radio is transmitting.
+    /// Calling this while transmitting is a protocol-machine bug: debug
+    /// builds assert, release builds ignore the request.
     pub fn start_rx(&mut self, channel: Channel, filter: AccessFilter, crc_init: u32) {
         self.sim.start_rx(self.node, channel, filter, crc_init);
     }
@@ -235,7 +232,8 @@ impl<'a> NodeCtx<'a> {
         local_delay: Duration,
         key: TimerKey,
     ) -> TimerHandle {
-        self.sim.set_timer_local_from(self.node, reference, local_delay, key)
+        self.sim
+            .set_timer_local_from(self.node, reference, local_delay, key)
     }
 
     /// Arms a timer at an exact true simulation time (no drift or jitter).

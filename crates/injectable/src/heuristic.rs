@@ -81,7 +81,7 @@ pub fn injection_succeeded(attempt: &InjectionAttempt, response: &ObservedRespon
     let lo = expected - RESPONSE_TOLERANCE;
     let hi = expected + RESPONSE_TOLERANCE;
     let timing_ok = response.t_s > lo && response.t_s < hi;
-    let nesn_ok = !attempt.sn_a == response.nesn_s;
+    let nesn_ok = attempt.sn_a != response.nesn_s;
     let sn_ok = attempt.nesn_a == response.sn_s;
     timing_ok && nesn_ok && sn_ok
 }
@@ -102,7 +102,7 @@ mod tests {
     fn good_response() -> ObservedResponse {
         ObservedResponse {
             t_s: attempt().expected_response_start(),
-            sn_s: false, // == NESN_a
+            sn_s: false,   // == NESN_a
             nesn_s: false, // == (SN_a + 1) mod 2
         }
     }
@@ -164,7 +164,7 @@ mod tests {
                             sn_s,
                             nesn_s,
                         };
-                        let expected = (nesn_s == !sn_a) && (sn_s == nesn_a);
+                        let expected = (nesn_s != sn_a) && (sn_s == nesn_a);
                         assert_eq!(injection_succeeded(&a, &r), expected);
                     }
                 }

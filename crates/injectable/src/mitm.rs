@@ -150,7 +150,9 @@ impl MitmSlaveHalf {
                     for rule in &self.rewrites {
                         rewritten = rule.apply(*handle, &rewritten);
                     }
-                    shared.to_slave.push_back((*handle, rewritten, *acknowledged));
+                    shared
+                        .to_slave
+                        .push_back((*handle, rewritten, *acknowledged));
                 }
             }
         }

@@ -238,10 +238,25 @@ impl TrackedConnection {
                     *instant,
                 ));
             }
-            ControlPdu::ChannelMapInd { channel_map, instant } => {
+            ControlPdu::ChannelMapInd {
+                channel_map,
+                instant,
+            } => {
                 self.pending_chmap = Some((*channel_map, *instant));
             }
-            _ => {}
+            // The tracker only follows timing-relevant procedures; encryption
+            // setup, feature exchange and keep-alives don't move the anchor.
+            ControlPdu::EncReq { .. }
+            | ControlPdu::EncRsp { .. }
+            | ControlPdu::StartEncReq
+            | ControlPdu::StartEncRsp
+            | ControlPdu::UnknownRsp { .. }
+            | ControlPdu::FeatureReq { .. }
+            | ControlPdu::FeatureRsp { .. }
+            | ControlPdu::VersionInd { .. }
+            | ControlPdu::RejectInd { .. }
+            | ControlPdu::PingReq
+            | ControlPdu::PingRsp => {}
         }
         false
     }
@@ -399,8 +414,8 @@ mod tests {
         let mut t = tracked(36);
         t.observe_slave_seq(true, false);
         let (sn_a, nesn_a) = t.forge_seq();
-        assert_eq!(sn_a, false, "SN_a = NESN_s");
-        assert_eq!(nesn_a, false, "NESN_a = SN_s + 1");
+        assert!(!sn_a, "SN_a = NESN_s");
+        assert!(!nesn_a, "NESN_a = SN_s + 1");
         t.observe_slave_seq(false, true);
         let (sn_a, nesn_a) = t.forge_seq();
         assert!(sn_a && nesn_a);
@@ -421,7 +436,10 @@ mod tests {
         });
         let p1 = t.plan_next(); // event 1
         let p2 = t.plan_next(); // event 2
-        assert_eq!(p2.delay_from_anchor, p1.delay_from_anchor + Duration::from_micros(45_000));
+        assert_eq!(
+            p2.delay_from_anchor,
+            p1.delay_from_anchor + Duration::from_micros(45_000)
+        );
         let p3 = t.plan_next(); // event 3 = instant
         assert_eq!(
             p3.delay_from_anchor,
@@ -500,7 +518,10 @@ mod tests {
             targeted.process(&make_frame(0xB0)),
             SnifferEvent::ConnectionDetected(_)
         ));
-        assert!(matches!(targeted.process(&make_frame(0xB1)), SnifferEvent::None));
+        assert!(matches!(
+            targeted.process(&make_frame(0xB1)),
+            SnifferEvent::None
+        ));
         // CRC-corrupt CONNECT_REQs are ignored.
         let mut bad = make_frame(0xB0);
         bad.crc_ok = false;

@@ -48,7 +48,12 @@ impl AttackRig {
         let bulb = Rc::new(RefCell::new(bulb_obj));
 
         let params = ConnectionParams::typical(&mut rng, hop_interval);
-        let central = Rc::new(RefCell::new(Central::new(0xA0, bulb_addr, params, rng.fork())));
+        let central = Rc::new(RefCell::new(Central::new(
+            0xA0,
+            bulb_addr,
+            params,
+            rng.fork(),
+        )));
 
         let attacker = Rc::new(RefCell::new(Attacker::new(AttackerConfig {
             target_slave: Some(bulb_addr),

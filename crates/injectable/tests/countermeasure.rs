@@ -21,10 +21,12 @@ fn encrypted_rig(seed: u64) -> AttackRig {
         }
     }
     assert!(rig.central.borrow().host.is_encrypted(), "setup: encrypted");
-    assert!(rig.attacker.borrow().connection().is_some() || {
-        rig.sim.run_for(Duration::from_secs(2));
-        rig.attacker.borrow().connection().is_some()
-    });
+    assert!(
+        rig.attacker.borrow().connection().is_some() || {
+            rig.sim.run_for(Duration::from_secs(2));
+            rig.attacker.borrow().connection().is_some()
+        }
+    );
     rig.sim.run_for(Duration::from_millis(400));
     rig
 }

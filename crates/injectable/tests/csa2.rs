@@ -32,9 +32,14 @@ fn connection_and_traffic_work_over_csa2() {
         let bulb = rig.bulb.borrow();
         assert!(bulb.ll.connection_info().unwrap().csa2);
     }
-    rig.central.borrow_mut().write(rig.control_handle, bulb_payloads::power_on());
+    rig.central
+        .borrow_mut()
+        .write(rig.control_handle, bulb_payloads::power_on());
     rig.sim.run_for(Duration::from_secs(1));
-    assert!(rig.bulb.borrow().app.on, "GATT write over a CSA#2 connection");
+    assert!(
+        rig.bulb.borrow().app.on,
+        "GATT write over a CSA#2 connection"
+    );
     // Long-run stability: both sides keep hopping in sync.
     rig.sim.run_for(Duration::from_secs(5));
     assert!(rig.central.borrow().ll.is_connected());
@@ -108,7 +113,10 @@ fn master_hijack_works_over_csa2() {
         rig.attacker.borrow().stats()
     );
     rig.sim.run_for(Duration::from_secs(5));
-    assert!(rig.bulb.borrow().app.on, "hijacked master drives the CSA#2 slave");
+    assert!(
+        rig.bulb.borrow().app.on,
+        "hijacked master drives the CSA#2 slave"
+    );
     let ll = rig.attacker.borrow();
     let info = ll.takeover_ll().unwrap().connection_info().unwrap();
     assert!(info.csa2, "the hijacked connection still hops with CSA#2");

@@ -40,7 +40,11 @@ fn clean_traffic_raises_no_alerts() {
     }
     let d = detector.borrow();
     assert!(d.is_monitoring(), "monitor followed the connection");
-    assert!(d.events_observed() > 100, "observed {}", d.events_observed());
+    assert!(
+        d.events_observed() > 100,
+        "observed {}",
+        d.events_observed()
+    );
     assert!(
         d.alerts().is_empty(),
         "false positives on clean traffic: {:?}",

@@ -93,8 +93,15 @@ fn hijacked_slave_injects_keystrokes_via_hid_profile() {
         .filter(|r| r.len() == 8 && r[2] != 0)
         .map(|r| r[2])
         .collect();
-    assert_eq!(pressed, vec![0x0B, 0x0C, 0x28], "keystrokes delivered in order");
+    assert_eq!(
+        pressed,
+        vec![0x0B, 0x0C, 0x28],
+        "keystrokes delivered in order"
+    );
     // Interleaved releases arrived too.
     assert!(reports.len() >= 6, "{} reports", reports.len());
-    assert!(central.ll.is_connected(), "master still connected to the 'keyboard'");
+    assert!(
+        central.ll.is_connected(),
+        "master still connected to the 'keyboard'"
+    );
 }

@@ -18,7 +18,9 @@ fn injected_write_turns_the_bulb_off() {
         assert!(!bulb.app.on);
     }
     // Legitimate traffic first: the central turns the bulb on.
-    rig.central.borrow_mut().write(rig.control_handle, bulb_payloads::power_on());
+    rig.central
+        .borrow_mut()
+        .write(rig.control_handle, bulb_payloads::power_on());
     rig.sim.run_for(Duration::from_millis(500));
     assert!(rig.bulb.borrow().app.on, "precondition: bulb on");
 
@@ -58,7 +60,10 @@ fn injected_read_captures_the_device_name() {
         .server()
         .handle_of(ble_host::Uuid::DEVICE_NAME)
         .expect("GAP device name");
-    let att = AttPdu::ReadRequest { handle: name_handle }.to_bytes();
+    let att = AttPdu::ReadRequest {
+        handle: name_handle,
+    }
+    .to_bytes();
     rig.attacker.borrow_mut().arm(Mission::InjectAtt { att });
     rig.sim.run_for(Duration::from_secs(20));
 
@@ -96,7 +101,10 @@ fn repeated_injections_all_land() {
     let mut sorted = attempts.clone();
     sorted.sort_unstable();
     let median = sorted[sorted.len() / 2];
-    assert!(median <= 10, "median attempts {median}, history {attempts:?}");
+    assert!(
+        median <= 10,
+        "median attempts {median}, history {attempts:?}"
+    );
 }
 
 #[test]

@@ -35,7 +35,9 @@ fn slave_hijack_evicts_bulb_and_serves_forged_name() {
     rig.central.borrow_mut().auto_reconnect = false;
     rig.run_until_connected();
 
-    rig.attacker.borrow_mut().arm(Mission::HijackSlave { host: hacked_host() });
+    rig.attacker.borrow_mut().arm(Mission::HijackSlave {
+        host: hacked_host(),
+    });
     rig.sim.run_for(Duration::from_secs(30));
 
     {
@@ -81,9 +83,8 @@ fn slave_hijack_evicts_bulb_and_serves_forged_name() {
         .filter(|e| matches!(e, HostEvent::ReadResponse { .. }))
         .collect();
     assert!(
-        got.iter().any(
-            |e| matches!(e, HostEvent::ReadResponse { value } if value == b"Hacked")
-        ),
+        got.iter()
+            .any(|e| matches!(e, HostEvent::ReadResponse { value } if value == b"Hacked")),
         "master read {:?}",
         got
     );
@@ -95,9 +96,14 @@ fn slave_hijack_keeps_master_connection_alive_long_term() {
     rig.bulb.borrow_mut().auto_readvertise = false;
     rig.central.borrow_mut().auto_reconnect = false;
     rig.run_until_connected();
-    rig.attacker.borrow_mut().arm(Mission::HijackSlave { host: hacked_host() });
+    rig.attacker.borrow_mut().arm(Mission::HijackSlave {
+        host: hacked_host(),
+    });
     rig.sim.run_for(Duration::from_secs(30));
-    assert_eq!(rig.attacker.borrow().mission_state(), MissionState::TakenOver);
+    assert_eq!(
+        rig.attacker.borrow().mission_state(),
+        MissionState::TakenOver
+    );
     // Run for several more seconds: the fake slave must keep answering the
     // master's connection events (no supervision timeout on either side).
     rig.sim.run_for(Duration::from_secs(10));

@@ -54,7 +54,10 @@ fn master_hijack_steals_the_slave_and_drives_its_features() {
             attacker.stats()
         );
         let ll = attacker.takeover_ll().expect("takeover LL");
-        assert!(ll.is_connected(), "attacker-as-master connected to the slave");
+        assert!(
+            ll.is_connected(),
+            "attacker-as-master connected to the slave"
+        );
         assert_eq!(ll.connection_info().unwrap().role, Role::Master);
         // The hijacked connection runs on the forged parameters.
         assert_eq!(ll.connection_info().unwrap().params.hop_interval, 60);
@@ -126,7 +129,8 @@ fn mitm_intercepts_and_rewrites_traffic_on_the_fly() {
     );
     {
         let slave_half = slave_half.clone();
-        rig.sim.with_ctx(half_id, |ctx| slave_half.borrow_mut().start(ctx));
+        rig.sim
+            .with_ctx(half_id, |ctx| slave_half.borrow_mut().start(ctx));
     }
 
     rig.attacker.borrow_mut().arm(Mission::HijackMaster {
@@ -145,8 +149,14 @@ fn mitm_intercepts_and_rewrites_traffic_on_the_fly() {
     );
     // Both halves are connected: full MITM established mid-connection.
     assert!(rig.attacker.borrow().takeover_ll().unwrap().is_connected());
-    assert!(slave_half.borrow().ll.is_connected(), "slave half holds the master");
-    assert!(rig.central.borrow().ll.is_connected(), "legit master unaware");
+    assert!(
+        slave_half.borrow().ll.is_connected(),
+        "slave half holds the master"
+    );
+    assert!(
+        rig.central.borrow().ll.is_connected(),
+        "legit master unaware"
+    );
     assert!(rig.bulb.borrow().ll.is_connected(), "slave unaware");
 
     // The legitimate master sets the bulb red; the MITM rewrites to green.
@@ -212,7 +222,8 @@ fn mitm_blackhole_denies_service() {
     );
     {
         let slave_half = slave_half.clone();
-        rig.sim.with_ctx(half_id, |ctx| slave_half.borrow_mut().start(ctx));
+        rig.sim
+            .with_ctx(half_id, |ctx| slave_half.borrow_mut().start(ctx));
     }
     rig.attacker.borrow_mut().arm(Mission::HijackMaster {
         update: forged_update(),
@@ -222,7 +233,10 @@ fn mitm_blackhole_denies_service() {
         mitm: Some(handoff.clone()),
     });
     rig.sim.run_for(Duration::from_secs(30));
-    assert_eq!(rig.attacker.borrow().mission_state(), MissionState::TakenOver);
+    assert_eq!(
+        rig.attacker.borrow().mission_state(),
+        MissionState::TakenOver
+    );
     rig.central
         .borrow_mut()
         .write(rig.control_handle, bulb_payloads::power_on());

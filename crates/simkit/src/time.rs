@@ -39,6 +39,9 @@ impl Instant {
     /// The origin of simulation time.
     pub const ZERO: Instant = Instant(0);
 
+    /// The far end of simulation time.
+    pub const MAX: Instant = Instant(u64::MAX);
+
     /// Creates an instant from raw nanoseconds since simulation start.
     pub const fn from_nanos(nanos: u64) -> Self {
         Instant(nanos)
@@ -100,6 +103,16 @@ impl Instant {
         Instant(self.0.saturating_sub(d.0))
     }
 
+    /// Checked addition of a duration; `None` on overflow.
+    pub fn checked_add(self, d: Duration) -> Option<Instant> {
+        self.0.checked_add(d.0).map(Instant)
+    }
+
+    /// Saturating addition of a duration (clamps at [`Instant::MAX`]).
+    pub fn saturating_add(self, d: Duration) -> Instant {
+        Instant(self.0.saturating_add(d.0))
+    }
+
     /// The later of two instants.
     pub fn max(self, other: Instant) -> Instant {
         Instant(self.0.max(other.0))
@@ -114,6 +127,9 @@ impl Instant {
 impl Duration {
     /// The zero-length span.
     pub const ZERO: Duration = Duration(0);
+
+    /// The longest representable span.
+    pub const MAX: Duration = Duration(u64::MAX);
 
     /// Creates a duration from raw nanoseconds.
     pub const fn from_nanos(nanos: u64) -> Self {
@@ -175,6 +191,26 @@ impl Duration {
         self.0.checked_sub(other.0).map(Duration)
     }
 
+    /// Checked addition; `None` on overflow.
+    pub fn checked_add(self, other: Duration) -> Option<Duration> {
+        self.0.checked_add(other.0).map(Duration)
+    }
+
+    /// Saturating addition (clamps at [`Duration::MAX`]).
+    pub fn saturating_add(self, other: Duration) -> Duration {
+        Duration(self.0.saturating_add(other.0))
+    }
+
+    /// Checked multiplication by a scalar; `None` on overflow.
+    pub fn checked_mul(self, factor: u64) -> Option<Duration> {
+        self.0.checked_mul(factor).map(Duration)
+    }
+
+    /// Saturating multiplication by a scalar (clamps at [`Duration::MAX`]).
+    pub fn saturating_mul(self, factor: u64) -> Duration {
+        Duration(self.0.saturating_mul(factor))
+    }
+
     /// Multiplies by a float factor, clamping negative results to zero.
     pub fn mul_f64(self, factor: f64) -> Duration {
         Duration::from_micros_f64(self.as_micros_f64() * factor)
@@ -199,13 +235,17 @@ impl Duration {
 impl Add<Duration> for Instant {
     type Output = Instant;
     fn add(self, rhs: Duration) -> Instant {
-        Instant(self.0 + rhs.0)
+        Instant(
+            self.0
+                .checked_add(rhs.0)
+                .expect("Instant + Duration overflowed virtual time"),
+        )
     }
 }
 
 impl AddAssign<Duration> for Instant {
     fn add_assign(&mut self, rhs: Duration) {
-        self.0 += rhs.0;
+        *self = *self + rhs;
     }
 }
 
@@ -230,13 +270,17 @@ impl Sub<Instant> for Instant {
 impl Add for Duration {
     type Output = Duration;
     fn add(self, rhs: Duration) -> Duration {
-        Duration(self.0 + rhs.0)
+        Duration(
+            self.0
+                .checked_add(rhs.0)
+                .expect("Duration + Duration overflowed"),
+        )
     }
 }
 
 impl AddAssign for Duration {
     fn add_assign(&mut self, rhs: Duration) {
-        self.0 += rhs.0;
+        *self = *self + rhs;
     }
 }
 
@@ -260,7 +304,11 @@ impl SubAssign for Duration {
 impl Mul<u64> for Duration {
     type Output = Duration;
     fn mul(self, rhs: u64) -> Duration {
-        Duration(self.0 * rhs)
+        Duration(
+            self.0
+                .checked_mul(rhs)
+                .expect("Duration * scalar overflowed"),
+        )
     }
 }
 
@@ -353,6 +401,34 @@ mod tests {
             Duration::from_micros(3).saturating_sub(Duration::from_micros(9)),
             Duration::ZERO
         );
+        assert_eq!(Instant::MAX.checked_add(Duration::from_nanos(1)), None);
+        assert_eq!(
+            Instant::MAX.saturating_add(Duration::from_nanos(1)),
+            Instant::MAX
+        );
+        assert_eq!(Duration::MAX.checked_add(Duration::from_nanos(1)), None);
+        assert_eq!(Duration::MAX.checked_mul(2), None);
+        assert_eq!(Duration::MAX.saturating_mul(2), Duration::MAX);
+        assert_eq!(
+            Duration::from_micros(2).checked_mul(3),
+            Some(Duration::from_micros(6))
+        );
+        assert_eq!(
+            Duration::MAX.saturating_add(Duration::from_nanos(1)),
+            Duration::MAX
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "overflow")]
+    fn instant_add_overflow_panics() {
+        let _ = Instant::MAX + Duration::from_nanos(1);
+    }
+
+    #[test]
+    #[should_panic(expected = "overflow")]
+    fn duration_mul_overflow_panics() {
+        let _ = Duration::MAX * 2;
     }
 
     #[test]

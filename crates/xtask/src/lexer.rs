@@ -1,0 +1,365 @@
+//! A minimal Rust lexer for the protocol lints.
+//!
+//! This is deliberately *not* a full Rust grammar (the workspace builds
+//! offline, so pulling in `syn` is not an option). It produces just enough
+//! structure for the rules in [`crate::rules`]:
+//!
+//! * comments and doc comments are dropped;
+//! * string/char literals collapse to placeholder tokens, so a `panic!`
+//!   spelled inside a string never trips a rule;
+//! * every token carries its 1-based source line;
+//! * `#[cfg(test)]` items (and anything under them) can be stripped, so
+//!   test-only code is out of scope for the hot-path rules.
+
+/// One lexed token: its text and the 1-based line it starts on.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    pub text: String,
+    pub line: u32,
+}
+
+impl Token {
+    fn new(text: impl Into<String>, line: u32) -> Self {
+        Token {
+            text: text.into(),
+            line,
+        }
+    }
+}
+
+/// Placeholder text for string literals.
+pub const STR_TOKEN: &str = "<str>";
+/// Placeholder text for char literals.
+pub const CHAR_TOKEN: &str = "<char>";
+/// Placeholder text for lifetimes.
+pub const LIFETIME_TOKEN: &str = "<lifetime>";
+
+/// Multi-character operators lexed as single tokens, longest first.
+const COMPOUND_OPS: &[&str] = &[
+    "..=", "<<=", ">>=", "=>", "::", "..", "->", "+=", "-=", "*=", "/=", "%=", "==", "!=", "<=",
+    ">=", "&&", "||", "<<", ">>",
+];
+
+/// Lexes Rust source into a comment- and literal-free token stream.
+pub fn tokenize(src: &str) -> Vec<Token> {
+    let b: Vec<char> = src.chars().collect();
+    let mut out = Vec::new();
+    let mut i = 0;
+    let mut line = 1u32;
+    while i < b.len() {
+        let c = b[i];
+        if c == '\n' {
+            line += 1;
+            i += 1;
+            continue;
+        }
+        if c.is_whitespace() {
+            i += 1;
+            continue;
+        }
+        // Line and (nested) block comments.
+        if c == '/' && i + 1 < b.len() && b[i + 1] == '/' {
+            while i < b.len() && b[i] != '\n' {
+                i += 1;
+            }
+            continue;
+        }
+        if c == '/' && i + 1 < b.len() && b[i + 1] == '*' {
+            let mut depth = 1;
+            i += 2;
+            while i < b.len() && depth > 0 {
+                if b[i] == '\n' {
+                    line += 1;
+                    i += 1;
+                } else if b[i] == '/' && i + 1 < b.len() && b[i + 1] == '*' {
+                    depth += 1;
+                    i += 2;
+                } else if b[i] == '*' && i + 1 < b.len() && b[i + 1] == '/' {
+                    depth -= 1;
+                    i += 2;
+                } else {
+                    i += 1;
+                }
+            }
+            continue;
+        }
+        // String literals.
+        if c == '"' {
+            let start_line = line;
+            i += 1;
+            while i < b.len() {
+                match b[i] {
+                    '\\' => i += 2,
+                    '"' => {
+                        i += 1;
+                        break;
+                    }
+                    '\n' => {
+                        line += 1;
+                        i += 1;
+                    }
+                    _ => i += 1,
+                }
+            }
+            out.push(Token::new(STR_TOKEN, start_line));
+            continue;
+        }
+        // Char literal or lifetime.
+        if c == '\'' {
+            let start_line = line;
+            if i + 1 < b.len() && b[i + 1] == '\\' {
+                // Escaped char literal: scan to the closing quote.
+                i += 2;
+                while i < b.len() && b[i] != '\'' {
+                    i += 1;
+                }
+                i += 1;
+                out.push(Token::new(CHAR_TOKEN, start_line));
+            } else if i + 2 < b.len() && b[i + 2] == '\'' {
+                // Plain one-char literal 'x'.
+                i += 3;
+                out.push(Token::new(CHAR_TOKEN, start_line));
+            } else {
+                // Lifetime: consume the identifier.
+                i += 1;
+                while i < b.len() && (b[i].is_alphanumeric() || b[i] == '_') {
+                    i += 1;
+                }
+                out.push(Token::new(LIFETIME_TOKEN, start_line));
+            }
+            continue;
+        }
+        // Identifier, keyword, or a string prefix (r", br", b").
+        if c.is_alphabetic() || c == '_' {
+            let start = i;
+            while i < b.len() && (b[i].is_alphanumeric() || b[i] == '_') {
+                i += 1;
+            }
+            let ident: String = b[start..i].iter().collect();
+            if (ident == "r" || ident == "br") && i < b.len() && (b[i] == '"' || b[i] == '#') {
+                let start_line = line;
+                let mut hashes = 0;
+                while i < b.len() && b[i] == '#' {
+                    hashes += 1;
+                    i += 1;
+                }
+                if i < b.len() && b[i] == '"' {
+                    i += 1;
+                    // Scan for `"` followed by `hashes` hash marks.
+                    'raw: while i < b.len() {
+                        if b[i] == '\n' {
+                            line += 1;
+                            i += 1;
+                            continue;
+                        }
+                        if b[i] == '"' {
+                            let mut k = 0;
+                            while k < hashes && i + 1 + k < b.len() && b[i + 1 + k] == '#' {
+                                k += 1;
+                            }
+                            if k == hashes {
+                                i += 1 + hashes;
+                                break 'raw;
+                            }
+                        }
+                        i += 1;
+                    }
+                    out.push(Token::new(STR_TOKEN, start_line));
+                    continue;
+                }
+                // `r#ident` raw identifier: fall through, emit as ident.
+                let rstart = i;
+                while i < b.len() && (b[i].is_alphanumeric() || b[i] == '_') {
+                    i += 1;
+                }
+                out.push(Token::new(b[rstart..i].iter().collect::<String>(), line));
+                continue;
+            }
+            if ident == "b" && i < b.len() && (b[i] == '"' || b[i] == '\'') {
+                // Byte string / byte char: re-lex from the quote.
+                continue;
+            }
+            out.push(Token::new(ident, line));
+            continue;
+        }
+        // Number: integer or float, without swallowing `..` ranges.
+        if c.is_ascii_digit() {
+            let start = i;
+            while i < b.len() && (b[i].is_alphanumeric() || b[i] == '_') {
+                i += 1;
+            }
+            if i + 1 < b.len() && b[i] == '.' && b[i + 1].is_ascii_digit() {
+                i += 1;
+                while i < b.len() && (b[i].is_alphanumeric() || b[i] == '_') {
+                    i += 1;
+                }
+            }
+            out.push(Token::new(b[start..i].iter().collect::<String>(), line));
+            continue;
+        }
+        // Compound then single-character punctuation.
+        let mut matched = false;
+        for op in COMPOUND_OPS {
+            let chars: Vec<char> = op.chars().collect();
+            if b[i..].starts_with(&chars[..]) {
+                out.push(Token::new(*op, line));
+                i += chars.len();
+                matched = true;
+                break;
+            }
+        }
+        if !matched {
+            out.push(Token::new(c.to_string(), line));
+            i += 1;
+        }
+    }
+    out
+}
+
+/// Returns the index of the token closing the group opened at `open`.
+///
+/// `tokens[open]` must be one of `(`, `[`, `{`. Returns `tokens.len()` when
+/// the group never closes (malformed input).
+pub fn matching(tokens: &[Token], open: usize) -> usize {
+    let (o, c) = match tokens[open].text.as_str() {
+        "(" => ("(", ")"),
+        "[" => ("[", "]"),
+        "{" => ("{", "}"),
+        _ => return tokens.len(),
+    };
+    let mut depth = 0usize;
+    for (i, t) in tokens.iter().enumerate().skip(open) {
+        if t.text == o {
+            depth += 1;
+        } else if t.text == c {
+            depth -= 1;
+            if depth == 0 {
+                return i;
+            }
+        }
+    }
+    tokens.len()
+}
+
+/// Removes `#[cfg(test)]` items (attribute plus the item it gates) from a
+/// token stream. `#[cfg(not(test))]` items are kept: they are the code that
+/// actually ships.
+pub fn strip_cfg_test(tokens: Vec<Token>) -> Vec<Token> {
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        if tokens[i].text == "#" && i + 1 < tokens.len() && tokens[i + 1].text == "[" {
+            let close = matching(&tokens, i + 1);
+            if close < tokens.len() && attr_is_cfg_test(&tokens[i + 2..close]) {
+                i = skip_item(&tokens, close + 1);
+                continue;
+            }
+        }
+        out.push(tokens[i].clone());
+        i += 1;
+    }
+    out
+}
+
+/// Whether attribute tokens (between `#[` and `]`) gate on `cfg(test)`.
+fn attr_is_cfg_test(attr: &[Token]) -> bool {
+    let has = |name: &str| attr.iter().any(|t| t.text == name);
+    if !has("cfg") || !has("test") {
+        return false;
+    }
+    // `cfg(not(test))` gates the *non*-test build.
+    let negated = attr
+        .windows(3)
+        .any(|w| w[0].text == "not" && w[1].text == "(" && w[2].text == "test");
+    !negated
+}
+
+/// Skips one item starting at `start`: any further attributes, then either a
+/// `;`-terminated item or one ending with its first balanced `{ ... }` block.
+fn skip_item(tokens: &[Token], start: usize) -> usize {
+    let mut i = start;
+    // Further attributes on the same item.
+    while i + 1 < tokens.len() && tokens[i].text == "#" && tokens[i + 1].text == "[" {
+        i = matching(tokens, i + 1) + 1;
+    }
+    while i < tokens.len() {
+        match tokens[i].text.as_str() {
+            ";" => return i + 1,
+            "{" => return matching(tokens, i) + 1,
+            "(" | "[" => i = matching(tokens, i) + 1,
+            _ => i += 1,
+        }
+    }
+    i
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn texts(src: &str) -> Vec<String> {
+        tokenize(src).into_iter().map(|t| t.text).collect()
+    }
+
+    #[test]
+    fn comments_and_strings_vanish() {
+        let toks = texts("let x = \"panic!(\"; // unwrap()\n/* expect( */ y");
+        assert_eq!(toks, vec!["let", "x", "=", STR_TOKEN, ";", "y"]);
+    }
+
+    #[test]
+    fn raw_strings_and_chars() {
+        let toks = texts("r#\"a \" b\"# 'x' '\\n' 'a");
+        assert_eq!(
+            toks,
+            vec![STR_TOKEN, CHAR_TOKEN, CHAR_TOKEN, LIFETIME_TOKEN]
+        );
+    }
+
+    #[test]
+    fn ranges_do_not_become_floats() {
+        let toks = texts("0..37 1.5 0x1F");
+        assert_eq!(toks, vec!["0", "..", "37", "1.5", "0x1F"]);
+    }
+
+    #[test]
+    fn compound_operators_stay_joined() {
+        let toks = texts("a => b :: c >> 8 += d");
+        assert_eq!(toks, vec!["a", "=>", "b", "::", "c", ">>", "8", "+=", "d"]);
+    }
+
+    #[test]
+    fn lines_are_tracked() {
+        let toks = tokenize("a\nb\n\nc");
+        assert_eq!(
+            toks.iter().map(|t| t.line).collect::<Vec<_>>(),
+            vec![1, 2, 4]
+        );
+    }
+
+    #[test]
+    fn cfg_test_mod_is_stripped() {
+        let src = "fn live() {} #[cfg(test)] mod tests { fn t() { panic!(); } } fn tail() {}";
+        let toks = strip_cfg_test(tokenize(src));
+        let texts: Vec<_> = toks.iter().map(|t| t.text.as_str()).collect();
+        assert!(!texts.contains(&"panic"));
+        assert!(texts.contains(&"live"));
+        assert!(texts.contains(&"tail"));
+    }
+
+    #[test]
+    fn cfg_not_test_is_kept() {
+        let src = "#[cfg(not(test))] fn live() { panic!(); }";
+        let toks = strip_cfg_test(tokenize(src));
+        assert!(toks.iter().any(|t| t.text == "panic"));
+    }
+
+    #[test]
+    fn cfg_test_semicolon_item_is_stripped() {
+        let src = "#[cfg(test)] use helper::thing; fn live() {}";
+        let toks = strip_cfg_test(tokenize(src));
+        let texts: Vec<_> = toks.iter().map(|t| t.text.as_str()).collect();
+        assert!(!texts.contains(&"helper"));
+        assert!(texts.contains(&"live"));
+    }
+}

@@ -1,0 +1,163 @@
+//! Workspace automation tasks, invoked as `cargo xtask <task>`.
+//!
+//! The only task so far is `lint`: a custom static-analysis pass enforcing
+//! the protocol-robustness rules R1–R4 described in `DEVELOPMENT.md`. It is
+//! written against a minimal hand-rolled lexer ([`lexer`]) because the
+//! workspace builds fully offline — no `syn`, no network.
+//!
+//! Exit status: 0 when clean, 1 on any violation (or I/O failure), so CI
+//! can gate on it directly.
+
+#![forbid(unsafe_code)]
+
+mod lexer;
+mod rules;
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+use rules::RuleSet;
+
+/// Crates whose `src/` is held to all four rules: the protocol hot path.
+const PROTOCOL_CRATES: &[&str] = &["ble-link", "ble-phy", "ble-crypto"];
+
+/// Crates exempt from the hot-path rules R1–R3 (still checked for R4).
+/// `injectable` and `bench` are attack tooling and measurement harnesses —
+/// they may assert; `ble-invariants` is the audited sink for masked casts;
+/// `simkit` is simulation infrastructure whose time operators are the
+/// checked arithmetic the protocol crates rely on; the device/host crates
+/// model application behaviour, not the radio hot path.
+const R1_EXEMPT_NOTE: &[&str] = &[
+    "injectable",
+    "bench",
+    "ble-invariants",
+    "simkit",
+    "ble-devices",
+    "ble-host",
+];
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("lint") => lint(&args[1..]),
+        Some("help") | None => {
+            print_usage();
+            ExitCode::SUCCESS
+        }
+        Some(other) => {
+            eprintln!("xtask: unknown task `{other}`");
+            print_usage();
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn print_usage() {
+    eprintln!("usage: cargo xtask <task>");
+    eprintln!();
+    eprintln!("tasks:");
+    eprintln!("  lint [--root <dir>]   run the protocol lints (R1-R4) over crates/*/src");
+}
+
+fn lint(args: &[String]) -> ExitCode {
+    let root = match parse_root(args) {
+        Ok(root) => root,
+        Err(msg) => {
+            eprintln!("xtask lint: {msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let crates_dir = root.join("crates");
+    let mut crate_dirs: Vec<PathBuf> = match std::fs::read_dir(&crates_dir) {
+        Ok(entries) => entries
+            .filter_map(Result::ok)
+            .map(|e| e.path())
+            .filter(|p| p.is_dir())
+            .collect(),
+        Err(e) => {
+            eprintln!("xtask lint: cannot read {}: {e}", crates_dir.display());
+            return ExitCode::FAILURE;
+        }
+    };
+    crate_dirs.sort();
+
+    let mut violations = 0usize;
+    let mut files = 0usize;
+    for dir in crate_dirs {
+        let name = dir
+            .file_name()
+            .map(|n| n.to_string_lossy().into_owned())
+            .unwrap_or_default();
+        if name == "xtask" {
+            continue; // the linter does not lint itself
+        }
+        let ruleset = if PROTOCOL_CRATES.contains(&name.as_str()) {
+            RuleSet::protocol()
+        } else {
+            debug_assert!(
+                R1_EXEMPT_NOTE.contains(&name.as_str()),
+                "new crate `{name}` must be classified in xtask/src/main.rs"
+            );
+            RuleSet::general()
+        };
+        let mut sources = Vec::new();
+        collect_rs_files(&dir.join("src"), &mut sources);
+        sources.sort();
+        for path in sources {
+            files += 1;
+            let src = match std::fs::read_to_string(&path) {
+                Ok(src) => src,
+                Err(e) => {
+                    eprintln!("xtask lint: cannot read {}: {e}", path.display());
+                    violations += 1;
+                    continue;
+                }
+            };
+            for v in rules::lint_source(&src, ruleset) {
+                let rel = path.strip_prefix(&root).unwrap_or(&path);
+                println!("{}:{}: R{}: {}", rel.display(), v.line, v.rule, v.msg);
+                violations += 1;
+            }
+        }
+    }
+
+    if violations > 0 {
+        eprintln!("xtask lint: {violations} violation(s) in {files} file(s)");
+        ExitCode::FAILURE
+    } else {
+        println!("xtask lint: clean ({files} files)");
+        ExitCode::SUCCESS
+    }
+}
+
+/// `--root <dir>` or the workspace root inferred from this binary's
+/// manifest directory (`crates/xtask` → two levels up).
+fn parse_root(args: &[String]) -> Result<PathBuf, String> {
+    match args {
+        [] => {}
+        [flag, dir] if flag == "--root" => return Ok(PathBuf::from(dir)),
+        [flag] if flag == "--root" => return Err("--root needs a directory argument".into()),
+        [other, ..] => return Err(format!("unknown argument `{other}`")),
+    }
+    if let Some(manifest) = std::env::var_os("CARGO_MANIFEST_DIR") {
+        let manifest = PathBuf::from(manifest);
+        if let Some(root) = manifest.parent().and_then(Path::parent) {
+            return Ok(root.to_path_buf());
+        }
+    }
+    std::env::current_dir().map_err(|e| format!("cannot determine workspace root: {e}"))
+}
+
+fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) {
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return;
+    };
+    for entry in entries.filter_map(Result::ok) {
+        let path = entry.path();
+        if path.is_dir() {
+            collect_rs_files(&path, out);
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+}

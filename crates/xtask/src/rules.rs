@@ -1,0 +1,623 @@
+//! The protocol lint rules R1–R4.
+//!
+//! | rule | scope            | forbids                                                     |
+//! |------|------------------|-------------------------------------------------------------|
+//! | R1   | protocol crates  | `panic!`/`unwrap`/`expect`/`unreachable!` and unchecked indexing |
+//! | R2   | protocol crates  | truncating `as` casts to narrow integer types               |
+//! | R3   | protocol crates  | raw arithmetic on extracted time tick counts                |
+//! | R4   | whole workspace  | `_` wildcard arms in matches over PDU/LL-control enums      |
+//!
+//! Test-only code (`#[cfg(test)]`) is exempt from every rule. A violation on
+//! line *N* can be waived with `// xtask-allow: R<n> — reason` on line *N*
+//! or *N − 1*; waivers are for audited exceptions (e.g. lossless casts in
+//! `const fn` contexts where `From` is unavailable), never for silencing
+//! real hot-path panics.
+
+use std::collections::HashSet;
+
+use crate::lexer::{matching, strip_cfg_test, tokenize, Token};
+
+/// Which rules run on a file.
+#[derive(Debug, Clone, Copy)]
+pub struct RuleSet {
+    pub r1: bool,
+    pub r2: bool,
+    pub r3: bool,
+    pub r4: bool,
+}
+
+impl RuleSet {
+    /// All four rules: the protocol hot-path crates.
+    pub fn protocol() -> Self {
+        RuleSet {
+            r1: true,
+            r2: true,
+            r3: true,
+            r4: true,
+        }
+    }
+
+    /// Exhaustive-match rule only: attack tooling, device models, benches.
+    pub fn general() -> Self {
+        RuleSet {
+            r1: false,
+            r2: false,
+            r3: false,
+            r4: true,
+        }
+    }
+}
+
+/// One lint finding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    /// Rule number, 1–4.
+    pub rule: u8,
+    /// 1-based source line.
+    pub line: u32,
+    pub msg: String,
+}
+
+/// Lints one file's source, returning unwaived violations sorted by line.
+pub fn lint_source(src: &str, rules: RuleSet) -> Vec<Violation> {
+    let waivers = collect_waivers(src);
+    let tokens = strip_cfg_test(tokenize(src));
+    let mut v = Vec::new();
+    if rules.r1 {
+        r1_panics(&tokens, &mut v);
+        r1_indexing(&tokens, &mut v);
+    }
+    if rules.r2 {
+        r2_casts(&tokens, &mut v);
+    }
+    if rules.r3 {
+        r3_time_arith(&tokens, &mut v);
+    }
+    if rules.r4 {
+        r4_wildcards(&tokens, &mut v);
+    }
+    v.retain(|vi| !waivers.contains(&(vi.line, vi.rule)));
+    v.sort_by_key(|vi| (vi.line, vi.rule));
+    v
+}
+
+/// Parses `// xtask-allow: R1, R3 — reason` waivers. A waiver on line *N*
+/// covers lines *N* and *N + 1*. Only the rule list before the reason
+/// separator (`—` or `--`) is parsed, so a reason that *mentions* a rule
+/// ("R2 is syntactic here") does not accidentally waive it.
+fn collect_waivers(src: &str) -> HashSet<(u32, u8)> {
+    let mut waivers = HashSet::new();
+    for (idx, line) in src.lines().enumerate() {
+        let Some(pos) = line.find("xtask-allow:") else {
+            continue;
+        };
+        let mut rest = &line[pos + "xtask-allow:".len()..];
+        if let Some((list, _reason)) = rest.split_once('—') {
+            rest = list;
+        }
+        if let Some((list, _reason)) = rest.split_once("--") {
+            rest = list;
+        }
+        let mut chars = rest.chars().peekable();
+        while let Some(c) = chars.next() {
+            if c == 'R' || c == 'r' {
+                if let Some(d) = chars.peek().and_then(|d| d.to_digit(10)) {
+                    chars.next();
+                    let rule = d as u8;
+                    let n = idx as u32 + 1;
+                    waivers.insert((n, rule));
+                    waivers.insert((n + 1, rule));
+                }
+            }
+        }
+    }
+    waivers
+}
+
+fn is_number(t: &Token) -> bool {
+    t.text.chars().next().is_some_and(|c| c.is_ascii_digit())
+}
+
+fn is_ident(t: &Token) -> bool {
+    t.text
+        .chars()
+        .next()
+        .is_some_and(|c| c.is_alphabetic() || c == '_')
+        && !t.text.starts_with('<')
+}
+
+// ---------------------------------------------------------------------
+// R1: no panic paths in protocol hot code
+// ---------------------------------------------------------------------
+
+const PANIC_MACROS: &[&str] = &["panic", "unreachable", "todo", "unimplemented"];
+
+fn r1_panics(tokens: &[Token], out: &mut Vec<Violation>) {
+    for (i, t) in tokens.iter().enumerate() {
+        if PANIC_MACROS.contains(&t.text.as_str())
+            && tokens.get(i + 1).is_some_and(|n| n.text == "!")
+        {
+            out.push(Violation {
+                rule: 1,
+                line: t.line,
+                msg: format!(
+                    "`{}!` in a protocol hot path; recover gracefully and \
+                     document with a `ble_invariants` macro",
+                    t.text
+                ),
+            });
+        }
+        if t.text == "."
+            && tokens
+                .get(i + 1)
+                .is_some_and(|n| n.text == "unwrap" || n.text == "expect")
+            && tokens.get(i + 2).is_some_and(|n| n.text == "(")
+        {
+            let name = &tokens[i + 1];
+            out.push(Violation {
+                rule: 1,
+                line: name.line,
+                msg: format!(
+                    "`.{}()` in a protocol hot path; use a match/`let else` \
+                     with a recovery path",
+                    name.text
+                ),
+            });
+        }
+    }
+}
+
+/// Statement-position keywords after which `[` opens an array literal or
+/// pattern rather than an index expression.
+const NON_POSTFIX_KEYWORDS: &[&str] = &[
+    "let", "mut", "ref", "return", "in", "if", "else", "match", "move", "as", "break", "continue",
+    "where", "const", "static", "type", "box", "dyn", "impl", "pub", "use", "yield",
+];
+
+fn r1_indexing(tokens: &[Token], out: &mut Vec<Violation>) {
+    for (i, t) in tokens.iter().enumerate() {
+        if t.text != "[" || i == 0 {
+            continue;
+        }
+        let prev = &tokens[i - 1];
+        let postfix = (is_ident(prev) && !NON_POSTFIX_KEYWORDS.contains(&prev.text.as_str()))
+            || prev.text == ")"
+            || prev.text == "]";
+        if !postfix {
+            continue;
+        }
+        let close = matching(tokens, i);
+        let idx = &tokens[i + 1..close.min(tokens.len())];
+        if idx.is_empty() {
+            continue;
+        }
+        let all_literal = idx
+            .iter()
+            .all(|t| is_number(t) || t.text == ".." || t.text == "..=");
+        let modular = idx.iter().any(|t| t.text == "%");
+        if !all_literal && !modular {
+            let expr: Vec<&str> = idx.iter().map(|t| t.text.as_str()).collect();
+            out.push(Violation {
+                rule: 1,
+                line: t.line,
+                msg: format!(
+                    "unchecked index `[{}]`; use `.get()`/`.get_mut()`, a \
+                     literal index, or a modulo-reduced index",
+                    expr.join(" ")
+                ),
+            });
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// R2: no truncating `as` casts
+// ---------------------------------------------------------------------
+
+const NARROW_INTS: &[&str] = &["u8", "u16", "u32", "i8", "i16", "i32"];
+
+fn r2_casts(tokens: &[Token], out: &mut Vec<Violation>) {
+    for (i, t) in tokens.iter().enumerate() {
+        if t.text == "as"
+            && tokens
+                .get(i + 1)
+                .is_some_and(|n| NARROW_INTS.contains(&n.text.as_str()))
+        {
+            out.push(Violation {
+                rule: 2,
+                line: t.line,
+                msg: format!(
+                    "`as {}` can truncate; use `From`/`try_into` or the \
+                     `ble_invariants::lsb*` masked helpers",
+                    tokens[i + 1].text
+                ),
+            });
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// R3: no raw arithmetic on extracted time tick counts
+// ---------------------------------------------------------------------
+
+/// Methods that turn a typed `Duration`/`Instant` into a bare integer.
+const TIME_EXTRACTORS: &[&str] = &["as_micros", "as_nanos", "as_millis", "as_secs", "as_ticks"];
+
+const ARITH_OPS: &[&str] = &["+", "-", "*", "/"];
+
+fn r3_time_arith(tokens: &[Token], out: &mut Vec<Violation>) {
+    for (i, t) in tokens.iter().enumerate() {
+        if !TIME_EXTRACTORS.contains(&t.text.as_str()) {
+            continue;
+        }
+        if !(tokens.get(i + 1).is_some_and(|n| n.text == "(")
+            && tokens.get(i + 2).is_some_and(|n| n.text == ")"))
+        {
+            continue;
+        }
+        // `d.as_micros() + x`
+        let after = tokens.get(i + 3);
+        let fires_after = after.is_some_and(|n| ARITH_OPS.contains(&n.text.as_str()));
+        // `x + d.as_micros()`: walk back over the receiver's postfix chain.
+        let mut j = i as isize - 1; // the `.` before the method
+        j -= 1;
+        while j >= 0 {
+            let tok = &tokens[j as usize];
+            match tok.text.as_str() {
+                ")" | "]" => match open_backward(tokens, j as usize) {
+                    Some(open) => j = open as isize - 1,
+                    None => break,
+                },
+                "." | "::" => j -= 1,
+                _ if is_ident(tok) || is_number(tok) => j -= 1,
+                _ => break,
+            }
+        }
+        let fires_before = j >= 0 && ARITH_OPS.contains(&tokens[j as usize].text.as_str());
+        if fires_after || fires_before {
+            out.push(Violation {
+                rule: 3,
+                line: t.line,
+                msg: format!(
+                    "raw arithmetic on `.{}()`; keep arithmetic in the typed \
+                     `Duration`/`Instant` domain or use `checked_*`/`saturating_*`",
+                    t.text
+                ),
+            });
+        }
+    }
+}
+
+/// Finds the opener matching the closer at `close`, scanning backward.
+fn open_backward(tokens: &[Token], close: usize) -> Option<usize> {
+    let (o, c) = match tokens[close].text.as_str() {
+        ")" => ("(", ")"),
+        "]" => ("[", "]"),
+        _ => return None,
+    };
+    let mut depth = 0usize;
+    for i in (0..=close).rev() {
+        if tokens[i].text == c {
+            depth += 1;
+        } else if tokens[i].text == o {
+            depth -= 1;
+            if depth == 0 {
+                return Some(i);
+            }
+        }
+    }
+    None
+}
+
+// ---------------------------------------------------------------------
+// R4: exhaustive matches on PDU / LL-control enums
+// ---------------------------------------------------------------------
+
+/// Enums carrying protocol opcodes or PDU variants: new over-the-air
+/// vocabulary must force every match site to make a decision.
+const PDU_ENUMS: &[&str] = &["ControlPdu", "AdvertisingPdu", "Llid"];
+
+fn r4_wildcards(tokens: &[Token], out: &mut Vec<Violation>) {
+    for (i, t) in tokens.iter().enumerate() {
+        if t.text != "match" {
+            continue;
+        }
+        // Find the match-body `{`: the first one at group depth 0 (braces
+        // inside the scrutinee only occur within parens/brackets, e.g.
+        // closures, because Rust bans bare struct literals there).
+        let mut depth = 0usize;
+        let mut body = None;
+        for (j, tj) in tokens.iter().enumerate().skip(i + 1) {
+            match tj.text.as_str() {
+                "(" | "[" => depth += 1,
+                ")" | "]" => depth = depth.saturating_sub(1),
+                "{" if depth == 0 => {
+                    body = Some(j);
+                    break;
+                }
+                "{" => {
+                    // A brace at group depth > 0 belongs to a closure in the
+                    // scrutinee; it is closed before its group closes.
+                }
+                ";" if depth == 0 => break, // not a match expression after all
+                _ => {}
+            }
+            if j > i + 256 {
+                break; // degenerate; give up on this `match`
+            }
+        }
+        let Some(body) = body else { continue };
+        let end = matching(tokens, body);
+        check_match_arms(&tokens[body + 1..end.min(tokens.len())], out);
+    }
+}
+
+/// Analyzes the top-level arms of one match body (tokens between the match
+/// braces). Nested matches are analyzed by their own `match` token in the
+/// outer scan.
+fn check_match_arms(body: &[Token], out: &mut Vec<Violation>) {
+    let mut saw_pdu_enum = false;
+    let mut wildcard: Option<u32> = None;
+    let mut k = 0usize;
+    let mut pattern: Vec<&Token> = Vec::new();
+    while k < body.len() {
+        let t = &body[k];
+        match t.text.as_str() {
+            "(" | "[" | "{" => {
+                // Groups within a pattern stay opaque.
+                let close = matching_rel(body, k);
+                for tok in &body[k..close.min(body.len())] {
+                    pattern.push(tok);
+                }
+                k = close + 1;
+            }
+            "=>" => {
+                analyze_pattern(&pattern, &mut saw_pdu_enum, &mut wildcard);
+                pattern.clear();
+                // Skip the arm body: a braced block, or tokens to the next
+                // top-level comma.
+                k += 1;
+                if body.get(k).is_some_and(|n| n.text == "{") {
+                    k = matching_rel(body, k) + 1;
+                    if body.get(k).is_some_and(|n| n.text == ",") {
+                        k += 1;
+                    }
+                } else {
+                    let mut depth = 0usize;
+                    while k < body.len() {
+                        match body[k].text.as_str() {
+                            "(" | "[" | "{" => depth += 1,
+                            ")" | "]" | "}" => depth = depth.saturating_sub(1),
+                            "," if depth == 0 => {
+                                k += 1;
+                                break;
+                            }
+                            _ => {}
+                        }
+                        k += 1;
+                    }
+                }
+            }
+            _ => {
+                pattern.push(t);
+                k += 1;
+            }
+        }
+    }
+    if saw_pdu_enum {
+        if let Some(line) = wildcard {
+            out.push(Violation {
+                rule: 4,
+                line,
+                msg: "`_` wildcard arm in a match over a PDU/LL-control enum; \
+                      list the remaining variants explicitly so new opcodes \
+                      force a decision here"
+                    .to_owned(),
+            });
+        }
+    }
+}
+
+fn matching_rel(body: &[Token], open: usize) -> usize {
+    matching(body, open)
+}
+
+fn analyze_pattern(pattern: &[&Token], saw_pdu_enum: &mut bool, wildcard: &mut Option<u32>) {
+    for w in pattern.windows(2) {
+        if PDU_ENUMS.contains(&w[0].text.as_str()) && w[1].text == "::" {
+            *saw_pdu_enum = true;
+        }
+    }
+    if let Some(first) = pattern.first() {
+        if first.text == "_" && pattern.len() == 1 && wildcard.is_none() {
+            *wildcard = Some(first.line);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lint(src: &str) -> Vec<Violation> {
+        lint_source(src, RuleSet::protocol())
+    }
+
+    fn rules_fired(src: &str) -> Vec<u8> {
+        lint(src).into_iter().map(|v| v.rule).collect()
+    }
+
+    // ----- R1: panics ------------------------------------------------
+
+    #[test]
+    fn r1_fires_on_each_panic_form() {
+        assert_eq!(rules_fired("fn f() { panic!(\"boom\"); }"), vec![1]);
+        assert_eq!(rules_fired("fn f() { unreachable!(); }"), vec![1]);
+        assert_eq!(rules_fired("fn f(x: Option<u8>) { x.unwrap(); }"), vec![1]);
+        assert_eq!(
+            rules_fired("fn f(x: Option<u8>) { x.expect(\"set\"); }"),
+            vec![1]
+        );
+        assert_eq!(rules_fired("fn f() { todo!() }"), vec![1]);
+    }
+
+    #[test]
+    fn r1_ignores_recovering_combinators() {
+        assert!(lint("fn f(x: Option<u8>) -> u8 { x.unwrap_or(0) }").is_empty());
+        assert!(lint("fn f(x: Option<u8>) -> u8 { x.unwrap_or_default() }").is_empty());
+    }
+
+    #[test]
+    fn r1_ignores_test_code_and_strings() {
+        assert!(lint("#[cfg(test)] mod t { #[test] fn u() { panic!(); } }").is_empty());
+        assert!(lint("fn f() -> &'static str { \"panic!(x.unwrap())\" }").is_empty());
+        assert!(lint("// a comment about panic!()\nfn f() {}").is_empty());
+    }
+
+    #[test]
+    fn r1_fires_on_unchecked_indexing() {
+        assert_eq!(
+            rules_fired("fn f(a: &[u8], i: usize) -> u8 { a[i] }"),
+            vec![1]
+        );
+        assert_eq!(
+            rules_fired("fn f(a: &[u8], n: usize) -> &[u8] { &a[n..] }"),
+            vec![1]
+        );
+    }
+
+    #[test]
+    fn r1_allows_checked_indexing_forms() {
+        assert!(lint("fn f(a: [u8; 4]) -> u8 { a[0] }").is_empty());
+        assert!(lint("fn f(a: &[u8]) -> &[u8] { &a[..2] }").is_empty());
+        assert!(lint("fn f(a: [u8; 3], i: usize) -> u8 { a[i % 3] }").is_empty());
+        assert!(lint("fn f(a: &[u8], i: usize) -> Option<&u8> { a.get(i) }").is_empty());
+        // Array types and literals are not index expressions.
+        assert!(lint("fn f(n: usize) -> [u8; 5] { let x = [0u8; 5]; x }").is_empty());
+    }
+
+    // ----- R2: casts -------------------------------------------------
+
+    #[test]
+    fn r2_fires_on_narrowing_casts() {
+        assert_eq!(rules_fired("fn f(x: u64) -> u8 { x as u8 }"), vec![2]);
+        assert_eq!(rules_fired("fn f(x: u64) -> u16 { x as u16 }"), vec![2]);
+        assert_eq!(rules_fired("fn f(x: u64) -> i32 { x as i32 }"), vec![2]);
+    }
+
+    #[test]
+    fn r2_allows_wide_casts_and_renames() {
+        assert!(lint("fn f(x: u8) -> u64 { x as u64 }").is_empty());
+        assert!(lint("fn f(x: u8) -> usize { x as usize }").is_empty());
+        assert!(lint("use std::fmt as formatting;").is_empty());
+    }
+
+    // ----- R3: time arithmetic ---------------------------------------
+
+    #[test]
+    fn r3_fires_on_raw_tick_arithmetic() {
+        assert_eq!(
+            rules_fired("fn f(d: Duration) -> u64 { d.as_micros() + 5 }"),
+            vec![3]
+        );
+        assert_eq!(
+            rules_fired("fn f(d: Duration, x: u64) -> u64 { x - d.as_micros() }"),
+            vec![3]
+        );
+        assert_eq!(
+            rules_fired("fn f(c: Conn) -> u64 { c.params.interval().as_nanos() * 2 }"),
+            vec![3]
+        );
+    }
+
+    #[test]
+    fn r3_allows_typed_domain_arithmetic() {
+        // The addition happens on Durations; only the sum is extracted.
+        assert!(lint("fn f(a: Duration, b: Duration) -> u64 { (a + b).as_micros() }").is_empty());
+        assert!(lint("fn f(d: Duration) -> u64 { d.as_micros() }").is_empty());
+        assert!(
+            lint("fn f(d: Duration, x: u64) -> u64 { d.as_micros().saturating_add(x) }").is_empty()
+        );
+    }
+
+    // ----- R4: exhaustive PDU matches --------------------------------
+
+    #[test]
+    fn r4_fires_on_wildcard_over_pdu_enum() {
+        let src = "fn f(p: ControlPdu) {\n    match p {\n        ControlPdu::PingReq => {}\n        _ => {}\n    }\n}";
+        let v = lint(src);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].rule, 4);
+        assert_eq!(v[0].line, 4);
+    }
+
+    #[test]
+    fn r4_allows_exhaustive_pdu_match_and_foreign_wildcards() {
+        let exhaustive = "fn f(p: Llid) { match p { Llid::Control => {} Llid::Start => {} } }";
+        assert!(lint(exhaustive).is_empty());
+        // Wildcards over non-protocol enums are fine.
+        let other = "fn f(s: State) { match s { State::Idle => {} _ => {} } }";
+        assert!(lint(other).is_empty());
+    }
+
+    #[test]
+    fn r4_ignores_nested_non_pdu_wildcard() {
+        // The inner match on a tuple may use `_`; the outer PDU match is
+        // exhaustive and must not inherit the inner wildcard.
+        let src = "fn f(p: Llid, r: Role) {\n    match p {\n        Llid::Control => match r { Role::Master => {} _ => {} },\n        Llid::Start => {}\n    }\n}";
+        assert!(lint(src).is_empty());
+    }
+
+    #[test]
+    fn r4_flags_nested_pdu_wildcard_only() {
+        let src = "fn f(p: Llid, q: ControlPdu) {\n    match p {\n        Llid::Control => match q { ControlPdu::PingReq => {} _ => {} },\n        Llid::Start => {}\n    }\n}";
+        let v = lint(src);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].rule, 4);
+        assert_eq!(v[0].line, 3);
+    }
+
+    // ----- waivers and rule sets -------------------------------------
+
+    #[test]
+    fn waiver_silences_same_and_next_line() {
+        let same = "fn f(x: u64) -> u8 { x as u8 } // xtask-allow: R2 — masked upstream";
+        assert!(lint(same).is_empty());
+        let above = "// xtask-allow: R2 — masked upstream\nfn f(x: u64) -> u8 { x as u8 }";
+        assert!(lint(above).is_empty());
+    }
+
+    #[test]
+    fn waiver_is_rule_specific() {
+        let src = "// xtask-allow: R1\nfn f(x: u64) -> u8 { x as u8 }";
+        assert_eq!(rules_fired(src), vec![2]);
+    }
+
+    #[test]
+    fn rule_mentioned_in_waiver_reason_is_not_waived() {
+        let src =
+            "// xtask-allow: R1 — unlike R2, this site can never panic\nfn f(x: u64) -> u8 { x as u8 }";
+        assert_eq!(rules_fired(src), vec![2]);
+        let ascii =
+            "// xtask-allow: R1 -- unlike R2, this site can never panic\nfn f(x: u64) -> u8 { x as u8 }";
+        assert_eq!(rules_fired(ascii), vec![2]);
+    }
+
+    #[test]
+    fn general_ruleset_only_checks_r4() {
+        let src = "fn f(x: Option<u8>) { x.unwrap(); }";
+        assert!(lint_source(src, RuleSet::general()).is_empty());
+        let pdu = "fn f(p: Llid) { match p { Llid::Control => {} _ => {} } }";
+        assert_eq!(lint_source(pdu, RuleSet::general()).len(), 1);
+    }
+
+    #[test]
+    fn violations_sorted_by_line() {
+        let src = "fn a(x: u64) -> u8 { x as u8 }\nfn b() { panic!(); }";
+        let v = lint(src);
+        assert_eq!(
+            v.iter().map(|x| (x.line, x.rule)).collect::<Vec<_>>(),
+            vec![(1, 2), (2, 1)]
+        );
+    }
+}

@@ -22,7 +22,12 @@ fn main() {
     let control = bulb.borrow().control_handle();
     let bulb_addr = bulb.borrow().ll.address();
     let params = ConnectionParams::typical(&mut rng, 36);
-    let central = Rc::new(RefCell::new(Central::new(0xA0, bulb_addr, params, rng.fork())));
+    let central = Rc::new(RefCell::new(Central::new(
+        0xA0,
+        bulb_addr,
+        params,
+        rng.fork(),
+    )));
     let attacker = Rc::new(RefCell::new(Attacker::new(AttackerConfig {
         target_slave: Some(bulb_addr),
         ..AttackerConfig::default()
@@ -47,7 +52,10 @@ fn main() {
             .with_clock(DriftClock::realistic(20.0, &mut rng).with_jitter_us(1.0)),
         attacker.clone(),
     );
-    let m = sim.add_node(NodeConfig::new("ids", Position::new(1.5, 1.5)), detector.clone());
+    let m = sim.add_node(
+        NodeConfig::new("ids", Position::new(1.5, 1.5)),
+        detector.clone(),
+    );
     sim.with_ctx(b, |ctx| bulb.borrow_mut().start(ctx));
     sim.with_ctx(c, |ctx| central.borrow_mut().start(ctx));
     sim.with_ctx(a, |ctx| attacker.borrow_mut().start(ctx));
@@ -56,7 +64,9 @@ fn main() {
     // Phase 1: ten seconds of purely legitimate traffic.
     sim.run_for(Duration::from_secs(2));
     for level in [20u8, 40, 60, 80] {
-        central.borrow_mut().write(control, bulb_payloads::brightness(level));
+        central
+            .borrow_mut()
+            .write(control, bulb_payloads::brightness(level));
         sim.run_for(Duration::from_secs(2));
     }
     println!(

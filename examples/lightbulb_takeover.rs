@@ -104,11 +104,20 @@ fn scenario_b() {
         server,
         SimRng::seed_from(99),
     ));
-    scene.attacker.borrow_mut().arm(Mission::HijackSlave { host });
+    scene
+        .attacker
+        .borrow_mut()
+        .arm(Mission::HijackSlave { host });
     run_until_takeover(&mut scene);
     println!("  attacker evicted the bulb and took its place");
-    println!("  bulb connected:  {}", scene.bulb.borrow().ll.is_connected());
-    println!("  phone connected: {} (unaware)", scene.central.borrow().ll.is_connected());
+    println!(
+        "  bulb connected:  {}",
+        scene.bulb.borrow().ll.is_connected()
+    );
+    println!(
+        "  phone connected: {} (unaware)",
+        scene.central.borrow().ll.is_connected()
+    );
 
     // The phone reads the device name — and gets the forged value.
     let name = scene

@@ -60,7 +60,11 @@ fn main() {
         find: b"noon".to_vec(),
         replace: b"MIDNIGHT".to_vec(),
     };
-    let half = Rc::new(RefCell::new(MitmSlaveHalf::new(mirror, handoff.clone(), vec![rewrite])));
+    let half = Rc::new(RefCell::new(MitmSlaveHalf::new(
+        mirror,
+        handoff.clone(),
+        vec![rewrite],
+    )));
 
     let w = sim.add_node(
         NodeConfig::new("watch", Position::new(0.0, 0.0))
@@ -77,7 +81,10 @@ fn main() {
             .with_clock(DriftClock::realistic(20.0, &mut rng).with_jitter_us(1.0)),
         attacker.clone(),
     );
-    let h = sim.add_node(NodeConfig::new("mitm-half", Position::new(0.0, 2.0)), half.clone());
+    let h = sim.add_node(
+        NodeConfig::new("mitm-half", Position::new(0.0, 2.0)),
+        half.clone(),
+    );
 
     sim.with_ctx(w, |ctx| watch.borrow_mut().start(ctx));
     sim.with_ctx(c, |ctx| central.borrow_mut().start(ctx));
@@ -86,9 +93,14 @@ fn main() {
 
     // Establish the legitimate connection; the phone sends a first SMS.
     sim.run_for(Duration::from_secs(2));
-    central.borrow_mut().write(msg, b"SMS: lunch at noon?".to_vec());
+    central
+        .borrow_mut()
+        .write(msg, b"SMS: lunch at noon?".to_vec());
     sim.run_for(Duration::from_secs(1));
-    println!("before the attack, watch inbox: {:?}", watch.borrow().inbox_strings());
+    println!(
+        "before the attack, watch inbox: {:?}",
+        watch.borrow().inbox_strings()
+    );
 
     // Arm scenario D.
     attacker.borrow_mut().arm(Mission::HijackMaster {
@@ -112,14 +124,19 @@ fn main() {
         sim.run_for(Duration::from_millis(200));
     }
     println!("MITM established mid-connection:");
-    println!("  phone   ⇄ attacker(slave half) : {}", half.borrow().ll.is_connected());
+    println!(
+        "  phone   ⇄ attacker(slave half) : {}",
+        half.borrow().ll.is_connected()
+    );
     println!(
         "  attacker(master half) ⇄ watch  : {}",
         attacker.borrow().takeover_ll().unwrap().is_connected()
     );
 
     // The phone sends another SMS — it now passes through the attacker.
-    central.borrow_mut().write(msg, b"SMS: meet at noon".to_vec());
+    central
+        .borrow_mut()
+        .write(msg, b"SMS: meet at noon".to_vec());
     sim.run_for(Duration::from_secs(5));
 
     println!("phone sent      : \"SMS: meet at noon\"");

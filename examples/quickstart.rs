@@ -29,7 +29,12 @@ fn main() {
 
     // 3. The legitimate smartphone, 2 m away, hop interval 36 (45 ms).
     let params = ConnectionParams::typical(&mut rng, 36);
-    let central = Rc::new(RefCell::new(Central::new(0xA0, bulb_addr, params, rng.fork())));
+    let central = Rc::new(RefCell::new(Central::new(
+        0xA0,
+        bulb_addr,
+        params,
+        rng.fork(),
+    )));
 
     // 4. The attacker, also 2 m away — the paper's equilateral triangle.
     let attacker = Rc::new(RefCell::new(Attacker::new(AttackerConfig {
@@ -58,9 +63,15 @@ fn main() {
 
     // 5. Let the connection establish; the phone turns the bulb on.
     sim.run_for(Duration::from_secs(1));
-    central.borrow_mut().write(control, bulb_payloads::power_on());
+    central
+        .borrow_mut()
+        .write(control, bulb_payloads::power_on());
     sim.run_for(Duration::from_secs(1));
-    println!("[t={:>6.2}s] bulb is on: {}", seconds(&sim), bulb.borrow().app.on);
+    println!(
+        "[t={:>6.2}s] bulb is on: {}",
+        seconds(&sim),
+        bulb.borrow().app.on
+    );
     assert!(bulb.borrow().app.on);
 
     // 6. Attack: inject a Write Request turning the bulb off (paper §VI-A).
@@ -70,7 +81,10 @@ fn main() {
     }
     .to_bytes();
     attacker.borrow_mut().arm(Mission::InjectAtt { att });
-    println!("[t={:>6.2}s] attacker armed: injecting an ATT Write Request", seconds(&sim));
+    println!(
+        "[t={:>6.2}s] attacker armed: injecting an ATT Write Request",
+        seconds(&sim)
+    );
 
     while attacker.borrow().mission_state() != MissionState::Complete {
         sim.run_for(Duration::from_millis(200));
@@ -81,8 +95,15 @@ fn main() {
         seconds(&sim),
         attempts.expect("success recorded")
     );
-    println!("[t={:>6.2}s] bulb is on: {}", seconds(&sim), bulb.borrow().app.on);
-    assert!(!bulb.borrow().app.on, "the injected write turned the bulb off");
+    println!(
+        "[t={:>6.2}s] bulb is on: {}",
+        seconds(&sim),
+        bulb.borrow().app.on
+    );
+    assert!(
+        !bulb.borrow().app.on,
+        "the injected write turned the bulb off"
+    );
 
     // 7. The legitimate connection never noticed.
     sim.run_for(Duration::from_secs(2));

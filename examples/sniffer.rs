@@ -24,7 +24,12 @@ fn main() {
     let control = bulb.borrow().control_handle();
     let bulb_addr = bulb.borrow().ll.address();
     let params = ConnectionParams::typical(&mut rng, 24);
-    let central = Rc::new(RefCell::new(Central::new(0xA0, bulb_addr, params, rng.fork())));
+    let central = Rc::new(RefCell::new(Central::new(
+        0xA0,
+        bulb_addr,
+        params,
+        rng.fork(),
+    )));
     let attacker = Rc::new(RefCell::new(Attacker::new(AttackerConfig::default())));
     attacker.borrow_mut().arm(Mission::Observe);
 
@@ -49,7 +54,9 @@ fn main() {
 
     // Generate some traffic to observe.
     sim.run_for(Duration::from_secs(1));
-    central.borrow_mut().write(control, bulb_payloads::colour(0, 0, 255));
+    central
+        .borrow_mut()
+        .write(control, bulb_payloads::colour(0, 0, 255));
     sim.run_for(Duration::from_secs(4));
 
     let attacker = attacker.borrow();

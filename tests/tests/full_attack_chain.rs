@@ -30,7 +30,12 @@ fn full_kill_chain_with_bystanders() {
     let control = bulb.borrow().control_handle();
     let bulb_addr = bulb.borrow().ll.address();
     let params = ConnectionParams::typical(&mut rng, 36);
-    let phone = Rc::new(RefCell::new(Central::new(0xA0, bulb_addr, params, rng.fork())));
+    let phone = Rc::new(RefCell::new(Central::new(
+        0xA0,
+        bulb_addr,
+        params,
+        rng.fork(),
+    )));
 
     // A bystander pair on an unrelated connection (different AA/hops).
     let fob = Rc::new(RefCell::new(Keyfob::new(0xF0, rng.fork())));
@@ -87,14 +92,13 @@ fn full_kill_chain_with_bystanders() {
             .connection()
             .map(|t| t.has_slave_seq())
             .unwrap_or(false);
-        let ready = phone.borrow().ll.is_connected()
-            && bystander.borrow().ll.is_connected()
-            && following;
+        let ready =
+            phone.borrow().ll.is_connected() && bystander.borrow().ll.is_connected() && following;
         if ready {
             break;
         }
         ticks += 1;
-        if !following && phone.borrow().ll.is_connected() && ticks % 30 == 0 {
+        if !following && phone.borrow().ll.is_connected() && ticks.is_multiple_of(30) {
             phone.borrow_mut().ll.request_disconnect(0x13);
         }
     }
@@ -104,7 +108,10 @@ fn full_kill_chain_with_bystanders() {
     {
         let att = attacker.borrow();
         let conn = att.connection().expect("attacker synchronised");
-        assert_eq!(conn.slave.octets, bulb_addr.octets, "targeted the bulb, not the fob");
+        assert_eq!(
+            conn.slave.octets, bulb_addr.octets,
+            "targeted the bulb, not the fob"
+        );
     }
 
     // Phase 1 (scenario A): inject a colour change.
@@ -113,7 +120,9 @@ fn full_kill_chain_with_bystanders() {
         value: bulb_payloads::colour(1, 2, 3),
     }
     .to_bytes();
-    attacker.borrow_mut().arm(Mission::InjectAtt { att: att_pdu });
+    attacker
+        .borrow_mut()
+        .arm(Mission::InjectAtt { att: att_pdu });
     for _ in 0..150 {
         sim.run_for(Duration::from_millis(200));
         if attacker.borrow().mission_state() == MissionState::Complete {
@@ -150,10 +159,16 @@ fn full_kill_chain_with_bystanders() {
     sim.run_for(Duration::from_secs(5));
     assert_eq!(attacker.borrow().mission_state(), MissionState::TakenOver);
     assert!(bulb.borrow().app.on, "attacker drives the bulb as master");
-    assert!(!phone.borrow().ll.is_connected(), "legit master starved out");
+    assert!(
+        !phone.borrow().ll.is_connected(),
+        "legit master starved out"
+    );
 
     // Bystanders were never disturbed.
-    assert!(bystander.borrow().ll.is_connected(), "bystander connection untouched");
+    assert!(
+        bystander.borrow().ll.is_connected(),
+        "bystander connection untouched"
+    );
     assert_eq!(fob.borrow().app.rings, 0);
     assert_eq!(fob.borrow().disconnections, 0);
 }
@@ -167,7 +182,12 @@ fn targeted_sniffer_skips_unrelated_connections() {
     let fob = Rc::new(RefCell::new(Keyfob::new(0xF0, rng.fork())));
     let fob_addr = fob.borrow().ll.address();
     let fob_params = ConnectionParams::typical(&mut rng, 24);
-    let fob_central = Rc::new(RefCell::new(Central::new(0xA9, fob_addr, fob_params, rng.fork())));
+    let fob_central = Rc::new(RefCell::new(Central::new(
+        0xA9,
+        fob_addr,
+        fob_params,
+        rng.fork(),
+    )));
 
     // Attacker targets a bulb that never appears.
     let ghost = DeviceAddress::new([0xDD; 6], AddressType::Public);
@@ -193,8 +213,14 @@ fn targeted_sniffer_skips_unrelated_connections() {
     sim.with_ctx(a, |ctx| attacker.borrow_mut().start(ctx));
 
     sim.run_for(Duration::from_secs(5));
-    assert!(fob_central.borrow().ll.is_connected(), "unrelated pair connects fine");
-    assert!(attacker.borrow().connection().is_none(), "sniffer stays unlocked");
+    assert!(
+        fob_central.borrow().ll.is_connected(),
+        "unrelated pair connects fine"
+    );
+    assert!(
+        attacker.borrow().connection().is_none(),
+        "sniffer stays unlocked"
+    );
     assert_eq!(attacker.borrow().stats().connections_followed, 0);
 }
 
@@ -208,7 +234,12 @@ fn entire_attack_is_reproducible_from_a_seed() {
         let control = bulb.borrow().control_handle();
         let bulb_addr = bulb.borrow().ll.address();
         let params = ConnectionParams::typical(&mut rng, 36);
-        let central = Rc::new(RefCell::new(Central::new(0xA0, bulb_addr, params, rng.fork())));
+        let central = Rc::new(RefCell::new(Central::new(
+            0xA0,
+            bulb_addr,
+            params,
+            rng.fork(),
+        )));
         let attacker = Rc::new(RefCell::new(Attacker::new(AttackerConfig {
             target_slave: Some(bulb_addr),
             ..AttackerConfig::default()
@@ -326,7 +357,9 @@ fn hijacked_slave_serves_arbitrary_forged_profile() {
         .event_log
         .iter()
         .filter_map(|e| match e {
-            ble_host::HostEvent::ServicesDiscovered { data, entry_len } => Some((data.clone(), *entry_len)),
+            ble_host::HostEvent::ServicesDiscovered { data, entry_len } => {
+                Some((data.clone(), *entry_len))
+            }
             _ => None,
         })
         .next_back()
@@ -338,5 +371,8 @@ fn hijacked_slave_serves_arbitrary_forged_profile() {
             uuids.push(u16::from_le_bytes([entry[4], entry[5]]));
         }
     }
-    assert!(uuids.contains(&0x1812), "forged HID service visible: {uuids:04X?}");
+    assert!(
+        uuids.contains(&0x1812),
+        "forged HID service visible: {uuids:04X?}"
+    );
 }

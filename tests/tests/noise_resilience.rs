@@ -10,8 +10,8 @@ use std::rc::Rc;
 use ble_devices::{bulb_payloads, Central, Lightbulb};
 use ble_link::ConnectionParams;
 use ble_phy::{
-    AccessAddress, Channel, Environment, NodeConfig, NodeCtx, Position, RadioEvent,
-    RadioListener, RawFrame, Simulation, TimerKey,
+    AccessAddress, Channel, Environment, NodeConfig, NodeCtx, Position, RadioEvent, RadioListener,
+    RawFrame, Simulation, TimerKey,
 };
 use simkit::{DriftClock, Duration, SimRng};
 
@@ -65,7 +65,12 @@ fn connection_survives_partial_band_jamming() {
     let control = bulb.borrow().control_handle();
     let bulb_addr = bulb.borrow().ll.address();
     let params = ConnectionParams::typical(&mut rng, 24);
-    let central = Rc::new(RefCell::new(Central::new(0xA0, bulb_addr, params, rng.fork())));
+    let central = Rc::new(RefCell::new(Central::new(
+        0xA0,
+        bulb_addr,
+        params,
+        rng.fork(),
+    )));
     // Jam 8 of the 37 data channels continuously, right next to the victim.
     let jammer = Rc::new(RefCell::new(Jammer::new(
         &[0, 5, 10, 15, 20, 25, 30, 35],
@@ -103,11 +108,16 @@ fn connection_survives_partial_band_jamming() {
     }
     assert!(central.borrow().ll.is_connected(), "connects under jamming");
     sim.run_for(Duration::from_secs(10));
-    assert!(central.borrow().ll.is_connected(), "survives 10 s of jamming");
+    assert!(
+        central.borrow().ll.is_connected(),
+        "survives 10 s of jamming"
+    );
     assert!(bulb.borrow().ll.is_connected());
 
     // Application traffic gets through via retransmissions.
-    central.borrow_mut().write(control, bulb_payloads::power_on());
+    central
+        .borrow_mut()
+        .write(control, bulb_payloads::power_on());
     sim.run_for(Duration::from_secs(3));
     assert!(bulb.borrow().app.on, "write survives the jammed channels");
 }
@@ -124,7 +134,12 @@ fn full_band_jamming_kills_then_recovery_follows() {
     let bulb = Rc::new(RefCell::new(Lightbulb::new(0xB1, rng.fork())));
     let bulb_addr = bulb.borrow().ll.address();
     let params = ConnectionParams::typical(&mut rng, 24);
-    let central = Rc::new(RefCell::new(Central::new(0xA0, bulb_addr, params, rng.fork())));
+    let central = Rc::new(RefCell::new(Central::new(
+        0xA0,
+        bulb_addr,
+        params,
+        rng.fork(),
+    )));
 
     let b = sim.add_node(
         NodeConfig::new("bulb", Position::new(0.0, 0.0))

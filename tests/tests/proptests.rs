@@ -113,7 +113,7 @@ proptest! {
             initiator: DeviceAddress::new([init_seed; 6], AddressType::Public),
             advertiser: DeviceAddress::new([adv_seed; 6], AddressType::Random),
             params,
-            ch_sel: seed % 2 == 0,
+            ch_sel: seed.is_multiple_of(2),
         };
         prop_assert_eq!(AdvertisingPdu::from_bytes(&pdu.to_bytes()).unwrap(), pdu);
     }

@@ -1,0 +1,232 @@
+//! Offline shim of the subset of the `criterion` benchmarking API this
+//! workspace uses.
+//!
+//! It measures with `std::time::Instant`, reports median time per iteration,
+//! and prints one line per benchmark. It intentionally skips criterion's
+//! statistical machinery (outlier analysis, HTML reports): the goal is that
+//! `cargo bench` runs offline and produces comparable numbers across PRs.
+
+#![forbid(unsafe_code)]
+
+use std::time::{Duration, Instant};
+
+/// Hint for how expensive per-iteration setup values are; the shim only uses
+/// it to size batches.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+}
+
+/// Top-level benchmark driver, analogous to `criterion::Criterion`.
+#[derive(Debug)]
+pub struct Criterion {
+    sample_size: usize,
+    warm_up: Duration,
+    measure: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 30,
+            warm_up: Duration::from_millis(50),
+            measure: Duration::from_millis(200),
+        }
+    }
+}
+
+impl Criterion {
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher {
+            sample_size: self.sample_size,
+            warm_up: self.warm_up,
+            measure: self.measure,
+            median_ns: 0.0,
+            iters: 0,
+        };
+        f(&mut bencher);
+        report(id, &bencher);
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+            sample_size: None,
+        }
+    }
+}
+
+/// Named group of benchmarks with optional per-group sample-size override.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n);
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher {
+            sample_size: self.sample_size.unwrap_or(self.criterion.sample_size),
+            warm_up: self.criterion.warm_up,
+            measure: self.criterion.measure,
+            median_ns: 0.0,
+            iters: 0,
+        };
+        f(&mut bencher);
+        report(&format!("{}/{}", self.name, id), &bencher);
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+/// Per-benchmark measurement loop, analogous to `criterion::Bencher`.
+#[derive(Debug)]
+pub struct Bencher {
+    sample_size: usize,
+    warm_up: Duration,
+    measure: Duration,
+    median_ns: f64,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Times `routine` repeatedly and records the median per-iteration cost.
+    pub fn iter<O, F>(&mut self, mut routine: F)
+    where
+        F: FnMut() -> O,
+    {
+        // Warm-up: also estimates per-iteration cost to size batches.
+        let warm_start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        while warm_start.elapsed() < self.warm_up {
+            std::hint::black_box(routine());
+            warm_iters += 1;
+        }
+        let per_iter = self.warm_up.as_nanos() as f64 / warm_iters.max(1) as f64;
+        let budget_ns = self.measure.as_nanos() as f64 / self.sample_size.max(1) as f64;
+        let batch = ((budget_ns / per_iter.max(1.0)).ceil() as u64).max(1);
+
+        let mut samples = Vec::with_capacity(self.sample_size);
+        let mut total_iters = 0u64;
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..batch {
+                std::hint::black_box(routine());
+            }
+            samples.push(start.elapsed().as_nanos() as f64 / batch as f64);
+            total_iters += batch;
+        }
+        self.record(samples, total_iters);
+    }
+
+    /// Times `routine` on fresh values from `setup`, excluding setup cost.
+    pub fn iter_batched<I, O, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> O,
+    {
+        let mut samples = Vec::with_capacity(self.sample_size);
+        for _ in 0..self.sample_size {
+            let input = setup();
+            let start = Instant::now();
+            std::hint::black_box(routine(input));
+            samples.push(start.elapsed().as_nanos() as f64);
+        }
+        let n = samples.len() as u64;
+        self.record(samples, n);
+    }
+
+    fn record(&mut self, mut samples: Vec<f64>, iters: u64) {
+        samples.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+        self.median_ns = match samples.len() {
+            0 => 0.0,
+            n if n % 2 == 1 => samples[n / 2],
+            n => (samples[n / 2 - 1] + samples[n / 2]) / 2.0,
+        };
+        self.iters = iters;
+    }
+}
+
+fn report(id: &str, bencher: &Bencher) {
+    let ns = bencher.median_ns;
+    let human = if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.2} s", ns / 1_000_000_000.0)
+    };
+    println!("{id:<50} time: [{human}/iter]   iters: {}", bencher.iters);
+}
+
+/// Declares a group of benchmark functions, mirroring
+/// `criterion::criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the benchmark entry point, mirroring `criterion::criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn iter_reports_positive_time() {
+        let mut c = Criterion {
+            sample_size: 5,
+            warm_up: Duration::from_millis(1),
+            measure: Duration::from_millis(5),
+        };
+        let mut ran = false;
+        c.bench_function("smoke", |b| {
+            b.iter(|| std::hint::black_box(3u64.wrapping_mul(7)));
+            ran = true;
+        });
+        assert!(ran);
+    }
+
+    #[test]
+    fn group_respects_sample_size_and_finishes() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("g");
+        group.sample_size(3);
+        group.bench_function("f", |b| {
+            b.iter_batched(|| 21u64, |x| x * 2, BatchSize::SmallInput)
+        });
+        group.finish();
+    }
+}

@@ -1,0 +1,14 @@
+//! Offline shim of the subset of `serde` this workspace uses.
+//!
+//! The bench crate derives `Serialize` as a marker (its JSON writer is
+//! hand-rolled), so the shim provides the trait name and a no-op derive.
+
+#![forbid(unsafe_code)]
+
+/// Marker trait standing in for `serde::Serialize`.
+///
+/// The workspace never serializes through serde's data model; deriving this
+/// documents which types are part of the machine-readable report surface.
+pub trait Serialize {}
+
+pub use serde_derive::Serialize;
