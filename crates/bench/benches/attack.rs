@@ -3,6 +3,7 @@
 //! trial — the numbers that size the Figure 9 sweeps.
 
 use bench::rig::{ExperimentRig, RigConfig};
+use bench::telemetry::TelemetryMode;
 use bench::trial::{run_trial, TrialConfig};
 use criterion::{criterion_group, criterion_main, Criterion};
 use simkit::Duration;
@@ -34,7 +35,10 @@ fn bench_full_injection_trial(c: &mut Criterion) {
         let mut seed = 0u64;
         b.iter(|| {
             seed += 1;
-            let cfg = TrialConfig::new(7_000 + seed);
+            // Telemetry off: this benchmark prices the simulator itself and
+            // doubles as the no-regression check for disabled telemetry.
+            let mut cfg = TrialConfig::new(7_000 + seed);
+            cfg.telemetry = TelemetryMode::Off;
             std::hint::black_box(run_trial(&cfg))
         })
     });

@@ -1,0 +1,60 @@
+//! Telemetry overhead microbenchmarks.
+//!
+//! `emit_disabled` is the number the zero-cost claim rests on: with no
+//! trace and no sinks attached, `NodeCtx::emit` must be a branch-and-return
+//! that never builds the event. `emit_ring_sink` prices the enabled path
+//! (event construction + ring push) for comparison.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use ble_phy::{Environment, NodeConfig, NodeCtx, Position, RadioEvent, RadioListener, Simulation};
+use ble_telemetry::{RingBufferSink, TelemetryEvent};
+use criterion::{criterion_group, criterion_main, Criterion};
+use simkit::SimRng;
+
+/// A listener that never reacts: the benchmarks drive emits directly.
+struct Idle;
+
+impl RadioListener for Idle {
+    fn on_event(&mut self, _ctx: &mut NodeCtx<'_>, _event: RadioEvent) {}
+}
+
+fn sim_with_one_node() -> (Simulation, ble_phy::NodeId) {
+    let mut sim = Simulation::new(Environment::indoor_default(), SimRng::seed_from(1));
+    let id = sim.add_node(
+        NodeConfig::new("bench", Position::new(0.0, 0.0)),
+        Rc::new(RefCell::new(Idle)),
+    );
+    (sim, id)
+}
+
+fn bench_emit_disabled(c: &mut Criterion) {
+    let (mut sim, id) = sim_with_one_node();
+    c.bench_function("telemetry/emit_disabled", |b| {
+        sim.with_ctx(id, |ctx| {
+            b.iter(|| {
+                ctx.emit(|| TelemetryEvent::CrcFail {
+                    channel: std::hint::black_box(7),
+                })
+            })
+        });
+    });
+}
+
+fn bench_emit_ring_sink(c: &mut Criterion) {
+    let (mut sim, id) = sim_with_one_node();
+    sim.add_telemetry_sink(Box::new(RingBufferSink::new(4_096)));
+    c.bench_function("telemetry/emit_ring_sink", |b| {
+        sim.with_ctx(id, |ctx| {
+            b.iter(|| {
+                ctx.emit(|| TelemetryEvent::CrcFail {
+                    channel: std::hint::black_box(7),
+                })
+            })
+        });
+    });
+}
+
+criterion_group!(benches, bench_emit_disabled, bench_emit_ring_sink);
+criterion_main!(benches);

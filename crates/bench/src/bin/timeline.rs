@@ -1,0 +1,275 @@
+//! Replays a JSONL telemetry trace as a per-channel timeline (paper
+//! Figure 5 style): when each node keyed, transmitted and received on each
+//! data channel, with the attacker's injection attempts and verdicts
+//! called out.
+//!
+//! Usage:
+//!   timeline <trace.jsonl> [--limit N]   render an existing trace
+//!   timeline --demo [--limit N]          run one close-range trial with a
+//!                                        JSONL sink, then render it
+//!
+//! Exits non-zero when the trace is unreadable or contains no valid event
+//! lines, which is what the CI smoke step asserts.
+
+use std::collections::BTreeMap;
+use std::io::BufRead;
+use std::process::ExitCode;
+
+use bench::report::artefact_dir;
+use bench::telemetry::TelemetryMode;
+use bench::trial::{run_trial, TrialConfig};
+use ble_telemetry::{parse_line, TelemetryEvent, TelemetryRecord};
+
+/// Default cap on rendered event rows (traces run to millions of events).
+const DEFAULT_LIMIT: usize = 200;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut path = None;
+    let mut limit = DEFAULT_LIMIT;
+    let mut demo = false;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--demo" => demo = true,
+            "--limit" => {
+                i += 1;
+                limit = args
+                    .get(i)
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or(DEFAULT_LIMIT);
+            }
+            other => path = Some(other.to_string()),
+        }
+        i += 1;
+    }
+
+    let path = if demo {
+        let out = artefact_dir().join("timeline-demo.jsonl");
+        println!("[demo] running one close-range trial with a JSONL sink…");
+        let mut cfg = TrialConfig::new(42);
+        cfg.telemetry = TelemetryMode::Jsonl(out.clone());
+        let outcome = run_trial(&cfg);
+        println!(
+            "[demo] trial done: attempts={:?} sim_seconds={:.1}",
+            outcome.attempts, outcome.sim_seconds
+        );
+        out.display().to_string()
+    } else {
+        match path {
+            Some(p) => p,
+            None => {
+                eprintln!("usage: timeline <trace.jsonl> [--limit N] | timeline --demo");
+                return ExitCode::FAILURE;
+            }
+        }
+    };
+
+    let file = match std::fs::File::open(&path) {
+        Ok(f) => f,
+        Err(err) => {
+            eprintln!("timeline: cannot open {path}: {err}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut records = Vec::new();
+    let mut skipped = 0usize;
+    for line in std::io::BufReader::new(file).lines() {
+        let Ok(line) = line else { break };
+        if line.trim().is_empty() {
+            continue;
+        }
+        match parse_line(&line) {
+            Some(r) => records.push(r),
+            None => skipped += 1,
+        }
+    }
+    if records.is_empty() {
+        eprintln!("timeline: no valid event lines in {path} ({skipped} unparseable)");
+        return ExitCode::FAILURE;
+    }
+    render(&records, limit, skipped);
+    ExitCode::SUCCESS
+}
+
+/// Node labels from the `NodeAdded` replay at the head of every trace.
+fn node_labels(records: &[TelemetryRecord]) -> BTreeMap<u32, String> {
+    let mut labels = BTreeMap::new();
+    for r in records {
+        if let (Some(node), TelemetryEvent::NodeAdded { label }) = (r.node, &r.event) {
+            labels.entry(node).or_insert_with(|| label.clone());
+        }
+    }
+    labels
+}
+
+/// The channel lane an event renders on, if it is channel-scoped.
+fn event_channel(event: &TelemetryEvent) -> Option<u8> {
+    match event {
+        TelemetryEvent::TxStart { channel, .. }
+        | TelemetryEvent::RxLock { channel }
+        | TelemetryEvent::Relock { channel }
+        | TelemetryEvent::RxEnd { channel, .. }
+        | TelemetryEvent::Collision { channel, .. }
+        | TelemetryEvent::Anchor { channel, .. }
+        | TelemetryEvent::WindowOpen { channel, .. }
+        | TelemetryEvent::Hop { channel, .. }
+        | TelemetryEvent::CrcFail { channel }
+        | TelemetryEvent::InjectionAttempt { channel, .. } => Some(*channel),
+        TelemetryEvent::NodeAdded { .. }
+        | TelemetryEvent::TxEnd
+        | TelemetryEvent::SnNesn { .. }
+        | TelemetryEvent::LlControl { .. }
+        | TelemetryEvent::ConnectionEstablished { .. }
+        | TelemetryEvent::ConnectionClosed { .. }
+        | TelemetryEvent::SnifferSync { .. }
+        | TelemetryEvent::SnifferLost { .. }
+        | TelemetryEvent::HeuristicVerdict { .. }
+        | TelemetryEvent::AnchorPrediction { .. }
+        | TelemetryEvent::IfsDelta { .. }
+        | TelemetryEvent::Takeover { .. }
+        | TelemetryEvent::DetectorAlert { .. }
+        | TelemetryEvent::Raw { .. } => None,
+    }
+}
+
+/// Whether an event is worth a row in the condensed listing (radio-level
+/// noise like every rx-lock is summarised, not listed).
+fn is_headline(event: &TelemetryEvent) -> bool {
+    match event {
+        TelemetryEvent::Anchor { .. }
+        | TelemetryEvent::InjectionAttempt { .. }
+        | TelemetryEvent::HeuristicVerdict { .. }
+        | TelemetryEvent::ConnectionEstablished { .. }
+        | TelemetryEvent::ConnectionClosed { .. }
+        | TelemetryEvent::SnifferSync { .. }
+        | TelemetryEvent::SnifferLost { .. }
+        | TelemetryEvent::Takeover { .. }
+        | TelemetryEvent::DetectorAlert { .. }
+        | TelemetryEvent::Collision { .. }
+        | TelemetryEvent::CrcFail { .. }
+        | TelemetryEvent::LlControl { .. } => true,
+        TelemetryEvent::NodeAdded { .. }
+        | TelemetryEvent::TxStart { .. }
+        | TelemetryEvent::TxEnd
+        | TelemetryEvent::RxLock { .. }
+        | TelemetryEvent::Relock { .. }
+        | TelemetryEvent::RxEnd { .. }
+        | TelemetryEvent::WindowOpen { .. }
+        | TelemetryEvent::Hop { .. }
+        | TelemetryEvent::SnNesn { .. }
+        | TelemetryEvent::AnchorPrediction { .. }
+        | TelemetryEvent::IfsDelta { .. }
+        | TelemetryEvent::Raw { .. } => false,
+    }
+}
+
+fn render(records: &[TelemetryRecord], limit: usize, skipped: usize) {
+    let labels = node_labels(records);
+    println!();
+    println!("=== telemetry timeline ===");
+    println!(
+        "{} events ({} unparseable lines skipped), {} nodes",
+        records.len(),
+        skipped,
+        labels.len()
+    );
+    for (id, label) in &labels {
+        println!("  node {id}: {label}");
+    }
+
+    // Condensed chronological listing of headline events.
+    println!();
+    println!(
+        "{:>12}  {:>3}  {:<10} {:<15} event",
+        "t (ms)", "ch", "node", "kind"
+    );
+    println!("{}", "-".repeat(88));
+    let mut shown = 0usize;
+    let mut elided = 0usize;
+    for r in records {
+        if !is_headline(&r.event) {
+            continue;
+        }
+        if shown >= limit {
+            elided += 1;
+            continue;
+        }
+        shown += 1;
+        let node = r
+            .node
+            .and_then(|n| labels.get(&n).cloned())
+            .unwrap_or_else(|| "-".to_string());
+        let ch = match event_channel(&r.event) {
+            Some(c) => format!("{c}"),
+            None => "-".to_string(),
+        };
+        println!(
+            "{:>12.3}  {:>3}  {:<10} {:<15} {}",
+            r.at.as_micros_f64() / 1_000.0,
+            ch,
+            node,
+            r.event.tag(),
+            r.event
+        );
+    }
+    if elided > 0 {
+        println!("… {elided} more headline events (raise with --limit)");
+    }
+
+    // Per-channel activity lanes: how the connection hopped and where the
+    // attacker struck (the Figure 5 view, aggregated).
+    let mut lanes: BTreeMap<u8, (u64, u64, u64)> = BTreeMap::new();
+    for r in records {
+        let Some(ch) = event_channel(&r.event) else {
+            continue;
+        };
+        let lane = lanes.entry(ch).or_insert((0, 0, 0));
+        match &r.event {
+            TelemetryEvent::Anchor { .. } => lane.0 += 1,
+            TelemetryEvent::InjectionAttempt { .. } => lane.1 += 1,
+            TelemetryEvent::Collision { .. } | TelemetryEvent::CrcFail { .. } => lane.2 += 1,
+            TelemetryEvent::NodeAdded { .. }
+            | TelemetryEvent::TxStart { .. }
+            | TelemetryEvent::TxEnd
+            | TelemetryEvent::RxLock { .. }
+            | TelemetryEvent::Relock { .. }
+            | TelemetryEvent::RxEnd { .. }
+            | TelemetryEvent::WindowOpen { .. }
+            | TelemetryEvent::Hop { .. }
+            | TelemetryEvent::SnNesn { .. }
+            | TelemetryEvent::LlControl { .. }
+            | TelemetryEvent::ConnectionEstablished { .. }
+            | TelemetryEvent::ConnectionClosed { .. }
+            | TelemetryEvent::SnifferSync { .. }
+            | TelemetryEvent::SnifferLost { .. }
+            | TelemetryEvent::HeuristicVerdict { .. }
+            | TelemetryEvent::AnchorPrediction { .. }
+            | TelemetryEvent::IfsDelta { .. }
+            | TelemetryEvent::Takeover { .. }
+            | TelemetryEvent::DetectorAlert { .. }
+            | TelemetryEvent::Raw { .. } => {}
+        }
+    }
+    println!();
+    println!("per-channel activity (a = anchors, i = injection attempts, x = collisions/CRC):");
+    let max = lanes
+        .values()
+        .map(|(a, i, x)| a + i + x)
+        .max()
+        .unwrap_or(1)
+        .max(1);
+    for (ch, (anchors, injects, bad)) in &lanes {
+        if anchors + injects + bad == 0 {
+            continue;
+        }
+        let bar_units = |n: u64| ((n * 40).div_ceil(max)).min(40) as usize;
+        println!(
+            "  ch {ch:>2} | {}{}{} ({anchors} a, {injects} i, {bad} x)",
+            "a".repeat(bar_units(*anchors)),
+            "i".repeat(bar_units(*injects)),
+            "x".repeat(bar_units(*bad)),
+        );
+    }
+    println!();
+}

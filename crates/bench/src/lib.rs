@@ -16,9 +16,11 @@
 pub mod report;
 pub mod rig;
 pub mod stats;
+pub mod telemetry;
 pub mod trial;
 
 pub use report::{print_series, SeriesReport};
 pub use rig::ExperimentRig;
 pub use stats::Summary;
+pub use telemetry::{HistRow, TelemetryMode, TrialMetrics};
 pub use trial::{run_trial, run_trials_parallel, TrialConfig, TrialOutcome};

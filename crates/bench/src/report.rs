@@ -3,9 +3,11 @@
 use std::io::Write as _;
 use std::path::PathBuf;
 
+use ble_telemetry::HistogramUs;
 use serde::Serialize;
 
 use crate::stats::Summary;
+use crate::telemetry::{merge_histogram, HistRow};
 use crate::trial::TrialOutcome;
 
 /// One row of an experiment series: a parameter value and its outcome
@@ -20,31 +22,57 @@ pub struct SeriesReport {
     pub succeeded: usize,
     /// Total trials.
     pub trials: usize,
-    /// Attempts-before-success distribution over successful trials.
+    /// Attempts-before-success distribution over successful trials. All
+    /// zeros (`n == 0`) when no trial succeeded.
     pub attempts: Summary,
     /// Raw attempt counts.
     pub raw: Vec<u32>,
+    /// Anchor-prediction-error summary (µs), merged across the row's
+    /// trials; absent when telemetry was off or nothing was recorded.
+    pub anchor_error_us: Option<HistRow>,
+    /// Injection lead-time summary (µs), merged across the row's trials.
+    pub lead_time_us: Option<HistRow>,
+    /// Mean telemetry events per wall-clock second across the row's trials
+    /// (0 when telemetry was off).
+    pub events_per_sec: f64,
 }
 
 impl SeriesReport {
-    /// Builds a row from trial outcomes.
-    ///
-    /// # Panics
-    ///
-    /// Panics if no trial succeeded (the experiment cannot be summarised).
+    /// Builds a row from trial outcomes. A row where no trial succeeded
+    /// gets an empty attempts summary instead of panicking, so a sweep
+    /// point at the edge of the attack's envelope still produces a row.
     pub fn from_outcomes(parameter: &str, value: f64, outcomes: &[TrialOutcome]) -> SeriesReport {
         let raw: Vec<u32> = outcomes.iter().filter_map(|o| o.attempts).collect();
-        assert!(
-            !raw.is_empty(),
-            "{parameter}={value}: no successful trial to summarise"
-        );
+        let attempts = if raw.is_empty() {
+            Summary::empty()
+        } else {
+            Summary::of(&raw)
+        };
+        let mut anchor_error: Option<HistogramUs> = None;
+        let mut lead_time: Option<HistogramUs> = None;
+        let mut events_rates = Vec::new();
+        for m in outcomes.iter().filter_map(|o| o.metrics.as_ref()) {
+            merge_histogram(&mut anchor_error, m.anchor_error.as_ref());
+            merge_histogram(&mut lead_time, m.lead_time.as_ref());
+            if m.events_per_sec > 0.0 {
+                events_rates.push(m.events_per_sec);
+            }
+        }
+        let events_per_sec = if events_rates.is_empty() {
+            0.0
+        } else {
+            events_rates.iter().sum::<f64>() / events_rates.len() as f64
+        };
         SeriesReport {
             parameter: parameter.to_string(),
             value,
             succeeded: raw.len(),
             trials: outcomes.len(),
-            attempts: Summary::of(&raw),
+            attempts,
             raw,
+            anchor_error_us: anchor_error.map(|h| HistRow::from(h.summary())),
+            lead_time_us: lead_time.map(|h| HistRow::from(h.summary())),
+            events_per_sec,
         }
     }
 }
@@ -119,7 +147,8 @@ fn to_json(rows: &[SeriesReport]) -> String {
         out.push_str(&format!(
             "  {{\"parameter\":\"{}\",\"value\":{},\"succeeded\":{},\"trials\":{},\
              \"min\":{},\"q1\":{},\"median\":{},\"q3\":{},\"max\":{},\"mean\":{:.3},\
-             \"variance\":{:.3},\"raw\":{:?}}}",
+             \"variance\":{:.3},\"raw\":{:?},\"anchor_error_us\":{},\
+             \"lead_time_us\":{},\"events_per_sec\":{:.1}}}",
             r.parameter,
             r.value,
             r.succeeded,
@@ -131,11 +160,26 @@ fn to_json(rows: &[SeriesReport]) -> String {
             r.attempts.max,
             r.attempts.mean,
             r.attempts.variance,
-            r.raw
+            r.raw,
+            hist_json(r.anchor_error_us.as_ref()),
+            hist_json(r.lead_time_us.as_ref()),
+            r.events_per_sec,
         ));
     }
     out.push_str("\n]\n");
     out
+}
+
+/// Encodes an optional histogram summary as a JSON object or `null`.
+fn hist_json(row: Option<&HistRow>) -> String {
+    match row {
+        Some(h) => format!(
+            "{{\"count\":{},\"mean\":{:.3},\"p50\":{},\"p90\":{},\"p99\":{},\
+             \"min\":{:.3},\"max\":{:.3}}}",
+            h.count, h.mean, h.p50, h.p90, h.p99, h.min, h.max
+        ),
+        None => "null".to_string(),
+    }
 }
 
 #[cfg(test)]
@@ -150,6 +194,7 @@ mod tests {
                 attempts: Some(a),
                 sim_seconds: 1.0,
                 effect_observed: true,
+                metrics: None,
             })
             .collect()
     }
@@ -168,10 +213,28 @@ mod tests {
             attempts: None,
             sim_seconds: 60.0,
             effect_observed: false,
+            metrics: None,
         });
         let r = SeriesReport::from_outcomes("d", 10.0, &o);
         assert_eq!(r.succeeded, 2);
         assert_eq!(r.trials, 3);
+    }
+
+    #[test]
+    fn zero_success_row_does_not_panic() {
+        let o = vec![TrialOutcome {
+            attempts: None,
+            sim_seconds: 120.0,
+            effect_observed: false,
+            metrics: None,
+        }];
+        let r = SeriesReport::from_outcomes("d", 12.0, &o);
+        assert_eq!(r.succeeded, 0);
+        assert_eq!(r.trials, 1);
+        assert_eq!(r.attempts.n, 0);
+        assert_eq!(r.attempts.mean, 0.0);
+        let json = to_json(&[r]);
+        assert!(json.contains("\"succeeded\":0"));
     }
 
     #[test]
@@ -180,5 +243,36 @@ mod tests {
         let json = to_json(&[r]);
         assert!(json.starts_with('['));
         assert!(json.contains("\"median\":1"));
+        assert!(json.contains("\"anchor_error_us\":null"));
+        assert!(json.contains("\"events_per_sec\":0.0"));
+    }
+
+    #[test]
+    fn metric_block_merges_into_row() {
+        use crate::telemetry::TrialMetrics;
+        use ble_telemetry::HistogramUs;
+        let mut o = outcomes(&[3, 5]);
+        for (i, out) in o.iter_mut().enumerate() {
+            let mut anchor = HistogramUs::default();
+            anchor.record(4.0 + i as f64);
+            let mut lead = HistogramUs::default();
+            lead.record(36.0);
+            out.metrics = Some(TrialMetrics {
+                anchor_error: Some(anchor),
+                lead_time: Some(lead),
+                ifs_delta: None,
+                events_total: 100,
+                events_per_sec: 50.0,
+                sync_wall_s: 1.0,
+                attack_wall_s: 1.0,
+            });
+        }
+        let r = SeriesReport::from_outcomes("hop", 36.0, &o);
+        let anchor = r.anchor_error_us.expect("merged anchor histogram");
+        assert_eq!(anchor.count, 2);
+        assert_eq!(r.lead_time_us.expect("merged lead histogram").count, 2);
+        assert_eq!(r.events_per_sec, 50.0);
+        let json = to_json(&[r]);
+        assert!(json.contains("\"anchor_error_us\":{\"count\":2"));
     }
 }

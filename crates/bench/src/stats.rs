@@ -25,6 +25,21 @@ pub struct Summary {
 }
 
 impl Summary {
+    /// An all-zero summary standing in for an empty sample (e.g. a series
+    /// row where no trial succeeded).
+    pub fn empty() -> Summary {
+        Summary {
+            n: 0,
+            min: 0.0,
+            q1: 0.0,
+            median: 0.0,
+            q3: 0.0,
+            max: 0.0,
+            mean: 0.0,
+            variance: 0.0,
+        }
+    }
+
     /// Computes the summary of a sample.
     ///
     /// # Panics

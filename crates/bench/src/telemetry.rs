@@ -1,0 +1,141 @@
+//! Per-trial telemetry capture: sink selection, phase timing and the
+//! metric block that rides along in experiment report rows.
+
+use std::path::PathBuf;
+
+use ble_telemetry::{HistSummary, HistogramUs, MetricsRegistry};
+use serde::Serialize;
+
+/// How a trial captures telemetry.
+#[derive(Debug, Clone, Default)]
+pub enum TelemetryMode {
+    /// No sinks attached: every emit is a single branch-and-return (the
+    /// configuration the criterion benchmarks pin).
+    Off,
+    /// In-memory metrics registry (counters + µs histograms), summarised
+    /// into [`crate::trial::TrialOutcome::metrics`]. The default.
+    #[default]
+    Metrics,
+    /// Metrics plus a JSONL event stream written to this path, replayable
+    /// with the `timeline` binary. Parallel trials share the path and
+    /// overwrite each other — use this for single trials.
+    Jsonl(PathBuf),
+}
+
+/// Histogram summary in the shape report rows serialise (µs units).
+#[derive(Debug, Clone, Copy, Serialize)]
+pub struct HistRow {
+    /// Samples recorded.
+    pub count: u64,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Median (bucket upper-bound estimate).
+    pub p50: f64,
+    /// 90th percentile.
+    pub p90: f64,
+    /// 99th percentile.
+    pub p99: f64,
+    /// Smallest sample.
+    pub min: f64,
+    /// Largest sample.
+    pub max: f64,
+}
+
+impl From<HistSummary> for HistRow {
+    fn from(s: HistSummary) -> Self {
+        HistRow {
+            count: s.count,
+            mean: s.mean,
+            p50: s.p50,
+            p90: s.p90,
+            p99: s.p99,
+            min: s.min,
+            max: s.max,
+        }
+    }
+}
+
+/// Metrics extracted from one trial's registry after the run.
+#[derive(Debug, Clone, Default)]
+pub struct TrialMetrics {
+    /// Anchor-prediction-error histogram (µs magnitudes, attacker side).
+    pub anchor_error: Option<HistogramUs>,
+    /// Injection lead-time histogram (µs before the predicted anchor).
+    pub lead_time: Option<HistogramUs>,
+    /// Observed Slave-response IFS deviation histogram (µs).
+    pub ifs_delta: Option<HistogramUs>,
+    /// Total telemetry events emitted during the trial.
+    pub events_total: u64,
+    /// Telemetry events per wall-clock second over the whole trial.
+    pub events_per_sec: f64,
+    /// Wall-clock seconds spent in the synchronisation phase.
+    pub sync_wall_s: f64,
+    /// Wall-clock seconds spent in the attack phase.
+    pub attack_wall_s: f64,
+}
+
+impl TrialMetrics {
+    /// Builds the per-trial block from a registry snapshot and the two
+    /// experiment-phase wall-clock timings.
+    pub fn from_registry(reg: &MetricsRegistry, sync_wall_s: f64, attack_wall_s: f64) -> Self {
+        let events_total = reg.counter("telemetry.events");
+        let wall = (sync_wall_s + attack_wall_s).max(1e-9);
+        TrialMetrics {
+            anchor_error: reg.histogram("attack.anchor_error_us").cloned(),
+            lead_time: reg.histogram("attack.lead_us").cloned(),
+            ifs_delta: reg.histogram("attack.ifs_delta_us").cloned(),
+            events_total,
+            events_per_sec: events_total as f64 / wall,
+            sync_wall_s,
+            attack_wall_s,
+        }
+    }
+}
+
+/// Merges an optional histogram into an accumulator (used when collapsing
+/// per-trial metrics into one report row). Ignores empty or layout-mismatched
+/// histograms.
+pub fn merge_histogram(acc: &mut Option<HistogramUs>, h: Option<&HistogramUs>) {
+    let Some(h) = h else { return };
+    if h.is_empty() {
+        return;
+    }
+    match acc {
+        Some(a) => {
+            let _ = a.merge(h);
+        }
+        None => *acc = Some(h.clone()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trial_metrics_from_registry() {
+        let mut reg = MetricsRegistry::new();
+        reg.add("telemetry.events", 500);
+        reg.observe_us("attack.lead_us", 36.0);
+        reg.observe_us("attack.anchor_error_us", 4.0);
+        let m = TrialMetrics::from_registry(&reg, 1.0, 1.0);
+        assert_eq!(m.events_total, 500);
+        assert!((m.events_per_sec - 250.0).abs() < 1e-9);
+        assert_eq!(m.lead_time.as_ref().map(HistogramUs::count), Some(1));
+        assert_eq!(m.anchor_error.as_ref().map(HistogramUs::count), Some(1));
+        assert!(m.ifs_delta.is_none());
+    }
+
+    #[test]
+    fn merge_histogram_accumulates() {
+        let mut a = HistogramUs::default();
+        a.record(10.0);
+        let mut b = HistogramUs::default();
+        b.record(20.0);
+        let mut acc = None;
+        merge_histogram(&mut acc, Some(&a));
+        merge_histogram(&mut acc, Some(&b));
+        merge_histogram(&mut acc, None);
+        assert_eq!(acc.map(|h| h.count()), Some(2));
+    }
+}

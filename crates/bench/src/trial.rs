@@ -1,10 +1,12 @@
 //! One injection trial = one data point of Figure 9.
 
 use ble_link::Llid;
+use ble_telemetry::{JsonlSink, MetricsSink, SharedRegistry};
 use injectable::Mission;
 use simkit::Duration;
 
 use crate::rig::{ExperimentRig, RigConfig};
+use crate::telemetry::{TelemetryMode, TrialMetrics};
 
 /// Configuration of a single trial.
 #[derive(Debug, Clone)]
@@ -19,6 +21,8 @@ pub struct TrialConfig {
     pub llid: Llid,
     /// Give up after this much simulated time.
     pub sim_budget: Duration,
+    /// Telemetry capture mode (default: in-memory metrics).
+    pub telemetry: TelemetryMode,
 }
 
 impl TrialConfig {
@@ -30,6 +34,7 @@ impl TrialConfig {
             payload: canonical_write_payload(),
             llid: Llid::StartOrComplete,
             sim_budget: Duration::from_secs(120),
+            telemetry: TelemetryMode::default(),
         }
     }
 }
@@ -78,18 +83,58 @@ pub struct TrialOutcome {
     pub sim_seconds: f64,
     /// Whether the injected command observably reached the application.
     pub effect_observed: bool,
+    /// Telemetry metrics, when the trial ran with a metrics sink.
+    pub metrics: Option<TrialMetrics>,
+}
+
+/// Attaches a metrics sink to the rig and returns the shared registry.
+fn attach_metrics(rig: &mut ExperimentRig) -> SharedRegistry {
+    let sink = MetricsSink::new();
+    let registry = sink.handle();
+    rig.sim.add_telemetry_sink(Box::new(sink));
+    registry
+}
+
+/// Flushes sinks and snapshots the registry into a per-trial metric block.
+fn finish_metrics(
+    rig: &mut ExperimentRig,
+    registry: Option<&SharedRegistry>,
+    sync_wall_s: f64,
+    attack_wall_s: f64,
+) -> Option<TrialMetrics> {
+    rig.sim.flush_telemetry();
+    registry.map(|reg| TrialMetrics::from_registry(&reg.borrow(), sync_wall_s, attack_wall_s))
 }
 
 /// Runs a single trial to its first confirmed injection.
 pub fn run_trial(cfg: &TrialConfig) -> TrialOutcome {
+    let wall_start = std::time::Instant::now();
     let mut rig = ExperimentRig::new(cfg.seed, &cfg.rig);
+    let registry = match &cfg.telemetry {
+        TelemetryMode::Off => None,
+        TelemetryMode::Metrics => Some(attach_metrics(&mut rig)),
+        TelemetryMode::Jsonl(path) => {
+            match JsonlSink::create(path) {
+                Ok(sink) => rig.sim.add_telemetry_sink(Box::new(sink)),
+                Err(err) => eprintln!(
+                    "warning: cannot write JSONL telemetry to {}: {err}",
+                    path.display()
+                ),
+            }
+            Some(attach_metrics(&mut rig))
+        }
+    };
     if !rig.wait_synchronised(Duration::from_secs(30)) {
+        let sync_wall_s = wall_start.elapsed().as_secs_f64();
+        let metrics = finish_metrics(&mut rig, registry.as_ref(), sync_wall_s, 0.0);
         return TrialOutcome {
             attempts: None,
             sim_seconds: rig.sim.now().as_micros_f64() / 1e6,
             effect_observed: false,
+            metrics,
         };
     }
+    let sync_wall_s = wall_start.elapsed().as_secs_f64();
     rig.attacker.borrow_mut().arm(Mission::InjectRaw {
         llid: cfg.llid,
         payload: cfg.payload.clone(),
@@ -121,11 +166,14 @@ pub fn run_trial(cfg: &TrialConfig) -> TrialOutcome {
             rig.central.borrow_mut().ll.request_disconnect(0x13);
         }
     }
+    let attack_wall_s = wall_start.elapsed().as_secs_f64() - sync_wall_s;
+    let metrics = finish_metrics(&mut rig, registry.as_ref(), sync_wall_s, attack_wall_s);
     let effect_observed = rig.bulb.borrow().app.pings > 0;
     TrialOutcome {
         attempts,
         sim_seconds: rig.sim.now().as_micros_f64() / 1e6,
         effect_observed,
+        metrics,
     }
 }
 
@@ -196,6 +244,35 @@ mod tests {
         assert!(out.attempts.is_some(), "trial must succeed: {out:?}");
         assert!(out.attempts.unwrap() <= 50);
         assert!(out.effect_observed, "padded ping must reach the bulb app");
+        // Default mode is Metrics: the trial must carry a metric block with
+        // the attack-phase histograms populated.
+        let metrics = out.metrics.expect("default telemetry mode is Metrics");
+        assert!(metrics.events_total > 0);
+        assert!(metrics.events_per_sec > 0.0);
+        assert!(metrics.sync_wall_s > 0.0);
+        let lead = metrics.lead_time.expect("injection attempts were made");
+        assert!(lead.count() >= 1);
+        let anchor = metrics.anchor_error.expect("anchors were observed");
+        assert!(anchor.count() >= 1);
+    }
+
+    #[test]
+    fn telemetry_off_yields_no_metrics() {
+        let mut cfg = TrialConfig::new(43);
+        cfg.telemetry = crate::telemetry::TelemetryMode::Off;
+        let out = run_trial(&cfg);
+        assert!(out.metrics.is_none());
+    }
+
+    #[test]
+    fn telemetry_mode_does_not_perturb_the_simulation() {
+        let mut off = TrialConfig::new(44);
+        off.telemetry = crate::telemetry::TelemetryMode::Off;
+        let with = TrialConfig::new(44);
+        let a = run_trial(&off);
+        let b = run_trial(&with);
+        assert_eq!(a.attempts, b.attempts, "telemetry must be observation-only");
+        assert_eq!(a.sim_seconds, b.sim_seconds);
     }
 
     #[test]

@@ -25,6 +25,7 @@ use std::collections::VecDeque;
 use ble_crypto::{Direction, LinkCipher, SessionKeyMaterial};
 use ble_invariants::{invariant, lsb8};
 use ble_phy::{AccessFilter, Channel, NodeCtx, RadioEvent, RawFrame, ReceivedFrame, TimerKey};
+use ble_telemetry::{LinkRole, TelemetryEvent};
 use simkit::{Duration, Instant};
 
 use crate::address::DeviceAddress;
@@ -45,6 +46,14 @@ const ADV_CRC_INIT: u32 = ble_phy::ADVERTISING_CRC_INIT;
 
 /// Margin added to receive deadlines to cover radio grace periods.
 const RX_DEADLINE_MARGIN: Duration = Duration::from_micros(20);
+
+/// Maps the Link-Layer role onto the telemetry vocabulary.
+fn link_role(role: Role) -> LinkRole {
+    match role {
+        Role::Master => LinkRole::Master,
+        Role::Slave => LinkRole::Slave,
+    }
+}
 
 /// How long a device listens for a response/continuation frame to *start*
 /// after the inter-frame spacing.
@@ -1056,6 +1065,10 @@ impl LinkLayer {
         });
         self.disarm_all();
         self.state = State::Connected(conn);
+        ctx.emit(|| TelemetryEvent::ConnectionEstablished {
+            access_address: params.access_address.value(),
+            interval: params.interval(),
+        });
         delegate.on_connected(Role::Master, &params, peer);
         // First anchor: at the start of the transmit window.
         let offset = transmit_window_offset(params.win_offset);
@@ -1119,6 +1132,10 @@ impl LinkLayer {
         });
         self.disarm_all();
         self.state = State::Connected(conn);
+        ctx.emit(|| TelemetryEvent::ConnectionEstablished {
+            access_address: params.access_address.value(),
+            interval: params.interval(),
+        });
         delegate.on_connected(Role::Slave, &params, peer);
         self.arm_local(ctx, connect_req_end, offset - w, purpose::CONN_EVENT);
         self.arm_supervision(ctx);
@@ -1231,6 +1248,14 @@ impl LinkLayer {
         let channel = c
             .hop
             .channel_for(c.next_event_counter, &c.params.channel_map);
+        let event_counter = c.next_event_counter;
+        ctx.emit(|| TelemetryEvent::Hop {
+            channel: channel.index(),
+            event_counter,
+        });
+        let State::Connected(c) = &mut self.state else {
+            return;
+        };
         c.current_channel = channel;
         c.in_event = true;
         c.got_sync = false;
@@ -1251,10 +1276,11 @@ impl LinkLayer {
                 c.last_anchor = tx.start;
                 c.next_event_counter = c.next_event_counter.wrapping_add(1);
                 let interval = c.params.interval();
-                ctx.trace(
-                    "anchor",
-                    format!("master event on {channel} at {}", tx.start),
-                );
+                ctx.emit_at(tx.start, || TelemetryEvent::Anchor {
+                    role: LinkRole::Master,
+                    channel: channel.index(),
+                    at: tx.start,
+                });
                 self.arm_local(ctx, tx.start, interval, purpose::CONN_EVENT);
             }
             Role::Slave => {
@@ -1268,11 +1294,13 @@ impl LinkLayer {
                 );
                 // Deadline: the anchor must *start* within the window.
                 let deadline = c.window.widening * 2 + c.window.extra + RX_DEADLINE_MARGIN;
+                let widening = c.window.widening;
                 let now = ctx.now();
-                ctx.trace(
-                    "window-open",
-                    format!("slave window on {channel} at {now} (deadline +{deadline})"),
-                );
+                ctx.emit(|| TelemetryEvent::WindowOpen {
+                    channel: channel.index(),
+                    widening,
+                    deadline,
+                });
                 self.arm_local(ctx, now, deadline, purpose::RX_DEADLINE);
             }
         }
@@ -1454,7 +1482,12 @@ impl LinkLayer {
             c.anchor_set = true;
             c.last_anchor = frame.start;
             c.intervals_since_anchor = 0;
-            ctx.trace("anchor", format!("slave anchor at {}", frame.start));
+            let channel = c.current_channel;
+            ctx.emit_at(frame.start, || TelemetryEvent::Anchor {
+                role: LinkRole::Slave,
+                channel: channel.index(),
+                at: frame.start,
+            });
             self.schedule_next_slave_event(ctx);
         }
         let State::Connected(c) = &mut self.state else {
@@ -1463,10 +1496,10 @@ impl LinkLayer {
 
         if !frame.crc_ok {
             // Spec: close the connection event on CRC failure; no response.
-            ctx.trace(
-                "crc-fail",
-                format!("{} event closed", ctx.label().to_owned()),
-            );
+            let channel = c.current_channel;
+            ctx.emit(|| TelemetryEvent::CrcFail {
+                channel: channel.index(),
+            });
             if ctx.is_receiving() {
                 ctx.stop_rx();
             }
@@ -1494,7 +1527,12 @@ impl LinkLayer {
         }
         c.peer_md = pdu.header.md;
         c.established = true;
-
+        let (role, sn, nesn) = (c.role, c.sn, c.nesn);
+        ctx.emit(|| TelemetryEvent::SnNesn {
+            role: link_role(role),
+            sn,
+            nesn,
+        });
         // Refresh supervision on any valid packet.
         self.arm_supervision(ctx);
         let State::Connected(c) = &mut self.state else {
@@ -1641,10 +1679,8 @@ impl LinkLayer {
         let State::Connected(c) = &mut self.state else {
             return false;
         };
-        ctx.trace(
-            "ll-control",
-            format!("{} received {ctrl:?}", ctx.label().to_owned()),
-        );
+        let opcode = ctrl.opcode();
+        ctx.emit(|| TelemetryEvent::LlControl { opcode });
         match ctrl {
             ControlPdu::TerminateInd { error_code } => {
                 self.teardown(ctx, error_code, delegate);
@@ -1793,10 +1829,7 @@ impl LinkLayer {
         if ctx.is_receiving() {
             ctx.stop_rx();
         }
-        ctx.trace(
-            "disconnect",
-            format!("{} reason 0x{reason:02X}", ctx.label().to_owned()),
-        );
+        ctx.emit(|| TelemetryEvent::ConnectionClosed { reason });
         self.disarm_all();
         self.state = State::Standby;
         delegate.on_disconnected(reason);

@@ -19,6 +19,7 @@ use std::collections::HashMap;
 use std::rc::Rc;
 
 use ble_invariants::invariant;
+use ble_telemetry::{Telemetry, TelemetryEvent, TelemetryRecord, TelemetrySink};
 use simkit::{Duration, EventQueue, Instant, SimRng, Trace};
 
 use crate::channel::Channel;
@@ -102,6 +103,7 @@ pub(crate) struct SimInner {
     next_tx_id: u64,
     rng: SimRng,
     trace: Trace,
+    telemetry: Telemetry,
 }
 
 /// How long finished transmissions are retained for interference accounting
@@ -157,7 +159,64 @@ impl SimInner {
         &mut self.node_state_mut(node).rng
     }
 
-    pub(crate) fn trace_record(&mut self, at: Instant, tag: &'static str, detail: String) {
+    /// Whether any observability consumer (legacy trace or telemetry sink)
+    /// is active. Emit sites bail out on `false` before building events.
+    #[inline]
+    pub(crate) fn telemetry_active(&self) -> bool {
+        self.trace.is_enabled() || self.telemetry.is_enabled()
+    }
+
+    /// Emits a typed event: mirrored into the legacy [`Trace`] (tag +
+    /// rendered detail) when tracing is on, and fanned out to telemetry
+    /// sinks. The closure only runs when a consumer is active, so disabled
+    /// telemetry costs two boolean loads and a branch.
+    pub(crate) fn emit(
+        &mut self,
+        at: Instant,
+        node: Option<NodeId>,
+        build: impl FnOnce() -> TelemetryEvent,
+    ) {
+        let trace_on = self.trace.is_enabled();
+        let telemetry_on = self.telemetry.is_enabled();
+        if !trace_on && !telemetry_on {
+            return;
+        }
+        let event = build();
+        if trace_on {
+            let detail = match node {
+                Some(n) => format!("{} {}", self.node_label(n), event),
+                None => event.to_string(),
+            };
+            self.trace.record(at, event.tag(), detail);
+        }
+        if telemetry_on {
+            let node = node.and_then(|n| u32::try_from(n.0).ok());
+            self.telemetry
+                .emit_record(&TelemetryRecord { at, node, event });
+        }
+    }
+
+    /// Legacy free-form trace entry point ([`NodeCtx::trace`]); forwarded to
+    /// telemetry sinks as a [`TelemetryEvent::Raw`] so JSONL captures keep
+    /// not-yet-migrated call sites.
+    pub(crate) fn trace_record(
+        &mut self,
+        at: Instant,
+        node: Option<NodeId>,
+        tag: &'static str,
+        detail: String,
+    ) {
+        if self.telemetry.is_enabled() {
+            let node = node.and_then(|n| u32::try_from(n.0).ok());
+            self.telemetry.emit_record(&TelemetryRecord {
+                at,
+                node,
+                event: TelemetryEvent::Raw {
+                    tag: tag.to_owned(),
+                    detail: detail.clone(),
+                },
+            });
+        }
         self.trace.record(at, tag, detail);
     }
 
@@ -189,18 +248,14 @@ impl SimInner {
 
         let tx_id = self.next_tx_id;
         self.next_tx_id += 1;
-        self.trace.record(
-            now,
-            "tx-start",
-            format!(
-                "{} {} aa={} len={} end={}",
-                self.node_label(node),
-                channel,
-                frame.access_address,
-                frame.pdu.len(),
-                end
-            ),
-        );
+        let aa = frame.access_address;
+        let pdu_len = u32::try_from(frame.pdu.len()).unwrap_or(u32::MAX);
+        self.emit(now, Some(node), || TelemetryEvent::TxStart {
+            channel: channel.index(),
+            access_address: aa.value(),
+            pdu_len,
+            end,
+        });
         self.txs.insert(
             tx_id,
             ActiveTx {
@@ -340,11 +395,9 @@ impl SimInner {
         };
         self.queue
             .schedule_at(lock_end, SimEvent::RxEnd { node, tx_id });
-        self.trace.record(
-            arrival,
-            "rx-lock",
-            format!("{} {} tx#{}", self.node_label(node), channel, tx_id),
-        );
+        self.emit(arrival, Some(node), || TelemetryEvent::RxLock {
+            channel: channel.index(),
+        });
         true
     }
 
@@ -426,11 +479,9 @@ impl SimInner {
             let rx_phy = self.node_state(node).config.phy;
             let phy_matches = self.txs.get(&tx_id).is_some_and(|tx| tx.phy == rx_phy);
             if steals && matches_filter && phy_matches {
-                self.trace.record(
-                    now,
-                    "relock",
-                    format!("{} re-locks onto stronger frame", self.node_label(node)),
-                );
+                self.emit(now, Some(node), || TelemetryEvent::Relock {
+                    channel: tx_channel.index(),
+                });
                 if self.try_lock(node, tx_id, now, Some(power_dbm)) {
                     return Some(RadioEvent::SyncDetected {
                         channel: tx_channel,
@@ -523,18 +574,19 @@ impl SimInner {
             }
         }
         let crc_ok = survived && rx_crc_init == tx_crc_init;
-        self.trace.record(
-            lock.end,
-            "rx-end",
-            format!(
-                "{} {} aa={} crc_ok={} interferers={}",
-                self.node_label(node),
-                channel,
-                aa,
-                crc_ok,
-                interference.len()
-            ),
-        );
+        let interferers = u32::try_from(interference.len()).unwrap_or(u32::MAX);
+        if !survived {
+            self.emit(lock.end, Some(node), || TelemetryEvent::Collision {
+                channel: channel.index(),
+                interferers,
+            });
+        }
+        self.emit(lock.end, Some(node), || TelemetryEvent::RxEnd {
+            channel: channel.index(),
+            access_address: aa.value(),
+            crc_ok,
+            interferers,
+        });
         Some(ReceivedFrame {
             channel,
             access_address: aa,
@@ -551,6 +603,7 @@ impl SimInner {
         match self.node_state(node).radio {
             RadioState::Tx { until } if until <= now => {
                 self.node_state_mut(node).radio = RadioState::Idle;
+                self.emit(now, Some(node), || TelemetryEvent::TxEnd);
                 Some(RadioEvent::TxDone { at: now })
             }
             _ => None,
@@ -622,6 +675,7 @@ impl Simulation {
                 next_tx_id: 0,
                 rng,
                 trace: Trace::disabled(),
+                telemetry: Telemetry::default(),
             },
             listeners: Vec::new(),
         }
@@ -635,6 +689,34 @@ impl Simulation {
     /// The collected trace.
     pub fn trace(&self) -> &Trace {
         &self.inner.trace
+    }
+
+    /// Attaches a telemetry sink. [`ble_telemetry::TelemetryEvent::NodeAdded`]
+    /// records for nodes that joined *before* attachment are replayed into
+    /// the sink first, so every sink can map node indices to labels.
+    pub fn add_telemetry_sink(&mut self, mut sink: Box<dyn TelemetrySink>) {
+        let now = self.inner.now();
+        for (idx, state) in self.inner.nodes.iter().enumerate() {
+            sink.emit(&TelemetryRecord {
+                at: now,
+                node: u32::try_from(idx).ok(),
+                event: TelemetryEvent::NodeAdded {
+                    label: state.config.label.clone(),
+                },
+            });
+        }
+        self.inner.telemetry.add_sink(sink);
+    }
+
+    /// Whether any telemetry sink is attached.
+    pub fn telemetry_enabled(&self) -> bool {
+        self.inner.telemetry.is_enabled()
+    }
+
+    /// Flushes every attached telemetry sink (call at end of run before
+    /// reading artefacts).
+    pub fn flush_telemetry(&mut self) {
+        self.inner.telemetry.flush();
     }
 
     /// Current simulation time.
@@ -660,12 +742,16 @@ impl Simulation {
     ) -> NodeId {
         let rng = self.inner.rng.fork();
         let id = NodeId(self.inner.nodes.len());
+        let label = config.label.clone();
         self.inner.nodes.push(NodeState {
             config,
             rng,
             radio: RadioState::Idle,
         });
         self.listeners.push(listener);
+        let now = self.inner.now();
+        self.inner
+            .emit(now, Some(id), || TelemetryEvent::NodeAdded { label });
         id
     }
 

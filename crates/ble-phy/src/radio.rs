@@ -248,10 +248,36 @@ impl<'a> NodeCtx<'a> {
         self.sim.cancel_timer(handle);
     }
 
-    /// Appends a record to the simulation trace.
+    /// Appends a record to the simulation trace. Legacy free-form entry
+    /// point: the record is also forwarded to telemetry sinks as a
+    /// [`ble_telemetry::TelemetryEvent::Raw`]. Prefer [`NodeCtx::emit`] with
+    /// a typed event for new instrumentation.
     pub fn trace(&mut self, tag: &'static str, detail: String) {
         let now = self.now();
-        self.sim.trace_record(now, tag, detail);
+        self.sim.trace_record(now, Some(self.node), tag, detail);
+    }
+
+    /// Whether any observability consumer (trace or telemetry sink) is
+    /// active. Lets callers skip *computing* inputs for an emit when nobody
+    /// is listening; the emit itself is already lazily built.
+    #[inline]
+    pub fn telemetry_active(&self) -> bool {
+        self.sim.telemetry_active()
+    }
+
+    /// Emits a typed telemetry event attributed to this node, timestamped
+    /// *now*. The closure only runs when tracing or a sink is active.
+    #[inline]
+    pub fn emit(&mut self, build: impl FnOnce() -> ble_telemetry::TelemetryEvent) {
+        let now = self.now();
+        self.sim.emit(now, Some(self.node), build);
+    }
+
+    /// Emits a typed telemetry event at an explicit timestamp (e.g. a
+    /// received frame's on-air start rather than its processing time).
+    #[inline]
+    pub fn emit_at(&mut self, at: Instant, build: impl FnOnce() -> ble_telemetry::TelemetryEvent) {
+        self.sim.emit(at, Some(self.node), build);
     }
 }
 

@@ -1,0 +1,500 @@
+//! The typed telemetry vocabulary.
+//!
+//! Every observable moment in the stack — PHY activity, Link-Layer timing,
+//! attacker decisions, detector alerts — is one [`TelemetryEvent`] variant.
+//! The enum is deliberately flat and field-poor: events are emitted on hot
+//! paths, so variants carry `Copy`-able scalars wherever possible and only
+//! allocate for genuinely textual payloads ([`TelemetryEvent::Raw`] and
+//! [`TelemetryEvent::NodeAdded`]).
+//!
+//! `TelemetryEvent` is covered by the xtask R4 exhaustive-match rule: code
+//! matching on it must not use a `_` wildcard arm, so adding a variant here
+//! is a compile-time-visible change at every consumer (see DEVELOPMENT.md,
+//! "Telemetry & metrics").
+
+use std::fmt;
+
+use simkit::{Duration, Instant};
+
+/// Which side of the connection an event belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LinkRole {
+    /// The connection initiator (the paper's Central/Master).
+    Master,
+    /// The connection acceptor (the paper's Peripheral/Slave).
+    Slave,
+}
+
+impl LinkRole {
+    /// Stable wire name, used by the JSONL codec.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            LinkRole::Master => "master",
+            LinkRole::Slave => "slave",
+        }
+    }
+
+    /// Inverse of [`LinkRole::as_str`].
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "master" => Some(LinkRole::Master),
+            "slave" => Some(LinkRole::Slave),
+            _ => None,
+        }
+    }
+}
+
+/// Outcome of the paper's eq. 7 success heuristic for one attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Verdict {
+    /// Response timing and SN/NESN both matched: injection won the race.
+    Success,
+    /// A response arrived but failed the timing or sequence-bit check.
+    Rejected,
+    /// No slave response observed inside the listen window.
+    NoResponse,
+}
+
+impl Verdict {
+    /// Stable wire name, used by the JSONL codec.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Verdict::Success => "success",
+            Verdict::Rejected => "rejected",
+            Verdict::NoResponse => "no-response",
+        }
+    }
+
+    /// Inverse of [`Verdict::as_str`].
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "success" => Some(Verdict::Success),
+            "rejected" => Some(Verdict::Rejected),
+            "no-response" => Some(Verdict::NoResponse),
+            _ => None,
+        }
+    }
+}
+
+/// Category of a §VIII injection-detector alert.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AlertKind {
+    /// A master anchor arrived earlier than the connection history allows.
+    EarlyAnchor,
+    /// Two master-side anchors inside one connection event.
+    DoubleAnchor,
+    /// Slave response timing inconsistent with the observed master frame.
+    ResponseTimingMismatch,
+}
+
+impl AlertKind {
+    /// Stable wire name, used by the JSONL codec.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            AlertKind::EarlyAnchor => "early-anchor",
+            AlertKind::DoubleAnchor => "double-anchor",
+            AlertKind::ResponseTimingMismatch => "response-timing",
+        }
+    }
+
+    /// Inverse of [`AlertKind::as_str`].
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "early-anchor" => Some(AlertKind::EarlyAnchor),
+            "double-anchor" => Some(AlertKind::DoubleAnchor),
+            "response-timing" => Some(AlertKind::ResponseTimingMismatch),
+            _ => None,
+        }
+    }
+}
+
+/// Why the attacker's sniffer stopped following a connection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LossReason {
+    /// A LL_TERMINATE_IND was observed.
+    Terminated,
+    /// Too many consecutive connection events went silent.
+    MissedEvents,
+    /// The connection died while an injection campaign was in flight.
+    DuringInjection,
+}
+
+impl LossReason {
+    /// Stable wire name, used by the JSONL codec.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            LossReason::Terminated => "terminated",
+            LossReason::MissedEvents => "missed-events",
+            LossReason::DuringInjection => "during-injection",
+        }
+    }
+
+    /// Inverse of [`LossReason::as_str`].
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "terminated" => Some(LossReason::Terminated),
+            "missed-events" => Some(LossReason::MissedEvents),
+            "during-injection" => Some(LossReason::DuringInjection),
+            _ => None,
+        }
+    }
+}
+
+/// One typed telemetry event.
+///
+/// Variants group by layer: simulation meta, PHY, Link Layer, attacker,
+/// detector. The legacy [`simkit::Trace`] tags are preserved by
+/// [`TelemetryEvent::tag`] so trace-based tooling keeps working.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TelemetryEvent {
+    // --- simulation meta ---------------------------------------------------
+    /// A node joined the simulation. Emitted (or replayed) so sinks can map
+    /// record node indices back to human labels.
+    NodeAdded {
+        /// The node's configured label, e.g. `"bulb"` or `"attacker"`.
+        label: String,
+    },
+
+    // --- PHY ---------------------------------------------------------------
+    /// A transmission started on the medium.
+    TxStart {
+        /// Data/advertising channel index (0–39).
+        channel: u8,
+        /// Access address the frame is sent under.
+        access_address: u32,
+        /// PDU length in bytes (header + payload).
+        pdu_len: u32,
+        /// When the last bit leaves the antenna.
+        end: Instant,
+    },
+    /// A transmission finished (same node as the preceding `TxStart`).
+    TxEnd,
+    /// A receiver locked onto a preamble (first-lock-wins).
+    RxLock {
+        /// Channel the receiver locked on.
+        channel: u8,
+    },
+    /// A receiver abandoned its lock for a stronger late arrival (capture
+    /// effect).
+    Relock {
+        /// Channel involved.
+        channel: u8,
+    },
+    /// A reception completed and was delivered to the node.
+    RxEnd {
+        /// Channel received on.
+        channel: u8,
+        /// Access address of the received frame.
+        access_address: u32,
+        /// Whether the CRC check passed.
+        crc_ok: bool,
+        /// Number of overlapping transmissions during the reception.
+        interferers: u32,
+    },
+    /// Overlapping transmissions corrupted a reception (collision that the
+    /// capture effect did not resolve).
+    Collision {
+        /// Channel on which the collision happened.
+        channel: u8,
+        /// Number of interfering transmissions.
+        interferers: u32,
+    },
+
+    // --- Link Layer --------------------------------------------------------
+    /// A connection-event anchor point: the master's first transmission of
+    /// the event, or the slave's reception of it.
+    Anchor {
+        /// Whose anchor this is.
+        role: LinkRole,
+        /// Channel of the connection event.
+        channel: u8,
+        /// The anchor instant (frame start on air).
+        at: Instant,
+    },
+    /// The slave opened its widened receive window (paper eq. 5).
+    WindowOpen {
+        /// Channel being listened on.
+        channel: u8,
+        /// The widening applied on each side of the expected anchor.
+        widening: Duration,
+        /// How long the slave will listen before declaring the event missed.
+        deadline: Duration,
+    },
+    /// Channel-selection hop for the next connection event.
+    Hop {
+        /// The unmapped→mapped channel chosen by CSA#1.
+        channel: u8,
+        /// The connection event counter the hop is for.
+        event_counter: u16,
+    },
+    /// Sequence-bit state after processing a received data PDU.
+    SnNesn {
+        /// Whose state this is.
+        role: LinkRole,
+        /// Current sequence number bit.
+        sn: bool,
+        /// Current next-expected-sequence-number bit.
+        nesn: bool,
+    },
+    /// A CRC failure at the Link Layer (frame dropped before processing).
+    CrcFail {
+        /// Channel on which the bad frame arrived.
+        channel: u8,
+    },
+    /// An LL Control PDU was processed.
+    LlControl {
+        /// The control opcode (e.g. `0x02` LL_TERMINATE_IND).
+        opcode: u8,
+    },
+    /// A connection reached the established state (CONNECT_IND accepted).
+    ConnectionEstablished {
+        /// The connection's access address.
+        access_address: u32,
+        /// The negotiated connection interval.
+        interval: Duration,
+    },
+    /// A connection closed.
+    ConnectionClosed {
+        /// Spec error code (e.g. `0x08` connection timeout).
+        reason: u8,
+    },
+
+    // --- attacker ----------------------------------------------------------
+    /// The attacker's sniffer synchronised onto a connection.
+    SnifferSync {
+        /// Access address of the followed connection.
+        access_address: u32,
+    },
+    /// The attacker's sniffer lost the connection.
+    SnifferLost {
+        /// Why it was lost.
+        reason: LossReason,
+    },
+    /// An injection attempt was fired.
+    InjectionAttempt {
+        /// Channel injected on.
+        channel: u8,
+        /// Lead time: how far before the legitimate anchor's expected window
+        /// start the injected frame begins (larger = safer race win).
+        lead: Duration,
+    },
+    /// The eq. 7 heuristic classified a finished attempt.
+    HeuristicVerdict {
+        /// The verdict.
+        verdict: Verdict,
+        /// Total attempts so far in this campaign (this one included).
+        attempts_total: u64,
+    },
+    /// Anchor-prediction quality: signed error between the attacker's
+    /// predicted master anchor and the observed one, in microseconds.
+    AnchorPrediction {
+        /// `observed − predicted`, µs (negative = anchor came early).
+        error_us: f64,
+    },
+    /// Inter-frame-spacing delta: observed slave response start minus the
+    /// eq. 7 expected start (`t_a + d_a + 150 µs`), in microseconds.
+    IfsDelta {
+        /// Signed delta, µs.
+        delta_us: f64,
+    },
+    /// The attacker hijacked a connection role (§VII MiTM/takeover).
+    Takeover {
+        /// The role that was usurped.
+        role: LinkRole,
+    },
+
+    // --- detector ----------------------------------------------------------
+    /// The §VIII IDS raised an alert.
+    DetectorAlert {
+        /// Alert category.
+        kind: AlertKind,
+        /// The timing anomaly magnitude in microseconds, where applicable
+        /// (0 for purely structural alerts).
+        magnitude_us: f64,
+    },
+
+    // --- escape hatch ------------------------------------------------------
+    /// A legacy free-form trace record forwarded through the typed bus.
+    /// New instrumentation should add a variant instead of using this.
+    Raw {
+        /// Legacy trace tag.
+        tag: String,
+        /// Free-form detail text.
+        detail: String,
+    },
+}
+
+impl TelemetryEvent {
+    /// The legacy [`simkit::Trace`] tag for this event, used when mirroring
+    /// typed events into a `Trace` and as the JSONL `kind` field.
+    pub fn tag(&self) -> &'static str {
+        match self {
+            TelemetryEvent::NodeAdded { .. } => "node",
+            TelemetryEvent::TxStart { .. } => "tx-start",
+            TelemetryEvent::TxEnd => "tx-end",
+            TelemetryEvent::RxLock { .. } => "rx-lock",
+            TelemetryEvent::Relock { .. } => "relock",
+            TelemetryEvent::RxEnd { .. } => "rx-end",
+            TelemetryEvent::Collision { .. } => "collision",
+            TelemetryEvent::Anchor { .. } => "anchor",
+            TelemetryEvent::WindowOpen { .. } => "window-open",
+            TelemetryEvent::Hop { .. } => "hop",
+            TelemetryEvent::SnNesn { .. } => "sn-nesn",
+            TelemetryEvent::CrcFail { .. } => "crc-fail",
+            TelemetryEvent::LlControl { .. } => "ll-control",
+            TelemetryEvent::ConnectionEstablished { .. } => "connected",
+            TelemetryEvent::ConnectionClosed { .. } => "disconnect",
+            TelemetryEvent::SnifferSync { .. } => "sniff-sync",
+            TelemetryEvent::SnifferLost { .. } => "sniff-lost",
+            TelemetryEvent::InjectionAttempt { .. } => "inject",
+            TelemetryEvent::HeuristicVerdict { .. } => "inject-outcome",
+            TelemetryEvent::AnchorPrediction { .. } => "anchor-error",
+            TelemetryEvent::IfsDelta { .. } => "ifs-delta",
+            TelemetryEvent::Takeover { .. } => "takeover",
+            TelemetryEvent::DetectorAlert { .. } => "alert",
+            TelemetryEvent::Raw { .. } => "raw",
+        }
+    }
+}
+
+impl fmt::Display for TelemetryEvent {
+    /// Human-readable detail text, also used as the `Trace` mirror detail.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TelemetryEvent::NodeAdded { label } => write!(f, "node '{label}' added"),
+            TelemetryEvent::TxStart {
+                channel,
+                access_address,
+                pdu_len,
+                end,
+            } => write!(
+                f,
+                "ch={channel} aa={access_address:#010x} len={pdu_len} end={end}"
+            ),
+            TelemetryEvent::TxEnd => write!(f, "tx complete"),
+            TelemetryEvent::RxLock { channel } => write!(f, "locked ch={channel}"),
+            TelemetryEvent::Relock { channel } => {
+                write!(f, "capture relock ch={channel}")
+            }
+            TelemetryEvent::RxEnd {
+                channel,
+                access_address,
+                crc_ok,
+                interferers,
+            } => write!(
+                f,
+                "ch={channel} aa={access_address:#010x} crc_ok={crc_ok} interferers={interferers}"
+            ),
+            TelemetryEvent::Collision {
+                channel,
+                interferers,
+            } => write!(f, "ch={channel} interferers={interferers}"),
+            TelemetryEvent::Anchor { role, channel, at } => {
+                write!(f, "{} anchor ch={channel} at={at}", role.as_str())
+            }
+            TelemetryEvent::WindowOpen {
+                channel,
+                widening,
+                deadline,
+            } => write!(f, "ch={channel} widening={widening} deadline={deadline}"),
+            TelemetryEvent::Hop {
+                channel,
+                event_counter,
+            } => write!(f, "ch={channel} event={event_counter}"),
+            TelemetryEvent::SnNesn { role, sn, nesn } => {
+                write!(f, "{} sn={} nesn={}", role.as_str(), sn, nesn)
+            }
+            TelemetryEvent::CrcFail { channel } => write!(f, "ch={channel}"),
+            TelemetryEvent::LlControl { opcode } => write!(f, "opcode={opcode:#04x}"),
+            TelemetryEvent::ConnectionEstablished {
+                access_address,
+                interval,
+            } => write!(f, "aa={access_address:#010x} interval={interval}"),
+            TelemetryEvent::ConnectionClosed { reason } => {
+                write!(f, "reason={reason:#04x}")
+            }
+            TelemetryEvent::SnifferSync { access_address } => {
+                write!(f, "following aa={access_address:#010x}")
+            }
+            TelemetryEvent::SnifferLost { reason } => {
+                write!(f, "lost: {}", reason.as_str())
+            }
+            TelemetryEvent::InjectionAttempt { channel, lead } => {
+                write!(f, "ch={channel} lead={lead}")
+            }
+            TelemetryEvent::HeuristicVerdict {
+                verdict,
+                attempts_total,
+            } => write!(f, "{} (attempt #{attempts_total})", verdict.as_str()),
+            TelemetryEvent::AnchorPrediction { error_us } => {
+                write!(f, "error={error_us:+.3}µs")
+            }
+            TelemetryEvent::IfsDelta { delta_us } => write!(f, "delta={delta_us:+.3}µs"),
+            TelemetryEvent::Takeover { role } => {
+                write!(f, "usurped {}", role.as_str())
+            }
+            TelemetryEvent::DetectorAlert { kind, magnitude_us } => {
+                write!(f, "{} magnitude={magnitude_us:.3}µs", kind.as_str())
+            }
+            TelemetryEvent::Raw { tag, detail } => write!(f, "[{tag}] {detail}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wire_names_round_trip() {
+        for role in [LinkRole::Master, LinkRole::Slave] {
+            assert_eq!(LinkRole::parse(role.as_str()), Some(role));
+        }
+        for v in [Verdict::Success, Verdict::Rejected, Verdict::NoResponse] {
+            assert_eq!(Verdict::parse(v.as_str()), Some(v));
+        }
+        for k in [
+            AlertKind::EarlyAnchor,
+            AlertKind::DoubleAnchor,
+            AlertKind::ResponseTimingMismatch,
+        ] {
+            assert_eq!(AlertKind::parse(k.as_str()), Some(k));
+        }
+        for r in [
+            LossReason::Terminated,
+            LossReason::MissedEvents,
+            LossReason::DuringInjection,
+        ] {
+            assert_eq!(LossReason::parse(r.as_str()), Some(r));
+        }
+        assert_eq!(LinkRole::parse("nonsense"), None);
+    }
+
+    #[test]
+    fn tags_match_legacy_trace_vocabulary() {
+        let anchor = TelemetryEvent::Anchor {
+            role: LinkRole::Master,
+            channel: 12,
+            at: Instant::from_micros(100),
+        };
+        assert_eq!(anchor.tag(), "anchor");
+        let inject = TelemetryEvent::InjectionAttempt {
+            channel: 3,
+            lead: Duration::from_micros(40),
+        };
+        assert_eq!(inject.tag(), "inject");
+        assert_eq!(TelemetryEvent::TxEnd.tag(), "tx-end");
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let e = TelemetryEvent::WindowOpen {
+            channel: 7,
+            widening: Duration::from_micros(32),
+            deadline: Duration::from_micros(1000),
+        };
+        let s = format!("{e}");
+        assert!(s.contains("ch=7"), "{s}");
+        assert!(s.contains("widening"), "{s}");
+    }
+}

@@ -1,0 +1,725 @@
+//! JSONL (one JSON object per line) sink and codec.
+//!
+//! The workspace's vendored `serde` is a compile-only shim, so the codec
+//! here is hand-rolled and deliberately flat: every record encodes to a
+//! single-level JSON object with scalar fields. Times are integer
+//! nanoseconds (exact round-trip); floating-point fields use Rust's
+//! shortest-round-trip `Display`, so [`parse_line`] is an exact inverse of
+//! [`to_line`] for every event the stack emits.
+
+use std::fmt::Write as _;
+use std::fs;
+use std::io::{self, Write};
+use std::iter::Peekable;
+use std::path::Path;
+use std::str::Chars;
+
+use simkit::{Duration, Instant};
+
+use crate::event::{AlertKind, LinkRole, LossReason, TelemetryEvent, Verdict};
+use crate::sink::{TelemetryRecord, TelemetrySink};
+
+// ---------------------------------------------------------------------
+// encoding
+// ---------------------------------------------------------------------
+
+fn push_escaped(out: &mut String, s: &str) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if u32::from(c) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", u32::from(c));
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+fn push_str_field(out: &mut String, key: &str, value: &str) {
+    let _ = write!(out, ",\"{key}\":\"");
+    push_escaped(out, value);
+    out.push('"');
+}
+
+/// Encodes one record as a single JSON line (no trailing newline).
+pub fn to_line(record: &TelemetryRecord) -> String {
+    let mut s = String::with_capacity(96);
+    let _ = write!(s, "{{\"t_ns\":{}", record.at.as_nanos());
+    if let Some(node) = record.node {
+        let _ = write!(s, ",\"node\":{node}");
+    }
+    let _ = write!(s, ",\"kind\":\"{}\"", record.event.tag());
+    match &record.event {
+        TelemetryEvent::NodeAdded { label } => push_str_field(&mut s, "label", label),
+        TelemetryEvent::TxStart {
+            channel,
+            access_address,
+            pdu_len,
+            end,
+        } => {
+            let _ = write!(
+                s,
+                ",\"ch\":{channel},\"aa\":{access_address},\"len\":{pdu_len},\"end_ns\":{}",
+                end.as_nanos()
+            );
+        }
+        TelemetryEvent::TxEnd => {}
+        TelemetryEvent::RxLock { channel } | TelemetryEvent::Relock { channel } => {
+            let _ = write!(s, ",\"ch\":{channel}");
+        }
+        TelemetryEvent::RxEnd {
+            channel,
+            access_address,
+            crc_ok,
+            interferers,
+        } => {
+            let _ = write!(
+                s,
+                ",\"ch\":{channel},\"aa\":{access_address},\"crc_ok\":{crc_ok},\"interferers\":{interferers}"
+            );
+        }
+        TelemetryEvent::Collision {
+            channel,
+            interferers,
+        } => {
+            let _ = write!(s, ",\"ch\":{channel},\"interferers\":{interferers}");
+        }
+        TelemetryEvent::Anchor { role, channel, at } => {
+            let _ = write!(
+                s,
+                ",\"role\":\"{}\",\"ch\":{channel},\"at_ns\":{}",
+                role.as_str(),
+                at.as_nanos()
+            );
+        }
+        TelemetryEvent::WindowOpen {
+            channel,
+            widening,
+            deadline,
+        } => {
+            let _ = write!(
+                s,
+                ",\"ch\":{channel},\"widening_ns\":{},\"deadline_ns\":{}",
+                widening.as_nanos(),
+                deadline.as_nanos()
+            );
+        }
+        TelemetryEvent::Hop {
+            channel,
+            event_counter,
+        } => {
+            let _ = write!(s, ",\"ch\":{channel},\"ev\":{event_counter}");
+        }
+        TelemetryEvent::SnNesn { role, sn, nesn } => {
+            let _ = write!(
+                s,
+                ",\"role\":\"{}\",\"sn\":{sn},\"nesn\":{nesn}",
+                role.as_str()
+            );
+        }
+        TelemetryEvent::CrcFail { channel } => {
+            let _ = write!(s, ",\"ch\":{channel}");
+        }
+        TelemetryEvent::LlControl { opcode } => {
+            let _ = write!(s, ",\"opcode\":{opcode}");
+        }
+        TelemetryEvent::ConnectionEstablished {
+            access_address,
+            interval,
+        } => {
+            let _ = write!(
+                s,
+                ",\"aa\":{access_address},\"interval_ns\":{}",
+                interval.as_nanos()
+            );
+        }
+        TelemetryEvent::ConnectionClosed { reason } => {
+            let _ = write!(s, ",\"reason\":{reason}");
+        }
+        TelemetryEvent::SnifferSync { access_address } => {
+            let _ = write!(s, ",\"aa\":{access_address}");
+        }
+        TelemetryEvent::SnifferLost { reason } => {
+            let _ = write!(s, ",\"reason\":\"{}\"", reason.as_str());
+        }
+        TelemetryEvent::InjectionAttempt { channel, lead } => {
+            let _ = write!(s, ",\"ch\":{channel},\"lead_ns\":{}", lead.as_nanos());
+        }
+        TelemetryEvent::HeuristicVerdict {
+            verdict,
+            attempts_total,
+        } => {
+            let _ = write!(
+                s,
+                ",\"verdict\":\"{}\",\"total\":{attempts_total}",
+                verdict.as_str()
+            );
+        }
+        TelemetryEvent::AnchorPrediction { error_us } => {
+            let _ = write!(s, ",\"error_us\":{error_us}");
+        }
+        TelemetryEvent::IfsDelta { delta_us } => {
+            let _ = write!(s, ",\"delta_us\":{delta_us}");
+        }
+        TelemetryEvent::Takeover { role } => {
+            let _ = write!(s, ",\"role\":\"{}\"", role.as_str());
+        }
+        TelemetryEvent::DetectorAlert { kind, magnitude_us } => {
+            let _ = write!(
+                s,
+                ",\"alert\":\"{}\",\"magnitude_us\":{magnitude_us}",
+                kind.as_str()
+            );
+        }
+        TelemetryEvent::Raw { tag, detail } => {
+            push_str_field(&mut s, "tag", tag);
+            push_str_field(&mut s, "detail", detail);
+        }
+    }
+    s.push('}');
+    s
+}
+
+// ---------------------------------------------------------------------
+// decoding (minimal flat-object JSON parser)
+// ---------------------------------------------------------------------
+
+#[derive(Debug, Clone, PartialEq)]
+enum Field {
+    Str(String),
+    Num(String),
+    Bool(bool),
+}
+
+struct Cursor<'a> {
+    it: Peekable<Chars<'a>>,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(s: &'a str) -> Self {
+        Cursor {
+            it: s.chars().peekable(),
+        }
+    }
+
+    fn skip_ws(&mut self) {
+        while self.it.peek().is_some_and(|c| c.is_ascii_whitespace()) {
+            self.it.next();
+        }
+    }
+
+    fn eat(&mut self, want: char) -> bool {
+        self.skip_ws();
+        if self.it.peek() == Some(&want) {
+            self.it.next();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn parse_string(&mut self) -> Option<String> {
+        if !self.eat('"') {
+            return None;
+        }
+        let mut out = String::new();
+        loop {
+            match self.it.next()? {
+                '"' => return Some(out),
+                '\\' => match self.it.next()? {
+                    '"' => out.push('"'),
+                    '\\' => out.push('\\'),
+                    '/' => out.push('/'),
+                    'n' => out.push('\n'),
+                    'r' => out.push('\r'),
+                    't' => out.push('\t'),
+                    'u' => {
+                        let mut hex = String::new();
+                        for _ in 0..4 {
+                            hex.push(self.it.next()?);
+                        }
+                        let code = u32::from_str_radix(&hex, 16).ok()?;
+                        out.push(char::from_u32(code)?);
+                    }
+                    _ => return None,
+                },
+                c => out.push(c),
+            }
+        }
+    }
+
+    fn parse_value(&mut self) -> Option<Field> {
+        self.skip_ws();
+        match self.it.peek()? {
+            '"' => self.parse_string().map(Field::Str),
+            't' | 'f' => {
+                let mut word = String::new();
+                while self.it.peek().is_some_and(|c| c.is_ascii_alphabetic()) {
+                    word.extend(self.it.next());
+                }
+                match word.as_str() {
+                    "true" => Some(Field::Bool(true)),
+                    "false" => Some(Field::Bool(false)),
+                    _ => None,
+                }
+            }
+            _ => {
+                let mut num = String::new();
+                while self
+                    .it
+                    .peek()
+                    .is_some_and(|c| c.is_ascii_digit() || matches!(c, '-' | '+' | '.' | 'e' | 'E'))
+                {
+                    num.extend(self.it.next());
+                }
+                if num.is_empty() {
+                    None
+                } else {
+                    Some(Field::Num(num))
+                }
+            }
+        }
+    }
+}
+
+fn parse_object(line: &str) -> Option<Vec<(String, Field)>> {
+    let mut cur = Cursor::new(line);
+    if !cur.eat('{') {
+        return None;
+    }
+    let mut fields = Vec::new();
+    if cur.eat('}') {
+        return Some(fields);
+    }
+    loop {
+        cur.skip_ws();
+        let key = cur.parse_string()?;
+        if !cur.eat(':') {
+            return None;
+        }
+        let value = cur.parse_value()?;
+        fields.push((key, value));
+        if cur.eat(',') {
+            continue;
+        }
+        if cur.eat('}') {
+            return Some(fields);
+        }
+        return None;
+    }
+}
+
+fn get<'a>(fields: &'a [(String, Field)], key: &str) -> Option<&'a Field> {
+    fields.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+}
+
+fn get_str<'a>(fields: &'a [(String, Field)], key: &str) -> Option<&'a str> {
+    match get(fields, key)? {
+        Field::Str(s) => Some(s),
+        Field::Num(_) | Field::Bool(_) => None,
+    }
+}
+
+fn get_num<T: std::str::FromStr>(fields: &[(String, Field)], key: &str) -> Option<T> {
+    match get(fields, key)? {
+        Field::Num(n) => n.parse().ok(),
+        Field::Str(_) | Field::Bool(_) => None,
+    }
+}
+
+fn get_bool(fields: &[(String, Field)], key: &str) -> Option<bool> {
+    match get(fields, key)? {
+        Field::Bool(b) => Some(*b),
+        Field::Str(_) | Field::Num(_) => None,
+    }
+}
+
+/// Decodes one JSONL line back into a record. Exact inverse of [`to_line`];
+/// returns `None` on malformed input or an unknown `kind`.
+pub fn parse_line(line: &str) -> Option<TelemetryRecord> {
+    let fields = parse_object(line)?;
+    let at = Instant::from_nanos(get_num(&fields, "t_ns")?);
+    let node: Option<u32> = get_num(&fields, "node");
+    let kind = get_str(&fields, "kind")?;
+    let event = match kind {
+        "node" => TelemetryEvent::NodeAdded {
+            label: get_str(&fields, "label")?.to_owned(),
+        },
+        "tx-start" => TelemetryEvent::TxStart {
+            channel: get_num(&fields, "ch")?,
+            access_address: get_num(&fields, "aa")?,
+            pdu_len: get_num(&fields, "len")?,
+            end: Instant::from_nanos(get_num(&fields, "end_ns")?),
+        },
+        "tx-end" => TelemetryEvent::TxEnd,
+        "rx-lock" => TelemetryEvent::RxLock {
+            channel: get_num(&fields, "ch")?,
+        },
+        "relock" => TelemetryEvent::Relock {
+            channel: get_num(&fields, "ch")?,
+        },
+        "rx-end" => TelemetryEvent::RxEnd {
+            channel: get_num(&fields, "ch")?,
+            access_address: get_num(&fields, "aa")?,
+            crc_ok: get_bool(&fields, "crc_ok")?,
+            interferers: get_num(&fields, "interferers")?,
+        },
+        "collision" => TelemetryEvent::Collision {
+            channel: get_num(&fields, "ch")?,
+            interferers: get_num(&fields, "interferers")?,
+        },
+        "anchor" => TelemetryEvent::Anchor {
+            role: LinkRole::parse(get_str(&fields, "role")?)?,
+            channel: get_num(&fields, "ch")?,
+            at: Instant::from_nanos(get_num(&fields, "at_ns")?),
+        },
+        "window-open" => TelemetryEvent::WindowOpen {
+            channel: get_num(&fields, "ch")?,
+            widening: Duration::from_nanos(get_num(&fields, "widening_ns")?),
+            deadline: Duration::from_nanos(get_num(&fields, "deadline_ns")?),
+        },
+        "hop" => TelemetryEvent::Hop {
+            channel: get_num(&fields, "ch")?,
+            event_counter: get_num(&fields, "ev")?,
+        },
+        "sn-nesn" => TelemetryEvent::SnNesn {
+            role: LinkRole::parse(get_str(&fields, "role")?)?,
+            sn: get_bool(&fields, "sn")?,
+            nesn: get_bool(&fields, "nesn")?,
+        },
+        "crc-fail" => TelemetryEvent::CrcFail {
+            channel: get_num(&fields, "ch")?,
+        },
+        "ll-control" => TelemetryEvent::LlControl {
+            opcode: get_num(&fields, "opcode")?,
+        },
+        "connected" => TelemetryEvent::ConnectionEstablished {
+            access_address: get_num(&fields, "aa")?,
+            interval: Duration::from_nanos(get_num(&fields, "interval_ns")?),
+        },
+        "disconnect" => TelemetryEvent::ConnectionClosed {
+            reason: get_num(&fields, "reason")?,
+        },
+        "sniff-sync" => TelemetryEvent::SnifferSync {
+            access_address: get_num(&fields, "aa")?,
+        },
+        "sniff-lost" => TelemetryEvent::SnifferLost {
+            reason: LossReason::parse(get_str(&fields, "reason")?)?,
+        },
+        "inject" => TelemetryEvent::InjectionAttempt {
+            channel: get_num(&fields, "ch")?,
+            lead: Duration::from_nanos(get_num(&fields, "lead_ns")?),
+        },
+        "inject-outcome" => TelemetryEvent::HeuristicVerdict {
+            verdict: Verdict::parse(get_str(&fields, "verdict")?)?,
+            attempts_total: get_num(&fields, "total")?,
+        },
+        "anchor-error" => TelemetryEvent::AnchorPrediction {
+            error_us: get_num(&fields, "error_us")?,
+        },
+        "ifs-delta" => TelemetryEvent::IfsDelta {
+            delta_us: get_num(&fields, "delta_us")?,
+        },
+        "takeover" => TelemetryEvent::Takeover {
+            role: LinkRole::parse(get_str(&fields, "role")?)?,
+        },
+        "alert" => TelemetryEvent::DetectorAlert {
+            kind: AlertKind::parse(get_str(&fields, "alert")?)?,
+            magnitude_us: get_num(&fields, "magnitude_us")?,
+        },
+        "raw" => TelemetryEvent::Raw {
+            tag: get_str(&fields, "tag")?.to_owned(),
+            detail: get_str(&fields, "detail")?.to_owned(),
+        },
+        _ => return None,
+    };
+    Some(TelemetryRecord { at, node, event })
+}
+
+// ---------------------------------------------------------------------
+// the sink
+// ---------------------------------------------------------------------
+
+/// Streams records as JSON lines to any [`io::Write`].
+///
+/// Write errors are sticky: after the first failure the sink goes quiet
+/// rather than panicking on the simulation hot path (check
+/// [`JsonlSink::is_failed`] after the run).
+pub struct JsonlSink {
+    out: Box<dyn Write>,
+    lines: u64,
+    failed: bool,
+}
+
+impl std::fmt::Debug for JsonlSink {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("JsonlSink")
+            .field("lines", &self.lines)
+            .field("failed", &self.failed)
+            .finish()
+    }
+}
+
+impl JsonlSink {
+    /// Creates (truncates) the file at `path`, creating parent directories
+    /// as needed, and buffers writes to it.
+    pub fn create(path: impl AsRef<Path>) -> io::Result<Self> {
+        let path = path.as_ref();
+        if let Some(parent) = path.parent() {
+            if !parent.as_os_str().is_empty() {
+                fs::create_dir_all(parent)?;
+            }
+        }
+        let file = fs::File::create(path)?;
+        Ok(JsonlSink::from_writer(Box::new(io::BufWriter::new(file))))
+    }
+
+    /// Wraps an arbitrary writer (e.g. a `Vec<u8>` in tests).
+    pub fn from_writer(out: Box<dyn Write>) -> Self {
+        JsonlSink {
+            out,
+            lines: 0,
+            failed: false,
+        }
+    }
+
+    /// Lines successfully written so far.
+    pub fn lines_written(&self) -> u64 {
+        self.lines
+    }
+
+    /// Whether a write error has silenced the sink.
+    pub fn is_failed(&self) -> bool {
+        self.failed
+    }
+}
+
+impl TelemetrySink for JsonlSink {
+    fn emit(&mut self, record: &TelemetryRecord) {
+        if self.failed {
+            return;
+        }
+        let line = to_line(record);
+        if writeln!(self.out, "{line}").is_err() {
+            self.failed = true;
+        } else {
+            self.lines = self.lines.saturating_add(1);
+        }
+    }
+
+    fn flush(&mut self) {
+        if self.out.flush().is_err() {
+            self.failed = true;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(record: &TelemetryRecord) {
+        let line = to_line(record);
+        let back = parse_line(&line).unwrap_or_else(|| panic!("unparseable: {line}"));
+        assert_eq!(&back, record, "line was: {line}");
+    }
+
+    #[test]
+    fn every_variant_round_trips() {
+        let events = vec![
+            TelemetryEvent::NodeAdded {
+                label: "attacker".into(),
+            },
+            TelemetryEvent::TxStart {
+                channel: 17,
+                access_address: 0x8E89_BED6,
+                pdu_len: 27,
+                end: Instant::from_nanos(1_234_567),
+            },
+            TelemetryEvent::TxEnd,
+            TelemetryEvent::RxLock { channel: 5 },
+            TelemetryEvent::Relock { channel: 6 },
+            TelemetryEvent::RxEnd {
+                channel: 7,
+                access_address: 0x1234_5678,
+                crc_ok: false,
+                interferers: 2,
+            },
+            TelemetryEvent::Collision {
+                channel: 8,
+                interferers: 3,
+            },
+            TelemetryEvent::Anchor {
+                role: LinkRole::Master,
+                channel: 9,
+                at: Instant::from_nanos(999),
+            },
+            TelemetryEvent::WindowOpen {
+                channel: 10,
+                widening: Duration::from_nanos(32_500),
+                deadline: Duration::from_micros(1_250),
+            },
+            TelemetryEvent::Hop {
+                channel: 11,
+                event_counter: 65_535,
+            },
+            TelemetryEvent::SnNesn {
+                role: LinkRole::Slave,
+                sn: true,
+                nesn: false,
+            },
+            TelemetryEvent::CrcFail { channel: 12 },
+            TelemetryEvent::LlControl { opcode: 0x02 },
+            TelemetryEvent::ConnectionEstablished {
+                access_address: 0xDEAD_BEEF,
+                interval: Duration::from_micros(45_000),
+            },
+            TelemetryEvent::ConnectionClosed { reason: 0x08 },
+            TelemetryEvent::SnifferSync {
+                access_address: 0xAB_CDEF,
+            },
+            TelemetryEvent::SnifferLost {
+                reason: LossReason::MissedEvents,
+            },
+            TelemetryEvent::InjectionAttempt {
+                channel: 13,
+                lead: Duration::from_nanos(41_250),
+            },
+            TelemetryEvent::HeuristicVerdict {
+                verdict: Verdict::Rejected,
+                attempts_total: 42,
+            },
+            TelemetryEvent::AnchorPrediction { error_us: -3.125 },
+            TelemetryEvent::IfsDelta {
+                delta_us: 0.017_578_125,
+            },
+            TelemetryEvent::Takeover {
+                role: LinkRole::Master,
+            },
+            TelemetryEvent::DetectorAlert {
+                kind: AlertKind::EarlyAnchor,
+                magnitude_us: 87.5,
+            },
+            TelemetryEvent::Raw {
+                tag: "legacy".into(),
+                detail: "free-form".into(),
+            },
+        ];
+        for (i, event) in events.into_iter().enumerate() {
+            roundtrip(&TelemetryRecord {
+                at: Instant::from_nanos(u64::try_from(i).unwrap() * 1_000_003),
+                node: Some(u32::try_from(i % 3).unwrap()),
+                event,
+            });
+        }
+    }
+
+    #[test]
+    fn node_field_is_optional() {
+        roundtrip(&TelemetryRecord {
+            at: Instant::ZERO,
+            node: None,
+            event: TelemetryEvent::TxEnd,
+        });
+        let line = to_line(&TelemetryRecord {
+            at: Instant::ZERO,
+            node: None,
+            event: TelemetryEvent::TxEnd,
+        });
+        assert!(!line.contains("\"node\""), "{line}");
+    }
+
+    #[test]
+    fn string_escaping_round_trips() {
+        roundtrip(&TelemetryRecord {
+            at: Instant::from_nanos(7),
+            node: Some(0),
+            event: TelemetryEvent::Raw {
+                tag: "weird".into(),
+                detail: "quote \" backslash \\ newline \n tab \t bell \u{7}".into(),
+            },
+        });
+    }
+
+    #[test]
+    fn malformed_lines_are_rejected() {
+        assert_eq!(parse_line(""), None);
+        assert_eq!(parse_line("not json"), None);
+        assert_eq!(parse_line("{\"t_ns\":1}"), None); // no kind
+        assert_eq!(parse_line("{\"t_ns\":1,\"kind\":\"martian\"}"), None);
+        assert_eq!(
+            parse_line("{\"t_ns\":1,\"kind\":\"rx-lock\"}"), // missing ch
+            None
+        );
+        // Truncated line, as left by a killed process.
+        assert_eq!(parse_line("{\"t_ns\":1,\"kind\":\"rx-lo"), None);
+    }
+
+    #[test]
+    fn sink_writes_parseable_lines() {
+        use std::cell::RefCell;
+        use std::rc::Rc;
+
+        #[derive(Clone)]
+        struct Shared(Rc<RefCell<Vec<u8>>>);
+        impl Write for Shared {
+            fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+                self.0.borrow_mut().extend_from_slice(buf);
+                Ok(buf.len())
+            }
+            fn flush(&mut self) -> io::Result<()> {
+                Ok(())
+            }
+        }
+
+        let shared = Shared(Rc::new(RefCell::new(Vec::new())));
+        let mut sink = JsonlSink::from_writer(Box::new(shared.clone()));
+        for i in 0..4u64 {
+            sink.emit(&TelemetryRecord {
+                at: Instant::from_nanos(i),
+                node: Some(1),
+                event: TelemetryEvent::RxLock { channel: 3 },
+            });
+        }
+        sink.flush();
+        assert_eq!(sink.lines_written(), 4);
+        assert!(!sink.is_failed());
+        let text = String::from_utf8(shared.0.borrow().clone()).unwrap();
+        let parsed: Vec<_> = text.lines().map(|l| parse_line(l).unwrap()).collect();
+        assert_eq!(parsed.len(), 4);
+        assert!(parsed
+            .iter()
+            .all(|r| matches!(r.event, TelemetryEvent::RxLock { channel: 3 })));
+    }
+
+    #[test]
+    fn write_errors_are_sticky_not_panicky() {
+        struct Broken;
+        impl Write for Broken {
+            fn write(&mut self, _buf: &[u8]) -> io::Result<usize> {
+                Err(io::Error::other("disk on fire"))
+            }
+            fn flush(&mut self) -> io::Result<()> {
+                Err(io::Error::other("still on fire"))
+            }
+        }
+        let mut sink = JsonlSink::from_writer(Box::new(Broken));
+        sink.emit(&TelemetryRecord {
+            at: Instant::ZERO,
+            node: None,
+            event: TelemetryEvent::TxEnd,
+        });
+        assert!(sink.is_failed());
+        assert_eq!(sink.lines_written(), 0);
+        sink.emit(&TelemetryRecord {
+            at: Instant::ZERO,
+            node: None,
+            event: TelemetryEvent::TxEnd,
+        });
+        assert_eq!(sink.lines_written(), 0);
+    }
+}

@@ -1,0 +1,507 @@
+//! Counters, gauges and fixed-bucket microsecond histograms.
+//!
+//! The registry is deliberately tiny — a `BTreeMap` per metric family keyed
+//! by `&'static str` — because trials are single-threaded and short-lived;
+//! the bench rig merges per-trial registries into its `SeriesReport`
+//! artefacts afterwards.
+
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::rc::Rc;
+
+use crate::event::TelemetryEvent;
+use crate::sink::{TelemetryRecord, TelemetrySink};
+
+/// Default histogram bucket upper bounds, in microseconds. Chosen around
+/// the paper's timing scales: sub-µs clock error, the ±5 µs heuristic
+/// tolerance, 150 µs IFS, ms-scale connection intervals.
+pub const DEFAULT_BOUNDS_US: [f64; 16] = [
+    0.5, 1.0, 2.0, 5.0, 10.0, 20.0, 50.0, 100.0, 200.0, 500.0, 1_000.0, 2_000.0, 5_000.0, 10_000.0,
+    20_000.0, 50_000.0,
+];
+
+/// A fixed-bucket histogram of microsecond *magnitudes*.
+///
+/// Signed inputs (anchor error, IFS delta) are recorded as `|v|`; the
+/// histogram answers "how large are the timing deviations", not their sign
+/// (the signed values are still available per-event in a JSONL trace).
+#[derive(Debug, Clone, PartialEq)]
+pub struct HistogramUs {
+    bounds: Vec<f64>,
+    /// One count per bound, plus a final overflow bucket.
+    counts: Vec<u64>,
+    count: u64,
+    sum: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Default for HistogramUs {
+    fn default() -> Self {
+        HistogramUs::with_bounds(&DEFAULT_BOUNDS_US)
+    }
+}
+
+/// Summary statistics extracted from a [`HistogramUs`].
+///
+/// Quantiles are upper-bound estimates: the bucket boundary at or above the
+/// requested rank (exact for values landing on boundaries).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct HistSummary {
+    /// Number of recorded values.
+    pub count: u64,
+    /// Exact mean of the recorded magnitudes.
+    pub mean: f64,
+    /// Median estimate (bucket upper bound).
+    pub p50: f64,
+    /// 90th-percentile estimate.
+    pub p90: f64,
+    /// 99th-percentile estimate.
+    pub p99: f64,
+    /// Exact smallest recorded magnitude.
+    pub min: f64,
+    /// Exact largest recorded magnitude.
+    pub max: f64,
+}
+
+impl HistogramUs {
+    /// A histogram with the given ascending bucket upper bounds.
+    pub fn with_bounds(bounds: &[f64]) -> Self {
+        let counts = vec![0; bounds.len().saturating_add(1)];
+        HistogramUs {
+            bounds: bounds.to_vec(),
+            counts,
+            count: 0,
+            sum: 0.0,
+            min: f64::INFINITY,
+            max: 0.0,
+        }
+    }
+
+    /// Records one value (magnitude is taken; see the type docs).
+    pub fn record(&mut self, value_us: f64) {
+        let v = value_us.abs();
+        if !v.is_finite() {
+            return;
+        }
+        self.count = self.count.saturating_add(1);
+        self.sum += v;
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+        let slot = self
+            .bounds
+            .iter()
+            .position(|b| v <= *b)
+            .unwrap_or(self.bounds.len());
+        if let Some(c) = self.counts.get_mut(slot) {
+            *c = c.saturating_add(1);
+        }
+    }
+
+    /// Number of recorded values.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Whether nothing has been recorded yet.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Per-bucket counts (last entry is the overflow bucket).
+    pub fn bucket_counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Bucket upper bounds.
+    pub fn bounds(&self) -> &[f64] {
+        &self.bounds
+    }
+
+    /// Upper-bound quantile estimate: the first bucket boundary at which the
+    /// cumulative count reaches `q` of the total (the exact maximum for the
+    /// overflow bucket). Returns 0 for an empty histogram.
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let target = (q.clamp(0.0, 1.0) * self.count as f64).ceil().max(1.0);
+        let mut cum = 0u64;
+        for (i, c) in self.counts.iter().enumerate() {
+            cum = cum.saturating_add(*c);
+            if cum as f64 >= target {
+                return match self.bounds.get(i) {
+                    Some(b) => *b,
+                    None => self.max,
+                };
+            }
+        }
+        self.max
+    }
+
+    /// Folds another histogram into this one. Returns `false` (and leaves
+    /// `self` untouched) when the bucket layouts differ.
+    pub fn merge(&mut self, other: &HistogramUs) -> bool {
+        if self.bounds != other.bounds {
+            return false;
+        }
+        for (mine, theirs) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *mine = mine.saturating_add(*theirs);
+        }
+        self.count = self.count.saturating_add(other.count);
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+        true
+    }
+
+    /// Summary statistics (zeros when empty).
+    pub fn summary(&self) -> HistSummary {
+        if self.count == 0 {
+            return HistSummary::default();
+        }
+        HistSummary {
+            count: self.count,
+            mean: self.sum / self.count as f64,
+            p50: self.quantile(0.50),
+            p90: self.quantile(0.90),
+            p99: self.quantile(0.99),
+            min: self.min,
+            max: self.max,
+        }
+    }
+}
+
+/// Registry of named counters, gauges and histograms.
+#[derive(Debug, Clone, Default)]
+pub struct MetricsRegistry {
+    counters: BTreeMap<&'static str, u64>,
+    gauges: BTreeMap<&'static str, f64>,
+    histograms: BTreeMap<&'static str, HistogramUs>,
+}
+
+/// Shared handle to a registry (the simulation owns the [`MetricsSink`];
+/// the caller keeps the handle).
+pub type SharedRegistry = Rc<RefCell<MetricsRegistry>>;
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// An empty registry behind a shared handle.
+    pub fn shared() -> SharedRegistry {
+        Rc::new(RefCell::new(Self::new()))
+    }
+
+    /// Increments a counter by one.
+    pub fn inc(&mut self, name: &'static str) {
+        self.add(name, 1);
+    }
+
+    /// Increments a counter by `n` (saturating).
+    pub fn add(&mut self, name: &'static str, n: u64) {
+        let c = self.counters.entry(name).or_insert(0);
+        *c = c.saturating_add(n);
+    }
+
+    /// Current counter value (0 if never incremented).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Sets a gauge to the latest value.
+    pub fn set_gauge(&mut self, name: &'static str, value: f64) {
+        self.gauges.insert(name, value);
+    }
+
+    /// Current gauge value, if ever set.
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        self.gauges.get(name).copied()
+    }
+
+    /// Records a microsecond observation into a named histogram (created
+    /// with the default buckets on first use).
+    pub fn observe_us(&mut self, name: &'static str, value_us: f64) {
+        self.histograms.entry(name).or_default().record(value_us);
+    }
+
+    /// A named histogram, if any observation was recorded.
+    pub fn histogram(&self, name: &str) -> Option<&HistogramUs> {
+        self.histograms.get(name)
+    }
+
+    /// Iterates counters in name order.
+    pub fn counters(&self) -> impl Iterator<Item = (&'static str, u64)> + '_ {
+        self.counters.iter().map(|(k, v)| (*k, *v))
+    }
+
+    /// Iterates gauges in name order.
+    pub fn gauges(&self) -> impl Iterator<Item = (&'static str, f64)> + '_ {
+        self.gauges.iter().map(|(k, v)| (*k, *v))
+    }
+
+    /// Iterates histograms in name order.
+    pub fn histograms(&self) -> impl Iterator<Item = (&'static str, &HistogramUs)> + '_ {
+        self.histograms.iter().map(|(k, v)| (*k, v))
+    }
+
+    /// Folds another registry into this one: counters add, gauges take the
+    /// other's value, histograms merge (skipping incompatible layouts).
+    pub fn merge(&mut self, other: &MetricsRegistry) {
+        for (name, n) in other.counters() {
+            self.add(name, n);
+        }
+        for (name, v) in other.gauges() {
+            self.set_gauge(name, v);
+        }
+        for (name, h) in other.histograms() {
+            self.histograms.entry(name).or_default().merge(h);
+        }
+    }
+}
+
+/// A [`TelemetrySink`] that folds every event into a [`MetricsRegistry`].
+///
+/// The event→metric mapping is an exhaustive match (xtask R4): adding a
+/// [`TelemetryEvent`] variant forces a decision here about how it is
+/// counted.
+#[derive(Debug)]
+pub struct MetricsSink {
+    registry: SharedRegistry,
+}
+
+impl MetricsSink {
+    /// A sink feeding a fresh shared registry.
+    pub fn new() -> Self {
+        MetricsSink {
+            registry: MetricsRegistry::shared(),
+        }
+    }
+
+    /// A sink feeding an existing registry.
+    pub fn with_registry(registry: SharedRegistry) -> Self {
+        MetricsSink { registry }
+    }
+
+    /// The shared registry this sink feeds.
+    pub fn handle(&self) -> SharedRegistry {
+        self.registry.clone()
+    }
+}
+
+impl Default for MetricsSink {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl TelemetrySink for MetricsSink {
+    fn emit(&mut self, record: &TelemetryRecord) {
+        let mut reg = self.registry.borrow_mut();
+        reg.inc("telemetry.events");
+        reg.set_gauge("sim.last_event_us", record.at.as_micros_f64());
+        match &record.event {
+            TelemetryEvent::NodeAdded { .. } => reg.inc("sim.nodes"),
+            TelemetryEvent::TxStart { .. } => reg.inc("phy.tx"),
+            TelemetryEvent::TxEnd => {}
+            TelemetryEvent::RxLock { .. } => reg.inc("phy.rx_lock"),
+            TelemetryEvent::Relock { .. } => reg.inc("phy.relock"),
+            TelemetryEvent::RxEnd { crc_ok, .. } => {
+                reg.inc("phy.rx");
+                if !crc_ok {
+                    reg.inc("phy.rx_crc_bad");
+                }
+            }
+            TelemetryEvent::Collision { .. } => reg.inc("phy.collision"),
+            TelemetryEvent::Anchor { .. } => reg.inc("link.anchor"),
+            TelemetryEvent::WindowOpen { widening, .. } => {
+                reg.inc("link.window_open");
+                reg.observe_us("link.widening_us", widening.as_micros_f64());
+            }
+            TelemetryEvent::Hop { .. } => reg.inc("link.hop"),
+            TelemetryEvent::SnNesn { .. } => reg.inc("link.sn_nesn"),
+            TelemetryEvent::CrcFail { .. } => reg.inc("link.crc_fail"),
+            TelemetryEvent::LlControl { .. } => reg.inc("link.control_pdu"),
+            TelemetryEvent::ConnectionEstablished { .. } => reg.inc("link.connected"),
+            TelemetryEvent::ConnectionClosed { .. } => reg.inc("link.disconnect"),
+            TelemetryEvent::SnifferSync { .. } => reg.inc("attack.sniffer_sync"),
+            TelemetryEvent::SnifferLost { .. } => reg.inc("attack.sniffer_lost"),
+            TelemetryEvent::InjectionAttempt { lead, .. } => {
+                reg.inc("attack.attempts");
+                reg.observe_us("attack.lead_us", lead.as_micros_f64());
+            }
+            TelemetryEvent::HeuristicVerdict { verdict, .. } => {
+                reg.inc(match verdict {
+                    crate::event::Verdict::Success => "attack.success",
+                    crate::event::Verdict::Rejected => "attack.rejected",
+                    crate::event::Verdict::NoResponse => "attack.no_response",
+                });
+            }
+            TelemetryEvent::AnchorPrediction { error_us } => {
+                reg.observe_us("attack.anchor_error_us", *error_us);
+            }
+            TelemetryEvent::IfsDelta { delta_us } => {
+                reg.observe_us("attack.ifs_delta_us", *delta_us);
+            }
+            TelemetryEvent::Takeover { .. } => reg.inc("attack.takeover"),
+            TelemetryEvent::DetectorAlert { magnitude_us, .. } => {
+                reg.inc("detector.alerts");
+                reg.observe_us("detector.magnitude_us", *magnitude_us);
+            }
+            TelemetryEvent::Raw { .. } => reg.inc("telemetry.raw"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::Verdict;
+    use simkit::{Duration, Instant};
+
+    #[test]
+    fn bucket_boundaries_are_inclusive_upper_bounds() {
+        let mut h = HistogramUs::with_bounds(&[1.0, 10.0, 100.0]);
+        h.record(1.0); // lands in [.., 1.0]
+        h.record(1.000_001); // lands in (1.0, 10.0]
+        h.record(10.0); // boundary: (1.0, 10.0]
+        h.record(100.0); // boundary: (10.0, 100.0]
+        h.record(1_000.0); // overflow
+        assert_eq!(h.bucket_counts(), &[1, 2, 1, 1]);
+        assert_eq!(h.count(), 5);
+    }
+
+    #[test]
+    fn negative_values_record_their_magnitude() {
+        let mut h = HistogramUs::with_bounds(&[5.0, 50.0]);
+        h.record(-3.0);
+        h.record(-30.0);
+        assert_eq!(h.bucket_counts(), &[1, 1, 0]);
+        let s = h.summary();
+        assert!((s.mean - 16.5).abs() < 1e-9);
+        assert_eq!(s.min, 3.0);
+        assert_eq!(s.max, 30.0);
+    }
+
+    #[test]
+    fn non_finite_values_are_dropped() {
+        let mut h = HistogramUs::default();
+        h.record(f64::NAN);
+        h.record(f64::INFINITY);
+        assert!(h.is_empty());
+        assert_eq!(h.summary(), HistSummary::default());
+    }
+
+    #[test]
+    fn quantiles_step_through_bucket_bounds() {
+        let mut h = HistogramUs::with_bounds(&[1.0, 2.0, 5.0]);
+        for _ in 0..50 {
+            h.record(0.7); // bucket ≤1
+        }
+        for _ in 0..40 {
+            h.record(1.5); // bucket ≤2
+        }
+        for _ in 0..10 {
+            h.record(4.0); // bucket ≤5
+        }
+        assert_eq!(h.quantile(0.25), 1.0);
+        assert_eq!(h.quantile(0.50), 1.0);
+        assert_eq!(h.quantile(0.75), 2.0);
+        assert_eq!(h.quantile(0.95), 5.0);
+        // Overflow values report the exact max.
+        h.record(77.0);
+        assert_eq!(h.quantile(1.0), 77.0);
+    }
+
+    #[test]
+    fn merge_requires_identical_layouts() {
+        let mut a = HistogramUs::with_bounds(&[1.0, 2.0]);
+        let mut b = HistogramUs::with_bounds(&[1.0, 2.0]);
+        a.record(0.5);
+        b.record(1.5);
+        b.record(9.0);
+        assert!(a.merge(&b));
+        assert_eq!(a.count(), 3);
+        assert_eq!(a.bucket_counts(), &[1, 1, 1]);
+        let other_layout = HistogramUs::with_bounds(&[3.0]);
+        assert!(!a.merge(&other_layout));
+        assert_eq!(a.count(), 3, "failed merge must not corrupt");
+    }
+
+    #[test]
+    fn registry_counters_gauges_histograms() {
+        let mut r = MetricsRegistry::new();
+        r.inc("a");
+        r.add("a", 2);
+        assert_eq!(r.counter("a"), 3);
+        assert_eq!(r.counter("missing"), 0);
+        r.set_gauge("g", 1.5);
+        r.set_gauge("g", 2.5);
+        assert_eq!(r.gauge("g"), Some(2.5));
+        r.observe_us("h", 3.0);
+        assert_eq!(r.histogram("h").map(HistogramUs::count), Some(1));
+
+        let mut other = MetricsRegistry::new();
+        other.add("a", 10);
+        other.set_gauge("g", 9.0);
+        other.observe_us("h", 4.0);
+        r.merge(&other);
+        assert_eq!(r.counter("a"), 13);
+        assert_eq!(r.gauge("g"), Some(9.0));
+        assert_eq!(r.histogram("h").map(HistogramUs::count), Some(2));
+    }
+
+    #[test]
+    fn counter_saturates_instead_of_overflowing() {
+        let mut r = MetricsRegistry::new();
+        r.add("big", u64::MAX - 1);
+        r.add("big", 5);
+        assert_eq!(r.counter("big"), u64::MAX);
+    }
+
+    #[test]
+    fn sink_classifies_events() {
+        let sink = MetricsSink::new();
+        let reg = sink.handle();
+        let mut sink = sink;
+        let mut emit = |event: TelemetryEvent| {
+            sink.emit(&TelemetryRecord {
+                at: Instant::from_micros(10),
+                node: Some(0),
+                event,
+            });
+        };
+        emit(TelemetryEvent::InjectionAttempt {
+            channel: 3,
+            lead: Duration::from_micros(40),
+        });
+        emit(TelemetryEvent::HeuristicVerdict {
+            verdict: Verdict::Success,
+            attempts_total: 1,
+        });
+        emit(TelemetryEvent::AnchorPrediction { error_us: -2.0 });
+        emit(TelemetryEvent::RxEnd {
+            channel: 1,
+            access_address: 0x1,
+            crc_ok: false,
+            interferers: 1,
+        });
+        let reg = reg.borrow();
+        assert_eq!(reg.counter("telemetry.events"), 4);
+        assert_eq!(reg.counter("attack.attempts"), 1);
+        assert_eq!(reg.counter("attack.success"), 1);
+        assert_eq!(reg.counter("phy.rx_crc_bad"), 1);
+        assert_eq!(
+            reg.histogram("attack.lead_us").map(HistogramUs::count),
+            Some(1)
+        );
+        assert_eq!(
+            reg.histogram("attack.anchor_error_us")
+                .map(HistogramUs::count),
+            Some(1)
+        );
+        assert_eq!(reg.gauge("sim.last_event_us"), Some(10.0));
+    }
+}

@@ -1,0 +1,180 @@
+//! Bounded in-memory ring buffer sink, for test assertions and interactive
+//! debugging.
+
+use std::cell::RefCell;
+use std::collections::VecDeque;
+use std::rc::Rc;
+
+use crate::event::TelemetryEvent;
+use crate::sink::{TelemetryRecord, TelemetrySink};
+
+/// Shared handle to a [`RingBuffer`] (the simulation owns the sink; tests
+/// keep the handle).
+pub type SharedRing = Rc<RefCell<RingBuffer>>;
+
+/// A bounded FIFO of the most recent telemetry records.
+#[derive(Debug)]
+pub struct RingBuffer {
+    records: VecDeque<TelemetryRecord>,
+    capacity: usize,
+    evicted: u64,
+}
+
+impl RingBuffer {
+    /// Creates an empty ring holding at most `capacity` records (capacity 0
+    /// is clamped to 1 so the ring always retains the latest record).
+    pub fn new(capacity: usize) -> Self {
+        RingBuffer {
+            records: VecDeque::new(),
+            capacity: capacity.max(1),
+            evicted: 0,
+        }
+    }
+
+    /// Appends a record, evicting the oldest when full.
+    pub fn push(&mut self, record: TelemetryRecord) {
+        if self.records.len() == self.capacity {
+            self.records.pop_front();
+            self.evicted = self.evicted.saturating_add(1);
+        }
+        self.records.push_back(record);
+    }
+
+    /// Number of records currently held.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Whether the ring is empty.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// How many records have been evicted to make room.
+    pub fn evicted(&self) -> u64 {
+        self.evicted
+    }
+
+    /// Iterates oldest → newest.
+    pub fn iter(&self) -> impl Iterator<Item = &TelemetryRecord> {
+        self.records.iter()
+    }
+
+    /// Counts records whose event matches a predicate.
+    pub fn count_events(&self, mut pred: impl FnMut(&TelemetryEvent) -> bool) -> usize {
+        self.records.iter().filter(|r| pred(&r.event)).count()
+    }
+
+    /// Index of the first record (oldest first) matching a predicate.
+    pub fn position(&self, pred: impl FnMut(&TelemetryRecord) -> bool) -> Option<usize> {
+        self.records.iter().position(pred)
+    }
+
+    /// Drops all records (the eviction counter is kept).
+    pub fn clear(&mut self) {
+        self.records.clear();
+    }
+}
+
+/// [`TelemetrySink`] front-end for a shared [`RingBuffer`].
+///
+/// # Example
+///
+/// ```
+/// use ble_telemetry::{RingBufferSink, TelemetryEvent, TelemetryRecord, TelemetrySink};
+/// use simkit::Instant;
+///
+/// let mut sink = RingBufferSink::new(2);
+/// let ring = sink.handle();
+/// for i in 0..3 {
+///     sink.emit(&TelemetryRecord {
+///         at: Instant::from_micros(i),
+///         node: None,
+///         event: TelemetryEvent::TxEnd,
+///     });
+/// }
+/// assert_eq!(ring.borrow().len(), 2);
+/// assert_eq!(ring.borrow().evicted(), 1);
+/// ```
+#[derive(Debug)]
+pub struct RingBufferSink {
+    buffer: SharedRing,
+}
+
+impl RingBufferSink {
+    /// Creates a sink backed by a fresh ring of the given capacity.
+    pub fn new(capacity: usize) -> Self {
+        RingBufferSink {
+            buffer: Rc::new(RefCell::new(RingBuffer::new(capacity))),
+        }
+    }
+
+    /// A shared handle onto the underlying ring.
+    pub fn handle(&self) -> SharedRing {
+        self.buffer.clone()
+    }
+}
+
+impl TelemetrySink for RingBufferSink {
+    fn emit(&mut self, record: &TelemetryRecord) {
+        self.buffer.borrow_mut().push(record.clone());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simkit::Instant;
+
+    fn rec(us: u64, event: TelemetryEvent) -> TelemetryRecord {
+        TelemetryRecord {
+            at: Instant::from_micros(us),
+            node: Some(0),
+            event,
+        }
+    }
+
+    #[test]
+    fn eviction_keeps_the_newest_records() {
+        let mut ring = RingBuffer::new(3);
+        for i in 0..5u64 {
+            ring.push(rec(i, TelemetryEvent::RxLock { channel: 0 }));
+        }
+        assert_eq!(ring.len(), 3);
+        assert_eq!(ring.evicted(), 2);
+        let times: Vec<u64> = ring.iter().map(|r| r.at.as_nanos()).collect();
+        assert_eq!(times, vec![2_000, 3_000, 4_000]);
+    }
+
+    #[test]
+    fn zero_capacity_is_clamped_to_one() {
+        let mut ring = RingBuffer::new(0);
+        ring.push(rec(1, TelemetryEvent::TxEnd));
+        ring.push(rec(2, TelemetryEvent::TxEnd));
+        assert_eq!(ring.len(), 1);
+        assert_eq!(ring.evicted(), 1);
+    }
+
+    #[test]
+    fn predicates_and_positions() {
+        let mut ring = RingBuffer::new(10);
+        ring.push(rec(1, TelemetryEvent::RxLock { channel: 1 }));
+        ring.push(rec(2, TelemetryEvent::CrcFail { channel: 1 }));
+        ring.push(rec(3, TelemetryEvent::RxLock { channel: 2 }));
+        assert_eq!(
+            ring.count_events(|e| matches!(e, TelemetryEvent::RxLock { .. })),
+            2
+        );
+        assert_eq!(
+            ring.position(|r| matches!(r.event, TelemetryEvent::CrcFail { .. })),
+            Some(1)
+        );
+        assert_eq!(
+            ring.position(|r| matches!(r.event, TelemetryEvent::TxEnd)),
+            None
+        );
+        ring.clear();
+        assert!(ring.is_empty());
+        assert_eq!(ring.evicted(), 0);
+    }
+}

@@ -1,0 +1,156 @@
+//! The sink trait and the per-simulation dispatcher.
+
+use simkit::Instant;
+
+use crate::event::TelemetryEvent;
+
+/// One emitted record: when, who, what.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TelemetryRecord {
+    /// Simulation time of the event.
+    pub at: Instant,
+    /// Index of the emitting node (`None` for simulation-global events).
+    /// Labels for indices arrive in the stream as
+    /// [`TelemetryEvent::NodeAdded`] records.
+    pub node: Option<u32>,
+    /// The event itself.
+    pub event: TelemetryEvent,
+}
+
+/// A consumer of telemetry records.
+///
+/// Sink `emit` implementations sit on the simulation hot path, so they must
+/// not panic (xtask R1 applies) and should avoid allocation where possible.
+pub trait TelemetrySink {
+    /// Consumes one record. Records arrive in simulation-time order.
+    fn emit(&mut self, record: &TelemetryRecord);
+
+    /// Flushes any buffered output (e.g. an OS file buffer). Called at the
+    /// end of a run; a no-op by default.
+    fn flush(&mut self) {}
+}
+
+/// The per-simulation dispatcher: a (usually empty) set of sinks.
+///
+/// Emit sites go through [`Telemetry::is_enabled`] or the deferred-build
+/// pattern so that, with no sinks attached, an emit compiles to a
+/// branch-and-return — the event value is never constructed.
+///
+/// # Example
+///
+/// ```
+/// use ble_telemetry::{RingBufferSink, Telemetry, TelemetryEvent, TelemetryRecord};
+/// use simkit::Instant;
+///
+/// let mut telemetry = Telemetry::default();
+/// assert!(!telemetry.is_enabled());
+///
+/// let sink = RingBufferSink::new(16);
+/// let ring = sink.handle();
+/// telemetry.add_sink(Box::new(sink));
+/// telemetry.emit_record(&TelemetryRecord {
+///     at: Instant::ZERO,
+///     node: None,
+///     event: TelemetryEvent::TxEnd,
+/// });
+/// assert_eq!(ring.borrow().len(), 1);
+/// ```
+#[derive(Default)]
+pub struct Telemetry {
+    sinks: Vec<Box<dyn TelemetrySink>>,
+}
+
+impl std::fmt::Debug for Telemetry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Telemetry")
+            .field("sinks", &self.sinks.len())
+            .finish()
+    }
+}
+
+impl Telemetry {
+    /// Whether any sink is attached. Hot emit sites check this before
+    /// building an event.
+    #[inline]
+    pub fn is_enabled(&self) -> bool {
+        !self.sinks.is_empty()
+    }
+
+    /// Attaches a sink. Sinks receive every record emitted after attachment,
+    /// in order.
+    pub fn add_sink(&mut self, sink: Box<dyn TelemetrySink>) {
+        self.sinks.push(sink);
+    }
+
+    /// Fans a record out to every sink.
+    pub fn emit_record(&mut self, record: &TelemetryRecord) {
+        for sink in &mut self.sinks {
+            sink.emit(record);
+        }
+    }
+
+    /// Builds the event lazily and fans it out; returns immediately when no
+    /// sink is attached.
+    #[inline]
+    pub fn emit_with(
+        &mut self,
+        at: Instant,
+        node: Option<u32>,
+        build: impl FnOnce() -> TelemetryEvent,
+    ) {
+        if self.sinks.is_empty() {
+            return;
+        }
+        let record = TelemetryRecord {
+            at,
+            node,
+            event: build(),
+        };
+        self.emit_record(&record);
+    }
+
+    /// Flushes every sink.
+    pub fn flush(&mut self) {
+        for sink in &mut self.sinks {
+            sink.flush();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Counting {
+        seen: std::rc::Rc<std::cell::Cell<u64>>,
+    }
+
+    impl TelemetrySink for Counting {
+        fn emit(&mut self, _record: &TelemetryRecord) {
+            self.seen.set(self.seen.get() + 1);
+        }
+    }
+
+    #[test]
+    fn disabled_dispatcher_never_builds_the_event() {
+        let mut t = Telemetry::default();
+        let mut built = false;
+        t.emit_with(Instant::ZERO, None, || {
+            built = true;
+            TelemetryEvent::TxEnd
+        });
+        assert!(!built, "event closure ran with no sinks attached");
+    }
+
+    #[test]
+    fn records_fan_out_to_every_sink() {
+        let mut t = Telemetry::default();
+        let a = std::rc::Rc::new(std::cell::Cell::new(0));
+        let b = std::rc::Rc::new(std::cell::Cell::new(0));
+        t.add_sink(Box::new(Counting { seen: a.clone() }));
+        t.add_sink(Box::new(Counting { seen: b.clone() }));
+        t.emit_with(Instant::from_micros(5), Some(1), || TelemetryEvent::TxEnd);
+        assert_eq!(a.get(), 1);
+        assert_eq!(b.get(), 1);
+    }
+}

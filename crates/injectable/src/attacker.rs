@@ -20,6 +20,7 @@ use ble_link::{
     SleepClockAccuracy, UpdateRequest, ERR_REMOTE_USER_TERMINATED,
 };
 use ble_phy::{AccessFilter, Channel, NodeCtx, RadioEvent, RadioListener, RawFrame, TimerKey};
+use ble_telemetry::{LinkRole, LossReason, TelemetryEvent, Verdict};
 use simkit::{Duration, Instant};
 
 use crate::heuristic::{injection_succeeded, InjectionAttempt, ObservedResponse};
@@ -332,7 +333,7 @@ impl Attacker {
     }
 
     fn connection_lost(&mut self, ctx: &mut NodeCtx<'_>) {
-        self.stats.connections_lost += 1;
+        self.stats.record_connection_lost();
         self.conn = None;
         self.pending_terminate = None;
         self.quiet_events = 0;
@@ -487,10 +488,16 @@ impl Attacker {
         }
         let tx = ctx.transmit(plan.channel, frame);
         invariant_window!(tx.start, tx.end, "injected frame airtime");
-        ctx.trace(
-            "inject",
-            format!("attempt on {} at {}", plan.channel, tx.start),
-        );
+        // Lead time: how far ahead of the predicted anchor the forged frame
+        // starts — the eq. 5 head-start the attacker races the Master with.
+        let predicted_anchor = conn.last_anchor + plan.delay_from_anchor;
+        let lead = predicted_anchor
+            .checked_duration_since(tx.start)
+            .unwrap_or(Duration::ZERO);
+        ctx.emit(|| TelemetryEvent::InjectionAttempt {
+            channel: plan.channel.index(),
+            lead,
+        });
         let attempt = InjectionAttempt {
             t_a: tx.start,
             d_a: tx.end - tx.start,
@@ -507,7 +514,16 @@ impl Attacker {
     fn record_attempt(&mut self, ctx: &mut NodeCtx<'_>, outcome: AttemptOutcome) {
         let now = ctx.now();
         self.stats.record(now, outcome);
-        ctx.trace("inject-outcome", format!("{outcome:?}"));
+        let verdict = match outcome {
+            AttemptOutcome::Success => Verdict::Success,
+            AttemptOutcome::Rejected => Verdict::Rejected,
+            AttemptOutcome::NoResponse => Verdict::NoResponse,
+        };
+        let attempts_total = u64::from(self.stats.attempts_total);
+        ctx.emit(|| TelemetryEvent::HeuristicVerdict {
+            verdict,
+            attempts_total,
+        });
     }
 
     fn handle_injection_response(
@@ -540,6 +556,13 @@ impl Attacker {
             sn_s: pdu.header.sn,
             nesn_s: pdu.header.nesn,
         };
+        // Observed IFS error: how far the Slave's response deviates from the
+        // ideal T_IFS after our injected frame (eq. 7's timing term).
+        let delta_us = response
+            .t_s
+            .signed_delta_ns(attempt.expected_response_start()) as f64
+            / 1_000.0;
+        ctx.emit(|| TelemetryEvent::IfsDelta { delta_us });
         let success = injection_succeeded(&attempt, &response);
         if let Some(conn) = self.conn.as_mut() {
             conn.observe_slave_seq(pdu.header.sn, pdu.header.nesn);
@@ -676,7 +699,9 @@ impl Attacker {
         self.takeover_host = Some(host);
         self.mission_state = MissionState::TakenOver;
         self.phase = Phase::TakenOver;
-        ctx.trace("takeover", "master role hijacked".to_string());
+        ctx.emit(|| TelemetryEvent::Takeover {
+            role: LinkRole::Master,
+        });
     }
 
     fn perform_slave_takeover(&mut self, ctx: &mut NodeCtx<'_>) {
@@ -712,7 +737,9 @@ impl Attacker {
         if let Some(att) = self.pending_terminate.take() {
             let _ = att;
         }
-        ctx.trace("takeover", "slave role hijacked".to_string());
+        ctx.emit(|| TelemetryEvent::Takeover {
+            role: LinkRole::Slave,
+        });
     }
 
     fn pump_takeover(&mut self, ctx: &mut NodeCtx<'_>) {
@@ -763,7 +790,13 @@ impl Attacker {
             // Master frame: anchor of the event.
             if index == 0 {
                 let noise_ns = (ctx.rng().normal(0.0, self.cfg.anchor_noise_us) * 1_000.0) as i64;
-                conn.observe_anchor(frame.start.offset_ns(noise_ns));
+                let observed = frame.start.offset_ns(noise_ns);
+                // Prediction error before the tracker re-anchors: observed
+                // minus predicted (positive = the real anchor came late).
+                let predicted = conn.last_anchor + plan.delay_from_anchor;
+                let error_us = observed.signed_delta_ns(predicted) as f64 / 1_000.0;
+                ctx.emit(|| TelemetryEvent::AnchorPrediction { error_us });
+                conn.observe_anchor(observed);
             }
             if frame.crc_ok {
                 if let Ok(pdu) = DataPdu::from_bytes(&frame.pdu) {
@@ -771,7 +804,9 @@ impl Attacker {
                     if pdu.header.llid == Llid::Control {
                         if let Ok(ctrl) = ControlPdu::from_bytes(&pdu.payload) {
                             if conn.observe_master_control(&ctrl) {
-                                ctx.trace("sniff", "connection terminated".to_string());
+                                ctx.emit(|| TelemetryEvent::SnifferLost {
+                                    reason: LossReason::Terminated,
+                                });
                                 self.connection_lost(ctx);
                                 return;
                             }
@@ -799,7 +834,9 @@ impl Attacker {
             if let Some(conn) = self.conn.as_mut() {
                 conn.missed_event();
                 if conn.missed_streak > self.cfg.max_missed_events {
-                    ctx.trace("sniff", "connection lost (missed events)".to_string());
+                    ctx.emit(|| TelemetryEvent::SnifferLost {
+                        reason: LossReason::MissedEvents,
+                    });
                     self.connection_lost(ctx);
                     return;
                 }
@@ -890,10 +927,9 @@ impl RadioListener for Attacker {
                                     }
                                 };
                                 if lost {
-                                    ctx.trace(
-                                        "sniff",
-                                        "connection lost during injection".to_string(),
-                                    );
+                                    ctx.emit(|| TelemetryEvent::SnifferLost {
+                                        reason: LossReason::DuringInjection,
+                                    });
                                     self.connection_lost(ctx);
                                     return;
                                 }
@@ -923,11 +959,9 @@ impl RadioListener for Attacker {
                 Phase::Scanning { .. } => {
                     if let SnifferEvent::ConnectionDetected(tracked) = self.sniffer.process(&frame)
                     {
-                        ctx.trace(
-                            "sniff",
-                            format!("following connection {}", tracked.params.access_address),
-                        );
-                        self.stats.connections_followed += 1;
+                        let access_address = tracked.params.access_address.value();
+                        ctx.emit(|| TelemetryEvent::SnifferSync { access_address });
+                        self.stats.record_connection_followed();
                         self.conn = Some(*tracked);
                         self.schedule_event(ctx);
                     }

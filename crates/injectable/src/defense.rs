@@ -28,6 +28,7 @@
 
 use ble_link::DataPdu;
 use ble_phy::{AccessFilter, Channel, NodeCtx, RadioEvent, RadioListener, TimerKey};
+use ble_telemetry::{AlertKind, TelemetryEvent};
 use simkit::{Duration, Instant};
 
 use crate::tracked::{ConnectionSniffer, SnifferEvent, TrackedConnection};
@@ -219,7 +220,7 @@ impl InjectionDetector {
         if ctx.is_receiving() {
             ctx.stop_rx();
         }
-        self.analyse_window();
+        self.analyse_window(ctx);
         let lost = {
             let Some(conn) = self.conn.as_mut() else {
                 return;
@@ -238,7 +239,7 @@ impl InjectionDetector {
     }
 
     /// Post-event analysis: the detection rules.
-    fn analyse_window(&mut self) {
+    fn analyse_window(&mut self, ctx: &mut NodeCtx<'_>) {
         let frames = std::mem::take(&mut self.window_frames);
         let Some(conn) = self.conn.as_mut() else {
             return;
@@ -256,6 +257,10 @@ impl InjectionDetector {
             self.alerts.push(Alert::EarlyAnchor {
                 at: first_start,
                 early_us,
+            });
+            ctx.emit(|| TelemetryEvent::DetectorAlert {
+                kind: AlertKind::EarlyAnchor,
+                magnitude_us: early_us,
             });
         } else {
             // Treat as legitimate: refine the interval correction.
@@ -289,6 +294,10 @@ impl InjectionDetector {
                     first: first_start,
                     second: second_start,
                 });
+                ctx.emit(|| TelemetryEvent::DetectorAlert {
+                    kind: AlertKind::DoubleAnchor,
+                    magnitude_us: gap_ns as f64 / 1_000.0,
+                });
             }
             // Response-timing check on the *last* frame pair: response must
             // trail its predecessor by exactly IFS.
@@ -301,6 +310,10 @@ impl InjectionDetector {
                     self.alerts.push(Alert::ResponseTimingMismatch {
                         expected,
                         observed: resp_start,
+                    });
+                    ctx.emit(|| TelemetryEvent::DetectorAlert {
+                        kind: AlertKind::ResponseTimingMismatch,
+                        magnitude_us: delta_us,
                     });
                 }
             }

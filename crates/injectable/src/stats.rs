@@ -35,15 +35,27 @@ pub struct AttackStats {
 }
 
 impl AttackStats {
-    /// Records one attempt and its outcome.
+    /// Records one attempt and its outcome. Counters saturate instead of
+    /// wrapping: a release-mode campaign that somehow exceeds `u32::MAX`
+    /// attempts must not fold its statistics back to zero.
     pub fn record(&mut self, at: Instant, outcome: AttemptOutcome) {
-        self.attempts_total += 1;
-        self.attempts_since_success += 1;
+        self.attempts_total = self.attempts_total.saturating_add(1);
+        self.attempts_since_success = self.attempts_since_success.saturating_add(1);
         self.log.push((at, outcome));
         if outcome == AttemptOutcome::Success {
             self.attempts_per_success.push(self.attempts_since_success);
             self.attempts_since_success = 0;
         }
+    }
+
+    /// Records one sniffer synchronisation (saturating).
+    pub fn record_connection_followed(&mut self) {
+        self.connections_followed = self.connections_followed.saturating_add(1);
+    }
+
+    /// Records one lost connection (saturating).
+    pub fn record_connection_lost(&mut self) {
+        self.connections_lost = self.connections_lost.saturating_add(1);
     }
 
     /// Number of confirmed successful injections.
@@ -82,5 +94,27 @@ mod tests {
         let s = AttackStats::default();
         assert_eq!(s.successes(), 0);
         assert_eq!(s.attempts_to_first_success(), None);
+    }
+
+    #[test]
+    fn counters_saturate_instead_of_wrapping() {
+        let mut s = AttackStats {
+            attempts_total: u32::MAX,
+            attempts_since_success: u32::MAX,
+            connections_followed: u32::MAX,
+            connections_lost: u32::MAX,
+            ..AttackStats::default()
+        };
+        s.record(Instant::ZERO, AttemptOutcome::Rejected);
+        assert_eq!(s.attempts_total, u32::MAX);
+        assert_eq!(s.attempts_since_success, u32::MAX);
+        s.record_connection_followed();
+        s.record_connection_lost();
+        assert_eq!(s.connections_followed, u32::MAX);
+        assert_eq!(s.connections_lost, u32::MAX);
+        // A success still resets the per-success counter.
+        s.record(Instant::ZERO, AttemptOutcome::Success);
+        assert_eq!(s.attempts_since_success, 0);
+        assert_eq!(s.attempts_per_success, vec![u32::MAX]);
     }
 }

@@ -1,0 +1,107 @@
+//! Telemetry integration: a scenario-A attack streams its typed events
+//! into attached sinks in storyline order (sync → attempt → verdict), and
+//! the metrics registry agrees with the attacker's own statistics.
+
+mod common;
+
+use ble_devices::bulb_payloads;
+use ble_host::att::AttPdu;
+use ble_telemetry::{MetricsSink, RingBufferSink, TelemetryEvent, Verdict};
+use common::*;
+use injectable::{Mission, MissionState};
+use simkit::Duration;
+
+#[test]
+fn scenario_a_emits_attempt_then_verdict_into_sinks() {
+    let mut rig = AttackRig::new(1, 36);
+    let ring = RingBufferSink::new(1 << 16);
+    let records = ring.handle();
+    let metrics = MetricsSink::new();
+    let registry = metrics.handle();
+    rig.sim.add_telemetry_sink(Box::new(ring));
+    rig.sim.add_telemetry_sink(Box::new(metrics));
+    rig.run_until_connected();
+
+    let att = AttPdu::WriteRequest {
+        handle: rig.control_handle,
+        value: bulb_payloads::power_off(),
+    }
+    .to_bytes();
+    rig.attacker.borrow_mut().arm(Mission::InjectAtt { att });
+    rig.sim.run_for(Duration::from_secs(20));
+    assert_eq!(
+        rig.attacker.borrow().mission_state(),
+        MissionState::Complete
+    );
+
+    let ring = records.borrow();
+    // The attack storyline appears in order: the sniffer synchronises, an
+    // injection attempt fires, a heuristic verdict confirms a success.
+    let sync = ring
+        .position(|r| matches!(r.event, TelemetryEvent::SnifferSync { .. }))
+        .expect("sniffer sync event");
+    let attempt = ring
+        .position(|r| matches!(r.event, TelemetryEvent::InjectionAttempt { .. }))
+        .expect("injection attempt event");
+    let success = ring
+        .position(|r| {
+            matches!(
+                r.event,
+                TelemetryEvent::HeuristicVerdict {
+                    verdict: Verdict::Success,
+                    ..
+                }
+            )
+        })
+        .expect("confirmed-success verdict event");
+    assert!(
+        sync < attempt,
+        "sync ({sync}) must precede attempt ({attempt})"
+    );
+    assert!(
+        attempt < success,
+        "attempt ({attempt}) must precede verdict ({success})"
+    );
+
+    // Every attempt received exactly one verdict.
+    let attempts = ring.count_events(|e| matches!(e, TelemetryEvent::InjectionAttempt { .. }));
+    let verdicts = ring.count_events(|e| matches!(e, TelemetryEvent::HeuristicVerdict { .. }));
+    assert!(attempts >= 1);
+    assert_eq!(attempts, verdicts);
+
+    // The metrics sink classified the same stream consistently, and agrees
+    // with the attacker's own statistics.
+    let reg = registry.borrow();
+    let stats_attempts = u64::from(rig.attacker.borrow().stats().attempts_total);
+    assert_eq!(reg.counter("attack.attempts"), stats_attempts);
+    assert!(reg.counter("attack.success") >= 1);
+    assert!(
+        reg.counter("link.anchor") > 0,
+        "link-layer anchors recorded"
+    );
+    assert!(reg.counter("phy.tx") > 0, "PHY transmissions recorded");
+    let lead = reg.histogram("attack.lead_us").expect("lead histogram");
+    assert_eq!(lead.count(), stats_attempts);
+    let anchor_err = reg
+        .histogram("attack.anchor_error_us")
+        .expect("anchor error histogram");
+    assert!(anchor_err.count() > 0);
+}
+
+#[test]
+fn ring_buffer_attaches_mid_run_and_keeps_newest() {
+    let mut rig = AttackRig::new(2, 36);
+    rig.run_until_connected();
+    // Attach late, with a tiny capacity: the sink must replay node labels
+    // and then keep only the newest records.
+    let ring = RingBufferSink::new(16);
+    let records = ring.handle();
+    rig.sim.add_telemetry_sink(Box::new(ring));
+    rig.sim.run_for(Duration::from_secs(2));
+    let ring = records.borrow();
+    assert_eq!(ring.len(), 16);
+    assert!(
+        ring.evicted() > 0,
+        "connection traffic must overflow 16 slots"
+    );
+}

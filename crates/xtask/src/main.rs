@@ -19,7 +19,9 @@ use std::process::ExitCode;
 use rules::RuleSet;
 
 /// Crates whose `src/` is held to all four rules: the protocol hot path.
-const PROTOCOL_CRATES: &[&str] = &["ble-link", "ble-phy", "ble-crypto"];
+/// `ble-telemetry` qualifies because its sinks run inline on that hot path
+/// (every PHY/LL event passes through [`TelemetrySink::emit`]).
+const PROTOCOL_CRATES: &[&str] = &["ble-link", "ble-phy", "ble-crypto", "ble-telemetry"];
 
 /// Crates exempt from the hot-path rules R1–R3 (still checked for R4).
 /// `injectable` and `bench` are attack tooling and measurement harnesses —

@@ -5,7 +5,7 @@
 //! | R1   | protocol crates  | `panic!`/`unwrap`/`expect`/`unreachable!` and unchecked indexing |
 //! | R2   | protocol crates  | truncating `as` casts to narrow integer types               |
 //! | R3   | protocol crates  | raw arithmetic on extracted time tick counts                |
-//! | R4   | whole workspace  | `_` wildcard arms in matches over PDU/LL-control enums      |
+//! | R4   | whole workspace  | `_` wildcard arms in matches over PDU/LL-control/telemetry enums |
 //!
 //! Test-only code (`#[cfg(test)]`) is exempt from every rule. A violation on
 //! line *N* can be waived with `// xtask-allow: R<n> — reason` on line *N*
@@ -314,8 +314,10 @@ fn open_backward(tokens: &[Token], close: usize) -> Option<usize> {
 // ---------------------------------------------------------------------
 
 /// Enums carrying protocol opcodes or PDU variants: new over-the-air
-/// vocabulary must force every match site to make a decision.
-const PDU_ENUMS: &[&str] = &["ControlPdu", "AdvertisingPdu", "Llid"];
+/// vocabulary must force every match site to make a decision. The typed
+/// telemetry event is held to the same bar so adding an event variant
+/// surfaces every consumer (sinks, timeline rendering) that must handle it.
+const PDU_ENUMS: &[&str] = &["ControlPdu", "AdvertisingPdu", "Llid", "TelemetryEvent"];
 
 fn r4_wildcards(tokens: &[Token], out: &mut Vec<Violation>) {
     for (i, t) in tokens.iter().enumerate() {
