@@ -19,8 +19,8 @@ fn bench_connection_simulation(c: &mut Criterion) {
                 rig
             },
             |mut rig| {
-                rig.sim.run_for(Duration::from_secs(1));
-                std::hint::black_box(rig.sim.now())
+                rig.scenario.run_for(Duration::from_secs(1));
+                std::hint::black_box(rig.scenario.now())
             },
             criterion::BatchSize::LargeInput,
         )

@@ -5,9 +5,6 @@
 //! that never builds the event. `emit_ring_sink` prices the enabled path
 //! (event construction + ring push) for comparison.
 
-use std::cell::RefCell;
-use std::rc::Rc;
-
 use ble_phy::{Environment, NodeConfig, NodeCtx, Position, RadioEvent, RadioListener, Simulation};
 use ble_telemetry::{RingBufferSink, TelemetryEvent};
 use criterion::{criterion_group, criterion_main, Criterion};
@@ -22,10 +19,7 @@ impl RadioListener for Idle {
 
 fn sim_with_one_node() -> (Simulation, ble_phy::NodeId) {
     let mut sim = Simulation::new(Environment::indoor_default(), SimRng::seed_from(1));
-    let id = sim.add_node(
-        NodeConfig::new("bench", Position::new(0.0, 0.0)),
-        Rc::new(RefCell::new(Idle)),
-    );
+    let id = sim.add_node(NodeConfig::new("bench", Position::new(0.0, 0.0)), Idle);
     (sim, id)
 }
 

@@ -5,27 +5,26 @@
 //! LE 1M only; this ablation quantifies how the faster PHY changes the
 //! attacker's cost on otherwise identical scenes.
 
-use bench::{print_series, run_trials_parallel, SeriesReport, TrialConfig};
+use bench::{print_series_to, run_trials_parallel, Cli, SeriesReport, TrialConfig};
 use ble_phy::PhyMode;
 
 fn main() {
-    let trials = std::env::args()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(25u64);
+    let cli = Cli::parse(25);
+    let base = cli.seed_base(12_000);
     let mut rows = Vec::new();
     for (label, phy) in [(1.0, PhyMode::Le1M), (2.0, PhyMode::Le2M)] {
-        let mut cfg = TrialConfig::new(12_000 + label as u64);
+        let mut cfg = TrialConfig::new(base + label as u64);
         cfg.rig.phy = phy;
         // A distance where collisions matter (4 m).
         cfg.rig.attacker_distance = 4.0;
-        let outcomes = run_trials_parallel(&cfg, trials);
+        let outcomes = run_trials_parallel(&cfg, cli.trials);
         rows.push(SeriesReport::from_outcomes("phy_mbit", label, &outcomes));
         eprintln!("LE {label}M: done");
     }
-    print_series(
+    print_series_to(
         "ablation_phy2m",
         "Ablation — LE 1M vs LE 2M PHY (attacker at 4 m)",
         &rows,
+        cli.json.as_deref(),
     );
 }

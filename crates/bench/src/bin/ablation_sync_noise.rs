@@ -7,25 +7,24 @@
 //! margin `w_slave − w_attacker`, which is only a few µs at small hop
 //! intervals. Better timestamps ⇒ cheaper attacks.
 
-use bench::{print_series, run_trials_parallel, SeriesReport, TrialConfig};
+use bench::{print_series_to, run_trials_parallel, Cli, SeriesReport, TrialConfig};
 
 fn main() {
-    let trials = std::env::args()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(25u64);
+    let cli = Cli::parse(25);
+    let base = cli.seed_base(13_000);
     let mut rows = Vec::new();
     for noise_us in [0.5f64, 2.0, 4.0, 8.0, 16.0] {
-        let mut cfg = TrialConfig::new(13_000 + (noise_us * 10.0) as u64);
+        let mut cfg = TrialConfig::new(base + (noise_us * 10.0) as u64);
         cfg.rig.hop_interval = 25; // the tightest margin of experiment 1
         cfg.rig.attacker_anchor_noise_us = Some(noise_us);
-        let outcomes = run_trials_parallel(&cfg, trials);
+        let outcomes = run_trials_parallel(&cfg, cli.trials);
         rows.push(SeriesReport::from_outcomes("noise_us", noise_us, &outcomes));
         eprintln!("anchor noise {noise_us} µs: done");
     }
-    print_series(
+    print_series_to(
         "ablation_sync_noise",
         "Ablation — attacker anchor-timestamp noise (hop interval 25)",
         &rows,
+        cli.json.as_deref(),
     );
 }

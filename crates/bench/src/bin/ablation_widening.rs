@@ -14,6 +14,7 @@
 
 use bench::rig::{ExperimentRig, RigConfig};
 use bench::stats::Summary;
+use bench::{Cli, SeriesReport, TrialOutcome};
 use injectable::Mission;
 use simkit::Duration;
 
@@ -23,37 +24,46 @@ struct Row {
     trials: usize,
     attempts: Option<Summary>,
     victim_drops: u32,
+    outcomes: Vec<TrialOutcome>,
 }
 
-fn run_point(scale: f64, trials: u64) -> Row {
+fn run_point(scale: f64, trials: u64, base: u64) -> Row {
     let mut attempts = Vec::new();
     let mut victim_drops = 0u32;
+    let mut outcomes = Vec::new();
     for i in 0..trials {
         let cfg = RigConfig {
             widening_scale: scale,
             ..RigConfig::default()
         };
-        let seed = 9_000 + i * 7 + (scale * 1000.0) as u64;
+        let seed = base + i * 7 + (scale * 1000.0) as u64;
         let mut rig = ExperimentRig::new(seed, &cfg);
         if !rig.wait_synchronised(Duration::from_secs(30)) {
             continue;
         }
-        rig.attacker.borrow_mut().arm(Mission::InjectRaw {
+        rig.attacker_mut().arm(Mission::InjectRaw {
             llid: ble_link::Llid::StartOrComplete,
             payload: bench::trial::canonical_write_payload(),
             wanted_successes: 1,
         });
-        let deadline = rig.sim.now() + Duration::from_secs(60);
-        while rig.sim.now() < deadline {
-            rig.sim.run_for(Duration::from_millis(200));
-            if rig.attacker.borrow().stats().successes() >= 1 {
+        let deadline = rig.scenario.now() + Duration::from_secs(60);
+        while rig.scenario.now() < deadline {
+            rig.scenario.run_for(Duration::from_millis(200));
+            if rig.attacker().stats().successes() >= 1 {
                 break;
             }
         }
-        if let Some(a) = rig.attacker.borrow().stats().attempts_to_first_success() {
+        let first_success = rig.attacker().stats().attempts_to_first_success();
+        if let Some(a) = first_success {
             attempts.push(a);
         }
-        victim_drops += rig.bulb.borrow().disconnections as u32;
+        victim_drops += rig.bulb().disconnections as u32;
+        outcomes.push(TrialOutcome {
+            attempts: first_success,
+            sim_seconds: rig.scenario.now().as_micros_f64() / 1e6,
+            effect_observed: rig.bulb().app.pings > 0,
+            metrics: None,
+        });
     }
     Row {
         scale,
@@ -61,14 +71,14 @@ fn run_point(scale: f64, trials: u64) -> Row {
         trials: trials as usize,
         attempts: (!attempts.is_empty()).then(|| Summary::of(&attempts)),
         victim_drops,
+        outcomes,
     }
 }
 
 fn main() {
-    let trials = std::env::args()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(25u64);
+    let cli = Cli::parse(25);
+    let trials = cli.trials;
+    let base = cli.seed_base(9_000);
     println!();
     println!("=== Ablation — reduced window widening (paper §VIII, countermeasure 1) ===");
     println!();
@@ -77,8 +87,14 @@ fn main() {
         "scale", "success", "median", "mean", "max", "victim drops"
     );
     println!("{}", "-".repeat(62));
+    let mut series = Vec::new();
     for scale in [1.0f64, 0.75, 0.5, 0.25, 0.1] {
-        let row = run_point(scale, trials);
+        let row = run_point(scale, trials, base);
+        series.push(SeriesReport::from_outcomes(
+            "widening_scale",
+            scale,
+            &row.outcomes,
+        ));
         match &row.attempts {
             Some(s) => println!(
                 "{:>6} | {:>4}/{:<3} | {:>6.1} {:>6.2} {:>6.0} | {:>12}",
@@ -94,4 +110,13 @@ fn main() {
     println!("Reading: smaller widening ⇒ the injection needs more attempts (or");
     println!("fails outright), while victim connection drops rise — the paper's");
     println!("predicted reliability cost of the countermeasure.");
+    if let Some(path) = cli.json.as_deref() {
+        match bench::report::write_json_to(path, &series) {
+            Ok(()) => println!("[artefact] {}", path.display()),
+            Err(err) => eprintln!(
+                "warning: could not write JSON artefact to {}: {err}",
+                path.display()
+            ),
+        }
+    }
 }

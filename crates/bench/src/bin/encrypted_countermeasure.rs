@@ -23,36 +23,35 @@ struct Outcome {
 
 fn run_one(seed: u64) -> Outcome {
     let mut rig = ExperimentRig::new(seed, &RigConfig::default());
-    rig.central.borrow_mut().pair_on_connect = true;
+    rig.central_mut().pair_on_connect = true;
     // Wait for pairing + encryption.
     let mut encrypted = false;
     for _ in 0..200 {
-        rig.sim.run_for(Duration::from_millis(100));
-        if rig.central.borrow().host.is_encrypted() && rig.bulb.borrow().host.is_encrypted() {
+        rig.scenario.run_for(Duration::from_millis(100));
+        if rig.central().host.is_encrypted() && rig.bulb().host.is_encrypted() {
             encrypted = true;
             break;
         }
     }
     assert!(encrypted, "setup: encryption must come up (seed {seed})");
-    rig.sim.run_for(Duration::from_millis(500));
+    rig.scenario.run_for(Duration::from_millis(500));
 
     let att = AttPdu::WriteRequest {
         handle: rig.control_handle,
         value: bulb_payloads::power_on(),
     }
     .to_bytes();
-    rig.attacker.borrow_mut().arm(Mission::InjectAtt { att });
+    rig.attacker_mut().arm(Mission::InjectAtt { att });
     let mut dos = false;
     for _ in 0..200 {
-        rig.sim.run_for(Duration::from_millis(200));
-        if rig.bulb.borrow().last_disconnect_reason == Some(ble_link::ERR_MIC_FAILURE) {
+        rig.scenario.run_for(Duration::from_millis(200));
+        if rig.bulb().last_disconnect_reason == Some(ble_link::ERR_MIC_FAILURE) {
             dos = true;
             break;
         }
     }
-    let feature_triggered =
-        rig.bulb.borrow().app.on || !rig.bulb.borrow().app.command_log.is_empty();
-    let attempts = rig.attacker.borrow().stats().attempts_total;
+    let feature_triggered = rig.bulb().app.on || !rig.bulb().app.command_log.is_empty();
+    let attempts = rig.attacker().stats().attempts_total;
     Outcome {
         seed,
         feature_triggered,
@@ -62,10 +61,7 @@ fn run_one(seed: u64) -> Outcome {
 }
 
 fn main() {
-    let runs = std::env::args()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(10u64);
+    let runs = bench::Cli::parse(10).trials;
     println!();
     println!("=== Encryption countermeasure (paper §IV/§VIII) ===");
     println!("Injecting a plaintext ATT Write into an AES-CCM encrypted connection.");

@@ -4,18 +4,16 @@
 //! geometry: 2 m equilateral triangle; injected frame: the 22-byte bulb
 //! Write Request.
 
-use bench::{print_series, run_trials_parallel, SeriesReport, TrialConfig};
+use bench::{print_series_to, run_trials_parallel, Cli, SeriesReport, TrialConfig};
 
 fn main() {
-    let trials = std::env::args()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(25u64);
+    let cli = Cli::parse(25);
+    let base = cli.seed_base(1_000);
     let mut rows = Vec::new();
     for hop_interval in [25u16, 50, 75, 100, 125, 150] {
-        let mut cfg = TrialConfig::new(1_000 + u64::from(hop_interval));
+        let mut cfg = TrialConfig::new(base + u64::from(hop_interval));
         cfg.rig.hop_interval = hop_interval;
-        let outcomes = run_trials_parallel(&cfg, trials);
+        let outcomes = run_trials_parallel(&cfg, cli.trials);
         rows.push(SeriesReport::from_outcomes(
             "hop_interval",
             f64::from(hop_interval),
@@ -23,9 +21,10 @@ fn main() {
         ));
         eprintln!("hop interval {hop_interval}: done");
     }
-    print_series(
+    print_series_to(
         "exp1_hop_interval",
         "Experiment 1 — Hop Interval (paper Fig. 9, panel 1)",
         &rows,
+        cli.json.as_deref(),
     );
 }

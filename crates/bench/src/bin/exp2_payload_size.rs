@@ -4,19 +4,17 @@
 //! 25 trials each.
 
 use bench::trial::raw_payload_of_len;
-use bench::{print_series, run_trials_parallel, SeriesReport, TrialConfig};
+use bench::{print_series_to, run_trials_parallel, Cli, SeriesReport, TrialConfig};
 
 fn main() {
-    let trials = std::env::args()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(25u64);
+    let cli = Cli::parse(25);
+    let base = cli.seed_base(2_000);
     let mut rows = Vec::new();
     for size in [4usize, 9, 14, 16] {
-        let mut cfg = TrialConfig::new(2_000 + size as u64);
+        let mut cfg = TrialConfig::new(base + size as u64);
         cfg.rig.hop_interval = 75;
         cfg.payload = raw_payload_of_len(size);
-        let outcomes = run_trials_parallel(&cfg, trials);
+        let outcomes = run_trials_parallel(&cfg, cli.trials);
         rows.push(SeriesReport::from_outcomes(
             "payload_bytes",
             size as f64,
@@ -24,9 +22,10 @@ fn main() {
         ));
         eprintln!("payload {size} B: done");
     }
-    print_series(
+    print_series_to(
         "exp2_payload_size",
         "Experiment 2 — Payload size (paper Fig. 9, panel 2)",
         &rows,
+        cli.json.as_deref(),
     );
 }

@@ -2,19 +2,17 @@
 //! (paper §VII-C). Bulb and phone 2 m apart (hop interval 36, the paper's
 //! smartphone default); attacker from 1 m to 10 m.
 
-use bench::{print_series, run_trials_parallel, SeriesReport, TrialConfig};
+use bench::{print_series_to, run_trials_parallel, Cli, SeriesReport, TrialConfig};
 
 fn main() {
-    let trials = std::env::args()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(25u64);
+    let cli = Cli::parse(25);
+    let base = cli.seed_base(3_000);
     let mut rows = Vec::new();
     for distance in [1.0f64, 2.0, 4.0, 6.0, 8.0, 10.0] {
-        let mut cfg = TrialConfig::new(3_000 + distance as u64);
+        let mut cfg = TrialConfig::new(base + distance as u64);
         cfg.rig.hop_interval = 36;
         cfg.rig.attacker_distance = distance;
-        let outcomes = run_trials_parallel(&cfg, trials);
+        let outcomes = run_trials_parallel(&cfg, cli.trials);
         rows.push(SeriesReport::from_outcomes(
             "distance_m",
             distance,
@@ -22,9 +20,10 @@ fn main() {
         ));
         eprintln!("distance {distance} m: done");
     }
-    print_series(
+    print_series_to(
         "exp3_distance",
         "Experiment 3 — Attacker distance (paper Fig. 9, panel 3)",
         &rows,
+        cli.json.as_deref(),
     );
 }

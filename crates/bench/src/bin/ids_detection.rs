@@ -17,34 +17,33 @@ struct RunResult {
 
 fn run(seed: u64, attack: bool) -> RunResult {
     let mut rig = ExperimentRig::new(seed, &RigConfig::default());
-    let slave = rig.bulb.borrow().ll.address();
-    let detector = std::rc::Rc::new(std::cell::RefCell::new(
-        InjectionDetector::new(DetectorConfig::default()).for_slave(slave),
-    ));
-    let id = rig.sim.add_node(
+    let slave = rig.bulb().ll.address();
+    let detector = InjectionDetector::new(DetectorConfig::default()).for_slave(slave);
+    let id = rig.scenario.world.add_node(
         ble_phy::NodeConfig::new("ids", ble_phy::Position::new(1.0, 1.0)),
-        detector.clone(),
+        detector,
     );
-    {
-        let detector = detector.clone();
-        rig.sim.with_ctx(id, |ctx| detector.borrow_mut().start(ctx));
-    }
+    rig.scenario.world.start(id);
     rig.wait_synchronised(Duration::from_secs(30));
-    rig.sim.run_for(Duration::from_secs(2));
+    rig.scenario.run_for(Duration::from_secs(2));
     if attack {
-        rig.attacker.borrow_mut().set_inject_gap(2);
-        rig.attacker.borrow_mut().arm(Mission::InjectRaw {
+        rig.attacker_mut().set_inject_gap(2);
+        rig.attacker_mut().arm(Mission::InjectRaw {
             llid: ble_link::Llid::StartOrComplete,
             payload: bench::trial::canonical_write_payload(),
             wanted_successes: 5,
         });
     }
-    rig.sim.run_for(Duration::from_secs(30));
+    rig.scenario.run_for(Duration::from_secs(30));
     let (events, alerts) = {
-        let d = detector.borrow();
+        let d = rig
+            .scenario
+            .world
+            .node::<InjectionDetector>(id)
+            .expect("ids node");
         (d.events_observed(), d.alerts().len())
     };
-    let attempts = rig.attacker.borrow().stats().attempts_total;
+    let attempts = rig.attacker().stats().attempts_total;
     RunResult {
         events,
         alerts,
@@ -53,10 +52,7 @@ fn run(seed: u64, attack: bool) -> RunResult {
 }
 
 fn main() {
-    let runs = std::env::args()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(15u64);
+    let runs = bench::Cli::parse(15).trials;
     println!();
     println!("=== IDS detection (paper §VIII, countermeasure 3) ===");
     println!();

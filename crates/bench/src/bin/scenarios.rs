@@ -9,21 +9,15 @@
 //!   C — Master hijacking driving the same features as scenario A;
 //!   D — MITM rewriting an SMS and RGB values on the fly.
 
-use std::cell::RefCell;
-use std::rc::Rc;
-
-use ble_devices::{
-    bulb_payloads, Central, Keyfob, Lightbulb, Peripheral, PeripheralApp, Smartwatch,
-};
+use ble_devices::{bulb_payloads, Keyfob, Lightbulb, Smartwatch};
 use ble_host::att::AttPdu;
 use ble_host::gatt::props;
 use ble_host::{GattServer, HostEvent, HostStack, Uuid};
-use ble_link::{AddressType, ConnectionParams, DeviceAddress, UpdateRequest};
-use ble_phy::{Environment, NodeConfig, Position, Simulation};
-use injectable::{
-    new_handoff, Attacker, AttackerConfig, Mission, MissionState, MitmSlaveHalf, RewriteRule,
-};
-use simkit::{DriftClock, Duration, SimRng};
+use ble_link::{AddressType, DeviceAddress, UpdateRequest};
+use ble_phy::NodeConfig;
+use ble_scenario::{DeviceKind, Scenario, ScenarioBuilder};
+use injectable::{new_handoff, Mission, MissionState, MitmSlaveHalf, RewriteRule};
+use simkit::{Duration, SimRng};
 
 struct Row {
     scenario: &'static str,
@@ -67,97 +61,18 @@ fn print_table(rows: &[Row]) {
 
 /// Generic scene: one peripheral device + central + attacker at the paper's
 /// 2 m triangle. Returns after the attacker follows the connection.
-struct Scene<P: ble_phy::RadioListener + 'static> {
-    sim: Simulation,
-    device: Rc<RefCell<P>>,
-    central: Rc<RefCell<Central>>,
-    attacker: Rc<RefCell<Attacker>>,
-    attacker_pos: Position,
+fn scene(seed: u64, kind: DeviceKind) -> Scenario {
+    let mut s = ScenarioBuilder::scene(seed).device(kind).build();
+    s.run_until_following();
+    s
 }
 
-fn scene<P, F>(seed: u64, make: F) -> Scene<P>
-where
-    P: ble_phy::RadioListener + 'static,
-    F: FnOnce(
-        SimRng,
-    ) -> (
-        Rc<RefCell<P>>,
-        DeviceAddress,
-        Box<dyn Fn(&Rc<RefCell<P>>, &mut ble_phy::NodeCtx<'_>)>,
-    ),
-{
-    let mut rng = SimRng::seed_from(seed);
-    let mut sim = Simulation::new(Environment::indoor_default(), rng.fork());
-    let (device, device_addr, starter) = make(rng.fork());
-    let params = ConnectionParams::typical(&mut rng, 36);
-    let central = Rc::new(RefCell::new(Central::new(
-        0xA0,
-        device_addr,
-        params,
-        rng.fork(),
-    )));
-    let attacker = Rc::new(RefCell::new(Attacker::new(AttackerConfig {
-        target_slave: Some(device_addr),
-        ..AttackerConfig::default()
-    })));
-    let attacker_pos = Position::new(0.0, -2.0);
-    let d = sim.add_node(
-        NodeConfig::new("victim", Position::new(0.0, 0.0))
-            .with_clock(DriftClock::realistic(50.0, &mut rng).with_jitter_us(1.0)),
-        device.clone(),
-    );
-    let c = sim.add_node(
-        NodeConfig::new("phone", Position::new(2.0, 0.0))
-            .with_clock(DriftClock::realistic(50.0, &mut rng).with_jitter_us(1.0)),
-        central.clone(),
-    );
-    let a = sim.add_node(
-        NodeConfig::new("attacker", attacker_pos)
-            .with_clock(DriftClock::realistic(20.0, &mut rng).with_jitter_us(1.0)),
-        attacker.clone(),
-    );
-    {
-        let device = device.clone();
-        sim.with_ctx(d, |ctx| starter(&device, ctx));
-    }
-    {
-        let central = central.clone();
-        sim.with_ctx(c, |ctx| central.borrow_mut().start(ctx));
-    }
-    {
-        let attacker = attacker.clone();
-        sim.with_ctx(a, |ctx| attacker.borrow_mut().start(ctx));
-    }
-    let mut scene = Scene {
-        sim,
-        device,
-        central,
-        attacker,
-        attacker_pos,
-    };
-    for _ in 0..100 {
-        scene.sim.run_for(Duration::from_millis(100));
-        let ok = scene.central.borrow().ll.is_connected()
-            && scene
-                .attacker
-                .borrow()
-                .connection()
-                .map(|t| t.has_slave_seq())
-                .unwrap_or(false);
-        if ok {
-            break;
-        }
-    }
-    scene.sim.run_for(Duration::from_millis(400));
-    scene
-}
-
-fn inject_att<P: ble_phy::RadioListener>(scene: &mut Scene<P>, att: Vec<u8>) -> Option<u32> {
-    scene.attacker.borrow_mut().arm(Mission::InjectAtt { att });
+fn inject_att(s: &mut Scenario, att: Vec<u8>) -> Option<u32> {
+    s.attacker_mut().arm(Mission::InjectAtt { att });
     for _ in 0..200 {
-        scene.sim.run_for(Duration::from_millis(200));
-        if scene.attacker.borrow().mission_state() == MissionState::Complete {
-            return scene.attacker.borrow().stats().attempts_to_first_success();
+        s.run_for(Duration::from_millis(200));
+        if s.attacker().mission_state() == MissionState::Complete {
+            return s.attacker().stats().attempts_to_first_success();
         }
     }
     None
@@ -201,20 +116,8 @@ fn scenario_a(rows: &mut Vec<Row>) {
         ),
     ];
     for (i, (action, payload, check)) in bulb_actions.into_iter().enumerate() {
-        let mut s = scene(100 + i as u64, |rng| {
-            let bulb = Rc::new(RefCell::new(Lightbulb::new(0xB1, rng)));
-            let addr = bulb.borrow().ll.address();
-            (
-                bulb,
-                addr,
-                Box::new(
-                    |b: &Rc<RefCell<Lightbulb>>, ctx: &mut ble_phy::NodeCtx<'_>| {
-                        b.borrow_mut().start(ctx)
-                    },
-                ),
-            )
-        });
-        let handle = s.device.borrow().control_handle();
+        let mut s = scene(100 + i as u64, DeviceKind::Lightbulb);
+        let handle = s.victim_control_handle();
         let attempts = inject_att(
             &mut s,
             AttPdu::WriteRequest {
@@ -227,23 +130,13 @@ fn scenario_a(rows: &mut Vec<Row>) {
             scenario: "A",
             device: "lightbulb",
             action,
-            success: attempts.is_some() && check(&s.device.borrow()),
+            success: attempts.is_some() && check(s.victim::<Lightbulb>()),
             attempts,
         });
     }
     // Keyfob: ring.
-    let mut s = scene(110, |rng| {
-        let fob = Rc::new(RefCell::new(Keyfob::new(0xF0, rng)));
-        let addr = fob.borrow().ll.address();
-        (
-            fob,
-            addr,
-            Box::new(|f: &Rc<RefCell<Keyfob>>, ctx: &mut ble_phy::NodeCtx<'_>| {
-                f.borrow_mut().start(ctx)
-            }),
-        )
-    });
-    let handle = s.device.borrow().alert_handle();
+    let mut s = scene(110, DeviceKind::Keyfob);
+    let handle = s.victim_control_handle();
     let attempts = inject_att(
         &mut s,
         AttPdu::WriteRequest {
@@ -256,24 +149,12 @@ fn scenario_a(rows: &mut Vec<Row>) {
         scenario: "A",
         device: "keyfob",
         action: "make it ring (high alert)",
-        success: attempts.is_some() && s.device.borrow().app.rings > 0,
+        success: attempts.is_some() && s.victim::<Keyfob>().app.rings > 0,
         attempts,
     });
     // Smartwatch: forged SMS.
-    let mut s = scene(111, |rng| {
-        let watch = Rc::new(RefCell::new(Smartwatch::new(0xCC, rng)));
-        let addr = watch.borrow().ll.address();
-        (
-            watch,
-            addr,
-            Box::new(
-                |w: &Rc<RefCell<Smartwatch>>, ctx: &mut ble_phy::NodeCtx<'_>| {
-                    w.borrow_mut().start(ctx)
-                },
-            ),
-        )
-    });
-    let handle = s.device.borrow().message_handle();
+    let mut s = scene(111, DeviceKind::Smartwatch);
+    let handle = s.victim_control_handle();
     let attempts = inject_att(
         &mut s,
         AttPdu::WriteRequest {
@@ -287,8 +168,7 @@ fn scenario_a(rows: &mut Vec<Row>) {
         device: "smartwatch",
         action: "deliver a forged SMS",
         success: attempts.is_some()
-            && s.device
-                .borrow()
+            && s.victim::<Smartwatch>()
                 .inbox_strings()
                 .contains(&"Forged SMS".to_string()),
         attempts,
@@ -297,18 +177,9 @@ fn scenario_a(rows: &mut Vec<Row>) {
 
 fn scenario_b(rows: &mut Vec<Row>) {
     let outcomes = [
-        (
-            "lightbulb",
-            run_b_peripheral(120, |rng| Lightbulb::new(0xB1, rng)),
-        ),
-        (
-            "keyfob",
-            run_b_peripheral(121, |rng| Keyfob::new(0xF0, rng)),
-        ),
-        (
-            "smartwatch",
-            run_b_peripheral(122, |rng| Smartwatch::new(0xCC, rng)),
-        ),
+        ("lightbulb", run_b_peripheral(120, DeviceKind::Lightbulb)),
+        ("keyfob", run_b_peripheral(121, DeviceKind::Keyfob)),
+        ("smartwatch", run_b_peripheral(122, DeviceKind::Smartwatch)),
     ];
     for (device, (success, attempts)) in outcomes {
         rows.push(Row {
@@ -322,85 +193,50 @@ fn scenario_b(rows: &mut Vec<Row>) {
 }
 
 /// Runs scenario B against one peripheral type.
-fn run_b_peripheral<A: PeripheralApp + 'static>(
-    seed: u64,
-    make: impl FnOnce(SimRng) -> Peripheral<A>,
-) -> (bool, Option<u32>) {
-    let mut s = scene(seed, |rng| {
-        let mut peripheral = make(rng);
-        peripheral.auto_readvertise = false;
-        let peripheral = Rc::new(RefCell::new(peripheral));
-        let addr = peripheral.borrow().ll.address();
-        (
-            peripheral,
-            addr,
-            Box::new(
-                |p: &Rc<RefCell<Peripheral<A>>>, ctx: &mut ble_phy::NodeCtx<'_>| {
-                    p.borrow_mut().start(ctx)
-                },
-            ),
-        )
-    });
-    s.central.borrow_mut().auto_reconnect = false;
-    s.attacker.borrow_mut().arm(Mission::HijackSlave {
+fn run_b_peripheral(seed: u64, kind: DeviceKind) -> (bool, Option<u32>) {
+    let mut s = ScenarioBuilder::scene(seed).device(kind).build();
+    s.set_victim_auto_readvertise(false);
+    s.run_until_following();
+    s.central_mut().auto_reconnect = false;
+    s.attacker_mut().arm(Mission::HijackSlave {
         host: hacked_host(seed),
     });
     for _ in 0..300 {
-        s.sim.run_for(Duration::from_millis(200));
-        if s.attacker.borrow().mission_state() == MissionState::TakenOver {
+        s.run_for(Duration::from_millis(200));
+        if s.attacker().mission_state() == MissionState::TakenOver {
             break;
         }
     }
-    if s.attacker.borrow().mission_state() != MissionState::TakenOver {
+    if s.attacker().mission_state() != MissionState::TakenOver {
         return (false, None);
     }
     // The master reads the Device Name from the impostor.
     let name_handle = s
-        .attacker
-        .borrow()
+        .attacker()
         .takeover_host()
         .unwrap()
         .server()
         .handle_of(Uuid::DEVICE_NAME)
         .unwrap();
-    s.central.borrow_mut().host.read(name_handle);
-    s.sim.run_for(Duration::from_secs(2));
+    s.central_mut().host.read(name_handle);
+    s.run_for(Duration::from_secs(2));
     let got_hacked = s
-        .central
-        .borrow()
+        .central()
         .event_log
         .iter()
         .any(|e| matches!(e, HostEvent::ReadResponse { value } if value == b"Hacked"));
-    let attempts = s
-        .attacker
-        .borrow()
-        .stats()
-        .attempts_per_success
-        .last()
-        .copied();
+    let attempts = s.attacker().stats().attempts_per_success.last().copied();
     (
-        got_hacked && !s.device.borrow().ll.is_connected() && s.central.borrow().ll.is_connected(),
+        got_hacked && !s.victim_connected() && s.central().ll.is_connected(),
         attempts,
     )
 }
 
 fn scenario_c(rows: &mut Vec<Row>) {
-    let mut s = scene(140, |rng| {
-        let bulb = Rc::new(RefCell::new(Lightbulb::new(0xB1, rng)));
-        let addr = bulb.borrow().ll.address();
-        (
-            bulb,
-            addr,
-            Box::new(
-                |b: &Rc<RefCell<Lightbulb>>, ctx: &mut ble_phy::NodeCtx<'_>| {
-                    b.borrow_mut().start(ctx)
-                },
-            ),
-        )
-    });
-    s.central.borrow_mut().auto_reconnect = false;
-    let handle = s.device.borrow().control_handle();
-    s.attacker.borrow_mut().arm(Mission::HijackMaster {
+    let mut s = scene(140, DeviceKind::Lightbulb);
+    s.central_mut().auto_reconnect = false;
+    let handle = s.victim_control_handle();
+    s.attacker_mut().arm(Mission::HijackMaster {
         update: UpdateRequest {
             win_size: 2,
             win_offset: 3,
@@ -418,47 +254,29 @@ fn scenario_c(rows: &mut Vec<Row>) {
         mitm: None,
     });
     for _ in 0..300 {
-        s.sim.run_for(Duration::from_millis(200));
-        if s.attacker.borrow().mission_state() == MissionState::TakenOver {
+        s.run_for(Duration::from_millis(200));
+        if s.attacker().mission_state() == MissionState::TakenOver {
             break;
         }
     }
-    s.sim.run_for(Duration::from_secs(5));
-    let success = s.attacker.borrow().mission_state() == MissionState::TakenOver
-        && s.device.borrow().app.rgb == (9, 9, 9)
-        && !s.central.borrow().ll.is_connected()
-        && s.device.borrow().ll.is_connected();
+    s.run_for(Duration::from_secs(5));
+    let success = s.attacker().mission_state() == MissionState::TakenOver
+        && s.victim::<Lightbulb>().app.rgb == (9, 9, 9)
+        && !s.central().ll.is_connected()
+        && s.victim_connected();
     rows.push(Row {
         scenario: "C",
         device: "lightbulb",
         action: "hijack master, drive colour",
         success,
-        attempts: s
-            .attacker
-            .borrow()
-            .stats()
-            .attempts_per_success
-            .first()
-            .copied(),
+        attempts: s.attacker().stats().attempts_per_success.first().copied(),
     });
 }
 
 fn scenario_d(rows: &mut Vec<Row>) {
-    let mut s = scene(150, |rng| {
-        let watch = Rc::new(RefCell::new(Smartwatch::new(0xCC, rng)));
-        let addr = watch.borrow().ll.address();
-        (
-            watch,
-            addr,
-            Box::new(
-                |w: &Rc<RefCell<Smartwatch>>, ctx: &mut ble_phy::NodeCtx<'_>| {
-                    w.borrow_mut().start(ctx)
-                },
-            ),
-        )
-    });
-    s.central.borrow_mut().auto_reconnect = false;
-    let msg_handle = s.device.borrow().message_handle();
+    let mut s = scene(150, DeviceKind::Smartwatch);
+    s.central_mut().auto_reconnect = false;
+    let msg_handle = s.victim_control_handle();
 
     let handoff = new_handoff();
     let mirror = {
@@ -486,19 +304,12 @@ fn scenario_d(rows: &mut Vec<Row>) {
         find: b"noon".to_vec(),
         replace: b"MIDNIGHT".to_vec(),
     };
-    let half = Rc::new(RefCell::new(MitmSlaveHalf::new(
-        mirror,
-        handoff.clone(),
-        vec![rewrite],
-    )));
+    let half = MitmSlaveHalf::new(mirror, handoff.clone(), vec![rewrite]);
     let half_id = s
-        .sim
-        .add_node(NodeConfig::new("mitm-half", s.attacker_pos), half.clone());
-    {
-        let half = half.clone();
-        s.sim.with_ctx(half_id, |ctx| half.borrow_mut().start(ctx));
-    }
-    s.attacker.borrow_mut().arm(Mission::HijackMaster {
+        .world
+        .add_node(NodeConfig::new("mitm-half", s.attacker_pos), half);
+    s.world.start(half_id);
+    s.attacker_mut().arm(Mission::HijackMaster {
         update: UpdateRequest {
             win_size: 2,
             win_offset: 3,
@@ -516,31 +327,23 @@ fn scenario_d(rows: &mut Vec<Row>) {
         mitm: Some(handoff.clone()),
     });
     for _ in 0..300 {
-        s.sim.run_for(Duration::from_millis(200));
-        if s.attacker.borrow().mission_state() == MissionState::TakenOver {
+        s.run_for(Duration::from_millis(200));
+        if s.attacker().mission_state() == MissionState::TakenOver {
             break;
         }
     }
     // Legit phone sends an SMS; the MITM rewrites it.
-    s.central
-        .borrow_mut()
-        .write(msg_handle, b"meet at noon".to_vec());
-    s.sim.run_for(Duration::from_secs(5));
-    let inbox = s.device.borrow().inbox_strings();
+    s.central_mut().write(msg_handle, b"meet at noon".to_vec());
+    s.run_for(Duration::from_secs(5));
+    let inbox = s.victim::<Smartwatch>().inbox_strings();
     let success =
-        inbox.contains(&"meet at MIDNIGHT".to_string()) && !handoff.borrow().intercepted.is_empty();
+        inbox.contains(&"meet at MIDNIGHT".to_string()) && !handoff.lock().intercepted.is_empty();
     rows.push(Row {
         scenario: "D",
         device: "smartwatch",
         action: "MITM: rewrite SMS on the fly",
         success,
-        attempts: s
-            .attacker
-            .borrow()
-            .stats()
-            .attempts_per_success
-            .first()
-            .copied(),
+        attempts: s.attacker().stats().attempts_per_success.first().copied(),
     });
 }
 

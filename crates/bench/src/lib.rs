@@ -13,13 +13,15 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod cli;
 pub mod report;
 pub mod rig;
 pub mod stats;
 pub mod telemetry;
 pub mod trial;
 
-pub use report::{print_series, SeriesReport};
+pub use cli::Cli;
+pub use report::{print_series, print_series_to, SeriesReport};
 pub use rig::ExperimentRig;
 pub use stats::Summary;
 pub use telemetry::{HistRow, TelemetryMode, TrialMetrics};

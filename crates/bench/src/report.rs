@@ -77,6 +77,26 @@ impl SeriesReport {
     }
 }
 
+/// Like [`print_series`], additionally writing the JSON rows to `extra`
+/// (the `--json` artefact path of the experiment binaries).
+pub fn print_series_to(
+    name: &str,
+    title: &str,
+    rows: &[SeriesReport],
+    extra: Option<&std::path::Path>,
+) {
+    print_series(name, title, rows);
+    if let Some(path) = extra {
+        match write_json_to(path, rows) {
+            Ok(()) => println!("[artefact] {}", path.display()),
+            Err(err) => eprintln!(
+                "warning: could not write JSON artefact to {}: {err}",
+                path.display()
+            ),
+        }
+    }
+}
+
 /// Prints a Figure 9-style table and writes the JSON artefact to
 /// `target/experiments/<name>.json`.
 pub fn print_series(name: &str, title: &str, rows: &[SeriesReport]) {
@@ -124,11 +144,20 @@ fn write_json(name: &str, rows: &[SeriesReport]) -> std::io::Result<()> {
     let dir = artefact_dir();
     std::fs::create_dir_all(&dir)?;
     let path = dir.join(format!("{name}.json"));
-    let mut file = std::fs::File::create(&path)?;
-    let json = to_json(rows);
-    file.write_all(json.as_bytes())?;
+    write_json_to(&path, rows)?;
     println!("[artefact] {}", path.display());
     Ok(())
+}
+
+/// Writes the JSON rows to an explicit path.
+pub fn write_json_to(path: &std::path::Path, rows: &[SeriesReport]) -> std::io::Result<()> {
+    if let Some(parent) = path.parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent)?;
+        }
+    }
+    let mut file = std::fs::File::create(path)?;
+    file.write_all(to_json(rows).as_bytes())
 }
 
 /// Workspace-relative artefact directory.

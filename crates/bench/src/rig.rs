@@ -4,31 +4,25 @@
 //! vertices of a 2 m equilateral triangle (§VII-A, Figure 8). Experiment 3:
 //! bulb and phone 2 m apart, attacker at 1–10 m. The wall experiment adds
 //! an 8 dB wall between the attacker and the room.
-
-use std::cell::RefCell;
-use std::rc::Rc;
+//!
+//! This is a thin preset over [`ScenarioBuilder`]: the geometry knobs of
+//! [`RigConfig`] map one-to-one onto builder calls, and the arena-owned
+//! [`Scenario`] does the rest.
 
 use ble_devices::{Central, Lightbulb};
-use ble_link::ConnectionParams;
-use ble_phy::{Environment, NodeConfig, NodeId, Position, Simulation, Wall};
-use injectable::{Attacker, AttackerConfig};
-use simkit::{DriftClock, Duration, SimRng};
+use ble_phy::NodeId;
+use ble_scenario::{Scenario, ScenarioBuilder};
+use injectable::Attacker;
+use simkit::Duration;
 
 /// Default attacker transmit power: an nRF52840 dongle's default 0 dBm.
 pub const ATTACKER_TX_DBM: f64 = 0.0;
 
-/// A complete experiment scene.
+/// A complete experiment scene (a [`Scenario`] plus the handles the
+/// trial loop touches).
 pub struct ExperimentRig {
-    /// The simulation world.
-    pub sim: Simulation,
-    /// The victim Peripheral (lightbulb).
-    pub bulb: Rc<RefCell<Lightbulb>>,
-    /// The legitimate Central.
-    pub central: Rc<RefCell<Central>>,
-    /// The attacker.
-    pub attacker: Rc<RefCell<Attacker>>,
-    /// Attacker node id (for moving it between runs).
-    pub attacker_id: NodeId,
+    /// The built scene; owns the simulation world and every node.
+    pub scenario: Scenario,
     /// Handle of the bulb's control characteristic.
     pub control_handle: u16,
 }
@@ -78,106 +72,69 @@ impl ExperimentRig {
     /// the +x axis, the attacker on the −y axis (behind the optional wall
     /// at y = −0.5 m).
     pub fn new(seed: u64, cfg: &RigConfig) -> Self {
-        let mut rng = SimRng::seed_from(seed);
-        let mut env = Environment::indoor_default();
+        let mut builder = ScenarioBuilder::paper_rig(seed)
+            .hop_interval(cfg.hop_interval)
+            .attacker_distance(cfg.attacker_distance)
+            .central_distance(cfg.central_distance)
+            .victim_sca_ppm(cfg.victim_sca_ppm)
+            .attacker_sca_ppm(cfg.attacker_sca_ppm)
+            .widening_scale(cfg.widening_scale)
+            .attacker_tx_dbm(ATTACKER_TX_DBM)
+            .phy(cfg.phy);
         if let Some(db) = cfg.wall_db {
-            env = env.with_wall(Wall::new(
-                Position::new(-100.0, -0.5),
-                Position::new(100.0, -0.5),
-                db,
-            ));
+            builder = builder.wall_db(db);
         }
-        let mut sim = Simulation::new(env, rng.fork());
-
-        let mut bulb_obj = Lightbulb::new(0xB1, rng.fork());
-        bulb_obj.ll.set_widening_scale(cfg.widening_scale);
-        let control_handle = bulb_obj.control_handle();
-        let bulb_addr = bulb_obj.ll.address();
-        let bulb = Rc::new(RefCell::new(bulb_obj));
-
-        let params = ConnectionParams::typical(&mut rng, cfg.hop_interval);
-        let central = Rc::new(RefCell::new(Central::new(
-            0xA0,
-            bulb_addr,
-            params,
-            rng.fork(),
-        )));
-
-        let mut attacker_cfg = AttackerConfig {
-            target_slave: Some(bulb_addr),
-            ..AttackerConfig::default()
-        };
         if let Some(noise) = cfg.attacker_anchor_noise_us {
-            attacker_cfg.anchor_noise_us = noise;
+            builder = builder.attacker_anchor_noise_us(noise);
         }
-        let attacker = Rc::new(RefCell::new(Attacker::new(attacker_cfg)));
-
-        let bulb_id = sim.add_node(
-            NodeConfig::new("bulb", Position::new(0.0, 0.0))
-                .with_phy(cfg.phy)
-                .with_clock(
-                    DriftClock::realistic(cfg.victim_sca_ppm, &mut rng).with_jitter_us(1.0),
-                ),
-            bulb.clone(),
-        );
-        let central_id = sim.add_node(
-            NodeConfig::new("phone", Position::new(cfg.central_distance, 0.0))
-                .with_phy(cfg.phy)
-                .with_clock(
-                    DriftClock::realistic(cfg.victim_sca_ppm, &mut rng).with_jitter_us(1.0),
-                ),
-            central.clone(),
-        );
-        let attacker_id = sim.add_node(
-            NodeConfig::new("attacker", Position::new(0.0, -cfg.attacker_distance))
-                .with_tx_power(ATTACKER_TX_DBM)
-                .with_phy(cfg.phy)
-                .with_clock(
-                    DriftClock::realistic(cfg.attacker_sca_ppm, &mut rng).with_jitter_us(1.0),
-                ),
-            attacker.clone(),
-        );
-
-        {
-            let bulb = bulb.clone();
-            sim.with_ctx(bulb_id, |ctx| bulb.borrow_mut().start(ctx));
-        }
-        {
-            let central = central.clone();
-            sim.with_ctx(central_id, |ctx| central.borrow_mut().start(ctx));
-        }
-        {
-            let attacker = attacker.clone();
-            sim.with_ctx(attacker_id, |ctx| attacker.borrow_mut().start(ctx));
-        }
-
+        let scenario = builder.build();
+        let control_handle = scenario.victim_control_handle();
         ExperimentRig {
-            sim,
-            bulb,
-            central,
-            attacker,
-            attacker_id,
+            scenario,
             control_handle,
         }
+    }
+
+    /// The victim lightbulb.
+    pub fn bulb(&self) -> &Lightbulb {
+        self.scenario.victim::<Lightbulb>()
+    }
+
+    /// Mutable access to the victim lightbulb.
+    pub fn bulb_mut(&mut self) -> &mut Lightbulb {
+        self.scenario.victim_mut::<Lightbulb>()
+    }
+
+    /// The legitimate Central.
+    pub fn central(&self) -> &Central {
+        self.scenario.central()
+    }
+
+    /// Mutable access to the legitimate Central.
+    pub fn central_mut(&mut self) -> &mut Central {
+        self.scenario.central_mut()
+    }
+
+    /// The attacker.
+    pub fn attacker(&self) -> &Attacker {
+        self.scenario.attacker()
+    }
+
+    /// Mutable access to the attacker.
+    pub fn attacker_mut(&mut self) -> &mut Attacker {
+        self.scenario.attacker_mut()
+    }
+
+    /// Attacker node id (for moving it between runs).
+    pub fn attacker_id(&self) -> NodeId {
+        self.scenario
+            .attacker_id
+            .expect("paper rig always has an attacker")
     }
 
     /// Runs until the connection is up and the attacker follows it with
     /// sequence state. Returns `false` on setup timeout.
     pub fn wait_synchronised(&mut self, budget: Duration) -> bool {
-        let deadline = self.sim.now() + budget;
-        while self.sim.now() < deadline {
-            self.sim.run_for(Duration::from_millis(100));
-            let connected = self.central.borrow().ll.is_connected();
-            let following = self
-                .attacker
-                .borrow()
-                .connection()
-                .map(|c| c.has_slave_seq())
-                .unwrap_or(false);
-            if connected && following {
-                return true;
-            }
-        }
-        false
+        self.scenario.wait_synchronised(budget)
     }
 }

@@ -1,26 +1,10 @@
 //! Per-trial telemetry capture: sink selection, phase timing and the
 //! metric block that rides along in experiment report rows.
 
-use std::path::PathBuf;
-
 use ble_telemetry::{HistSummary, HistogramUs, MetricsRegistry};
 use serde::Serialize;
 
-/// How a trial captures telemetry.
-#[derive(Debug, Clone, Default)]
-pub enum TelemetryMode {
-    /// No sinks attached: every emit is a single branch-and-return (the
-    /// configuration the criterion benchmarks pin).
-    Off,
-    /// In-memory metrics registry (counters + µs histograms), summarised
-    /// into [`crate::trial::TrialOutcome::metrics`]. The default.
-    #[default]
-    Metrics,
-    /// Metrics plus a JSONL event stream written to this path, replayable
-    /// with the `timeline` binary. Parallel trials share the path and
-    /// overwrite each other — use this for single trials.
-    Jsonl(PathBuf),
-}
+pub use ble_scenario::TelemetryMode;
 
 /// Histogram summary in the shape report rows serialise (µs units).
 #[derive(Debug, Clone, Copy, Serialize)]

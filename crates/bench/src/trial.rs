@@ -91,7 +91,7 @@ pub struct TrialOutcome {
 fn attach_metrics(rig: &mut ExperimentRig) -> SharedRegistry {
     let sink = MetricsSink::new();
     let registry = sink.handle();
-    rig.sim.add_telemetry_sink(Box::new(sink));
+    rig.scenario.world.add_telemetry_sink(Box::new(sink));
     registry
 }
 
@@ -102,8 +102,8 @@ fn finish_metrics(
     sync_wall_s: f64,
     attack_wall_s: f64,
 ) -> Option<TrialMetrics> {
-    rig.sim.flush_telemetry();
-    registry.map(|reg| TrialMetrics::from_registry(&reg.borrow(), sync_wall_s, attack_wall_s))
+    rig.scenario.world.flush_telemetry();
+    registry.map(|reg| TrialMetrics::from_registry(&reg.lock(), sync_wall_s, attack_wall_s))
 }
 
 /// Runs a single trial to its first confirmed injection.
@@ -115,7 +115,7 @@ pub fn run_trial(cfg: &TrialConfig) -> TrialOutcome {
         TelemetryMode::Metrics => Some(attach_metrics(&mut rig)),
         TelemetryMode::Jsonl(path) => {
             match JsonlSink::create(path) {
-                Ok(sink) => rig.sim.add_telemetry_sink(Box::new(sink)),
+                Ok(sink) => rig.scenario.world.add_telemetry_sink(Box::new(sink)),
                 Err(err) => eprintln!(
                     "warning: cannot write JSONL telemetry to {}: {err}",
                     path.display()
@@ -129,24 +129,24 @@ pub fn run_trial(cfg: &TrialConfig) -> TrialOutcome {
         let metrics = finish_metrics(&mut rig, registry.as_ref(), sync_wall_s, 0.0);
         return TrialOutcome {
             attempts: None,
-            sim_seconds: rig.sim.now().as_micros_f64() / 1e6,
+            sim_seconds: rig.scenario.now().as_micros_f64() / 1e6,
             effect_observed: false,
             metrics,
         };
     }
     let sync_wall_s = wall_start.elapsed().as_secs_f64();
-    rig.attacker.borrow_mut().arm(Mission::InjectRaw {
+    rig.attacker_mut().arm(Mission::InjectRaw {
         llid: cfg.llid,
         payload: cfg.payload.clone(),
         wanted_successes: 1,
     });
-    let deadline = rig.sim.now() + cfg.sim_budget;
+    let deadline = rig.scenario.now() + cfg.sim_budget;
     let mut attempts = None;
     let mut desync_ticks = 0u32;
-    while rig.sim.now() < deadline {
-        rig.sim.run_for(Duration::from_millis(200));
+    while rig.scenario.now() < deadline {
+        rig.scenario.run_for(Duration::from_millis(200));
         {
-            let attacker = rig.attacker.borrow();
+            let attacker = rig.attacker();
             if attacker.stats().successes() >= 1 {
                 attempts = attacker.stats().attempts_to_first_success();
                 break;
@@ -155,7 +155,7 @@ pub fn run_trial(cfg: &TrialConfig) -> TrialOutcome {
             // cycled while it was injecting blind. The paper's operators
             // simply restarted the connection; do the same: bounce the
             // central so a fresh CONNECT_REQ reaches the scanning sniffer.
-            if attacker.connection().is_none() && rig.central.borrow().ll.is_connected() {
+            if attacker.connection().is_none() && rig.central().ll.is_connected() {
                 desync_ticks += 1;
             } else {
                 desync_ticks = 0;
@@ -163,15 +163,15 @@ pub fn run_trial(cfg: &TrialConfig) -> TrialOutcome {
         }
         if desync_ticks >= 10 {
             desync_ticks = 0;
-            rig.central.borrow_mut().ll.request_disconnect(0x13);
+            rig.central_mut().ll.request_disconnect(0x13);
         }
     }
     let attack_wall_s = wall_start.elapsed().as_secs_f64() - sync_wall_s;
     let metrics = finish_metrics(&mut rig, registry.as_ref(), sync_wall_s, attack_wall_s);
-    let effect_observed = rig.bulb.borrow().app.pings > 0;
+    let effect_observed = rig.bulb().app.pings > 0;
     TrialOutcome {
         attempts,
-        sim_seconds: rig.sim.now().as_micros_f64() / 1e6,
+        sim_seconds: rig.scenario.now().as_micros_f64() / 1e6,
         effect_observed,
         metrics,
     }

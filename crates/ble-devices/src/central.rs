@@ -174,6 +174,10 @@ impl Central {
 }
 
 impl RadioListener for Central {
+    fn on_start(&mut self, ctx: &mut NodeCtx<'_>) {
+        self.start(ctx);
+    }
+
     fn on_event(&mut self, ctx: &mut NodeCtx<'_>, event: RadioEvent) {
         if let RadioEvent::Timer { key, .. } = &event {
             if key.0 & 0xFF >= APP_TIMER_BASE {

@@ -1,54 +1,28 @@
 //! End-to-end device tests: a Central drives the three victim devices over
 //! the simulated radio, exactly like the paper's legitimate traffic.
 
-use std::cell::RefCell;
-use std::rc::Rc;
-
 use ble_devices::{bulb_payloads, Central, Keyfob, Lightbulb, Smartwatch};
 use ble_host::HostEvent;
 use ble_link::ConnectionParams;
-use ble_phy::{Environment, NodeConfig, Position, Simulation};
+use ble_phy::{NodeConfig, Position};
+use ble_scenario::{DeviceKind, ScenarioBuilder};
 use simkit::{DriftClock, Duration, SimRng};
-
-fn sim(seed: u64) -> Simulation {
-    Simulation::new(Environment::indoor_default(), SimRng::seed_from(seed))
-}
-
-fn clock(rng: &mut SimRng) -> DriftClock {
-    DriftClock::with_random_error(50.0, rng).with_jitter_us(1.0)
-}
 
 #[test]
 fn central_turns_the_bulb_on_and_recolours_it() {
-    let mut rng = SimRng::seed_from(1);
-    let mut sim = sim(2);
-    let bulb = Rc::new(RefCell::new(Lightbulb::new(0xB1, rng.fork())));
-    let control = bulb.borrow().control_handle();
-    let params = ConnectionParams::typical(&mut rng, 36);
-    let mut central_obj = Central::new(0xA0, bulb.borrow().ll.address(), params, rng.fork());
-    central_obj.on_connect_writes = vec![
+    let mut s = ScenarioBuilder::legit(1).world_seed(2).build();
+    let control = s.victim_control_handle();
+    s.central_mut().on_connect_writes = vec![
         (control, bulb_payloads::power_on(), true),
         (control, bulb_payloads::colour(255, 0, 0), true),
     ];
-    let central = Rc::new(RefCell::new(central_obj));
+    s.run_for(Duration::from_secs(2));
 
-    let b = sim.add_node(
-        NodeConfig::new("bulb", Position::new(0.0, 0.0)).with_clock(clock(&mut rng)),
-        bulb.clone(),
-    );
-    let c = sim.add_node(
-        NodeConfig::new("phone", Position::new(2.0, 0.0)).with_clock(clock(&mut rng)),
-        central.clone(),
-    );
-    sim.with_ctx(b, |ctx| bulb.borrow_mut().start(ctx));
-    sim.with_ctx(c, |ctx| central.borrow_mut().start(ctx));
-    sim.run_for(Duration::from_secs(2));
-
-    let bulb = bulb.borrow();
+    let bulb = s.victim::<Lightbulb>();
     assert!(bulb.app.on, "bulb turned on");
     assert_eq!(bulb.app.rgb, (255, 0, 0), "bulb recoloured");
     assert_eq!(bulb.connections, 1);
-    let central = central.borrow();
+    let central = s.central();
     assert_eq!(central.connections, 1);
     assert!(
         central
@@ -62,85 +36,48 @@ fn central_turns_the_bulb_on_and_recolours_it() {
 
 #[test]
 fn central_rings_the_keyfob() {
-    let mut rng = SimRng::seed_from(3);
-    let mut sim = sim(4);
-    let fob = Rc::new(RefCell::new(Keyfob::new(0xF0, rng.fork())));
-    let alert = fob.borrow().alert_handle();
-    let params = ConnectionParams::typical(&mut rng, 24);
-    let mut central_obj = Central::new(0xA0, fob.borrow().ll.address(), params, rng.fork());
-    central_obj.on_connect_writes = vec![(alert, vec![2], false)];
-    let central = Rc::new(RefCell::new(central_obj));
-    let f = sim.add_node(
-        NodeConfig::new("fob", Position::new(0.0, 0.0)).with_clock(clock(&mut rng)),
-        fob.clone(),
-    );
-    let c = sim.add_node(
-        NodeConfig::new("phone", Position::new(1.0, 0.0)).with_clock(clock(&mut rng)),
-        central.clone(),
-    );
-    sim.with_ctx(f, |ctx| fob.borrow_mut().start(ctx));
-    sim.with_ctx(c, |ctx| central.borrow_mut().start(ctx));
-    sim.run_for(Duration::from_secs(2));
-    assert_eq!(fob.borrow().app.rings, 1);
-    assert_eq!(fob.borrow().app.alert_level, 2);
+    let mut s = ScenarioBuilder::legit(3)
+        .world_seed(4)
+        .device(DeviceKind::Keyfob)
+        .hop_interval(24)
+        .central_distance(1.0)
+        .build();
+    let alert = s.victim_control_handle();
+    s.central_mut().on_connect_writes = vec![(alert, vec![2], false)];
+    s.run_for(Duration::from_secs(2));
+    assert_eq!(s.victim::<Keyfob>().app.rings, 1);
+    assert_eq!(s.victim::<Keyfob>().app.alert_level, 2);
 }
 
 #[test]
 fn central_sends_sms_to_the_watch() {
-    let mut rng = SimRng::seed_from(5);
-    let mut sim = sim(6);
-    let watch = Rc::new(RefCell::new(Smartwatch::new(0xCC, rng.fork())));
-    let msg = watch.borrow().message_handle();
-    let params = ConnectionParams::typical(&mut rng, 36);
-    let mut central_obj = Central::new(0xA0, watch.borrow().ll.address(), params, rng.fork());
-    central_obj.on_connect_writes = vec![(msg, b"SMS: meeting at noon".to_vec(), true)];
-    let central = Rc::new(RefCell::new(central_obj));
-    let w = sim.add_node(
-        NodeConfig::new("watch", Position::new(0.0, 0.0)).with_clock(clock(&mut rng)),
-        watch.clone(),
-    );
-    let c = sim.add_node(
-        NodeConfig::new("phone", Position::new(1.5, 0.0)).with_clock(clock(&mut rng)),
-        central.clone(),
-    );
-    sim.with_ctx(w, |ctx| watch.borrow_mut().start(ctx));
-    sim.with_ctx(c, |ctx| central.borrow_mut().start(ctx));
-    sim.run_for(Duration::from_secs(2));
+    let mut s = ScenarioBuilder::legit(5)
+        .world_seed(6)
+        .device(DeviceKind::Smartwatch)
+        .central_distance(1.5)
+        .build();
+    let msg = s.victim_control_handle();
+    s.central_mut().on_connect_writes = vec![(msg, b"SMS: meeting at noon".to_vec(), true)];
+    s.run_for(Duration::from_secs(2));
     assert_eq!(
-        watch.borrow().inbox_strings(),
+        s.victim::<Smartwatch>().inbox_strings(),
         vec!["SMS: meeting at noon".to_string()]
     );
 }
 
 #[test]
 fn central_reconnects_after_disconnection() {
-    let mut rng = SimRng::seed_from(7);
-    let mut sim = sim(8);
-    let bulb = Rc::new(RefCell::new(Lightbulb::new(0xB1, rng.fork())));
-    let params = ConnectionParams::typical(&mut rng, 24);
-    let central = Rc::new(RefCell::new(Central::new(
-        0xA0,
-        bulb.borrow().ll.address(),
-        params,
-        rng.fork(),
-    )));
-    let b = sim.add_node(
-        NodeConfig::new("bulb", Position::new(0.0, 0.0)).with_clock(clock(&mut rng)),
-        bulb.clone(),
-    );
-    let c = sim.add_node(
-        NodeConfig::new("phone", Position::new(2.0, 0.0)).with_clock(clock(&mut rng)),
-        central.clone(),
-    );
-    sim.with_ctx(b, |ctx| bulb.borrow_mut().start(ctx));
-    sim.with_ctx(c, |ctx| central.borrow_mut().start(ctx));
-    sim.run_for(Duration::from_secs(1));
-    assert_eq!(central.borrow().connections, 1);
+    let mut s = ScenarioBuilder::legit(7)
+        .world_seed(8)
+        .hop_interval(24)
+        .build();
+    s.run_for(Duration::from_secs(1));
+    assert_eq!(s.central().connections, 1);
     // Tear the connection down from the central side.
-    central.borrow_mut().ll.request_disconnect(0x13);
-    sim.run_for(Duration::from_secs(2));
-    let central = central.borrow();
-    let bulb = bulb.borrow();
+    s.central_mut().ll.request_disconnect(0x13);
+    s.run_for(Duration::from_secs(2));
+    let central = s.central();
+    let bulb = s.victim::<Lightbulb>();
     assert!(
         central.connections >= 2,
         "reconnected ({})",
@@ -152,83 +89,64 @@ fn central_reconnects_after_disconnection() {
 
 #[test]
 fn pairing_and_encryption_through_real_devices() {
-    let mut rng = SimRng::seed_from(9);
-    let mut sim = sim(10);
-    let bulb = Rc::new(RefCell::new(Lightbulb::new(0xB1, rng.fork())));
-    let control = bulb.borrow().control_handle();
-    let params = ConnectionParams::typical(&mut rng, 24);
-    let mut central_obj = Central::new(0xA0, bulb.borrow().ll.address(), params, rng.fork());
-    central_obj.pair_on_connect = true;
-    let central = Rc::new(RefCell::new(central_obj));
-    let b = sim.add_node(
-        NodeConfig::new("bulb", Position::new(0.0, 0.0)).with_clock(clock(&mut rng)),
-        bulb.clone(),
-    );
-    let c = sim.add_node(
-        NodeConfig::new("phone", Position::new(2.0, 0.0)).with_clock(clock(&mut rng)),
-        central.clone(),
-    );
-    sim.with_ctx(b, |ctx| bulb.borrow_mut().start(ctx));
-    sim.with_ctx(c, |ctx| central.borrow_mut().start(ctx));
-    sim.run_for(Duration::from_secs(3));
+    let mut s = ScenarioBuilder::legit(9)
+        .world_seed(10)
+        .hop_interval(24)
+        .build();
+    let control = s.victim_control_handle();
+    s.central_mut().pair_on_connect = true;
+    s.run_for(Duration::from_secs(3));
+    assert!(s.central().host.is_encrypted(), "central link encrypted");
     assert!(
-        central.borrow().host.is_encrypted(),
-        "central link encrypted"
+        s.victim::<Lightbulb>().host.is_encrypted(),
+        "bulb link encrypted"
     );
-    assert!(bulb.borrow().host.is_encrypted(), "bulb link encrypted");
     // Application traffic still works over the encrypted link.
-    central
-        .borrow_mut()
-        .write(control, bulb_payloads::power_on());
-    sim.run_for(Duration::from_secs(1));
-    assert!(bulb.borrow().app.on, "encrypted write applied");
+    s.central_mut().write(control, bulb_payloads::power_on());
+    s.run_for(Duration::from_secs(1));
+    assert!(s.victim::<Lightbulb>().app.on, "encrypted write applied");
 }
 
 #[test]
 fn two_independent_connections_coexist() {
+    // Two victim/central pairs in one room: this topology is beyond the
+    // single-victim builder, so it drives the arena API directly.
+    use ble_phy::{Environment, Simulation};
     let mut rng = SimRng::seed_from(11);
-    let mut sim = sim(12);
-    let bulb = Rc::new(RefCell::new(Lightbulb::new(0xB1, rng.fork())));
-    let fob = Rc::new(RefCell::new(Keyfob::new(0xF0, rng.fork())));
-    let bulb_control = bulb.borrow().control_handle();
-    let fob_alert = fob.borrow().alert_handle();
+    let mut sim = Simulation::new(Environment::indoor_default(), SimRng::seed_from(12));
+    let clock = |rng: &mut SimRng| DriftClock::with_random_error(50.0, rng).with_jitter_us(1.0);
+    let bulb = Lightbulb::new(0xB1, rng.fork());
+    let fob = Keyfob::new(0xF0, rng.fork());
+    let bulb_control = bulb.control_handle();
+    let fob_alert = fob.alert_handle();
     let p1 = ConnectionParams::typical(&mut rng, 36);
     let p2 = ConnectionParams::typical(&mut rng, 24);
-    let mut c1 = Central::new(0xA0, bulb.borrow().ll.address(), p1, rng.fork());
+    let mut c1 = Central::new(0xA0, bulb.ll.address(), p1, rng.fork());
     c1.on_connect_writes = vec![(bulb_control, bulb_payloads::power_on(), true)];
-    let mut c2 = Central::new(0xA1, fob.borrow().ll.address(), p2, rng.fork());
+    let mut c2 = Central::new(0xA1, fob.ll.address(), p2, rng.fork());
     c2.on_connect_writes = vec![(fob_alert, vec![1], false)];
-    let c1 = Rc::new(RefCell::new(c1));
-    let c2 = Rc::new(RefCell::new(c2));
-    let nodes: Vec<(&str, Position)> = vec![
-        ("bulb", Position::new(0.0, 0.0)),
-        ("fob", Position::new(5.0, 5.0)),
-        ("phone1", Position::new(1.0, 0.0)),
-        ("phone2", Position::new(5.0, 6.0)),
-    ];
     let b = sim.add_node(
-        NodeConfig::new(nodes[0].0, nodes[0].1).with_clock(clock(&mut rng)),
-        bulb.clone(),
+        NodeConfig::new("bulb", Position::new(0.0, 0.0)).with_clock(clock(&mut rng)),
+        bulb,
     );
     let f = sim.add_node(
-        NodeConfig::new(nodes[1].0, nodes[1].1).with_clock(clock(&mut rng)),
-        fob.clone(),
+        NodeConfig::new("fob", Position::new(5.0, 5.0)).with_clock(clock(&mut rng)),
+        fob,
     );
     let n1 = sim.add_node(
-        NodeConfig::new(nodes[2].0, nodes[2].1).with_clock(clock(&mut rng)),
-        c1.clone(),
+        NodeConfig::new("phone1", Position::new(1.0, 0.0)).with_clock(clock(&mut rng)),
+        c1,
     );
     let n2 = sim.add_node(
-        NodeConfig::new(nodes[3].0, nodes[3].1).with_clock(clock(&mut rng)),
-        c2.clone(),
+        NodeConfig::new("phone2", Position::new(5.0, 6.0)).with_clock(clock(&mut rng)),
+        c2,
     );
-    sim.with_ctx(b, |ctx| bulb.borrow_mut().start(ctx));
-    sim.with_ctx(f, |ctx| fob.borrow_mut().start(ctx));
-    sim.with_ctx(n1, |ctx| c1.borrow_mut().start(ctx));
-    sim.with_ctx(n2, |ctx| c2.borrow_mut().start(ctx));
+    for id in [b, f, n1, n2] {
+        sim.start(id);
+    }
     sim.run_for(Duration::from_secs(3));
-    assert!(bulb.borrow().app.on);
-    assert_eq!(fob.borrow().app.rings, 1);
-    assert!(c1.borrow().ll.is_connected());
-    assert!(c2.borrow().ll.is_connected());
+    assert!(sim.node::<Lightbulb>(b).unwrap().app.on);
+    assert_eq!(sim.node::<Keyfob>(f).unwrap().app.rings, 1);
+    assert!(sim.node::<Central>(n1).unwrap().ll.is_connected());
+    assert!(sim.node::<Central>(n2).unwrap().ll.is_connected());
 }

@@ -4,9 +4,7 @@
 
 #![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)] // test code may panic freely
 
-use std::cell::RefCell;
 use std::collections::VecDeque;
-use std::rc::Rc;
 
 use ble_link::{
     AddressType, ChannelMap, ConnectionParams, DeviceAddress, LinkLayer, LinkLayerDelegate, Llid,
@@ -68,10 +66,23 @@ impl RadioListener for Device {
 
 struct Rig {
     sim: Simulation,
-    master: Rc<RefCell<Device>>,
-    slave: Rc<RefCell<Device>>,
     master_id: ble_phy::NodeId,
     slave_id: ble_phy::NodeId,
+}
+
+impl Rig {
+    fn master(&self) -> &Device {
+        self.sim.node::<Device>(self.master_id).unwrap()
+    }
+    fn master_mut(&mut self) -> &mut Device {
+        self.sim.node_mut::<Device>(self.master_id).unwrap()
+    }
+    fn slave(&self) -> &Device {
+        self.sim.node::<Device>(self.slave_id).unwrap()
+    }
+    fn slave_mut(&mut self) -> &mut Device {
+        self.sim.node_mut::<Device>(self.slave_id).unwrap()
+    }
 }
 
 fn addr(seed: u8) -> DeviceAddress {
@@ -82,27 +93,26 @@ fn addr(seed: u8) -> DeviceAddress {
 fn connected_rig(seed: u64, hop_interval: u16) -> Rig {
     let mut rng = SimRng::seed_from(seed);
     let mut sim = Simulation::new(Environment::indoor_default(), SimRng::seed_from(seed + 1));
-    let slave = Rc::new(RefCell::new(Device {
+    let slave = Device {
         ll: LinkLayer::new(addr(0xB0), SleepClockAccuracy::Ppm50),
         host: TestHost::default(),
-    }));
-    let master = Rc::new(RefCell::new(Device {
+    };
+    let master = Device {
         ll: LinkLayer::new(addr(0xA0), SleepClockAccuracy::Ppm50),
         host: TestHost::default(),
-    }));
+    };
     let slave_id = sim.add_node(
         NodeConfig::new("slave", Position::new(0.0, 0.0))
             .with_clock(DriftClock::with_random_error(50.0, &mut rng).with_jitter_us(1.0)),
-        slave.clone(),
+        slave,
     );
     let master_id = sim.add_node(
         NodeConfig::new("master", Position::new(2.0, 0.0))
             .with_clock(DriftClock::with_random_error(50.0, &mut rng).with_jitter_us(1.0)),
-        master.clone(),
+        master,
     );
     let params = ConnectionParams::typical(&mut rng, hop_interval);
-    sim.with_ctx(slave_id, |ctx| {
-        let dev = &mut *slave.borrow_mut();
+    sim.with_node_ctx::<Device, _>(slave_id, |dev, ctx| {
         dev.ll.start_advertising(
             ctx,
             b"\x02\x01\x06".to_vec(),
@@ -110,16 +120,13 @@ fn connected_rig(seed: u64, hop_interval: u16) -> Rig {
             Duration::from_millis(60),
         );
     });
-    sim.with_ctx(master_id, |ctx| {
-        let dev = &mut *master.borrow_mut();
+    sim.with_node_ctx::<Device, _>(master_id, |dev, ctx| {
         dev.ll.start_initiating(ctx, addr(0xB0), params);
     });
     // Let advertising + connection establishment happen.
     sim.run_for(Duration::from_millis(500));
     Rig {
         sim,
-        master,
-        slave,
         master_id,
         slave_id,
     }
@@ -128,8 +135,8 @@ fn connected_rig(seed: u64, hop_interval: u16) -> Rig {
 #[test]
 fn connection_establishes_in_both_roles() {
     let rig = connected_rig(1, 36);
-    let m = rig.master.borrow();
-    let s = rig.slave.borrow();
+    let m = rig.master();
+    let s = rig.slave();
     let (mr, mp, mpeer) = m.host.connected.as_ref().expect("master connected");
     let (sr, sp, speer) = s.host.connected.as_ref().expect("slave connected");
     assert_eq!(*mr, Role::Master);
@@ -144,8 +151,8 @@ fn connection_establishes_in_both_roles() {
 fn connection_survives_and_hops_channels() {
     let mut rig = connected_rig(2, 36);
     rig.sim.run_for(Duration::from_secs(5));
-    let m = rig.master.borrow();
-    let s = rig.slave.borrow();
+    let m = rig.master();
+    let s = rig.slave();
     assert!(m.ll.is_connected(), "master alive after 5 s");
     assert!(s.ll.is_connected(), "slave alive after 5 s");
     let mi = m.ll.connection_info().unwrap();
@@ -160,19 +167,17 @@ fn connection_survives_and_hops_channels() {
 #[test]
 fn data_flows_in_both_directions_with_acknowledgement() {
     let mut rig = connected_rig(3, 24);
-    rig.master
-        .borrow_mut()
+    rig.master_mut()
         .host
         .outgoing
         .push_back((Llid::StartOrComplete, vec![0xAA, 1, 2, 3]));
-    rig.slave
-        .borrow_mut()
+    rig.slave_mut()
         .host
         .outgoing
         .push_back((Llid::StartOrComplete, vec![0xBB, 9]));
     rig.sim.run_for(Duration::from_millis(500));
-    let m = rig.master.borrow();
-    let s = rig.slave.borrow();
+    let m = rig.master();
+    let s = rig.slave();
     assert!(s
         .host
         .received
@@ -190,14 +195,13 @@ fn data_flows_in_both_directions_with_acknowledgement() {
 fn many_packets_delivered_in_order_exactly_once() {
     let mut rig = connected_rig(4, 12);
     for i in 0..30u8 {
-        rig.master
-            .borrow_mut()
+        rig.master_mut()
             .host
             .outgoing
             .push_back((Llid::StartOrComplete, vec![i, i ^ 0x5A]));
     }
     rig.sim.run_for(Duration::from_secs(3));
-    let s = rig.slave.borrow();
+    let s = rig.slave();
     let got: Vec<u8> = s.host.received.iter().map(|(_, p)| p[0]).collect();
     assert_eq!(got, (0..30).collect::<Vec<u8>>());
 }
@@ -205,13 +209,12 @@ fn many_packets_delivered_in_order_exactly_once() {
 #[test]
 fn master_initiated_terminate_disconnects_both() {
     let mut rig = connected_rig(5, 36);
-    rig.master
-        .borrow_mut()
+    rig.master_mut()
         .ll
         .request_disconnect(ERR_REMOTE_USER_TERMINATED);
     rig.sim.run_for(Duration::from_millis(300));
-    let m = rig.master.borrow();
-    let s = rig.slave.borrow();
+    let m = rig.master();
+    let s = rig.slave();
     assert!(!m.ll.is_connected());
     assert!(!s.ll.is_connected());
     assert_eq!(s.host.disconnect_reason, Some(ERR_REMOTE_USER_TERMINATED));
@@ -220,13 +223,12 @@ fn master_initiated_terminate_disconnects_both() {
 #[test]
 fn slave_initiated_terminate_disconnects_both() {
     let mut rig = connected_rig(6, 36);
-    rig.slave
-        .borrow_mut()
+    rig.slave_mut()
         .ll
         .request_disconnect(ERR_REMOTE_USER_TERMINATED);
     rig.sim.run_for(Duration::from_millis(300));
-    assert!(!rig.master.borrow().ll.is_connected());
-    assert!(!rig.slave.borrow().ll.is_connected());
+    assert!(!rig.master().ll.is_connected());
+    assert!(!rig.slave().ll.is_connected());
 }
 
 #[test]
@@ -236,8 +238,8 @@ fn supervision_timeout_fires_when_peer_vanishes() {
     rig.sim
         .set_node_position(rig.master_id, Position::new(1.0e7, 0.0));
     rig.sim.run_for(Duration::from_secs(3));
-    let m = rig.master.borrow();
-    let s = rig.slave.borrow();
+    let m = rig.master();
+    let s = rig.slave();
     assert!(!s.ll.is_connected(), "slave must hit supervision timeout");
     assert!(!m.ll.is_connected(), "master must hit supervision timeout");
     assert_eq!(s.host.disconnect_reason, Some(0x08));
@@ -246,7 +248,7 @@ fn supervision_timeout_fires_when_peer_vanishes() {
 #[test]
 fn connection_update_changes_interval_and_connection_survives() {
     let mut rig = connected_rig(8, 24);
-    rig.master.borrow_mut().ll.request_connection_update(
+    rig.master_mut().ll.request_connection_update(
         UpdateRequest {
             win_size: 2,
             win_offset: 3,
@@ -258,8 +260,8 @@ fn connection_update_changes_interval_and_connection_survives() {
     );
     rig.sim.run_for(Duration::from_secs(4));
     {
-        let m = rig.master.borrow();
-        let s = rig.slave.borrow();
+        let m = rig.master();
+        let s = rig.slave();
         assert!(
             m.ll.is_connected() && s.ll.is_connected(),
             "survives the update"
@@ -271,15 +273,13 @@ fn connection_update_changes_interval_and_connection_survives() {
         assert_eq!(mi.next_event_counter, si.next_event_counter);
     }
     // Data still flows after the update.
-    rig.master
-        .borrow_mut()
+    rig.master_mut()
         .host
         .outgoing
         .push_back((Llid::StartOrComplete, vec![0x42]));
     rig.sim.run_for(Duration::from_millis(500));
     assert!(rig
-        .slave
-        .borrow()
+        .slave()
         .host
         .received
         .iter()
@@ -290,14 +290,11 @@ fn connection_update_changes_interval_and_connection_survives() {
 fn channel_map_update_restricts_hopping() {
     let mut rig = connected_rig(9, 24);
     let map = ChannelMap::from_indices(&[0, 4, 8, 12, 16, 20, 24, 28, 32, 36]);
-    rig.master
-        .borrow_mut()
-        .ll
-        .request_channel_map_update(map, 8);
+    rig.master_mut().ll.request_channel_map_update(map, 8);
     rig.sim.run_for(Duration::from_secs(3));
     {
-        let m = rig.master.borrow();
-        let s = rig.slave.borrow();
+        let m = rig.master();
+        let s = rig.slave();
         assert!(
             m.ll.is_connected() && s.ll.is_connected(),
             "survives the map change"
@@ -306,15 +303,13 @@ fn channel_map_update_restricts_hopping() {
         assert_eq!(s.ll.connection_info().unwrap().params.channel_map, map);
     }
     // Still exchanging data on the narrowed map.
-    rig.master
-        .borrow_mut()
+    rig.master_mut()
         .host
         .outgoing
         .push_back((Llid::StartOrComplete, vec![0x77]));
     rig.sim.run_for(Duration::from_millis(500));
     assert!(rig
-        .slave
-        .borrow()
+        .slave()
         .host
         .received
         .iter()
@@ -325,70 +320,50 @@ fn channel_map_update_restricts_hopping() {
 fn encryption_activates_and_data_still_flows() {
     let mut rig = connected_rig(10, 24);
     let ltk = [0x4C; 16];
-    rig.slave.borrow_mut().host.ltk = Some(ltk);
-    {
-        let master = rig.master.clone();
-        rig.sim.with_ctx(rig.master_id, |ctx| {
-            master
-                .borrow_mut()
-                .ll
-                .request_encryption(ctx, ltk, [7; 8], 0x1234);
+    rig.slave_mut().host.ltk = Some(ltk);
+    rig.sim
+        .with_node_ctx::<Device, _>(rig.master_id, |dev, ctx| {
+            dev.ll.request_encryption(ctx, ltk, [7; 8], 0x1234);
         });
-    }
     rig.sim.run_for(Duration::from_secs(2));
-    assert!(
-        rig.master.borrow().host.encrypted,
-        "master reports encryption"
-    );
-    assert!(
-        rig.slave.borrow().host.encrypted,
-        "slave reports encryption"
-    );
-    rig.master
-        .borrow_mut()
+    assert!(rig.master().host.encrypted, "master reports encryption");
+    assert!(rig.slave().host.encrypted, "slave reports encryption");
+    rig.master_mut()
         .host
         .outgoing
         .push_back((Llid::StartOrComplete, b"secret payload".to_vec()));
-    rig.slave
-        .borrow_mut()
+    rig.slave_mut()
         .host
         .outgoing
         .push_back((Llid::StartOrComplete, b"secret reply".to_vec()));
     rig.sim.run_for(Duration::from_secs(1));
     assert!(rig
-        .slave
-        .borrow()
+        .slave()
         .host
         .received
         .iter()
         .any(|(_, p)| p == b"secret payload"));
     assert!(rig
-        .master
-        .borrow()
+        .master()
         .host
         .received
         .iter()
         .any(|(_, p)| p == b"secret reply"));
-    assert!(rig.master.borrow().ll.connection_info().unwrap().encrypted);
+    assert!(rig.master().ll.connection_info().unwrap().encrypted);
 }
 
 #[test]
 fn encryption_rejected_without_ltk() {
     let mut rig = connected_rig(11, 24);
     // Slave has no LTK: procedure is rejected, connection stays plaintext.
-    {
-        let master = rig.master.clone();
-        rig.sim.with_ctx(rig.master_id, |ctx| {
-            master
-                .borrow_mut()
-                .ll
-                .request_encryption(ctx, [1; 16], [7; 8], 0x1234);
+    rig.sim
+        .with_node_ctx::<Device, _>(rig.master_id, |dev, ctx| {
+            dev.ll.request_encryption(ctx, [1; 16], [7; 8], 0x1234);
         });
-    }
     rig.sim.run_for(Duration::from_secs(2));
-    assert!(!rig.slave.borrow().host.encrypted);
+    assert!(!rig.slave().host.encrypted);
     assert!(
-        rig.slave.borrow().ll.is_connected(),
+        rig.slave().ll.is_connected(),
         "connection survives rejection"
     );
 }
@@ -397,8 +372,8 @@ fn encryption_rejected_without_ltk() {
 fn sequence_numbers_track_between_peers() {
     let mut rig = connected_rig(12, 36);
     rig.sim.run_for(Duration::from_secs(1));
-    let m = rig.master.borrow();
-    let s = rig.slave.borrow();
+    let m = rig.master();
+    let s = rig.slave();
     let mi = m.ll.connection_info().unwrap();
     let si = s.ll.connection_info().unwrap();
     // SN/NESN algebra: at most one direction may have an unacknowledged
@@ -421,25 +396,19 @@ fn mic_failure_terminates_encrypted_connection() {
     // assert the encrypted link itself stays healthy over time instead.
     let mut rig = connected_rig(13, 24);
     let ltk = [0x4C; 16];
-    rig.slave.borrow_mut().host.ltk = Some(ltk);
-    {
-        let master = rig.master.clone();
-        rig.sim.with_ctx(rig.master_id, |ctx| {
-            master
-                .borrow_mut()
-                .ll
-                .request_encryption(ctx, ltk, [7; 8], 0x1234);
+    rig.slave_mut().host.ltk = Some(ltk);
+    rig.sim
+        .with_node_ctx::<Device, _>(rig.master_id, |dev, ctx| {
+            dev.ll.request_encryption(ctx, ltk, [7; 8], 0x1234);
         });
-    }
     for i in 0..20u8 {
-        rig.master
-            .borrow_mut()
+        rig.master_mut()
             .host
             .outgoing
             .push_back((Llid::StartOrComplete, vec![i; 8]));
     }
     rig.sim.run_for(Duration::from_secs(4));
-    let s = rig.slave.borrow();
+    let s = rig.slave();
     assert!(s.ll.is_connected());
     assert_eq!(s.host.received.len(), 20, "all encrypted PDUs delivered");
     let _ = ERR_MIC_FAILURE; // exercised in injectable's countermeasure test
@@ -449,8 +418,8 @@ fn mic_failure_terminates_encrypted_connection() {
 fn rig_is_deterministic_per_seed() {
     let a = connected_rig(14, 36);
     let b = connected_rig(14, 36);
-    let ia = a.master.borrow().ll.connection_info().unwrap();
-    let ib = b.master.borrow().ll.connection_info().unwrap();
+    let ia = a.master().ll.connection_info().unwrap();
+    let ib = b.master().ll.connection_info().unwrap();
     assert_eq!(ia.next_event_counter, ib.next_event_counter);
     assert_eq!(ia.last_anchor, ib.last_anchor);
     assert_eq!(ia.params.access_address, ib.params.access_address);
@@ -464,67 +433,64 @@ fn slave_latency_skips_events_but_connection_survives() {
     // appears.
     let mut rng = SimRng::seed_from(40);
     let mut sim = Simulation::new(Environment::indoor_default(), SimRng::seed_from(41));
-    let slave = Rc::new(RefCell::new(Device {
+    let slave = Device {
         ll: LinkLayer::new(addr(0xB0), SleepClockAccuracy::Ppm50),
         host: TestHost::default(),
-    }));
-    let master = Rc::new(RefCell::new(Device {
+    };
+    let master = Device {
         ll: LinkLayer::new(addr(0xA0), SleepClockAccuracy::Ppm50),
         host: TestHost::default(),
-    }));
+    };
     let slave_id = sim.add_node(
         NodeConfig::new("slave", Position::new(0.0, 0.0))
             .with_clock(DriftClock::realistic(50.0, &mut rng).with_jitter_us(1.0)),
-        slave.clone(),
+        slave,
     );
     let master_id = sim.add_node(
         NodeConfig::new("master", Position::new(2.0, 0.0))
             .with_clock(DriftClock::realistic(50.0, &mut rng).with_jitter_us(1.0)),
-        master.clone(),
+        master,
     );
     let mut params = ConnectionParams::typical(&mut rng, 24);
     params.latency = 3;
     params.timeout = 300; // supervision must cover latency × interval
-    sim.with_ctx(slave_id, |ctx| {
-        slave
-            .borrow_mut()
-            .ll
+    sim.with_node_ctx::<Device, _>(slave_id, |dev, ctx| {
+        dev.ll
             .start_advertising(ctx, vec![1], vec![], Duration::from_millis(60));
     });
-    sim.with_ctx(master_id, |ctx| {
-        master
-            .borrow_mut()
-            .ll
-            .start_initiating(ctx, addr(0xB0), params);
+    sim.with_node_ctx::<Device, _>(master_id, |dev, ctx| {
+        dev.ll.start_initiating(ctx, addr(0xB0), params);
     });
     sim.run_for(Duration::from_secs(6));
     assert!(
-        master.borrow().ll.is_connected(),
+        sim.node::<Device>(master_id).unwrap().ll.is_connected(),
         "connection survives latency"
     );
-    assert!(slave.borrow().ll.is_connected());
+    assert!(sim.node::<Device>(slave_id).unwrap().ll.is_connected());
 
     // Data still flows (slave wakes up to receive retransmissions and to
     // send its own data).
-    master
-        .borrow_mut()
+    sim.node_mut::<Device>(master_id)
+        .unwrap()
         .host
         .outgoing
         .push_back((Llid::StartOrComplete, vec![0xEE, 1]));
-    slave
-        .borrow_mut()
+    sim.node_mut::<Device>(slave_id)
+        .unwrap()
         .host
         .outgoing
         .push_back((Llid::StartOrComplete, vec![0xDD, 2]));
     sim.run_for(Duration::from_secs(3));
-    assert!(slave
-        .borrow()
+    assert!(sim
+        .node::<Device>(slave_id)
+        .unwrap()
         .host
         .received
         .iter()
         .any(|(_, p)| p == &vec![0xEE, 1]));
-    assert!(master
-        .borrow()
+    assert!(sim
+        .node::<Device>(master_id)
+        .unwrap()
         .host
         .received
         .iter()

@@ -19,21 +19,24 @@
 //!
 //! # Architecture
 //!
-//! A [`Simulation`] owns a set of nodes. Each node has a radio (position,
-//! transmit power, sleep clock) and a [`RadioListener`] — the protocol state
-//! machine driving it. Listeners receive [`RadioEvent`]s (frame received,
-//! transmission complete, timer fired) and react through a [`NodeCtx`]
-//! handle (transmit, tune the receiver, arm timers).
+//! A [`World`] is a central arena owning a set of nodes. Each node has a
+//! radio (position, transmit power, sleep clock) and a protocol state
+//! machine implementing [`RadioListener`]; the world stores it as a
+//! `Box<dyn Node>` keyed by [`NodeId`]. Listeners receive [`RadioEvent`]s
+//! (frame received, transmission complete, timer fired) and react through a
+//! [`NodeCtx`] handle (transmit, tune the receiver, arm timers). Dispatch
+//! uses plain `&mut` access — no shared ownership, no runtime borrow
+//! checks — and a built world is [`Send`].
 //!
 //! # Example
 //!
 //! ```
-//! use ble_phy::{Environment, Simulation, NodeConfig, Position};
+//! use ble_phy::{Environment, World, NodeConfig, Position};
 //! use simkit::SimRng;
 //!
 //! let env = Environment::indoor_default();
-//! let sim = Simulation::new(env, SimRng::seed_from(1));
-//! assert_eq!(sim.now(), simkit::Instant::ZERO);
+//! let world = World::new(env, SimRng::seed_from(1));
+//! assert_eq!(world.now(), simkit::Instant::ZERO);
 //! let _ = NodeConfig::new("sniffer", Position::new(1.0, 2.0));
 //! ```
 
@@ -68,8 +71,10 @@ pub use channel::Channel;
 pub use crc::{crc24, crc24_bytes, ADVERTISING_CRC_INIT, CRC_LEN};
 pub use frame::{RawFrame, ReceivedFrame, ACCESS_ADDRESS_LEN, PREAMBLE_LEN};
 pub use geometry::{Position, Wall};
-pub use medium::{Simulation, TxHandle};
+pub use medium::{Simulation, TxHandle, World};
 pub use phy_mode::PhyMode;
 pub use propagation::Environment;
-pub use radio::{AccessFilter, NodeConfig, NodeCtx, NodeId, RadioEvent, RadioListener, TimerKey};
+pub use radio::{
+    AccessFilter, Node, NodeConfig, NodeCtx, NodeId, RadioEvent, RadioListener, TimerKey,
+};
 pub use whitening::{whiten_in_place, whitened};

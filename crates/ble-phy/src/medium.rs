@@ -1,22 +1,21 @@
 //! The shared radio medium and simulation driver.
 //!
-//! [`Simulation`] owns the event queue, the node radios and the set of
-//! in-flight transmissions. Frame delivery follows first-lock-wins radio
-//! semantics: a receiver synchronises on the first frame whose preamble it
-//! hears (passing its access-address filter), and any frame overlapping the
-//! locked reception contributes interference. At the end of the locked
-//! frame the [`crate::CaptureModel`] decides — from the signal-to-
-//! interference ratio and the overlap duration — whether the frame survived
-//! or was corrupted.
+//! [`World`] is a central arena: it owns the event queue, the node radios,
+//! the set of in-flight transmissions *and every protocol state machine*
+//! (as `Box<dyn Node>` keyed by [`NodeId`]). Frame delivery follows
+//! first-lock-wins radio semantics: a receiver synchronises on the first
+//! frame whose preamble it hears (passing its access-address filter), and
+//! any frame overlapping the locked reception contributes interference. At
+//! the end of the locked frame the [`crate::CaptureModel`] decides — from
+//! the signal-to-interference ratio and the overlap duration — whether the
+//! frame survived or was corrupted.
 //!
 //! This is precisely the mechanism the InjectaBLE race exploits: the
 //! attacker's frame, transmitted at the start of the widened receive
 //! window, arrives *first*, so the victim locks onto it; the legitimate
 //! Master frame then only matters as interference.
 
-use std::cell::RefCell;
 use std::collections::HashMap;
-use std::rc::Rc;
 
 use ble_invariants::invariant;
 use ble_telemetry::{Telemetry, TelemetryEvent, TelemetryRecord, TelemetrySink};
@@ -28,7 +27,7 @@ use crate::geometry::Position;
 use crate::phy_mode::PhyMode;
 use crate::propagation::Environment;
 use crate::radio::{
-    AccessFilter, NodeConfig, NodeCtx, NodeId, RadioEvent, RadioListener, TimerHandle, TimerKey,
+    AccessFilter, Node, NodeConfig, NodeCtx, NodeId, RadioEvent, TimerHandle, TimerKey,
 };
 
 /// Handle describing a transmission that was just started.
@@ -116,10 +115,9 @@ impl SimInner {
     }
 
     /// Central node lookup. A `NodeId` is only minted by
-    /// [`Simulation::add_node`], so the table is non-empty whenever one
-    /// exists and the modulo is an identity in correct programs; an
-    /// out-of-range id is an internal bug caught by the invariant in debug
-    /// builds.
+    /// [`World::add_node`], so the table is non-empty whenever one exists
+    /// and the modulo is an identity in correct programs; an out-of-range
+    /// id is an internal bug caught by the invariant in debug builds.
     fn node_state(&self, node: NodeId) -> &NodeState {
         invariant!(
             node.0 < self.nodes.len(),
@@ -654,19 +652,28 @@ impl SimInner {
     }
 }
 
-/// A discrete-event BLE radio simulation.
+/// A discrete-event BLE radio simulation: the arena that owns every node.
+///
+/// The `World` owns each protocol state machine as a `Box<dyn Node>` keyed
+/// by the [`NodeId`] returned from [`World::add_node`]. Dispatch borrows
+/// the node and the medium as two disjoint fields, so events are delivered
+/// with plain `&mut` access — no shared ownership, no runtime borrow
+/// checks. Because every node is [`Send`], a fully built world can be moved
+/// to another thread wholesale.
 ///
 /// See the crate-level documentation for the overall architecture.
-pub struct Simulation {
+pub struct World {
     inner: SimInner,
-    listeners: Vec<Rc<RefCell<dyn RadioListener>>>,
+    nodes: Vec<Box<dyn Node>>,
 }
 
-impl Simulation {
-    /// Creates a simulation with the given environment and random seed
-    /// source.
+/// Former name of [`World`], kept as an alias for downstream code.
+pub type Simulation = World;
+
+impl World {
+    /// Creates a world with the given environment and random seed source.
     pub fn new(env: Environment, rng: SimRng) -> Self {
-        Simulation {
+        World {
             inner: SimInner {
                 queue: EventQueue::new(),
                 env,
@@ -677,7 +684,7 @@ impl Simulation {
                 trace: Trace::disabled(),
                 telemetry: Telemetry::default(),
             },
-            listeners: Vec::new(),
+            nodes: Vec::new(),
         }
     }
 
@@ -734,12 +741,15 @@ impl Simulation {
         &mut self.inner.env
     }
 
-    /// Adds a node with its protocol listener; returns its identifier.
-    pub fn add_node(
-        &mut self,
-        config: NodeConfig,
-        listener: Rc<RefCell<dyn RadioListener>>,
-    ) -> NodeId {
+    /// Adds a node to the arena; the world takes ownership and returns the
+    /// node's identifier. The node is *not* bootstrapped yet — call
+    /// [`World::start`] once every participant is in place.
+    pub fn add_node<N: Node>(&mut self, config: NodeConfig, node: N) -> NodeId {
+        self.add_boxed_node(config, Box::new(node))
+    }
+
+    /// [`World::add_node`] for an already type-erased node.
+    pub fn add_boxed_node(&mut self, config: NodeConfig, node: Box<dyn Node>) -> NodeId {
         let rng = self.inner.rng.fork();
         let id = NodeId(self.inner.nodes.len());
         let label = config.label.clone();
@@ -748,11 +758,60 @@ impl Simulation {
             rng,
             radio: RadioState::Idle,
         });
-        self.listeners.push(listener);
+        self.nodes.push(node);
         let now = self.inner.now();
         self.inner
             .emit(now, Some(id), || TelemetryEvent::NodeAdded { label });
         id
+    }
+
+    /// Bootstraps one node by invoking its
+    /// [`crate::RadioListener::on_start`] hook with a live [`NodeCtx`].
+    /// Start order is part of a scenario's deterministic schedule: call
+    /// this for every node, in a fixed order, after all `add_node` calls.
+    pub fn start(&mut self, node: NodeId) {
+        let Some(n) = self.nodes.get_mut(node.0) else {
+            invariant!(false, "node-id", "start of unknown NodeId({})", node.0);
+            return;
+        };
+        let mut ctx = NodeCtx {
+            node,
+            sim: &mut self.inner,
+        };
+        n.on_start(&mut ctx);
+    }
+
+    /// Typed read access to an arena node. Returns `None` when the id is
+    /// unknown or the node is not a `T`.
+    pub fn node<T: std::any::Any>(&self, node: NodeId) -> Option<&T> {
+        self.nodes.get(node.0)?.as_any().downcast_ref::<T>()
+    }
+
+    /// Typed mutable access to an arena node. Returns `None` when the id is
+    /// unknown or the node is not a `T`.
+    pub fn node_mut<T: std::any::Any>(&mut self, node: NodeId) -> Option<&mut T> {
+        self.nodes.get_mut(node.0)?.as_any_mut().downcast_mut::<T>()
+    }
+
+    /// Runs a closure with typed mutable access to a node *and* a live
+    /// [`NodeCtx`] for it — the arena replacement for the old pattern of
+    /// borrowing an `Rc<RefCell<…>>` inside [`World::with_ctx`]. Returns
+    /// `None` when the id is unknown or the node is not a `T`.
+    pub fn with_node_ctx<T: std::any::Any, R>(
+        &mut self,
+        node: NodeId,
+        f: impl FnOnce(&mut T, &mut NodeCtx<'_>) -> R,
+    ) -> Option<R> {
+        let n = self
+            .nodes
+            .get_mut(node.0)?
+            .as_any_mut()
+            .downcast_mut::<T>()?;
+        let mut ctx = NodeCtx {
+            node,
+            sim: &mut self.inner,
+        };
+        Some(f(n, &mut ctx))
     }
 
     /// A node's position.
@@ -849,7 +908,9 @@ impl Simulation {
     }
 
     fn dispatch(&mut self, node: NodeId, event: RadioEvent) {
-        let Some(listener) = self.listeners.get(node.0).map(Rc::clone) else {
+        // Disjoint-field borrow: the node comes out of `self.nodes`, the
+        // context wraps `self.inner` — plain `&mut` on the hot path.
+        let Some(listener) = self.nodes.get_mut(node.0) else {
             invariant!(false, "node-id", "dispatch to unknown NodeId({})", node.0);
             return;
         };
@@ -857,13 +918,13 @@ impl Simulation {
             node,
             sim: &mut self.inner,
         };
-        listener.borrow_mut().on_event(&mut ctx, event);
+        listener.on_event(&mut ctx, event);
     }
 }
 
-impl std::fmt::Debug for Simulation {
+impl std::fmt::Debug for World {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("Simulation")
+        f.debug_struct("World")
             .field("now", &self.now())
             .field("nodes", &self.inner.nodes.len())
             .field("pending_events", &self.inner.queue.len())

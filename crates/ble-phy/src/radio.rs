@@ -89,6 +89,42 @@ pub enum RadioEvent {
 pub trait RadioListener {
     /// Handles one radio event.
     fn on_event(&mut self, ctx: &mut NodeCtx<'_>, event: RadioEvent);
+
+    /// Bootstraps the node: arm the first timer, open the receiver, send the
+    /// first advertisement. Called by [`crate::World::start`] once — *after*
+    /// every node has been added, so start order (and thus event-queue and
+    /// RNG ordering) is an explicit, reproducible part of a scenario rather
+    /// than a side effect of construction. The default does nothing.
+    fn on_start(&mut self, _ctx: &mut NodeCtx<'_>) {}
+}
+
+/// An arena-owned simulation node.
+///
+/// [`crate::World`] stores every node as a `Box<dyn Node>` keyed by its
+/// [`NodeId`]; the scheduler dispatches events with plain `&mut` access (no
+/// `Rc<RefCell<…>>`, no runtime borrow checks on the per-frame hot path).
+/// The `Any` supertrait lets callers recover the concrete type through
+/// [`crate::World::node`] / [`crate::World::node_mut`], and the `Send`
+/// supertrait keeps whole worlds movable across threads for process-level
+/// trial fan-out.
+///
+/// Implemented automatically for every `RadioListener + Any + Send` type —
+/// implement [`RadioListener`] and the arena takes care of the rest.
+pub trait Node: RadioListener + std::any::Any + Send {
+    /// Type-erased read access (for downcasting).
+    fn as_any(&self) -> &dyn std::any::Any;
+    /// Type-erased mutable access (for downcasting).
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any;
+}
+
+impl<T: RadioListener + std::any::Any + Send> Node for T {
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+        self
+    }
 }
 
 /// Static configuration of a simulation node.

@@ -4,16 +4,15 @@
 
 #![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)] // test code may panic freely
 
-use std::cell::RefCell;
-use std::rc::Rc;
-
 use ble_phy::{
     AccessAddress, AccessFilter, Channel, Environment, NodeConfig, NodeCtx, Position, RadioEvent,
-    RadioListener, RawFrame, ReceivedFrame, Simulation, TimerKey,
+    RadioListener, RawFrame, ReceivedFrame, TimerKey, World,
 };
 use simkit::{DriftClock, Duration, Instant, SimRng};
 
 /// A scriptable listener: records every event and optionally reacts.
+/// Scripts are installed before the recorder is moved into the world;
+/// recorded events are read back through [`World::node`] afterwards.
 #[derive(Default)]
 struct Recorder {
     events: Vec<RadioEvent>,
@@ -24,9 +23,6 @@ struct Recorder {
 }
 
 impl Recorder {
-    fn new() -> Rc<RefCell<Self>> {
-        Rc::new(RefCell::new(Recorder::default()))
-    }
     fn received(&self) -> Vec<&ReceivedFrame> {
         self.events
             .iter()
@@ -70,8 +66,12 @@ impl RadioListener for Recorder {
     }
 }
 
-fn ideal_sim() -> Simulation {
-    Simulation::new(Environment::ideal(), SimRng::seed_from(42))
+fn ideal_sim() -> World {
+    World::new(Environment::ideal(), SimRng::seed_from(42))
+}
+
+fn recorder(sim: &World, id: ble_phy::NodeId) -> &Recorder {
+    sim.node::<Recorder>(id).expect("node is a Recorder")
 }
 
 const AA: AccessAddress = AccessAddress::new(0x50C2_33A1);
@@ -85,20 +85,74 @@ fn frame(bytes: &[u8]) -> RawFrame {
 }
 
 #[test]
+fn world_is_send() {
+    fn assert_send<T: Send>(_: &T) {}
+    let sim = ideal_sim();
+    assert_send(&sim);
+}
+
+#[test]
+fn typed_node_access_downcasts() {
+    let mut sim = ideal_sim();
+    let id = sim.add_node(NodeConfig::new("r", Position::ORIGIN), Recorder::default());
+    assert!(sim.node::<Recorder>(id).is_some());
+    assert!(sim.node_mut::<Recorder>(id).is_some());
+    struct Other;
+    impl RadioListener for Other {
+        fn on_event(&mut self, _ctx: &mut NodeCtx<'_>, _event: RadioEvent) {}
+    }
+    assert!(sim.node::<Other>(id).is_none());
+    sim.node_mut::<Recorder>(id)
+        .unwrap()
+        .on_timer_tx
+        .push((1, CH, frame(&[1])));
+    let got = sim.with_node_ctx::<Recorder, usize>(id, |rec, ctx| {
+        assert_eq!(ctx.node_id(), id);
+        rec.on_timer_tx.len()
+    });
+    assert_eq!(got, Some(1));
+}
+
+#[test]
+fn on_start_is_dispatched_by_world_start() {
+    struct Starter {
+        started: bool,
+    }
+    impl RadioListener for Starter {
+        fn on_start(&mut self, ctx: &mut NodeCtx<'_>) {
+            self.started = true;
+            ctx.set_timer_local(Duration::from_micros(10), TimerKey(3));
+        }
+        fn on_event(&mut self, _ctx: &mut NodeCtx<'_>, _event: RadioEvent) {}
+    }
+    let mut sim = ideal_sim();
+    let id = sim.add_node(
+        NodeConfig::new("s", Position::ORIGIN),
+        Starter { started: false },
+    );
+    assert!(!sim.node::<Starter>(id).unwrap().started);
+    sim.start(id);
+    assert!(sim.node::<Starter>(id).unwrap().started);
+}
+
+#[test]
 fn frame_is_delivered_with_correct_timing_and_content() {
     let mut sim = ideal_sim();
-    let tx = Recorder::new();
-    let rx = Recorder::new();
-    let tx_id = sim.add_node(NodeConfig::new("tx", Position::new(0.0, 0.0)), tx.clone());
-    let _rx_id = {
-        let id = sim.add_node(NodeConfig::new("rx", Position::new(2.0, 0.0)), rx.clone());
-        sim.with_ctx(id, |ctx| ctx.start_rx(CH, AccessFilter::One(AA), 0xABCDEF));
-        id
-    };
+    let tx_id = sim.add_node(
+        NodeConfig::new("tx", Position::new(0.0, 0.0)),
+        Recorder::default(),
+    );
+    let rx_id = sim.add_node(
+        NodeConfig::new("rx", Position::new(2.0, 0.0)),
+        Recorder::default(),
+    );
+    sim.with_ctx(rx_id, |ctx| {
+        ctx.start_rx(CH, AccessFilter::One(AA), 0xABCDEF)
+    });
     let handle = sim.with_ctx(tx_id, |ctx| ctx.transmit(CH, frame(&[1, 2, 3, 4])));
     sim.run_for(Duration::from_millis(1));
 
-    let rx = rx.borrow();
+    let rx = recorder(&sim, rx_id);
     let frames = rx.received();
     assert_eq!(frames.len(), 1);
     let f = frames[0];
@@ -113,7 +167,7 @@ fn frame_is_delivered_with_correct_timing_and_content() {
     assert_eq!(rx.syncs(), 1);
 
     // The transmitter got TxDone at frame end.
-    let tx = tx.borrow();
+    let tx = recorder(&sim, tx_id);
     assert!(tx
         .events
         .iter()
@@ -123,17 +177,14 @@ fn frame_is_delivered_with_correct_timing_and_content() {
 #[test]
 fn wrong_access_address_is_filtered_but_promiscuous_hears_it() {
     let mut sim = ideal_sim();
-    let tx = Recorder::new();
-    let strict = Recorder::new();
-    let sniffer = Recorder::new();
-    let tx_id = sim.add_node(NodeConfig::new("tx", Position::ORIGIN), tx);
+    let tx_id = sim.add_node(NodeConfig::new("tx", Position::ORIGIN), Recorder::default());
     let s1 = sim.add_node(
         NodeConfig::new("strict", Position::new(1.0, 0.0)),
-        strict.clone(),
+        Recorder::default(),
     );
     let s2 = sim.add_node(
         NodeConfig::new("sniffer", Position::new(1.0, 1.0)),
-        sniffer.clone(),
+        Recorder::default(),
     );
     sim.with_ctx(s1, |ctx| {
         ctx.start_rx(CH, AccessFilter::One(AccessAddress::new(0xDEAD_BEEF)), 0)
@@ -142,8 +193,8 @@ fn wrong_access_address_is_filtered_but_promiscuous_hears_it() {
     sim.with_ctx(tx_id, |ctx| ctx.transmit(CH, frame(&[9])));
     sim.run_for(Duration::from_millis(1));
 
-    assert!(strict.borrow().received().is_empty());
-    let sniffer = sniffer.borrow();
+    assert!(recorder(&sim, s1).received().is_empty());
+    let sniffer = recorder(&sim, s2);
     assert_eq!(sniffer.received().len(), 1);
     assert!(sniffer.received()[0].crc_ok, "matching crc_init validates");
 }
@@ -151,14 +202,15 @@ fn wrong_access_address_is_filtered_but_promiscuous_hears_it() {
 #[test]
 fn wrong_crc_init_fails_crc_check() {
     let mut sim = ideal_sim();
-    let tx = Recorder::new();
-    let rx = Recorder::new();
-    let t = sim.add_node(NodeConfig::new("tx", Position::ORIGIN), tx);
-    let r = sim.add_node(NodeConfig::new("rx", Position::new(1.0, 0.0)), rx.clone());
+    let t = sim.add_node(NodeConfig::new("tx", Position::ORIGIN), Recorder::default());
+    let r = sim.add_node(
+        NodeConfig::new("rx", Position::new(1.0, 0.0)),
+        Recorder::default(),
+    );
     sim.with_ctx(r, |ctx| ctx.start_rx(CH, AccessFilter::One(AA), 0x111111));
     sim.with_ctx(t, |ctx| ctx.transmit(CH, frame(&[1])));
     sim.run_for(Duration::from_millis(1));
-    let rx = rx.borrow();
+    let rx = recorder(&sim, r);
     assert_eq!(rx.received().len(), 1);
     assert!(!rx.received()[0].crc_ok);
 }
@@ -166,16 +218,17 @@ fn wrong_crc_init_fails_crc_check() {
 #[test]
 fn different_channel_is_not_received() {
     let mut sim = ideal_sim();
-    let tx = Recorder::new();
-    let rx = Recorder::new();
-    let t = sim.add_node(NodeConfig::new("tx", Position::ORIGIN), tx);
-    let r = sim.add_node(NodeConfig::new("rx", Position::new(1.0, 0.0)), rx.clone());
+    let t = sim.add_node(NodeConfig::new("tx", Position::ORIGIN), Recorder::default());
+    let r = sim.add_node(
+        NodeConfig::new("rx", Position::new(1.0, 0.0)),
+        Recorder::default(),
+    );
     sim.with_ctx(r, |ctx| {
         ctx.start_rx(Channel::new(6).unwrap(), AccessFilter::Any, 0)
     });
     sim.with_ctx(t, |ctx| ctx.transmit(CH, frame(&[1])));
     sim.run_for(Duration::from_millis(1));
-    assert!(rx.borrow().received().is_empty());
+    assert!(recorder(&sim, r).received().is_empty());
 }
 
 #[test]
@@ -185,33 +238,23 @@ fn first_frame_wins_the_lock_and_survives_when_stronger() {
     // attacker much closer (ideal env = hard 0 dB capture threshold), the
     // attacker frame survives the collision.
     let mut sim = ideal_sim();
-    let attacker = Recorder::new();
-    let master = Recorder::new();
-    let slave = Recorder::new();
+    let mut attacker = Recorder::default();
+    attacker.on_timer_tx.push((1, CH, frame(&[0xAA; 4])));
+    let mut master = Recorder::default();
+    master.on_timer_tx.push((1, CH, frame(&[0x55; 4])));
 
     let a = sim.add_node(
         NodeConfig::new("attacker", Position::new(0.5, 0.0)),
-        attacker.clone(),
+        attacker,
     );
-    let m = sim.add_node(
-        NodeConfig::new("master", Position::new(4.0, 0.0)),
-        master.clone(),
-    );
+    let m = sim.add_node(NodeConfig::new("master", Position::new(4.0, 0.0)), master);
     let s = sim.add_node(
         NodeConfig::new("slave", Position::new(0.0, 0.0)),
-        slave.clone(),
+        Recorder::default(),
     );
 
     // Script: attacker transmits at t=100 µs, master at t=130 µs (collides:
     // attacker frame is 96 µs long), slave listens from t=0.
-    attacker
-        .borrow_mut()
-        .on_timer_tx
-        .push((1, CH, frame(&[0xAA; 4])));
-    master
-        .borrow_mut()
-        .on_timer_tx
-        .push((1, CH, frame(&[0x55; 4])));
     sim.with_ctx(s, |ctx| ctx.start_rx(CH, AccessFilter::One(AA), 0xABCDEF));
     sim.with_ctx(a, |ctx| {
         ctx.set_timer_at(Instant::from_micros(100), TimerKey(1));
@@ -221,7 +264,7 @@ fn first_frame_wins_the_lock_and_survives_when_stronger() {
     });
     sim.run_for(Duration::from_millis(1));
 
-    let slave = slave.borrow();
+    let slave = recorder(&sim, s);
     let frames = slave.received();
     assert_eq!(frames.len(), 1, "only the locked frame is delivered");
     assert_eq!(frames[0].pdu, vec![0xAA; 4], "attacker frame won the race");
@@ -238,30 +281,23 @@ fn first_frame_wins_the_lock_and_survives_when_stronger() {
 #[test]
 fn locked_frame_is_corrupted_when_interferer_is_stronger() {
     let mut sim = ideal_sim();
-    let attacker = Recorder::new();
-    let master = Recorder::new();
-    let slave = Recorder::new();
-
     // Attacker far (8 m), master very close (0.5 m): master's frame crushes
     // the attacker's during the overlap.
+    let mut attacker = Recorder::default();
+    attacker.on_timer_tx.push((1, CH, frame(&[0xAA; 4])));
+    let mut master = Recorder::default();
+    master.on_timer_tx.push((1, CH, frame(&[0x55; 4])));
+
     let a = sim.add_node(
         NodeConfig::new("attacker", Position::new(8.0, 0.0)),
-        attacker.clone(),
+        attacker,
     );
-    let m = sim.add_node(
-        NodeConfig::new("master", Position::new(0.5, 0.0)),
-        master.clone(),
+    let m = sim.add_node(NodeConfig::new("master", Position::new(0.5, 0.0)), master);
+    let s = sim.add_node(
+        NodeConfig::new("slave", Position::ORIGIN),
+        Recorder::default(),
     );
-    let s = sim.add_node(NodeConfig::new("slave", Position::ORIGIN), slave.clone());
 
-    attacker
-        .borrow_mut()
-        .on_timer_tx
-        .push((1, CH, frame(&[0xAA; 4])));
-    master
-        .borrow_mut()
-        .on_timer_tx
-        .push((1, CH, frame(&[0x55; 4])));
     sim.with_ctx(s, |ctx| ctx.start_rx(CH, AccessFilter::One(AA), 0xABCDEF));
     sim.with_ctx(a, |ctx| {
         ctx.set_timer_at(Instant::from_micros(100), TimerKey(1));
@@ -271,7 +307,7 @@ fn locked_frame_is_corrupted_when_interferer_is_stronger() {
     });
     sim.run_for(Duration::from_millis(1));
 
-    let slave = slave.borrow();
+    let slave = recorder(&sim, s);
     let frames = slave.received();
     assert_eq!(frames.len(), 1);
     assert!(
@@ -291,14 +327,13 @@ fn locked_frame_is_corrupted_when_interferer_is_stronger() {
 #[test]
 fn non_overlapping_frames_both_delivered() {
     let mut sim = ideal_sim();
-    let a_rec = Recorder::new();
-    let b_rec = Recorder::new();
-    let rx = Recorder::new();
-    let a = sim.add_node(NodeConfig::new("a", Position::new(1.0, 0.0)), a_rec.clone());
-    let b = sim.add_node(NodeConfig::new("b", Position::new(0.0, 1.0)), b_rec.clone());
-    let r = sim.add_node(NodeConfig::new("rx", Position::ORIGIN), rx.clone());
-    a_rec.borrow_mut().on_timer_tx.push((1, CH, frame(&[1])));
-    b_rec.borrow_mut().on_timer_tx.push((1, CH, frame(&[2])));
+    let mut a_rec = Recorder::default();
+    a_rec.on_timer_tx.push((1, CH, frame(&[1])));
+    let mut b_rec = Recorder::default();
+    b_rec.on_timer_tx.push((1, CH, frame(&[2])));
+    let a = sim.add_node(NodeConfig::new("a", Position::new(1.0, 0.0)), a_rec);
+    let b = sim.add_node(NodeConfig::new("b", Position::new(0.0, 1.0)), b_rec);
+    let r = sim.add_node(NodeConfig::new("rx", Position::ORIGIN), Recorder::default());
     sim.with_ctx(r, |ctx| ctx.start_rx(CH, AccessFilter::One(AA), 0xABCDEF));
     sim.with_ctx(a, |ctx| {
         ctx.set_timer_at(Instant::from_micros(100), TimerKey(1));
@@ -307,7 +342,7 @@ fn non_overlapping_frames_both_delivered() {
         ctx.set_timer_at(Instant::from_micros(400), TimerKey(1));
     });
     sim.run_for(Duration::from_millis(1));
-    let rx = rx.borrow();
+    let rx = recorder(&sim, r);
     let frames = rx.received();
     assert_eq!(frames.len(), 2);
     assert!(frames.iter().all(|f| f.crc_ok));
@@ -316,23 +351,16 @@ fn non_overlapping_frames_both_delivered() {
 #[test]
 fn late_rx_open_within_grace_still_locks() {
     let mut sim = ideal_sim();
-    let tx_rec = Recorder::new();
-    let rx_rec = Recorder::new();
-    let t = sim.add_node(
-        NodeConfig::new("tx", Position::new(1.0, 0.0)),
-        tx_rec.clone(),
-    );
-    let r = sim.add_node(NodeConfig::new("rx", Position::ORIGIN), rx_rec.clone());
-    tx_rec
-        .borrow_mut()
-        .on_timer_tx
-        .push((1, CH, frame(&[7; 8])));
+    let mut tx_rec = Recorder::default();
+    tx_rec.on_timer_tx.push((1, CH, frame(&[7; 8])));
     // Receiver opens 1.5 µs *after* the frame's leading edge: within the
     // 2 µs quarter-preamble grace.
+    let mut rx_rec = Recorder::default();
     rx_rec
-        .borrow_mut()
         .on_timer_rx
         .push((2, CH, AccessFilter::One(AA), 0xABCDEF));
+    let t = sim.add_node(NodeConfig::new("tx", Position::new(1.0, 0.0)), tx_rec);
+    let r = sim.add_node(NodeConfig::new("rx", Position::ORIGIN), rx_rec);
     sim.with_ctx(t, |ctx| {
         ctx.set_timer_at(Instant::from_micros(100), TimerKey(1));
     });
@@ -340,7 +368,7 @@ fn late_rx_open_within_grace_still_locks() {
         ctx.set_timer_at(Instant::from_nanos(101_500), TimerKey(2));
     });
     sim.run_for(Duration::from_millis(1));
-    let rx = rx_rec.borrow();
+    let rx = recorder(&sim, r);
     assert_eq!(rx.received().len(), 1, "grace lock must catch the frame");
     assert!(rx.received()[0].crc_ok);
     assert_eq!(rx.syncs(), 1);
@@ -349,21 +377,14 @@ fn late_rx_open_within_grace_still_locks() {
 #[test]
 fn late_rx_open_beyond_grace_misses_the_frame() {
     let mut sim = ideal_sim();
-    let tx_rec = Recorder::new();
-    let rx_rec = Recorder::new();
-    let t = sim.add_node(
-        NodeConfig::new("tx", Position::new(1.0, 0.0)),
-        tx_rec.clone(),
-    );
-    let r = sim.add_node(NodeConfig::new("rx", Position::ORIGIN), rx_rec.clone());
-    tx_rec
-        .borrow_mut()
-        .on_timer_tx
-        .push((1, CH, frame(&[7; 8])));
+    let mut tx_rec = Recorder::default();
+    tx_rec.on_timer_tx.push((1, CH, frame(&[7; 8])));
+    let mut rx_rec = Recorder::default();
     rx_rec
-        .borrow_mut()
         .on_timer_rx
         .push((2, CH, AccessFilter::One(AA), 0xABCDEF));
+    let t = sim.add_node(NodeConfig::new("tx", Position::new(1.0, 0.0)), tx_rec);
+    let r = sim.add_node(NodeConfig::new("rx", Position::ORIGIN), rx_rec);
     sim.with_ctx(t, |ctx| {
         ctx.set_timer_at(Instant::from_micros(100), TimerKey(1));
     });
@@ -372,24 +393,18 @@ fn late_rx_open_beyond_grace_misses_the_frame() {
         ctx.set_timer_at(Instant::from_micros(110), TimerKey(2));
     });
     sim.run_for(Duration::from_millis(1));
-    assert!(rx_rec.borrow().received().is_empty());
+    assert!(recorder(&sim, r).received().is_empty());
 }
 
 #[test]
 fn transmitting_node_cannot_receive_concurrently() {
     let mut sim = ideal_sim();
-    let a_rec = Recorder::new();
-    let b_rec = Recorder::new();
-    let a = sim.add_node(NodeConfig::new("a", Position::ORIGIN), a_rec.clone());
-    let b = sim.add_node(NodeConfig::new("b", Position::new(1.0, 0.0)), b_rec.clone());
-    a_rec
-        .borrow_mut()
-        .on_timer_tx
-        .push((1, CH, frame(&[1; 20])));
-    b_rec
-        .borrow_mut()
-        .on_timer_tx
-        .push((1, CH, frame(&[2; 20])));
+    let mut a_rec = Recorder::default();
+    a_rec.on_timer_tx.push((1, CH, frame(&[1; 20])));
+    let mut b_rec = Recorder::default();
+    b_rec.on_timer_tx.push((1, CH, frame(&[2; 20])));
+    let a = sim.add_node(NodeConfig::new("a", Position::ORIGIN), a_rec);
+    let b = sim.add_node(NodeConfig::new("b", Position::new(1.0, 0.0)), b_rec);
     // Both transmit at the same instant; neither receives the other.
     sim.with_ctx(a, |ctx| {
         ctx.set_timer_at(Instant::from_micros(100), TimerKey(1));
@@ -398,44 +413,41 @@ fn transmitting_node_cannot_receive_concurrently() {
         ctx.set_timer_at(Instant::from_micros(100), TimerKey(1));
     });
     sim.run_for(Duration::from_millis(1));
-    assert!(a_rec.borrow().received().is_empty());
-    assert!(b_rec.borrow().received().is_empty());
+    assert!(recorder(&sim, a).received().is_empty());
+    assert!(recorder(&sim, b).received().is_empty());
 }
 
 #[test]
 fn out_of_range_frame_is_not_locked() {
     let mut env = Environment::ideal();
     env.path_loss_exponent = 4.0; // harsh environment
-    let mut sim = Simulation::new(env, SimRng::seed_from(1));
-    let tx_rec = Recorder::new();
-    let rx_rec = Recorder::new();
+    let mut sim = World::new(env, SimRng::seed_from(1));
     let t = sim.add_node(
         NodeConfig::new("tx", Position::ORIGIN).with_tx_power(-20.0),
-        tx_rec,
+        Recorder::default(),
     );
     let r = sim.add_node(
         NodeConfig::new("rx", Position::new(500.0, 0.0)),
-        rx_rec.clone(),
+        Recorder::default(),
     );
     sim.with_ctx(r, |ctx| ctx.start_rx(CH, AccessFilter::Any, 0));
     sim.with_ctx(t, |ctx| ctx.transmit(CH, frame(&[1])));
     sim.run_for(Duration::from_millis(1));
-    assert!(rx_rec.borrow().received().is_empty());
+    assert!(recorder(&sim, r).received().is_empty());
 }
 
 #[test]
 fn drifting_clock_shifts_timer_firing() {
     let mut sim = ideal_sim();
-    let rec = Recorder::new();
     let fast = sim.add_node(
         NodeConfig::new("fast", Position::ORIGIN).with_clock(DriftClock::new(200.0, 200.0)),
-        rec.clone(),
+        Recorder::default(),
     );
     sim.with_ctx(fast, |ctx| {
         ctx.set_timer_local(Duration::from_millis(100), TimerKey(9));
     });
     sim.run_for(Duration::from_millis(200));
-    let rec = rec.borrow();
+    let rec = recorder(&sim, fast);
     let at = rec
         .events
         .iter()
@@ -469,21 +481,14 @@ fn capture_model_probabilistic_band_gives_mixed_outcomes() {
     let mut survived = 0;
     let mut corrupted = 0;
     for seed in 0..60 {
-        let mut sim = Simulation::new(Environment::indoor_default(), SimRng::seed_from(seed));
-        let a_rec = Recorder::new();
-        let m_rec = Recorder::new();
-        let s_rec = Recorder::new();
-        let a = sim.add_node(NodeConfig::new("a", Position::new(2.0, 0.0)), a_rec.clone());
-        let m = sim.add_node(NodeConfig::new("m", Position::new(0.0, 2.0)), m_rec.clone());
-        let s = sim.add_node(NodeConfig::new("s", Position::ORIGIN), s_rec.clone());
-        a_rec
-            .borrow_mut()
-            .on_timer_tx
-            .push((1, CH, frame(&[0xAA; 16])));
-        m_rec
-            .borrow_mut()
-            .on_timer_tx
-            .push((1, CH, frame(&[0x55; 16])));
+        let mut sim = World::new(Environment::indoor_default(), SimRng::seed_from(seed));
+        let mut a_rec = Recorder::default();
+        a_rec.on_timer_tx.push((1, CH, frame(&[0xAA; 16])));
+        let mut m_rec = Recorder::default();
+        m_rec.on_timer_tx.push((1, CH, frame(&[0x55; 16])));
+        let a = sim.add_node(NodeConfig::new("a", Position::new(2.0, 0.0)), a_rec);
+        let m = sim.add_node(NodeConfig::new("m", Position::new(0.0, 2.0)), m_rec);
+        let s = sim.add_node(NodeConfig::new("s", Position::ORIGIN), Recorder::default());
         sim.with_ctx(s, |ctx| ctx.start_rx(CH, AccessFilter::One(AA), 0xABCDEF));
         sim.with_ctx(a, |ctx| {
             ctx.set_timer_at(Instant::from_micros(100), TimerKey(1));
@@ -492,7 +497,7 @@ fn capture_model_probabilistic_band_gives_mixed_outcomes() {
             ctx.set_timer_at(Instant::from_micros(140), TimerKey(1));
         });
         sim.run_for(Duration::from_millis(1));
-        let s_rec = s_rec.borrow();
+        let s_rec = recorder(&sim, s);
         let frames = s_rec.received();
         assert_eq!(frames.len(), 1);
         if frames[0].crc_ok {

@@ -450,7 +450,7 @@ pub fn parse_line(line: &str) -> Option<TelemetryRecord> {
 /// rather than panicking on the simulation hot path (check
 /// [`JsonlSink::is_failed`] after the run).
 pub struct JsonlSink {
-    out: Box<dyn Write>,
+    out: Box<dyn Write + Send>,
     lines: u64,
     failed: bool,
 }
@@ -479,7 +479,7 @@ impl JsonlSink {
     }
 
     /// Wraps an arbitrary writer (e.g. a `Vec<u8>` in tests).
-    pub fn from_writer(out: Box<dyn Write>) -> Self {
+    pub fn from_writer(out: Box<dyn Write + Send>) -> Self {
         JsonlSink {
             out,
             lines: 0,
@@ -661,14 +661,13 @@ mod tests {
 
     #[test]
     fn sink_writes_parseable_lines() {
-        use std::cell::RefCell;
-        use std::rc::Rc;
+        use std::sync::{Arc, Mutex};
 
         #[derive(Clone)]
-        struct Shared(Rc<RefCell<Vec<u8>>>);
+        struct Shared(Arc<Mutex<Vec<u8>>>);
         impl Write for Shared {
             fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
-                self.0.borrow_mut().extend_from_slice(buf);
+                self.0.lock().unwrap().extend_from_slice(buf);
                 Ok(buf.len())
             }
             fn flush(&mut self) -> io::Result<()> {
@@ -676,7 +675,7 @@ mod tests {
             }
         }
 
-        let shared = Shared(Rc::new(RefCell::new(Vec::new())));
+        let shared = Shared(Arc::new(Mutex::new(Vec::new())));
         let mut sink = JsonlSink::from_writer(Box::new(shared.clone()));
         for i in 0..4u64 {
             sink.emit(&TelemetryRecord {
@@ -688,7 +687,7 @@ mod tests {
         sink.flush();
         assert_eq!(sink.lines_written(), 4);
         assert!(!sink.is_failed());
-        let text = String::from_utf8(shared.0.borrow().clone()).unwrap();
+        let text = String::from_utf8(shared.0.lock().unwrap().clone()).unwrap();
         let parsed: Vec<_> = text.lines().map(|l| parse_line(l).unwrap()).collect();
         assert_eq!(parsed.len(), 4);
         assert!(parsed

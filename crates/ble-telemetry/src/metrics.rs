@@ -5,9 +5,8 @@
 //! the bench rig merges per-trial registries into its `SeriesReport`
 //! artefacts afterwards.
 
-use std::cell::RefCell;
 use std::collections::BTreeMap;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 
 use crate::event::TelemetryEvent;
 use crate::sink::{TelemetryRecord, TelemetrySink};
@@ -181,8 +180,19 @@ pub struct MetricsRegistry {
 }
 
 /// Shared handle to a registry (the simulation owns the [`MetricsSink`];
-/// the caller keeps the handle).
-pub type SharedRegistry = Rc<RefCell<MetricsRegistry>>;
+/// the caller keeps the handle). Thread-safe so that a world carrying the
+/// sink stays [`Send`].
+#[derive(Debug, Clone, Default)]
+pub struct SharedRegistry(Arc<Mutex<MetricsRegistry>>);
+
+impl SharedRegistry {
+    /// Locks the registry for reading or writing. Lock poisoning is
+    /// recovered (`into_inner`): metrics are observation-only state, and
+    /// the worst a panicking writer leaves behind is one missing update.
+    pub fn lock(&self) -> MutexGuard<'_, MetricsRegistry> {
+        self.0.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+}
 
 impl MetricsRegistry {
     /// An empty registry.
@@ -192,7 +202,7 @@ impl MetricsRegistry {
 
     /// An empty registry behind a shared handle.
     pub fn shared() -> SharedRegistry {
-        Rc::new(RefCell::new(Self::new()))
+        SharedRegistry(Arc::new(Mutex::new(Self::new())))
     }
 
     /// Increments a counter by one.
@@ -299,7 +309,7 @@ impl Default for MetricsSink {
 
 impl TelemetrySink for MetricsSink {
     fn emit(&mut self, record: &TelemetryRecord) {
-        let mut reg = self.registry.borrow_mut();
+        let mut reg = self.registry.lock();
         reg.inc("telemetry.events");
         reg.set_gauge("sim.last_event_us", record.at.as_micros_f64());
         match &record.event {
@@ -488,7 +498,7 @@ mod tests {
             crc_ok: false,
             interferers: 1,
         });
-        let reg = reg.borrow();
+        let reg = reg.lock();
         assert_eq!(reg.counter("telemetry.events"), 4);
         assert_eq!(reg.counter("attack.attempts"), 1);
         assert_eq!(reg.counter("attack.success"), 1);

@@ -1,16 +1,26 @@
 //! Bounded in-memory ring buffer sink, for test assertions and interactive
 //! debugging.
 
-use std::cell::RefCell;
 use std::collections::VecDeque;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 
 use crate::event::TelemetryEvent;
 use crate::sink::{TelemetryRecord, TelemetrySink};
 
 /// Shared handle to a [`RingBuffer`] (the simulation owns the sink; tests
-/// keep the handle).
-pub type SharedRing = Rc<RefCell<RingBuffer>>;
+/// keep the handle). Thread-safe so that a world carrying the sink stays
+/// [`Send`].
+#[derive(Debug, Clone)]
+pub struct SharedRing(Arc<Mutex<RingBuffer>>);
+
+impl SharedRing {
+    /// Locks the ring for reading or writing. Lock poisoning is recovered
+    /// (`into_inner`): the ring is observation-only state, and the worst a
+    /// panicking writer leaves behind is one missing record.
+    pub fn lock(&self) -> MutexGuard<'_, RingBuffer> {
+        self.0.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+}
 
 /// A bounded FIFO of the most recent telemetry records.
 #[derive(Debug)]
@@ -93,8 +103,8 @@ impl RingBuffer {
 ///         event: TelemetryEvent::TxEnd,
 ///     });
 /// }
-/// assert_eq!(ring.borrow().len(), 2);
-/// assert_eq!(ring.borrow().evicted(), 1);
+/// assert_eq!(ring.lock().len(), 2);
+/// assert_eq!(ring.lock().evicted(), 1);
 /// ```
 #[derive(Debug)]
 pub struct RingBufferSink {
@@ -105,7 +115,7 @@ impl RingBufferSink {
     /// Creates a sink backed by a fresh ring of the given capacity.
     pub fn new(capacity: usize) -> Self {
         RingBufferSink {
-            buffer: Rc::new(RefCell::new(RingBuffer::new(capacity))),
+            buffer: SharedRing(Arc::new(Mutex::new(RingBuffer::new(capacity)))),
         }
     }
 
@@ -117,7 +127,7 @@ impl RingBufferSink {
 
 impl TelemetrySink for RingBufferSink {
     fn emit(&mut self, record: &TelemetryRecord) {
-        self.buffer.borrow_mut().push(record.clone());
+        self.buffer.lock().push(record.clone());
     }
 }
 

@@ -21,7 +21,8 @@ pub struct TelemetryRecord {
 ///
 /// Sink `emit` implementations sit on the simulation hot path, so they must
 /// not panic (xtask R1 applies) and should avoid allocation where possible.
-pub trait TelemetrySink {
+/// Sinks are `Send` so that a world carrying them can move between threads.
+pub trait TelemetrySink: Send {
     /// Consumes one record. Records arrive in simulation-time order.
     fn emit(&mut self, record: &TelemetryRecord);
 
@@ -53,7 +54,7 @@ pub trait TelemetrySink {
 ///     node: None,
 ///     event: TelemetryEvent::TxEnd,
 /// });
-/// assert_eq!(ring.borrow().len(), 1);
+/// assert_eq!(ring.lock().len(), 1);
 /// ```
 #[derive(Default)]
 pub struct Telemetry {
@@ -122,12 +123,12 @@ mod tests {
     use super::*;
 
     struct Counting {
-        seen: std::rc::Rc<std::cell::Cell<u64>>,
+        seen: std::sync::Arc<std::sync::atomic::AtomicU64>,
     }
 
     impl TelemetrySink for Counting {
         fn emit(&mut self, _record: &TelemetryRecord) {
-            self.seen.set(self.seen.get() + 1);
+            self.seen.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
         }
     }
 
@@ -145,12 +146,12 @@ mod tests {
     #[test]
     fn records_fan_out_to_every_sink() {
         let mut t = Telemetry::default();
-        let a = std::rc::Rc::new(std::cell::Cell::new(0));
-        let b = std::rc::Rc::new(std::cell::Cell::new(0));
+        let a = std::sync::Arc::new(std::sync::atomic::AtomicU64::new(0));
+        let b = std::sync::Arc::new(std::sync::atomic::AtomicU64::new(0));
         t.add_sink(Box::new(Counting { seen: a.clone() }));
         t.add_sink(Box::new(Counting { seen: b.clone() }));
         t.emit_with(Instant::from_micros(5), Some(1), || TelemetryEvent::TxEnd);
-        assert_eq!(a.get(), 1);
-        assert_eq!(b.get(), 1);
+        assert_eq!(a.load(std::sync::atomic::Ordering::Relaxed), 1);
+        assert_eq!(b.load(std::sync::atomic::Ordering::Relaxed), 1);
     }
 }

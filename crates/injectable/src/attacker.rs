@@ -681,7 +681,7 @@ impl Attacker {
         }
         if let Some(handoff) = mitm {
             // Scenario D: hand the old timeline to the co-located slave half.
-            handoff.borrow_mut().slave_adoption = Some(AdoptedConnection {
+            handoff.lock().slave_adoption = Some(AdoptedConnection {
                 role: Role::Slave,
                 params: conn.params,
                 peer: conn.master,
@@ -761,7 +761,7 @@ impl Attacker {
         // Scenario D bridging: forward intercepted (rewritten) writes to the
         // real Slave.
         if let Some(handoff) = &self.mitm_handoff {
-            let mut shared = handoff.borrow_mut();
+            let mut shared = handoff.lock();
             while let Some((handle, value, acked)) = shared.to_slave.pop_front() {
                 if acked {
                     host.write(handle, value);
@@ -875,6 +875,10 @@ impl Attacker {
 }
 
 impl RadioListener for Attacker {
+    fn on_start(&mut self, ctx: &mut NodeCtx<'_>) {
+        self.start(ctx);
+    }
+
     fn on_event(&mut self, ctx: &mut NodeCtx<'_>, event: RadioEvent) {
         if let Phase::TakenOver = self.phase {
             if let Some(ll) = self.takeover_ll.as_mut() {

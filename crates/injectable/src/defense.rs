@@ -322,6 +322,10 @@ impl InjectionDetector {
 }
 
 impl RadioListener for InjectionDetector {
+    fn on_start(&mut self, ctx: &mut NodeCtx<'_>) {
+        self.start(ctx);
+    }
+
     fn on_event(&mut self, ctx: &mut NodeCtx<'_>, event: RadioEvent) {
         match event {
             RadioEvent::Timer { key, .. } => match self.timer_purpose(key) {

@@ -12,9 +12,8 @@
 //! for the protocol-level questions studied here and keep the state
 //! machines honest. The substitution is documented in `DESIGN.md`.)
 
-use std::cell::RefCell;
 use std::collections::VecDeque;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 
 use ble_host::{HostEvent, HostStack, SecurityAction};
 use ble_link::{AdoptedConnection, LinkLayer, SleepClockAccuracy};
@@ -78,14 +77,25 @@ pub struct MitmShared {
 }
 
 /// Shared handle between [`crate::Attacker`] and [`MitmSlaveHalf`].
-pub type MitmHandoff = Rc<RefCell<MitmShared>>;
+/// Thread-safe so both halves stay [`Send`] inside an arena-owned world.
+#[derive(Debug, Clone)]
+pub struct MitmHandoff(Arc<Mutex<MitmShared>>);
+
+impl MitmHandoff {
+    /// Locks the shared state. Lock poisoning is recovered (`into_inner`):
+    /// the handoff only carries queues, and a panicking half cannot leave
+    /// them in a state the other half mis-parses.
+    pub fn lock(&self) -> MutexGuard<'_, MitmShared> {
+        self.0.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+}
 
 /// Creates a fresh handoff with forwarding enabled.
 pub fn new_handoff() -> MitmHandoff {
-    Rc::new(RefCell::new(MitmShared {
+    MitmHandoff(Arc::new(Mutex::new(MitmShared {
         forward: true,
         ..MitmShared::default()
-    }))
+    })))
 }
 
 const POLL_TIMER: u64 = 0x90;
@@ -120,7 +130,7 @@ impl MitmSlaveHalf {
         }
     }
 
-    /// Arms the adoption-poll timer (call once via `Simulation::with_ctx`).
+    /// Arms the adoption-poll timer (called from `World::start`).
     pub fn start(&mut self, ctx: &mut NodeCtx<'_>) {
         self.started = true;
         ctx.set_timer_local(Duration::from_millis(2), TimerKey(POLL_TIMER));
@@ -143,7 +153,7 @@ impl MitmSlaveHalf {
                 acknowledged,
             } = &event
             {
-                let mut shared = self.handoff.borrow_mut();
+                let mut shared = self.handoff.lock();
                 shared.intercepted.push((*handle, value.clone()));
                 if shared.forward {
                     let mut rewritten = value.clone();
@@ -160,11 +170,15 @@ impl MitmSlaveHalf {
 }
 
 impl RadioListener for MitmSlaveHalf {
+    fn on_start(&mut self, ctx: &mut NodeCtx<'_>) {
+        self.start(ctx);
+    }
+
     fn on_event(&mut self, ctx: &mut NodeCtx<'_>, event: RadioEvent) {
         if let RadioEvent::Timer { key, .. } = &event {
             if key.0 == POLL_TIMER {
                 if !self.adopted {
-                    let adoption = self.handoff.borrow_mut().slave_adoption.take();
+                    let adoption = self.handoff.lock().slave_adoption.take();
                     if let Some(adoption) = adoption {
                         self.adopted = true;
                         self.ll.adopt_connection(ctx, adoption, &mut self.host);

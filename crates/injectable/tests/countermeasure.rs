@@ -2,73 +2,71 @@
 //! an injected plaintext frame cannot carry a valid MIC — the feature is
 //! not triggered, but the injection still impacts availability (DoS).
 
-mod common;
-
-use ble_devices::bulb_payloads;
+use ble_devices::{bulb_payloads, Lightbulb};
 use ble_host::att::AttPdu;
-use common::*;
+use ble_scenario::{Scenario, ScenarioBuilder};
 use injectable::Mission;
 use simkit::Duration;
 
-fn encrypted_rig(seed: u64) -> AttackRig {
-    let mut rig = AttackRig::new(seed, 36);
-    rig.central.borrow_mut().pair_on_connect = true;
+fn encrypted_rig(seed: u64) -> Scenario {
+    let mut s = ScenarioBuilder::attack_rig(seed).hop_interval(36).build();
+    s.central_mut().pair_on_connect = true;
     // Let pairing + encryption complete before the attack.
     for _ in 0..100 {
-        rig.sim.run_for(Duration::from_millis(100));
-        if rig.central.borrow().host.is_encrypted() && rig.bulb.borrow().host.is_encrypted() {
+        s.run_for(Duration::from_millis(100));
+        if s.central().host.is_encrypted() && s.victim::<Lightbulb>().host.is_encrypted() {
             break;
         }
     }
-    assert!(rig.central.borrow().host.is_encrypted(), "setup: encrypted");
+    assert!(s.central().host.is_encrypted(), "setup: encrypted");
     assert!(
-        rig.attacker.borrow().connection().is_some() || {
-            rig.sim.run_for(Duration::from_secs(2));
-            rig.attacker.borrow().connection().is_some()
+        s.attacker().connection().is_some() || {
+            s.run_for(Duration::from_secs(2));
+            s.attacker().connection().is_some()
         }
     );
-    rig.sim.run_for(Duration::from_millis(400));
-    rig
+    s.run_for(Duration::from_millis(400));
+    s
 }
 
 #[test]
 fn injection_into_encrypted_connection_cannot_trigger_features() {
-    let mut rig = encrypted_rig(30);
-    assert!(!rig.bulb.borrow().app.on);
+    let mut s = encrypted_rig(30);
+    assert!(!s.victim::<Lightbulb>().app.on);
     let att = AttPdu::WriteRequest {
-        handle: rig.control_handle,
+        handle: s.victim_control_handle(),
         value: bulb_payloads::power_on(),
     }
     .to_bytes();
-    rig.attacker.borrow_mut().arm(Mission::InjectAtt { att });
-    rig.sim.run_for(Duration::from_secs(20));
+    s.attacker_mut().arm(Mission::InjectAtt { att });
+    s.run_for(Duration::from_secs(20));
 
     // The Link-Layer race can still be won, but the plaintext payload fails
     // the MIC check: the feature is never triggered.
     assert!(
-        !rig.bulb.borrow().app.on,
+        !s.victim::<Lightbulb>().app.on,
         "encrypted link must not accept plaintext ATT injection"
     );
     assert!(
-        rig.bulb.borrow().app.command_log.is_empty(),
+        s.victim::<Lightbulb>().app.command_log.is_empty(),
         "no command must reach the application"
     );
 }
 
 #[test]
 fn injection_into_encrypted_connection_causes_denial_of_service() {
-    let mut rig = encrypted_rig(31);
+    let mut s = encrypted_rig(31);
     let att = AttPdu::WriteRequest {
-        handle: rig.control_handle,
+        handle: s.victim_control_handle(),
         value: bulb_payloads::power_on(),
     }
     .to_bytes();
-    rig.attacker.borrow_mut().arm(Mission::InjectAtt { att });
-    rig.sim.run_for(Duration::from_secs(30));
+    s.attacker_mut().arm(Mission::InjectAtt { att });
+    s.run_for(Duration::from_secs(30));
 
     // §IV: "he can still inject an invalid packet, leading to a denial of
     // service" — the Slave tears the connection down on MIC failure.
-    let bulb = rig.bulb.borrow();
+    let bulb = s.victim::<Lightbulb>();
     assert!(
         bulb.disconnections >= 1,
         "MIC failure must terminate the encrypted connection"

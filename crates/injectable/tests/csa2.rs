@@ -3,55 +3,49 @@
 //! whole pipeline — connection, sniffing, injection, hijack — works when
 //! the connection hops with CSA#2.
 
-mod common;
-
-use ble_devices::bulb_payloads;
+use ble_devices::{bulb_payloads, Lightbulb};
 use ble_host::att::AttPdu;
-use common::*;
+use ble_scenario::{Scenario, ScenarioBuilder};
 use injectable::{Mission, MissionState};
 use simkit::Duration;
 
-fn csa2_rig(seed: u64) -> AttackRig {
-    let rig = AttackRig::new(seed, 36);
-    rig.central.borrow_mut().set_prefer_csa2(true);
+fn csa2_rig(seed: u64) -> Scenario {
+    let mut s = ScenarioBuilder::attack_rig(seed).hop_interval(36).build();
+    s.central_mut().set_prefer_csa2(true);
     // Restart the connection so it is established with CSA#2.
-    rig.central.borrow_mut().ll.request_disconnect(0x13);
-    rig
+    s.central_mut().ll.request_disconnect(0x13);
+    s
 }
 
 #[test]
 fn connection_and_traffic_work_over_csa2() {
-    let mut rig = csa2_rig(40);
-    rig.run_until_connected();
+    let mut s = csa2_rig(40);
+    s.run_until_connected();
+    let control = s.victim_control_handle();
     {
-        let central = rig.central.borrow();
+        let central = s.central();
         let info = central.ll.connection_info().unwrap();
         assert!(info.csa2, "connection must be using CSA#2");
     }
-    {
-        let bulb = rig.bulb.borrow();
-        assert!(bulb.ll.connection_info().unwrap().csa2);
-    }
-    rig.central
-        .borrow_mut()
-        .write(rig.control_handle, bulb_payloads::power_on());
-    rig.sim.run_for(Duration::from_secs(1));
+    assert!(s.victim::<Lightbulb>().ll.connection_info().unwrap().csa2);
+    s.central_mut().write(control, bulb_payloads::power_on());
+    s.run_for(Duration::from_secs(1));
     assert!(
-        rig.bulb.borrow().app.on,
+        s.victim::<Lightbulb>().app.on,
         "GATT write over a CSA#2 connection"
     );
     // Long-run stability: both sides keep hopping in sync.
-    rig.sim.run_for(Duration::from_secs(5));
-    assert!(rig.central.borrow().ll.is_connected());
-    assert!(rig.bulb.borrow().ll.is_connected());
+    s.run_for(Duration::from_secs(5));
+    assert!(s.central().ll.is_connected());
+    assert!(s.victim_connected());
 }
 
 #[test]
 fn sniffer_follows_csa2_connections() {
-    let mut rig = csa2_rig(41);
-    rig.run_until_connected();
-    rig.sim.run_for(Duration::from_secs(3));
-    let attacker = rig.attacker.borrow();
+    let mut s = csa2_rig(41);
+    s.run_until_connected();
+    s.run_for(Duration::from_secs(3));
+    let attacker = s.attacker();
     let conn = attacker.connection().expect("following");
     assert!(conn.uses_csa2(), "tracker recognised the ChSel bit");
     assert!(conn.next_event_counter > 40, "followed many CSA#2 events");
@@ -60,35 +54,36 @@ fn sniffer_follows_csa2_connections() {
 
 #[test]
 fn injection_works_over_csa2() {
-    let mut rig = csa2_rig(42);
-    rig.run_until_connected();
+    let mut s = csa2_rig(42);
+    s.run_until_connected();
     let att = AttPdu::WriteRequest {
-        handle: rig.control_handle,
+        handle: s.victim_control_handle(),
         value: bulb_payloads::colour(9, 8, 7),
     }
     .to_bytes();
-    rig.attacker.borrow_mut().arm(Mission::InjectAtt { att });
-    rig.sim.run_for(Duration::from_secs(20));
-    let attacker = rig.attacker.borrow();
+    s.attacker_mut().arm(Mission::InjectAtt { att });
+    s.run_for(Duration::from_secs(20));
+    let attacker = s.attacker();
     assert_eq!(
         attacker.mission_state(),
         MissionState::Complete,
         "stats: {:?}",
         attacker.stats()
     );
-    assert_eq!(rig.bulb.borrow().app.rgb, (9, 8, 7));
-    assert!(rig.central.borrow().ll.is_connected(), "victims unaware");
+    assert_eq!(s.victim::<Lightbulb>().app.rgb, (9, 8, 7));
+    assert!(s.central().ll.is_connected(), "victims unaware");
 }
 
 #[test]
 fn master_hijack_works_over_csa2() {
     use ble_host::{GattServer, HostStack};
     use ble_link::{AddressType, DeviceAddress, UpdateRequest};
-    let mut rig = csa2_rig(43);
-    rig.central.borrow_mut().auto_reconnect = true;
-    rig.run_until_connected();
-    rig.central.borrow_mut().auto_reconnect = false;
-    rig.attacker.borrow_mut().arm(Mission::HijackMaster {
+    let mut s = csa2_rig(43);
+    s.central_mut().auto_reconnect = true;
+    s.run_until_connected();
+    s.central_mut().auto_reconnect = false;
+    let control = s.victim_control_handle();
+    s.attacker_mut().arm(Mission::HijackMaster {
         update: UpdateRequest {
             win_size: 2,
             win_offset: 3,
@@ -102,22 +97,22 @@ fn master_hijack_works_over_csa2() {
             GattServer::new(),
             simkit::SimRng::seed_from(5),
         )),
-        on_takeover_writes: vec![(rig.control_handle, bulb_payloads::power_on())],
+        on_takeover_writes: vec![(control, bulb_payloads::power_on())],
         mitm: None,
     });
-    rig.sim.run_for(Duration::from_secs(40));
+    s.run_for(Duration::from_secs(40));
     assert_eq!(
-        rig.attacker.borrow().mission_state(),
+        s.attacker().mission_state(),
         MissionState::TakenOver,
         "stats: {:?}",
-        rig.attacker.borrow().stats()
+        s.attacker().stats()
     );
-    rig.sim.run_for(Duration::from_secs(5));
+    s.run_for(Duration::from_secs(5));
     assert!(
-        rig.bulb.borrow().app.on,
+        s.victim::<Lightbulb>().app.on,
         "hijacked master drives the CSA#2 slave"
     );
-    let ll = rig.attacker.borrow();
-    let info = ll.takeover_ll().unwrap().connection_info().unwrap();
+    let attacker = s.attacker();
+    let info = attacker.takeover_ll().unwrap().connection_info().unwrap();
     assert!(info.csa2, "the hijacked connection still hops with CSA#2");
 }

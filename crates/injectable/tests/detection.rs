@@ -2,43 +2,40 @@
 //! victim connection raises alerts when InjectaBLE attempts start, and
 //! stays quiet on clean traffic.
 
-mod common;
-
 use ble_devices::bulb_payloads;
 use ble_host::att::AttPdu;
-use common::*;
+use ble_phy::NodeId;
+use ble_scenario::{att_write_frame, Scenario, ScenarioBuilder};
 use injectable::{DetectorConfig, InjectionDetector, Mission};
 use simkit::Duration;
 
-fn add_detector(rig: &mut AttackRig) -> std::rc::Rc<std::cell::RefCell<InjectionDetector>> {
-    let slave = rig.bulb.borrow().ll.address();
-    let detector = std::rc::Rc::new(std::cell::RefCell::new(
-        InjectionDetector::new(DetectorConfig::default()).for_slave(slave),
-    ));
-    let id = rig.sim.add_node(
+fn rig_with_detector(seed: u64) -> (Scenario, NodeId) {
+    let mut s = ScenarioBuilder::attack_rig(seed).hop_interval(36).build();
+    let detector = InjectionDetector::new(DetectorConfig::default()).for_slave(s.victim_addr);
+    let id = s.world.add_node(
         ble_phy::NodeConfig::new("ids", ble_phy::Position::new(1.0, 1.0)),
-        detector.clone(),
+        detector,
     );
-    {
-        let detector = detector.clone();
-        rig.sim.with_ctx(id, |ctx| detector.borrow_mut().start(ctx));
-    }
-    detector
+    s.world.start(id);
+    (s, id)
+}
+
+fn detector(s: &Scenario, id: NodeId) -> &InjectionDetector {
+    s.world.node::<InjectionDetector>(id).expect("ids node")
 }
 
 #[test]
 fn clean_traffic_raises_no_alerts() {
-    let mut rig = AttackRig::new(70, 36);
-    let detector = add_detector(&mut rig);
-    rig.run_until_connected();
+    let (mut s, id) = rig_with_detector(70);
+    s.run_until_connected();
+    let control = s.victim_control_handle();
     // Plenty of legitimate traffic, including real writes.
     for i in 0..10u8 {
-        rig.central
-            .borrow_mut()
-            .write(rig.control_handle, bulb_payloads::brightness(i * 10));
-        rig.sim.run_for(Duration::from_secs(1));
+        s.central_mut()
+            .write(control, bulb_payloads::brightness(i * 10));
+        s.run_for(Duration::from_secs(1));
     }
-    let d = detector.borrow();
+    let d = detector(&s, id);
     assert!(d.is_monitoring(), "monitor followed the connection");
     assert!(
         d.events_observed() > 100,
@@ -54,29 +51,29 @@ fn clean_traffic_raises_no_alerts() {
 
 #[test]
 fn injection_campaign_is_detected() {
-    let mut rig = AttackRig::new(71, 36);
-    let detector = add_detector(&mut rig);
-    rig.run_until_connected();
-    rig.sim.run_for(Duration::from_secs(2)); // detector warm-up
+    let (mut s, id) = rig_with_detector(71);
+    s.run_until_connected();
+    s.run_for(Duration::from_secs(2)); // detector warm-up
+    let control = s.victim_control_handle();
 
     let att = AttPdu::WriteRequest {
-        handle: rig.control_handle,
+        handle: control,
         value: bulb_payloads::power_on(),
     }
     .to_bytes();
     // A sustained campaign (several successes) gives the IDS several
     // injected frames to witness.
-    rig.attacker.borrow_mut().set_inject_gap(2);
-    rig.attacker.borrow_mut().arm(Mission::InjectRaw {
+    s.attacker_mut().set_inject_gap(2);
+    s.attacker_mut().arm(Mission::InjectRaw {
         llid: ble_link::Llid::StartOrComplete,
-        payload: att_write_frame(rig.control_handle, bulb_payloads::power_on()),
+        payload: att_write_frame(control, bulb_payloads::power_on()),
         wanted_successes: 5,
     });
     let _ = att;
-    rig.sim.run_for(Duration::from_secs(30));
+    s.run_for(Duration::from_secs(30));
 
-    let d = detector.borrow();
-    let attempts = rig.attacker.borrow().stats().attempts_total;
+    let d = detector(&s, id);
+    let attempts = s.attacker().stats().attempts_total;
     assert!(attempts >= 5, "attack ran ({attempts} attempts)");
     assert!(
         !d.alerts().is_empty(),

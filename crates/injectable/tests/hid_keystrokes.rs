@@ -2,12 +2,10 @@
 //! Slave role, the attacker exposes a malicious HID-over-GATT keyboard
 //! profile and injects keystrokes to the Master via notifications.
 
-mod common;
-
 use ble_host::gatt::props;
 use ble_host::{GattServer, HostEvent, HostStack, Uuid};
 use ble_link::{AddressType, DeviceAddress};
-use common::*;
+use ble_scenario::ScenarioBuilder;
 use injectable::{Mission, MissionState};
 use simkit::{Duration, SimRng};
 
@@ -23,10 +21,10 @@ fn key_report(keycode: u8) -> Vec<u8> {
 
 #[test]
 fn hijacked_slave_injects_keystrokes_via_hid_profile() {
-    let mut rig = AttackRig::new(60, 36);
-    rig.bulb.borrow_mut().auto_readvertise = false;
-    rig.central.borrow_mut().auto_reconnect = false;
-    rig.run_until_connected();
+    let mut s = ScenarioBuilder::attack_rig(60).hop_interval(36).build();
+    s.set_victim_auto_readvertise(false);
+    s.central_mut().auto_reconnect = false;
+    s.run_until_connected();
 
     // The forged device: keyboard profile instead of the bulb's.
     let mut server = GattServer::new();
@@ -43,18 +41,18 @@ fn hijacked_slave_injects_keystrokes_via_hid_profile() {
         server,
         SimRng::seed_from(1),
     ));
-    rig.attacker.borrow_mut().arm(Mission::HijackSlave { host });
+    s.attacker_mut().arm(Mission::HijackSlave { host });
     for _ in 0..300 {
-        rig.sim.run_for(Duration::from_millis(200));
-        if rig.attacker.borrow().mission_state() == MissionState::TakenOver {
+        s.run_for(Duration::from_millis(200));
+        if s.attacker().mission_state() == MissionState::TakenOver {
             break;
         }
     }
     assert_eq!(
-        rig.attacker.borrow().mission_state(),
+        s.attacker().mission_state(),
         MissionState::TakenOver,
         "stats: {:?}",
-        rig.attacker.borrow().stats()
+        s.attacker().stats()
     );
 
     // Inject a keystroke sequence: press/release for three keys.
@@ -62,22 +60,20 @@ fn hijacked_slave_injects_keystrokes_via_hid_profile() {
     // in order.)
     let keys = [0x0B, 0x0C, 0x28]; // H, I, Enter
     for key in keys {
-        rig.attacker
-            .borrow_mut()
+        s.attacker_mut()
             .takeover_host_mut()
             .unwrap()
             .notify(report_handle, key_report(key));
-        rig.attacker
-            .borrow_mut()
+        s.attacker_mut()
             .takeover_host_mut()
             .unwrap()
             .notify(report_handle, key_report(0)); // release
-        rig.sim.run_for(Duration::from_millis(500));
+        s.run_for(Duration::from_millis(500));
     }
 
     // The Master (host OS in the real attack) received the keystrokes in
     // order.
-    let central = rig.central.borrow();
+    let central = s.central();
     let reports: Vec<Vec<u8>> = central
         .event_log
         .iter()

@@ -1,40 +1,40 @@
 //! Scenario A end-to-end: injecting ATT requests into a live connection to
 //! trigger device features (paper §VI-A).
 
-mod common;
-
-use ble_devices::bulb_payloads;
+use ble_devices::{bulb_payloads, Lightbulb};
 use ble_host::att::AttPdu;
-use common::*;
+use ble_scenario::{att_write_frame, Scenario, ScenarioBuilder};
 use injectable::{AttemptOutcome, Mission, MissionState};
 use simkit::Duration;
 
+fn rig(seed: u64, hop_interval: u16) -> Scenario {
+    ScenarioBuilder::attack_rig(seed)
+        .hop_interval(hop_interval)
+        .build()
+}
+
 #[test]
 fn injected_write_turns_the_bulb_off() {
-    let mut rig = AttackRig::new(1, 36);
-    rig.run_until_connected();
-    {
-        let bulb = rig.bulb.borrow();
-        assert!(!bulb.app.on);
-    }
+    let mut s = rig(1, 36);
+    s.run_until_connected();
+    let control = s.victim_control_handle();
+    assert!(!s.victim::<Lightbulb>().app.on);
     // Legitimate traffic first: the central turns the bulb on.
-    rig.central
-        .borrow_mut()
-        .write(rig.control_handle, bulb_payloads::power_on());
-    rig.sim.run_for(Duration::from_millis(500));
-    assert!(rig.bulb.borrow().app.on, "precondition: bulb on");
+    s.central_mut().write(control, bulb_payloads::power_on());
+    s.run_for(Duration::from_millis(500));
+    assert!(s.victim::<Lightbulb>().app.on, "precondition: bulb on");
 
     // Attack: inject a Write Request turning it off.
     let att = AttPdu::WriteRequest {
-        handle: rig.control_handle,
+        handle: control,
         value: bulb_payloads::power_off(),
     }
     .to_bytes();
-    rig.attacker.borrow_mut().arm(Mission::InjectAtt { att });
-    rig.sim.run_for(Duration::from_secs(20));
+    s.attacker_mut().arm(Mission::InjectAtt { att });
+    s.run_for(Duration::from_secs(20));
 
-    let bulb = rig.bulb.borrow();
-    let attacker = rig.attacker.borrow();
+    let bulb = s.victim::<Lightbulb>();
+    let attacker = s.attacker();
     assert_eq!(
         attacker.mission_state(),
         MissionState::Complete,
@@ -44,18 +44,17 @@ fn injected_write_turns_the_bulb_off() {
     assert!(!bulb.app.on, "bulb turned off by the injection");
     assert!(attacker.stats().successes() >= 1);
     // The connection survived the injection: both sides still connected.
-    assert!(rig.central.borrow().ll.is_connected(), "master unaware");
+    assert!(s.central().ll.is_connected(), "master unaware");
     assert!(bulb.ll.is_connected(), "slave still in the connection");
     assert_eq!(bulb.disconnections, 0);
 }
 
 #[test]
 fn injected_read_captures_the_device_name() {
-    let mut rig = AttackRig::new(2, 36);
-    rig.run_until_connected();
-    let name_handle = rig
-        .bulb
-        .borrow()
+    let mut s = rig(2, 36);
+    s.run_until_connected();
+    let name_handle = s
+        .victim::<Lightbulb>()
         .host
         .server()
         .handle_of(ble_host::Uuid::DEVICE_NAME)
@@ -64,10 +63,10 @@ fn injected_read_captures_the_device_name() {
         handle: name_handle,
     }
     .to_bytes();
-    rig.attacker.borrow_mut().arm(Mission::InjectAtt { att });
-    rig.sim.run_for(Duration::from_secs(20));
+    s.attacker_mut().arm(Mission::InjectAtt { att });
+    s.run_for(Duration::from_secs(20));
 
-    let attacker = rig.attacker.borrow();
+    let attacker = s.attacker();
     assert_eq!(attacker.mission_state(), MissionState::Complete);
     // The Slave's response contained the ATT Read Response with the name —
     // the paper's confidentiality impact.
@@ -81,23 +80,24 @@ fn injected_read_captures_the_device_name() {
 
 #[test]
 fn repeated_injections_all_land() {
-    let mut rig = AttackRig::new(3, 75);
+    let mut s = rig(3, 75);
+    let control = s.victim_control_handle();
     // Pace the campaign so the legitimate Master keeps seeing responses on
     // the non-attacked events and the connection stays healthy throughout.
-    rig.attacker.borrow_mut().set_inject_gap(2);
-    rig.run_until_connected();
-    rig.attacker.borrow_mut().arm(Mission::InjectRaw {
+    s.attacker_mut().set_inject_gap(2);
+    s.run_until_connected();
+    s.attacker_mut().arm(Mission::InjectRaw {
         llid: ble_link::Llid::StartOrComplete,
-        payload: att_write_frame(rig.control_handle, bulb_payloads::colour(1, 2, 3)),
+        payload: att_write_frame(control, bulb_payloads::colour(1, 2, 3)),
         wanted_successes: 5,
     });
-    rig.sim.run_for(Duration::from_secs(60));
-    let attacker = rig.attacker.borrow();
+    s.run_for(Duration::from_secs(60));
+    let attacker = s.attacker();
     assert_eq!(attacker.mission_state(), MissionState::Complete);
     assert_eq!(attacker.stats().successes(), 5);
-    assert_eq!(rig.bulb.borrow().app.rgb, (1, 2, 3));
+    assert_eq!(s.victim::<Lightbulb>().app.rgb, (1, 2, 3));
     // Median attempts stays low, as in the paper.
-    let attempts = &attacker.stats().attempts_per_success;
+    let attempts = &s.attacker().stats().attempts_per_success;
     let mut sorted = attempts.clone();
     sorted.sort_unstable();
     let median = sorted[sorted.len() / 2];
@@ -111,24 +111,28 @@ fn repeated_injections_all_land() {
 fn injection_attempts_eventually_succeed_even_with_failures() {
     // Attacker far away (8 m) vs central at 2 m: more collisions lost, but
     // the attack still lands (paper experiment 3's headline result).
-    let mut rig = AttackRig::with_positions(4, 36, 8.0, 2.0);
-    rig.run_until_connected();
+    let mut s = ScenarioBuilder::attack_rig(4)
+        .hop_interval(36)
+        .attacker_distance(8.0)
+        .central_distance(2.0)
+        .build();
+    s.run_until_connected();
     let att = AttPdu::WriteRequest {
-        handle: rig.control_handle,
+        handle: s.victim_control_handle(),
         value: bulb_payloads::power_on(),
     }
     .to_bytes();
-    rig.attacker.borrow_mut().arm(Mission::InjectAtt { att });
-    rig.sim.run_for(Duration::from_secs(120));
-    let attacker = rig.attacker.borrow();
+    s.attacker_mut().arm(Mission::InjectAtt { att });
+    s.run_for(Duration::from_secs(120));
+    let attacker = s.attacker();
     assert_eq!(
         attacker.mission_state(),
         MissionState::Complete,
         "stats {:?}",
         attacker.stats()
     );
-    assert!(rig.bulb.borrow().app.on);
+    assert!(s.victim::<Lightbulb>().app.on);
     // From that far away at least some attempts typically fail first.
-    let outcomes: Vec<AttemptOutcome> = attacker.stats().log.iter().map(|(_, o)| *o).collect();
+    let outcomes: Vec<AttemptOutcome> = s.attacker().stats().log.iter().map(|(_, o)| *o).collect();
     assert!(!outcomes.is_empty());
 }

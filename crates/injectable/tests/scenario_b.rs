@@ -1,12 +1,11 @@
 //! Scenario B end-to-end: evicting the Slave with an injected
 //! `LL_TERMINATE_IND` and impersonating it towards the Master (paper §VI-B).
 
-mod common;
-
+use ble_devices::Lightbulb;
 use ble_host::gatt::props;
 use ble_host::{GattServer, HostEvent, HostStack, Uuid};
 use ble_link::{AddressType, DeviceAddress, Role};
-use common::*;
+use ble_scenario::{Scenario, ScenarioBuilder};
 use injectable::{Mission, MissionState};
 use simkit::{Duration, SimRng};
 
@@ -25,23 +24,29 @@ fn hacked_host() -> Box<HostStack> {
     ))
 }
 
+/// The standard rig with both auto-recovery behaviours disabled: the bulb
+/// must not re-advertise instantly, or the real central reconnects to it.
+fn rig(seed: u64, hop_interval: u16) -> Scenario {
+    let mut s = ScenarioBuilder::attack_rig(seed)
+        .hop_interval(hop_interval)
+        .build();
+    s.set_victim_auto_readvertise(false);
+    s.central_mut().auto_reconnect = false;
+    s
+}
+
 #[test]
 fn slave_hijack_evicts_bulb_and_serves_forged_name() {
-    let mut rig = AttackRig::new(10, 36);
-    // The bulb must not re-advertise instantly, or the real central
-    // rig has: the attacker takes the slave role; the bulb believes it was
-    // disconnected by the master.
-    rig.bulb.borrow_mut().auto_readvertise = false;
-    rig.central.borrow_mut().auto_reconnect = false;
-    rig.run_until_connected();
+    let mut s = rig(10, 36);
+    s.run_until_connected();
 
-    rig.attacker.borrow_mut().arm(Mission::HijackSlave {
+    s.attacker_mut().arm(Mission::HijackSlave {
         host: hacked_host(),
     });
-    rig.sim.run_for(Duration::from_secs(30));
+    s.run_for(Duration::from_secs(30));
 
     {
-        let attacker = rig.attacker.borrow();
+        let attacker = s.attacker();
         assert_eq!(
             attacker.mission_state(),
             MissionState::TakenOver,
@@ -53,7 +58,7 @@ fn slave_hijack_evicts_bulb_and_serves_forged_name() {
         assert_eq!(ll.connection_info().unwrap().role, Role::Slave);
     }
     // The real slave was evicted by the injected TERMINATE_IND...
-    let bulb = rig.bulb.borrow();
+    let bulb = s.victim::<Lightbulb>();
     assert!(!bulb.ll.is_connected(), "bulb evicted");
     assert_eq!(bulb.disconnections, 1);
     assert_eq!(
@@ -61,22 +66,19 @@ fn slave_hijack_evicts_bulb_and_serves_forged_name() {
         Some(ble_link::ERR_REMOTE_USER_TERMINATED)
     );
     // ...while the master still believes the connection is healthy.
-    assert!(rig.central.borrow().ll.is_connected(), "master unaware");
-    drop(bulb);
+    assert!(s.central().ll.is_connected(), "master unaware");
 
     // The master reads the Device Name and gets the forged value.
-    let name_handle = {
-        let attacker = rig.attacker.borrow();
-        attacker
-            .takeover_host()
-            .unwrap()
-            .server()
-            .handle_of(Uuid::DEVICE_NAME)
-            .expect("forged GAP profile")
-    };
-    rig.central.borrow_mut().host.read(name_handle);
-    rig.sim.run_for(Duration::from_secs(2));
-    let central = rig.central.borrow();
+    let name_handle = s
+        .attacker()
+        .takeover_host()
+        .unwrap()
+        .server()
+        .handle_of(Uuid::DEVICE_NAME)
+        .expect("forged GAP profile");
+    s.central_mut().host.read(name_handle);
+    s.run_for(Duration::from_secs(2));
+    let central = s.central();
     let got: Vec<&HostEvent> = central
         .event_log
         .iter()
@@ -92,25 +94,20 @@ fn slave_hijack_evicts_bulb_and_serves_forged_name() {
 
 #[test]
 fn slave_hijack_keeps_master_connection_alive_long_term() {
-    let mut rig = AttackRig::new(11, 24);
-    rig.bulb.borrow_mut().auto_readvertise = false;
-    rig.central.borrow_mut().auto_reconnect = false;
-    rig.run_until_connected();
-    rig.attacker.borrow_mut().arm(Mission::HijackSlave {
+    let mut s = rig(11, 24);
+    s.run_until_connected();
+    s.attacker_mut().arm(Mission::HijackSlave {
         host: hacked_host(),
     });
-    rig.sim.run_for(Duration::from_secs(30));
-    assert_eq!(
-        rig.attacker.borrow().mission_state(),
-        MissionState::TakenOver
-    );
+    s.run_for(Duration::from_secs(30));
+    assert_eq!(s.attacker().mission_state(), MissionState::TakenOver);
     // Run for several more seconds: the fake slave must keep answering the
     // master's connection events (no supervision timeout on either side).
-    rig.sim.run_for(Duration::from_secs(10));
-    assert!(rig.central.borrow().ll.is_connected(), "master still alive");
+    s.run_for(Duration::from_secs(10));
+    assert!(s.central().ll.is_connected(), "master still alive");
     assert!(
-        rig.attacker.borrow().takeover_ll().unwrap().is_connected(),
+        s.attacker().takeover_ll().unwrap().is_connected(),
         "fake slave still alive"
     );
-    assert_eq!(rig.central.borrow().disconnections, 0);
+    assert_eq!(s.central().disconnections, 0);
 }

@@ -2,14 +2,18 @@
 //! `LL_CONNECTION_UPDATE_IND`, and the full Man-in-the-Middle
 //! (paper §VI-C/D).
 
-mod common;
-
-use ble_devices::bulb_payloads;
+use ble_devices::{bulb_payloads, Lightbulb};
 use ble_host::{GattServer, HostStack};
 use ble_link::{AddressType, DeviceAddress, Role, UpdateRequest};
-use common::*;
+use ble_scenario::{Scenario, ScenarioBuilder};
 use injectable::{new_handoff, Mission, MissionState, MitmSlaveHalf, RewriteRule};
 use simkit::{Duration, SimRng};
+
+fn rig(seed: u64) -> Scenario {
+    let mut s = ScenarioBuilder::attack_rig(seed).hop_interval(36).build();
+    s.central_mut().auto_reconnect = false;
+    s
+}
 
 fn attacker_master_host(seed: u64) -> Box<HostStack> {
     Box::new(HostStack::new(
@@ -29,24 +33,59 @@ fn forged_update() -> UpdateRequest {
     }
 }
 
+/// The slave half's GATT mirror of the bulb's attribute layout, so the
+/// legitimate master's writes land on matching handles.
+fn bulb_mirror() -> HostStack {
+    use ble_host::gatt::props;
+    use ble_host::Uuid;
+    let mut host = HostStack::new(
+        DeviceAddress::new([0xEE; 6], AddressType::Random),
+        GattServer::new(),
+        SimRng::seed_from(5),
+    );
+    host.server_mut()
+        .service(Uuid::GAP_SERVICE)
+        .characteristic(Uuid::DEVICE_NAME, props::READ, b"SmartBulb".to_vec())
+        .finish();
+    host.server_mut()
+        .service(ble_devices::BULB_SERVICE_UUID)
+        .characteristic(
+            ble_devices::BULB_CONTROL_UUID,
+            props::READ | props::WRITE | props::WRITE_WITHOUT_RESPONSE,
+            vec![0],
+        )
+        .finish();
+    host
+}
+
+/// Adds the MITM slave half to the world, co-located with the attacker.
+fn add_slave_half(s: &mut Scenario, half: MitmSlaveHalf) -> ble_phy::NodeId {
+    let id = s.world.add_node(
+        ble_phy::NodeConfig::new("mitm-slave-half", s.attacker_pos).with_tx_power(8.0),
+        half,
+    );
+    s.world.start(id);
+    id
+}
+
 #[test]
 fn master_hijack_steals_the_slave_and_drives_its_features() {
-    let mut rig = AttackRig::new(20, 36);
-    rig.central.borrow_mut().auto_reconnect = false;
-    rig.run_until_connected();
-    assert!(!rig.bulb.borrow().app.on);
+    let mut s = rig(20);
+    s.run_until_connected();
+    assert!(!s.victim::<Lightbulb>().app.on);
+    let control = s.victim_control_handle();
 
-    rig.attacker.borrow_mut().arm(Mission::HijackMaster {
+    s.attacker_mut().arm(Mission::HijackMaster {
         update: forged_update(),
         instant_delta: 6,
         host: attacker_master_host(1),
-        on_takeover_writes: vec![(rig.control_handle, bulb_payloads::power_on())],
+        on_takeover_writes: vec![(control, bulb_payloads::power_on())],
         mitm: None,
     });
-    rig.sim.run_for(Duration::from_secs(30));
+    s.run_for(Duration::from_secs(30));
 
     {
-        let attacker = rig.attacker.borrow();
+        let attacker = s.attacker();
         assert_eq!(
             attacker.mission_state(),
             MissionState::TakenOver,
@@ -64,14 +103,14 @@ fn master_hijack_steals_the_slave_and_drives_its_features() {
     }
     // The attacker drove the slave's feature, as in scenario A but from a
     // fully hijacked Master role.
-    assert!(rig.bulb.borrow().app.on, "attacker's write applied");
+    assert!(s.victim::<Lightbulb>().app.on, "attacker's write applied");
     // The slave never disconnected: the hijack is seamless on its side.
-    assert_eq!(rig.bulb.borrow().disconnections, 0);
-    assert!(rig.bulb.borrow().ll.is_connected());
+    assert_eq!(s.victim::<Lightbulb>().disconnections, 0);
+    assert!(s.victim_connected());
 
     // The legitimate master, meanwhile, starves and hits its supervision
     // timeout ("it leaves the connection due to timeout", §VI-C).
-    let central = rig.central.borrow();
+    let central = s.central();
     assert!(!central.ll.is_connected(), "legitimate master timed out");
     assert_eq!(
         central.last_disconnect_reason,
@@ -81,98 +120,63 @@ fn master_hijack_steals_the_slave_and_drives_its_features() {
 
 #[test]
 fn mitm_intercepts_and_rewrites_traffic_on_the_fly() {
-    let mut rig = AttackRig::new(21, 36);
-    rig.central.borrow_mut().auto_reconnect = false;
-    rig.run_until_connected();
+    let mut s = rig(21);
+    s.run_until_connected();
+    let control = s.victim_control_handle();
 
-    // Scenario D: the slave half mirrors the bulb's GATT profile so the
-    // legitimate master's writes land on matching handles.
+    // Scenario D: the slave half mirrors the bulb's GATT profile.
     let handoff = new_handoff();
-    let mirror = {
-        let mut host = HostStack::new(
-            DeviceAddress::new([0xEE; 6], AddressType::Random),
-            GattServer::new(),
-            SimRng::seed_from(5),
-        );
-        use ble_host::gatt::props;
-        use ble_host::Uuid;
-        host.server_mut()
-            .service(Uuid::GAP_SERVICE)
-            .characteristic(Uuid::DEVICE_NAME, props::READ, b"SmartBulb".to_vec())
-            .finish();
-        host.server_mut()
-            .service(ble_devices::BULB_SERVICE_UUID)
-            .characteristic(
-                ble_devices::BULB_CONTROL_UUID,
-                props::READ | props::WRITE | props::WRITE_WITHOUT_RESPONSE,
-                vec![0],
-            )
-            .finish();
-        host
-    };
     // Rewrite rule: red becomes green (the paper rewrote RGB values).
     let rewrite = RewriteRule {
-        handle: Some(rig.control_handle),
+        handle: Some(control),
         find: bulb_payloads::colour(255, 0, 0),
         replace: bulb_payloads::colour(0, 255, 0),
     };
-    let slave_half = std::rc::Rc::new(std::cell::RefCell::new(MitmSlaveHalf::new(
-        mirror,
-        handoff.clone(),
-        vec![rewrite],
-    )));
-    // Co-located with the attacker.
-    let pos = rig.sim.node_position(rig.attacker_id);
-    let half_id = rig.sim.add_node(
-        ble_phy::NodeConfig::new("mitm-slave-half", pos).with_tx_power(8.0),
-        slave_half.clone(),
+    let half_id = add_slave_half(
+        &mut s,
+        MitmSlaveHalf::new(bulb_mirror(), handoff.clone(), vec![rewrite]),
     );
-    {
-        let slave_half = slave_half.clone();
-        rig.sim
-            .with_ctx(half_id, |ctx| slave_half.borrow_mut().start(ctx));
-    }
 
-    rig.attacker.borrow_mut().arm(Mission::HijackMaster {
+    s.attacker_mut().arm(Mission::HijackMaster {
         update: forged_update(),
         instant_delta: 6,
         host: attacker_master_host(2),
         on_takeover_writes: vec![],
         mitm: Some(handoff.clone()),
     });
-    rig.sim.run_for(Duration::from_secs(30));
+    s.run_for(Duration::from_secs(30));
     assert_eq!(
-        rig.attacker.borrow().mission_state(),
+        s.attacker().mission_state(),
         MissionState::TakenOver,
         "stats: {:?}",
-        rig.attacker.borrow().stats()
+        s.attacker().stats()
     );
     // Both halves are connected: full MITM established mid-connection.
-    assert!(rig.attacker.borrow().takeover_ll().unwrap().is_connected());
+    assert!(s.attacker().takeover_ll().unwrap().is_connected());
     assert!(
-        slave_half.borrow().ll.is_connected(),
+        s.world
+            .node::<MitmSlaveHalf>(half_id)
+            .expect("mitm half")
+            .ll
+            .is_connected(),
         "slave half holds the master"
     );
-    assert!(
-        rig.central.borrow().ll.is_connected(),
-        "legit master unaware"
-    );
-    assert!(rig.bulb.borrow().ll.is_connected(), "slave unaware");
+    assert!(s.central().ll.is_connected(), "legit master unaware");
+    assert!(s.victim_connected(), "slave unaware");
 
     // The legitimate master sets the bulb red; the MITM rewrites to green.
-    rig.central
-        .borrow_mut()
-        .write(rig.control_handle, bulb_payloads::colour(255, 0, 0));
-    rig.sim.run_for(Duration::from_secs(5));
+    s.central_mut()
+        .write(control, bulb_payloads::colour(255, 0, 0));
+    s.run_for(Duration::from_secs(5));
 
-    let bulb = rig.bulb.borrow();
+    let bulb = s.victim::<Lightbulb>();
     assert_eq!(bulb.app.rgb, (0, 255, 0), "colour rewritten on the fly");
-    let shared = handoff.borrow();
+    let shared = handoff.lock();
     assert!(
         shared
             .intercepted
             .iter()
-            .any(|(h, v)| *h == rig.control_handle && v == &bulb_payloads::colour(255, 0, 0)),
+            .any(|(h, v)| *h == control && v == &bulb_payloads::colour(255, 0, 0)),
         "original write intercepted: {:?}",
         shared.intercepted
     );
@@ -182,66 +186,27 @@ fn mitm_intercepts_and_rewrites_traffic_on_the_fly() {
 fn mitm_blackhole_denies_service() {
     // §VIII: "initiating a Man-in-the-Middle and not forwarding the
     // legitimate traffic to perform a denial of service".
-    let mut rig = AttackRig::new(22, 36);
-    rig.central.borrow_mut().auto_reconnect = false;
-    rig.run_until_connected();
+    let mut s = rig(22);
+    s.run_until_connected();
+    let control = s.victim_control_handle();
     let handoff = new_handoff();
-    handoff.borrow_mut().forward = false;
-    let mirror = {
-        let mut host = HostStack::new(
-            DeviceAddress::new([0xEE; 6], AddressType::Random),
-            GattServer::new(),
-            SimRng::seed_from(5),
-        );
-        use ble_host::gatt::props;
-        use ble_host::Uuid;
-        // Mirror the bulb's full attribute layout so handles align.
-        host.server_mut()
-            .service(Uuid::GAP_SERVICE)
-            .characteristic(Uuid::DEVICE_NAME, props::READ, b"SmartBulb".to_vec())
-            .finish();
-        host.server_mut()
-            .service(ble_devices::BULB_SERVICE_UUID)
-            .characteristic(
-                ble_devices::BULB_CONTROL_UUID,
-                props::READ | props::WRITE | props::WRITE_WITHOUT_RESPONSE,
-                vec![0],
-            )
-            .finish();
-        host
-    };
-    let slave_half = std::rc::Rc::new(std::cell::RefCell::new(MitmSlaveHalf::new(
-        mirror,
-        handoff.clone(),
-        vec![],
-    )));
-    let pos = rig.sim.node_position(rig.attacker_id);
-    let half_id = rig.sim.add_node(
-        ble_phy::NodeConfig::new("mitm-slave-half", pos).with_tx_power(8.0),
-        slave_half.clone(),
+    handoff.lock().forward = false;
+    add_slave_half(
+        &mut s,
+        MitmSlaveHalf::new(bulb_mirror(), handoff.clone(), vec![]),
     );
-    {
-        let slave_half = slave_half.clone();
-        rig.sim
-            .with_ctx(half_id, |ctx| slave_half.borrow_mut().start(ctx));
-    }
-    rig.attacker.borrow_mut().arm(Mission::HijackMaster {
+    s.attacker_mut().arm(Mission::HijackMaster {
         update: forged_update(),
         instant_delta: 6,
         host: attacker_master_host(3),
         on_takeover_writes: vec![],
         mitm: Some(handoff.clone()),
     });
-    rig.sim.run_for(Duration::from_secs(30));
-    assert_eq!(
-        rig.attacker.borrow().mission_state(),
-        MissionState::TakenOver
-    );
-    rig.central
-        .borrow_mut()
-        .write(rig.control_handle, bulb_payloads::power_on());
-    rig.sim.run_for(Duration::from_secs(5));
+    s.run_for(Duration::from_secs(30));
+    assert_eq!(s.attacker().mission_state(), MissionState::TakenOver);
+    s.central_mut().write(control, bulb_payloads::power_on());
+    s.run_for(Duration::from_secs(5));
     // Intercepted but never delivered.
-    assert!(!handoff.borrow().intercepted.is_empty());
-    assert!(!rig.bulb.borrow().app.on, "write blackholed");
+    assert!(!handoff.lock().intercepted.is_empty());
+    assert!(!s.victim::<Lightbulb>().app.on, "write blackholed");
 }

@@ -2,39 +2,34 @@
 //! into attached sinks in storyline order (sync → attempt → verdict), and
 //! the metrics registry agrees with the attacker's own statistics.
 
-mod common;
-
 use ble_devices::bulb_payloads;
 use ble_host::att::AttPdu;
+use ble_scenario::ScenarioBuilder;
 use ble_telemetry::{MetricsSink, RingBufferSink, TelemetryEvent, Verdict};
-use common::*;
 use injectable::{Mission, MissionState};
 use simkit::Duration;
 
 #[test]
 fn scenario_a_emits_attempt_then_verdict_into_sinks() {
-    let mut rig = AttackRig::new(1, 36);
+    let mut s = ScenarioBuilder::attack_rig(1).hop_interval(36).build();
     let ring = RingBufferSink::new(1 << 16);
     let records = ring.handle();
     let metrics = MetricsSink::new();
     let registry = metrics.handle();
-    rig.sim.add_telemetry_sink(Box::new(ring));
-    rig.sim.add_telemetry_sink(Box::new(metrics));
-    rig.run_until_connected();
+    s.world.add_telemetry_sink(Box::new(ring));
+    s.world.add_telemetry_sink(Box::new(metrics));
+    s.run_until_connected();
 
     let att = AttPdu::WriteRequest {
-        handle: rig.control_handle,
+        handle: s.victim_control_handle(),
         value: bulb_payloads::power_off(),
     }
     .to_bytes();
-    rig.attacker.borrow_mut().arm(Mission::InjectAtt { att });
-    rig.sim.run_for(Duration::from_secs(20));
-    assert_eq!(
-        rig.attacker.borrow().mission_state(),
-        MissionState::Complete
-    );
+    s.attacker_mut().arm(Mission::InjectAtt { att });
+    s.run_for(Duration::from_secs(20));
+    assert_eq!(s.attacker().mission_state(), MissionState::Complete);
 
-    let ring = records.borrow();
+    let ring = records.lock();
     // The attack storyline appears in order: the sniffer synchronises, an
     // injection attempt fires, a heuristic verdict confirms a success.
     let sync = ring
@@ -71,8 +66,8 @@ fn scenario_a_emits_attempt_then_verdict_into_sinks() {
 
     // The metrics sink classified the same stream consistently, and agrees
     // with the attacker's own statistics.
-    let reg = registry.borrow();
-    let stats_attempts = u64::from(rig.attacker.borrow().stats().attempts_total);
+    let reg = registry.lock();
+    let stats_attempts = u64::from(s.attacker().stats().attempts_total);
     assert_eq!(reg.counter("attack.attempts"), stats_attempts);
     assert!(reg.counter("attack.success") >= 1);
     assert!(
@@ -90,15 +85,15 @@ fn scenario_a_emits_attempt_then_verdict_into_sinks() {
 
 #[test]
 fn ring_buffer_attaches_mid_run_and_keeps_newest() {
-    let mut rig = AttackRig::new(2, 36);
-    rig.run_until_connected();
+    let mut s = ScenarioBuilder::attack_rig(2).hop_interval(36).build();
+    s.run_until_connected();
     // Attach late, with a tiny capacity: the sink must replay node labels
     // and then keep only the newest records.
     let ring = RingBufferSink::new(16);
     let records = ring.handle();
-    rig.sim.add_telemetry_sink(Box::new(ring));
-    rig.sim.run_for(Duration::from_secs(2));
-    let ring = records.borrow();
+    s.world.add_telemetry_sink(Box::new(ring));
+    s.run_for(Duration::from_secs(2));
+    let ring = records.lock();
     assert_eq!(ring.len(), 16);
     assert!(
         ring.evicted() > 0,

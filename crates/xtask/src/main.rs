@@ -1,7 +1,7 @@
 //! Workspace automation tasks, invoked as `cargo xtask <task>`.
 //!
 //! The only task so far is `lint`: a custom static-analysis pass enforcing
-//! the protocol-robustness rules R1–R4 described in `DEVELOPMENT.md`. It is
+//! the protocol-robustness rules R1–R5 described in `DEVELOPMENT.md`. It is
 //! written against a minimal hand-rolled lexer ([`lexer`]) because the
 //! workspace builds fully offline — no `syn`, no network.
 //!
@@ -36,7 +36,23 @@ const R1_EXEMPT_NOTE: &[&str] = &[
     "simkit",
     "ble-devices",
     "ble-host",
+    "ble-scenario",
 ];
+
+/// Crates that consume the `World` arena: rule R5 bans the pre-arena
+/// `Rc<RefCell<…>>` node-graph pattern from their `src/`, `tests/`,
+/// `benches/` and `src/bin/` trees. The workspace-level `examples/` and
+/// `tests/` directories are held to the same rule (see [`lint`]).
+const R5_ARENA_CONSUMERS: &[&str] = &["bench", "injectable", "ble-devices", "ble-scenario"];
+
+/// Just the arena-ownership rule, for trees outside any crate's `src/`.
+const R5_ONLY: RuleSet = RuleSet {
+    r1: false,
+    r2: false,
+    r3: false,
+    r4: false,
+    r5: true,
+};
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -58,7 +74,7 @@ fn print_usage() {
     eprintln!("usage: cargo xtask <task>");
     eprintln!();
     eprintln!("tasks:");
-    eprintln!("  lint [--root <dir>]   run the protocol lints (R1-R4) over crates/*/src");
+    eprintln!("  lint [--root <dir>]   run the protocol lints (R1-R5) over crates/*/src, examples/ and tests/");
 }
 
 fn lint(args: &[String]) -> ExitCode {
@@ -93,7 +109,7 @@ fn lint(args: &[String]) -> ExitCode {
         if name == "xtask" {
             continue; // the linter does not lint itself
         }
-        let ruleset = if PROTOCOL_CRATES.contains(&name.as_str()) {
+        let mut ruleset = if PROTOCOL_CRATES.contains(&name.as_str()) {
             RuleSet::protocol()
         } else {
             debug_assert!(
@@ -102,24 +118,36 @@ fn lint(args: &[String]) -> ExitCode {
             );
             RuleSet::general()
         };
+        if R5_ARENA_CONSUMERS.contains(&name.as_str()) {
+            ruleset = ruleset.with_r5();
+        }
         let mut sources = Vec::new();
         collect_rs_files(&dir.join("src"), &mut sources);
         sources.sort();
         for path in sources {
-            files += 1;
-            let src = match std::fs::read_to_string(&path) {
-                Ok(src) => src,
-                Err(e) => {
-                    eprintln!("xtask lint: cannot read {}: {e}", path.display());
-                    violations += 1;
-                    continue;
-                }
-            };
-            for v in rules::lint_source(&src, ruleset) {
-                let rel = path.strip_prefix(&root).unwrap_or(&path);
-                println!("{}:{}: R{}: {}", rel.display(), v.line, v.rule, v.msg);
-                violations += 1;
+            lint_file(&path, &root, ruleset, &mut files, &mut violations);
+        }
+        // A crate's tests and benches are exempt from the hot-path rules but
+        // not from the arena-ownership rule: shared-pointer world building
+        // tends to creep back in through test rigs first.
+        if R5_ARENA_CONSUMERS.contains(&name.as_str()) {
+            let mut extra = Vec::new();
+            collect_rs_files(&dir.join("tests"), &mut extra);
+            collect_rs_files(&dir.join("benches"), &mut extra);
+            extra.sort();
+            for path in extra {
+                lint_file(&path, &root, R5_ONLY, &mut files, &mut violations);
             }
+        }
+    }
+
+    // Workspace-level examples and integration tests build worlds too.
+    for tree in ["examples", "tests"] {
+        let mut sources = Vec::new();
+        collect_rs_files(&root.join(tree), &mut sources);
+        sources.sort();
+        for path in sources {
+            lint_file(&path, &root, R5_ONLY, &mut files, &mut violations);
         }
     }
 
@@ -148,6 +176,29 @@ fn parse_root(args: &[String]) -> Result<PathBuf, String> {
         }
     }
     std::env::current_dir().map_err(|e| format!("cannot determine workspace root: {e}"))
+}
+
+fn lint_file(
+    path: &Path,
+    root: &Path,
+    ruleset: RuleSet,
+    files: &mut usize,
+    violations: &mut usize,
+) {
+    *files += 1;
+    let src = match std::fs::read_to_string(path) {
+        Ok(src) => src,
+        Err(e) => {
+            eprintln!("xtask lint: cannot read {}: {e}", path.display());
+            *violations += 1;
+            return;
+        }
+    };
+    for v in rules::lint_source(&src, ruleset) {
+        let rel = path.strip_prefix(root).unwrap_or(path);
+        println!("{}:{}: R{}: {}", rel.display(), v.line, v.rule, v.msg);
+        *violations += 1;
+    }
 }
 
 fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) {

@@ -1,4 +1,4 @@
-//! The protocol lint rules R1–R4.
+//! The protocol lint rules R1–R5.
 //!
 //! | rule | scope            | forbids                                                     |
 //! |------|------------------|-------------------------------------------------------------|
@@ -6,6 +6,7 @@
 //! | R2   | protocol crates  | truncating `as` casts to narrow integer types               |
 //! | R3   | protocol crates  | raw arithmetic on extracted time tick counts                |
 //! | R4   | whole workspace  | `_` wildcard arms in matches over PDU/LL-control/telemetry enums |
+//! | R5   | arena consumers  | `Rc<RefCell<…>>` shared-node graphs (use the `World` arena) |
 //!
 //! Test-only code (`#[cfg(test)]`) is exempt from every rule. A violation on
 //! line *N* can be waived with `// xtask-allow: R<n> — reason` on line *N*
@@ -24,16 +25,18 @@ pub struct RuleSet {
     pub r2: bool,
     pub r3: bool,
     pub r4: bool,
+    pub r5: bool,
 }
 
 impl RuleSet {
-    /// All four rules: the protocol hot-path crates.
+    /// The hot-path rules: the protocol crates.
     pub fn protocol() -> Self {
         RuleSet {
             r1: true,
             r2: true,
             r3: true,
             r4: true,
+            r5: false,
         }
     }
 
@@ -44,14 +47,22 @@ impl RuleSet {
             r2: false,
             r3: false,
             r4: true,
+            r5: false,
         }
+    }
+
+    /// Adds the no-`Rc<RefCell<…>>` rule: code that builds worlds must use
+    /// the arena (`World::add_node` + `NodeId`), not a shared-pointer graph.
+    pub fn with_r5(mut self) -> Self {
+        self.r5 = true;
+        self
     }
 }
 
 /// One lint finding.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Violation {
-    /// Rule number, 1–4.
+    /// Rule number, 1–5.
     pub rule: u8,
     /// 1-based source line.
     pub line: u32,
@@ -75,6 +86,9 @@ pub fn lint_source(src: &str, rules: RuleSet) -> Vec<Violation> {
     }
     if rules.r4 {
         r4_wildcards(&tokens, &mut v);
+    }
+    if rules.r5 {
+        r5_rc_refcell(&tokens, &mut v);
     }
     v.retain(|vi| !waivers.contains(&(vi.line, vi.rule)));
     v.sort_by_key(|vi| (vi.line, vi.rule));
@@ -437,6 +451,54 @@ fn analyze_pattern(pattern: &[&Token], saw_pdu_enum: &mut bool, wildcard: &mut O
     }
 }
 
+// ---------------------------------------------------------------------
+// R5: no shared-pointer node graphs in arena consumers
+// ---------------------------------------------------------------------
+
+/// The pre-arena world wired nodes as `Rc<RefCell<dyn RadioListener>>` and
+/// every call site paid for it in `.borrow_mut()` noise and runtime borrow
+/// panics. `World` now owns nodes outright (`add_node` → `NodeId`,
+/// `node::<T>()` / `node_mut::<T>()` for access), so the shared-pointer
+/// pattern is banned from the crates that build worlds.
+fn r5_rc_refcell(tokens: &[Token], out: &mut Vec<Violation>) {
+    // `std::cell::RefCell` and `RefCell` must both match: skip any
+    // `ident ::` path-qualifier pairs before comparing.
+    fn is_refcell_at(tokens: &[Token], mut i: usize) -> bool {
+        loop {
+            match tokens.get(i) {
+                Some(t) if t.text == "RefCell" => return true,
+                Some(t) if is_ident(t) && tokens.get(i + 1).is_some_and(|n| n.text == "::") => {
+                    i += 2;
+                }
+                _ => return false,
+            }
+        }
+    }
+    for (i, t) in tokens.iter().enumerate() {
+        if t.text != "Rc" {
+            continue;
+        }
+        // The type: `Rc<RefCell<…>>` (possibly path-qualified).
+        let as_type =
+            tokens.get(i + 1).is_some_and(|n| n.text == "<") && is_refcell_at(tokens, i + 2);
+        // The constructor: `Rc::new(RefCell::new(…))`.
+        let as_ctor = tokens.get(i + 1).is_some_and(|n| n.text == "::")
+            && tokens.get(i + 2).is_some_and(|n| n.text == "new")
+            && tokens.get(i + 3).is_some_and(|n| n.text == "(")
+            && is_refcell_at(tokens, i + 4);
+        if as_type || as_ctor {
+            out.push(Violation {
+                rule: 5,
+                line: t.line,
+                msg: "`Rc<RefCell<…>>` node graph; own the node in the arena \
+                      (`World::add_node` → `NodeId`, access via `node::<T>()` \
+                      / `node_mut::<T>()` / `with_node_ctx`)"
+                    .to_owned(),
+            });
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -577,6 +639,38 @@ mod tests {
         assert_eq!(v.len(), 1);
         assert_eq!(v[0].rule, 4);
         assert_eq!(v[0].line, 3);
+    }
+
+    // ----- R5: Rc<RefCell<…>> ----------------------------------------
+
+    #[test]
+    fn r5_fires_on_rc_refcell_types_and_constructors() {
+        let ty = "fn f(x: Rc<RefCell<Device>>) {}";
+        let v = lint_source(ty, RuleSet::general().with_r5());
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].rule, 5);
+        let ctor = "fn f() { let d = Rc::new(RefCell::new(Device::default())); }";
+        assert_eq!(lint_source(ctor, RuleSet::general().with_r5()).len(), 1);
+        let qualified = "fn f(x: std::rc::Rc<std::cell::RefCell<Device>>) {}";
+        assert_eq!(
+            lint_source(qualified, RuleSet::general().with_r5()).len(),
+            1
+        );
+    }
+
+    #[test]
+    fn r5_ignores_rc_and_refcell_alone_and_is_opt_in() {
+        let separate = "fn f(a: Rc<str>, b: RefCell<u8>) {}";
+        assert!(lint_source(separate, RuleSet::general().with_r5()).is_empty());
+        let graph = "fn f(x: Rc<RefCell<Device>>) {}";
+        assert!(lint_source(graph, RuleSet::general()).is_empty());
+        assert!(lint_source(graph, RuleSet::protocol()).is_empty());
+    }
+
+    #[test]
+    fn r5_waivable_like_other_rules() {
+        let src = "// xtask-allow: R5 — FFI boundary needs shared ownership\nfn f(x: Rc<RefCell<Device>>) {}";
+        assert!(lint_source(src, RuleSet::general().with_r5()).is_empty());
     }
 
     // ----- waivers and rule sets -------------------------------------

@@ -4,66 +4,32 @@
 //!
 //! Run with: `cargo run -p injectable-examples --bin encrypted_dos`
 
-use std::cell::RefCell;
-use std::rc::Rc;
-
-use ble_devices::{bulb_payloads, Central, Lightbulb};
+use ble_devices::{bulb_payloads, Lightbulb};
 use ble_host::att::AttPdu;
-use ble_link::ConnectionParams;
-use ble_phy::{Environment, NodeConfig, Position, Simulation};
-use injectable::{Attacker, AttackerConfig, Mission};
-use simkit::{DriftClock, Duration, SimRng};
+use ble_scenario::ScenarioBuilder;
+use injectable::Mission;
+use simkit::Duration;
 
 fn main() {
-    let mut rng = SimRng::seed_from(11);
-    let mut sim = Simulation::new(Environment::indoor_default(), rng.fork());
-
-    let bulb = Rc::new(RefCell::new(Lightbulb::new(0xB1, rng.fork())));
-    let control = bulb.borrow().control_handle();
-    let bulb_addr = bulb.borrow().ll.address();
-    let params = ConnectionParams::typical(&mut rng, 36);
-    let mut central_obj = Central::new(0xA0, bulb_addr, params, rng.fork());
+    let mut s = ScenarioBuilder::example(11).build();
     // The countermeasure: pair and encrypt the link.
-    central_obj.pair_on_connect = true;
-    let central = Rc::new(RefCell::new(central_obj));
-    let attacker = Rc::new(RefCell::new(Attacker::new(AttackerConfig {
-        target_slave: Some(bulb_addr),
-        ..AttackerConfig::default()
-    })));
-
-    let b = sim.add_node(
-        NodeConfig::new("bulb", Position::new(0.0, 0.0))
-            .with_clock(DriftClock::realistic(50.0, &mut rng).with_jitter_us(1.0)),
-        bulb.clone(),
-    );
-    let c = sim.add_node(
-        NodeConfig::new("phone", Position::new(2.0, 0.0))
-            .with_clock(DriftClock::realistic(50.0, &mut rng).with_jitter_us(1.0)),
-        central.clone(),
-    );
-    let a = sim.add_node(
-        NodeConfig::new("attacker", Position::new(0.0, 2.0))
-            .with_clock(DriftClock::realistic(20.0, &mut rng).with_jitter_us(1.0)),
-        attacker.clone(),
-    );
-    sim.with_ctx(b, |ctx| bulb.borrow_mut().start(ctx));
-    sim.with_ctx(c, |ctx| central.borrow_mut().start(ctx));
-    sim.with_ctx(a, |ctx| attacker.borrow_mut().start(ctx));
+    s.central_mut().pair_on_connect = true;
+    let control = s.victim_control_handle();
 
     // Wait for pairing (legacy Just Works) and AES-CCM link encryption.
     for _ in 0..100 {
-        sim.run_for(Duration::from_millis(100));
-        if central.borrow().host.is_encrypted() && bulb.borrow().host.is_encrypted() {
+        s.run_for(Duration::from_millis(100));
+        if s.central().host.is_encrypted() && s.victim::<Lightbulb>().host.is_encrypted() {
             break;
         }
     }
     println!(
         "link encrypted: central={} bulb={}",
-        central.borrow().host.is_encrypted(),
-        bulb.borrow().host.is_encrypted()
+        s.central().host.is_encrypted(),
+        s.victim::<Lightbulb>().host.is_encrypted()
     );
-    assert!(bulb.borrow().host.is_encrypted());
-    sim.run_for(Duration::from_millis(500));
+    assert!(s.victim::<Lightbulb>().host.is_encrypted());
+    s.run_for(Duration::from_millis(500));
 
     // Attack the encrypted connection with a plaintext write.
     let att = AttPdu::WriteRequest {
@@ -71,24 +37,24 @@ fn main() {
         value: bulb_payloads::power_on(),
     }
     .to_bytes();
-    attacker.borrow_mut().arm(Mission::InjectAtt { att });
+    s.attacker_mut().arm(Mission::InjectAtt { att });
     println!("attacker injecting a plaintext ATT write into the encrypted link...");
 
     for _ in 0..150 {
-        sim.run_for(Duration::from_millis(200));
-        if bulb.borrow().last_disconnect_reason.is_some() {
+        s.run_for(Duration::from_millis(200));
+        if s.victim::<Lightbulb>().last_disconnect_reason.is_some() {
             break;
         }
     }
-    let bulb_ref = bulb.borrow();
-    println!("bulb turned on by attacker : {}", bulb_ref.app.on);
+    let bulb = s.victim::<Lightbulb>();
+    println!("bulb turned on by attacker : {}", bulb.app.on);
     println!(
         "bulb disconnect reason     : {:?} (0x3D = MIC failure)",
-        bulb_ref.last_disconnect_reason
+        bulb.last_disconnect_reason
     );
-    assert!(!bulb_ref.app.on, "payload must not be accepted");
+    assert!(!bulb.app.on, "payload must not be accepted");
     assert_eq!(
-        bulb_ref.last_disconnect_reason,
+        bulb.last_disconnect_reason,
         Some(ble_link::ERR_MIC_FAILURE),
         "availability impact: connection torn down"
     );

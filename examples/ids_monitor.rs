@@ -4,78 +4,41 @@
 //!
 //! Run with: `cargo run -p injectable-examples --bin ids_monitor`
 
-use std::cell::RefCell;
-use std::rc::Rc;
-
-use ble_devices::{bulb_payloads, Central, Lightbulb};
+use ble_devices::bulb_payloads;
 use ble_host::att::AttPdu;
-use ble_link::ConnectionParams;
-use ble_phy::{Environment, NodeConfig, Position, Simulation};
-use injectable::{Attacker, AttackerConfig, DetectorConfig, InjectionDetector, Mission};
-use simkit::{DriftClock, Duration, SimRng};
+use ble_phy::{NodeConfig, Position};
+use ble_scenario::ScenarioBuilder;
+use injectable::{DetectorConfig, InjectionDetector, Mission};
+use simkit::Duration;
 
 fn main() {
-    let mut rng = SimRng::seed_from(71);
-    let mut sim = Simulation::new(Environment::indoor_default(), rng.fork());
+    let mut s = ScenarioBuilder::example(71).build();
+    let control = s.victim_control_handle();
+    let bulb_addr = s.victim_addr;
 
-    let bulb = Rc::new(RefCell::new(Lightbulb::new(0xB1, rng.fork())));
-    let control = bulb.borrow().control_handle();
-    let bulb_addr = bulb.borrow().ll.address();
-    let params = ConnectionParams::typical(&mut rng, 36);
-    let central = Rc::new(RefCell::new(Central::new(
-        0xA0,
-        bulb_addr,
-        params,
-        rng.fork(),
-    )));
-    let attacker = Rc::new(RefCell::new(Attacker::new(AttackerConfig {
-        target_slave: Some(bulb_addr),
-        ..AttackerConfig::default()
-    })));
     // The defender: a passive monitor somewhere in the room.
-    let detector = Rc::new(RefCell::new(
-        InjectionDetector::new(DetectorConfig::default()).for_slave(bulb_addr),
-    ));
-
-    let b = sim.add_node(
-        NodeConfig::new("bulb", Position::new(0.0, 0.0))
-            .with_clock(DriftClock::realistic(50.0, &mut rng).with_jitter_us(1.0)),
-        bulb.clone(),
-    );
-    let c = sim.add_node(
-        NodeConfig::new("phone", Position::new(2.0, 0.0))
-            .with_clock(DriftClock::realistic(50.0, &mut rng).with_jitter_us(1.0)),
-        central.clone(),
-    );
-    let a = sim.add_node(
-        NodeConfig::new("attacker", Position::new(0.0, 2.0))
-            .with_clock(DriftClock::realistic(20.0, &mut rng).with_jitter_us(1.0)),
-        attacker.clone(),
-    );
-    let m = sim.add_node(
-        NodeConfig::new("ids", Position::new(1.5, 1.5)),
-        detector.clone(),
-    );
-    sim.with_ctx(b, |ctx| bulb.borrow_mut().start(ctx));
-    sim.with_ctx(c, |ctx| central.borrow_mut().start(ctx));
-    sim.with_ctx(a, |ctx| attacker.borrow_mut().start(ctx));
-    sim.with_ctx(m, |ctx| detector.borrow_mut().start(ctx));
+    let detector = InjectionDetector::new(DetectorConfig::default()).for_slave(bulb_addr);
+    let m = s
+        .world
+        .add_node(NodeConfig::new("ids", Position::new(1.5, 1.5)), detector);
+    s.world.start(m);
 
     // Phase 1: ten seconds of purely legitimate traffic.
-    sim.run_for(Duration::from_secs(2));
+    s.run_for(Duration::from_secs(2));
     for level in [20u8, 40, 60, 80] {
-        central
-            .borrow_mut()
+        s.central_mut()
             .write(control, bulb_payloads::brightness(level));
-        sim.run_for(Duration::from_secs(2));
+        s.run_for(Duration::from_secs(2));
     }
+    let (events, alerts) = {
+        let d = s.world.node::<InjectionDetector>(m).expect("ids node");
+        (d.events_observed(), d.alerts().len())
+    };
     println!(
-        "after {:>4.0} s of clean traffic : {:>4} events observed, {} alerts",
-        sim.now().as_micros_f64() / 1e6,
-        detector.borrow().events_observed(),
-        detector.borrow().alerts().len()
+        "after {:>4.0} s of clean traffic : {events:>4} events observed, {alerts} alerts",
+        s.now().as_micros_f64() / 1e6,
     );
-    assert!(detector.borrow().alerts().is_empty(), "no false positives");
+    assert_eq!(alerts, 0, "no false positives");
 
     // Phase 2: the attack begins.
     let att = AttPdu::WriteRequest {
@@ -83,17 +46,17 @@ fn main() {
         value: bulb_payloads::power_off(),
     }
     .to_bytes();
-    attacker.borrow_mut().set_inject_gap(2);
-    attacker.borrow_mut().arm(Mission::InjectRaw {
+    s.attacker_mut().set_inject_gap(2);
+    s.attacker_mut().arm(Mission::InjectRaw {
         llid: ble_link::Llid::StartOrComplete,
         payload: ble_host::l2cap::fragment(ble_host::l2cap::CID_ATT, &att, 27)
             .remove(0)
             .1,
         wanted_successes: 4,
     });
-    sim.run_for(Duration::from_secs(15));
+    s.run_for(Duration::from_secs(15));
 
-    let detector = detector.borrow();
+    let detector = s.world.node::<InjectionDetector>(m).expect("ids node");
     println!(
         "after the injection campaign  : {:>4} events observed, {} alerts",
         detector.events_observed(),
@@ -106,7 +69,7 @@ fn main() {
     println!();
     println!(
         "attacker made {} attempts ({} confirmed) — and the monitor saw it happen",
-        attacker.borrow().stats().attempts_total,
-        attacker.borrow().stats().successes(),
+        s.attacker().stats().attempts_total,
+        s.attacker().stats().successes(),
     );
 }

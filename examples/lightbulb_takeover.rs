@@ -4,87 +4,26 @@
 //!
 //! Run with: `cargo run -p injectable-examples --bin lightbulb_takeover`
 
-use std::cell::RefCell;
-use std::rc::Rc;
-
-use ble_devices::{bulb_payloads, Central, Lightbulb};
+use ble_devices::{bulb_payloads, Lightbulb};
 use ble_host::gatt::props;
 use ble_host::{GattServer, HostEvent, HostStack, Uuid};
-use ble_link::{AddressType, ConnectionParams, DeviceAddress, UpdateRequest};
-use ble_phy::{Environment, NodeConfig, Position, Simulation};
-use injectable::{Attacker, AttackerConfig, Mission, MissionState};
-use simkit::{DriftClock, Duration, SimRng};
+use ble_link::{AddressType, DeviceAddress, UpdateRequest};
+use ble_scenario::{Scenario, ScenarioBuilder};
+use injectable::{Mission, MissionState};
+use simkit::{Duration, SimRng};
 
-struct Scene {
-    sim: Simulation,
-    bulb: Rc<RefCell<Lightbulb>>,
-    central: Rc<RefCell<Central>>,
-    attacker: Rc<RefCell<Attacker>>,
-    control: u16,
+fn build(seed: u64) -> Scenario {
+    let mut s = ScenarioBuilder::example(seed).build();
+    s.set_victim_auto_readvertise(false);
+    s.central_mut().auto_reconnect = false;
+    s.run_until_following();
+    s
 }
 
-fn build(seed: u64) -> Scene {
-    let mut rng = SimRng::seed_from(seed);
-    let mut sim = Simulation::new(Environment::indoor_default(), rng.fork());
-    let bulb = Rc::new(RefCell::new(Lightbulb::new(0xB1, rng.fork())));
-    bulb.borrow_mut().auto_readvertise = false;
-    let control = bulb.borrow().control_handle();
-    let bulb_addr = bulb.borrow().ll.address();
-    let params = ConnectionParams::typical(&mut rng, 36);
-    let mut central_obj = Central::new(0xA0, bulb_addr, params, rng.fork());
-    central_obj.auto_reconnect = false;
-    let central = Rc::new(RefCell::new(central_obj));
-    let attacker = Rc::new(RefCell::new(Attacker::new(AttackerConfig {
-        target_slave: Some(bulb_addr),
-        ..AttackerConfig::default()
-    })));
-    let b = sim.add_node(
-        NodeConfig::new("bulb", Position::new(0.0, 0.0))
-            .with_clock(DriftClock::realistic(50.0, &mut rng).with_jitter_us(1.0)),
-        bulb.clone(),
-    );
-    let c = sim.add_node(
-        NodeConfig::new("phone", Position::new(2.0, 0.0))
-            .with_clock(DriftClock::realistic(50.0, &mut rng).with_jitter_us(1.0)),
-        central.clone(),
-    );
-    let a = sim.add_node(
-        NodeConfig::new("attacker", Position::new(0.0, 2.0))
-            .with_clock(DriftClock::realistic(20.0, &mut rng).with_jitter_us(1.0)),
-        attacker.clone(),
-    );
-    sim.with_ctx(b, |ctx| bulb.borrow_mut().start(ctx));
-    sim.with_ctx(c, |ctx| central.borrow_mut().start(ctx));
-    sim.with_ctx(a, |ctx| attacker.borrow_mut().start(ctx));
-    let mut scene = Scene {
-        sim,
-        bulb,
-        central,
-        attacker,
-        control,
-    };
-    // Establish + synchronise.
-    for _ in 0..100 {
-        scene.sim.run_for(Duration::from_millis(100));
-        if scene.central.borrow().ll.is_connected()
-            && scene
-                .attacker
-                .borrow()
-                .connection()
-                .map(|t| t.has_slave_seq())
-                .unwrap_or(false)
-        {
-            break;
-        }
-    }
-    scene.sim.run_for(Duration::from_millis(400));
-    scene
-}
-
-fn run_until_takeover(scene: &mut Scene) {
+fn run_until_takeover(s: &mut Scenario) {
     for _ in 0..300 {
-        scene.sim.run_for(Duration::from_millis(200));
-        if scene.attacker.borrow().mission_state() == MissionState::TakenOver {
+        s.run_for(Duration::from_millis(200));
+        if s.attacker().mission_state() == MissionState::TakenOver {
             return;
         }
     }
@@ -93,7 +32,7 @@ fn run_until_takeover(scene: &mut Scene) {
 
 fn scenario_b() {
     println!("— Scenario B: slave hijacking (paper §VI-B) —");
-    let mut scene = build(1);
+    let mut s = build(1);
     let mut server = GattServer::new();
     server
         .service(Uuid::GAP_SERVICE)
@@ -104,34 +43,27 @@ fn scenario_b() {
         server,
         SimRng::seed_from(99),
     ));
-    scene
-        .attacker
-        .borrow_mut()
-        .arm(Mission::HijackSlave { host });
-    run_until_takeover(&mut scene);
+    s.attacker_mut().arm(Mission::HijackSlave { host });
+    run_until_takeover(&mut s);
     println!("  attacker evicted the bulb and took its place");
-    println!(
-        "  bulb connected:  {}",
-        scene.bulb.borrow().ll.is_connected()
-    );
+    println!("  bulb connected:  {}", s.victim_connected());
     println!(
         "  phone connected: {} (unaware)",
-        scene.central.borrow().ll.is_connected()
+        s.central().ll.is_connected()
     );
 
     // The phone reads the device name — and gets the forged value.
-    let name = scene
-        .attacker
-        .borrow()
+    let name = s
+        .attacker()
         .takeover_host()
         .unwrap()
         .server()
         .handle_of(Uuid::DEVICE_NAME)
         .unwrap();
-    scene.central.borrow_mut().host.read(name);
-    scene.sim.run_for(Duration::from_secs(2));
-    let central = scene.central.borrow();
-    let response = central
+    s.central_mut().host.read(name);
+    s.run_for(Duration::from_secs(2));
+    let response = s
+        .central()
         .event_log
         .iter()
         .find_map(|e| match e {
@@ -146,9 +78,9 @@ fn scenario_b() {
 
 fn scenario_c() {
     println!("— Scenario C: master hijacking (paper §VI-C) —");
-    let mut scene = build(2);
-    let control = scene.control;
-    scene.attacker.borrow_mut().arm(Mission::HijackMaster {
+    let mut s = build(2);
+    let control = s.victim_control_handle();
+    s.attacker_mut().arm(Mission::HijackMaster {
         update: UpdateRequest {
             win_size: 2,
             win_offset: 3,
@@ -168,22 +100,22 @@ fn scenario_c() {
         ],
         mitm: None,
     });
-    run_until_takeover(&mut scene);
-    scene.sim.run_for(Duration::from_secs(5));
+    run_until_takeover(&mut s);
+    s.run_for(Duration::from_secs(5));
     println!("  attacker injected a forged CONNECTION_UPDATE and stole the slave");
     println!(
         "  bulb state: on={} rgb={:?} (set by the attacker)",
-        scene.bulb.borrow().app.on,
-        scene.bulb.borrow().app.rgb
+        s.victim::<Lightbulb>().app.on,
+        s.victim::<Lightbulb>().app.rgb
     );
     println!(
         "  legitimate phone: connected={} (supervision timeout, reason {:?})",
-        scene.central.borrow().ll.is_connected(),
-        scene.central.borrow().last_disconnect_reason
+        s.central().ll.is_connected(),
+        s.central().last_disconnect_reason
     );
-    assert!(scene.bulb.borrow().app.on);
-    assert_eq!(scene.bulb.borrow().app.rgb, (255, 0, 255));
-    assert!(!scene.central.borrow().ll.is_connected());
+    assert!(s.victim::<Lightbulb>().app.on);
+    assert_eq!(s.victim::<Lightbulb>().app.rgb, (255, 0, 255));
+    assert!(!s.central().ll.is_connected());
 }
 
 fn main() {

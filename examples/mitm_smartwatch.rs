@@ -3,34 +3,21 @@
 //!
 //! Run with: `cargo run -p injectable-examples --bin mitm_smartwatch`
 
-use std::cell::RefCell;
-use std::rc::Rc;
-
-use ble_devices::{Central, Smartwatch, WATCH_MESSAGE_UUID, WATCH_SERVICE_UUID};
+use ble_devices::{Smartwatch, WATCH_MESSAGE_UUID, WATCH_SERVICE_UUID};
 use ble_host::gatt::props;
 use ble_host::{GattServer, HostStack, Uuid};
-use ble_link::{AddressType, ConnectionParams, DeviceAddress, UpdateRequest};
-use ble_phy::{Environment, NodeConfig, Position, Simulation};
-use injectable::{
-    new_handoff, Attacker, AttackerConfig, Mission, MissionState, MitmSlaveHalf, RewriteRule,
-};
-use simkit::{DriftClock, Duration, SimRng};
+use ble_link::{AddressType, DeviceAddress, UpdateRequest};
+use ble_phy::NodeConfig;
+use ble_scenario::{DeviceKind, ScenarioBuilder};
+use injectable::{new_handoff, Mission, MissionState, MitmSlaveHalf, RewriteRule};
+use simkit::{Duration, SimRng};
 
 fn main() {
-    let mut rng = SimRng::seed_from(4);
-    let mut sim = Simulation::new(Environment::indoor_default(), rng.fork());
-
-    let watch = Rc::new(RefCell::new(Smartwatch::new(0xCC, rng.fork())));
-    let msg = watch.borrow().message_handle();
-    let watch_addr = watch.borrow().ll.address();
-    let params = ConnectionParams::typical(&mut rng, 36);
-    let mut central_obj = Central::new(0xA0, watch_addr, params, rng.fork());
-    central_obj.auto_reconnect = false;
-    let central = Rc::new(RefCell::new(central_obj));
-    let attacker = Rc::new(RefCell::new(Attacker::new(AttackerConfig {
-        target_slave: Some(watch_addr),
-        ..AttackerConfig::default()
-    })));
+    let mut s = ScenarioBuilder::example(4)
+        .device(DeviceKind::Smartwatch)
+        .build();
+    s.central_mut().auto_reconnect = false;
+    let msg = s.victim_control_handle();
 
     // The MITM's slave half: a mirror of the watch's GATT profile plus the
     // rewrite rule (the paper modified an SMS on the fly).
@@ -60,50 +47,23 @@ fn main() {
         find: b"noon".to_vec(),
         replace: b"MIDNIGHT".to_vec(),
     };
-    let half = Rc::new(RefCell::new(MitmSlaveHalf::new(
-        mirror,
-        handoff.clone(),
-        vec![rewrite],
-    )));
-
-    let w = sim.add_node(
-        NodeConfig::new("watch", Position::new(0.0, 0.0))
-            .with_clock(DriftClock::realistic(50.0, &mut rng).with_jitter_us(1.0)),
-        watch.clone(),
-    );
-    let c = sim.add_node(
-        NodeConfig::new("phone", Position::new(2.0, 0.0))
-            .with_clock(DriftClock::realistic(50.0, &mut rng).with_jitter_us(1.0)),
-        central.clone(),
-    );
-    let a = sim.add_node(
-        NodeConfig::new("attacker", Position::new(0.0, 2.0))
-            .with_clock(DriftClock::realistic(20.0, &mut rng).with_jitter_us(1.0)),
-        attacker.clone(),
-    );
-    let h = sim.add_node(
-        NodeConfig::new("mitm-half", Position::new(0.0, 2.0)),
-        half.clone(),
-    );
-
-    sim.with_ctx(w, |ctx| watch.borrow_mut().start(ctx));
-    sim.with_ctx(c, |ctx| central.borrow_mut().start(ctx));
-    sim.with_ctx(a, |ctx| attacker.borrow_mut().start(ctx));
-    sim.with_ctx(h, |ctx| half.borrow_mut().start(ctx));
+    let half = MitmSlaveHalf::new(mirror, handoff.clone(), vec![rewrite]);
+    let h = s
+        .world
+        .add_node(NodeConfig::new("mitm-half", s.attacker_pos), half);
+    s.world.start(h);
 
     // Establish the legitimate connection; the phone sends a first SMS.
-    sim.run_for(Duration::from_secs(2));
-    central
-        .borrow_mut()
-        .write(msg, b"SMS: lunch at noon?".to_vec());
-    sim.run_for(Duration::from_secs(1));
+    s.run_for(Duration::from_secs(2));
+    s.central_mut().write(msg, b"SMS: lunch at noon?".to_vec());
+    s.run_for(Duration::from_secs(1));
     println!(
         "before the attack, watch inbox: {:?}",
-        watch.borrow().inbox_strings()
+        s.victim::<Smartwatch>().inbox_strings()
     );
 
     // Arm scenario D.
-    attacker.borrow_mut().arm(Mission::HijackMaster {
+    s.attacker_mut().arm(Mission::HijackMaster {
         update: UpdateRequest {
             win_size: 2,
             win_offset: 3,
@@ -120,38 +80,43 @@ fn main() {
         on_takeover_writes: vec![],
         mitm: Some(handoff.clone()),
     });
-    while attacker.borrow().mission_state() != MissionState::TakenOver {
-        sim.run_for(Duration::from_millis(200));
+    while s.attacker().mission_state() != MissionState::TakenOver {
+        s.run_for(Duration::from_millis(200));
     }
     println!("MITM established mid-connection:");
     println!(
         "  phone   ⇄ attacker(slave half) : {}",
-        half.borrow().ll.is_connected()
+        s.world
+            .node::<MitmSlaveHalf>(h)
+            .expect("mitm half")
+            .ll
+            .is_connected()
     );
     println!(
         "  attacker(master half) ⇄ watch  : {}",
-        attacker.borrow().takeover_ll().unwrap().is_connected()
+        s.attacker().takeover_ll().unwrap().is_connected()
     );
 
     // The phone sends another SMS — it now passes through the attacker.
-    central
-        .borrow_mut()
-        .write(msg, b"SMS: meet at noon".to_vec());
-    sim.run_for(Duration::from_secs(5));
+    s.central_mut().write(msg, b"SMS: meet at noon".to_vec());
+    s.run_for(Duration::from_secs(5));
 
     println!("phone sent      : \"SMS: meet at noon\"");
     println!(
         "attacker saw    : {:?}",
         handoff
-            .borrow()
+            .lock()
             .intercepted
             .iter()
             .map(|(_, v)| String::from_utf8_lossy(v).into_owned())
             .collect::<Vec<_>>()
     );
-    println!("watch displays  : {:?}", watch.borrow().inbox_strings());
-    assert!(watch
-        .borrow()
+    println!(
+        "watch displays  : {:?}",
+        s.victim::<Smartwatch>().inbox_strings()
+    );
+    assert!(s
+        .victim::<Smartwatch>()
         .inbox_strings()
         .contains(&"SMS: meet at MIDNIGHT".to_string()));
     println!("\nSMS rewritten on the fly — scenario D reproduced");

@@ -7,114 +7,71 @@
 //!
 //! Run with: `cargo run -p injectable-examples --bin quickstart`
 
-use std::cell::RefCell;
-use std::rc::Rc;
-
-use ble_devices::{bulb_payloads, Central, Lightbulb};
+use ble_devices::{bulb_payloads, Lightbulb};
 use ble_host::att::AttPdu;
-use ble_link::ConnectionParams;
-use ble_phy::{Environment, NodeConfig, Position, Simulation};
-use injectable::{Attacker, AttackerConfig, Mission, MissionState};
-use simkit::{DriftClock, Duration, SimRng};
+use ble_scenario::{Scenario, ScenarioBuilder};
+use injectable::{Mission, MissionState};
+use simkit::Duration;
 
 fn main() {
-    // 1. A simulated indoor radio environment, fully deterministic.
-    let mut rng = SimRng::seed_from(2021);
-    let mut sim = Simulation::new(Environment::indoor_default(), rng.fork());
+    // 1. A deterministic indoor scene: bulb at the origin, phone 2 m away
+    //    (hop interval 36 = 45 ms), attacker completing the paper's
+    //    equilateral triangle.
+    let mut s = ScenarioBuilder::example(2021).build();
+    let control = s.victim_control_handle();
 
-    // 2. The victim: a connected lightbulb at the origin.
-    let bulb = Rc::new(RefCell::new(Lightbulb::new(0xB1, rng.fork())));
-    let control = bulb.borrow().control_handle();
-    let bulb_addr = bulb.borrow().ll.address();
-
-    // 3. The legitimate smartphone, 2 m away, hop interval 36 (45 ms).
-    let params = ConnectionParams::typical(&mut rng, 36);
-    let central = Rc::new(RefCell::new(Central::new(
-        0xA0,
-        bulb_addr,
-        params,
-        rng.fork(),
-    )));
-
-    // 4. The attacker, also 2 m away — the paper's equilateral triangle.
-    let attacker = Rc::new(RefCell::new(Attacker::new(AttackerConfig {
-        target_slave: Some(bulb_addr),
-        ..AttackerConfig::default()
-    })));
-
-    let b = sim.add_node(
-        NodeConfig::new("bulb", Position::new(0.0, 0.0))
-            .with_clock(DriftClock::realistic(50.0, &mut rng).with_jitter_us(1.0)),
-        bulb.clone(),
-    );
-    let c = sim.add_node(
-        NodeConfig::new("phone", Position::new(2.0, 0.0))
-            .with_clock(DriftClock::realistic(50.0, &mut rng).with_jitter_us(1.0)),
-        central.clone(),
-    );
-    let a = sim.add_node(
-        NodeConfig::new("attacker", Position::new(0.0, 2.0))
-            .with_clock(DriftClock::realistic(20.0, &mut rng).with_jitter_us(1.0)),
-        attacker.clone(),
-    );
-    sim.with_ctx(b, |ctx| bulb.borrow_mut().start(ctx));
-    sim.with_ctx(c, |ctx| central.borrow_mut().start(ctx));
-    sim.with_ctx(a, |ctx| attacker.borrow_mut().start(ctx));
-
-    // 5. Let the connection establish; the phone turns the bulb on.
-    sim.run_for(Duration::from_secs(1));
-    central
-        .borrow_mut()
-        .write(control, bulb_payloads::power_on());
-    sim.run_for(Duration::from_secs(1));
+    // 2. Let the connection establish; the phone turns the bulb on.
+    s.run_for(Duration::from_secs(1));
+    s.central_mut().write(control, bulb_payloads::power_on());
+    s.run_for(Duration::from_secs(1));
     println!(
         "[t={:>6.2}s] bulb is on: {}",
-        seconds(&sim),
-        bulb.borrow().app.on
+        seconds(&s),
+        s.victim::<Lightbulb>().app.on
     );
-    assert!(bulb.borrow().app.on);
+    assert!(s.victim::<Lightbulb>().app.on);
 
-    // 6. Attack: inject a Write Request turning the bulb off (paper §VI-A).
+    // 3. Attack: inject a Write Request turning the bulb off (paper §VI-A).
     let att = AttPdu::WriteRequest {
         handle: control,
         value: bulb_payloads::power_off(),
     }
     .to_bytes();
-    attacker.borrow_mut().arm(Mission::InjectAtt { att });
+    s.attacker_mut().arm(Mission::InjectAtt { att });
     println!(
         "[t={:>6.2}s] attacker armed: injecting an ATT Write Request",
-        seconds(&sim)
+        seconds(&s)
     );
 
-    while attacker.borrow().mission_state() != MissionState::Complete {
-        sim.run_for(Duration::from_millis(200));
+    while s.attacker().mission_state() != MissionState::Complete {
+        s.run_for(Duration::from_millis(200));
     }
-    let attempts = attacker.borrow().stats().attempts_to_first_success();
+    let attempts = s.attacker().stats().attempts_to_first_success();
     println!(
         "[t={:>6.2}s] injection confirmed after {} attempt(s)",
-        seconds(&sim),
+        seconds(&s),
         attempts.expect("success recorded")
     );
     println!(
         "[t={:>6.2}s] bulb is on: {}",
-        seconds(&sim),
-        bulb.borrow().app.on
+        seconds(&s),
+        s.victim::<Lightbulb>().app.on
     );
     assert!(
-        !bulb.borrow().app.on,
+        !s.victim::<Lightbulb>().app.on,
         "the injected write turned the bulb off"
     );
 
-    // 7. The legitimate connection never noticed.
-    sim.run_for(Duration::from_secs(2));
-    assert!(central.borrow().ll.is_connected(), "master unaware");
-    assert!(bulb.borrow().ll.is_connected(), "slave unaware");
+    // 4. The legitimate connection never noticed.
+    s.run_for(Duration::from_secs(2));
+    assert!(s.central().ll.is_connected(), "master unaware");
+    assert!(s.victim_connected(), "slave unaware");
     println!(
         "[t={:>6.2}s] legitimate connection still healthy — attack was invisible",
-        seconds(&sim)
+        seconds(&s)
     );
 }
 
-fn seconds(sim: &Simulation) -> f64 {
-    sim.now().as_micros_f64() / 1e6
+fn seconds(s: &Scenario) -> f64 {
+    s.now().as_micros_f64() / 1e6
 }

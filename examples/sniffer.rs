@@ -7,59 +7,27 @@
 //!
 //! Run with: `cargo run -p injectable-examples --bin sniffer`
 
-use std::cell::RefCell;
-use std::rc::Rc;
-
-use ble_devices::{bulb_payloads, Central, Lightbulb};
-use ble_link::ConnectionParams;
-use ble_phy::{Environment, NodeConfig, Position, Simulation};
-use injectable::{Attacker, AttackerConfig, Mission};
-use simkit::{DriftClock, Duration, SimRng};
+use ble_devices::bulb_payloads;
+use ble_phy::Position;
+use ble_scenario::ScenarioBuilder;
+use injectable::Mission;
+use simkit::Duration;
 
 fn main() {
-    let mut rng = SimRng::seed_from(7);
-    let mut sim = Simulation::new(Environment::indoor_default(), rng.fork());
-
-    let bulb = Rc::new(RefCell::new(Lightbulb::new(0xB1, rng.fork())));
-    let control = bulb.borrow().control_handle();
-    let bulb_addr = bulb.borrow().ll.address();
-    let params = ConnectionParams::typical(&mut rng, 24);
-    let central = Rc::new(RefCell::new(Central::new(
-        0xA0,
-        bulb_addr,
-        params,
-        rng.fork(),
-    )));
-    let attacker = Rc::new(RefCell::new(Attacker::new(AttackerConfig::default())));
-    attacker.borrow_mut().arm(Mission::Observe);
-
-    let b = sim.add_node(
-        NodeConfig::new("bulb", Position::new(0.0, 0.0))
-            .with_clock(DriftClock::realistic(50.0, &mut rng).with_jitter_us(1.0)),
-        bulb.clone(),
-    );
-    let c = sim.add_node(
-        NodeConfig::new("phone", Position::new(2.0, 0.0))
-            .with_clock(DriftClock::realistic(50.0, &mut rng).with_jitter_us(1.0)),
-        central.clone(),
-    );
-    let a = sim.add_node(
-        NodeConfig::new("sniffer", Position::new(5.0, 5.0))
-            .with_clock(DriftClock::realistic(20.0, &mut rng).with_jitter_us(1.0)),
-        attacker.clone(),
-    );
-    sim.with_ctx(b, |ctx| bulb.borrow_mut().start(ctx));
-    sim.with_ctx(c, |ctx| central.borrow_mut().start(ctx));
-    sim.with_ctx(a, |ctx| attacker.borrow_mut().start(ctx));
+    let mut s = ScenarioBuilder::example(7)
+        .hop_interval(24)
+        .attacker_position(Position::new(5.0, 5.0))
+        .build();
+    let control = s.victim_control_handle();
+    s.attacker_mut().arm(Mission::Observe);
 
     // Generate some traffic to observe.
-    sim.run_for(Duration::from_secs(1));
-    central
-        .borrow_mut()
+    s.run_for(Duration::from_secs(1));
+    s.central_mut()
         .write(control, bulb_payloads::colour(0, 0, 255));
-    sim.run_for(Duration::from_secs(4));
+    s.run_for(Duration::from_secs(4));
 
-    let attacker = attacker.borrow();
+    let attacker = s.attacker();
     let conn = attacker
         .connection()
         .expect("the sniffer should have caught the CONNECT_REQ");

@@ -1,9 +1,6 @@
 //! Whole-system integration: the complete InjectaBLE kill chain in one
 //! simulation, plus a crowded radio environment with bystander connections.
 
-use std::cell::RefCell;
-use std::rc::Rc;
-
 use ble_devices::{bulb_payloads, Central, Keyfob, Lightbulb};
 use ble_host::att::AttPdu;
 use ble_host::gatt::props;
@@ -26,60 +23,47 @@ fn full_kill_chain_with_bystanders() {
     let mut sim = Simulation::new(Environment::indoor_default(), rng.fork());
 
     // Victims.
-    let bulb = Rc::new(RefCell::new(Lightbulb::new(0xB1, rng.fork())));
-    let control = bulb.borrow().control_handle();
-    let bulb_addr = bulb.borrow().ll.address();
+    let bulb = Lightbulb::new(0xB1, rng.fork());
+    let control = bulb.control_handle();
+    let bulb_addr = bulb.ll.address();
     let params = ConnectionParams::typical(&mut rng, 36);
-    let phone = Rc::new(RefCell::new(Central::new(
-        0xA0,
-        bulb_addr,
-        params,
-        rng.fork(),
-    )));
+    let phone = Central::new(0xA0, bulb_addr, params, rng.fork());
 
     // A bystander pair on an unrelated connection (different AA/hops).
-    let fob = Rc::new(RefCell::new(Keyfob::new(0xF0, rng.fork())));
-    let fob_addr = fob.borrow().ll.address();
+    let fob = Keyfob::new(0xF0, rng.fork());
+    let fob_addr = fob.ll.address();
     let bystander_params = ConnectionParams::typical(&mut rng, 24);
-    let bystander = Rc::new(RefCell::new(Central::new(
-        0xA9,
-        fob_addr,
-        bystander_params,
-        rng.fork(),
-    )));
+    let bystander = Central::new(0xA9, fob_addr, bystander_params, rng.fork());
 
     // The attacker, targeting only the bulb.
-    let attacker = Rc::new(RefCell::new(Attacker::new(AttackerConfig {
+    let attacker = Attacker::new(AttackerConfig {
         target_slave: Some(bulb_addr),
         ..AttackerConfig::default()
-    })));
+    });
 
     let b = sim.add_node(
         NodeConfig::new("bulb", Position::new(0.0, 0.0)).with_clock(clock(&mut rng, 50.0)),
-        bulb.clone(),
+        bulb,
     );
     let p = sim.add_node(
         NodeConfig::new("phone", Position::new(2.0, 0.0)).with_clock(clock(&mut rng, 50.0)),
-        phone.clone(),
+        phone,
     );
     let f = sim.add_node(
         NodeConfig::new("fob", Position::new(4.0, 4.0)).with_clock(clock(&mut rng, 50.0)),
-        fob.clone(),
+        fob,
     );
     let bp = sim.add_node(
         NodeConfig::new("bystander", Position::new(5.0, 4.0)).with_clock(clock(&mut rng, 50.0)),
-        bystander.clone(),
+        bystander,
     );
     let a = sim.add_node(
         NodeConfig::new("attacker", Position::new(0.0, 2.0)).with_clock(clock(&mut rng, 20.0)),
-        attacker.clone(),
+        attacker,
     );
-    sim.with_ctx(b, |ctx| bulb.borrow_mut().start(ctx));
-    sim.with_ctx(p, |ctx| phone.borrow_mut().start(ctx));
-    sim.with_ctx(f, |ctx| fob.borrow_mut().start(ctx));
-    sim.with_ctx(bp, |ctx| bystander.borrow_mut().start(ctx));
-    sim.with_ctx(a, |ctx| attacker.borrow_mut().start(ctx));
-
+    for id in [b, p, f, bp, a] {
+        sim.start(id);
+    }
     // Phase 0: everything connects; attacker locks onto the right target.
     // The sniffer needs to be on the right advertising channel when the
     // CONNECT_REQ flies; bounce the connection until it catches one, as the
@@ -87,26 +71,34 @@ fn full_kill_chain_with_bystanders() {
     let mut ticks = 0u32;
     for _ in 0..400 {
         sim.run_for(Duration::from_millis(100));
-        let following = attacker
-            .borrow()
+        let following = sim
+            .node::<Attacker>(a)
+            .unwrap()
             .connection()
             .map(|t| t.has_slave_seq())
             .unwrap_or(false);
-        let ready =
-            phone.borrow().ll.is_connected() && bystander.borrow().ll.is_connected() && following;
+        let ready = sim.node::<Central>(p).unwrap().ll.is_connected()
+            && sim.node::<Central>(bp).unwrap().ll.is_connected()
+            && following;
         if ready {
             break;
         }
         ticks += 1;
-        if !following && phone.borrow().ll.is_connected() && ticks.is_multiple_of(30) {
-            phone.borrow_mut().ll.request_disconnect(0x13);
+        if !following
+            && sim.node::<Central>(p).unwrap().ll.is_connected()
+            && ticks.is_multiple_of(30)
+        {
+            sim.node_mut::<Central>(p)
+                .unwrap()
+                .ll
+                .request_disconnect(0x13);
         }
     }
     // Stop reconnect churn for the attack phases.
-    phone.borrow_mut().auto_reconnect = false;
+    sim.node_mut::<Central>(p).unwrap().auto_reconnect = false;
     sim.run_for(Duration::from_millis(500));
     {
-        let att = attacker.borrow();
+        let att = sim.node::<Attacker>(a).unwrap();
         let conn = att.connection().expect("attacker synchronised");
         assert_eq!(
             conn.slave.octets, bulb_addr.octets,
@@ -120,57 +112,72 @@ fn full_kill_chain_with_bystanders() {
         value: bulb_payloads::colour(1, 2, 3),
     }
     .to_bytes();
-    attacker
-        .borrow_mut()
+    sim.node_mut::<Attacker>(a)
+        .unwrap()
         .arm(Mission::InjectAtt { att: att_pdu });
     for _ in 0..150 {
         sim.run_for(Duration::from_millis(200));
-        if attacker.borrow().mission_state() == MissionState::Complete {
+        if sim.node::<Attacker>(a).unwrap().mission_state() == MissionState::Complete {
             break;
         }
     }
-    assert_eq!(attacker.borrow().mission_state(), MissionState::Complete);
-    assert_eq!(bulb.borrow().app.rgb, (1, 2, 3), "scenario A landed");
+    assert_eq!(
+        sim.node::<Attacker>(a).unwrap().mission_state(),
+        MissionState::Complete
+    );
+    assert_eq!(
+        sim.node::<Lightbulb>(b).unwrap().app.rgb,
+        (1, 2, 3),
+        "scenario A landed"
+    );
 
     // Phase 2 (scenario C): escalate to a full master hijack.
-    attacker.borrow_mut().arm(Mission::HijackMaster {
-        update: UpdateRequest {
-            win_size: 2,
-            win_offset: 3,
-            interval: 60,
-            latency: 0,
-            timeout: 300,
-        },
-        instant_delta: 6,
-        host: Box::new(HostStack::new(
-            DeviceAddress::new([0xAD; 6], AddressType::Random),
-            GattServer::new(),
-            SimRng::seed_from(77),
-        )),
-        on_takeover_writes: vec![(control, bulb_payloads::power_on())],
-        mitm: None,
-    });
+    sim.node_mut::<Attacker>(a)
+        .unwrap()
+        .arm(Mission::HijackMaster {
+            update: UpdateRequest {
+                win_size: 2,
+                win_offset: 3,
+                interval: 60,
+                latency: 0,
+                timeout: 300,
+            },
+            instant_delta: 6,
+            host: Box::new(HostStack::new(
+                DeviceAddress::new([0xAD; 6], AddressType::Random),
+                GattServer::new(),
+                SimRng::seed_from(77),
+            )),
+            on_takeover_writes: vec![(control, bulb_payloads::power_on())],
+            mitm: None,
+        });
     for _ in 0..300 {
         sim.run_for(Duration::from_millis(200));
-        if attacker.borrow().mission_state() == MissionState::TakenOver {
+        if sim.node::<Attacker>(a).unwrap().mission_state() == MissionState::TakenOver {
             break;
         }
     }
     sim.run_for(Duration::from_secs(5));
-    assert_eq!(attacker.borrow().mission_state(), MissionState::TakenOver);
-    assert!(bulb.borrow().app.on, "attacker drives the bulb as master");
+    assert_eq!(
+        sim.node::<Attacker>(a).unwrap().mission_state(),
+        MissionState::TakenOver
+    );
     assert!(
-        !phone.borrow().ll.is_connected(),
+        sim.node::<Lightbulb>(b).unwrap().app.on,
+        "attacker drives the bulb as master"
+    );
+    assert!(
+        !sim.node::<Central>(p).unwrap().ll.is_connected(),
         "legit master starved out"
     );
 
     // Bystanders were never disturbed.
     assert!(
-        bystander.borrow().ll.is_connected(),
+        sim.node::<Central>(bp).unwrap().ll.is_connected(),
         "bystander connection untouched"
     );
-    assert_eq!(fob.borrow().app.rings, 0);
-    assert_eq!(fob.borrow().disconnections, 0);
+    assert_eq!(sim.node::<Keyfob>(f).unwrap().app.rings, 0);
+    assert_eq!(sim.node::<Keyfob>(f).unwrap().disconnections, 0);
 }
 
 /// The attacker must ignore CONNECT_REQs for other slaves while scanning.
@@ -179,49 +186,42 @@ fn targeted_sniffer_skips_unrelated_connections() {
     let mut rng = SimRng::seed_from(0x5EED);
     let mut sim = Simulation::new(Environment::indoor_default(), rng.fork());
 
-    let fob = Rc::new(RefCell::new(Keyfob::new(0xF0, rng.fork())));
-    let fob_addr = fob.borrow().ll.address();
+    let fob = Keyfob::new(0xF0, rng.fork());
+    let fob_addr = fob.ll.address();
     let fob_params = ConnectionParams::typical(&mut rng, 24);
-    let fob_central = Rc::new(RefCell::new(Central::new(
-        0xA9,
-        fob_addr,
-        fob_params,
-        rng.fork(),
-    )));
+    let fob_central = Central::new(0xA9, fob_addr, fob_params, rng.fork());
 
     // Attacker targets a bulb that never appears.
     let ghost = DeviceAddress::new([0xDD; 6], AddressType::Public);
-    let attacker = Rc::new(RefCell::new(Attacker::new(AttackerConfig {
+    let attacker = Attacker::new(AttackerConfig {
         target_slave: Some(ghost),
         ..AttackerConfig::default()
-    })));
+    });
 
     let f = sim.add_node(
         NodeConfig::new("fob", Position::new(0.0, 0.0)).with_clock(clock(&mut rng, 50.0)),
-        fob.clone(),
+        fob,
     );
     let c = sim.add_node(
         NodeConfig::new("central", Position::new(1.0, 0.0)).with_clock(clock(&mut rng, 50.0)),
-        fob_central.clone(),
+        fob_central,
     );
     let a = sim.add_node(
         NodeConfig::new("attacker", Position::new(0.0, 1.0)).with_clock(clock(&mut rng, 20.0)),
-        attacker.clone(),
+        attacker,
     );
-    sim.with_ctx(f, |ctx| fob.borrow_mut().start(ctx));
-    sim.with_ctx(c, |ctx| fob_central.borrow_mut().start(ctx));
-    sim.with_ctx(a, |ctx| attacker.borrow_mut().start(ctx));
+    for id in [f, c, a] {
+        sim.start(id);
+    }
 
     sim.run_for(Duration::from_secs(5));
     assert!(
-        fob_central.borrow().ll.is_connected(),
+        sim.node::<Central>(c).unwrap().ll.is_connected(),
         "unrelated pair connects fine"
     );
-    assert!(
-        attacker.borrow().connection().is_none(),
-        "sniffer stays unlocked"
-    );
-    assert_eq!(attacker.borrow().stats().connections_followed, 0);
+    let attacker = sim.node::<Attacker>(a).unwrap();
+    assert!(attacker.connection().is_none(), "sniffer stays unlocked");
+    assert_eq!(attacker.stats().connections_followed, 0);
 }
 
 /// Determinism across the whole stack: same seed, same attack trace.
@@ -230,45 +230,47 @@ fn entire_attack_is_reproducible_from_a_seed() {
     let run = |seed: u64| -> (Option<u32>, (u8, u8, u8)) {
         let mut rng = SimRng::seed_from(seed);
         let mut sim = Simulation::new(Environment::indoor_default(), rng.fork());
-        let bulb = Rc::new(RefCell::new(Lightbulb::new(0xB1, rng.fork())));
-        let control = bulb.borrow().control_handle();
-        let bulb_addr = bulb.borrow().ll.address();
+        let bulb = Lightbulb::new(0xB1, rng.fork());
+        let control = bulb.control_handle();
+        let bulb_addr = bulb.ll.address();
         let params = ConnectionParams::typical(&mut rng, 36);
-        let central = Rc::new(RefCell::new(Central::new(
-            0xA0,
-            bulb_addr,
-            params,
-            rng.fork(),
-        )));
-        let attacker = Rc::new(RefCell::new(Attacker::new(AttackerConfig {
+        let central = Central::new(0xA0, bulb_addr, params, rng.fork());
+        let attacker = Attacker::new(AttackerConfig {
             target_slave: Some(bulb_addr),
             ..AttackerConfig::default()
-        })));
+        });
         let b = sim.add_node(
             NodeConfig::new("bulb", Position::new(0.0, 0.0)).with_clock(clock(&mut rng, 50.0)),
-            bulb.clone(),
+            bulb,
         );
         let c = sim.add_node(
             NodeConfig::new("phone", Position::new(2.0, 0.0)).with_clock(clock(&mut rng, 50.0)),
-            central.clone(),
+            central,
         );
         let a = sim.add_node(
             NodeConfig::new("attacker", Position::new(0.0, 2.0)).with_clock(clock(&mut rng, 20.0)),
-            attacker.clone(),
+            attacker,
         );
-        sim.with_ctx(b, |ctx| bulb.borrow_mut().start(ctx));
-        sim.with_ctx(c, |ctx| central.borrow_mut().start(ctx));
-        sim.with_ctx(a, |ctx| attacker.borrow_mut().start(ctx));
+        let _ = c;
+        for id in [b, c, a] {
+            sim.start(id);
+        }
         sim.run_for(Duration::from_secs(2));
         let att = AttPdu::WriteRequest {
             handle: control,
             value: bulb_payloads::colour(42, 43, 44),
         }
         .to_bytes();
-        attacker.borrow_mut().arm(Mission::InjectAtt { att });
+        sim.node_mut::<Attacker>(a)
+            .unwrap()
+            .arm(Mission::InjectAtt { att });
         sim.run_for(Duration::from_secs(20));
-        let attempts = attacker.borrow().stats().attempts_to_first_success();
-        let rgb = bulb.borrow().app.rgb;
+        let attempts = sim
+            .node::<Attacker>(a)
+            .unwrap()
+            .stats()
+            .attempts_to_first_success();
+        let rgb = sim.node::<Lightbulb>(b).unwrap().app.rgb;
         (attempts, rgb)
     };
     let a = run(31337);
@@ -284,37 +286,37 @@ fn entire_attack_is_reproducible_from_a_seed() {
 fn hijacked_slave_serves_arbitrary_forged_profile() {
     let mut rng = SimRng::seed_from(0xFACE);
     let mut sim = Simulation::new(Environment::indoor_default(), rng.fork());
-    let bulb = Rc::new(RefCell::new(Lightbulb::new(0xB1, rng.fork())));
-    bulb.borrow_mut().auto_readvertise = false;
-    let bulb_addr = bulb.borrow().ll.address();
+    let mut bulb = Lightbulb::new(0xB1, rng.fork());
+    bulb.auto_readvertise = false;
+    let bulb_addr = bulb.ll.address();
     let params = ConnectionParams::typical(&mut rng, 36);
-    let mut phone_obj = Central::new(0xA0, bulb_addr, params, rng.fork());
-    phone_obj.auto_reconnect = false;
-    let phone = Rc::new(RefCell::new(phone_obj));
-    let attacker = Rc::new(RefCell::new(Attacker::new(AttackerConfig {
+    let mut phone = Central::new(0xA0, bulb_addr, params, rng.fork());
+    phone.auto_reconnect = false;
+    let attacker = Attacker::new(AttackerConfig {
         target_slave: Some(bulb_addr),
         ..AttackerConfig::default()
-    })));
+    });
     let b = sim.add_node(
         NodeConfig::new("bulb", Position::new(0.0, 0.0)).with_clock(clock(&mut rng, 50.0)),
-        bulb.clone(),
+        bulb,
     );
     let p = sim.add_node(
         NodeConfig::new("phone", Position::new(2.0, 0.0)).with_clock(clock(&mut rng, 50.0)),
-        phone.clone(),
+        phone,
     );
     let a = sim.add_node(
         NodeConfig::new("attacker", Position::new(0.0, 2.0)).with_clock(clock(&mut rng, 20.0)),
-        attacker.clone(),
+        attacker,
     );
-    sim.with_ctx(b, |ctx| bulb.borrow_mut().start(ctx));
-    sim.with_ctx(p, |ctx| phone.borrow_mut().start(ctx));
-    sim.with_ctx(a, |ctx| attacker.borrow_mut().start(ctx));
+    for id in [b, p, a] {
+        sim.start(id);
+    }
     for _ in 0..100 {
         sim.run_for(Duration::from_millis(100));
-        if phone.borrow().ll.is_connected()
-            && attacker
-                .borrow()
+        if sim.node::<Central>(p).unwrap().ll.is_connected()
+            && sim
+                .node::<Attacker>(a)
+                .unwrap()
                 .connection()
                 .map(|t| t.has_slave_seq())
                 .unwrap_or(false)
@@ -340,19 +342,24 @@ fn hijacked_slave_serves_arbitrary_forged_profile() {
         server,
         SimRng::seed_from(3),
     ));
-    attacker.borrow_mut().arm(Mission::HijackSlave { host });
+    sim.node_mut::<Attacker>(a)
+        .unwrap()
+        .arm(Mission::HijackSlave { host });
     for _ in 0..300 {
         sim.run_for(Duration::from_millis(200));
-        if attacker.borrow().mission_state() == MissionState::TakenOver {
+        if sim.node::<Attacker>(a).unwrap().mission_state() == MissionState::TakenOver {
             break;
         }
     }
-    assert_eq!(attacker.borrow().mission_state(), MissionState::TakenOver);
+    assert_eq!(
+        sim.node::<Attacker>(a).unwrap().mission_state(),
+        MissionState::TakenOver
+    );
 
     // The phone re-discovers services and finds the forged HID service.
-    phone.borrow_mut().host.discover_services();
+    sim.node_mut::<Central>(p).unwrap().host.discover_services();
     sim.run_for(Duration::from_secs(2));
-    let phone_ref = phone.borrow();
+    let phone_ref = sim.node::<Central>(p).unwrap();
     let discovered = phone_ref
         .event_log
         .iter()

@@ -4,9 +4,6 @@
 //! ("the experiment was conducted in a realistic environment, including
 //! several other BLE devices and multiple WiFi routers").
 
-use std::cell::RefCell;
-use std::rc::Rc;
-
 use ble_devices::{bulb_payloads, Central, Lightbulb};
 use ble_link::ConnectionParams;
 use ble_phy::{
@@ -61,65 +58,61 @@ impl RadioListener for Jammer {
 fn connection_survives_partial_band_jamming() {
     let mut rng = SimRng::seed_from(0xBAD);
     let mut sim = Simulation::new(Environment::indoor_default(), rng.fork());
-    let bulb = Rc::new(RefCell::new(Lightbulb::new(0xB1, rng.fork())));
-    let control = bulb.borrow().control_handle();
-    let bulb_addr = bulb.borrow().ll.address();
+    let bulb = Lightbulb::new(0xB1, rng.fork());
+    let control = bulb.control_handle();
+    let bulb_addr = bulb.ll.address();
     let params = ConnectionParams::typical(&mut rng, 24);
-    let central = Rc::new(RefCell::new(Central::new(
-        0xA0,
-        bulb_addr,
-        params,
-        rng.fork(),
-    )));
+    let central = Central::new(0xA0, bulb_addr, params, rng.fork());
     // Jam 8 of the 37 data channels continuously, right next to the victim.
-    let jammer = Rc::new(RefCell::new(Jammer::new(
-        &[0, 5, 10, 15, 20, 25, 30, 35],
-        Duration::from_micros(500),
-    )));
+    let jammer = Jammer::new(&[0, 5, 10, 15, 20, 25, 30, 35], Duration::from_micros(500));
 
     let b = sim.add_node(
         NodeConfig::new("bulb", Position::new(0.0, 0.0))
             .with_clock(DriftClock::realistic(50.0, &mut rng).with_jitter_us(1.0)),
-        bulb.clone(),
+        bulb,
     );
     let c = sim.add_node(
         NodeConfig::new("phone", Position::new(2.0, 0.0))
             .with_clock(DriftClock::realistic(50.0, &mut rng).with_jitter_us(1.0)),
-        central.clone(),
+        central,
     );
     let j = sim.add_node(
         NodeConfig::new("jammer", Position::new(0.5, 0.5)).with_tx_power(8.0),
-        jammer.clone(),
+        jammer,
     );
-    sim.with_ctx(b, |ctx| bulb.borrow_mut().start(ctx));
-    sim.with_ctx(c, |ctx| central.borrow_mut().start(ctx));
-    {
-        let jammer = jammer.clone();
-        sim.with_ctx(j, |ctx| jammer.borrow_mut().blast(ctx));
-    }
+    sim.start(b);
+    sim.start(c);
+    sim.with_node_ctx::<Jammer, _>(j, |jammer, ctx| jammer.blast(ctx))
+        .expect("jammer node");
 
     // Connection establishes despite the noise (advertising channels are
     // clean) and stays alive across jammed data channels.
     for _ in 0..100 {
         sim.run_for(Duration::from_millis(100));
-        if central.borrow().ll.is_connected() {
+        if sim.node::<Central>(c).unwrap().ll.is_connected() {
             break;
         }
     }
-    assert!(central.borrow().ll.is_connected(), "connects under jamming");
+    assert!(
+        sim.node::<Central>(c).unwrap().ll.is_connected(),
+        "connects under jamming"
+    );
     sim.run_for(Duration::from_secs(10));
     assert!(
-        central.borrow().ll.is_connected(),
+        sim.node::<Central>(c).unwrap().ll.is_connected(),
         "survives 10 s of jamming"
     );
-    assert!(bulb.borrow().ll.is_connected());
+    assert!(sim.node::<Lightbulb>(b).unwrap().ll.is_connected());
 
     // Application traffic gets through via retransmissions.
-    central
-        .borrow_mut()
+    sim.node_mut::<Central>(c)
+        .unwrap()
         .write(control, bulb_payloads::power_on());
     sim.run_for(Duration::from_secs(3));
-    assert!(bulb.borrow().app.on, "write survives the jammed channels");
+    assert!(
+        sim.node::<Lightbulb>(b).unwrap().app.on,
+        "write survives the jammed channels"
+    );
 }
 
 #[test]
@@ -131,61 +124,55 @@ fn full_band_jamming_kills_then_recovery_follows() {
     // the jammers quiet down, auto-reconnect must restore the connection.
     let mut rng = SimRng::seed_from(0xDEAD);
     let mut sim = Simulation::new(Environment::indoor_default(), rng.fork());
-    let bulb = Rc::new(RefCell::new(Lightbulb::new(0xB1, rng.fork())));
-    let bulb_addr = bulb.borrow().ll.address();
+    let bulb = Lightbulb::new(0xB1, rng.fork());
+    let bulb_addr = bulb.ll.address();
     let params = ConnectionParams::typical(&mut rng, 24);
-    let central = Rc::new(RefCell::new(Central::new(
-        0xA0,
-        bulb_addr,
-        params,
-        rng.fork(),
-    )));
+    let central = Central::new(0xA0, bulb_addr, params, rng.fork());
 
     let b = sim.add_node(
         NodeConfig::new("bulb", Position::new(0.0, 0.0))
             .with_clock(DriftClock::realistic(50.0, &mut rng).with_jitter_us(1.0)),
-        bulb.clone(),
+        bulb,
     );
     let c = sim.add_node(
         NodeConfig::new("phone", Position::new(2.0, 0.0))
             .with_clock(DriftClock::realistic(50.0, &mut rng).with_jitter_us(1.0)),
-        central.clone(),
+        central,
     );
     let mut jammers = Vec::new();
     for ch in 0..37u8 {
-        let jammer = Rc::new(RefCell::new(Jammer::new(&[ch], Duration::from_micros(10))));
         let id = sim.add_node(
             NodeConfig::new(format!("jam{ch}"), Position::new(0.2, 0.2)).with_tx_power(20.0),
-            jammer.clone(),
+            Jammer::new(&[ch], Duration::from_micros(10)),
         );
-        jammers.push((jammer, id));
+        jammers.push(id);
     }
-    sim.with_ctx(b, |ctx| bulb.borrow_mut().start(ctx));
-    sim.with_ctx(c, |ctx| central.borrow_mut().start(ctx));
+    sim.start(b);
+    sim.start(c);
     // Let the connection establish first, then light up the band.
     for _ in 0..100 {
         sim.run_for(Duration::from_millis(100));
-        if central.borrow().ll.is_connected() {
+        if sim.node::<Central>(c).unwrap().ll.is_connected() {
             break;
         }
     }
-    assert!(central.borrow().ll.is_connected());
-    for (jammer, id) in &jammers {
-        let jammer = jammer.clone();
-        sim.with_ctx(*id, |ctx| jammer.borrow_mut().blast(ctx));
+    assert!(sim.node::<Central>(c).unwrap().ll.is_connected());
+    for &id in &jammers {
+        sim.with_node_ctx::<Jammer, _>(id, |jammer, ctx| jammer.blast(ctx))
+            .expect("jammer node");
     }
     sim.run_for(Duration::from_secs(5));
     assert!(
-        central.borrow().disconnections >= 1,
+        sim.node::<Central>(c).unwrap().disconnections >= 1,
         "full-band jamming must break the connection"
     );
     // Quiet the jammers (enormous idle period after the current frame).
-    for (jammer, _) in &jammers {
-        jammer.borrow_mut().period = Duration::from_secs(3600);
+    for &id in &jammers {
+        sim.node_mut::<Jammer>(id).unwrap().period = Duration::from_secs(3600);
     }
     sim.run_for(Duration::from_secs(20));
     assert!(
-        central.borrow().ll.is_connected(),
+        sim.node::<Central>(c).unwrap().ll.is_connected(),
         "auto-reconnect restores the connection after the jammers quiet"
     );
 }
