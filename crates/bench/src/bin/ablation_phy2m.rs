@@ -17,8 +17,12 @@ fn main() {
         cfg.rig.phy = phy;
         // A distance where collisions matter (4 m).
         cfg.rig.attacker_distance = 4.0;
+        let row_start = std::time::Instant::now();
         let outcomes = run_trials_parallel(&cfg, cli.trials);
-        rows.push(SeriesReport::from_outcomes("phy_mbit", label, &outcomes));
+        rows.push(
+            SeriesReport::from_outcomes("phy_mbit", label, &outcomes)
+                .with_throughput(row_start.elapsed().as_secs_f64()),
+        );
         eprintln!("LE {label}M: done");
     }
     print_series_to(

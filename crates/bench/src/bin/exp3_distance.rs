@@ -12,12 +12,12 @@ fn main() {
         let mut cfg = TrialConfig::new(base + distance as u64);
         cfg.rig.hop_interval = 36;
         cfg.rig.attacker_distance = distance;
+        let row_start = std::time::Instant::now();
         let outcomes = run_trials_parallel(&cfg, cli.trials);
-        rows.push(SeriesReport::from_outcomes(
-            "distance_m",
-            distance,
-            &outcomes,
-        ));
+        rows.push(
+            SeriesReport::from_outcomes("distance_m", distance, &outcomes)
+                .with_throughput(row_start.elapsed().as_secs_f64()),
+        );
         eprintln!("distance {distance} m: done");
     }
     print_series_to(

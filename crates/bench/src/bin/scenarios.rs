@@ -68,6 +68,9 @@ fn scene(seed: u64, kind: DeviceKind) -> Scenario {
 }
 
 fn inject_att(s: &mut Scenario, att: Vec<u8>) -> Option<u32> {
+    // Arming pre-forges the Link-Layer payload (L2CAP fragmentation
+    // included) once; every retry below then encodes into an inline `Pdu`
+    // without rebuilding the byte vectors per attempt.
     s.attacker_mut().arm(Mission::InjectAtt { att });
     for _ in 0..200 {
         s.run_for(Duration::from_millis(200));

@@ -35,6 +35,14 @@ pub struct SeriesReport {
     /// Mean telemetry events per wall-clock second across the row's trials
     /// (0 when telemetry was off).
     pub events_per_sec: f64,
+    /// Trials completed per wall-clock second for this row (0 when the
+    /// binary did not time the row). Wall-clock, so excluded from
+    /// byte-identity comparisons of artefacts.
+    pub trials_per_sec: f64,
+    /// Peak resident set size (kB) sampled when the row finished; `None`
+    /// off Linux. Wall-clock-adjacent: excluded from byte-identity
+    /// comparisons.
+    pub peak_rss_kb: Option<u64>,
 }
 
 impl SeriesReport {
@@ -73,7 +81,42 @@ impl SeriesReport {
             anchor_error_us: anchor_error.map(|h| HistRow::from(h.summary())),
             lead_time_us: lead_time.map(|h| HistRow::from(h.summary())),
             events_per_sec,
+            trials_per_sec: 0.0,
+            peak_rss_kb: None,
         }
+    }
+
+    /// Prices the row: records trials-per-second from the row's wall-clock
+    /// duration and samples the process peak RSS. The numbers go to the
+    /// JSON artefact and a stderr summary — never to stdout, which stays
+    /// byte-identical across equally-seeded runs.
+    pub fn with_throughput(mut self, row_wall_s: f64) -> SeriesReport {
+        if row_wall_s > 0.0 {
+            self.trials_per_sec = self.trials as f64 / row_wall_s;
+        }
+        self.peak_rss_kb = peak_rss_kb();
+        self
+    }
+}
+
+/// Peak resident set size of this process in kB (`VmHWM` from
+/// `/proc/self/status`); `None` off Linux or when unreadable.
+pub fn peak_rss_kb() -> Option<u64> {
+    #[cfg(target_os = "linux")]
+    {
+        let status = std::fs::read_to_string("/proc/self/status").ok()?;
+        status.lines().find_map(|line| {
+            line.strip_prefix("VmHWM:")?
+                .trim()
+                .trim_end_matches("kB")
+                .trim()
+                .parse()
+                .ok()
+        })
+    }
+    #[cfg(not(target_os = "linux"))]
+    {
+        None
     }
 }
 
@@ -135,6 +178,21 @@ pub fn print_series(name: &str, title: &str, rows: &[SeriesReport]) {
         );
     }
     println!();
+    // Throughput pricing goes to stderr: stdout stays byte-identical across
+    // equally-seeded runs regardless of machine speed.
+    for r in rows {
+        if r.trials_per_sec > 0.0 {
+            eprintln!(
+                "[throughput] {}={} {:.0} trials/sec{}",
+                r.parameter,
+                r.value,
+                r.trials_per_sec,
+                r.peak_rss_kb
+                    .map(|kb| format!(" peak_rss={kb} kB"))
+                    .unwrap_or_default()
+            );
+        }
+    }
     if let Err(err) = write_json(name, rows) {
         eprintln!("warning: could not write JSON artefact: {err}");
     }
@@ -177,7 +235,8 @@ fn to_json(rows: &[SeriesReport]) -> String {
             "  {{\"parameter\":\"{}\",\"value\":{},\"succeeded\":{},\"trials\":{},\
              \"min\":{},\"q1\":{},\"median\":{},\"q3\":{},\"max\":{},\"mean\":{:.3},\
              \"variance\":{:.3},\"raw\":{:?},\"anchor_error_us\":{},\
-             \"lead_time_us\":{},\"events_per_sec\":{:.1}}}",
+             \"lead_time_us\":{},\"events_per_sec\":{:.1},\
+             \"trials_per_sec\":{:.1},\"peak_rss_kb\":{}}}",
             r.parameter,
             r.value,
             r.succeeded,
@@ -193,6 +252,10 @@ fn to_json(rows: &[SeriesReport]) -> String {
             hist_json(r.anchor_error_us.as_ref()),
             hist_json(r.lead_time_us.as_ref()),
             r.events_per_sec,
+            r.trials_per_sec,
+            r.peak_rss_kb
+                .map(|kb| kb.to_string())
+                .unwrap_or_else(|| "null".to_string()),
         ));
     }
     out.push_str("\n]\n");
@@ -264,6 +327,26 @@ mod tests {
         assert_eq!(r.attempts.mean, 0.0);
         let json = to_json(&[r]);
         assert!(json.contains("\"succeeded\":0"));
+    }
+
+    #[test]
+    fn throughput_pricing_lands_in_json() {
+        let r = SeriesReport::from_outcomes("x", 1.0, &outcomes(&[1, 2])).with_throughput(0.5);
+        assert_eq!(r.trials_per_sec, 4.0);
+        let json = to_json(&[r]);
+        assert!(json.contains("\"trials_per_sec\":4.0"));
+        assert!(json.contains("\"peak_rss_kb\":"));
+        // Un-priced rows keep the neutral values.
+        let bare = SeriesReport::from_outcomes("x", 1.0, &outcomes(&[1]));
+        assert_eq!(bare.trials_per_sec, 0.0);
+        assert!(bare.peak_rss_kb.is_none());
+    }
+
+    #[cfg(target_os = "linux")]
+    #[test]
+    fn peak_rss_is_readable_on_linux() {
+        let kb = peak_rss_kb().expect("VmHWM in /proc/self/status");
+        assert!(kb > 0);
     }
 
     #[test]

@@ -178,6 +178,11 @@ pub fn run_trial(cfg: &TrialConfig) -> TrialOutcome {
 }
 
 /// Runs `count` trials with consecutive seeds across OS threads.
+///
+/// A panicking trial does not bring the series down: the panic is caught,
+/// the failing seed is reported on stderr, and every other trial's outcome
+/// is kept (the panicked trial is simply absent from the returned vector,
+/// which stays in seed order).
 pub fn run_trials_parallel(base: &TrialConfig, count: u64) -> Vec<TrialOutcome> {
     let threads = std::thread::available_parallelism()
         .map(|n| n.get())
@@ -202,21 +207,33 @@ pub fn run_trials_parallel(base: &TrialConfig, count: u64) -> Vec<TrialOutcome> 
                     cfg.seed = base
                         .seed
                         .wrapping_add(i.wrapping_mul(0x9E37_79B9_7F4A_7C15));
-                    mine.push((i as usize, run_trial(&cfg)));
+                    let seed = cfg.seed;
+                    match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| run_trial(&cfg)))
+                    {
+                        Ok(outcome) => mine.push((i as usize, outcome)),
+                        Err(_) => eprintln!(
+                            "[bench] trial {i} (seed {seed}) panicked; \
+                             continuing with the remaining trials"
+                        ),
+                    }
                 }
                 mine
             }));
         }
         for handle in handles {
-            for (i, outcome) in handle.join().expect("trial thread panicked") {
-                outcomes[i] = Some(outcome);
+            match handle.join() {
+                Ok(mine) => {
+                    for (i, outcome) in mine {
+                        outcomes[i] = Some(outcome);
+                    }
+                }
+                // Unreachable with per-trial catching; keep the series alive
+                // even if a worker dies outside a trial.
+                Err(_) => eprintln!("[bench] a trial worker thread panicked"),
             }
         }
     });
-    outcomes
-        .into_iter()
-        .map(|o| o.expect("all trials ran"))
-        .collect()
+    outcomes.into_iter().flatten().collect()
 }
 
 #[cfg(test)]
@@ -282,5 +299,22 @@ mod tests {
         let b = run_trials_parallel(&cfg, 4);
         let attempts = |v: &Vec<TrialOutcome>| v.iter().map(|o| o.attempts).collect::<Vec<_>>();
         assert_eq!(attempts(&a), attempts(&b));
+    }
+
+    #[test]
+    fn parallel_trials_survive_a_panicking_trial() {
+        // A 300-byte raw payload blows the 255-byte LL limit: the forge path
+        // asserts inside the trial. The series must contain the panic,
+        // report the seed, and not bring the caller down.
+        let mut cfg = TrialConfig::new(99);
+        cfg.payload = vec![0xAB; 300];
+        let out = run_trials_parallel(&cfg, 2);
+        assert!(
+            out.is_empty(),
+            "panicked trials are excluded from the series, not fatal"
+        );
+        // A well-formed series on the same rig still yields every outcome.
+        let ok = run_trials_parallel(&TrialConfig::new(99), 2);
+        assert_eq!(ok.len(), 2);
     }
 }

@@ -1,0 +1,140 @@
+//! Zero-allocation budget for the steady-state frame pipeline.
+//!
+//! A counting global allocator wraps `System`; after a warm-up window has
+//! grown every queue and buffer to capacity, a steady stream of
+//! Tx → medium → Rx deliveries (no collision, telemetry off) must perform
+//! **zero** heap allocations. This pins the inline-`Pdu` rework: any future
+//! `Vec`/`clone()` reintroduced on the delivery path trips this test.
+//!
+//! Kept as its own integration-test binary so the global allocator does not
+//! leak into unrelated tests.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use ble_phy::{
+    AccessAddress, AccessFilter, Channel, Environment, NodeConfig, NodeCtx, Pdu, Position,
+    RadioEvent, RadioListener, RawFrame, Simulation, TimerKey,
+};
+use simkit::{Duration, SimRng};
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+/// Counts every allocation and reallocation, then defers to `System`.
+struct CountingAllocator;
+
+// SAFETY: pure pass-through to `System`; the counter has no effect on the
+// returned memory.
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc_zeroed(layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAllocator = CountingAllocator;
+
+/// Transmits a fixed 22-byte frame every 500 µs.
+struct Beacon {
+    pdu: Pdu,
+    sent: u64,
+}
+
+impl RadioListener for Beacon {
+    fn on_event(&mut self, ctx: &mut NodeCtx<'_>, event: RadioEvent) {
+        if let RadioEvent::Timer { .. } = event {
+            ctx.set_timer_local(Duration::from_micros(500), TimerKey(1));
+            if !ctx.is_transmitting() {
+                self.sent += 1;
+                let frame = RawFrame::new(
+                    AccessAddress::ADVERTISING,
+                    self.pdu.clone(),
+                    ble_phy::ADVERTISING_CRC_INIT,
+                );
+                ctx.transmit(Channel::advertising_wrapped(0), frame);
+            }
+        }
+    }
+}
+
+/// Counts good deliveries and re-opens the receive window.
+struct Sink {
+    received: u64,
+}
+
+impl RadioListener for Sink {
+    fn on_event(&mut self, ctx: &mut NodeCtx<'_>, event: RadioEvent) {
+        if let RadioEvent::FrameReceived(frame) = event {
+            if frame.crc_ok {
+                self.received += 1;
+            }
+            ctx.start_rx(
+                Channel::advertising_wrapped(0),
+                AccessFilter::Any,
+                ble_phy::ADVERTISING_CRC_INIT,
+            );
+        }
+    }
+}
+
+#[test]
+fn steady_state_frame_delivery_allocates_nothing() {
+    let mut pdu = Pdu::new();
+    pdu.try_extend_from_slice(&[0xC3; 22]).expect("22 B fits");
+
+    let mut sim = Simulation::new(Environment::indoor_default(), SimRng::seed_from(5));
+    let tx = sim.add_node(
+        NodeConfig::new("beacon", Position::new(0.0, 0.0)),
+        Beacon { pdu, sent: 0 },
+    );
+    let rx = sim.add_node(
+        NodeConfig::new("sink", Position::new(2.0, 0.0)),
+        Sink { received: 0 },
+    );
+    sim.with_ctx(tx, |ctx| {
+        ctx.set_timer_local(Duration::from_micros(500), TimerKey(1));
+    });
+    sim.with_ctx(rx, |ctx| {
+        ctx.start_rx(
+            Channel::advertising_wrapped(0),
+            AccessFilter::Any,
+            ble_phy::ADVERTISING_CRC_INIT,
+        );
+    });
+
+    // Warm-up: grow the event queue, tombstone set, and node scratch
+    // buffers to their steady-state capacity.
+    sim.run_for(Duration::from_millis(100));
+    let received_before = sim.node::<Sink>(rx).expect("sink").received;
+    assert!(received_before > 10, "warm-up must deliver frames");
+
+    // Steady state: ~100 further deliveries must not touch the heap.
+    let before = ALLOCATIONS.load(Ordering::Relaxed);
+    sim.run_for(Duration::from_millis(50));
+    let delta = ALLOCATIONS.load(Ordering::Relaxed) - before;
+
+    let received = sim.node::<Sink>(rx).expect("sink").received - received_before;
+    assert!(
+        received >= 90,
+        "steady state must keep delivering: {received}"
+    );
+    assert_eq!(
+        delta, 0,
+        "steady-state frame delivery must not allocate ({delta} allocations over {received} deliveries)"
+    );
+}

@@ -109,20 +109,46 @@ pub fn encrypt(
     payload: &[u8],
     mic_len: usize,
 ) -> Vec<u8> {
+    let mut out = Vec::with_capacity(payload.len() + mic_len);
+    out.extend_from_slice(payload);
+    let mic = encrypt_in_place(cipher, nonce, aad, &mut out, mic_len);
+    out.extend_from_slice(mic.get(..mic_len).unwrap_or(&[]));
+    out
+}
+
+/// Encrypts `payload` in place and returns the MIC block; the caller
+/// appends its first `mic_len` bytes (the rest is zero). The allocation-free
+/// core of [`encrypt`], used directly on the frame hot path.
+pub fn encrypt_in_place(
+    cipher: &Aes128,
+    nonce: &[u8; NONCE_LEN],
+    aad: &[u8],
+    payload: &mut [u8],
+    mic_len: usize,
+) -> [u8; 16] {
     assert!(
         (4..=16).contains(&mic_len) && mic_len.is_multiple_of(2),
         "CCM MIC length must be an even value in 4..=16"
     );
     let tag = cbc_mac(cipher, nonce, aad, payload, mic_len);
-    let mut out = Vec::with_capacity(payload.len() + mic_len);
     // Encrypt payload with counters 1..; counter 0 encrypts the MIC.
-    for (i, chunk) in payload.chunks(16).enumerate() {
-        let ks = ctr_block(cipher, nonce, lsb16((i + 1) as u64));
-        out.extend(chunk.iter().zip(ks.iter()).map(|(p, k)| p ^ k));
-    }
+    xor_keystream(cipher, nonce, payload);
     let s0 = ctr_block(cipher, nonce, 0);
-    out.extend(tag.iter().zip(s0.iter()).take(mic_len).map(|(t, k)| t ^ k));
-    out
+    let mut mic = [0u8; 16];
+    for ((m, t), k) in mic.iter_mut().zip(tag.iter()).zip(s0.iter()).take(mic_len) {
+        *m = t ^ k;
+    }
+    mic
+}
+
+/// XORs the CTR keystream (counters 1..) over `data` — its own inverse.
+fn xor_keystream(cipher: &Aes128, nonce: &[u8; NONCE_LEN], data: &mut [u8]) {
+    for (i, chunk) in data.chunks_mut(16).enumerate() {
+        let ks = ctr_block(cipher, nonce, lsb16((i + 1) as u64));
+        for (b, k) in chunk.iter_mut().zip(ks.iter()) {
+            *b ^= k;
+        }
+    }
 }
 
 /// Decrypts and authenticates a CCM message produced by [`encrypt`].
@@ -138,31 +164,47 @@ pub fn decrypt(
     sealed: &[u8],
     mic_len: usize,
 ) -> Result<Vec<u8>, CcmError> {
+    let mut buf = sealed.to_vec();
+    let n = decrypt_in_place(cipher, nonce, aad, &mut buf, mic_len)?;
+    buf.truncate(n);
+    Ok(buf)
+}
+
+/// Decrypts `sealed` (ciphertext followed by the MIC) in place. On success
+/// the plaintext occupies `sealed[..returned_len]`; on MIC failure the
+/// buffer is restored to the original ciphertext and an error is returned.
+/// The allocation-free core of [`decrypt`], used directly on the frame hot
+/// path.
+///
+/// # Errors
+///
+/// Returns [`CcmError`] if the message is shorter than the MIC or the MIC
+/// does not verify (tampered ciphertext, wrong key, wrong nonce or AAD).
+pub fn decrypt_in_place(
+    cipher: &Aes128,
+    nonce: &[u8; NONCE_LEN],
+    aad: &[u8],
+    sealed: &mut [u8],
+    mic_len: usize,
+) -> Result<usize, CcmError> {
     if sealed.len() < mic_len {
         return Err(CcmError);
     }
-    let (ciphertext, mic) = sealed.split_at(sealed.len() - mic_len);
-    let mut payload = Vec::with_capacity(ciphertext.len());
-    for (i, chunk) in ciphertext.chunks(16).enumerate() {
-        let ks = ctr_block(cipher, nonce, lsb16((i + 1) as u64));
-        payload.extend(chunk.iter().zip(ks.iter()).map(|(c, k)| c ^ k));
-    }
-    let tag = cbc_mac(cipher, nonce, aad, &payload, mic_len);
+    let split = sealed.len() - mic_len;
+    let (ciphertext, mic) = sealed.split_at_mut(split);
+    xor_keystream(cipher, nonce, ciphertext);
+    let tag = cbc_mac(cipher, nonce, aad, ciphertext, mic_len);
     let s0 = ctr_block(cipher, nonce, 0);
-    let expected: Vec<u8> = tag
-        .iter()
-        .zip(s0.iter())
-        .take(mic_len)
-        .map(|(t, k)| t ^ k)
-        .collect();
     // Constant-time-ish comparison (simulation grade).
     let mut diff = 0u8;
-    for (a, b) in expected.iter().zip(mic) {
-        diff |= a ^ b;
+    for ((t, k), m) in tag.iter().zip(s0.iter()).take(mic_len).zip(mic.iter()) {
+        diff |= (t ^ k) ^ m;
     }
     if diff == 0 {
-        Ok(payload)
+        Ok(split)
     } else {
+        // Undo the keystream so the caller keeps the original ciphertext.
+        xor_keystream(cipher, nonce, ciphertext);
         Err(CcmError)
     }
 }

@@ -130,15 +130,36 @@ impl LinkCipher {
     /// Encrypts an outgoing payload, consuming one packet counter value for
     /// `direction`. Returns ciphertext with the 4-byte MIC appended.
     pub fn encrypt(&mut self, direction: Direction, header: u8, payload: &[u8]) -> Vec<u8> {
+        let mut out = Vec::with_capacity(payload.len() + MIC_LEN);
+        out.extend_from_slice(payload);
+        let mic = self.encrypt_in_place(direction, header, &mut out);
+        out.extend_from_slice(&mic);
+        out
+    }
+
+    /// Encrypts `payload` in place (consuming one packet counter value for
+    /// `direction`) and returns the 4-byte MIC the caller appends. The
+    /// allocation-free form of [`LinkCipher::encrypt`].
+    pub fn encrypt_in_place(
+        &mut self,
+        direction: Direction,
+        header: u8,
+        payload: &mut [u8],
+    ) -> [u8; MIC_LEN] {
         let counter = self.advance(direction);
         let nonce = self.nonce(direction, counter);
-        ccm::encrypt(
+        let mic = ccm::encrypt_in_place(
             &self.session,
             &nonce,
             &[Self::masked_header(header)],
             payload,
             MIC_LEN,
-        )
+        );
+        let mut out = [0u8; MIC_LEN];
+        for (o, m) in out.iter_mut().zip(mic.iter()) {
+            *o = *m;
+        }
+        out
     }
 
     /// Decrypts an incoming payload using the receive counter for
@@ -155,9 +176,30 @@ impl LinkCipher {
         header: u8,
         sealed: &[u8],
     ) -> Result<Vec<u8>, CcmError> {
+        let mut buf = sealed.to_vec();
+        let n = self.decrypt_in_place(direction, header, &mut buf)?;
+        buf.truncate(n);
+        Ok(buf)
+    }
+
+    /// Decrypts `sealed` (ciphertext + 4-byte MIC) in place using the
+    /// receive counter for `direction`, consuming it on success; the
+    /// plaintext then occupies `sealed[..returned_len]`. On MIC failure the
+    /// counter is *not* consumed and the buffer is restored, mirroring real
+    /// Link Layers that drop the packet and keep state.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CcmError`] when the MIC does not verify.
+    pub fn decrypt_in_place(
+        &mut self,
+        direction: Direction,
+        header: u8,
+        sealed: &mut [u8],
+    ) -> Result<usize, CcmError> {
         let counter = self.peek(direction);
         let nonce = self.nonce(direction, counter);
-        let out = ccm::decrypt(
+        let n = ccm::decrypt_in_place(
             &self.session,
             &nonce,
             &[Self::masked_header(header)],
@@ -165,7 +207,7 @@ impl LinkCipher {
             MIC_LEN,
         )?;
         self.advance(direction);
-        Ok(out)
+        Ok(n)
     }
 
     fn peek(&self, direction: Direction) -> u64 {

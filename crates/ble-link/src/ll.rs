@@ -24,7 +24,7 @@ use std::collections::VecDeque;
 
 use ble_crypto::{Direction, LinkCipher, SessionKeyMaterial};
 use ble_invariants::{invariant, lsb8};
-use ble_phy::{AccessFilter, Channel, NodeCtx, RadioEvent, RawFrame, ReceivedFrame, TimerKey};
+use ble_phy::{AccessFilter, Channel, NodeCtx, Pdu, RadioEvent, RawFrame, ReceivedFrame, TimerKey};
 use ble_telemetry::{LinkRole, TelemetryEvent};
 use simkit::{Duration, Instant};
 
@@ -190,15 +190,12 @@ enum IfsAction {
     /// Transmit a `CONNECT_REQ` and become Master.
     Connect {
         channel: Channel,
-        pdu_bytes: Vec<u8>,
+        pdu: Pdu,
         params: ConnectionParams,
         peer: DeviceAddress,
     },
     /// Transmit a `SCAN_RSP`.
-    ScanRsp {
-        channel: Channel,
-        pdu_bytes: Vec<u8>,
-    },
+    ScanRsp { channel: Channel, pdu: Pdu },
 }
 
 struct AdvState {
@@ -723,7 +720,7 @@ impl LinkLayer {
             channel,
             RawFrame::new(
                 ble_phy::AccessAddress::ADVERTISING,
-                pdu.to_bytes(),
+                pdu.to_pdu(),
                 ADV_CRC_INIT,
             ),
         );
@@ -765,7 +762,7 @@ impl LinkLayer {
     }
 
     fn data_channel_frame(params: &ConnectionParams, pdu: &DataPdu) -> RawFrame {
-        RawFrame::new(params.access_address, pdu.to_bytes(), params.crc_init)
+        RawFrame::new(params.access_address, pdu.to_pdu(), params.crc_init)
     }
 
     /// Builds the next outgoing PDU, consuming queues as appropriate, and
@@ -804,7 +801,7 @@ impl LinkLayer {
     }
 
     /// Encrypts a payload if link encryption is active for transmit.
-    fn seal(c: &mut Conn, llid: Llid, payload: Vec<u8>) -> Vec<u8> {
+    fn seal(c: &mut Conn, llid: Llid, mut payload: Vec<u8>) -> Vec<u8> {
         if !c.enc.tx_on || payload.is_empty() {
             return payload;
         }
@@ -814,7 +811,13 @@ impl LinkLayer {
         };
         let header = llid.bits();
         match c.enc.cipher.as_mut() {
-            Some(cipher) => cipher.encrypt(dir, header, &payload),
+            Some(cipher) => {
+                // In place: the ciphertext reuses the plaintext buffer, only
+                // the 4-byte MIC is appended.
+                let mic = cipher.encrypt_in_place(dir, header, &mut payload);
+                payload.extend_from_slice(&mic);
+                payload
+            }
             None => {
                 // tx_on is only ever set after the cipher is installed;
                 // release builds fall back to plaintext rather than panic.
@@ -917,21 +920,21 @@ impl LinkLayer {
             IfsAction::Transmit { channel, frame } => {
                 ctx.transmit(channel, frame);
             }
-            IfsAction::ScanRsp { channel, pdu_bytes } => {
+            IfsAction::ScanRsp { channel, pdu } => {
                 ctx.transmit(
                     channel,
-                    RawFrame::new(ble_phy::AccessAddress::ADVERTISING, pdu_bytes, ADV_CRC_INIT),
+                    RawFrame::new(ble_phy::AccessAddress::ADVERTISING, pdu, ADV_CRC_INIT),
                 );
             }
             IfsAction::Connect {
                 channel,
-                pdu_bytes,
+                pdu,
                 params,
                 peer,
             } => {
                 ctx.transmit(
                     channel,
-                    RawFrame::new(ble_phy::AccessAddress::ADVERTISING, pdu_bytes, ADV_CRC_INIT),
+                    RawFrame::new(ble_phy::AccessAddress::ADVERTISING, pdu, ADV_CRC_INIT),
                 );
                 // Connection state is created on TxDone; remember intent.
                 self.state = State::Scanning(ScanState {
@@ -1384,7 +1387,7 @@ impl LinkLayer {
                 };
                 self.ifs_action = Some(IfsAction::ScanRsp {
                     channel,
-                    pdu_bytes: rsp.to_bytes(),
+                    pdu: rsp.to_pdu(),
                 });
                 ctx.stop_rx();
                 self.arm_local(ctx, frame.end, T_IFS, purpose::IFS_ACTION);
@@ -1448,7 +1451,7 @@ impl LinkLayer {
                 self.disarm(purpose::SCAN_HOP);
                 self.ifs_action = Some(IfsAction::Connect {
                     channel,
-                    pdu_bytes: connect.to_bytes(),
+                    pdu: connect.to_pdu(),
                     params,
                     peer,
                 });
@@ -1507,7 +1510,7 @@ impl LinkLayer {
             return;
         }
 
-        let Ok(pdu) = DataPdu::from_bytes(&frame.pdu) else {
+        let Ok(mut pdu) = DataPdu::from_bytes(&frame.pdu) else {
             if ctx.is_receiving() {
                 ctx.stop_rx();
             }
@@ -1549,8 +1552,13 @@ impl LinkLayer {
                 };
                 match c.enc.cipher.as_mut() {
                     Some(cipher) => {
-                        match cipher.decrypt(dir, pdu.header.llid.bits(), &pdu.payload) {
-                            Ok(p) => Some(p),
+                        // In place: decrypt reuses the parsed payload buffer.
+                        let mut buf = std::mem::take(&mut pdu.payload);
+                        match cipher.decrypt_in_place(dir, pdu.header.llid.bits(), &mut buf) {
+                            Ok(n) => {
+                                buf.truncate(n);
+                                Some(buf)
+                            }
                             Err(_) => {
                                 // MIC failure: the spec terminates immediately —
                                 // the paper's encrypted-injection DoS outcome.

@@ -1,6 +1,7 @@
 //! Advertising-channel PDUs.
 
-use ble_invariants::len_u8;
+use ble_invariants::{invariant, len_u8};
+use ble_phy::Pdu;
 
 use crate::address::{AddressType, DeviceAddress};
 use crate::connect_params::ConnectionParams;
@@ -72,31 +73,40 @@ const TYPE_SCAN_RSP: u8 = 0b0100;
 const TYPE_CONNECT_REQ: u8 = 0b0101;
 
 impl AdvertisingPdu {
-    /// Serialises to over-the-air bytes: 2-byte header then payload.
-    pub fn to_bytes(&self) -> Vec<u8> {
-        let (ty, tx_add, rx_add, payload): (u8, u8, u8, Vec<u8>) = match self {
+    /// Serialises straight into an inline [`Pdu`] (2-byte header then
+    /// payload) without touching the heap — advertising payloads top out at
+    /// 37 bytes, far under the inline capacity.
+    pub fn to_pdu(&self) -> Pdu {
+        let mut out = Pdu::new();
+        // Header placeholder, patched below once the payload length is known.
+        let mut ok = out.try_extend_from_slice(&[0, 0]).is_ok();
+        let (ty, tx_add, rx_add) = match self {
             AdvertisingPdu::AdvInd { advertiser, data } => {
-                let mut p = advertiser.octets.to_vec();
-                p.extend_from_slice(data);
-                (TYPE_ADV_IND, advertiser.kind.bit(), 0, p)
+                ok = ok
+                    && out.try_extend_from_slice(&advertiser.octets).is_ok()
+                    && out.try_extend_from_slice(data).is_ok();
+                (TYPE_ADV_IND, advertiser.kind.bit(), 0)
             }
             AdvertisingPdu::AdvNonconnInd { advertiser, data } => {
-                let mut p = advertiser.octets.to_vec();
-                p.extend_from_slice(data);
-                (TYPE_ADV_NONCONN_IND, advertiser.kind.bit(), 0, p)
+                ok = ok
+                    && out.try_extend_from_slice(&advertiser.octets).is_ok()
+                    && out.try_extend_from_slice(data).is_ok();
+                (TYPE_ADV_NONCONN_IND, advertiser.kind.bit(), 0)
             }
             AdvertisingPdu::ScanReq {
                 scanner,
                 advertiser,
             } => {
-                let mut p = scanner.octets.to_vec();
-                p.extend_from_slice(&advertiser.octets);
-                (TYPE_SCAN_REQ, scanner.kind.bit(), advertiser.kind.bit(), p)
+                ok = ok
+                    && out.try_extend_from_slice(&scanner.octets).is_ok()
+                    && out.try_extend_from_slice(&advertiser.octets).is_ok();
+                (TYPE_SCAN_REQ, scanner.kind.bit(), advertiser.kind.bit())
             }
             AdvertisingPdu::ScanRsp { advertiser, data } => {
-                let mut p = advertiser.octets.to_vec();
-                p.extend_from_slice(data);
-                (TYPE_SCAN_RSP, advertiser.kind.bit(), 0, p)
+                ok = ok
+                    && out.try_extend_from_slice(&advertiser.octets).is_ok()
+                    && out.try_extend_from_slice(data).is_ok();
+                (TYPE_SCAN_RSP, advertiser.kind.bit(), 0)
             }
             AdvertisingPdu::ConnectReq {
                 initiator,
@@ -104,21 +114,33 @@ impl AdvertisingPdu {
                 params,
                 ch_sel,
             } => {
-                let mut p = initiator.octets.to_vec();
-                p.extend_from_slice(&advertiser.octets);
-                p.extend_from_slice(&params.to_bytes());
+                ok = ok
+                    && out.try_extend_from_slice(&initiator.octets).is_ok()
+                    && out.try_extend_from_slice(&advertiser.octets).is_ok()
+                    && out.try_extend_from_slice(&params.to_bytes()).is_ok();
                 let mut ty_bits = TYPE_CONNECT_REQ;
                 if *ch_sel {
                     ty_bits |= 1 << 5; // the spec's ChSel header bit
                 }
-                (ty_bits, initiator.kind.bit(), advertiser.kind.bit(), p)
+                (ty_bits, initiator.kind.bit(), advertiser.kind.bit())
             }
         };
-        assert!(payload.len() <= 255, "advertising payload too long");
-        let header0 = ty | (tx_add << 6) | (rx_add << 7);
-        let mut out = vec![header0, len_u8(payload.len())];
-        out.extend_from_slice(&payload);
+        let payload_len = out.len().saturating_sub(2);
+        invariant!(
+            ok && payload_len <= 255,
+            "pdu-capacity",
+            "advertising PDU exceeds inline capacity"
+        );
+        if let [h0, h1, ..] = out.as_mut_slice() {
+            *h0 = ty | (tx_add << 6) | (rx_add << 7);
+            *h1 = len_u8(payload_len);
+        }
         out
+    }
+
+    /// Serialises to over-the-air bytes: 2-byte header then payload.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        self.to_pdu().as_slice().to_vec()
     }
 
     /// Parses over-the-air bytes.

@@ -5,7 +5,8 @@
 //! per eq. 6 and observed per eq. 7) and the **MD** (More Data) bit that
 //! extends a connection event.
 
-use ble_invariants::len_u8;
+use ble_invariants::{invariant, len_u8};
+use ble_phy::Pdu;
 
 use crate::pdu::ParseError;
 
@@ -122,13 +123,41 @@ impl DataPdu {
         self.payload.is_empty() && self.header.llid == Llid::ContinuationOrEmpty
     }
 
+    /// Serialises straight into an inline [`Pdu`]: the 2-byte header plus a
+    /// ≤255-byte payload always fits, so the frame path stays heap-free.
+    pub fn to_pdu(&self) -> Pdu {
+        DataPdu::encode_pdu(
+            self.header.llid,
+            self.header.nesn,
+            self.header.sn,
+            self.header.md,
+            &self.payload,
+        )
+    }
+
+    /// Encodes header fields plus a borrowed payload straight into an
+    /// inline [`Pdu`], without building an owning `DataPdu` first — the
+    /// per-attempt encoder for forge paths that reuse one payload buffer.
+    pub fn encode_pdu(llid: Llid, nesn: bool, sn: bool, md: bool, payload: &[u8]) -> Pdu {
+        let header = DataHeader {
+            llid,
+            nesn,
+            sn,
+            md,
+            length: len_u8(payload.len()),
+        };
+        let mut out = Pdu::new();
+        let ok = payload.len() <= 255
+            && out.try_push(header.flag_byte()).is_ok()
+            && out.try_push(header.length).is_ok()
+            && out.try_extend_from_slice(payload).is_ok();
+        invariant!(ok, "pdu-capacity", "data PDU exceeds inline PDU capacity");
+        out
+    }
+
     /// Serialises to over-the-air bytes.
     pub fn to_bytes(&self) -> Vec<u8> {
-        let mut out = Vec::with_capacity(2 + self.payload.len());
-        out.push(self.header.flag_byte());
-        out.push(self.header.length);
-        out.extend_from_slice(&self.payload);
-        out
+        self.to_pdu().as_slice().to_vec()
     }
 
     /// Parses over-the-air bytes.

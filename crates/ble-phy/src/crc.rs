@@ -18,8 +18,44 @@ pub const CRC_LEN: usize = 3;
 /// The CRC preset used on advertising channels.
 pub const ADVERTISING_CRC_INIT: u32 = 0x555555;
 
+/// Reversed polynomial taps with the implicit x²⁴ carry-in folded in:
+/// `(1 << 23) | 0x5A_6000`. One feedback step of the reflected LFSR is
+/// `state = (state >> 1) ^ (feedback ? REFLECTED_TAPS : 0)`.
+const REFLECTED_TAPS: u32 = 0xDA_6000;
+
+/// Byte-wise CRC lookup table, built at compile time from the same LFSR
+/// step the bitwise reference uses. Because the CRC is linear over GF(2),
+/// eight bit-steps factor into `(state >> 8) ^ TABLE[(state ^ byte) & 0xFF]`
+/// — the standard reflected table-driven form.
+const CRC24_TABLE: [u32; 256] = build_crc24_table();
+
+const fn build_crc24_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut byte = 0u32;
+    loop {
+        let mut state = byte;
+        let mut step = 0;
+        while step < 8 {
+            let feedback = state & 1;
+            state >>= 1;
+            if feedback != 0 {
+                state ^= REFLECTED_TAPS;
+            }
+            step += 1;
+        }
+        table[byte as usize % 256] = state;
+        if byte == 255 {
+            break;
+        }
+        byte += 1;
+    }
+    table
+}
+
 /// Computes the BLE CRC-24 over `data` with the given 24-bit initial value.
 ///
+/// Table-driven (one lookup per byte); [`crc24_bitwise`] is the retired
+/// bit-at-a-time implementation, kept as the equivalence-test reference.
 /// The returned value occupies the low 24 bits.
 ///
 /// # Example
@@ -32,6 +68,17 @@ pub const ADVERTISING_CRC_INIT: u32 = 0x555555;
 /// assert_ne!(crc, crc24(0x555555, &[0x01, 0x01, 0x02]));
 /// ```
 pub fn crc24(init: u32, data: &[u8]) -> u32 {
+    let mut state = init & 0xFF_FFFF;
+    for &byte in data {
+        let idx = ((state ^ u32::from(byte)) & 0xFF) as usize;
+        state = (state >> 8) ^ CRC24_TABLE[idx % 256];
+    }
+    state
+}
+
+/// Bit-at-a-time CRC-24 (the original implementation), retained as the
+/// reference the table-driven [`crc24`] is property-tested against.
+pub fn crc24_bitwise(init: u32, data: &[u8]) -> u32 {
     // Reflected (LSB-first) LFSR; taps 0x5A6000 are the reversed polynomial.
     let mut state = init & 0xFF_FFFF;
     for &byte in data {
@@ -99,6 +146,26 @@ mod tests {
         ];
         for (data, init) in cases {
             assert_eq!(crc24(init, data), crc24_oracle(init, data), "{data:?}");
+        }
+    }
+
+    #[test]
+    fn table_driven_matches_bitwise_reference() {
+        // Exhaustive over single bytes (exercises every table entry), plus
+        // longer mixed-content inputs and several init values.
+        for b in 0..=255u8 {
+            assert_eq!(crc24(0x555555, &[b]), crc24_bitwise(0x555555, &[b]), "{b}");
+        }
+        let inits = [0x000000, 0x555555, 0xABCDEF, 0xFF_FFFF, 0x13_37C0];
+        let data: Vec<u8> = (0..=255u8).cycle().take(600).collect();
+        for init in inits {
+            for len in [0, 1, 2, 3, 7, 31, 256, 600] {
+                assert_eq!(
+                    crc24(init, &data[..len]),
+                    crc24_bitwise(init, &data[..len]),
+                    "init {init:#x} len {len}"
+                );
+            }
         }
     }
 

@@ -5,6 +5,7 @@ use simkit::{Duration, Instant};
 
 use crate::access_address::AccessAddress;
 use crate::channel::Channel;
+use crate::pdu::Pdu;
 use crate::phy_mode::PhyMode;
 
 /// Length of the preamble on the LE 1M PHY, in bytes.
@@ -31,18 +32,20 @@ pub const ACCESS_ADDRESS_LEN: usize = 4;
 pub struct RawFrame {
     /// The access address the frame is transmitted with.
     pub access_address: AccessAddress,
-    /// The unwhitened PDU bytes (header + payload).
-    pub pdu: Vec<u8>,
+    /// The unwhitened PDU bytes (header + payload), stored inline — frames
+    /// move and clone without touching the heap.
+    pub pdu: Pdu,
     /// CRC initialisation value used for this frame's CRC.
     pub crc_init: u32,
 }
 
 impl RawFrame {
-    /// Creates a frame.
-    pub fn new(access_address: AccessAddress, pdu: Vec<u8>, crc_init: u32) -> Self {
+    /// Creates a frame. `pdu` accepts anything convertible to a [`Pdu`]
+    /// (`Pdu`, `Vec<u8>`, byte slices, arrays).
+    pub fn new(access_address: AccessAddress, pdu: impl Into<Pdu>, crc_init: u32) -> Self {
         RawFrame {
             access_address,
-            pdu,
+            pdu: pdu.into(),
             crc_init,
         }
     }
@@ -66,8 +69,9 @@ pub struct ReceivedFrame {
     pub channel: Channel,
     /// Access address the frame was synchronised on.
     pub access_address: AccessAddress,
-    /// The PDU bytes as decoded (possibly corrupted by a collision).
-    pub pdu: Vec<u8>,
+    /// The PDU bytes as decoded (possibly corrupted by a collision),
+    /// stored inline — delivery to each receiver copies on the stack.
+    pub pdu: Pdu,
     /// Whether the CRC check passed (correct `CRCInit` and no corruption).
     pub crc_ok: bool,
     /// Received signal strength in dBm.
@@ -118,7 +122,7 @@ mod tests {
         let rx = ReceivedFrame {
             channel: Channel::new(0).unwrap(),
             access_address: AccessAddress::ADVERTISING,
-            pdu: vec![1, 2, 3],
+            pdu: vec![1, 2, 3].into(),
             crc_ok: true,
             rssi_dbm: -60.0,
             start: Instant::from_micros(100),

@@ -60,6 +60,7 @@ mod crc;
 mod frame;
 mod geometry;
 mod medium;
+mod pdu;
 mod phy_mode;
 mod propagation;
 mod radio;
@@ -68,13 +69,14 @@ mod whitening;
 pub use access_address::AccessAddress;
 pub use capture::CaptureModel;
 pub use channel::Channel;
-pub use crc::{crc24, crc24_bytes, ADVERTISING_CRC_INIT, CRC_LEN};
+pub use crc::{crc24, crc24_bitwise, crc24_bytes, ADVERTISING_CRC_INIT, CRC_LEN};
 pub use frame::{RawFrame, ReceivedFrame, ACCESS_ADDRESS_LEN, PREAMBLE_LEN};
 pub use geometry::{Position, Wall};
 pub use medium::{Simulation, TxHandle, World};
+pub use pdu::{Pdu, PduCapacityError, PDU_MAX_LEN};
 pub use phy_mode::PhyMode;
 pub use propagation::Environment;
 pub use radio::{
     AccessFilter, Node, NodeConfig, NodeCtx, NodeId, RadioEvent, RadioListener, TimerKey,
 };
-pub use whitening::{whiten_in_place, whitened};
+pub use whitening::{whiten_in_place, whiten_in_place_bitwise, whitened};

@@ -49,10 +49,57 @@ enum SimEvent {
     Timer { node: NodeId, key: TimerKey },
 }
 
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Copy)]
 struct Interference {
     power_dbm: f64,
     overlap: Duration,
+}
+
+/// Interferers observed during one locked reception. Almost every collision
+/// involves one or two frames (the injection race is exactly two), so the
+/// first few entries live inline in the lock and the common case never
+/// touches the heap; pathological pile-ups spill into a `Vec` rather than
+/// being dropped.
+const INLINE_INTERFERERS: usize = 4;
+
+#[derive(Debug, Clone)]
+struct InterferenceBuf {
+    /// Occupied prefix of `inline`.
+    len: usize,
+    inline: [Interference; INLINE_INTERFERERS],
+    /// Overflow beyond the inline capacity; empty in steady state.
+    spill: Vec<Interference>,
+}
+
+impl InterferenceBuf {
+    const fn new() -> Self {
+        InterferenceBuf {
+            len: 0,
+            inline: [Interference {
+                power_dbm: 0.0,
+                overlap: Duration::ZERO,
+            }; INLINE_INTERFERERS],
+            spill: Vec::new(),
+        }
+    }
+
+    fn push(&mut self, entry: Interference) {
+        if let Some(slot) = self.inline.get_mut(self.len) {
+            *slot = entry;
+            self.len += 1;
+        } else {
+            self.spill.push(entry);
+        }
+    }
+
+    /// Entries in push order (inline prefix, then spill).
+    fn iter(&self) -> impl Iterator<Item = &Interference> {
+        self.inline.iter().take(self.len).chain(self.spill.iter())
+    }
+
+    fn count(&self) -> usize {
+        self.len + self.spill.len()
+    }
 }
 
 #[derive(Debug)]
@@ -61,7 +108,7 @@ struct RxLock {
     arrival: Instant,
     end: Instant,
     signal_dbm: f64,
-    interference: Vec<Interference>,
+    interference: InterferenceBuf,
 }
 
 #[derive(Debug)]
@@ -267,18 +314,17 @@ impl SimInner {
         );
         self.queue.schedule_at(end, SimEvent::TxEnd { node });
         let from_pos = self.node_state(node).config.position;
-        let arrivals: Vec<(usize, Instant)> = self
-            .nodes
-            .iter()
-            .enumerate()
-            .filter(|&(other, _)| other != node.0)
-            .map(|(other, state)| {
-                let to_pos = state.config.position;
-                (other, now + self.env.propagation_delay(from_pos, to_pos))
-            })
-            .collect();
-        for (other, arrival) in arrivals {
-            self.queue.schedule_at(
+        // Split-field borrow: arrival times read `env`/`nodes`, scheduling
+        // writes `queue` — disjoint, so no intermediate collection needed.
+        let SimInner {
+            queue, env, nodes, ..
+        } = self;
+        for (other, state) in nodes.iter().enumerate() {
+            if other == node.0 {
+                continue;
+            }
+            let arrival = now + env.propagation_delay(from_pos, state.config.position);
+            queue.schedule_at(
                 arrival,
                 SimEvent::RxStart {
                     node: NodeId(other),
@@ -406,28 +452,40 @@ impl SimInner {
         locked_tx: u64,
         window_start: Instant,
         window_end: Instant,
-    ) -> Vec<Interference> {
+    ) -> InterferenceBuf {
+        let mut out = InterferenceBuf::new();
         let rx_pos = self.node_state(node).config.position;
         let channel = match &self.txs.get(&locked_tx) {
             Some(tx) => tx.channel,
-            None => return Vec::new(),
+            None => return out,
         };
-        let candidates: Vec<(NodeId, Instant, Instant)> = self
-            .txs
-            .iter()
-            .filter(|(&id, tx)| id != locked_tx && tx.from != node && tx.channel == channel)
-            .map(|(_, tx)| {
-                let delay = self
-                    .env
-                    .propagation_delay(self.node_state(tx.from).config.position, rx_pos);
-                (tx.from, tx.start + delay, tx.end + delay)
-            })
-            .collect();
-        let mut out = Vec::new();
-        for (from, arrival, end) in candidates {
+        // Split-field borrow: candidate geometry reads `txs`/`nodes`/`env`,
+        // the fading draw needs `rng` — disjoint fields, single pass, no
+        // intermediate collection. Fading is drawn per overlapping candidate
+        // in `txs` iteration order, exactly as before.
+        let SimInner {
+            txs,
+            env,
+            nodes,
+            rng,
+            ..
+        } = self;
+        for (&id, tx) in txs.iter() {
+            if id == locked_tx || tx.from == node || tx.channel != channel {
+                continue;
+            }
+            let Some(tx_state) = nodes.get(tx.from.0) else {
+                continue;
+            };
+            let tx_cfg = &tx_state.config;
+            let delay = env.propagation_delay(tx_cfg.position, rx_pos);
+            let arrival = tx.start + delay;
+            let end = tx.end + delay;
             if arrival <= window_start && end > window_start {
                 let overlap = end.min(window_end) - window_start;
-                let power_dbm = self.received_power_dbm(from, node);
+                let mean =
+                    env.mean_received_power_dbm(tx_cfg.tx_power_dbm, tx_cfg.position, rx_pos);
+                let power_dbm = mean + env.fading_db(rng);
                 out.push(Interference { power_dbm, overlap });
             }
         }
@@ -543,19 +601,27 @@ impl SimInner {
             } => (*channel, *crc_init),
             _ => return None,
         };
-        let tx = self.txs.get(&tx_id)?;
-        let tx_crc_init = tx.frame.crc_init;
-        let aa = tx.frame.access_address;
-        let mut pdu = tx.frame.pdu.clone();
+        let (tx_crc_init, aa, mut pdu) = {
+            let tx = self.txs.get(&tx_id)?;
+            // An inline-buffer clone: a stack memcpy, not a heap allocation.
+            (
+                tx.frame.crc_init,
+                tx.frame.access_address,
+                tx.frame.pdu.clone(),
+            )
+        };
 
         // Collision resolution: the locked frame must survive every
-        // interferer independently (capture effect).
+        // interferer independently (capture effect). The lock is owned here
+        // and the capture model is read straight from the environment — no
+        // clones on the delivery path.
         let mut survived = true;
-        let capture = self.env.capture.clone();
-        let interference = lock.interference.clone();
-        for i in &interference {
+        for i in lock.interference.iter() {
             let sir_db = lock.signal_dbm - i.power_dbm;
-            let p = capture.survival_probability(sir_db, i.overlap.as_micros_f64());
+            let p = self
+                .env
+                .capture
+                .survival_probability(sir_db, i.overlap.as_micros_f64());
             if !self.rng.chance(p) {
                 survived = false;
             }
@@ -572,7 +638,7 @@ impl SimInner {
             }
         }
         let crc_ok = survived && rx_crc_init == tx_crc_init;
-        let interferers = u32::try_from(interference.len()).unwrap_or(u32::MAX);
+        let interferers = u32::try_from(lock.interference.count()).unwrap_or(u32::MAX);
         if !survived {
             self.emit(lock.end, Some(node), || TelemetryEvent::Collision {
                 channel: channel.index(),

@@ -1,0 +1,443 @@
+//! Fixed-capacity inline PDU buffer.
+//!
+//! The frame pipeline used to carry PDU bytes in a `Vec<u8>`, which put a
+//! heap allocation (and a clone per receiver) on every simulated frame.
+//! [`Pdu`] replaces it with a stack-resident buffer sized for the largest
+//! PDU the Link Layer can produce: a 2-byte data header plus a 255-byte
+//! payload. A `Pdu` moves and clones by `memcpy`, so frame delivery in
+//! [`crate::World`] touches the allocator zero times in steady state.
+//!
+//! `Pdu` is deliberately *not* `Copy`: at 260 bytes an accidental implicit
+//! copy in a loop is exactly the kind of cost this type exists to make
+//! visible. Cloning is explicit and cheap.
+
+use std::fmt;
+use std::ops::{Deref, DerefMut};
+
+use ble_invariants::invariant;
+
+/// Maximum PDU length in bytes: 2-byte data header + 255-byte payload.
+///
+/// Advertising PDUs (2-byte header + ≤37-byte payload) fit with room to
+/// spare.
+pub const PDU_MAX_LEN: usize = 257;
+
+/// Error returned when bytes would not fit into a [`Pdu`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PduCapacityError {
+    /// Total length the operation would have produced.
+    pub attempted: usize,
+    /// The fixed capacity, [`PDU_MAX_LEN`].
+    pub capacity: usize,
+}
+
+impl fmt::Display for PduCapacityError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "PDU of {} bytes exceeds the {}-byte capacity",
+            self.attempted, self.capacity
+        )
+    }
+}
+
+impl std::error::Error for PduCapacityError {}
+
+/// A fixed-capacity, stack-resident PDU byte buffer.
+///
+/// Behaves like a `Vec<u8>` capped at [`PDU_MAX_LEN`]: it derefs to `[u8]`,
+/// grows via [`Pdu::try_push`] / [`Pdu::try_extend_from_slice`] (typed
+/// errors instead of panics), and compares equal to slices and `Vec<u8>` so
+/// call sites and tests read unchanged.
+///
+/// # Example
+///
+/// ```
+/// use ble_phy::{Pdu, PDU_MAX_LEN};
+/// let mut pdu = Pdu::new();
+/// pdu.try_push(0x02).unwrap();
+/// pdu.try_extend_from_slice(&[0x07, 0xAA]).unwrap();
+/// assert_eq!(pdu.len(), 3);
+/// assert_eq!(&pdu[..], &[0x02, 0x07, 0xAA]);
+/// assert!(Pdu::from_slice(&[0u8; PDU_MAX_LEN + 1]).is_err());
+/// ```
+#[derive(Clone)]
+pub struct Pdu {
+    /// Valid prefix length of `buf`; always ≤ [`PDU_MAX_LEN`].
+    len: u16,
+    buf: [u8; PDU_MAX_LEN],
+}
+
+impl Pdu {
+    /// Creates an empty PDU buffer.
+    pub const fn new() -> Self {
+        Pdu {
+            len: 0,
+            buf: [0; PDU_MAX_LEN],
+        }
+    }
+
+    /// Creates a PDU from `bytes`, or a typed error if they exceed
+    /// [`PDU_MAX_LEN`].
+    pub fn from_slice(bytes: &[u8]) -> Result<Self, PduCapacityError> {
+        let mut pdu = Pdu::new();
+        pdu.try_extend_from_slice(bytes)?;
+        Ok(pdu)
+    }
+
+    /// Number of valid bytes.
+    pub fn len(&self) -> usize {
+        usize::from(self.len)
+    }
+
+    /// Whether the buffer holds no bytes.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The fixed capacity, [`PDU_MAX_LEN`].
+    pub const fn capacity(&self) -> usize {
+        PDU_MAX_LEN
+    }
+
+    /// The valid bytes as a slice.
+    pub fn as_slice(&self) -> &[u8] {
+        self.buf.get(..self.len()).unwrap_or(&[])
+    }
+
+    /// The valid bytes as a mutable slice.
+    pub fn as_mut_slice(&mut self) -> &mut [u8] {
+        let len = self.len();
+        self.buf.get_mut(..len).unwrap_or(&mut [])
+    }
+
+    /// Appends one byte, or reports the capacity overflow.
+    pub fn try_push(&mut self, byte: u8) -> Result<(), PduCapacityError> {
+        let len = self.len();
+        let Some(slot) = self.buf.get_mut(len) else {
+            return Err(PduCapacityError {
+                attempted: self.len().saturating_add(1),
+                capacity: PDU_MAX_LEN,
+            });
+        };
+        *slot = byte;
+        self.len += 1;
+        Ok(())
+    }
+
+    /// Appends `bytes`, or reports the capacity overflow (in which case the
+    /// buffer is unchanged).
+    pub fn try_extend_from_slice(&mut self, bytes: &[u8]) -> Result<(), PduCapacityError> {
+        let start = self.len();
+        let end = start.saturating_add(bytes.len());
+        let Some(dst) = self.buf.get_mut(start..end) else {
+            return Err(PduCapacityError {
+                attempted: end,
+                capacity: PDU_MAX_LEN,
+            });
+        };
+        dst.copy_from_slice(bytes);
+        // end ≤ PDU_MAX_LEN = 257 here, so the cast is lossless.
+        self.len = u16::try_from(end).unwrap_or(0);
+        Ok(())
+    }
+
+    /// Empties the buffer.
+    pub fn clear(&mut self) {
+        self.len = 0;
+    }
+
+    /// Shortens the buffer to `len` bytes; no-op when already shorter.
+    pub fn truncate(&mut self, len: usize) {
+        let len = u16::try_from(len).unwrap_or(u16::MAX);
+        if len < self.len {
+            self.len = len;
+        }
+    }
+}
+
+impl Default for Pdu {
+    fn default() -> Self {
+        Pdu::new()
+    }
+}
+
+impl Deref for Pdu {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl DerefMut for Pdu {
+    fn deref_mut(&mut self) -> &mut [u8] {
+        self.as_mut_slice()
+    }
+}
+
+impl AsRef<[u8]> for Pdu {
+    fn as_ref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl fmt::Debug for Pdu {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_list().entries(self.as_slice()).finish()
+    }
+}
+
+impl PartialEq for Pdu {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl Eq for Pdu {}
+
+impl std::hash::Hash for Pdu {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.as_slice().hash(state);
+    }
+}
+
+/// Infallible truncating conversion for construction ergonomics
+/// ([`crate::RawFrame::new`] takes `impl Into<Pdu>`). Oversized input trips
+/// the invariant in debug builds; release builds truncate rather than
+/// panicking in the radio path. Every Link-Layer encoder caps payloads at
+/// 255 bytes, so the truncation arm is unreachable in correct programs —
+/// use [`Pdu::from_slice`] where the length is externally controlled.
+impl From<&[u8]> for Pdu {
+    fn from(bytes: &[u8]) -> Self {
+        invariant!(
+            bytes.len() <= PDU_MAX_LEN,
+            "pdu-capacity",
+            "PDU of {} bytes exceeds the {PDU_MAX_LEN}-byte capacity",
+            bytes.len()
+        );
+        let take = bytes.len().min(PDU_MAX_LEN);
+        let mut pdu = Pdu::new();
+        let src = bytes.get(..take).unwrap_or(&[]);
+        // Cannot fail: `take` ≤ capacity.
+        let _ = pdu.try_extend_from_slice(src);
+        pdu
+    }
+}
+
+impl From<Vec<u8>> for Pdu {
+    fn from(bytes: Vec<u8>) -> Self {
+        Pdu::from(bytes.as_slice())
+    }
+}
+
+impl From<&Vec<u8>> for Pdu {
+    fn from(bytes: &Vec<u8>) -> Self {
+        Pdu::from(bytes.as_slice())
+    }
+}
+
+impl<const N: usize> From<[u8; N]> for Pdu {
+    fn from(bytes: [u8; N]) -> Self {
+        Pdu::from(bytes.as_slice())
+    }
+}
+
+impl<const N: usize> From<&[u8; N]> for Pdu {
+    fn from(bytes: &[u8; N]) -> Self {
+        Pdu::from(bytes.as_slice())
+    }
+}
+
+impl PartialEq<[u8]> for Pdu {
+    fn eq(&self, other: &[u8]) -> bool {
+        self.as_slice() == other
+    }
+}
+
+impl PartialEq<&[u8]> for Pdu {
+    fn eq(&self, other: &&[u8]) -> bool {
+        self.as_slice() == *other
+    }
+}
+
+impl<const N: usize> PartialEq<[u8; N]> for Pdu {
+    fn eq(&self, other: &[u8; N]) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl PartialEq<Vec<u8>> for Pdu {
+    fn eq(&self, other: &Vec<u8>) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl PartialEq<Pdu> for Vec<u8> {
+    fn eq(&self, other: &Pdu) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl PartialEq<Pdu> for [u8] {
+    fn eq(&self, other: &Pdu) -> bool {
+        self == other.as_slice()
+    }
+}
+
+impl<'a> IntoIterator for &'a Pdu {
+    type Item = &'a u8;
+    type IntoIter = std::slice::Iter<'a, u8>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.as_slice().iter()
+    }
+}
+
+impl FromIterator<u8> for Pdu {
+    /// Collects at most [`PDU_MAX_LEN`] bytes; the remainder is dropped
+    /// (same truncating contract as `From<&[u8]>`).
+    fn from_iter<I: IntoIterator<Item = u8>>(iter: I) -> Self {
+        let mut pdu = Pdu::new();
+        for byte in iter {
+            if pdu.try_push(byte).is_err() {
+                invariant!(false, "pdu-capacity", "PDU iterator exceeds capacity");
+                break;
+            }
+        }
+        pdu
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn starts_empty() {
+        let pdu = Pdu::new();
+        assert!(pdu.is_empty());
+        assert_eq!(pdu.len(), 0);
+        assert_eq!(pdu.as_slice(), &[] as &[u8]);
+        assert_eq!(pdu.capacity(), PDU_MAX_LEN);
+    }
+
+    #[test]
+    fn push_and_extend() {
+        let mut pdu = Pdu::new();
+        pdu.try_push(1).unwrap();
+        pdu.try_extend_from_slice(&[2, 3, 4]).unwrap();
+        assert_eq!(pdu, vec![1, 2, 3, 4]);
+        assert_eq!(pdu.len(), 4);
+    }
+
+    #[test]
+    fn push_fails_at_capacity() {
+        let mut pdu = Pdu::from_slice(&[0u8; PDU_MAX_LEN]).unwrap();
+        let err = pdu.try_push(1).unwrap_err();
+        assert_eq!(err.attempted, PDU_MAX_LEN + 1);
+        assert_eq!(err.capacity, PDU_MAX_LEN);
+        assert_eq!(pdu.len(), PDU_MAX_LEN, "failed push must not change len");
+    }
+
+    #[test]
+    fn extend_overflow_leaves_buffer_unchanged() {
+        let mut pdu = Pdu::from_slice(&[7u8; 250]).unwrap();
+        let err = pdu.try_extend_from_slice(&[0u8; 8]).unwrap_err();
+        assert_eq!(err.attempted, 258);
+        assert_eq!(pdu.len(), 250);
+        assert!(pdu.iter().all(|&b| b == 7));
+    }
+
+    #[test]
+    fn from_slice_round_trips() {
+        let bytes: Vec<u8> = (0..=255u8).collect();
+        let pdu = Pdu::from_slice(&bytes).unwrap();
+        assert_eq!(pdu, bytes);
+        assert_eq!(pdu.to_vec(), bytes);
+    }
+
+    #[test]
+    fn from_slice_rejects_oversize() {
+        let err = Pdu::from_slice(&[0u8; PDU_MAX_LEN + 1]).unwrap_err();
+        assert_eq!(err.attempted, PDU_MAX_LEN + 1);
+        assert_eq!(
+            err.to_string(),
+            "PDU of 258 bytes exceeds the 257-byte capacity"
+        );
+    }
+
+    #[test]
+    fn deref_and_index() {
+        let pdu = Pdu::from(vec![9, 8, 7]);
+        assert_eq!(pdu[0], 9);
+        assert_eq!(&pdu[1..], &[8, 7]);
+        assert_eq!(pdu.iter().copied().sum::<u8>(), 24);
+    }
+
+    #[test]
+    fn deref_mut_allows_in_place_edits() {
+        let mut pdu = Pdu::from(vec![0u8; 4]);
+        pdu[2] ^= 0xFF;
+        assert_eq!(pdu, vec![0, 0, 0xFF, 0]);
+    }
+
+    #[test]
+    fn equality_ignores_garbage_beyond_len() {
+        let mut a = Pdu::from(vec![1, 2, 3, 4]);
+        a.truncate(2);
+        let b = Pdu::from(vec![1, 2]);
+        assert_eq!(a, b);
+        assert_eq!(a, vec![1, 2]);
+        assert_eq!(a, [1, 2]);
+        assert_eq!(vec![1, 2], a);
+    }
+
+    #[test]
+    fn clear_and_truncate() {
+        let mut pdu = Pdu::from(vec![1, 2, 3]);
+        pdu.truncate(10); // no-op
+        assert_eq!(pdu.len(), 3);
+        pdu.truncate(1);
+        assert_eq!(pdu, vec![1]);
+        pdu.clear();
+        assert!(pdu.is_empty());
+    }
+
+    #[test]
+    fn clone_is_deep_and_independent() {
+        let mut a = Pdu::from(vec![5; 10]);
+        let b = a.clone();
+        a[0] = 0;
+        assert_eq!(b[0], 5);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn from_array_and_iterator() {
+        assert_eq!(Pdu::from([1u8, 2]), vec![1, 2]);
+        assert_eq!(Pdu::from(&[3u8, 4]), vec![3, 4]);
+        let collected: Pdu = (0..5u8).collect();
+        assert_eq!(collected, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn hash_matches_equality() {
+        use std::collections::hash_map::DefaultHasher;
+        use std::hash::{Hash, Hasher};
+        let hash = |p: &Pdu| {
+            let mut h = DefaultHasher::new();
+            p.hash(&mut h);
+            h.finish()
+        };
+        let mut a = Pdu::from(vec![1, 2, 3, 9]);
+        a.truncate(3);
+        let b = Pdu::from(vec![1, 2, 3]);
+        assert_eq!(hash(&a), hash(&b));
+    }
+
+    #[test]
+    #[cfg(not(debug_assertions))]
+    fn release_from_oversized_truncates() {
+        let pdu = Pdu::from(vec![1u8; PDU_MAX_LEN + 40]);
+        assert_eq!(pdu.len(), PDU_MAX_LEN);
+    }
+}

@@ -52,6 +52,12 @@ impl AccessFilter {
 }
 
 /// Events delivered to a [`RadioListener`].
+///
+/// `FrameReceived` carries the inline-PDU [`ReceivedFrame`] by value on
+/// purpose: the event is built and consumed on the stack of a single
+/// dispatch, and boxing it would put a heap allocation back on every
+/// frame delivery (see `bench/tests/alloc_budget.rs`).
+#[allow(clippy::large_enum_variant)]
 #[derive(Debug, Clone, PartialEq)]
 pub enum RadioEvent {
     /// The receiver synchronised on a frame's preamble and access address.

@@ -13,7 +13,49 @@
 
 use crate::channel::Channel;
 
+/// Keystream byte period. The LFSR has a 127-*bit* period, and
+/// 127 bytes = 1016 bits ≡ 0 (mod 127), so the keystream repeats exactly
+/// every 127 *bytes* — the smallest byte-aligned period.
+const KEYSTREAM_PERIOD: usize = 127;
+
+/// Per-channel whitening keystream bytes, one full byte-period each, built
+/// at compile time from the same LFSR step the bitwise reference uses.
+/// `data[i] ^= WHITEN_KEYSTREAM[channel][i % 127]` whitens any length with
+/// two lookups per byte and no per-bit work.
+const WHITEN_KEYSTREAM: [[u8; KEYSTREAM_PERIOD]; 40] = build_keystreams();
+
+const fn build_keystreams() -> [[u8; KEYSTREAM_PERIOD]; 40] {
+    let mut out = [[0u8; KEYSTREAM_PERIOD]; 40];
+    let mut ch = 0u8;
+    while ch < 40 {
+        // Same seed as `Channel::whitening_init`: bit 6 set, channel index
+        // in bits 5..0 (channel indices fit in 6 bits).
+        let mut lfsr = 0x40 | ch;
+        let mut i = 0usize;
+        while i < KEYSTREAM_PERIOD {
+            let mut ks = 0u8;
+            let mut bit = 0;
+            while bit < 8 {
+                if lfsr & 1 != 0 {
+                    ks |= 1 << bit;
+                    lfsr ^= 0x88;
+                }
+                lfsr >>= 1;
+                bit += 1;
+            }
+            out[ch as usize % 40][i % KEYSTREAM_PERIOD] = ks;
+            i += 1;
+        }
+        ch += 1;
+    }
+    out
+}
+
 /// Whitens (or de-whitens) `data` in place for the given channel.
+///
+/// Table-driven (one keystream-byte XOR per data byte);
+/// [`whiten_in_place_bitwise`] is the retired bit-at-a-time implementation,
+/// kept as the equivalence-test reference.
 ///
 /// # Example
 ///
@@ -27,6 +69,16 @@ use crate::channel::Channel;
 /// assert_eq!(&bytes, b"InjectaBLE");
 /// ```
 pub fn whiten_in_place(channel: Channel, data: &mut [u8]) {
+    let ks = &WHITEN_KEYSTREAM[usize::from(channel.index()) % 40];
+    for (i, byte) in data.iter_mut().enumerate() {
+        *byte ^= ks[i % KEYSTREAM_PERIOD];
+    }
+}
+
+/// Bit-at-a-time whitening (the original implementation), retained as the
+/// reference the table-driven [`whiten_in_place`] is property-tested
+/// against.
+pub fn whiten_in_place_bitwise(channel: Channel, data: &mut [u8]) {
     let mut lfsr = channel.whitening_init();
     for byte in data {
         let mut b = *byte;
@@ -54,6 +106,21 @@ mod tests {
 
     fn ch(i: u8) -> Channel {
         Channel::new(i).unwrap()
+    }
+
+    #[test]
+    fn table_driven_matches_bitwise_reference() {
+        // Lengths straddling the 127-byte keystream period, every channel.
+        let original: Vec<u8> = (0..=255u8).cycle().take(300).collect();
+        for i in 0..40 {
+            for len in [0, 1, 2, 126, 127, 128, 254, 255, 300] {
+                let mut table = original[..len].to_vec();
+                let mut bitwise = original[..len].to_vec();
+                whiten_in_place(ch(i), &mut table);
+                whiten_in_place_bitwise(ch(i), &mut bitwise);
+                assert_eq!(table, bitwise, "channel {i} len {len}");
+            }
+        }
     }
 
     #[test]

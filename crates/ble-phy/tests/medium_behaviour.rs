@@ -325,6 +325,60 @@ fn locked_frame_is_corrupted_when_interferer_is_stronger() {
 }
 
 #[test]
+fn corrupted_pdus_always_fail_crc_even_with_matching_crc_init() {
+    // Regression guard: the receiver opened with the *same* CRC init the
+    // transmitter used (rx_crc_init == tx_crc_init), so the init comparison
+    // alone would report `crc_ok = true` — the collision path must still
+    // force `crc_ok = false` on every frame whose bits it flips, and every
+    // `crc_ok` frame must arrive bit-exact.
+    let sent = [0xAA_u8; 4];
+    let mut corrupted_seen = 0u32;
+    for seed in 0..50u64 {
+        let mut sim = World::new(Environment::ideal(), SimRng::seed_from(seed));
+        let mut attacker = Recorder::default();
+        attacker.on_timer_tx.push((1, CH, frame(&sent)));
+        let mut master = Recorder::default();
+        master.on_timer_tx.push((1, CH, frame(&[0x55; 4])));
+        // Attacker far, master close: the locked attacker frame loses the
+        // capture race and is corrupted before delivery.
+        let a = sim.add_node(
+            NodeConfig::new("attacker", Position::new(8.0, 0.0)),
+            attacker,
+        );
+        let m = sim.add_node(NodeConfig::new("master", Position::new(0.5, 0.0)), master);
+        let s = sim.add_node(
+            NodeConfig::new("slave", Position::ORIGIN),
+            Recorder::default(),
+        );
+        sim.with_ctx(s, |ctx| ctx.start_rx(CH, AccessFilter::One(AA), 0xABCDEF));
+        sim.with_ctx(a, |ctx| {
+            ctx.set_timer_at(Instant::from_micros(100), TimerKey(1));
+        });
+        sim.with_ctx(m, |ctx| {
+            ctx.set_timer_at(Instant::from_micros(130), TimerKey(1));
+        });
+        sim.run_for(Duration::from_millis(1));
+        for f in recorder(&sim, s).received() {
+            if f.pdu[..] != sent {
+                corrupted_seen += 1;
+                assert!(!f.crc_ok, "corrupted PDU must fail CRC (seed {seed})");
+            }
+            if f.crc_ok {
+                assert_eq!(
+                    &f.pdu[..],
+                    &sent,
+                    "crc_ok frames must be delivered bit-exact (seed {seed})"
+                );
+            }
+        }
+    }
+    assert!(
+        corrupted_seen > 0,
+        "the sweep must exercise the corruption path"
+    );
+}
+
+#[test]
 fn non_overlapping_frames_both_delivered() {
     let mut sim = ideal_sim();
     let mut a_rec = Recorder::default();

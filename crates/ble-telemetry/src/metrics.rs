@@ -138,6 +138,17 @@ impl HistogramUs {
         self.max
     }
 
+    /// Resets all recorded values, keeping the bucket layout.
+    pub fn clear(&mut self) {
+        for c in &mut self.counts {
+            *c = 0;
+        }
+        self.count = 0;
+        self.sum = 0.0;
+        self.min = f64::INFINITY;
+        self.max = 0.0;
+    }
+
     /// Folds another histogram into this one. Returns `false` (and leaves
     /// `self` untouched) when the bucket layouts differ.
     pub fn merge(&mut self, other: &HistogramUs) -> bool {
@@ -272,14 +283,59 @@ impl MetricsRegistry {
     }
 }
 
+/// Per-event tallies buffered in plain fields so that `emit` touches no
+/// lock and no map. [`MetricsSink::fold_into_registry`] drains them into
+/// the shared registry.
+#[derive(Debug, Default)]
+struct HotTallies {
+    events: u64,
+    last_event_us: f64,
+    nodes: u64,
+    tx: u64,
+    rx_lock: u64,
+    relock: u64,
+    rx: u64,
+    rx_crc_bad: u64,
+    collision: u64,
+    anchor: u64,
+    window_open: u64,
+    hop: u64,
+    sn_nesn: u64,
+    crc_fail: u64,
+    control_pdu: u64,
+    connected: u64,
+    disconnect: u64,
+    sniffer_sync: u64,
+    sniffer_lost: u64,
+    attempts: u64,
+    success: u64,
+    rejected: u64,
+    no_response: u64,
+    takeover: u64,
+    detector_alerts: u64,
+    raw: u64,
+    widening_us: HistogramUs,
+    lead_us: HistogramUs,
+    anchor_error_us: HistogramUs,
+    ifs_delta_us: HistogramUs,
+    detector_magnitude_us: HistogramUs,
+}
+
 /// A [`TelemetrySink`] that folds every event into a [`MetricsRegistry`].
 ///
 /// The event→metric mapping is an exhaustive match (xtask R4): adding a
 /// [`TelemetryEvent`] variant forces a decision here about how it is
 /// counted.
+///
+/// Tallies are buffered in plain struct fields and only folded into the
+/// shared registry on [`TelemetrySink::flush`] (or drop): `emit` sits on
+/// the simulation hot path, and paying a mutex plus several `BTreeMap`
+/// lookups per event dominated trial cost. Read the registry only after
+/// flushing the world's sinks.
 #[derive(Debug)]
 pub struct MetricsSink {
     registry: SharedRegistry,
+    buf: HotTallies,
 }
 
 impl MetricsSink {
@@ -287,17 +343,78 @@ impl MetricsSink {
     pub fn new() -> Self {
         MetricsSink {
             registry: MetricsRegistry::shared(),
+            buf: HotTallies::default(),
         }
     }
 
     /// A sink feeding an existing registry.
     pub fn with_registry(registry: SharedRegistry) -> Self {
-        MetricsSink { registry }
+        MetricsSink {
+            registry,
+            buf: HotTallies::default(),
+        }
     }
 
-    /// The shared registry this sink feeds.
+    /// The shared registry this sink feeds. Buffered tallies become
+    /// visible here after [`TelemetrySink::flush`].
     pub fn handle(&self) -> SharedRegistry {
         self.registry.clone()
+    }
+
+    /// Drains the buffered tallies into the shared registry.
+    fn fold_into_registry(&mut self) {
+        let t = &mut self.buf;
+        if t.events == 0 {
+            return;
+        }
+        let mut reg = self.registry.lock();
+        let counters = [
+            ("telemetry.events", &mut t.events),
+            ("sim.nodes", &mut t.nodes),
+            ("phy.tx", &mut t.tx),
+            ("phy.rx_lock", &mut t.rx_lock),
+            ("phy.relock", &mut t.relock),
+            ("phy.rx", &mut t.rx),
+            ("phy.rx_crc_bad", &mut t.rx_crc_bad),
+            ("phy.collision", &mut t.collision),
+            ("link.anchor", &mut t.anchor),
+            ("link.window_open", &mut t.window_open),
+            ("link.hop", &mut t.hop),
+            ("link.sn_nesn", &mut t.sn_nesn),
+            ("link.crc_fail", &mut t.crc_fail),
+            ("link.control_pdu", &mut t.control_pdu),
+            ("link.connected", &mut t.connected),
+            ("link.disconnect", &mut t.disconnect),
+            ("attack.sniffer_sync", &mut t.sniffer_sync),
+            ("attack.sniffer_lost", &mut t.sniffer_lost),
+            ("attack.attempts", &mut t.attempts),
+            ("attack.success", &mut t.success),
+            ("attack.rejected", &mut t.rejected),
+            ("attack.no_response", &mut t.no_response),
+            ("attack.takeover", &mut t.takeover),
+            ("detector.alerts", &mut t.detector_alerts),
+            ("telemetry.raw", &mut t.raw),
+        ];
+        for (name, n) in counters {
+            if *n != 0 {
+                reg.add(name, *n);
+                *n = 0;
+            }
+        }
+        reg.set_gauge("sim.last_event_us", t.last_event_us);
+        let histograms = [
+            ("link.widening_us", &mut t.widening_us),
+            ("attack.lead_us", &mut t.lead_us),
+            ("attack.anchor_error_us", &mut t.anchor_error_us),
+            ("attack.ifs_delta_us", &mut t.ifs_delta_us),
+            ("detector.magnitude_us", &mut t.detector_magnitude_us),
+        ];
+        for (name, h) in histograms {
+            if !h.is_empty() {
+                reg.histograms.entry(name).or_default().merge(h);
+                h.clear();
+            }
+        }
     }
 }
 
@@ -307,61 +424,72 @@ impl Default for MetricsSink {
     }
 }
 
+impl Drop for MetricsSink {
+    fn drop(&mut self) {
+        self.fold_into_registry();
+    }
+}
+
 impl TelemetrySink for MetricsSink {
     fn emit(&mut self, record: &TelemetryRecord) {
-        let mut reg = self.registry.lock();
-        reg.inc("telemetry.events");
-        reg.set_gauge("sim.last_event_us", record.at.as_micros_f64());
+        let t = &mut self.buf;
+        t.events = t.events.saturating_add(1);
+        t.last_event_us = record.at.as_micros_f64();
+        let bump = |c: &mut u64| *c = c.saturating_add(1);
         match &record.event {
-            TelemetryEvent::NodeAdded { .. } => reg.inc("sim.nodes"),
-            TelemetryEvent::TxStart { .. } => reg.inc("phy.tx"),
+            TelemetryEvent::NodeAdded { .. } => bump(&mut t.nodes),
+            TelemetryEvent::TxStart { .. } => bump(&mut t.tx),
             TelemetryEvent::TxEnd => {}
-            TelemetryEvent::RxLock { .. } => reg.inc("phy.rx_lock"),
-            TelemetryEvent::Relock { .. } => reg.inc("phy.relock"),
+            TelemetryEvent::RxLock { .. } => bump(&mut t.rx_lock),
+            TelemetryEvent::Relock { .. } => bump(&mut t.relock),
             TelemetryEvent::RxEnd { crc_ok, .. } => {
-                reg.inc("phy.rx");
+                bump(&mut t.rx);
                 if !crc_ok {
-                    reg.inc("phy.rx_crc_bad");
+                    bump(&mut t.rx_crc_bad);
                 }
             }
-            TelemetryEvent::Collision { .. } => reg.inc("phy.collision"),
-            TelemetryEvent::Anchor { .. } => reg.inc("link.anchor"),
+            TelemetryEvent::Collision { .. } => bump(&mut t.collision),
+            TelemetryEvent::Anchor { .. } => bump(&mut t.anchor),
             TelemetryEvent::WindowOpen { widening, .. } => {
-                reg.inc("link.window_open");
-                reg.observe_us("link.widening_us", widening.as_micros_f64());
+                bump(&mut t.window_open);
+                t.widening_us.record(widening.as_micros_f64());
             }
-            TelemetryEvent::Hop { .. } => reg.inc("link.hop"),
-            TelemetryEvent::SnNesn { .. } => reg.inc("link.sn_nesn"),
-            TelemetryEvent::CrcFail { .. } => reg.inc("link.crc_fail"),
-            TelemetryEvent::LlControl { .. } => reg.inc("link.control_pdu"),
-            TelemetryEvent::ConnectionEstablished { .. } => reg.inc("link.connected"),
-            TelemetryEvent::ConnectionClosed { .. } => reg.inc("link.disconnect"),
-            TelemetryEvent::SnifferSync { .. } => reg.inc("attack.sniffer_sync"),
-            TelemetryEvent::SnifferLost { .. } => reg.inc("attack.sniffer_lost"),
+            TelemetryEvent::Hop { .. } => bump(&mut t.hop),
+            TelemetryEvent::SnNesn { .. } => bump(&mut t.sn_nesn),
+            TelemetryEvent::CrcFail { .. } => bump(&mut t.crc_fail),
+            TelemetryEvent::LlControl { .. } => bump(&mut t.control_pdu),
+            TelemetryEvent::ConnectionEstablished { .. } => bump(&mut t.connected),
+            TelemetryEvent::ConnectionClosed { .. } => bump(&mut t.disconnect),
+            TelemetryEvent::SnifferSync { .. } => bump(&mut t.sniffer_sync),
+            TelemetryEvent::SnifferLost { .. } => bump(&mut t.sniffer_lost),
             TelemetryEvent::InjectionAttempt { lead, .. } => {
-                reg.inc("attack.attempts");
-                reg.observe_us("attack.lead_us", lead.as_micros_f64());
+                bump(&mut t.attempts);
+                t.lead_us.record(lead.as_micros_f64());
             }
             TelemetryEvent::HeuristicVerdict { verdict, .. } => {
-                reg.inc(match verdict {
-                    crate::event::Verdict::Success => "attack.success",
-                    crate::event::Verdict::Rejected => "attack.rejected",
-                    crate::event::Verdict::NoResponse => "attack.no_response",
+                bump(match verdict {
+                    crate::event::Verdict::Success => &mut t.success,
+                    crate::event::Verdict::Rejected => &mut t.rejected,
+                    crate::event::Verdict::NoResponse => &mut t.no_response,
                 });
             }
             TelemetryEvent::AnchorPrediction { error_us } => {
-                reg.observe_us("attack.anchor_error_us", *error_us);
+                t.anchor_error_us.record(*error_us);
             }
             TelemetryEvent::IfsDelta { delta_us } => {
-                reg.observe_us("attack.ifs_delta_us", *delta_us);
+                t.ifs_delta_us.record(*delta_us);
             }
-            TelemetryEvent::Takeover { .. } => reg.inc("attack.takeover"),
+            TelemetryEvent::Takeover { .. } => bump(&mut t.takeover),
             TelemetryEvent::DetectorAlert { magnitude_us, .. } => {
-                reg.inc("detector.alerts");
-                reg.observe_us("detector.magnitude_us", *magnitude_us);
+                bump(&mut t.detector_alerts);
+                t.detector_magnitude_us.record(*magnitude_us);
             }
-            TelemetryEvent::Raw { .. } => reg.inc("telemetry.raw"),
+            TelemetryEvent::Raw { .. } => bump(&mut t.raw),
         }
+    }
+
+    fn flush(&mut self) {
+        self.fold_into_registry();
     }
 }
 
@@ -476,28 +604,33 @@ mod tests {
         let sink = MetricsSink::new();
         let reg = sink.handle();
         let mut sink = sink;
-        let mut emit = |event: TelemetryEvent| {
-            sink.emit(&TelemetryRecord {
-                at: Instant::from_micros(10),
-                node: Some(0),
-                event,
+        {
+            let mut emit = |event: TelemetryEvent| {
+                sink.emit(&TelemetryRecord {
+                    at: Instant::from_micros(10),
+                    node: Some(0),
+                    event,
+                });
+            };
+            emit(TelemetryEvent::InjectionAttempt {
+                channel: 3,
+                lead: Duration::from_micros(40),
             });
-        };
-        emit(TelemetryEvent::InjectionAttempt {
-            channel: 3,
-            lead: Duration::from_micros(40),
-        });
-        emit(TelemetryEvent::HeuristicVerdict {
-            verdict: Verdict::Success,
-            attempts_total: 1,
-        });
-        emit(TelemetryEvent::AnchorPrediction { error_us: -2.0 });
-        emit(TelemetryEvent::RxEnd {
-            channel: 1,
-            access_address: 0x1,
-            crc_ok: false,
-            interferers: 1,
-        });
+            emit(TelemetryEvent::HeuristicVerdict {
+                verdict: Verdict::Success,
+                attempts_total: 1,
+            });
+            emit(TelemetryEvent::AnchorPrediction { error_us: -2.0 });
+            emit(TelemetryEvent::RxEnd {
+                channel: 1,
+                access_address: 0x1,
+                crc_ok: false,
+                interferers: 1,
+            });
+        }
+        // Tallies are buffered until the sink flushes.
+        assert_eq!(reg.lock().counter("telemetry.events"), 0);
+        sink.flush();
         let reg = reg.lock();
         assert_eq!(reg.counter("telemetry.events"), 4);
         assert_eq!(reg.counter("attack.attempts"), 1);
@@ -513,5 +646,39 @@ mod tests {
             Some(1)
         );
         assert_eq!(reg.gauge("sim.last_event_us"), Some(10.0));
+    }
+
+    #[test]
+    fn dropping_the_sink_folds_buffered_tallies() {
+        let mut sink = MetricsSink::new();
+        let reg = sink.handle();
+        sink.emit(&TelemetryRecord {
+            at: Instant::from_micros(5),
+            node: None,
+            event: TelemetryEvent::TxEnd,
+        });
+        drop(sink);
+        assert_eq!(reg.lock().counter("telemetry.events"), 1);
+        assert_eq!(reg.lock().gauge("sim.last_event_us"), Some(5.0));
+    }
+
+    #[test]
+    fn repeated_flushes_do_not_double_count() {
+        let mut sink = MetricsSink::new();
+        let reg = sink.handle();
+        sink.emit(&TelemetryRecord {
+            at: Instant::from_micros(1),
+            node: None,
+            event: TelemetryEvent::AnchorPrediction { error_us: 2.0 },
+        });
+        sink.flush();
+        sink.flush();
+        let reg = reg.lock();
+        assert_eq!(reg.counter("telemetry.events"), 1);
+        assert_eq!(
+            reg.histogram("attack.anchor_error_us")
+                .map(HistogramUs::count),
+            Some(1)
+        );
     }
 }

@@ -191,6 +191,11 @@ pub struct Attacker {
     mission_state: MissionState,
     phase: Phase,
     conn: Option<TrackedConnection>,
+    /// Attempt-invariant forged payload, built once when the mission is
+    /// armed so each injection attempt encodes straight into an inline
+    /// `Pdu` without touching the heap. `None` for missions whose bytes
+    /// depend on fire-time connection state (`HijackMaster`'s instant).
+    forged: Option<(Llid, Vec<u8>)>,
     stats: AttackStats,
     /// Payload data captured from Slave responses to successful injections.
     captured: Vec<Vec<u8>>,
@@ -221,6 +226,7 @@ impl Attacker {
             mission_state: MissionState::Inactive,
             phase: Phase::Idle,
             conn: None,
+            forged: None,
             stats: AttackStats::default(),
             captured: Vec::new(),
             pending_terminate: None,
@@ -241,6 +247,26 @@ impl Attacker {
         self.mission_state = match mission {
             Mission::Observe => MissionState::Inactive,
             _ => MissionState::Injecting,
+        };
+        self.forged = match &mission {
+            Mission::InjectRaw { llid, payload, .. } => Some((*llid, payload.clone())),
+            Mission::InjectAtt { att } => {
+                let frags = l2cap::fragment(l2cap::CID_ATT, att, l2cap::DEFAULT_LL_PAYLOAD);
+                assert_eq!(
+                    frags.len(),
+                    1,
+                    "injected ATT PDU must fit one Link-Layer frame"
+                );
+                frags.into_iter().next()
+            }
+            Mission::HijackSlave { .. } => Some((
+                Llid::Control,
+                ControlPdu::TerminateInd {
+                    error_code: ERR_REMOTE_USER_TERMINATED,
+                }
+                .to_bytes(),
+            )),
+            Mission::Observe | Mission::HijackMaster { .. } => None,
         };
         self.mission = mission;
     }
@@ -425,26 +451,17 @@ impl Attacker {
         self.arm_from(ctx, now, close, T_CLOSE);
     }
 
+    /// Forges the payload for missions whose bytes depend on fire-time
+    /// connection state. Attempt-invariant missions are pre-forged once in
+    /// [`Attacker::arm`] and never reach this path.
     fn injection_payload(&mut self) -> (Llid, Vec<u8>) {
         match &self.mission {
-            Mission::Observe => unreachable!("observe mission never injects"),
-            Mission::InjectRaw { llid, payload, .. } => (*llid, payload.clone()),
-            Mission::InjectAtt { att } => {
-                let frags = l2cap::fragment(l2cap::CID_ATT, att, l2cap::DEFAULT_LL_PAYLOAD);
-                assert_eq!(
-                    frags.len(),
-                    1,
-                    "injected ATT PDU must fit one Link-Layer frame"
-                );
-                frags.into_iter().next().expect("one fragment")
+            Mission::Observe
+            | Mission::InjectRaw { .. }
+            | Mission::InjectAtt { .. }
+            | Mission::HijackSlave { .. } => {
+                unreachable!("attempt-invariant missions are forged at arm time")
             }
-            Mission::HijackSlave { .. } => (
-                Llid::Control,
-                ControlPdu::TerminateInd {
-                    error_code: ERR_REMOTE_USER_TERMINATED,
-                }
-                .to_bytes(),
-            ),
             Mission::HijackMaster {
                 update,
                 instant_delta,
@@ -473,16 +490,23 @@ impl Attacker {
     }
 
     fn fire_injection(&mut self, ctx: &mut NodeCtx<'_>, plan: EventPlan) {
-        let (llid, payload) = self.injection_payload();
+        // Fire-time-dependent missions (HijackMaster's instant) forge fresh
+        // bytes; everything else reuses the buffer built at arm time, so a
+        // repeated attempt never touches the heap.
+        let fresh = if self.forged.is_none() {
+            Some(self.injection_payload())
+        } else {
+            None
+        };
         let conn = self.conn.as_ref().expect("injecting requires a connection");
         let (sn_a, nesn_a) = conn.forge_seq();
         invariant_sn_nesn!(u8::from(sn_a), u8::from(nesn_a));
-        let pdu = DataPdu::new(llid, nesn_a, sn_a, false, payload);
-        let frame = RawFrame::new(
-            conn.params.access_address,
-            pdu.to_bytes(),
-            conn.params.crc_init,
-        );
+        let (llid, payload): (Llid, &[u8]) = match fresh.as_ref().or(self.forged.as_ref()) {
+            Some((llid, p)) => (*llid, p),
+            None => unreachable!("armed missions always carry a payload"),
+        };
+        let pdu = DataPdu::encode_pdu(llid, nesn_a, sn_a, false, payload);
+        let frame = RawFrame::new(conn.params.access_address, pdu, conn.params.crc_init);
         if ctx.is_receiving() {
             ctx.stop_rx();
         }

@@ -501,7 +501,7 @@ mod tests {
             ReceivedFrame {
                 channel: Channel::new(37).unwrap(),
                 access_address: AccessAddress::ADVERTISING,
-                pdu: pdu.to_bytes(),
+                pdu: pdu.to_bytes().into(),
                 crc_ok: true,
                 rssi_dbm: -50.0,
                 start: Instant::from_micros(0),

@@ -65,7 +65,9 @@ fn scenario_a_emits_attempt_then_verdict_into_sinks() {
     assert_eq!(attempts, verdicts);
 
     // The metrics sink classified the same stream consistently, and agrees
-    // with the attacker's own statistics.
+    // with the attacker's own statistics. (The sink buffers tallies until
+    // the world flushes its sinks.)
+    s.world.flush_telemetry();
     let reg = registry.lock();
     let stats_attempts = u64::from(s.attacker().stats().attempts_total);
     assert_eq!(reg.counter("attack.attempts"), stats_attempts);

@@ -2,12 +2,39 @@
 
 use std::cmp::Ordering;
 use std::collections::{BinaryHeap, HashSet};
+use std::hash::{BuildHasherDefault, Hasher};
 
 use crate::time::Instant;
 
 /// Identifier of a scheduled event, usable to cancel it before it fires.
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
 pub struct EventId(u64);
+
+/// Identity hasher for [`EventId`] tombstones. Ids are already unique
+/// sequence numbers, and the tombstone lookup sits on the hot `pop` path —
+/// SipHash would cost more than the heap operation it guards.
+#[derive(Default)]
+struct IdHasher(u64);
+
+impl Hasher for IdHasher {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        // Only reached if a caller hashes something other than the u64 id;
+        // fold bytes so the hasher still works, if slowly.
+        for &b in bytes {
+            self.0 = self.0.rotate_left(8) ^ u64::from(b);
+        }
+    }
+
+    fn write_u64(&mut self, n: u64) {
+        self.0 = n;
+    }
+}
+
+type IdTombstones = HashSet<EventId, BuildHasherDefault<IdHasher>>;
 
 struct Entry<E> {
     at: Instant,
@@ -58,7 +85,7 @@ impl<E> Ord for Entry<E> {
 #[derive(Debug)]
 pub struct EventQueue<E> {
     heap: BinaryHeap<Entry<E>>,
-    cancelled: HashSet<EventId>,
+    cancelled: IdTombstones,
     next_id: u64,
     now: Instant,
 }
@@ -83,7 +110,7 @@ impl<E> EventQueue<E> {
     pub fn new() -> Self {
         EventQueue {
             heap: BinaryHeap::new(),
-            cancelled: HashSet::new(),
+            cancelled: IdTombstones::default(),
             next_id: 0,
             now: Instant::ZERO,
         }
@@ -122,7 +149,7 @@ impl<E> EventQueue<E> {
     /// timestamp. Cancelled events are skipped silently.
     pub fn pop(&mut self) -> Option<(Instant, E)> {
         while let Some(entry) = self.heap.pop() {
-            if self.cancelled.remove(&entry.id) {
+            if !self.cancelled.is_empty() && self.cancelled.remove(&entry.id) {
                 continue;
             }
             debug_assert!(entry.at >= self.now, "event queue time went backwards");

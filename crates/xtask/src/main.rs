@@ -1,7 +1,7 @@
 //! Workspace automation tasks, invoked as `cargo xtask <task>`.
 //!
 //! The only task so far is `lint`: a custom static-analysis pass enforcing
-//! the protocol-robustness rules R1–R5 described in `DEVELOPMENT.md`. It is
+//! the protocol-robustness rules R1–R6 described in `DEVELOPMENT.md`. It is
 //! written against a minimal hand-rolled lexer ([`lexer`]) because the
 //! workspace builds fully offline — no `syn`, no network.
 //!
@@ -45,6 +45,11 @@ const R1_EXEMPT_NOTE: &[&str] = &[
 /// `tests/` directories are held to the same rule (see [`lint`]).
 const R5_ARENA_CONSUMERS: &[&str] = &["bench", "injectable", "ble-devices", "ble-scenario"];
 
+/// Crates whose `pub` structs face the radio frame pipeline: rule R6 bans
+/// `Vec<u8>` fields there so the zero-allocation delivery path cannot
+/// silently regrow heap buffers (use the inline `ble_phy::Pdu` instead).
+const R6_FRAME_FACING: &[&str] = &["ble-phy"];
+
 /// Just the arena-ownership rule, for trees outside any crate's `src/`.
 const R5_ONLY: RuleSet = RuleSet {
     r1: false,
@@ -52,6 +57,7 @@ const R5_ONLY: RuleSet = RuleSet {
     r3: false,
     r4: false,
     r5: true,
+    r6: false,
 };
 
 fn main() -> ExitCode {
@@ -74,7 +80,7 @@ fn print_usage() {
     eprintln!("usage: cargo xtask <task>");
     eprintln!();
     eprintln!("tasks:");
-    eprintln!("  lint [--root <dir>]   run the protocol lints (R1-R5) over crates/*/src, examples/ and tests/");
+    eprintln!("  lint [--root <dir>]   run the protocol lints (R1-R6) over crates/*/src, examples/ and tests/");
 }
 
 fn lint(args: &[String]) -> ExitCode {
@@ -120,6 +126,9 @@ fn lint(args: &[String]) -> ExitCode {
         };
         if R5_ARENA_CONSUMERS.contains(&name.as_str()) {
             ruleset = ruleset.with_r5();
+        }
+        if R6_FRAME_FACING.contains(&name.as_str()) {
+            ruleset = ruleset.with_r6();
         }
         let mut sources = Vec::new();
         collect_rs_files(&dir.join("src"), &mut sources);

@@ -1,4 +1,4 @@
-//! The protocol lint rules R1–R5.
+//! The protocol lint rules R1–R6.
 //!
 //! | rule | scope            | forbids                                                     |
 //! |------|------------------|-------------------------------------------------------------|
@@ -7,6 +7,7 @@
 //! | R3   | protocol crates  | raw arithmetic on extracted time tick counts                |
 //! | R4   | whole workspace  | `_` wildcard arms in matches over PDU/LL-control/telemetry enums |
 //! | R5   | arena consumers  | `Rc<RefCell<…>>` shared-node graphs (use the `World` arena) |
+//! | R6   | frame-facing     | `Vec<u8>` in `pub` struct fields (use the inline `Pdu`)     |
 //!
 //! Test-only code (`#[cfg(test)]`) is exempt from every rule. A violation on
 //! line *N* can be waived with `// xtask-allow: R<n> — reason` on line *N*
@@ -26,6 +27,7 @@ pub struct RuleSet {
     pub r3: bool,
     pub r4: bool,
     pub r5: bool,
+    pub r6: bool,
 }
 
 impl RuleSet {
@@ -37,6 +39,7 @@ impl RuleSet {
             r3: true,
             r4: true,
             r5: false,
+            r6: false,
         }
     }
 
@@ -48,6 +51,7 @@ impl RuleSet {
             r3: false,
             r4: true,
             r5: false,
+            r6: false,
         }
     }
 
@@ -55,6 +59,13 @@ impl RuleSet {
     /// the arena (`World::add_node` + `NodeId`), not a shared-pointer graph.
     pub fn with_r5(mut self) -> Self {
         self.r5 = true;
+        self
+    }
+
+    /// Adds the no-`Vec<u8>`-field rule: frame-facing structs must carry
+    /// their bytes in the inline [`Pdu`] buffer, not on the heap.
+    pub fn with_r6(mut self) -> Self {
+        self.r6 = true;
         self
     }
 }
@@ -89,6 +100,9 @@ pub fn lint_source(src: &str, rules: RuleSet) -> Vec<Violation> {
     }
     if rules.r5 {
         r5_rc_refcell(&tokens, &mut v);
+    }
+    if rules.r6 {
+        r6_vec_u8_fields(&tokens, &mut v);
     }
     v.retain(|vi| !waivers.contains(&(vi.line, vi.rule)));
     v.sort_by_key(|vi| (vi.line, vi.rule));
@@ -185,7 +199,7 @@ fn r1_panics(tokens: &[Token], out: &mut Vec<Violation>) {
 /// pattern rather than an index expression.
 const NON_POSTFIX_KEYWORDS: &[&str] = &[
     "let", "mut", "ref", "return", "in", "if", "else", "match", "move", "as", "break", "continue",
-    "where", "const", "static", "type", "box", "dyn", "impl", "pub", "use", "yield",
+    "where", "const", "static", "type", "box", "dyn", "impl", "pub", "use", "yield", "for",
 ];
 
 fn r1_indexing(tokens: &[Token], out: &mut Vec<Violation>) {
@@ -499,6 +513,63 @@ fn r5_rc_refcell(tokens: &[Token], out: &mut Vec<Violation>) {
     }
 }
 
+// ---------------------------------------------------------------------
+// R6: no heap-allocated byte buffers in frame-facing struct fields
+// ---------------------------------------------------------------------
+
+/// The inline-`Pdu` rework removed every `Vec<u8>` from the structs that
+/// cross the radio medium (`RawFrame`, `ReceivedFrame`); a `Vec<u8>` field
+/// reintroduced on a `pub` frame-facing struct silently puts a heap
+/// allocation (and a clone per receiver) back on every delivery.
+///
+/// Detects `pub [vis-qualifier] name: Vec<u8>` field declarations. Function
+/// parameters and locals never carry `pub`, so the pattern only matches
+/// struct fields. Private fields are deliberately out of scope: they cannot
+/// leak into the public frame API.
+fn r6_vec_u8_fields(tokens: &[Token], out: &mut Vec<Violation>) {
+    for (i, t) in tokens.iter().enumerate() {
+        if t.text != "pub" {
+            continue;
+        }
+        // Skip a `(crate)` / `(super)` / `(in …)` visibility qualifier.
+        let mut j = i + 1;
+        if tokens.get(j).is_some_and(|n| n.text == "(") {
+            j = matching(tokens, j) + 1;
+        }
+        // Field name and the `:` separator.
+        if !tokens.get(j).is_some_and(is_ident) || tokens.get(j).is_some_and(|n| n.text == "fn") {
+            continue;
+        }
+        let name = j;
+        if tokens.get(j + 1).is_none_or(|n| n.text != ":") {
+            continue;
+        }
+        // The type: `Vec<u8>`, possibly path-qualified.
+        let mut k = j + 2;
+        while tokens.get(k).is_some_and(is_ident)
+            && tokens.get(k + 1).is_some_and(|n| n.text == "::")
+        {
+            k += 2;
+        }
+        let is_vec_u8 = tokens.get(k).is_some_and(|n| n.text == "Vec")
+            && tokens.get(k + 1).is_some_and(|n| n.text == "<")
+            && tokens.get(k + 2).is_some_and(|n| n.text == "u8")
+            && tokens.get(k + 3).is_some_and(|n| n.text == ">");
+        if is_vec_u8 {
+            out.push(Violation {
+                rule: 6,
+                line: t.line,
+                msg: format!(
+                    "`pub {}: Vec<u8>` field on a frame-facing struct; store \
+                     the bytes inline (`ble_phy::Pdu`) so frame delivery \
+                     stays allocation-free",
+                    tokens[name].text
+                ),
+            });
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -665,6 +736,40 @@ mod tests {
         let graph = "fn f(x: Rc<RefCell<Device>>) {}";
         assert!(lint_source(graph, RuleSet::general()).is_empty());
         assert!(lint_source(graph, RuleSet::protocol()).is_empty());
+    }
+
+    // ----- R6: pub Vec<u8> fields ------------------------------------
+
+    #[test]
+    fn r6_fires_on_pub_vec_u8_fields() {
+        let src = "pub struct RawFrame { pub pdu: Vec<u8>, pub crc_init: u32 }";
+        let v = lint_source(src, RuleSet::general().with_r6());
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].rule, 6);
+        assert!(v[0].msg.contains("pdu"));
+        let qualified = "pub struct F { pub(crate) data: std::vec::Vec<u8> }";
+        assert_eq!(
+            lint_source(qualified, RuleSet::general().with_r6()).len(),
+            1
+        );
+    }
+
+    #[test]
+    fn r6_ignores_private_fields_fns_and_other_vecs() {
+        let private = "pub struct F { pdu: Vec<u8> }";
+        assert!(lint_source(private, RuleSet::general().with_r6()).is_empty());
+        let func = "pub fn encode(data: &[u8]) -> Vec<u8> { data.to_vec() }";
+        assert!(lint_source(func, RuleSet::general().with_r6()).is_empty());
+        let other = "pub struct F { pub samples: Vec<u16>, pub names: Vec<String> }";
+        assert!(lint_source(other, RuleSet::general().with_r6()).is_empty());
+        let opt_in = "pub struct F { pub pdu: Vec<u8> }";
+        assert!(lint_source(opt_in, RuleSet::general()).is_empty());
+    }
+
+    #[test]
+    fn r6_waivable_like_other_rules() {
+        let src = "pub struct Capture {\n    // xtask-allow: R6 — capture logs outlive the hot path\n    pub raw: Vec<u8>,\n}";
+        assert!(lint_source(src, RuleSet::general().with_r6()).is_empty());
     }
 
     #[test]
