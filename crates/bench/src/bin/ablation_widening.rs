@@ -67,6 +67,7 @@ fn run_point(scale: f64, trials: u64, base: u64) -> Row {
             sim_seconds: rig.scenario.now().as_micros_f64() / 1e6,
             effect_observed: rig.bulb().app.pings > 0,
             metrics: None,
+            telemetry_downgraded: false,
         });
     }
     Row {

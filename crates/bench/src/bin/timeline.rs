@@ -115,7 +115,9 @@ fn event_channel(event: &TelemetryEvent) -> Option<u8> {
         | TelemetryEvent::WindowOpen { channel, .. }
         | TelemetryEvent::Hop { channel, .. }
         | TelemetryEvent::CrcFail { channel }
-        | TelemetryEvent::InjectionAttempt { channel, .. } => Some(*channel),
+        | TelemetryEvent::InjectionAttempt { channel, .. }
+        | TelemetryEvent::FaultBurst { channel, .. }
+        | TelemetryEvent::FaultFrame { channel, .. } => Some(*channel),
         TelemetryEvent::NodeAdded { .. }
         | TelemetryEvent::TxEnd
         | TelemetryEvent::SnNesn { .. }
@@ -129,6 +131,7 @@ fn event_channel(event: &TelemetryEvent) -> Option<u8> {
         | TelemetryEvent::IfsDelta { .. }
         | TelemetryEvent::Takeover { .. }
         | TelemetryEvent::DetectorAlert { .. }
+        | TelemetryEvent::FaultEpisode { .. }
         | TelemetryEvent::Raw { .. } => None,
     }
 }
@@ -148,7 +151,9 @@ fn is_headline(event: &TelemetryEvent) -> bool {
         | TelemetryEvent::DetectorAlert { .. }
         | TelemetryEvent::Collision { .. }
         | TelemetryEvent::CrcFail { .. }
-        | TelemetryEvent::LlControl { .. } => true,
+        | TelemetryEvent::LlControl { .. }
+        | TelemetryEvent::FaultBurst { .. }
+        | TelemetryEvent::FaultEpisode { .. } => true,
         TelemetryEvent::NodeAdded { .. }
         | TelemetryEvent::TxStart { .. }
         | TelemetryEvent::TxEnd
@@ -160,6 +165,7 @@ fn is_headline(event: &TelemetryEvent) -> bool {
         | TelemetryEvent::SnNesn { .. }
         | TelemetryEvent::AnchorPrediction { .. }
         | TelemetryEvent::IfsDelta { .. }
+        | TelemetryEvent::FaultFrame { .. }
         | TelemetryEvent::Raw { .. } => false,
     }
 }
@@ -228,7 +234,9 @@ fn render(records: &[TelemetryRecord], limit: usize, skipped: usize) {
         match &r.event {
             TelemetryEvent::Anchor { .. } => lane.0 += 1,
             TelemetryEvent::InjectionAttempt { .. } => lane.1 += 1,
-            TelemetryEvent::Collision { .. } | TelemetryEvent::CrcFail { .. } => lane.2 += 1,
+            TelemetryEvent::Collision { .. }
+            | TelemetryEvent::CrcFail { .. }
+            | TelemetryEvent::FaultFrame { .. } => lane.2 += 1,
             TelemetryEvent::NodeAdded { .. }
             | TelemetryEvent::TxStart { .. }
             | TelemetryEvent::TxEnd
@@ -248,6 +256,8 @@ fn render(records: &[TelemetryRecord], limit: usize, skipped: usize) {
             | TelemetryEvent::IfsDelta { .. }
             | TelemetryEvent::Takeover { .. }
             | TelemetryEvent::DetectorAlert { .. }
+            | TelemetryEvent::FaultBurst { .. }
+            | TelemetryEvent::FaultEpisode { .. }
             | TelemetryEvent::Raw { .. } => {}
         }
     }

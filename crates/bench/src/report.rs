@@ -43,6 +43,14 @@ pub struct SeriesReport {
     /// off Linux. Wall-clock-adjacent: excluded from byte-identity
     /// comparisons.
     pub peak_rss_kb: Option<u64>,
+    /// Trials whose injected command observably reached the application
+    /// without the attacker's heuristic ever confirming an attempt
+    /// ([`TrialOutcome::unconfirmed_effect`]). Previously these were folded
+    /// into the plain failures and the signal was lost.
+    pub unconfirmed_effects: usize,
+    /// Trials that silently downgraded a requested JSONL telemetry sink to
+    /// metrics-only because the sink could not be opened.
+    pub telemetry_downgrades: usize,
 }
 
 impl SeriesReport {
@@ -83,6 +91,8 @@ impl SeriesReport {
             events_per_sec,
             trials_per_sec: 0.0,
             peak_rss_kb: None,
+            unconfirmed_effects: outcomes.iter().filter(|o| o.unconfirmed_effect()).count(),
+            telemetry_downgrades: outcomes.iter().filter(|o| o.telemetry_downgraded).count(),
         }
     }
 
@@ -178,6 +188,28 @@ pub fn print_series(name: &str, title: &str, rows: &[SeriesReport]) {
         );
     }
     println!();
+    // Unconfirmed effects are sim-deterministic, so printing them (only
+    // when present) keeps stdout byte-identical across equally-seeded runs.
+    for r in rows {
+        if r.unconfirmed_effects > 0 {
+            println!(
+                "[anomaly] {}={}: {} trial(s) reached the application without \
+                 a confirmed attempt",
+                r.parameter, r.value, r.unconfirmed_effects
+            );
+        }
+    }
+    // Telemetry downgrades depend on the filesystem, not the simulation:
+    // report them on stderr only.
+    for r in rows {
+        if r.telemetry_downgrades > 0 {
+            eprintln!(
+                "[telemetry] {}={}: {} trial(s) silently downgraded a JSONL \
+                 sink to metrics-only",
+                r.parameter, r.value, r.telemetry_downgrades
+            );
+        }
+    }
     // Throughput pricing goes to stderr: stdout stays byte-identical across
     // equally-seeded runs regardless of machine speed.
     for r in rows {
@@ -236,7 +268,7 @@ fn to_json(rows: &[SeriesReport]) -> String {
              \"min\":{},\"q1\":{},\"median\":{},\"q3\":{},\"max\":{},\"mean\":{:.3},\
              \"variance\":{:.3},\"raw\":{:?},\"anchor_error_us\":{},\
              \"lead_time_us\":{},\"events_per_sec\":{:.1},\
-             \"trials_per_sec\":{:.1},\"peak_rss_kb\":{}}}",
+             \"trials_per_sec\":{:.1},\"peak_rss_kb\":{}",
             r.parameter,
             r.value,
             r.succeeded,
@@ -257,6 +289,21 @@ fn to_json(rows: &[SeriesReport]) -> String {
                 .map(|kb| kb.to_string())
                 .unwrap_or_else(|| "null".to_string()),
         ));
+        // Anomaly counters are emitted only when non-zero, so the artefacts
+        // of healthy runs stay byte-identical to those of earlier builds.
+        if r.unconfirmed_effects > 0 {
+            out.push_str(&format!(
+                ",\"unconfirmed_effects\":{}",
+                r.unconfirmed_effects
+            ));
+        }
+        if r.telemetry_downgrades > 0 {
+            out.push_str(&format!(
+                ",\"telemetry_downgrades\":{}",
+                r.telemetry_downgrades
+            ));
+        }
+        out.push('}');
     }
     out.push_str("\n]\n");
     out
@@ -287,6 +334,7 @@ mod tests {
                 sim_seconds: 1.0,
                 effect_observed: true,
                 metrics: None,
+                telemetry_downgraded: false,
             })
             .collect()
     }
@@ -306,6 +354,7 @@ mod tests {
             sim_seconds: 60.0,
             effect_observed: false,
             metrics: None,
+            telemetry_downgraded: false,
         });
         let r = SeriesReport::from_outcomes("d", 10.0, &o);
         assert_eq!(r.succeeded, 2);
@@ -319,6 +368,7 @@ mod tests {
             sim_seconds: 120.0,
             effect_observed: false,
             metrics: None,
+            telemetry_downgraded: false,
         }];
         let r = SeriesReport::from_outcomes("d", 12.0, &o);
         assert_eq!(r.succeeded, 0);
@@ -327,6 +377,35 @@ mod tests {
         assert_eq!(r.attempts.mean, 0.0);
         let json = to_json(&[r]);
         assert!(json.contains("\"succeeded\":0"));
+    }
+
+    #[test]
+    fn unconfirmed_effects_are_counted_not_swallowed() {
+        // Regression: an effect that reached the application without a
+        // confirmed attempt used to be indistinguishable from a plain
+        // failure in the report.
+        let mut o = outcomes(&[2]);
+        o.push(TrialOutcome {
+            attempts: None,
+            sim_seconds: 120.0,
+            effect_observed: true,
+            metrics: None,
+            telemetry_downgraded: true,
+        });
+        let r = SeriesReport::from_outcomes("hop", 36.0, &o);
+        assert_eq!(r.succeeded, 1);
+        assert_eq!(r.unconfirmed_effects, 1);
+        assert_eq!(r.telemetry_downgrades, 1);
+        let json = to_json(&[r]);
+        assert!(json.contains("\"unconfirmed_effects\":1"));
+        assert!(json.contains("\"telemetry_downgrades\":1"));
+        // Healthy rows keep the historical JSON shape: the counters are
+        // absent, not zero.
+        let clean = SeriesReport::from_outcomes("hop", 36.0, &outcomes(&[2]));
+        assert_eq!(clean.unconfirmed_effects, 0);
+        let json = to_json(&[clean]);
+        assert!(!json.contains("unconfirmed_effects"));
+        assert!(!json.contains("telemetry_downgrades"));
     }
 
     #[test]

@@ -12,8 +12,8 @@
 use ble_devices::{Central, Lightbulb};
 use ble_phy::NodeId;
 use ble_scenario::{Scenario, ScenarioBuilder};
-use injectable::Attacker;
-use simkit::Duration;
+use injectable::{Attacker, ResyncPolicy};
+use simkit::{Duration, FaultPlan};
 
 /// Default attacker transmit power: an nRF52840 dongle's default 0 dBm.
 pub const ATTACKER_TX_DBM: f64 = 0.0;
@@ -49,6 +49,13 @@ pub struct RigConfig {
     pub phy: ble_phy::PhyMode,
     /// Override of the attacker's anchor-timestamp noise (µs).
     pub attacker_anchor_noise_us: Option<f64>,
+    /// Deterministic channel impairments installed into the medium; `None`
+    /// (the default) builds the byte-identical unimpaired world.
+    pub faults: Option<FaultPlan>,
+    /// Override of the attacker's resynchronisation policy. The default
+    /// policy stays dormant in healthy runs; fault sweeps use a tighter one
+    /// so hopeless trials give up early.
+    pub resync: Option<ResyncPolicy>,
 }
 
 impl Default for RigConfig {
@@ -63,6 +70,8 @@ impl Default for RigConfig {
             widening_scale: 1.0,
             phy: ble_phy::PhyMode::Le1M,
             attacker_anchor_noise_us: None,
+            faults: None,
+            resync: None,
         }
     }
 }
@@ -86,6 +95,12 @@ impl ExperimentRig {
         }
         if let Some(noise) = cfg.attacker_anchor_noise_us {
             builder = builder.attacker_anchor_noise_us(noise);
+        }
+        if let Some(plan) = &cfg.faults {
+            builder = builder.faults(plan.clone());
+        }
+        if let Some(policy) = &cfg.resync {
+            builder = builder.attacker_resync(policy.clone());
         }
         let scenario = builder.build();
         let control_handle = scenario.victim_control_handle();

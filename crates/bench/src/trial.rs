@@ -2,7 +2,7 @@
 
 use ble_link::Llid;
 use ble_telemetry::{JsonlSink, MetricsSink, SharedRegistry};
-use injectable::Mission;
+use injectable::{Attacker, Mission};
 use simkit::Duration;
 
 use crate::rig::{ExperimentRig, RigConfig};
@@ -85,6 +85,55 @@ pub struct TrialOutcome {
     pub effect_observed: bool,
     /// Telemetry metrics, when the trial ran with a metrics sink.
     pub metrics: Option<TrialMetrics>,
+    /// Whether a requested JSONL telemetry sink could not be opened and the
+    /// trial silently ran with metrics only.
+    pub telemetry_downgraded: bool,
+}
+
+impl TrialOutcome {
+    /// An *unconfirmed effect*: the injected command observably reached the
+    /// application, but the attacker's success heuristic never confirmed an
+    /// attempt (e.g. it lost the connection before the Slave's response).
+    /// These trials are neither successes nor clean failures and are
+    /// surfaced separately in [`crate::SeriesReport`].
+    pub fn unconfirmed_effect(&self) -> bool {
+        self.effect_observed && self.attempts.is_none()
+    }
+}
+
+/// Watchdog over the 200 ms trial-loop ticks: counts how long the attacker
+/// has gone without a followed connection and decides when the harness
+/// should bounce the Central and restart the attacker's scan.
+///
+/// The Central's own connection state is deliberately **not** consulted: an
+/// earlier revision only counted ticks while the Central was connected,
+/// which meant a simultaneous Central + attacker outage reset the counter
+/// every tick and the bounce never fired — the trial then idled until its
+/// whole budget was burned.
+#[derive(Debug, Default)]
+struct StallTracker {
+    ticks: u32,
+}
+
+/// Trial-loop ticks (200 ms each) of continuous attacker desynchronisation
+/// tolerated before bouncing the connection.
+const STALL_TICKS_BEFORE_BOUNCE: u32 = 10;
+
+impl StallTracker {
+    /// Records one tick. Returns `true` when the stall has lasted long
+    /// enough that the harness should bounce the connection (and resets).
+    fn note(&mut self, attacker_synced: bool) -> bool {
+        if attacker_synced {
+            self.ticks = 0;
+            return false;
+        }
+        self.ticks += 1;
+        if self.ticks >= STALL_TICKS_BEFORE_BOUNCE {
+            self.ticks = 0;
+            return true;
+        }
+        false
+    }
 }
 
 /// Attaches a metrics sink to the rig and returns the shared registry.
@@ -110,16 +159,23 @@ fn finish_metrics(
 pub fn run_trial(cfg: &TrialConfig) -> TrialOutcome {
     let wall_start = std::time::Instant::now();
     let mut rig = ExperimentRig::new(cfg.seed, &cfg.rig);
+    let mut telemetry_downgraded = false;
     let registry = match &cfg.telemetry {
         TelemetryMode::Off => None,
         TelemetryMode::Metrics => Some(attach_metrics(&mut rig)),
         TelemetryMode::Jsonl(path) => {
             match JsonlSink::create(path) {
                 Ok(sink) => rig.scenario.world.add_telemetry_sink(Box::new(sink)),
-                Err(err) => eprintln!(
-                    "warning: cannot write JSONL telemetry to {}: {err}",
-                    path.display()
-                ),
+                Err(err) => {
+                    // Degrade to metrics-only, but record the downgrade so
+                    // report rows can flag that the JSONL artefact the user
+                    // asked for does not exist.
+                    telemetry_downgraded = true;
+                    eprintln!(
+                        "warning: cannot write JSONL telemetry to {}: {err}",
+                        path.display()
+                    );
+                }
             }
             Some(attach_metrics(&mut rig))
         }
@@ -132,6 +188,7 @@ pub fn run_trial(cfg: &TrialConfig) -> TrialOutcome {
             sim_seconds: rig.scenario.now().as_micros_f64() / 1e6,
             effect_observed: false,
             metrics,
+            telemetry_downgraded,
         };
     }
     let sync_wall_s = wall_start.elapsed().as_secs_f64();
@@ -142,28 +199,37 @@ pub fn run_trial(cfg: &TrialConfig) -> TrialOutcome {
     });
     let deadline = rig.scenario.now() + cfg.sim_budget;
     let mut attempts = None;
-    let mut desync_ticks = 0u32;
+    let mut stall = StallTracker::default();
     while rig.scenario.now() < deadline {
         rig.scenario.run_for(Duration::from_millis(200));
-        {
+        let bounce = {
             let attacker = rig.attacker();
             if attacker.stats().successes() >= 1 {
                 attempts = attacker.stats().attempts_to_first_success();
                 break;
             }
-            // The attacker can permanently desynchronise if the connection
-            // cycled while it was injecting blind. The paper's operators
-            // simply restarted the connection; do the same: bounce the
-            // central so a fresh CONNECT_REQ reaches the scanning sniffer.
-            if attacker.connection().is_none() && rig.central().ll.is_connected() {
-                desync_ticks += 1;
-            } else {
-                desync_ticks = 0;
+            // Under sustained impairment the attacker's bounded resync can
+            // run out of retries; the trial is then a failure and burning
+            // the rest of the budget would not change that.
+            if attacker.resync_exhausted() {
+                break;
             }
-        }
-        if desync_ticks >= 10 {
-            desync_ticks = 0;
-            rig.central_mut().ll.request_disconnect(0x13);
+            stall.note(attacker.connection().is_some())
+        };
+        // The attacker can permanently desynchronise if the connection
+        // cycled while it was injecting blind. The paper's operators simply
+        // restarted the connection; do the same: bounce the central so a
+        // fresh CONNECT_REQ reaches the sniffer, and restart the attacker's
+        // scan in case its resync loop went quiet (a no-op while it is
+        // already scanning or following).
+        if bounce {
+            if rig.central().ll.is_connected() {
+                rig.central_mut().ll.request_disconnect(0x13);
+            }
+            let attacker_id = rig.attacker_id();
+            rig.scenario
+                .world
+                .with_node_ctx::<Attacker, _>(attacker_id, |a, ctx| a.restart_resync(ctx));
         }
     }
     let attack_wall_s = wall_start.elapsed().as_secs_f64() - sync_wall_s;
@@ -174,10 +240,26 @@ pub fn run_trial(cfg: &TrialConfig) -> TrialOutcome {
         sim_seconds: rig.scenario.now().as_micros_f64() / 1e6,
         effect_observed,
         metrics,
+        telemetry_downgraded,
     }
 }
 
-/// Runs `count` trials with consecutive seeds across OS threads.
+/// Seed for trial `i` of a series with seed base `base`: a golden-ratio
+/// stride (`i · 2⁶⁴/φ`, wrapping) away from the base.
+///
+/// The stride decorrelates neighbouring trials' RNG streams far better
+/// than consecutive integers would, while staying a pure function of
+/// `(base, i)` so a single trial of a series can be replayed in isolation.
+/// Distinct indices map to distinct seeds (the odd stride is invertible
+/// modulo 2⁶⁴), so trials within a series never collide.
+pub fn trial_seed(base: u64, i: u64) -> u64 {
+    base.wrapping_add(i.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+}
+
+/// Runs `count` trials across OS threads, trial `i` seeded with
+/// [`trial_seed`]`(base.seed, i)` (a golden-ratio stride, **not**
+/// consecutive seeds — consecutive integers produce correlated RNG
+/// streams).
 ///
 /// A panicking trial does not bring the series down: the panic is caught,
 /// the failing seed is reported on stderr, and every other trial's outcome
@@ -204,9 +286,7 @@ pub fn run_trials_parallel(base: &TrialConfig, count: u64) -> Vec<TrialOutcome> 
                         break;
                     }
                     let mut cfg = base.clone();
-                    cfg.seed = base
-                        .seed
-                        .wrapping_add(i.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+                    cfg.seed = trial_seed(base.seed, i);
                     let seed = cfg.seed;
                     match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| run_trial(&cfg)))
                     {
@@ -293,12 +373,151 @@ mod tests {
     }
 
     #[test]
+    fn trial_seeds_are_deterministic_and_collision_free() {
+        // Pure function of (base, i).
+        assert_eq!(trial_seed(7, 3), trial_seed(7, 3));
+        assert_eq!(trial_seed(7, 0), 7);
+        // Golden-ratio stride, not consecutive integers.
+        assert_ne!(trial_seed(7, 1), 8);
+        assert_eq!(trial_seed(7, 1), 7u64.wrapping_add(0x9E37_79B9_7F4A_7C15));
+        // No collisions across a series far larger than any real sweep.
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..10_000u64 {
+            assert!(seen.insert(trial_seed(42, i)), "seed collision at i={i}");
+        }
+    }
+
+    #[test]
+    fn stall_tracker_bounces_even_when_the_central_is_also_down() {
+        // Regression: the old watchdog only counted ticks while the Central
+        // was connected, so a simultaneous Central + attacker outage never
+        // bounced and the trial idled its whole budget away. The tracker
+        // must fire from attacker desynchronisation alone.
+        let mut stall = StallTracker::default();
+        for _ in 0..STALL_TICKS_BEFORE_BOUNCE - 1 {
+            assert!(!stall.note(false));
+        }
+        assert!(stall.note(false), "bounce fires after the threshold");
+        // …and the counter restarts cleanly afterwards.
+        assert!(!stall.note(false));
+        // A synced tick resets the stall: the full threshold is required
+        // again before the next bounce.
+        assert!(!stall.note(true));
+        for _ in 0..STALL_TICKS_BEFORE_BOUNCE - 1 {
+            assert!(!stall.note(false));
+        }
+        assert!(stall.note(false));
+    }
+
+    #[test]
+    fn unconfirmed_effect_requires_effect_without_confirmation() {
+        let mut out = TrialOutcome {
+            attempts: None,
+            sim_seconds: 1.0,
+            effect_observed: true,
+            metrics: None,
+            telemetry_downgraded: false,
+        };
+        assert!(out.unconfirmed_effect());
+        out.attempts = Some(3);
+        assert!(!out.unconfirmed_effect());
+        out.attempts = None;
+        out.effect_observed = false;
+        assert!(!out.unconfirmed_effect());
+    }
+
+    #[test]
+    fn jsonl_sink_failure_is_recorded_as_a_downgrade() {
+        let mut cfg = TrialConfig::new(45);
+        cfg.sim_budget = Duration::from_secs(30);
+        // A path whose parent cannot exist: JsonlSink::create must fail.
+        cfg.telemetry = crate::telemetry::TelemetryMode::Jsonl(
+            std::path::Path::new("/proc/definitely/not/writable/trial.jsonl").to_path_buf(),
+        );
+        let out = run_trial(&cfg);
+        assert!(out.telemetry_downgraded, "failed sink must be recorded");
+        assert!(out.metrics.is_some(), "metrics still ride along");
+        // A healthy trial never reports a downgrade.
+        let ok = run_trial(&TrialConfig::new(45));
+        assert!(!ok.telemetry_downgraded);
+    }
+
+    #[test]
     fn parallel_trials_are_deterministic() {
         let cfg = TrialConfig::new(7);
         let a = run_trials_parallel(&cfg, 4);
         let b = run_trials_parallel(&cfg, 4);
         let attempts = |v: &Vec<TrialOutcome>| v.iter().map(|o| o.attempts).collect::<Vec<_>>();
         assert_eq!(attempts(&a), attempts(&b));
+    }
+
+    /// A mild but non-trivial impairment plan: every fault family is
+    /// represented, yet the trial still succeeds at close range.
+    fn mild_fault_plan() -> simkit::FaultPlan {
+        use simkit::{DriftExcursion, FadingEpisode, FrameLossRule, Instant, InterferenceBurst};
+        simkit::FaultPlan::seeded(0xFA17)
+            .with_loss(FrameLossRule {
+                from: Instant::ZERO,
+                until: Instant::from_micros(60_000_000),
+                channel: None,
+                loss_prob: 0.05,
+                corrupt_prob: 0.05,
+            })
+            .with_fading(FadingEpisode {
+                from: Instant::from_micros(2_000_000),
+                until: Instant::from_micros(4_000_000),
+                extra_loss_db: 6.0,
+            })
+            .with_burst(InterferenceBurst::duty_cycle(
+                9,
+                Instant::ZERO,
+                simkit::Duration::from_secs(60),
+                simkit::Duration::from_millis(50),
+                0.2,
+                -40.0,
+            ))
+            .with_drift(DriftExcursion {
+                node_label: "phone".into(),
+                from: Instant::from_micros(5_000_000),
+                until: Instant::from_micros(8_000_000),
+                extra_ppm: 200.0,
+            })
+    }
+
+    #[test]
+    fn same_seed_and_fault_plan_reproduce_the_trial_exactly() {
+        let mut cfg = TrialConfig::new(46);
+        cfg.sim_budget = Duration::from_secs(30);
+        cfg.rig.faults = Some(mild_fault_plan());
+        let a = run_trial(&cfg);
+        let b = run_trial(&cfg);
+        assert_eq!(a.attempts, b.attempts);
+        assert_eq!(a.sim_seconds, b.sim_seconds);
+        assert_eq!(a.effect_observed, b.effect_observed);
+        let (ma, mb) = (
+            a.metrics.expect("metrics on"),
+            b.metrics.expect("metrics on"),
+        );
+        assert_eq!(ma.events_total, mb.events_total);
+    }
+
+    #[test]
+    fn empty_fault_plan_is_a_true_no_op() {
+        let mut with_empty = TrialConfig::new(47);
+        with_empty.sim_budget = Duration::from_secs(30);
+        with_empty.rig.faults = Some(simkit::FaultPlan::seeded(999));
+        let mut without = with_empty.clone();
+        without.rig.faults = None;
+        let a = run_trial(&with_empty);
+        let b = run_trial(&without);
+        assert_eq!(a.attempts, b.attempts, "empty plan must not perturb");
+        assert_eq!(a.sim_seconds, b.sim_seconds);
+        assert_eq!(a.effect_observed, b.effect_observed);
+        let (ma, mb) = (
+            a.metrics.expect("metrics on"),
+            b.metrics.expect("metrics on"),
+        );
+        assert_eq!(ma.events_total, mb.events_total);
     }
 
     #[test]

@@ -16,7 +16,7 @@ use ble_phy::{
     AccessAddress, AccessFilter, Channel, Environment, NodeConfig, NodeCtx, Pdu, Position,
     RadioEvent, RadioListener, RawFrame, Simulation, TimerKey,
 };
-use simkit::{Duration, SimRng};
+use simkit::{Duration, FaultPlan, SimRng};
 
 static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
 
@@ -92,8 +92,10 @@ impl RadioListener for Sink {
     }
 }
 
-#[test]
-fn steady_state_frame_delivery_allocates_nothing() {
+/// Builds the beacon→sink scene, warms it up, then measures allocations
+/// over a steady-state delivery window. `faults` (when given) is installed
+/// before the warm-up.
+fn measure_steady_state(faults: Option<FaultPlan>) -> (u64, u64) {
     let mut pdu = Pdu::new();
     pdu.try_extend_from_slice(&[0xC3; 22]).expect("22 B fits");
 
@@ -106,6 +108,9 @@ fn steady_state_frame_delivery_allocates_nothing() {
         NodeConfig::new("sink", Position::new(2.0, 0.0)),
         Sink { received: 0 },
     );
+    if let Some(plan) = faults {
+        sim.install_faults(plan);
+    }
     sim.with_ctx(tx, |ctx| {
         ctx.set_timer_local(Duration::from_micros(500), TimerKey(1));
     });
@@ -127,8 +132,13 @@ fn steady_state_frame_delivery_allocates_nothing() {
     let before = ALLOCATIONS.load(Ordering::Relaxed);
     sim.run_for(Duration::from_millis(50));
     let delta = ALLOCATIONS.load(Ordering::Relaxed) - before;
-
     let received = sim.node::<Sink>(rx).expect("sink").received - received_before;
+    (delta, received)
+}
+
+#[test]
+fn steady_state_frame_delivery_allocates_nothing() {
+    let (delta, received) = measure_steady_state(None);
     assert!(
         received >= 90,
         "steady state must keep delivering: {received}"
@@ -136,5 +146,18 @@ fn steady_state_frame_delivery_allocates_nothing() {
     assert_eq!(
         delta, 0,
         "steady-state frame delivery must not allocate ({delta} allocations over {received} deliveries)"
+    );
+
+    // An installed-but-empty FaultPlan must stay on the same zero-allocation
+    // budget: every hot-path fault query is a single branch when the plan is
+    // empty, so the delivery pipeline may not touch the heap either.
+    let (delta, received) = measure_steady_state(Some(FaultPlan::default()));
+    assert!(
+        received >= 90,
+        "steady state with an empty plan must keep delivering: {received}"
+    );
+    assert_eq!(
+        delta, 0,
+        "an empty FaultPlan must not add allocations ({delta} over {received} deliveries)"
     );
 }

@@ -1,0 +1,213 @@
+//! PHY-side interpreter for [`simkit::FaultPlan`]s.
+//!
+//! [`FaultState`] is the medium's resident copy of an installed plan: it
+//! owns the plan, a **private** RNG seeded from [`FaultPlan::seed`], the
+//! label→node resolution for drift excursions, and the pre-computed
+//! episode-boundary markers that the event queue replays for telemetry.
+//!
+//! Determinism contract (see the `simkit::fault` module docs): the fault
+//! layer never draws from the world or node RNG streams, and when no plan
+//! is installed every query here is a single branch on [`FaultState::enabled`]
+//! — no draws, no allocation, no scheduled events.
+
+use ble_telemetry::{FaultKind, TelemetryEvent};
+use simkit::{Duration, FaultPlan, Instant, SimRng};
+
+use crate::radio::NodeId;
+
+/// One pre-computed episode boundary: when popped off the event queue the
+/// medium emits `event` attributed to `node`.
+#[derive(Debug, Clone)]
+pub(crate) struct FaultMarker {
+    pub(crate) at: Instant,
+    pub(crate) node: Option<NodeId>,
+    pub(crate) event: TelemetryEvent,
+}
+
+/// The installed fault plan plus its private RNG and resolved schedule.
+#[derive(Debug)]
+pub(crate) struct FaultState {
+    plan: FaultPlan,
+    rng: SimRng,
+    /// Drift excursions resolved to node ids: `(node, index into plan.drift)`.
+    drift_targets: Vec<(NodeId, usize)>,
+    markers: Vec<FaultMarker>,
+    enabled: bool,
+}
+
+/// Telemetry markers per burst train are capped so a degenerate plan (e.g.
+/// microsecond period over an hour of simulated time) cannot flood the
+/// event queue; the impairment itself is unaffected because burst overlap
+/// is evaluated arithmetically per frame, not from the markers.
+const MAX_MARKERS_PER_BURST: u32 = 4_096;
+
+impl FaultState {
+    /// The no-plan state: every hot-path query is one branch.
+    pub(crate) fn disabled() -> FaultState {
+        FaultState {
+            plan: FaultPlan::default(),
+            rng: SimRng::seed_from(0),
+            drift_targets: Vec::new(),
+            markers: Vec::new(),
+            enabled: false,
+        }
+    }
+
+    /// Builds the resident state for `plan`. `resolve` maps a node label to
+    /// its id (drift excursions naming unknown labels are ignored).
+    pub(crate) fn install(plan: FaultPlan, resolve: impl Fn(&str) -> Option<NodeId>) -> FaultState {
+        let enabled = !plan.is_empty();
+        let rng = SimRng::seed_from(plan.seed);
+        let mut drift_targets = Vec::new();
+        let mut markers = Vec::new();
+        if enabled {
+            for (i, d) in plan.drift.iter().enumerate() {
+                let Some(node) = resolve(&d.node_label) else {
+                    continue;
+                };
+                drift_targets.push((node, i));
+                for (at, active) in [(d.from, true), (d.until, false)] {
+                    markers.push(FaultMarker {
+                        at,
+                        node: Some(node),
+                        event: TelemetryEvent::FaultEpisode {
+                            kind: FaultKind::Drift,
+                            magnitude: d.extra_ppm,
+                            active,
+                        },
+                    });
+                }
+            }
+            for f in &plan.fading {
+                for (at, active) in [(f.from, true), (f.until, false)] {
+                    markers.push(FaultMarker {
+                        at,
+                        node: None,
+                        event: TelemetryEvent::FaultEpisode {
+                            kind: FaultKind::Fading,
+                            magnitude: f.extra_loss_db,
+                            active,
+                        },
+                    });
+                }
+            }
+            for b in &plan.bursts {
+                for k in 0..b.repeats.min(MAX_MARKERS_PER_BURST) {
+                    let Some(start) = b.window_start(k) else {
+                        break;
+                    };
+                    markers.push(FaultMarker {
+                        at: start,
+                        node: None,
+                        event: TelemetryEvent::FaultBurst {
+                            channel: b.channel,
+                            power_dbm: b.power_dbm,
+                            active: true,
+                        },
+                    });
+                    markers.push(FaultMarker {
+                        at: start.saturating_add(b.on_time),
+                        node: None,
+                        event: TelemetryEvent::FaultBurst {
+                            channel: b.channel,
+                            power_dbm: b.power_dbm,
+                            active: false,
+                        },
+                    });
+                }
+            }
+        }
+        FaultState {
+            plan,
+            rng,
+            drift_targets,
+            markers,
+            enabled,
+        }
+    }
+
+    /// Whether any impairment is installed. Hot paths gate on this before
+    /// touching anything else.
+    #[inline]
+    pub(crate) fn enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// The pre-computed episode-boundary markers to schedule at install.
+    pub(crate) fn markers(&self) -> &[FaultMarker] {
+        &self.markers
+    }
+
+    /// Whether a frame arriving on `channel` at `at` is sacrificed to a
+    /// loss rule (receiver never achieves sync). Draws from the fault RNG
+    /// once per applicable rule.
+    pub(crate) fn draw_loss(&mut self, at: Instant, channel: u8) -> bool {
+        let mut lost = false;
+        for rule in &self.plan.losses {
+            if rule.applies(at, channel) && self.rng.chance(rule.loss_prob) {
+                lost = true;
+            }
+        }
+        lost
+    }
+
+    /// Whether a frame delivered on `channel` at `at` is corrupted by a
+    /// loss rule (bit errors, CRC failure). Draws from the fault RNG once
+    /// per applicable rule.
+    pub(crate) fn draw_corruption(&mut self, at: Instant, channel: u8) -> bool {
+        let mut corrupted = false;
+        for rule in &self.plan.losses {
+            if rule.applies(at, channel) && self.rng.chance(rule.corrupt_prob) {
+                corrupted = true;
+            }
+        }
+        corrupted
+    }
+
+    /// Burst interference overlapping a locked reception `[start, end]` on
+    /// `channel`: `(power_dbm, overlap)` per active burst train.
+    pub(crate) fn burst_interference(
+        &self,
+        channel: u8,
+        start: Instant,
+        end: Instant,
+        mut push: impl FnMut(f64, Duration),
+    ) {
+        for b in &self.plan.bursts {
+            if b.channel != channel {
+                continue;
+            }
+            let overlap = b.overlap_with(start, end);
+            if !overlap.is_zero() {
+                push(b.power_dbm, overlap);
+            }
+        }
+    }
+
+    /// Total extra attenuation from fading episodes active at `at`, in dB.
+    pub(crate) fn fading_db(&self, at: Instant) -> f64 {
+        self.plan.fading_db_at(at)
+    }
+
+    /// Applies any drift excursion active on `node` at `at` to a locally
+    /// timed delay: the delay is stretched by `extra_ppm` parts-per-million
+    /// (shrunk for negative ppm).
+    pub(crate) fn drift_adjusted(&self, node: NodeId, at: Instant, delay: Duration) -> Duration {
+        let mut ppm = 0.0f64;
+        for (target, idx) in &self.drift_targets {
+            if *target != node {
+                continue;
+            }
+            if let Some(d) = self.plan.drift.get(*idx) {
+                if d.active_at(at) {
+                    ppm += d.extra_ppm;
+                }
+            }
+        }
+        if ppm == 0.0 {
+            delay
+        } else {
+            delay.mul_f64(1.0 + ppm * 1e-6)
+        }
+    }
+}

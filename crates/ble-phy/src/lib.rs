@@ -57,6 +57,7 @@ mod access_address;
 mod capture;
 mod channel;
 mod crc;
+mod fault;
 mod frame;
 mod geometry;
 mod medium;

@@ -18,10 +18,11 @@
 use std::collections::HashMap;
 
 use ble_invariants::invariant;
-use ble_telemetry::{Telemetry, TelemetryEvent, TelemetryRecord, TelemetrySink};
-use simkit::{Duration, EventQueue, Instant, SimRng, Trace};
+use ble_telemetry::{FaultKind, Telemetry, TelemetryEvent, TelemetryRecord, TelemetrySink};
+use simkit::{Duration, EventQueue, FaultPlan, Instant, SimRng, Trace};
 
 use crate::channel::Channel;
+use crate::fault::FaultState;
 use crate::frame::{RawFrame, ReceivedFrame};
 use crate::geometry::Position;
 use crate::phy_mode::PhyMode;
@@ -42,11 +43,31 @@ pub struct TxHandle {
 
 #[derive(Debug)]
 enum SimEvent {
-    TxEnd { node: NodeId },
-    RxStart { node: NodeId, tx_id: u64 },
-    RxEnd { node: NodeId, tx_id: u64 },
-    LateSync { node: NodeId, tx_id: u64 },
-    Timer { node: NodeId, key: TimerKey },
+    TxEnd {
+        node: NodeId,
+    },
+    RxStart {
+        node: NodeId,
+        tx_id: u64,
+    },
+    RxEnd {
+        node: NodeId,
+        tx_id: u64,
+    },
+    LateSync {
+        node: NodeId,
+        tx_id: u64,
+    },
+    Timer {
+        node: NodeId,
+        key: TimerKey,
+    },
+    /// Pre-computed fault-episode boundary: index into the installed
+    /// [`FaultState`]'s marker table (telemetry only — impairments are
+    /// evaluated arithmetically per frame, not from these events).
+    Fault {
+        marker: usize,
+    },
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -150,6 +171,7 @@ pub(crate) struct SimInner {
     rng: SimRng,
     trace: Trace,
     telemetry: Telemetry,
+    faults: FaultState,
 }
 
 /// How long finished transmissions are retained for interference accounting
@@ -271,7 +293,12 @@ impl SimInner {
         let mean = self
             .env
             .mean_received_power_dbm(tx.tx_power_dbm, tx.position, rx.position);
-        mean + self.env.fading_db(&mut self.rng)
+        let mut power = mean + self.env.fading_db(&mut self.rng);
+        if self.faults.enabled() {
+            // Fading episodes attenuate the whole medium symmetrically.
+            power -= self.faults.fading_db(self.now());
+        }
+        power
     }
 
     pub(crate) fn transmit(&mut self, node: NodeId, channel: Channel, frame: RawFrame) -> TxHandle {
@@ -420,6 +447,24 @@ impl SimInner {
         if signal_dbm < self.env.sensitivity_dbm {
             return false;
         }
+        if self.faults.enabled() {
+            // Frame-loss rules kill the preamble before sync: the receiver
+            // never locks and keeps listening (its own window-close timers
+            // handle the silence).
+            let rx_channel = match &self.node_state(node).radio {
+                RadioState::Rx { channel, .. } => Some(channel.index()),
+                _ => None,
+            };
+            if let Some(ch) = rx_channel {
+                if self.faults.draw_loss(arrival, ch) {
+                    self.emit(arrival, Some(node), || TelemetryEvent::FaultFrame {
+                        kind: FaultKind::Loss,
+                        channel: ch,
+                    });
+                    return false;
+                }
+            }
+        }
         let lock_end = arrival + (tx_end - tx_start);
         // Frames that started earlier and are still in the air interfere
         // from the very start of this lock.
@@ -468,8 +513,14 @@ impl SimInner {
             env,
             nodes,
             rng,
+            faults,
             ..
         } = self;
+        let fault_fade_db = if faults.enabled() {
+            faults.fading_db(window_start)
+        } else {
+            0.0
+        };
         for (&id, tx) in txs.iter() {
             if id == locked_tx || tx.from == node || tx.channel != channel {
                 continue;
@@ -485,7 +536,7 @@ impl SimInner {
                 let overlap = end.min(window_end) - window_start;
                 let mean =
                     env.mean_received_power_dbm(tx_cfg.tx_power_dbm, tx_cfg.position, rx_pos);
-                let power_dbm = mean + env.fading_db(rng);
+                let power_dbm = mean + env.fading_db(rng) - fault_fade_db;
                 out.push(Interference { power_dbm, overlap });
             }
         }
@@ -583,7 +634,7 @@ impl SimInner {
 
     /// Completes a locked reception. Returns the frame to deliver.
     fn handle_rx_end(&mut self, node: NodeId, tx_id: u64) -> Option<ReceivedFrame> {
-        let lock = {
+        let mut lock = {
             let RadioState::Rx { lock, .. } = &mut self.node_state_mut(node).radio else {
                 return None;
             };
@@ -611,6 +662,26 @@ impl SimInner {
             )
         };
 
+        // Injected impairments: interference bursts overlapping the locked
+        // reception join the interferer set (and so feed the capture model
+        // below), and corruption rules force bit errors outright.
+        let mut forced_corruption = false;
+        if self.faults.enabled() {
+            let ch = channel.index();
+            let (arrival, end) = (lock.arrival, lock.end);
+            self.faults
+                .burst_interference(ch, arrival, end, |power_dbm, overlap| {
+                    lock.interference.push(Interference { power_dbm, overlap });
+                });
+            if self.faults.draw_corruption(end, ch) {
+                forced_corruption = true;
+                self.emit(end, Some(node), || TelemetryEvent::FaultFrame {
+                    kind: FaultKind::Corruption,
+                    channel: ch,
+                });
+            }
+        }
+
         // Collision resolution: the locked frame must survive every
         // interferer independently (capture effect). The lock is owned here
         // and the capture model is read straight from the environment — no
@@ -626,6 +697,9 @@ impl SimInner {
                 survived = false;
             }
         }
+        if forced_corruption {
+            survived = false;
+        }
         if !survived && !pdu.is_empty() {
             // Corrupt a few bits so higher layers see garbage that fails CRC.
             let flips = 1 + self.rng.below(3);
@@ -639,7 +713,11 @@ impl SimInner {
         }
         let crc_ok = survived && rx_crc_init == tx_crc_init;
         let interferers = u32::try_from(lock.interference.count()).unwrap_or(u32::MAX);
-        if !survived {
+        // `interferers > 0` always held before fault injection existed (a
+        // frame only failed capture against at least one interferer); forced
+        // corruption can now fail a clean frame, which is reported as
+        // `FaultFrame` above rather than a phantom collision.
+        if !survived && interferers > 0 {
             self.emit(lock.end, Some(node), || TelemetryEvent::Collision {
                 channel: channel.index(),
                 interferers,
@@ -696,6 +774,13 @@ impl SimInner {
         local_delay: Duration,
         key: TimerKey,
     ) -> TimerHandle {
+        let local_delay = if self.faults.enabled() {
+            // Drift excursions stretch (or shrink) this node's local clock
+            // on top of its configured static drift.
+            self.faults.drift_adjusted(node, reference, local_delay)
+        } else {
+            local_delay
+        };
         let at = {
             let state = self.node_state_mut(node);
             let clock = state.config.clock.clone();
@@ -749,9 +834,33 @@ impl World {
                 rng,
                 trace: Trace::disabled(),
                 telemetry: Telemetry::default(),
+                faults: FaultState::disabled(),
             },
             nodes: Vec::new(),
         }
+    }
+
+    /// Installs a deterministic [`FaultPlan`] into the medium.
+    ///
+    /// Call after every [`World::add_node`] so drift excursions can resolve
+    /// their node labels. The plan's impairments draw only from the plan's
+    /// own seeded RNG; an **empty** plan is a strict no-op — nothing is
+    /// scheduled, no RNG stream is touched, and simulation output stays
+    /// byte-identical to a world where this was never called.
+    pub fn install_faults(&mut self, plan: FaultPlan) {
+        let state = FaultState::install(plan, |label| {
+            self.inner
+                .nodes
+                .iter()
+                .position(|s| s.config.label == label)
+                .map(NodeId)
+        });
+        for (i, m) in state.markers().iter().enumerate() {
+            self.inner
+                .queue
+                .schedule_at(m.at, SimEvent::Fault { marker: i });
+        }
+        self.inner.faults = state;
     }
 
     /// Enables the simulation trace (for debugging and assertions).
@@ -947,6 +1056,11 @@ impl World {
             SimEvent::RxEnd { node, tx_id } => {
                 if let Some(frame) = self.inner.handle_rx_end(node, tx_id) {
                     self.dispatch(node, RadioEvent::FrameReceived(frame));
+                }
+            }
+            SimEvent::Fault { marker } => {
+                if let Some(m) = self.inner.faults.markers().get(marker).cloned() {
+                    self.inner.emit(at, m.node, || m.event);
                 }
             }
         }

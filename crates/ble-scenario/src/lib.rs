@@ -40,8 +40,8 @@ use ble_devices::{Central, Keyfob, Lightbulb, Smartwatch};
 use ble_link::{ConnectionParams, DeviceAddress};
 use ble_phy::{Environment, Node, NodeConfig, NodeId, PhyMode, Position, Wall, World};
 use ble_telemetry::{JsonlSink, MetricsSink, SharedRegistry};
-use injectable::{Attacker, AttackerConfig};
-use simkit::{DriftClock, Duration, SimRng};
+use injectable::{Attacker, AttackerConfig, ResyncPolicy};
+use simkit::{DriftClock, Duration, FaultPlan, SimRng};
 
 /// Which victim Peripheral the scenario stars.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -125,9 +125,11 @@ pub struct ScenarioBuilder {
     attacker_pos_override: Option<Position>,
     attacker_tx_dbm: f64,
     attacker_anchor_noise_us: Option<f64>,
+    attacker_resync: Option<ResyncPolicy>,
     widening_scale: f64,
     wall: Option<Wall>,
     telemetry: TelemetryMode,
+    faults: Option<FaultPlan>,
 }
 
 impl ScenarioBuilder {
@@ -154,9 +156,11 @@ impl ScenarioBuilder {
             attacker_pos_override: None,
             attacker_tx_dbm,
             attacker_anchor_noise_us: None,
+            attacker_resync: None,
             widening_scale: 1.0,
             wall: None,
             telemetry: TelemetryMode::Off,
+            faults: None,
         }
     }
 
@@ -254,6 +258,15 @@ impl ScenarioBuilder {
         self
     }
 
+    /// Override of the attacker's resynchronisation policy (campaign
+    /// length, backoff, retry budget). The default policy never leaves its
+    /// first campaign in a healthy run; tighter policies make impaired
+    /// runs give up (and their trials end) sooner.
+    pub fn attacker_resync(mut self, policy: ResyncPolicy) -> Self {
+        self.attacker_resync = Some(policy);
+        self
+    }
+
     /// Removes the attacker from the scene.
     pub fn no_attacker(mut self) -> Self {
         self.with_attacker = false;
@@ -308,6 +321,15 @@ impl ScenarioBuilder {
         self
     }
 
+    /// Installs a deterministic [`FaultPlan`] into the built world's radio
+    /// medium. The plan draws only from its own seed; an empty plan (and
+    /// `None`, the default) leaves the simulation byte-identical to a world
+    /// built without this knob.
+    pub fn faults(mut self, plan: FaultPlan) -> Self {
+        self.faults = Some(plan);
+        self
+    }
+
     /// Builds the world: forks the scenario RNG, constructs the devices,
     /// inserts the nodes and starts them — always in the same order, so a
     /// given configuration and seed reproduce the identical simulation.
@@ -358,6 +380,9 @@ impl ScenarioBuilder {
             if let Some(noise) = self.attacker_anchor_noise_us {
                 cfg.anchor_noise_us = noise;
             }
+            if let Some(policy) = &self.attacker_resync {
+                cfg.resync = policy.clone();
+            }
             Attacker::new(cfg)
         });
 
@@ -396,6 +421,14 @@ impl ScenarioBuilder {
         world.start(central_id);
         if let Some(id) = attacker_id {
             world.start(id);
+        }
+
+        // After every node exists (drift excursions resolve labels here) and
+        // after bootstrap, so same-instant fault markers sort behind the
+        // nodes' first timers. The plan carries its own RNG seed, so the
+        // frozen fork order above is untouched.
+        if let Some(plan) = self.faults {
+            world.install_faults(plan);
         }
 
         let metrics = match &self.telemetry {

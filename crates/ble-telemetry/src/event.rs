@@ -140,6 +140,49 @@ impl LossReason {
     }
 }
 
+/// Category of an injected medium fault (see `simkit::FaultPlan`).
+///
+/// Covered by the xtask R4 exhaustive-match rule like [`TelemetryEvent`]:
+/// adding a fault category forces every consumer to decide how to treat it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// A scheduled interference burst (WiFi-coexistence style jamming).
+    Interference,
+    /// A frame dropped before the receiver achieved sync.
+    Loss,
+    /// A frame delivered with injected bit errors (CRC failure).
+    Corruption,
+    /// A deep-fade episode adding path loss on every link.
+    Fading,
+    /// A transient clock-drift excursion on one endpoint.
+    Drift,
+}
+
+impl FaultKind {
+    /// Stable wire name, used by the JSONL codec.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            FaultKind::Interference => "interference",
+            FaultKind::Loss => "loss",
+            FaultKind::Corruption => "corruption",
+            FaultKind::Fading => "fading",
+            FaultKind::Drift => "drift",
+        }
+    }
+
+    /// Inverse of [`FaultKind::as_str`].
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "interference" => Some(FaultKind::Interference),
+            "loss" => Some(FaultKind::Loss),
+            "corruption" => Some(FaultKind::Corruption),
+            "fading" => Some(FaultKind::Fading),
+            "drift" => Some(FaultKind::Drift),
+            _ => None,
+        }
+    }
+}
+
 /// One typed telemetry event.
 ///
 /// Variants group by layer: simulation meta, PHY, Link Layer, attacker,
@@ -313,6 +356,36 @@ pub enum TelemetryEvent {
         magnitude_us: f64,
     },
 
+    // --- injected faults ---------------------------------------------------
+    /// An interference burst window opened (`active: true`) or closed on a
+    /// channel, as scheduled by the installed `FaultPlan`.
+    FaultBurst {
+        /// Channel being jammed.
+        channel: u8,
+        /// Received interference power at the victims, dBm.
+        power_dbm: f64,
+        /// Whether the burst window just opened (else it closed).
+        active: bool,
+    },
+    /// A plan-wide fault episode (fading or drift) started or ended.
+    FaultEpisode {
+        /// Which impairment the episode injects
+        /// ([`FaultKind::Fading`] or [`FaultKind::Drift`]).
+        kind: FaultKind,
+        /// Episode magnitude: extra dB for fading, extra ppm for drift.
+        magnitude: f64,
+        /// Whether the episode just started (else it ended).
+        active: bool,
+    },
+    /// A single frame was sacrificed to the fault plan
+    /// ([`FaultKind::Loss`] or [`FaultKind::Corruption`]).
+    FaultFrame {
+        /// Which impairment hit the frame.
+        kind: FaultKind,
+        /// Channel the frame was on.
+        channel: u8,
+    },
+
     // --- escape hatch ------------------------------------------------------
     /// A legacy free-form trace record forwarded through the typed bus.
     /// New instrumentation should add a variant instead of using this.
@@ -352,6 +425,9 @@ impl TelemetryEvent {
             TelemetryEvent::IfsDelta { .. } => "ifs-delta",
             TelemetryEvent::Takeover { .. } => "takeover",
             TelemetryEvent::DetectorAlert { .. } => "alert",
+            TelemetryEvent::FaultBurst { .. } => "fault-burst",
+            TelemetryEvent::FaultEpisode { .. } => "fault-episode",
+            TelemetryEvent::FaultFrame { .. } => "fault-frame",
             TelemetryEvent::Raw { .. } => "raw",
         }
     }
@@ -436,6 +512,28 @@ impl fmt::Display for TelemetryEvent {
             TelemetryEvent::DetectorAlert { kind, magnitude_us } => {
                 write!(f, "{} magnitude={magnitude_us:.3}µs", kind.as_str())
             }
+            TelemetryEvent::FaultBurst {
+                channel,
+                power_dbm,
+                active,
+            } => write!(
+                f,
+                "burst {} ch={channel} power={power_dbm:.1}dBm",
+                if *active { "on" } else { "off" }
+            ),
+            TelemetryEvent::FaultEpisode {
+                kind,
+                magnitude,
+                active,
+            } => write!(
+                f,
+                "{} {} magnitude={magnitude:.1}",
+                kind.as_str(),
+                if *active { "start" } else { "end" }
+            ),
+            TelemetryEvent::FaultFrame { kind, channel } => {
+                write!(f, "{} ch={channel}", kind.as_str())
+            }
             TelemetryEvent::Raw { tag, detail } => write!(f, "[{tag}] {detail}"),
         }
     }
@@ -467,7 +565,17 @@ mod tests {
         ] {
             assert_eq!(LossReason::parse(r.as_str()), Some(r));
         }
+        for k in [
+            FaultKind::Interference,
+            FaultKind::Loss,
+            FaultKind::Corruption,
+            FaultKind::Fading,
+            FaultKind::Drift,
+        ] {
+            assert_eq!(FaultKind::parse(k.as_str()), Some(k));
+        }
         assert_eq!(LinkRole::parse("nonsense"), None);
+        assert_eq!(FaultKind::parse("nonsense"), None);
     }
 
     #[test]

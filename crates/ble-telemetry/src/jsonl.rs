@@ -16,7 +16,7 @@ use std::str::Chars;
 
 use simkit::{Duration, Instant};
 
-use crate::event::{AlertKind, LinkRole, LossReason, TelemetryEvent, Verdict};
+use crate::event::{AlertKind, FaultKind, LinkRole, LossReason, TelemetryEvent, Verdict};
 use crate::sink::{TelemetryRecord, TelemetrySink};
 
 // ---------------------------------------------------------------------
@@ -174,6 +174,30 @@ pub fn to_line(record: &TelemetryRecord) -> String {
                 ",\"alert\":\"{}\",\"magnitude_us\":{magnitude_us}",
                 kind.as_str()
             );
+        }
+        TelemetryEvent::FaultBurst {
+            channel,
+            power_dbm,
+            active,
+        } => {
+            let _ = write!(
+                s,
+                ",\"ch\":{channel},\"power_dbm\":{power_dbm},\"active\":{active}"
+            );
+        }
+        TelemetryEvent::FaultEpisode {
+            kind,
+            magnitude,
+            active,
+        } => {
+            let _ = write!(
+                s,
+                ",\"fault\":\"{}\",\"magnitude\":{magnitude},\"active\":{active}",
+                kind.as_str()
+            );
+        }
+        TelemetryEvent::FaultFrame { kind, channel } => {
+            let _ = write!(s, ",\"fault\":\"{}\",\"ch\":{channel}", kind.as_str());
         }
         TelemetryEvent::Raw { tag, detail } => {
             push_str_field(&mut s, "tag", tag);
@@ -431,6 +455,20 @@ pub fn parse_line(line: &str) -> Option<TelemetryRecord> {
             kind: AlertKind::parse(get_str(&fields, "alert")?)?,
             magnitude_us: get_num(&fields, "magnitude_us")?,
         },
+        "fault-burst" => TelemetryEvent::FaultBurst {
+            channel: get_num(&fields, "ch")?,
+            power_dbm: get_num(&fields, "power_dbm")?,
+            active: get_bool(&fields, "active")?,
+        },
+        "fault-episode" => TelemetryEvent::FaultEpisode {
+            kind: FaultKind::parse(get_str(&fields, "fault")?)?,
+            magnitude: get_num(&fields, "magnitude")?,
+            active: get_bool(&fields, "active")?,
+        },
+        "fault-frame" => TelemetryEvent::FaultFrame {
+            kind: FaultKind::parse(get_str(&fields, "fault")?)?,
+            channel: get_num(&fields, "ch")?,
+        },
         "raw" => TelemetryEvent::Raw {
             tag: get_str(&fields, "tag")?.to_owned(),
             detail: get_str(&fields, "detail")?.to_owned(),
@@ -603,6 +641,20 @@ mod tests {
             TelemetryEvent::DetectorAlert {
                 kind: AlertKind::EarlyAnchor,
                 magnitude_us: 87.5,
+            },
+            TelemetryEvent::FaultBurst {
+                channel: 17,
+                power_dbm: -32.5,
+                active: true,
+            },
+            TelemetryEvent::FaultEpisode {
+                kind: FaultKind::Drift,
+                magnitude: 400.0,
+                active: false,
+            },
+            TelemetryEvent::FaultFrame {
+                kind: FaultKind::Loss,
+                channel: 21,
             },
             TelemetryEvent::Raw {
                 tag: "legacy".into(),

@@ -36,7 +36,7 @@ pub mod metrics;
 pub mod ring;
 pub mod sink;
 
-pub use event::{AlertKind, LinkRole, LossReason, TelemetryEvent, Verdict};
+pub use event::{AlertKind, FaultKind, LinkRole, LossReason, TelemetryEvent, Verdict};
 pub use jsonl::{parse_line, JsonlSink};
 pub use metrics::{HistSummary, HistogramUs, MetricsRegistry, MetricsSink, SharedRegistry};
 pub use ring::{RingBuffer, RingBufferSink, SharedRing};

@@ -313,6 +313,10 @@ struct HotTallies {
     no_response: u64,
     takeover: u64,
     detector_alerts: u64,
+    fault_bursts: u64,
+    fault_episodes: u64,
+    fault_frames_lost: u64,
+    fault_frames_corrupted: u64,
     raw: u64,
     widening_us: HistogramUs,
     lead_us: HistogramUs,
@@ -393,6 +397,10 @@ impl MetricsSink {
             ("attack.no_response", &mut t.no_response),
             ("attack.takeover", &mut t.takeover),
             ("detector.alerts", &mut t.detector_alerts),
+            ("fault.bursts", &mut t.fault_bursts),
+            ("fault.episodes", &mut t.fault_episodes),
+            ("fault.frames_lost", &mut t.fault_frames_lost),
+            ("fault.frames_corrupted", &mut t.fault_frames_corrupted),
             ("telemetry.raw", &mut t.raw),
         ];
         for (name, n) in counters {
@@ -484,6 +492,25 @@ impl TelemetrySink for MetricsSink {
                 bump(&mut t.detector_alerts);
                 t.detector_magnitude_us.record(*magnitude_us);
             }
+            TelemetryEvent::FaultBurst { active, .. } => {
+                if *active {
+                    bump(&mut t.fault_bursts);
+                }
+            }
+            TelemetryEvent::FaultEpisode { active, .. } => {
+                if *active {
+                    bump(&mut t.fault_episodes);
+                }
+            }
+            TelemetryEvent::FaultFrame { kind, .. } => match kind {
+                crate::event::FaultKind::Loss => bump(&mut t.fault_frames_lost),
+                crate::event::FaultKind::Corruption => bump(&mut t.fault_frames_corrupted),
+                // Burst/fading/drift faults are episodic, not per-frame; a
+                // mislabelled frame event still counts as a lost frame.
+                crate::event::FaultKind::Interference
+                | crate::event::FaultKind::Fading
+                | crate::event::FaultKind::Drift => bump(&mut t.fault_frames_lost),
+            },
             TelemetryEvent::Raw { .. } => bump(&mut t.raw),
         }
     }

@@ -25,6 +25,7 @@ use simkit::{Duration, Instant};
 
 use crate::heuristic::{injection_succeeded, InjectionAttempt, ObservedResponse};
 use crate::mitm::MitmHandoff;
+use crate::resync::{ResyncController, ResyncPolicy, ResyncState};
 use crate::stats::{AttackStats, AttemptOutcome};
 use crate::tracked::{ConnectionSniffer, EventPlan, SnifferEvent, TrackedConnection};
 
@@ -43,6 +44,7 @@ fn assumed_master_frame(phy: ble_phy::PhyMode) -> Duration {
 const T_EVENT: u64 = 0xA0;
 const T_CLOSE: u64 = 0xA1;
 const T_SCAN_HOP: u64 = 0xA2;
+const T_RESYNC: u64 = 0xA3;
 
 /// Attacker tuning knobs.
 #[derive(Debug, Clone)]
@@ -66,6 +68,10 @@ pub struct AttackerConfig {
     pub inject_gap_events: u32,
     /// Return to scanning after losing a connection.
     pub auto_rescan: bool,
+    /// Bounded-retry resynchronisation policy (campaign length, backoff,
+    /// retry budget). The default keeps the machinery dormant in healthy
+    /// runs; tighten it for impaired-medium experiments.
+    pub resync: ResyncPolicy,
 }
 
 impl Default for AttackerConfig {
@@ -79,6 +85,7 @@ impl Default for AttackerConfig {
             max_missed_events: 24,
             inject_gap_events: 1,
             auto_rescan: true,
+            resync: ResyncPolicy::default(),
         }
     }
 }
@@ -156,6 +163,8 @@ enum Phase {
     Scanning {
         channel_pos: usize,
     },
+    /// Radio quiet between scan campaigns; waiting for T_RESYNC.
+    BackingOff,
     /// Waiting for T_EVENT to open a passive window.
     ObserveArmed {
         plan: EventPlan,
@@ -209,7 +218,8 @@ pub struct Attacker {
     mitm_handoff: Option<MitmHandoff>,
     events_since_injection: u32,
     timer_gen: u64,
-    expected_gen: [u64; 3],
+    expected_gen: [u64; 4],
+    resync: ResyncController,
 }
 
 impl Attacker {
@@ -219,6 +229,7 @@ impl Attacker {
             Some(t) => ConnectionSniffer::for_slave(t),
             None => ConnectionSniffer::new(),
         };
+        let resync = ResyncController::new(cfg.resync.clone());
         Attacker {
             cfg,
             sniffer,
@@ -237,7 +248,8 @@ impl Attacker {
             mitm_handoff: None,
             events_since_injection: 0,
             timer_gen: 0,
-            expected_gen: [0; 3],
+            expected_gen: [0; 4],
+            resync,
         }
     }
 
@@ -273,7 +285,33 @@ impl Attacker {
 
     /// Starts scanning for a connection to follow.
     pub fn start(&mut self, ctx: &mut NodeCtx<'_>) {
+        self.resync.begin_campaign();
         self.phase = Phase::Scanning { channel_pos: 0 };
+        self.scan(ctx, 0);
+    }
+
+    /// Where the bounded-retry resynchronisation loop currently stands.
+    pub fn resync_state(&self) -> ResyncState {
+        self.resync.state()
+    }
+
+    /// Whether every resynchronisation retry has been spent (the harness
+    /// should fail the trial rather than keep waiting).
+    pub fn resync_exhausted(&self) -> bool {
+        self.resync.is_exhausted()
+    }
+
+    /// External restart of the recovery loop (e.g. after the harness
+    /// bounced the Central to force a fresh `CONNECT_REQ`). Refills the
+    /// retry budget and opens a new scan campaign — unless the attacker is
+    /// already following a connection or mid-campaign, in which case the
+    /// running schedule is left untouched.
+    pub fn restart_resync(&mut self, ctx: &mut NodeCtx<'_>) {
+        if self.conn.is_some() || matches!(self.phase, Phase::Scanning { .. } | Phase::TakenOver) {
+            return;
+        }
+        self.resync.reset();
+        self.resync.begin_campaign();
         self.scan(ctx, 0);
     }
 
@@ -330,7 +368,7 @@ impl Attacker {
 
     fn timer_purpose(&self, key: TimerKey) -> Option<u64> {
         let p = key.0 & 0xFF;
-        if !(T_EVENT..=T_SCAN_HOP).contains(&p) {
+        if !(T_EVENT..=T_RESYNC).contains(&p) {
             return None;
         }
         if self.expected_gen[(p - T_EVENT) as usize] == key.0 >> 8 {
@@ -369,11 +407,42 @@ impl Attacker {
             self.mission_state = MissionState::Injecting;
         }
         if self.cfg.auto_rescan {
+            self.resync.begin_campaign();
             self.scan(ctx, 0);
         } else {
             self.phase = Phase::Idle;
             if ctx.is_receiving() {
                 ctx.stop_rx();
+            }
+        }
+    }
+
+    /// A scan campaign's hop budget ran out: back off (radio quiet) before
+    /// the next campaign, or give up once retries are exhausted.
+    fn campaign_expired(&mut self, ctx: &mut NodeCtx<'_>) {
+        if ctx.is_receiving() {
+            ctx.stop_rx();
+        }
+        match self.resync.campaign_failed() {
+            Some(delay) => {
+                self.phase = Phase::BackingOff;
+                let now = ctx.now();
+                ctx.trace(
+                    "resync-backoff",
+                    format!(
+                        "campaign {} empty; backing off {:.0} ms",
+                        self.resync.campaigns(),
+                        delay.as_micros_f64() / 1_000.0
+                    ),
+                );
+                self.arm_from(ctx, now, delay, T_RESYNC);
+            }
+            None => {
+                self.phase = Phase::Idle;
+                ctx.trace(
+                    "resync-exhausted",
+                    format!("gave up after {} scan campaigns", self.resync.campaigns()),
+                );
             }
         }
     }
@@ -923,7 +992,17 @@ impl RadioListener for Attacker {
                 match purpose {
                     T_SCAN_HOP => {
                         if let Phase::Scanning { channel_pos } = self.phase {
-                            self.scan(ctx, (channel_pos + 1) % 3);
+                            if self.resync.note_hop() {
+                                self.campaign_expired(ctx);
+                            } else {
+                                self.scan(ctx, (channel_pos + 1) % 3);
+                            }
+                        }
+                    }
+                    T_RESYNC => {
+                        if let Phase::BackingOff = self.phase {
+                            self.resync.begin_campaign();
+                            self.scan(ctx, 0);
                         }
                     }
                     T_EVENT => match self.phase {
@@ -990,6 +1069,7 @@ impl RadioListener for Attacker {
                         let access_address = tracked.params.access_address.value();
                         ctx.emit(|| TelemetryEvent::SnifferSync { access_address });
                         self.stats.record_connection_followed();
+                        self.resync.synced();
                         self.conn = Some(*tracked);
                         self.schedule_event(ctx);
                     }

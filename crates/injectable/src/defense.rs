@@ -75,6 +75,13 @@ pub struct DetectorConfig {
     pub response_tolerance_us: f64,
     /// Events to observe before arming detection (estimator warm-up).
     pub warmup_events: u32,
+    /// Degrade gracefully under abnormal clock drift (off by default, which
+    /// preserves the strict paper behaviour): the early-anchor band widens
+    /// with the recently observed prediction error, so a connection whose
+    /// clocks wander beyond the ±200 ppm correction clamp raises no false
+    /// `EarlyAnchor` alerts — while a genuine injection, arriving a full
+    /// window widening early, still exceeds the (capped) widened band.
+    pub adaptive_widening: bool,
 }
 
 impl Default for DetectorConfig {
@@ -83,6 +90,7 @@ impl Default for DetectorConfig {
             early_anchor_threshold_us: 15.0,
             response_tolerance_us: 8.0,
             warmup_events: 8,
+            adaptive_widening: false,
         }
     }
 }
@@ -108,6 +116,9 @@ pub struct InjectionDetector {
     expected_gen: [u64; 3],
     /// Predicted anchor of the currently open window (true-time estimate).
     predicted_anchor: Instant,
+    /// EWMA of recent |anchor prediction error| (µs); feeds the widened
+    /// band when [`DetectorConfig::adaptive_widening`] is on.
+    band_us: f64,
 }
 
 impl InjectionDetector {
@@ -127,6 +138,33 @@ impl InjectionDetector {
             timer_gen: 0,
             expected_gen: [0; 3],
             predicted_anchor: Instant::ZERO,
+            band_us: 0.0,
+        }
+    }
+
+    /// Effective early-anchor threshold: the configured base, plus — when
+    /// adaptive widening is on — a band tracking the recent prediction
+    /// error, capped at twice the base so a genuine injection (a full
+    /// window widening, tens of µs early) still clears it.
+    fn effective_threshold_us(&self) -> f64 {
+        let base = self.cfg.early_anchor_threshold_us;
+        if self.cfg.adaptive_widening {
+            base + (1.5 * self.band_us).min(2.0 * base)
+        } else {
+            base
+        }
+    }
+
+    /// Feeds one observed prediction error into the adaptive band. Errors
+    /// beyond any plausible drift (several thresholds) are excluded so an
+    /// injected frame cannot widen its own hiding place.
+    fn note_prediction_error(&mut self, early_us: f64) {
+        if !self.cfg.adaptive_widening {
+            return;
+        }
+        let mag = early_us.abs();
+        if mag < 4.0 * self.cfg.early_anchor_threshold_us {
+            self.band_us = 0.7 * self.band_us + 0.3 * mag;
         }
     }
 
@@ -241,6 +279,7 @@ impl InjectionDetector {
     /// Post-event analysis: the detection rules.
     fn analyse_window(&mut self, ctx: &mut NodeCtx<'_>) {
         let frames = std::mem::take(&mut self.window_frames);
+        let threshold_us = self.effective_threshold_us();
         let Some(conn) = self.conn.as_mut() else {
             return;
         };
@@ -253,7 +292,7 @@ impl InjectionDetector {
         // Update the drift-compensated interval estimate from consecutive
         // clean observations.
         let early_us = self.predicted_anchor.signed_delta_ns(first_start) as f64 / 1_000.0;
-        if warmed_up && early_us > self.cfg.early_anchor_threshold_us {
+        if warmed_up && early_us > threshold_us {
             self.alerts.push(Alert::EarlyAnchor {
                 at: first_start,
                 early_us,
@@ -280,6 +319,7 @@ impl InjectionDetector {
             }
         }
         conn.observe_anchor(first_start);
+        self.note_prediction_error(early_us);
 
         // Double anchor: a second Master-side frame starting within the
         // window-widening span of the first, *before* any response slot.
@@ -344,6 +384,7 @@ impl RadioListener for InjectionDetector {
                         self.conn = Some(*tracked);
                         self.interval_correction = 1.0;
                         self.events_observed = 0;
+                        self.band_us = 0.0;
                         self.schedule_window(ctx);
                     }
                     return;
@@ -390,5 +431,66 @@ mod tests {
         assert!(d.alerts().is_empty());
         assert!(!d.is_monitoring());
         assert_eq!(d.events_observed(), 0);
+    }
+
+    #[test]
+    fn strict_threshold_ignores_the_observed_errors() {
+        let mut d = InjectionDetector::new(DetectorConfig::default());
+        let base = d.cfg.early_anchor_threshold_us;
+        for e in [3.0, 9.0, 18.0, 24.0] {
+            d.note_prediction_error(e);
+            assert_eq!(d.effective_threshold_us(), base);
+        }
+    }
+
+    #[test]
+    fn adaptive_band_absorbs_a_gradual_drift_ramp() {
+        // A drift excursion ramps the per-event anchor error past the
+        // strict 15 µs threshold. The strict detector would alert from
+        // 18 µs on; the adaptive band must stay ahead of the ramp.
+        let mut d = InjectionDetector::new(DetectorConfig {
+            adaptive_widening: true,
+            ..DetectorConfig::default()
+        });
+        let strict = DetectorConfig::default().early_anchor_threshold_us;
+        let mut strict_would_alert = 0;
+        for e in [3.0, 6.0, 9.0, 12.0, 15.0, 18.0, 21.0, 24.0] {
+            if e > strict {
+                strict_would_alert += 1;
+            }
+            assert!(
+                e <= d.effective_threshold_us(),
+                "adaptive band must absorb a {e} µs drift error \
+                 (threshold {})",
+                d.effective_threshold_us()
+            );
+            d.note_prediction_error(e);
+        }
+        assert!(
+            strict_would_alert >= 3,
+            "the ramp must stress the strict detector"
+        );
+    }
+
+    #[test]
+    fn adaptive_band_still_catches_a_sudden_injection() {
+        // The widened band is capped at 3x the base threshold; an injected
+        // frame arriving a full widening (here 150 µs) early always clears
+        // it, and the outlier is excluded from the band update.
+        let mut d = InjectionDetector::new(DetectorConfig {
+            adaptive_widening: true,
+            ..DetectorConfig::default()
+        });
+        for e in [6.0, 12.0, 18.0, 24.0] {
+            d.note_prediction_error(e);
+        }
+        let before = d.effective_threshold_us();
+        assert!(150.0 > before, "injection exceeds the widened band");
+        d.note_prediction_error(150.0);
+        assert_eq!(
+            d.effective_threshold_us(),
+            before,
+            "an injection-sized outlier must not widen its own hiding place"
+        );
     }
 }

@@ -37,6 +37,7 @@ mod attacker;
 pub mod defense;
 pub mod heuristic;
 mod mitm;
+mod resync;
 mod stats;
 mod tracked;
 
@@ -44,5 +45,6 @@ pub use attacker::{Attacker, AttackerConfig, Injector, Mission, MissionState};
 pub use defense::{Alert, DetectorConfig, InjectionDetector};
 pub use heuristic::{injection_succeeded, InjectionAttempt, ObservedResponse};
 pub use mitm::{new_handoff, MitmHandoff, MitmShared, MitmSlaveHalf, RewriteRule};
+pub use resync::{ResyncController, ResyncPolicy, ResyncState};
 pub use stats::{AttackStats, AttemptOutcome};
 pub use tracked::{ConnectionSniffer, SnifferEvent, TrackedConnection};

@@ -1,0 +1,222 @@
+//! Bounded resynchronisation with exponential backoff.
+//!
+//! When the attacker loses a followed connection it returns to scanning
+//! the advertising channels. Unbounded scanning is both unrealistic (a
+//! real dongle burns its duty cycle) and useless under severe impairment:
+//! if no `CONNECT_REQ` appears within a full scan *campaign*, continuing
+//! to hop is not going to find one. [`ResyncController`] structures the
+//! recovery: scan for [`ResyncPolicy::campaign_hops`] channel hops, and if
+//! nothing was caught, go quiet for an exponentially growing backoff delay
+//! before the next campaign. After [`ResyncPolicy::max_retries`] failed
+//! campaigns the controller reports [`ResyncState::Exhausted`] so the
+//! harness can fail the trial fast instead of burning the whole budget.
+//!
+//! The controller is a pure state machine: it owns no timers and draws no
+//! randomness, so it never perturbs the simulation's RNG streams. With the
+//! default policy a campaign outlasts every healthy synchronisation (the
+//! first `CONNECT_REQ` lands within a few hundred milliseconds), making
+//! the controller an observer in unimpaired runs.
+
+use simkit::{Duration, ExponentialBackoff};
+
+/// Tuning of the resynchronisation loop.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ResyncPolicy {
+    /// Advertising-channel hops (≈11 ms each) per scan campaign.
+    pub campaign_hops: u32,
+    /// First inter-campaign backoff delay.
+    pub backoff_base: Duration,
+    /// Backoff ceiling.
+    pub backoff_cap: Duration,
+    /// Failed campaigns tolerated before declaring exhaustion.
+    pub max_retries: u32,
+}
+
+impl Default for ResyncPolicy {
+    /// One campaign outlasts the bench harness's 30 s synchronisation
+    /// budget, so healthy runs never leave the first campaign and the
+    /// backoff machinery stays dormant.
+    fn default() -> Self {
+        ResyncPolicy {
+            campaign_hops: 2_900,
+            backoff_base: Duration::from_millis(250),
+            backoff_cap: Duration::from_secs(4),
+            max_retries: 8,
+        }
+    }
+}
+
+/// Where the recovery loop currently stands.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ResyncState {
+    /// Following a connection (or not yet started).
+    Synced,
+    /// Scanning the advertising channels within a campaign.
+    Scanning,
+    /// Radio quiet, waiting out a backoff delay.
+    BackingOff,
+    /// Every retry spent without catching a `CONNECT_REQ`.
+    Exhausted,
+}
+
+/// The bounded-retry state machine (see the module docs).
+#[derive(Debug, Clone)]
+pub struct ResyncController {
+    policy: ResyncPolicy,
+    backoff: ExponentialBackoff,
+    state: ResyncState,
+    hops: u32,
+    campaigns: u32,
+}
+
+impl ResyncController {
+    /// Creates a controller in the [`ResyncState::Synced`] state.
+    pub fn new(policy: ResyncPolicy) -> Self {
+        let backoff =
+            ExponentialBackoff::new(policy.backoff_base, policy.backoff_cap, policy.max_retries);
+        ResyncController {
+            policy,
+            backoff,
+            state: ResyncState::Synced,
+            hops: 0,
+            campaigns: 0,
+        }
+    }
+
+    /// Current state.
+    pub fn state(&self) -> ResyncState {
+        self.state
+    }
+
+    /// Whether every retry has been spent.
+    pub fn is_exhausted(&self) -> bool {
+        self.state == ResyncState::Exhausted
+    }
+
+    /// Campaigns started since the last reset (diagnostics).
+    pub fn campaigns(&self) -> u32 {
+        self.campaigns
+    }
+
+    /// Enters a fresh scan campaign.
+    pub fn begin_campaign(&mut self) {
+        self.state = ResyncState::Scanning;
+        self.hops = 0;
+        self.campaigns = self.campaigns.saturating_add(1);
+    }
+
+    /// Records one advertising-channel hop. Returns `true` when the
+    /// campaign's hop budget is spent.
+    pub fn note_hop(&mut self) -> bool {
+        if self.state != ResyncState::Scanning {
+            return false;
+        }
+        self.hops = self.hops.saturating_add(1);
+        self.hops >= self.policy.campaign_hops
+    }
+
+    /// Ends a fruitless campaign. Returns the backoff delay to wait before
+    /// the next campaign, or `None` once retries are exhausted (the state
+    /// moves to [`ResyncState::BackingOff`] / [`ResyncState::Exhausted`]
+    /// accordingly).
+    pub fn campaign_failed(&mut self) -> Option<Duration> {
+        match self.backoff.next_delay() {
+            Some(delay) => {
+                self.state = ResyncState::BackingOff;
+                Some(delay)
+            }
+            None => {
+                self.state = ResyncState::Exhausted;
+                None
+            }
+        }
+    }
+
+    /// A connection was caught: back to following, retries refilled.
+    pub fn synced(&mut self) {
+        self.state = ResyncState::Synced;
+        self.backoff.reset();
+        self.hops = 0;
+    }
+
+    /// External restart (e.g. the harness bounced the Central): refills the
+    /// retries so a fresh campaign can begin.
+    pub fn reset(&mut self) {
+        self.backoff.reset();
+        self.state = ResyncState::Synced;
+        self.hops = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tight_policy() -> ResyncPolicy {
+        ResyncPolicy {
+            campaign_hops: 3,
+            backoff_base: Duration::from_millis(100),
+            backoff_cap: Duration::from_millis(400),
+            max_retries: 3,
+        }
+    }
+
+    #[test]
+    fn campaign_expires_after_its_hop_budget() {
+        let mut c = ResyncController::new(tight_policy());
+        c.begin_campaign();
+        assert!(!c.note_hop());
+        assert!(!c.note_hop());
+        assert!(c.note_hop());
+        assert_eq!(c.state(), ResyncState::Scanning);
+    }
+
+    #[test]
+    fn backoff_doubles_then_exhausts() {
+        let mut c = ResyncController::new(tight_policy());
+        c.begin_campaign();
+        assert_eq!(c.campaign_failed(), Some(Duration::from_millis(100)));
+        assert_eq!(c.state(), ResyncState::BackingOff);
+        c.begin_campaign();
+        assert_eq!(c.campaign_failed(), Some(Duration::from_millis(200)));
+        c.begin_campaign();
+        assert_eq!(c.campaign_failed(), Some(Duration::from_millis(400)));
+        c.begin_campaign();
+        assert_eq!(c.campaign_failed(), None);
+        assert!(c.is_exhausted());
+        assert_eq!(c.campaigns(), 4);
+    }
+
+    #[test]
+    fn syncing_refills_the_retries() {
+        let mut c = ResyncController::new(tight_policy());
+        c.begin_campaign();
+        let _ = c.campaign_failed();
+        c.synced();
+        assert_eq!(c.state(), ResyncState::Synced);
+        c.begin_campaign();
+        assert_eq!(c.campaign_failed(), Some(Duration::from_millis(100)));
+    }
+
+    #[test]
+    fn hops_outside_a_campaign_never_expire_it() {
+        let mut c = ResyncController::new(tight_policy());
+        for _ in 0..100 {
+            assert!(!c.note_hop());
+        }
+    }
+
+    #[test]
+    fn reset_clears_exhaustion() {
+        let mut c = ResyncController::new(tight_policy());
+        for _ in 0..4 {
+            c.begin_campaign();
+            let _ = c.campaign_failed();
+        }
+        assert!(c.is_exhausted());
+        c.reset();
+        assert!(!c.is_exhausted());
+        c.begin_campaign();
+        assert_eq!(c.campaign_failed(), Some(Duration::from_millis(100)));
+    }
+}

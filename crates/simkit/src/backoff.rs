@@ -1,0 +1,122 @@
+//! Bounded exponential backoff for retry loops.
+//!
+//! Deterministic by construction: no jitter, no wall clock. Consumers that
+//! want randomised spacing should add jitter from their own seeded RNG so
+//! the schedule stays reproducible.
+//!
+//! # Example
+//!
+//! ```
+//! use simkit::{Duration, ExponentialBackoff};
+//!
+//! let mut b = ExponentialBackoff::new(Duration::from_millis(100), Duration::from_secs(1), 4);
+//! assert_eq!(b.next_delay(), Some(Duration::from_millis(100)));
+//! assert_eq!(b.next_delay(), Some(Duration::from_millis(200)));
+//! assert_eq!(b.next_delay(), Some(Duration::from_millis(400)));
+//! assert_eq!(b.next_delay(), Some(Duration::from_millis(800)));
+//! assert_eq!(b.next_delay(), None); // retries exhausted
+//! b.reset();
+//! assert_eq!(b.next_delay(), Some(Duration::from_millis(100)));
+//! ```
+
+use crate::time::Duration;
+
+/// A bounded exponential-backoff schedule: `base`, `2·base`, `4·base`, …
+/// capped at `cap`, for at most `max_retries` attempts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExponentialBackoff {
+    base: Duration,
+    cap: Duration,
+    max_retries: u32,
+    attempt: u32,
+}
+
+impl ExponentialBackoff {
+    /// Creates a schedule of at most `max_retries` delays starting at
+    /// `base` and doubling up to `cap`.
+    pub fn new(base: Duration, cap: Duration, max_retries: u32) -> ExponentialBackoff {
+        ExponentialBackoff {
+            base,
+            cap,
+            max_retries,
+            attempt: 0,
+        }
+    }
+
+    /// The delay before the next retry, or `None` once the retry budget is
+    /// spent. Each call consumes one attempt.
+    pub fn next_delay(&mut self) -> Option<Duration> {
+        if self.attempt >= self.max_retries {
+            return None;
+        }
+        let factor = 1u64.checked_shl(self.attempt).unwrap_or(u64::MAX);
+        self.attempt = self.attempt.saturating_add(1);
+        Some(self.base.saturating_mul(factor).min(self.cap))
+    }
+
+    /// Attempts consumed so far.
+    pub fn attempt(&self) -> u32 {
+        self.attempt
+    }
+
+    /// Whether the retry budget is spent.
+    pub fn exhausted(&self) -> bool {
+        self.attempt >= self.max_retries
+    }
+
+    /// Returns the schedule to its initial state (e.g. after a success).
+    pub fn reset(&mut self) {
+        self.attempt = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn delays_double_and_cap() {
+        let mut b =
+            ExponentialBackoff::new(Duration::from_millis(250), Duration::from_millis(900), 5);
+        let delays: Vec<_> = std::iter::from_fn(|| b.next_delay()).collect();
+        assert_eq!(
+            delays,
+            vec![
+                Duration::from_millis(250),
+                Duration::from_millis(500),
+                Duration::from_millis(900),
+                Duration::from_millis(900),
+                Duration::from_millis(900),
+            ]
+        );
+        assert!(b.exhausted());
+        assert_eq!(b.attempt(), 5);
+    }
+
+    #[test]
+    fn reset_restores_the_budget() {
+        let mut b = ExponentialBackoff::new(Duration::from_millis(10), Duration::from_secs(1), 1);
+        assert!(b.next_delay().is_some());
+        assert!(b.exhausted());
+        b.reset();
+        assert!(!b.exhausted());
+        assert_eq!(b.next_delay(), Some(Duration::from_millis(10)));
+    }
+
+    #[test]
+    fn zero_retries_is_immediately_exhausted() {
+        let mut b = ExponentialBackoff::new(Duration::from_millis(10), Duration::from_secs(1), 0);
+        assert!(b.exhausted());
+        assert_eq!(b.next_delay(), None);
+    }
+
+    #[test]
+    fn huge_attempt_counts_saturate() {
+        let mut b = ExponentialBackoff::new(Duration::from_nanos(1), Duration::MAX, u32::MAX);
+        for _ in 0..80 {
+            assert!(b.next_delay().is_some());
+        }
+        // 2^79 · 1 ns saturates instead of overflowing.
+        assert!(!b.exhausted());
+    }
+}

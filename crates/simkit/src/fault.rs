@@ -1,0 +1,431 @@
+//! Deterministic fault-injection plans for the radio medium.
+//!
+//! A [`FaultPlan`] is a declarative, fully pre-computed description of the
+//! channel impairments one simulation run should suffer: interference
+//! bursts on chosen channels (WiFi-coexistence style), per-frame
+//! loss/corruption probability windows, RSSI fading episodes, and transient
+//! clock-drift excursions on named endpoints. The plan is *data only* —
+//! the PHY layer interprets it — which keeps this crate protocol-agnostic.
+//!
+//! # Determinism rules
+//!
+//! 1. A plan carries its **own RNG seed** ([`FaultPlan::seed`]). The fault
+//!    layer must draw loss/corruption decisions from a generator seeded
+//!    with it and must never touch the world or node RNG streams, so that
+//!    installing a plan cannot perturb an unrelated part of the simulation.
+//! 2. An **empty plan is a true no-op**: no events scheduled, no random
+//!    draws, no allocations on the delivery hot path. Running with
+//!    `FaultPlan::default()` must be byte-identical to not installing a
+//!    plan at all.
+//! 3. All episode boundaries are expressed as absolute [`Instant`]s so the
+//!    same plan replayed against the same world seed yields the same
+//!    impairment schedule, byte for byte.
+//!
+//! # Example
+//!
+//! ```
+//! use simkit::{Duration, FaultPlan, Instant, InterferenceBurst};
+//!
+//! let plan = FaultPlan::seeded(7).with_burst(InterferenceBurst::duty_cycle(
+//!     17,
+//!     Instant::ZERO,
+//!     Duration::from_secs(10),
+//!     Duration::from_millis(50),
+//!     0.25,
+//!     -30.0,
+//! ));
+//! assert!(!plan.is_empty());
+//! // 25% of a 50 ms period is jammed.
+//! let window = plan.bursts[0];
+//! assert_eq!(window.on_time, Duration::from_micros(12_500));
+//! ```
+
+use crate::time::{Duration, Instant};
+
+/// A periodic burst of wideband interference on one channel.
+///
+/// Models a WiFi-coexistence style jammer: starting at `first`, the channel
+/// is blanketed with `power_dbm` noise for `on_time` out of every `period`,
+/// `repeats` times in total.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct InterferenceBurst {
+    /// Channel index (0–39) the burst lands on.
+    pub channel: u8,
+    /// Start of the first burst window.
+    pub first: Instant,
+    /// Repetition period. Must be ≥ `on_time`; a zero period means a
+    /// single, non-repeating burst.
+    pub period: Duration,
+    /// How long each burst window lasts.
+    pub on_time: Duration,
+    /// Number of burst windows (1 = a single burst).
+    pub repeats: u32,
+    /// Received interference power at the victim, in dBm.
+    pub power_dbm: f64,
+}
+
+impl InterferenceBurst {
+    /// A periodic burst train covering `span` from `first`, with the given
+    /// repetition `period` and `duty` cycle (fraction of each period that
+    /// is jammed, clamped to `0.0..=1.0`).
+    pub fn duty_cycle(
+        channel: u8,
+        first: Instant,
+        span: Duration,
+        period: Duration,
+        duty: f64,
+        power_dbm: f64,
+    ) -> InterferenceBurst {
+        let duty = duty.clamp(0.0, 1.0);
+        let on_time = period.mul_f64(duty);
+        let repeats = if period.is_zero() {
+            1
+        } else {
+            let n = span.as_nanos().div_ceil(period.as_nanos().max(1));
+            u32::try_from(n).unwrap_or(u32::MAX).max(1)
+        };
+        InterferenceBurst {
+            channel,
+            first,
+            period,
+            on_time,
+            repeats,
+            power_dbm,
+        }
+    }
+
+    /// Start of burst window `k` (0-based), if `k < repeats`.
+    pub fn window_start(&self, k: u32) -> Option<Instant> {
+        if k >= self.repeats {
+            return None;
+        }
+        self.period
+            .checked_mul(u64::from(k))
+            .and_then(|off| self.first.checked_add(off))
+    }
+
+    /// Total overlap between `[start, end]` and this burst's on-windows.
+    ///
+    /// Purely arithmetic — no state, no RNG — so the PHY can evaluate it
+    /// per received frame without scheduling anything.
+    pub fn overlap_with(&self, start: Instant, end: Instant) -> Duration {
+        if end <= start || self.on_time.is_zero() {
+            return Duration::ZERO;
+        }
+        // First candidate window: the one whose start is at or before
+        // `start` (or window 0 when `start` precedes the train).
+        let k0 = match start.checked_duration_since(self.first) {
+            Some(elapsed) if !self.period.is_zero() => {
+                u32::try_from(elapsed.as_nanos() / self.period.as_nanos()).unwrap_or(u32::MAX)
+            }
+            _ => 0,
+        };
+        let mut total = Duration::ZERO;
+        let mut k = k0;
+        while let Some(w_start) = self.window_start(k) {
+            if w_start >= end {
+                break;
+            }
+            let w_end = w_start.saturating_add(self.on_time);
+            let lo = w_start.max(start);
+            let hi = w_end.min(end);
+            if let Some(overlap) = hi.checked_duration_since(lo) {
+                total = total.saturating_add(overlap);
+            }
+            if self.period.is_zero() {
+                break;
+            }
+            k = match k.checked_add(1) {
+                Some(k) => k,
+                None => break,
+            };
+        }
+        total
+    }
+}
+
+/// A window of per-frame loss and corruption probability.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FrameLossRule {
+    /// Window start (inclusive).
+    pub from: Instant,
+    /// Window end (exclusive).
+    pub until: Instant,
+    /// Channel the rule applies to; `None` means every channel.
+    pub channel: Option<u8>,
+    /// Probability that a frame inside the window never achieves sync at
+    /// the receiver (dropped before delivery).
+    pub loss_prob: f64,
+    /// Probability that a frame inside the window is delivered with bit
+    /// errors (fails CRC at the receiver).
+    pub corrupt_prob: f64,
+}
+
+impl FrameLossRule {
+    /// Whether the rule covers a frame on `channel` at `now`.
+    pub fn applies(&self, now: Instant, channel: u8) -> bool {
+        self.from <= now && now < self.until && self.channel.is_none_or(|c| c == channel)
+    }
+}
+
+/// A deep-fade episode: extra path loss on every link while active.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FadingEpisode {
+    /// Episode start (inclusive).
+    pub from: Instant,
+    /// Episode end (exclusive).
+    pub until: Instant,
+    /// Extra attenuation applied to every received frame, in dB.
+    pub extra_loss_db: f64,
+}
+
+impl FadingEpisode {
+    /// Whether the episode is active at `now`.
+    pub fn active_at(&self, now: Instant) -> bool {
+        self.from <= now && now < self.until
+    }
+}
+
+/// A transient clock-drift excursion on one named endpoint.
+///
+/// While active, every locally-timed delay on the node whose label matches
+/// `node_label` is stretched by an extra `extra_ppm` parts-per-million on
+/// top of its modelled sleep-clock error (negative values run the clock
+/// fast).
+#[derive(Debug, Clone, PartialEq)]
+pub struct DriftExcursion {
+    /// Label of the affected node (as passed to the node config).
+    pub node_label: String,
+    /// Excursion start (inclusive).
+    pub from: Instant,
+    /// Excursion end (exclusive).
+    pub until: Instant,
+    /// Extra clock error in parts per million.
+    pub extra_ppm: f64,
+}
+
+impl DriftExcursion {
+    /// Whether the excursion is active at `now`.
+    pub fn active_at(&self, now: Instant) -> bool {
+        self.from <= now && now < self.until
+    }
+}
+
+/// A complete, deterministic fault-injection plan.
+///
+/// The default plan is empty and is guaranteed to be a no-op when
+/// installed (see the module docs for the determinism rules).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct FaultPlan {
+    /// Seed for the fault layer's private RNG (loss/corruption draws).
+    pub seed: u64,
+    /// Interference burst trains.
+    pub bursts: Vec<InterferenceBurst>,
+    /// Frame loss/corruption probability windows.
+    pub losses: Vec<FrameLossRule>,
+    /// Deep-fade episodes.
+    pub fading: Vec<FadingEpisode>,
+    /// Clock-drift excursions.
+    pub drift: Vec<DriftExcursion>,
+}
+
+impl FaultPlan {
+    /// An empty plan with the given fault-RNG seed.
+    pub fn seeded(seed: u64) -> FaultPlan {
+        FaultPlan {
+            seed,
+            ..FaultPlan::default()
+        }
+    }
+
+    /// Whether the plan injects nothing at all.
+    pub fn is_empty(&self) -> bool {
+        self.bursts.is_empty()
+            && self.losses.is_empty()
+            && self.fading.is_empty()
+            && self.drift.is_empty()
+    }
+
+    /// Adds an interference burst train.
+    pub fn with_burst(mut self, burst: InterferenceBurst) -> FaultPlan {
+        self.bursts.push(burst);
+        self
+    }
+
+    /// Adds a frame loss/corruption window.
+    pub fn with_loss(mut self, rule: FrameLossRule) -> FaultPlan {
+        self.losses.push(rule);
+        self
+    }
+
+    /// Adds a deep-fade episode.
+    pub fn with_fading(mut self, episode: FadingEpisode) -> FaultPlan {
+        self.fading.push(episode);
+        self
+    }
+
+    /// Adds a clock-drift excursion.
+    pub fn with_drift(mut self, excursion: DriftExcursion) -> FaultPlan {
+        self.drift.push(excursion);
+        self
+    }
+
+    /// Total extra attenuation from fading episodes active at `now`, in dB.
+    pub fn fading_db_at(&self, now: Instant) -> f64 {
+        self.fading
+            .iter()
+            .filter(|e| e.active_at(now))
+            .map(|e| e.extra_loss_db)
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_plan_is_empty() {
+        assert!(FaultPlan::default().is_empty());
+        assert!(FaultPlan::seeded(99).is_empty());
+        let plan = FaultPlan::seeded(1).with_fading(FadingEpisode {
+            from: Instant::ZERO,
+            until: Instant::from_micros(10),
+            extra_loss_db: 20.0,
+        });
+        assert!(!plan.is_empty());
+    }
+
+    #[test]
+    fn duty_cycle_constructor_covers_the_span() {
+        let b = InterferenceBurst::duty_cycle(
+            0,
+            Instant::ZERO,
+            Duration::from_secs(1),
+            Duration::from_millis(100),
+            0.5,
+            -40.0,
+        );
+        assert_eq!(b.repeats, 10);
+        assert_eq!(b.on_time, Duration::from_millis(50));
+        // Duty is clamped.
+        let b = InterferenceBurst::duty_cycle(
+            0,
+            Instant::ZERO,
+            Duration::from_millis(100),
+            Duration::from_millis(100),
+            3.0,
+            -40.0,
+        );
+        assert_eq!(b.on_time, Duration::from_millis(100));
+    }
+
+    #[test]
+    fn burst_overlap_is_exact() {
+        let b = InterferenceBurst {
+            channel: 3,
+            first: Instant::from_micros(1_000),
+            period: Duration::from_micros(1_000),
+            on_time: Duration::from_micros(200),
+            repeats: 3,
+            power_dbm: -30.0,
+        };
+        // Fully inside the first on-window.
+        assert_eq!(
+            b.overlap_with(Instant::from_micros(1_050), Instant::from_micros(1_150)),
+            Duration::from_micros(100)
+        );
+        // Straddling the end of the first on-window.
+        assert_eq!(
+            b.overlap_with(Instant::from_micros(1_150), Instant::from_micros(1_400)),
+            Duration::from_micros(50)
+        );
+        // Before the train and after it: nothing.
+        assert_eq!(
+            b.overlap_with(Instant::ZERO, Instant::from_micros(999)),
+            Duration::ZERO
+        );
+        assert_eq!(
+            b.overlap_with(Instant::from_micros(10_000), Instant::from_micros(11_000)),
+            Duration::ZERO
+        );
+        // A window spanning two periods accumulates both on-windows.
+        assert_eq!(
+            b.overlap_with(Instant::from_micros(1_000), Instant::from_micros(3_000)),
+            Duration::from_micros(400)
+        );
+        // `repeats` bounds the train: window 3 does not exist.
+        assert_eq!(b.window_start(3), None);
+        assert_eq!(
+            b.overlap_with(Instant::from_micros(4_000), Instant::from_micros(5_000)),
+            Duration::ZERO
+        );
+    }
+
+    #[test]
+    fn single_shot_burst_has_zero_period() {
+        let b = InterferenceBurst {
+            channel: 0,
+            first: Instant::from_micros(100),
+            period: Duration::ZERO,
+            on_time: Duration::from_micros(50),
+            repeats: 1,
+            power_dbm: -20.0,
+        };
+        assert_eq!(
+            b.overlap_with(Instant::ZERO, Instant::from_micros(1_000)),
+            Duration::from_micros(50)
+        );
+    }
+
+    #[test]
+    fn loss_rule_channel_filter() {
+        let rule = FrameLossRule {
+            from: Instant::from_micros(10),
+            until: Instant::from_micros(20),
+            channel: Some(5),
+            loss_prob: 0.5,
+            corrupt_prob: 0.0,
+        };
+        assert!(rule.applies(Instant::from_micros(10), 5));
+        assert!(!rule.applies(Instant::from_micros(10), 6));
+        assert!(!rule.applies(Instant::from_micros(20), 5));
+        let any = FrameLossRule {
+            channel: None,
+            ..rule
+        };
+        assert!(any.applies(Instant::from_micros(15), 37));
+    }
+
+    #[test]
+    fn fading_sums_active_episodes() {
+        let plan = FaultPlan::seeded(0)
+            .with_fading(FadingEpisode {
+                from: Instant::from_micros(0),
+                until: Instant::from_micros(100),
+                extra_loss_db: 10.0,
+            })
+            .with_fading(FadingEpisode {
+                from: Instant::from_micros(50),
+                until: Instant::from_micros(150),
+                extra_loss_db: 5.0,
+            });
+        assert_eq!(plan.fading_db_at(Instant::from_micros(10)), 10.0);
+        assert_eq!(plan.fading_db_at(Instant::from_micros(60)), 15.0);
+        assert_eq!(plan.fading_db_at(Instant::from_micros(120)), 5.0);
+        assert_eq!(plan.fading_db_at(Instant::from_micros(200)), 0.0);
+    }
+
+    #[test]
+    fn drift_excursion_window() {
+        let d = DriftExcursion {
+            node_label: "phone".into(),
+            from: Instant::from_micros(5),
+            until: Instant::from_micros(9),
+            extra_ppm: 300.0,
+        };
+        assert!(!d.active_at(Instant::from_micros(4)));
+        assert!(d.active_at(Instant::from_micros(5)));
+        assert!(!d.active_at(Instant::from_micros(9)));
+    }
+}

@@ -28,13 +28,17 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+mod backoff;
 mod clock;
+mod fault;
 mod queue;
 mod rng;
 mod time;
 mod trace;
 
+pub use backoff::ExponentialBackoff;
 pub use clock::DriftClock;
+pub use fault::{DriftExcursion, FadingEpisode, FaultPlan, FrameLossRule, InterferenceBurst};
 pub use queue::{EventId, EventQueue};
 pub use rng::SimRng;
 pub use time::{Duration, Instant};

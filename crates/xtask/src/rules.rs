@@ -344,8 +344,16 @@ fn open_backward(tokens: &[Token], close: usize) -> Option<usize> {
 /// Enums carrying protocol opcodes or PDU variants: new over-the-air
 /// vocabulary must force every match site to make a decision. The typed
 /// telemetry event is held to the same bar so adding an event variant
-/// surfaces every consumer (sinks, timeline rendering) that must handle it.
-const PDU_ENUMS: &[&str] = &["ControlPdu", "AdvertisingPdu", "Llid", "TelemetryEvent"];
+/// surfaces every consumer (sinks, timeline rendering) that must handle it,
+/// and the fault taxonomy likewise so a new impairment kind surfaces every
+/// site that renders or tallies faults.
+const PDU_ENUMS: &[&str] = &[
+    "ControlPdu",
+    "AdvertisingPdu",
+    "Llid",
+    "TelemetryEvent",
+    "FaultKind",
+];
 
 fn r4_wildcards(tokens: &[Token], out: &mut Vec<Violation>) {
     for (i, t) in tokens.iter().enumerate() {
