@@ -95,11 +95,11 @@ fn sweep(
         if level > 0.0 {
             cfg.rig.faults = Some(plan_for(level));
         }
-        let row_start = std::time::Instant::now();
+        let row_start = bench::wallclock::Stopwatch::start();
         let outcomes = run_trials_parallel(&cfg, trials);
         rows.push(
             SeriesReport::from_outcomes(parameter, level, &outcomes)
-                .with_throughput(row_start.elapsed().as_secs_f64()),
+                .with_throughput(row_start.elapsed_s()),
         );
         eprintln!("{parameter} {level}: done");
     }

@@ -17,11 +17,11 @@ fn main() {
         cfg.rig.phy = phy;
         // A distance where collisions matter (4 m).
         cfg.rig.attacker_distance = 4.0;
-        let row_start = std::time::Instant::now();
+        let row_start = bench::wallclock::Stopwatch::start();
         let outcomes = run_trials_parallel(&cfg, cli.trials);
         rows.push(
             SeriesReport::from_outcomes("phy_mbit", label, &outcomes)
-                .with_throughput(row_start.elapsed().as_secs_f64()),
+                .with_throughput(row_start.elapsed_s()),
         );
         eprintln!("LE {label}M: done");
     }

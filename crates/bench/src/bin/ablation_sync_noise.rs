@@ -17,11 +17,11 @@ fn main() {
         let mut cfg = TrialConfig::new(base + (noise_us * 10.0) as u64);
         cfg.rig.hop_interval = 25; // the tightest margin of experiment 1
         cfg.rig.attacker_anchor_noise_us = Some(noise_us);
-        let row_start = std::time::Instant::now();
+        let row_start = bench::wallclock::Stopwatch::start();
         let outcomes = run_trials_parallel(&cfg, cli.trials);
         rows.push(
             SeriesReport::from_outcomes("noise_us", noise_us, &outcomes)
-                .with_throughput(row_start.elapsed().as_secs_f64()),
+                .with_throughput(row_start.elapsed_s()),
         );
         eprintln!("anchor noise {noise_us} µs: done");
     }

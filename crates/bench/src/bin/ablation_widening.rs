@@ -94,11 +94,11 @@ fn main() {
     println!("{}", "-".repeat(62));
     let mut series = Vec::new();
     for scale in [1.0f64, 0.75, 0.5, 0.25, 0.1] {
-        let row_start = std::time::Instant::now();
+        let row_start = bench::wallclock::Stopwatch::start();
         let row = run_point(scale, trials, base);
         series.push(
             SeriesReport::from_outcomes("widening_scale", scale, &row.outcomes)
-                .with_throughput(row_start.elapsed().as_secs_f64()),
+                .with_throughput(row_start.elapsed_s()),
         );
         match &row.attempts {
             Some(s) => println!(

@@ -13,11 +13,11 @@ fn main() {
     for hop_interval in [25u16, 50, 75, 100, 125, 150] {
         let mut cfg = TrialConfig::new(base + u64::from(hop_interval));
         cfg.rig.hop_interval = hop_interval;
-        let row_start = std::time::Instant::now();
+        let row_start = bench::wallclock::Stopwatch::start();
         let outcomes = run_trials_parallel(&cfg, cli.trials);
         rows.push(
             SeriesReport::from_outcomes("hop_interval", f64::from(hop_interval), &outcomes)
-                .with_throughput(row_start.elapsed().as_secs_f64()),
+                .with_throughput(row_start.elapsed_s()),
         );
         eprintln!("hop interval {hop_interval}: done");
     }

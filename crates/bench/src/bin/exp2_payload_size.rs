@@ -14,11 +14,11 @@ fn main() {
         let mut cfg = TrialConfig::new(base + size as u64);
         cfg.rig.hop_interval = 75;
         cfg.payload = raw_payload_of_len(size);
-        let row_start = std::time::Instant::now();
+        let row_start = bench::wallclock::Stopwatch::start();
         let outcomes = run_trials_parallel(&cfg, cli.trials);
         rows.push(
             SeriesReport::from_outcomes("payload_bytes", size as f64, &outcomes)
-                .with_throughput(row_start.elapsed().as_secs_f64()),
+                .with_throughput(row_start.elapsed_s()),
         );
         eprintln!("payload {size} B: done");
     }

@@ -12,11 +12,11 @@ fn main() {
         let mut cfg = TrialConfig::new(base + distance as u64);
         cfg.rig.hop_interval = 36;
         cfg.rig.attacker_distance = distance;
-        let row_start = std::time::Instant::now();
+        let row_start = bench::wallclock::Stopwatch::start();
         let outcomes = run_trials_parallel(&cfg, cli.trials);
         rows.push(
             SeriesReport::from_outcomes("distance_m", distance, &outcomes)
-                .with_throughput(row_start.elapsed().as_secs_f64()),
+                .with_throughput(row_start.elapsed_s()),
         );
         eprintln!("distance {distance} m: done");
     }

@@ -13,11 +13,11 @@ fn main() {
         cfg.rig.attacker_distance = distance;
         cfg.rig.wall_db = Some(8.0);
         cfg.sim_budget = simkit::Duration::from_secs(240);
-        let row_start = std::time::Instant::now();
+        let row_start = bench::wallclock::Stopwatch::start();
         let outcomes = run_trials_parallel(&cfg, cli.trials);
         rows.push(
             SeriesReport::from_outcomes("distance_m", distance, &outcomes)
-                .with_throughput(row_start.elapsed().as_secs_f64()),
+                .with_throughput(row_start.elapsed_s()),
         );
         eprintln!("wall distance {distance} m: done");
     }

@@ -19,6 +19,7 @@ pub mod rig;
 pub mod stats;
 pub mod telemetry;
 pub mod trial;
+pub mod wallclock;
 
 pub use cli::Cli;
 pub use report::{print_series, print_series_to, SeriesReport};

@@ -257,6 +257,13 @@ pub fn artefact_dir() -> PathBuf {
 
 /// Minimal JSON encoding (serde-derive model, hand-rolled writer keeps the
 /// dependency surface small).
+///
+/// Artefact bytes are a pure function of the row values: every field is a
+/// scalar, `Vec` (seed order) or fixed-shape histogram summary — there is no
+/// map-backed field whose insertion order could show through, and the
+/// per-trial metrics feeding the rows come out of the name-sorted
+/// (`BTreeMap`) telemetry registry. `cargo xtask determinism` holds the
+/// binaries to this byte-for-byte (modulo the wall-clock fields above).
 fn to_json(rows: &[SeriesReport]) -> String {
     let mut out = String::from("[\n");
     for (i, r) in rows.iter().enumerate() {
@@ -426,6 +433,34 @@ mod tests {
     fn peak_rss_is_readable_on_linux() {
         let kb = peak_rss_kb().expect("VmHWM in /proc/self/status");
         assert!(kb > 0);
+    }
+
+    #[test]
+    fn json_bytes_do_not_depend_on_metric_insertion_order() {
+        // Determinism guarantee: two rows built from outcomes whose metric
+        // registries were populated in different orders serialise to the
+        // same bytes — the registry is name-sorted and the row itself has
+        // no map-backed field.
+        use crate::telemetry::TrialMetrics;
+        use ble_telemetry::MetricsRegistry;
+        let build = |reverse: bool| {
+            let mut reg = MetricsRegistry::new();
+            if reverse {
+                reg.observe_us("attack.lead_us", 36.0);
+                reg.observe_us("attack.anchor_error_us", 4.0);
+                reg.add("telemetry.events", 10);
+            } else {
+                reg.add("telemetry.events", 10);
+                reg.observe_us("attack.anchor_error_us", 4.0);
+                reg.observe_us("attack.lead_us", 36.0);
+            }
+            let mut o = outcomes(&[2, 5]);
+            for out in o.iter_mut() {
+                out.metrics = Some(TrialMetrics::from_registry(&reg, 1.0, 1.0));
+            }
+            to_json(&[SeriesReport::from_outcomes("hop", 36.0, &o)])
+        };
+        assert_eq!(build(false), build(true));
     }
 
     #[test]

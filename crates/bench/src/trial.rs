@@ -157,7 +157,7 @@ fn finish_metrics(
 
 /// Runs a single trial to its first confirmed injection.
 pub fn run_trial(cfg: &TrialConfig) -> TrialOutcome {
-    let wall_start = std::time::Instant::now();
+    let wall_start = crate::wallclock::Stopwatch::start();
     let mut rig = ExperimentRig::new(cfg.seed, &cfg.rig);
     let mut telemetry_downgraded = false;
     let registry = match &cfg.telemetry {
@@ -181,7 +181,7 @@ pub fn run_trial(cfg: &TrialConfig) -> TrialOutcome {
         }
     };
     if !rig.wait_synchronised(Duration::from_secs(30)) {
-        let sync_wall_s = wall_start.elapsed().as_secs_f64();
+        let sync_wall_s = wall_start.elapsed_s();
         let metrics = finish_metrics(&mut rig, registry.as_ref(), sync_wall_s, 0.0);
         return TrialOutcome {
             attempts: None,
@@ -191,7 +191,7 @@ pub fn run_trial(cfg: &TrialConfig) -> TrialOutcome {
             telemetry_downgraded,
         };
     }
-    let sync_wall_s = wall_start.elapsed().as_secs_f64();
+    let sync_wall_s = wall_start.elapsed_s();
     rig.attacker_mut().arm(Mission::InjectRaw {
         llid: cfg.llid,
         payload: cfg.payload.clone(),
@@ -232,7 +232,7 @@ pub fn run_trial(cfg: &TrialConfig) -> TrialOutcome {
                 .with_node_ctx::<Attacker, _>(attacker_id, |a, ctx| a.restart_resync(ctx));
         }
     }
-    let attack_wall_s = wall_start.elapsed().as_secs_f64() - sync_wall_s;
+    let attack_wall_s = wall_start.elapsed_s() - sync_wall_s;
     let metrics = finish_metrics(&mut rig, registry.as_ref(), sync_wall_s, attack_wall_s);
     let effect_observed = rig.bulb().app.pings > 0;
     TrialOutcome {
@@ -266,9 +266,19 @@ pub fn trial_seed(base: u64, i: u64) -> u64 {
 /// is kept (the panicked trial is simply absent from the returned vector,
 /// which stays in seed order).
 pub fn run_trials_parallel(base: &TrialConfig, count: u64) -> Vec<TrialOutcome> {
-    let threads = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(4)
+    // `BENCH_THREADS` pins the worker count (used by `cargo xtask
+    // determinism` to prove outcomes identical at 1 vs. N threads); the
+    // outcome vector is in seed order either way, so the thread count can
+    // never show through in the artefacts.
+    let threads = std::env::var("BENCH_THREADS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(4)
+        })
         .min(count as usize)
         .max(1);
     let mut outcomes: Vec<Option<TrialOutcome>> = vec![None; count as usize];
@@ -381,6 +391,7 @@ mod tests {
         assert_ne!(trial_seed(7, 1), 8);
         assert_eq!(trial_seed(7, 1), 7u64.wrapping_add(0x9E37_79B9_7F4A_7C15));
         // No collisions across a series far larger than any real sweep.
+        #[allow(clippy::disallowed_types)] // scratch set in test code; R7 exempts #[cfg(test)]
         let mut seen = std::collections::HashSet::new();
         for i in 0..10_000u64 {
             assert!(seen.insert(trial_seed(42, i)), "seed collision at i={i}");

@@ -10,6 +10,7 @@
 //! leak into unrelated tests.
 
 use std::alloc::{GlobalAlloc, Layout, System};
+use std::cell::Cell;
 use std::sync::atomic::{AtomicU64, Ordering};
 
 use ble_phy::{
@@ -20,24 +21,48 @@ use simkit::{Duration, FaultPlan, SimRng};
 
 static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
 
-/// Counts every allocation and reallocation, then defers to `System`.
+thread_local! {
+    // Armed only on the measuring thread, only across the steady-state
+    // window. Counting process-wide instead makes the test flaky: the
+    // libtest harness thread occasionally allocates (channel buffering)
+    // concurrently with the measured window and the budget blames the
+    // simulation for it.
+    static COUNTING: Cell<bool> = const { Cell::new(false) };
+}
+
+/// Returns whether the current thread is inside a measured window.
+///
+/// `try_with` so a (de)allocation during thread teardown — after the TLS
+/// slot is destroyed — is simply not counted instead of aborting.
+fn counting() -> bool {
+    COUNTING.try_with(Cell::get).unwrap_or(false)
+}
+
+/// Counts every allocation and reallocation on the armed thread, then
+/// defers to `System`.
 struct CountingAllocator;
 
 // SAFETY: pure pass-through to `System`; the counter has no effect on the
 // returned memory.
 unsafe impl GlobalAlloc for CountingAllocator {
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
-        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        if counting() {
+            ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        }
         unsafe { System.alloc(layout) }
     }
 
     unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
-        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        if counting() {
+            ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        }
         unsafe { System.alloc_zeroed(layout) }
     }
 
     unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
-        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        if counting() {
+            ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        }
         unsafe { System.realloc(ptr, layout, new_size) }
     }
 
@@ -130,7 +155,9 @@ fn measure_steady_state(faults: Option<FaultPlan>) -> (u64, u64) {
 
     // Steady state: ~100 further deliveries must not touch the heap.
     let before = ALLOCATIONS.load(Ordering::Relaxed);
+    COUNTING.with(|c| c.set(true));
     sim.run_for(Duration::from_millis(50));
+    COUNTING.with(|c| c.set(false));
     let delta = ALLOCATIONS.load(Ordering::Relaxed) - before;
     let received = sim.node::<Sink>(rx).expect("sink").received - received_before;
     (delta, received)

@@ -168,6 +168,7 @@ mod tests {
         for hop in 5..=16 {
             let mut csa = Csa1::new(hop);
             let map = ChannelMap::ALL;
+            #[allow(clippy::disallowed_types)] // scratch set in test code; R7 exempts #[cfg(test)]
             let mut seen = std::collections::HashSet::new();
             for _ in 0..37 {
                 seen.insert(csa.next_channel(&map).index());

@@ -91,8 +91,8 @@ impl Channel {
             38 => 2426,
             39 => 2480,
             // Lossless u8→u16 widening; `as` is unavoidable in a const fn.
-            n if n <= 10 => 2404 + 2 * n as u16, // xtask-allow: R2
-            n => 2428 + 2 * (n as u16 - 11),     // xtask-allow: R2
+            n if n <= 10 => 2404 + 2 * n as u16, // xtask-allow: R2 — n ≤ 10 here, u8→u16 widening is lossless and const fn forbids From
+            n => 2428 + 2 * (n as u16 - 11), // xtask-allow: R2 — channel index is < 40 by construction, widening u8→u16 is lossless
         }
     }
 

@@ -15,7 +15,7 @@
 //! window, arrives *first*, so the victim locks onto it; the legitimate
 //! Master frame then only matters as interference.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use ble_invariants::invariant;
 use ble_telemetry::{FaultKind, Telemetry, TelemetryEvent, TelemetryRecord, TelemetrySink};
@@ -166,7 +166,7 @@ pub(crate) struct SimInner {
     queue: EventQueue<SimEvent>,
     env: Environment,
     nodes: Vec<NodeState>,
-    txs: HashMap<u64, ActiveTx>,
+    txs: BTreeMap<u64, ActiveTx>,
     next_tx_id: u64,
     rng: SimRng,
     trace: Trace,
@@ -507,7 +507,9 @@ impl SimInner {
         // Split-field borrow: candidate geometry reads `txs`/`nodes`/`env`,
         // the fading draw needs `rng` — disjoint fields, single pass, no
         // intermediate collection. Fading is drawn per overlapping candidate
-        // in `txs` iteration order, exactly as before.
+        // in `txs` iteration order, which the `BTreeMap` pins to ascending
+        // tx-id (= transmission start order): the RNG draw sequence is a
+        // pure function of the simulation history, never of hash seeding.
         let SimInner {
             txs,
             env,
@@ -829,7 +831,7 @@ impl World {
                 queue: EventQueue::new(),
                 env,
                 nodes: Vec::new(),
-                txs: HashMap::new(),
+                txs: BTreeMap::new(),
                 next_tx_id: 0,
                 rng,
                 trace: Trace::disabled(),

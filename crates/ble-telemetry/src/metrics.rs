@@ -708,4 +708,38 @@ mod tests {
             Some(1)
         );
     }
+
+    #[test]
+    fn iteration_is_name_sorted_regardless_of_insertion_order() {
+        // The registry backs experiment artefacts: its iteration order must
+        // be a pure function of the metric names, never of the order the
+        // simulation happened to first touch them (determinism pass).
+        let mut fwd = MetricsRegistry::new();
+        fwd.inc("a.first");
+        fwd.inc("z.last");
+        fwd.set_gauge("a.g", 1.0);
+        fwd.set_gauge("z.g", 2.0);
+        fwd.observe_us("a.h", 1.0);
+        fwd.observe_us("z.h", 2.0);
+        let mut rev = MetricsRegistry::new();
+        rev.observe_us("z.h", 2.0);
+        rev.observe_us("a.h", 1.0);
+        rev.set_gauge("z.g", 2.0);
+        rev.set_gauge("a.g", 1.0);
+        rev.inc("z.last");
+        rev.inc("a.first");
+        let names = |r: &MetricsRegistry| {
+            (
+                r.counters().map(|(k, _)| k).collect::<Vec<_>>(),
+                r.gauges().map(|(k, _)| k).collect::<Vec<_>>(),
+                r.histograms().map(|(k, _)| k).collect::<Vec<_>>(),
+            )
+        };
+        assert_eq!(names(&fwd), names(&rev));
+        assert_eq!(
+            fwd.counters().map(|(k, _)| k).collect::<Vec<_>>(),
+            vec!["a.first", "z.last"],
+            "counters iterate in name order"
+        );
+    }
 }

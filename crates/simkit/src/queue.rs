@@ -1,6 +1,8 @@
 //! Cancellable discrete-event queue.
 
 use std::cmp::Ordering;
+#[allow(clippy::disallowed_types)]
+// xtask-allow: R7 — membership-only tombstone set behind the deterministic IdHasher below; iteration order is never observed
 use std::collections::{BinaryHeap, HashSet};
 use std::hash::{BuildHasherDefault, Hasher};
 
@@ -34,6 +36,8 @@ impl Hasher for IdHasher {
     }
 }
 
+#[allow(clippy::disallowed_types)]
+// xtask-allow: R7 — tombstones are only inserted/probed/removed by unique EventId; nothing ever iterates the set
 type IdTombstones = HashSet<EventId, BuildHasherDefault<IdHasher>>;
 
 struct Entry<E> {

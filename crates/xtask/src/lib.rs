@@ -1,0 +1,10 @@
+//! The rule engine behind `cargo xtask lint`.
+//!
+//! Exposed as a library so the fixture corpus under `tests/fixtures/` can
+//! drive [`rules::lint_source`] directly; the binary in `main.rs` layers
+//! file walking, crate scoping and the CLI on top.
+
+#![forbid(unsafe_code)]
+
+pub mod lexer;
+pub mod rules;

@@ -1,21 +1,33 @@
-//! The protocol lint rules R1–R6.
+//! The protocol lint rules R1–R9.
 //!
-//! | rule | scope            | forbids                                                     |
-//! |------|------------------|-------------------------------------------------------------|
-//! | R1   | protocol crates  | `panic!`/`unwrap`/`expect`/`unreachable!` and unchecked indexing |
-//! | R2   | protocol crates  | truncating `as` casts to narrow integer types               |
-//! | R3   | protocol crates  | raw arithmetic on extracted time tick counts                |
-//! | R4   | whole workspace  | `_` wildcard arms in matches over PDU/LL-control/telemetry enums |
-//! | R5   | arena consumers  | `Rc<RefCell<…>>` shared-node graphs (use the `World` arena) |
-//! | R6   | frame-facing     | `Vec<u8>` in `pub` struct fields (use the inline `Pdu`)     |
+//! | rule | scope                  | forbids                                                     |
+//! |------|------------------------|-------------------------------------------------------------|
+//! | R1   | protocol crates        | `panic!`/`unwrap`/`expect`/`unreachable!` and unchecked indexing |
+//! | R2   | protocol crates        | truncating `as` casts to narrow integer types               |
+//! | R3   | protocol crates        | raw arithmetic on extracted time tick counts                |
+//! | R4   | whole workspace        | `_` wildcard arms in matches over PDU/LL-control/telemetry enums |
+//! | R5   | arena consumers        | `Rc<RefCell<…>>` shared-node graphs (use the `World` arena) |
+//! | R6   | frame-facing           | `Vec<u8>` in `pub` struct fields (use the inline `Pdu`)     |
+//! | R7   | order-sensitive crates | `HashMap`/`HashSet` (hash-order iteration corrupts replayability) |
+//! | R8   | all but `bench::wallclock` | `std::time::{Instant, SystemTime}` and their `::now()` reads |
+//! | R9   | whole workspace        | RNG construction without an explicit seed (`from_entropy`, `thread_rng`, `rand::random`, `OsRng`) |
+//!
+//! R7–R9 are the **determinism rules**: fixed seeds must replay every
+//! experiment byte-for-byte, so simulation-order-sensitive code may not
+//! iterate hash-ordered collections, read the host clock, or construct RNGs
+//! the seed does not control. Wall-clock throughput/RSS measurement lives in
+//! the single audited `bench::wallclock` quarantine module.
 //!
 //! Test-only code (`#[cfg(test)]`) is exempt from every rule. A violation on
 //! line *N* can be waived with `// xtask-allow: R<n> — reason` on line *N*
 //! or *N − 1*; waivers are for audited exceptions (e.g. lossless casts in
-//! `const fn` contexts where `From` is unavailable), never for silencing
-//! real hot-path panics.
+//! `const fn` contexts where `From` is unavailable, or a membership-only
+//! `HashSet` behind a deterministic hasher whose iteration order is never
+//! observed), never for silencing real hot-path panics. The reason suffix is
+//! mandatory: `cargo xtask lint --waivers` audits every waiver and fails on
+//! bare ones.
 
-use std::collections::HashSet;
+use std::collections::BTreeSet;
 
 use crate::lexer::{matching, strip_cfg_test, tokenize, Token};
 
@@ -28,30 +40,49 @@ pub struct RuleSet {
     pub r4: bool,
     pub r5: bool,
     pub r6: bool,
+    pub r7: bool,
+    pub r8: bool,
+    pub r9: bool,
 }
 
 impl RuleSet {
-    /// The hot-path rules: the protocol crates.
+    /// No rules at all; the base the named sets build on.
+    pub const fn none() -> Self {
+        RuleSet {
+            r1: false,
+            r2: false,
+            r3: false,
+            r4: false,
+            r5: false,
+            r6: false,
+            r7: false,
+            r8: false,
+            r9: false,
+        }
+    }
+
+    /// The hot-path rules: the protocol crates. The workspace-wide
+    /// determinism rules R8/R9 ride along.
     pub fn protocol() -> Self {
         RuleSet {
             r1: true,
             r2: true,
             r3: true,
             r4: true,
-            r5: false,
-            r6: false,
+            r8: true,
+            r9: true,
+            ..Self::none()
         }
     }
 
-    /// Exhaustive-match rule only: attack tooling, device models, benches.
+    /// Exhaustive-match plus the workspace-wide determinism rules: attack
+    /// tooling, device models, benches.
     pub fn general() -> Self {
         RuleSet {
-            r1: false,
-            r2: false,
-            r3: false,
             r4: true,
-            r5: false,
-            r6: false,
+            r8: true,
+            r9: true,
+            ..Self::none()
         }
     }
 
@@ -68,12 +99,20 @@ impl RuleSet {
         self.r6 = true;
         self
     }
+
+    /// Adds the no-hash-collections rule: simulation-order-sensitive crates
+    /// may not iterate `HashMap`/`HashSet` (hash order is not stable across
+    /// runs, platforms, or std versions).
+    pub fn with_r7(mut self) -> Self {
+        self.r7 = true;
+        self
+    }
 }
 
 /// One lint finding.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Violation {
-    /// Rule number, 1–5.
+    /// Rule number, 1–9.
     pub rule: u8,
     /// 1-based source line.
     pub line: u32,
@@ -104,39 +143,86 @@ pub fn lint_source(src: &str, rules: RuleSet) -> Vec<Violation> {
     if rules.r6 {
         r6_vec_u8_fields(&tokens, &mut v);
     }
+    if rules.r7 {
+        r7_hash_collections(&tokens, &mut v);
+    }
+    if rules.r8 {
+        r8_wall_clock(&tokens, &mut v);
+    }
+    if rules.r9 {
+        r9_unseeded_rng(&tokens, &mut v);
+    }
     v.retain(|vi| !waivers.contains(&(vi.line, vi.rule)));
     v.sort_by_key(|vi| (vi.line, vi.rule));
     v
+}
+
+/// One `// xtask-allow:` waiver comment, as audited by
+/// `cargo xtask lint --waivers`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WaiverEntry {
+    /// 1-based line the waiver comment sits on.
+    pub line: u32,
+    /// Rules the waiver silences, in source order.
+    pub rules: Vec<u8>,
+    /// The reason after the `—`/`--` separator, if any. `None` for a bare
+    /// waiver (an audit failure) — every waiver must say *why* the rule is
+    /// safe to break at this site.
+    pub reason: Option<String>,
+}
+
+/// Collects every waiver comment in a file for the audit listing, keeping
+/// the reason text (unlike [`collect_waivers`], which only needs the
+/// silenced coordinates).
+pub fn collect_waiver_entries(src: &str) -> Vec<WaiverEntry> {
+    let mut out = Vec::new();
+    for (idx, line) in src.lines().enumerate() {
+        let Some(pos) = line.find("xtask-allow:") else {
+            continue;
+        };
+        let rest = &line[pos + "xtask-allow:".len()..];
+        let (list, reason) = split_waiver_reason(rest);
+        let mut rules = Vec::new();
+        let mut chars = list.chars().peekable();
+        while let Some(c) = chars.next() {
+            if c == 'R' || c == 'r' {
+                if let Some(d) = chars.peek().and_then(|d| d.to_digit(10)) {
+                    chars.next();
+                    rules.push(d as u8);
+                }
+            }
+        }
+        out.push(WaiverEntry {
+            line: idx as u32 + 1,
+            rules,
+            reason,
+        });
+    }
+    out
+}
+
+/// Splits waiver text into the rule list and the (trimmed, non-empty)
+/// reason after the `—` or `--` separator.
+fn split_waiver_reason(rest: &str) -> (&str, Option<String>) {
+    for sep in ["—", "--"] {
+        if let Some((list, reason)) = rest.split_once(sep) {
+            let reason = reason.trim();
+            return (list, (!reason.is_empty()).then(|| reason.to_owned()));
+        }
+    }
+    (rest, None)
 }
 
 /// Parses `// xtask-allow: R1, R3 — reason` waivers. A waiver on line *N*
 /// covers lines *N* and *N + 1*. Only the rule list before the reason
 /// separator (`—` or `--`) is parsed, so a reason that *mentions* a rule
 /// ("R2 is syntactic here") does not accidentally waive it.
-fn collect_waivers(src: &str) -> HashSet<(u32, u8)> {
-    let mut waivers = HashSet::new();
-    for (idx, line) in src.lines().enumerate() {
-        let Some(pos) = line.find("xtask-allow:") else {
-            continue;
-        };
-        let mut rest = &line[pos + "xtask-allow:".len()..];
-        if let Some((list, _reason)) = rest.split_once('—') {
-            rest = list;
-        }
-        if let Some((list, _reason)) = rest.split_once("--") {
-            rest = list;
-        }
-        let mut chars = rest.chars().peekable();
-        while let Some(c) = chars.next() {
-            if c == 'R' || c == 'r' {
-                if let Some(d) = chars.peek().and_then(|d| d.to_digit(10)) {
-                    chars.next();
-                    let rule = d as u8;
-                    let n = idx as u32 + 1;
-                    waivers.insert((n, rule));
-                    waivers.insert((n + 1, rule));
-                }
-            }
+fn collect_waivers(src: &str) -> BTreeSet<(u32, u8)> {
+    let mut waivers = BTreeSet::new();
+    for entry in collect_waiver_entries(src) {
+        for rule in entry.rules {
+            waivers.insert((entry.line, rule));
+            waivers.insert((entry.line + 1, rule));
         }
     }
     waivers
@@ -578,255 +664,193 @@ fn r6_vec_u8_fields(tokens: &[Token], out: &mut Vec<Violation>) {
     }
 }
 
+// ---------------------------------------------------------------------
+// R7: no hash-ordered collections in simulation-order-sensitive crates
+// ---------------------------------------------------------------------
+
+/// Hash-map iteration order depends on the hasher's per-process random keys
+/// (and, even with a fixed hasher, on insertion history and the std
+/// implementation), so any simulation state iterated in hash order silently
+/// breaks seed-for-seed replayability — the property every experiment
+/// artefact comparison rests on. The ban covers type mentions, so
+/// constructor forms (`HashMap::new`, `::default`, `collect::<HashMap<…>>`)
+/// and `use` imports all trip it.
+const HASH_COLLECTIONS: &[&str] = &["HashMap", "HashSet"];
+
+fn r7_hash_collections(tokens: &[Token], out: &mut Vec<Violation>) {
+    for t in tokens {
+        if HASH_COLLECTIONS.contains(&t.text.as_str()) {
+            out.push(Violation {
+                rule: 7,
+                line: t.line,
+                msg: format!(
+                    "`{}` iterates in hash order, which is not replayable \
+                     across runs; use `BTreeMap`/`BTreeSet`/`Vec`, or waive \
+                     with a reason proving iteration order is never observed",
+                    t.text
+                ),
+            });
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// R8: no host wall-clock reads outside the bench::wallclock quarantine
+// ---------------------------------------------------------------------
+
+/// Simulation logic may never branch on host time: a run that behaves
+/// differently on a loaded machine is not an experiment. Wall-clock reads
+/// for throughput/RSS pricing are legitimate but live in exactly one
+/// audited module (`bench::wallclock`), which the lint driver exempts by
+/// path. Detected forms: the `std::time::Instant` / `std::time::SystemTime`
+/// paths (including `use std::time::{…}` groups) and `Instant::now()` /
+/// `SystemTime::now()` calls after an import. `simkit::Instant` — simulated
+/// time — has no `now()` and never trips this rule.
+fn r8_wall_clock(tokens: &[Token], out: &mut Vec<Violation>) {
+    let fire = |out: &mut Vec<Violation>, t: &Token| {
+        out.push(Violation {
+            rule: 8,
+            line: t.line,
+            msg: format!(
+                "host wall-clock type `{}` outside `bench::wallclock`; \
+                 simulation logic must use `simkit` time, and throughput \
+                 pricing must go through the quarantine module",
+                t.text
+            ),
+        });
+    };
+    for (i, t) in tokens.iter().enumerate() {
+        // `std :: time ::` followed by the banned type or a `{…}` group.
+        if t.text == "std"
+            && tokens.get(i + 1).is_some_and(|n| n.text == "::")
+            && tokens.get(i + 2).is_some_and(|n| n.text == "time")
+            && tokens.get(i + 3).is_some_and(|n| n.text == "::")
+        {
+            match tokens.get(i + 4) {
+                Some(n) if n.text == "Instant" || n.text == "SystemTime" => fire(out, n),
+                Some(n) if n.text == "{" => {
+                    let close = matching(tokens, i + 4);
+                    for tok in &tokens[i + 4..close.min(tokens.len())] {
+                        if tok.text == "Instant" || tok.text == "SystemTime" {
+                            fire(out, tok);
+                        }
+                    }
+                }
+                _ => {}
+            }
+        }
+        // `Instant::now()` / `SystemTime::now()` on an imported name. The
+        // path-qualified form is caught above (same line, deduplicated by
+        // the `time ::` guard here).
+        if (t.text == "Instant" || t.text == "SystemTime")
+            && tokens.get(i + 1).is_some_and(|n| n.text == "::")
+            && tokens.get(i + 2).is_some_and(|n| n.text == "now")
+            && !(i >= 2 && tokens[i - 1].text == "::" && tokens[i - 2].text == "time")
+        {
+            fire(out, t);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// R9: no RNG construction the seed does not control
+// ---------------------------------------------------------------------
+
+/// Idents that construct or read entropy-seeded randomness. Any draw from
+/// these is invisible to the experiment seed, so two runs with identical
+/// seeds diverge — exactly the corruption the determinism oracle exists to
+/// catch, banned at the source instead.
+const UNSEEDED_RNG: &[&str] = &["from_entropy", "thread_rng", "OsRng"];
+
+fn r9_unseeded_rng(tokens: &[Token], out: &mut Vec<Violation>) {
+    for (i, t) in tokens.iter().enumerate() {
+        if UNSEEDED_RNG.contains(&t.text.as_str()) {
+            out.push(Violation {
+                rule: 9,
+                line: t.line,
+                msg: format!(
+                    "`{}` draws entropy the experiment seed does not \
+                     control; derive randomness from an explicit seed \
+                     (`SimRng::seed_from` / `fork`, `seed_from_u64`)",
+                    t.text
+                ),
+            });
+        }
+        if t.text == "rand"
+            && tokens.get(i + 1).is_some_and(|n| n.text == "::")
+            && tokens.get(i + 2).is_some_and(|n| n.text == "random")
+        {
+            out.push(Violation {
+                rule: 9,
+                line: t.line,
+                msg: "`rand::random` draws from the thread-local entropy RNG; \
+                      derive randomness from an explicit seed \
+                      (`SimRng::seed_from` / `fork`, `seed_from_u64`)"
+                    .to_owned(),
+            });
+        }
+    }
+}
+
+// Per-rule positive/negative coverage lives in the fixture corpus under
+// `tests/fixtures/` (driven by `tests/corpus.rs`): one annotated snippet per
+// rule, including waiver handling and the `#[cfg(test)]` exemption. The
+// tests here cover only the engine-level pieces the corpus cannot express —
+// output ordering and the waiver-audit parsing API.
 #[cfg(test)]
 mod tests {
     use super::*;
 
-    fn lint(src: &str) -> Vec<Violation> {
-        lint_source(src, RuleSet::protocol())
-    }
-
-    fn rules_fired(src: &str) -> Vec<u8> {
-        lint(src).into_iter().map(|v| v.rule).collect()
-    }
-
-    // ----- R1: panics ------------------------------------------------
-
-    #[test]
-    fn r1_fires_on_each_panic_form() {
-        assert_eq!(rules_fired("fn f() { panic!(\"boom\"); }"), vec![1]);
-        assert_eq!(rules_fired("fn f() { unreachable!(); }"), vec![1]);
-        assert_eq!(rules_fired("fn f(x: Option<u8>) { x.unwrap(); }"), vec![1]);
-        assert_eq!(
-            rules_fired("fn f(x: Option<u8>) { x.expect(\"set\"); }"),
-            vec![1]
-        );
-        assert_eq!(rules_fired("fn f() { todo!() }"), vec![1]);
-    }
-
-    #[test]
-    fn r1_ignores_recovering_combinators() {
-        assert!(lint("fn f(x: Option<u8>) -> u8 { x.unwrap_or(0) }").is_empty());
-        assert!(lint("fn f(x: Option<u8>) -> u8 { x.unwrap_or_default() }").is_empty());
-    }
-
-    #[test]
-    fn r1_ignores_test_code_and_strings() {
-        assert!(lint("#[cfg(test)] mod t { #[test] fn u() { panic!(); } }").is_empty());
-        assert!(lint("fn f() -> &'static str { \"panic!(x.unwrap())\" }").is_empty());
-        assert!(lint("// a comment about panic!()\nfn f() {}").is_empty());
-    }
-
-    #[test]
-    fn r1_fires_on_unchecked_indexing() {
-        assert_eq!(
-            rules_fired("fn f(a: &[u8], i: usize) -> u8 { a[i] }"),
-            vec![1]
-        );
-        assert_eq!(
-            rules_fired("fn f(a: &[u8], n: usize) -> &[u8] { &a[n..] }"),
-            vec![1]
-        );
-    }
-
-    #[test]
-    fn r1_allows_checked_indexing_forms() {
-        assert!(lint("fn f(a: [u8; 4]) -> u8 { a[0] }").is_empty());
-        assert!(lint("fn f(a: &[u8]) -> &[u8] { &a[..2] }").is_empty());
-        assert!(lint("fn f(a: [u8; 3], i: usize) -> u8 { a[i % 3] }").is_empty());
-        assert!(lint("fn f(a: &[u8], i: usize) -> Option<&u8> { a.get(i) }").is_empty());
-        // Array types and literals are not index expressions.
-        assert!(lint("fn f(n: usize) -> [u8; 5] { let x = [0u8; 5]; x }").is_empty());
-    }
-
-    // ----- R2: casts -------------------------------------------------
-
-    #[test]
-    fn r2_fires_on_narrowing_casts() {
-        assert_eq!(rules_fired("fn f(x: u64) -> u8 { x as u8 }"), vec![2]);
-        assert_eq!(rules_fired("fn f(x: u64) -> u16 { x as u16 }"), vec![2]);
-        assert_eq!(rules_fired("fn f(x: u64) -> i32 { x as i32 }"), vec![2]);
-    }
-
-    #[test]
-    fn r2_allows_wide_casts_and_renames() {
-        assert!(lint("fn f(x: u8) -> u64 { x as u64 }").is_empty());
-        assert!(lint("fn f(x: u8) -> usize { x as usize }").is_empty());
-        assert!(lint("use std::fmt as formatting;").is_empty());
-    }
-
-    // ----- R3: time arithmetic ---------------------------------------
-
-    #[test]
-    fn r3_fires_on_raw_tick_arithmetic() {
-        assert_eq!(
-            rules_fired("fn f(d: Duration) -> u64 { d.as_micros() + 5 }"),
-            vec![3]
-        );
-        assert_eq!(
-            rules_fired("fn f(d: Duration, x: u64) -> u64 { x - d.as_micros() }"),
-            vec![3]
-        );
-        assert_eq!(
-            rules_fired("fn f(c: Conn) -> u64 { c.params.interval().as_nanos() * 2 }"),
-            vec![3]
-        );
-    }
-
-    #[test]
-    fn r3_allows_typed_domain_arithmetic() {
-        // The addition happens on Durations; only the sum is extracted.
-        assert!(lint("fn f(a: Duration, b: Duration) -> u64 { (a + b).as_micros() }").is_empty());
-        assert!(lint("fn f(d: Duration) -> u64 { d.as_micros() }").is_empty());
-        assert!(
-            lint("fn f(d: Duration, x: u64) -> u64 { d.as_micros().saturating_add(x) }").is_empty()
-        );
-    }
-
-    // ----- R4: exhaustive PDU matches --------------------------------
-
-    #[test]
-    fn r4_fires_on_wildcard_over_pdu_enum() {
-        let src = "fn f(p: ControlPdu) {\n    match p {\n        ControlPdu::PingReq => {}\n        _ => {}\n    }\n}";
-        let v = lint(src);
-        assert_eq!(v.len(), 1);
-        assert_eq!(v[0].rule, 4);
-        assert_eq!(v[0].line, 4);
-    }
-
-    #[test]
-    fn r4_allows_exhaustive_pdu_match_and_foreign_wildcards() {
-        let exhaustive = "fn f(p: Llid) { match p { Llid::Control => {} Llid::Start => {} } }";
-        assert!(lint(exhaustive).is_empty());
-        // Wildcards over non-protocol enums are fine.
-        let other = "fn f(s: State) { match s { State::Idle => {} _ => {} } }";
-        assert!(lint(other).is_empty());
-    }
-
-    #[test]
-    fn r4_ignores_nested_non_pdu_wildcard() {
-        // The inner match on a tuple may use `_`; the outer PDU match is
-        // exhaustive and must not inherit the inner wildcard.
-        let src = "fn f(p: Llid, r: Role) {\n    match p {\n        Llid::Control => match r { Role::Master => {} _ => {} },\n        Llid::Start => {}\n    }\n}";
-        assert!(lint(src).is_empty());
-    }
-
-    #[test]
-    fn r4_flags_nested_pdu_wildcard_only() {
-        let src = "fn f(p: Llid, q: ControlPdu) {\n    match p {\n        Llid::Control => match q { ControlPdu::PingReq => {} _ => {} },\n        Llid::Start => {}\n    }\n}";
-        let v = lint(src);
-        assert_eq!(v.len(), 1);
-        assert_eq!(v[0].rule, 4);
-        assert_eq!(v[0].line, 3);
-    }
-
-    // ----- R5: Rc<RefCell<…>> ----------------------------------------
-
-    #[test]
-    fn r5_fires_on_rc_refcell_types_and_constructors() {
-        let ty = "fn f(x: Rc<RefCell<Device>>) {}";
-        let v = lint_source(ty, RuleSet::general().with_r5());
-        assert_eq!(v.len(), 1);
-        assert_eq!(v[0].rule, 5);
-        let ctor = "fn f() { let d = Rc::new(RefCell::new(Device::default())); }";
-        assert_eq!(lint_source(ctor, RuleSet::general().with_r5()).len(), 1);
-        let qualified = "fn f(x: std::rc::Rc<std::cell::RefCell<Device>>) {}";
-        assert_eq!(
-            lint_source(qualified, RuleSet::general().with_r5()).len(),
-            1
-        );
-    }
-
-    #[test]
-    fn r5_ignores_rc_and_refcell_alone_and_is_opt_in() {
-        let separate = "fn f(a: Rc<str>, b: RefCell<u8>) {}";
-        assert!(lint_source(separate, RuleSet::general().with_r5()).is_empty());
-        let graph = "fn f(x: Rc<RefCell<Device>>) {}";
-        assert!(lint_source(graph, RuleSet::general()).is_empty());
-        assert!(lint_source(graph, RuleSet::protocol()).is_empty());
-    }
-
-    // ----- R6: pub Vec<u8> fields ------------------------------------
-
-    #[test]
-    fn r6_fires_on_pub_vec_u8_fields() {
-        let src = "pub struct RawFrame { pub pdu: Vec<u8>, pub crc_init: u32 }";
-        let v = lint_source(src, RuleSet::general().with_r6());
-        assert_eq!(v.len(), 1);
-        assert_eq!(v[0].rule, 6);
-        assert!(v[0].msg.contains("pdu"));
-        let qualified = "pub struct F { pub(crate) data: std::vec::Vec<u8> }";
-        assert_eq!(
-            lint_source(qualified, RuleSet::general().with_r6()).len(),
-            1
-        );
-    }
-
-    #[test]
-    fn r6_ignores_private_fields_fns_and_other_vecs() {
-        let private = "pub struct F { pdu: Vec<u8> }";
-        assert!(lint_source(private, RuleSet::general().with_r6()).is_empty());
-        let func = "pub fn encode(data: &[u8]) -> Vec<u8> { data.to_vec() }";
-        assert!(lint_source(func, RuleSet::general().with_r6()).is_empty());
-        let other = "pub struct F { pub samples: Vec<u16>, pub names: Vec<String> }";
-        assert!(lint_source(other, RuleSet::general().with_r6()).is_empty());
-        let opt_in = "pub struct F { pub pdu: Vec<u8> }";
-        assert!(lint_source(opt_in, RuleSet::general()).is_empty());
-    }
-
-    #[test]
-    fn r6_waivable_like_other_rules() {
-        let src = "pub struct Capture {\n    // xtask-allow: R6 — capture logs outlive the hot path\n    pub raw: Vec<u8>,\n}";
-        assert!(lint_source(src, RuleSet::general().with_r6()).is_empty());
-    }
-
-    #[test]
-    fn r5_waivable_like_other_rules() {
-        let src = "// xtask-allow: R5 — FFI boundary needs shared ownership\nfn f(x: Rc<RefCell<Device>>) {}";
-        assert!(lint_source(src, RuleSet::general().with_r5()).is_empty());
-    }
-
-    // ----- waivers and rule sets -------------------------------------
-
-    #[test]
-    fn waiver_silences_same_and_next_line() {
-        let same = "fn f(x: u64) -> u8 { x as u8 } // xtask-allow: R2 — masked upstream";
-        assert!(lint(same).is_empty());
-        let above = "// xtask-allow: R2 — masked upstream\nfn f(x: u64) -> u8 { x as u8 }";
-        assert!(lint(above).is_empty());
-    }
-
-    #[test]
-    fn waiver_is_rule_specific() {
-        let src = "// xtask-allow: R1\nfn f(x: u64) -> u8 { x as u8 }";
-        assert_eq!(rules_fired(src), vec![2]);
-    }
-
-    #[test]
-    fn rule_mentioned_in_waiver_reason_is_not_waived() {
-        let src =
-            "// xtask-allow: R1 — unlike R2, this site can never panic\nfn f(x: u64) -> u8 { x as u8 }";
-        assert_eq!(rules_fired(src), vec![2]);
-        let ascii =
-            "// xtask-allow: R1 -- unlike R2, this site can never panic\nfn f(x: u64) -> u8 { x as u8 }";
-        assert_eq!(rules_fired(ascii), vec![2]);
-    }
-
-    #[test]
-    fn general_ruleset_only_checks_r4() {
-        let src = "fn f(x: Option<u8>) { x.unwrap(); }";
-        assert!(lint_source(src, RuleSet::general()).is_empty());
-        let pdu = "fn f(p: Llid) { match p { Llid::Control => {} _ => {} } }";
-        assert_eq!(lint_source(pdu, RuleSet::general()).len(), 1);
-    }
-
     #[test]
     fn violations_sorted_by_line() {
         let src = "fn a(x: u64) -> u8 { x as u8 }\nfn b() { panic!(); }";
-        let v = lint(src);
+        let v = lint_source(src, RuleSet::protocol());
         assert_eq!(
             v.iter().map(|x| (x.line, x.rule)).collect::<Vec<_>>(),
             vec![(1, 2), (2, 1)]
+        );
+    }
+
+    #[test]
+    fn ruleset_composition_flags_stack() {
+        let rules = RuleSet::general().with_r5().with_r6().with_r7();
+        assert!(rules.r4 && rules.r5 && rules.r6 && rules.r7);
+        assert!(rules.r8 && rules.r9, "determinism rules ride with general");
+        assert!(!rules.r1, "hot-path rules stay protocol-only");
+        let none = RuleSet::none();
+        assert!(
+            !(none.r1 || none.r4 || none.r7 || none.r8 || none.r9),
+            "none() is the empty base"
+        );
+    }
+
+    #[test]
+    fn waiver_entries_parse_rules_and_reasons() {
+        let src = "\
+fn a() {} // xtask-allow: R2 — masked upstream
+// xtask-allow: R7
+// xtask-allow: R1, R3 -- ascii dashes work too
+";
+        let entries = collect_waiver_entries(src);
+        assert_eq!(entries.len(), 3);
+        assert_eq!(entries[0].line, 1);
+        assert_eq!(entries[0].rules, vec![2]);
+        assert_eq!(entries[0].reason.as_deref(), Some("masked upstream"));
+        assert_eq!(entries[1].line, 2);
+        assert_eq!(entries[1].rules, vec![7]);
+        assert_eq!(entries[1].reason, None, "bare waiver has no reason");
+        assert_eq!(entries[2].rules, vec![1, 3]);
+        assert_eq!(entries[2].reason.as_deref(), Some("ascii dashes work too"));
+    }
+
+    #[test]
+    fn waiver_reason_must_be_nonempty() {
+        let src = "// xtask-allow: R2 — \nfn f() {}";
+        let entries = collect_waiver_entries(src);
+        assert_eq!(entries.len(), 1);
+        assert_eq!(
+            entries[0].reason, None,
+            "a dash with nothing after it is not a reason"
         );
     }
 }

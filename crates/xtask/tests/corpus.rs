@@ -1,0 +1,172 @@
+//! Fixture-driven corpus for the lint rules R1–R9.
+//!
+//! Every `tests/fixtures/*.rs` file is a minimal Rust snippet with a
+//! directive header the lexer never sees (comments are stripped before the
+//! rules run):
+//!
+//! ```text
+//! //# lint: protocol            — the ruleset (base, optionally +rN flags)
+//! //# expect: R2@4 R1@7         — exact (rule, line) violations, or `none`
+//! ```
+//!
+//! Base rulesets: `protocol` (R1–R4 + R8/R9), `general` (R4 + R8/R9),
+//! `none`. Flags: `+r5` … `+r9`. The harness runs
+//! [`xtask::rules::lint_source`] over the snippet body and requires the
+//! fired `(rule, line)` set to match the header exactly — positives and
+//! negatives live in the same file, which keeps each fixture an honest
+//! miniature of real code rather than an isolated assertion.
+
+use std::path::PathBuf;
+
+use xtask::rules::{lint_source, RuleSet};
+
+fn fixtures_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures")
+}
+
+/// Parses `protocol+r5+r6`-style ruleset specs.
+fn parse_ruleset(spec: &str) -> RuleSet {
+    let mut parts = spec.split('+').map(str::trim);
+    let mut rules = match parts.next() {
+        Some("protocol") => RuleSet::protocol(),
+        Some("general") => RuleSet::general(),
+        Some("none") => RuleSet::none(),
+        other => panic!("unknown base ruleset {other:?} (want protocol|general|none)"),
+    };
+    for flag in parts {
+        match flag {
+            "r5" => rules.r5 = true,
+            "r6" => rules.r6 = true,
+            "r7" => rules.r7 = true,
+            "r8" => rules.r8 = true,
+            "r9" => rules.r9 = true,
+            other => panic!("unknown ruleset flag `{other}`"),
+        }
+    }
+    rules
+}
+
+/// Parses `R2@4 R1@7` / `none` expectation lists into (rule, line) pairs.
+fn parse_expect(spec: &str) -> Vec<(u8, u32)> {
+    if spec.trim() == "none" || spec.trim().is_empty() {
+        return Vec::new();
+    }
+    spec.split_whitespace()
+        .map(|entry| {
+            let (rule, line) = entry
+                .split_once('@')
+                .unwrap_or_else(|| panic!("bad expect entry `{entry}` (want R<n>@<line>)"));
+            let rule = rule
+                .strip_prefix('R')
+                .and_then(|n| n.parse().ok())
+                .unwrap_or_else(|| panic!("bad rule in expect entry `{entry}`"));
+            let line = line
+                .parse()
+                .unwrap_or_else(|_| panic!("bad line in expect entry `{entry}`"));
+            (rule, line)
+        })
+        .collect()
+}
+
+struct Fixture {
+    name: String,
+    rules: RuleSet,
+    expect: Vec<(u8, u32)>,
+    src: String,
+}
+
+fn load(path: &std::path::Path) -> Fixture {
+    let src = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| panic!("cannot read {}: {e}", path.display()));
+    let name = path
+        .file_name()
+        .map(|n| n.to_string_lossy().into_owned())
+        .unwrap_or_default();
+    let mut rules = None;
+    let mut expect = None;
+    for line in src.lines() {
+        if let Some(spec) = line.strip_prefix("//# lint:") {
+            rules = Some(parse_ruleset(spec.trim()));
+        } else if let Some(spec) = line.strip_prefix("//# expect:") {
+            expect = Some(parse_expect(spec));
+        }
+    }
+    Fixture {
+        rules: rules.unwrap_or_else(|| panic!("{name}: missing `//# lint:` directive")),
+        expect: expect.unwrap_or_else(|| panic!("{name}: missing `//# expect:` directive")),
+        name,
+        src,
+    }
+}
+
+#[test]
+fn every_fixture_fires_exactly_as_annotated() {
+    let dir = fixtures_dir();
+    let mut paths: Vec<PathBuf> = std::fs::read_dir(&dir)
+        .unwrap_or_else(|e| panic!("cannot read {}: {e}", dir.display()))
+        .filter_map(Result::ok)
+        .map(|e| e.path())
+        .filter(|p| p.extension().is_some_and(|e| e == "rs"))
+        .collect();
+    paths.sort();
+    assert!(
+        paths.len() >= 9,
+        "corpus must cover every rule; found only {} fixtures",
+        paths.len()
+    );
+
+    let mut failures = Vec::new();
+    let mut rules_covered = std::collections::BTreeSet::new();
+    for path in &paths {
+        let fixture = load(path);
+        let fired: Vec<(u8, u32)> = lint_source(&fixture.src, fixture.rules)
+            .into_iter()
+            .map(|v| (v.rule, v.line))
+            .collect();
+        let mut expected = fixture.expect.clone();
+        expected.sort_by_key(|&(rule, line)| (line, rule));
+        for &(rule, _) in &expected {
+            rules_covered.insert(rule);
+        }
+        if fired != expected {
+            failures.push(format!(
+                "{}: expected {:?}, fired {:?}",
+                fixture.name, expected, fired
+            ));
+        }
+    }
+    assert!(
+        failures.is_empty(),
+        "fixture mismatches:\n  {}",
+        failures.join("\n  ")
+    );
+    // Every rule must have at least one positive fixture, so a new rule
+    // cannot land without corpus coverage.
+    assert_eq!(
+        rules_covered.into_iter().collect::<Vec<_>>(),
+        (1..=9).collect::<Vec<_>>(),
+        "every rule R1-R9 needs a positive fixture"
+    );
+}
+
+#[test]
+fn fixture_directives_are_well_formed() {
+    // A fixture whose `expect` names a line past the end of the file is a
+    // stale annotation; catch it here rather than as a silent mismatch.
+    let dir = fixtures_dir();
+    for entry in std::fs::read_dir(&dir).expect("fixtures dir") {
+        let path = entry.expect("dir entry").path();
+        if path.extension().is_none_or(|e| e != "rs") {
+            continue;
+        }
+        let fixture = load(&path);
+        let lines = fixture.src.lines().count() as u32;
+        for &(rule, line) in &fixture.expect {
+            assert!(
+                line <= lines,
+                "{}: R{rule}@{line} is past the end of the file ({lines} lines)",
+                fixture.name
+            );
+        }
+    }
+}

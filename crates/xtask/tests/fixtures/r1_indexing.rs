@@ -1,0 +1,10 @@
+//# lint: protocol
+//# expect: R1@4 R1@5
+
+fn f(a: &[u8], i: usize) -> u8 { a[i] }
+fn g(a: &[u8], n: usize) -> &[u8] { &a[n..] }
+fn ok1(a: [u8; 4]) -> u8 { a[0] }
+fn ok2(a: &[u8]) -> &[u8] { &a[..2] }
+fn ok3(a: [u8; 3], i: usize) -> u8 { a[i % 3] }
+fn ok4(a: &[u8], i: usize) -> Option<&u8> { a.get(i) }
+fn ok5() -> [u8; 5] { [0u8; 5] }

@@ -1,0 +1,11 @@
+//# lint: protocol
+//# expect: R1@4 R1@5 R1@6 R1@7 R1@8
+
+fn a() { panic!("boom"); }
+fn b() { unreachable!(); }
+fn c(x: Option<u8>) { x.unwrap(); }
+fn d(x: Option<u8>) { x.expect("set"); }
+fn e() { todo!() }
+fn ok1(x: Option<u8>) -> u8 { x.unwrap_or(0) }
+fn ok2(x: Option<u8>) -> u8 { x.unwrap_or_default() }
+fn ok3() -> &'static str { "panic!(x.unwrap())" }

@@ -1,0 +1,14 @@
+//# lint: protocol
+//# expect: none
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn explodes() {
+        panic!("test code may panic freely");
+    }
+}
+
+fn live() -> u8 {
+    0
+}

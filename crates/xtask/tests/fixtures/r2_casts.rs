@@ -1,0 +1,9 @@
+//# lint: protocol
+//# expect: R2@4 R2@5 R2@6
+
+fn a(x: u64) -> u8 { x as u8 }
+fn b(x: u64) -> u16 { x as u16 }
+fn c(x: u64) -> i32 { x as i32 }
+fn ok1(x: u8) -> u64 { x as u64 }
+fn ok2(x: u8) -> usize { x as usize }
+use std::fmt as formatting;

@@ -1,0 +1,8 @@
+//# lint: protocol
+//# expect: R3@4 R3@5
+
+fn a(d: Duration) -> u64 { d.as_micros() + 5 }
+fn b(d: Duration, x: u64) -> u64 { x - d.as_micros() }
+fn ok1(a: Duration, b: Duration) -> u64 { (a + b).as_micros() }
+fn ok2(d: Duration, x: u64) -> u64 { d.as_micros().saturating_add(x) }
+fn ok3(d: Duration) -> u64 { d.as_micros() }

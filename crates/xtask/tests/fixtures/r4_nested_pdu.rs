@@ -1,0 +1,16 @@
+//# lint: protocol
+//# expect: R4@6
+
+fn flagged(p: Llid, q: ControlPdu) {
+    match p {
+        Llid::Control => match q { ControlPdu::PingReq => {} _ => {} },
+        Llid::Start => {}
+    }
+}
+
+fn ok(p: Llid, r: Role) {
+    match p {
+        Llid::Control => match r { Role::Master => {} _ => {} },
+        Llid::Start => {}
+    }
+}

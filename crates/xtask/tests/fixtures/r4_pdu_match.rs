@@ -1,0 +1,23 @@
+//# lint: protocol
+//# expect: R4@7
+
+fn flagged(p: ControlPdu) {
+    match p {
+        ControlPdu::PingReq => {}
+        _ => {}
+    }
+}
+
+fn exhaustive(p: Llid) {
+    match p {
+        Llid::Control => {}
+        Llid::Start => {}
+    }
+}
+
+fn foreign_enum_wildcard_is_fine(s: State) {
+    match s {
+        State::Idle => {}
+        _ => {}
+    }
+}

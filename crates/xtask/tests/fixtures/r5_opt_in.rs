@@ -1,0 +1,4 @@
+//# lint: protocol
+//# expect: none
+
+fn graph_outside_arena_consumers_is_unchecked(x: Rc<RefCell<Device>>) {}

@@ -1,0 +1,10 @@
+//# lint: general+r5
+//# expect: R5@4 R5@6 R5@8
+
+fn a(x: Rc<RefCell<Device>>) {}
+
+fn b() { let d = Rc::new(RefCell::new(Device::default())); }
+
+fn c(x: std::rc::Rc<std::cell::RefCell<Device>>) {}
+
+fn ok(a: Rc<str>, b: RefCell<u8>) {}

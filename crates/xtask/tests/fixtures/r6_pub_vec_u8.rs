@@ -1,0 +1,17 @@
+//# lint: general+r6
+//# expect: R6@5
+
+pub struct RawFrame {
+    pub pdu: Vec<u8>,
+    pub crc_init: u32,
+}
+
+pub struct Fine {
+    pdu: Vec<u8>,
+    pub samples: Vec<u16>,
+    pub names: Vec<String>,
+}
+
+pub fn encode(data: &[u8]) -> Vec<u8> {
+    data.to_vec()
+}

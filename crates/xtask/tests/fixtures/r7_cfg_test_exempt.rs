@@ -1,0 +1,15 @@
+//# lint: general+r7
+//# expect: none
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scratch_set_never_iterated_by_shipping_code() {
+        let mut seen = std::collections::HashSet::new();
+        assert!(seen.insert(1u64));
+    }
+}
+
+fn live() -> u8 {
+    0
+}

@@ -1,0 +1,22 @@
+//# lint: general+r7
+//# expect: R7@4 R7@6 R7@7 R7@10
+
+use std::collections::HashMap;
+
+fn build() -> HashMap<u64, u32> {
+    HashMap::new()
+}
+
+fn dedupe(xs: &[u64]) -> std::collections::HashSet<u64> {
+    xs.iter().copied().collect()
+}
+
+use std::collections::{BTreeMap, BTreeSet};
+
+fn sorted() -> BTreeMap<u64, u32> {
+    BTreeMap::new()
+}
+
+fn sorted_set() -> BTreeSet<u64> {
+    BTreeSet::new()
+}

@@ -1,0 +1,7 @@
+//# lint: general+r7
+//# expect: R7@7
+
+// xtask-allow: R7 — membership-only set behind a deterministic hasher; never iterated
+type Tombstones = HashSet<u64, BuildHasherDefault<IdHasher>>;
+
+type Bare = HashSet<u64>;

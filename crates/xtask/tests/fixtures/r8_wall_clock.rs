@@ -1,0 +1,19 @@
+//# lint: general
+//# expect: R8@4 R8@6 R8@9
+
+use std::time::Instant;
+
+use std::time::{Duration, SystemTime};
+
+fn price() -> f64 {
+    let t0 = Instant::now();
+    t0.elapsed().as_secs_f64()
+}
+
+fn sim_time_is_fine() -> simkit::Duration {
+    simkit::Duration::from_micros(150)
+}
+
+fn sim_instant_is_fine(t: simkit::Instant) -> simkit::Instant {
+    t
+}

@@ -1,0 +1,16 @@
+//# lint: general
+//# expect: R9@4 R9@6 R9@8 R9@10
+
+fn a() -> SmallRng { SmallRng::from_entropy() }
+
+fn b() -> ThreadRng { rand::thread_rng() }
+
+fn c() -> u64 { rand::random() }
+
+fn d(rng: &mut OsRng) -> u64 { rng.next_u64() }
+
+fn ok1(seed: u64) -> SimRng { SimRng::seed_from(seed) }
+
+fn ok2(seed: u64) -> SmallRng { SmallRng::seed_from_u64(seed) }
+
+fn ok3(parent: &mut SimRng) -> SimRng { parent.fork() }

@@ -1,0 +1,13 @@
+//# lint: protocol
+//# expect: R2@10 R2@13
+
+fn same_line(x: u64) -> u8 { x as u8 } // xtask-allow: R2 — masked upstream
+
+// xtask-allow: R2 — masked upstream
+fn line_above(x: u64) -> u8 { x as u8 }
+
+// xtask-allow: R1 — wrong rule: the cast below still fires
+fn wrong_rule(x: u64) -> u8 { x as u8 }
+
+// xtask-allow: R1 — unlike R2, this site can never panic
+fn rule_in_reason_not_waived(x: u64) -> u8 { x as u8 }
