@@ -7,6 +7,8 @@
 //!   timeline <trace.jsonl> [--limit N]   render an existing trace
 //!   timeline --demo [--limit N]          run one close-range trial with a
 //!                                        JSONL sink, then render it
+//!   timeline … --spans                   additionally render the span lane
+//!                                        (phase spans + per-phase totals)
 //!
 //! Exits non-zero when the trace is unreadable or contains no valid event
 //! lines, which is what the CI smoke step asserts.
@@ -18,7 +20,7 @@ use std::process::ExitCode;
 use bench::report::artefact_dir;
 use bench::telemetry::TelemetryMode;
 use bench::trial::{run_trial, TrialConfig};
-use ble_telemetry::{parse_line, TelemetryEvent, TelemetryRecord};
+use ble_telemetry::{parse_line, SpanKind, TelemetryEvent, TelemetryRecord};
 
 /// Default cap on rendered event rows (traces run to millions of events).
 const DEFAULT_LIMIT: usize = 200;
@@ -28,10 +30,12 @@ fn main() -> ExitCode {
     let mut path = None;
     let mut limit = DEFAULT_LIMIT;
     let mut demo = false;
+    let mut spans = false;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
             "--demo" => demo = true,
+            "--spans" => spans = true,
             "--limit" => {
                 i += 1;
                 limit = args
@@ -89,6 +93,9 @@ fn main() -> ExitCode {
         return ExitCode::FAILURE;
     }
     render(&records, limit, skipped);
+    if spans {
+        print!("{}", render_spans(&records, limit));
+    }
     ExitCode::SUCCESS
 }
 
@@ -132,6 +139,8 @@ fn event_channel(event: &TelemetryEvent) -> Option<u8> {
         | TelemetryEvent::Takeover { .. }
         | TelemetryEvent::DetectorAlert { .. }
         | TelemetryEvent::FaultEpisode { .. }
+        | TelemetryEvent::SpanEnter { .. }
+        | TelemetryEvent::SpanExit { .. }
         | TelemetryEvent::Raw { .. } => None,
     }
 }
@@ -166,8 +175,101 @@ fn is_headline(event: &TelemetryEvent) -> bool {
         | TelemetryEvent::AnchorPrediction { .. }
         | TelemetryEvent::IfsDelta { .. }
         | TelemetryEvent::FaultFrame { .. }
+        | TelemetryEvent::SpanEnter { .. }
+        | TelemetryEvent::SpanExit { .. }
         | TelemetryEvent::Raw { .. } => false,
     }
+}
+
+/// How a span's `detail` payload reads for humans (channel for airtime and
+/// injection spans, LL opcode for control procedures).
+fn span_detail(kind: SpanKind, detail: u32) -> String {
+    match kind {
+        SpanKind::ChannelAirtime | SpanKind::AttackerInject => format!("ch {detail}"),
+        SpanKind::LlProcedure => format!("op 0x{detail:02X}"),
+        SpanKind::TrialSync
+        | SpanKind::TrialFollow
+        | SpanKind::TrialVerify
+        | SpanKind::AttackerScan
+        | SpanKind::AttackerFollow => "-".to_string(),
+    }
+}
+
+/// Renders the span lane: a chronological listing of closed spans followed
+/// by per-phase sim-time totals. Pure function of the records (wall-clock
+/// span fields are deliberately **not** rendered), so its output is
+/// byte-stable across equally-seeded runs and golden-testable.
+fn render_spans(records: &[TelemetryRecord], limit: usize) -> String {
+    use std::fmt::Write as _;
+    let labels = node_labels(records);
+    let mut out = String::new();
+    let _ = writeln!(out);
+    let _ = writeln!(out, "=== span lane ===");
+    let _ = writeln!(
+        out,
+        "{:>12}  {:<10} {:<16} {:>8} {:>12} {:>12}",
+        "t (ms)", "node", "span", "detail", "sim_ms", "self_ms"
+    );
+    let _ = writeln!(out, "{}", "-".repeat(78));
+    let mut shown = 0usize;
+    let mut elided = 0usize;
+    let mut totals: BTreeMap<usize, (u64, u64, u64)> = BTreeMap::new();
+    for r in records {
+        let TelemetryEvent::SpanExit {
+            kind,
+            detail,
+            sim_ns,
+            self_sim_ns,
+            ..
+        } = &r.event
+        else {
+            continue;
+        };
+        let t = totals.entry(kind.index()).or_insert((0, 0, 0));
+        t.0 += 1;
+        t.1 += sim_ns;
+        t.2 += self_sim_ns;
+        if shown >= limit {
+            elided += 1;
+            continue;
+        }
+        shown += 1;
+        let node = r
+            .node
+            .and_then(|n| labels.get(&n).cloned())
+            .unwrap_or_else(|| "-".to_string());
+        let _ = writeln!(
+            out,
+            "{:>12.3}  {:<10} {:<16} {:>8} {:>12.3} {:>12.3}",
+            r.at.as_micros_f64() / 1_000.0,
+            node,
+            kind.as_str(),
+            span_detail(*kind, *detail),
+            *sim_ns as f64 / 1e6,
+            *self_sim_ns as f64 / 1e6,
+        );
+    }
+    if shown == 0 {
+        let _ = writeln!(out, "(no closed spans in this trace)");
+    }
+    if elided > 0 {
+        let _ = writeln!(out, "… {elided} more spans (raise with --limit)");
+    }
+    let _ = writeln!(out);
+    let _ = writeln!(out, "per-phase totals (sim time):");
+    for (idx, (count, sim_ns, self_sim_ns)) in &totals {
+        let kind = SpanKind::ALL[*idx];
+        let _ = writeln!(
+            out,
+            "  {:<16} count={:<6} sim_ms={:<12.3} self_ms={:.3}",
+            kind.as_str(),
+            count,
+            *sim_ns as f64 / 1e6,
+            *self_sim_ns as f64 / 1e6,
+        );
+    }
+    let _ = writeln!(out);
+    out
 }
 
 fn render(records: &[TelemetryRecord], limit: usize, skipped: usize) {
@@ -258,6 +360,8 @@ fn render(records: &[TelemetryRecord], limit: usize, skipped: usize) {
             | TelemetryEvent::DetectorAlert { .. }
             | TelemetryEvent::FaultBurst { .. }
             | TelemetryEvent::FaultEpisode { .. }
+            | TelemetryEvent::SpanEnter { .. }
+            | TelemetryEvent::SpanExit { .. }
             | TelemetryEvent::Raw { .. } => {}
         }
     }
@@ -282,4 +386,163 @@ fn render(records: &[TelemetryRecord], limit: usize, skipped: usize) {
         );
     }
     println!();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simkit::Instant;
+
+    fn rec(at_us: u64, node: Option<u32>, event: TelemetryEvent) -> TelemetryRecord {
+        TelemetryRecord {
+            at: Instant::from_micros(at_us),
+            node,
+            event,
+        }
+    }
+
+    /// A small synthetic trace exercising every span-lane feature: node
+    /// labels, nesting (self < total), every detail format, and the elision
+    /// counter.
+    fn span_trace() -> Vec<TelemetryRecord> {
+        vec![
+            rec(
+                0,
+                Some(0),
+                TelemetryEvent::NodeAdded {
+                    label: "phone".into(),
+                },
+            ),
+            rec(
+                0,
+                Some(3),
+                TelemetryEvent::NodeAdded {
+                    label: "attacker".into(),
+                },
+            ),
+            rec(
+                0,
+                None,
+                TelemetryEvent::SpanEnter {
+                    id: 1,
+                    kind: SpanKind::TrialSync,
+                    detail: 0,
+                },
+            ),
+            rec(
+                1_250,
+                Some(0),
+                TelemetryEvent::SpanExit {
+                    id: 2,
+                    kind: SpanKind::ChannelAirtime,
+                    detail: 17,
+                    sim_ns: 368_000,
+                    wall_ns: 999,
+                    self_sim_ns: 368_000,
+                    self_wall_ns: 999,
+                },
+            ),
+            rec(
+                2_000,
+                Some(0),
+                TelemetryEvent::SpanExit {
+                    id: 3,
+                    kind: SpanKind::LlProcedure,
+                    detail: 0x0C,
+                    sim_ns: 0,
+                    wall_ns: 50,
+                    self_sim_ns: 0,
+                    self_wall_ns: 50,
+                },
+            ),
+            rec(
+                3_000_000,
+                Some(3),
+                TelemetryEvent::SpanExit {
+                    id: 4,
+                    kind: SpanKind::AttackerInject,
+                    detail: 21,
+                    sim_ns: 1_200_000,
+                    wall_ns: 400,
+                    self_sim_ns: 1_200_000,
+                    self_wall_ns: 400,
+                },
+            ),
+            rec(
+                5_000_000,
+                None,
+                TelemetryEvent::SpanExit {
+                    id: 1,
+                    kind: SpanKind::TrialSync,
+                    detail: 0,
+                    sim_ns: 5_000_000_000,
+                    wall_ns: 123_456,
+                    self_sim_ns: 4_998_432_000,
+                    self_wall_ns: 122_007,
+                },
+            ),
+        ]
+    }
+
+    #[test]
+    fn span_lane_matches_golden_file() {
+        let rendered = render_spans(&span_trace(), 3);
+        let golden_path = concat!(
+            env!("CARGO_MANIFEST_DIR"),
+            "/tests/golden/timeline_spans.txt"
+        );
+        let golden = std::fs::read_to_string(golden_path)
+            .unwrap_or_else(|e| panic!("golden file {golden_path} unreadable: {e}"));
+        assert_eq!(
+            rendered, golden,
+            "span lane drifted from {golden_path}; if the change is \
+             intentional, update the golden file to the left-hand value"
+        );
+    }
+
+    #[test]
+    fn span_lane_elides_past_the_limit_but_totals_count_everything() {
+        let out = render_spans(&span_trace(), 2);
+        assert!(out.contains("… 2 more spans"));
+        // Totals still aggregate the elided rows.
+        assert!(out.contains("trial-sync"));
+        assert!(out.contains("attacker-inject"));
+    }
+
+    #[test]
+    fn span_lane_without_spans_says_so() {
+        let out = render_spans(
+            &[rec(
+                0,
+                Some(0),
+                TelemetryEvent::NodeAdded { label: "x".into() },
+            )],
+            10,
+        );
+        assert!(out.contains("(no closed spans in this trace)"));
+    }
+
+    #[test]
+    fn span_lane_never_renders_wall_clock() {
+        // The wall fields differ between these traces; the rendering must not.
+        let mut a = span_trace();
+        let mut b = span_trace();
+        for r in b.iter_mut() {
+            if let TelemetryEvent::SpanExit {
+                wall_ns,
+                self_wall_ns,
+                ..
+            } = &mut r.event
+            {
+                *wall_ns *= 7;
+                *self_wall_ns *= 7;
+            }
+        }
+        assert_eq!(render_spans(&a, 10), render_spans(&b, 10));
+        // Sim fields, by contrast, do show through.
+        if let TelemetryEvent::SpanExit { sim_ns, .. } = &mut a[3].event {
+            *sim_ns += 1_000_000;
+        }
+        assert_ne!(render_spans(&a, 10), render_spans(&b, 10));
+    }
 }

@@ -7,7 +7,7 @@ use ble_telemetry::HistogramUs;
 use serde::Serialize;
 
 use crate::stats::Summary;
-use crate::telemetry::{merge_histogram, HistRow};
+use crate::telemetry::{merge_histogram, merge_phase_profile, HistRow, PhaseProfile};
 use crate::trial::TrialOutcome;
 
 /// One row of an experiment series: a parameter value and its outcome
@@ -51,6 +51,12 @@ pub struct SeriesReport {
     /// Trials that silently downgraded a requested JSONL telemetry sink to
     /// metrics-only because the sink could not be opened.
     pub telemetry_downgrades: usize,
+    /// Per-phase span attribution merged across the row's trials, in
+    /// [`ble_telemetry::SpanKind`] order. Empty when telemetry was off. The
+    /// `wall_ns`/`self_wall_ns` fields are wall-clock and excluded from
+    /// byte-identity (neutralised by `cargo xtask determinism`); the
+    /// sim-time fields are deterministic.
+    pub phase_profile: Vec<PhaseProfile>,
 }
 
 impl SeriesReport {
@@ -67,9 +73,11 @@ impl SeriesReport {
         let mut anchor_error: Option<HistogramUs> = None;
         let mut lead_time: Option<HistogramUs> = None;
         let mut events_rates = Vec::new();
+        let mut phase_profile = Vec::new();
         for m in outcomes.iter().filter_map(|o| o.metrics.as_ref()) {
             merge_histogram(&mut anchor_error, m.anchor_error.as_ref());
             merge_histogram(&mut lead_time, m.lead_time.as_ref());
+            merge_phase_profile(&mut phase_profile, &m.phase_profile);
             if m.events_per_sec > 0.0 {
                 events_rates.push(m.events_per_sec);
             }
@@ -93,6 +101,7 @@ impl SeriesReport {
             peak_rss_kb: None,
             unconfirmed_effects: outcomes.iter().filter(|o| o.unconfirmed_effect()).count(),
             telemetry_downgrades: outcomes.iter().filter(|o| o.telemetry_downgraded).count(),
+            phase_profile,
         }
     }
 
@@ -310,6 +319,10 @@ fn to_json(rows: &[SeriesReport]) -> String {
                 r.telemetry_downgrades
             ));
         }
+        out.push_str(&format!(
+            ",\"phase_profile\":{}",
+            phase_profile_json(&r.phase_profile)
+        ));
         out.push('}');
     }
     out.push_str("\n]\n");
@@ -320,12 +333,30 @@ fn to_json(rows: &[SeriesReport]) -> String {
 fn hist_json(row: Option<&HistRow>) -> String {
     match row {
         Some(h) => format!(
-            "{{\"count\":{},\"mean\":{:.3},\"p50\":{},\"p90\":{},\"p99\":{},\
-             \"min\":{:.3},\"max\":{:.3}}}",
-            h.count, h.mean, h.p50, h.p90, h.p99, h.min, h.max
+            "{{\"count\":{},\"mean\":{:.3},\"p50\":{},\"p90\":{},\"p95\":{},\
+             \"p99\":{},\"min\":{:.3},\"max\":{:.3}}}",
+            h.count, h.mean, h.p50, h.p90, h.p95, h.p99, h.min, h.max
         ),
         None => "null".to_string(),
     }
+}
+
+/// Encodes the per-phase span profile as a JSON array (empty when spans
+/// never closed — the key is still emitted so artefact shape is stable).
+fn phase_profile_json(rows: &[PhaseProfile]) -> String {
+    let mut out = String::from("[");
+    for (i, p) in rows.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "{{\"phase\":\"{}\",\"count\":{},\"sim_ns\":{},\"self_sim_ns\":{},\
+             \"wall_ns\":{},\"self_wall_ns\":{}}}",
+            p.phase, p.count, p.sim_ns, p.self_sim_ns, p.wall_ns, p.self_wall_ns
+        ));
+    }
+    out.push(']');
+    out
 }
 
 #[cfg(test)]
@@ -471,6 +502,48 @@ mod tests {
         assert!(json.contains("\"median\":1"));
         assert!(json.contains("\"anchor_error_us\":null"));
         assert!(json.contains("\"events_per_sec\":0.0"));
+        // The phase-profile key is always present so the artefact shape is
+        // stable whether or not telemetry ran.
+        assert!(json.contains("\"phase_profile\":[]"));
+    }
+
+    #[test]
+    fn phase_profile_merges_across_trials_into_json() {
+        use crate::telemetry::TrialMetrics;
+        use ble_telemetry::MetricsRegistry;
+        let mut reg = MetricsRegistry::new();
+        reg.add("span.trial_sync.count", 1);
+        reg.add("span.trial_sync.sim_ns", 2_000_000);
+        reg.add("span.trial_sync.self_sim_ns", 2_000_000);
+        reg.add("span.trial_sync.wall_ns", 777);
+        reg.add("span.trial_sync.self_wall_ns", 777);
+        let mut o = outcomes(&[1, 2]);
+        for out in o.iter_mut() {
+            out.metrics = Some(TrialMetrics::from_registry(&reg, 1.0, 1.0));
+        }
+        let r = SeriesReport::from_outcomes("hop", 36.0, &o);
+        assert_eq!(r.phase_profile.len(), 1);
+        assert_eq!(r.phase_profile[0].count, 2);
+        assert_eq!(r.phase_profile[0].sim_ns, 4_000_000);
+        let json = to_json(&[r]);
+        assert!(json.contains(
+            "\"phase_profile\":[{\"phase\":\"trial-sync\",\"count\":2,\
+             \"sim_ns\":4000000,\"self_sim_ns\":4000000,\"wall_ns\":1554,\
+             \"self_wall_ns\":1554}]"
+        ));
+    }
+
+    #[test]
+    fn hist_json_reports_p95() {
+        let mut h = HistogramUs::default();
+        for i in 0..100 {
+            h.record(f64::from(i));
+        }
+        let row = HistRow::from(h.summary());
+        let json = hist_json(Some(&row));
+        assert!(json.contains("\"p95\":"));
+        assert!(row.p95 >= row.p90);
+        assert!(row.p95 <= row.p99);
     }
 
     #[test]
@@ -491,6 +564,7 @@ mod tests {
                 events_per_sec: 50.0,
                 sync_wall_s: 1.0,
                 attack_wall_s: 1.0,
+                phase_profile: Vec::new(),
             });
         }
         let r = SeriesReport::from_outcomes("hop", 36.0, &o);

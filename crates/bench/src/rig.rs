@@ -11,7 +11,7 @@
 
 use ble_devices::{Central, Lightbulb};
 use ble_phy::NodeId;
-use ble_scenario::{Scenario, ScenarioBuilder};
+use ble_scenario::{Scenario, ScenarioBuilder, TelemetryMode};
 use injectable::{Attacker, ResyncPolicy};
 use simkit::{Duration, FaultPlan};
 
@@ -81,7 +81,17 @@ impl ExperimentRig {
     /// the +x axis, the attacker on the −y axis (behind the optional wall
     /// at y = −0.5 m).
     pub fn new(seed: u64, cfg: &RigConfig) -> Self {
+        Self::with_telemetry(seed, cfg, TelemetryMode::Off)
+    }
+
+    /// Like [`ExperimentRig::new`], with telemetry capture wired through the
+    /// scenario builder. Sinks attach before node bootstrap (so spans opened
+    /// in `on_start` hooks are captured) and the quarantined harness
+    /// wall-clock is installed as the span clock.
+    pub fn with_telemetry(seed: u64, cfg: &RigConfig, telemetry: TelemetryMode) -> Self {
         let mut builder = ScenarioBuilder::paper_rig(seed)
+            .telemetry(telemetry)
+            .span_clock(crate::wallclock::monotonic_ns)
             .hop_interval(cfg.hop_interval)
             .attacker_distance(cfg.attacker_distance)
             .central_distance(cfg.central_distance)

@@ -1,7 +1,7 @@
 //! Per-trial telemetry capture: sink selection, phase timing and the
 //! metric block that rides along in experiment report rows.
 
-use ble_telemetry::{HistSummary, HistogramUs, MetricsRegistry};
+use ble_telemetry::{HistSummary, HistogramUs, MetricsRegistry, SpanKind};
 use serde::Serialize;
 
 pub use ble_scenario::TelemetryMode;
@@ -17,6 +17,8 @@ pub struct HistRow {
     pub p50: f64,
     /// 90th percentile.
     pub p90: f64,
+    /// 95th percentile.
+    pub p95: f64,
     /// 99th percentile.
     pub p99: f64,
     /// Smallest sample.
@@ -32,11 +34,82 @@ impl From<HistSummary> for HistRow {
             mean: s.mean,
             p50: s.p50,
             p90: s.p90,
+            p95: s.p95,
             p99: s.p99,
             min: s.min,
             max: s.max,
         }
     }
+}
+
+/// Per-phase span attribution: one row per [`SpanKind`] that closed at
+/// least once during a trial (or a series, after merging).
+///
+/// Sim-time fields are deterministic (byte-identical across equally-seeded
+/// runs); the wall-clock fields come from the quarantined span clock and
+/// are excluded from byte-identity (`cargo xtask determinism` neutralises
+/// `wall_ns`/`self_wall_ns` like `trials_per_sec`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PhaseProfile {
+    /// The span kind's wire name (e.g. `"trial-sync"`).
+    pub phase: &'static str,
+    /// Closed spans of this kind.
+    pub count: u64,
+    /// Total simulation nanoseconds.
+    pub sim_ns: u64,
+    /// Simulation nanoseconds net of child spans.
+    pub self_sim_ns: u64,
+    /// Total wall-clock nanoseconds.
+    pub wall_ns: u64,
+    /// Wall-clock nanoseconds net of child spans.
+    pub self_wall_ns: u64,
+}
+
+/// Extracts the per-phase profile from a registry's `span.*` counters, in
+/// [`SpanKind::ALL`] order, skipping kinds that never closed a span.
+pub fn phase_profile_from_registry(reg: &MetricsRegistry) -> Vec<PhaseProfile> {
+    SpanKind::ALL
+        .into_iter()
+        .filter_map(|kind| {
+            let names = kind.metric_names();
+            let count = reg.counter(names.count);
+            if count == 0 {
+                return None;
+            }
+            Some(PhaseProfile {
+                phase: kind.as_str(),
+                count,
+                sim_ns: reg.counter(names.sim_ns),
+                self_sim_ns: reg.counter(names.self_sim_ns),
+                wall_ns: reg.counter(names.wall_ns),
+                self_wall_ns: reg.counter(names.self_wall_ns),
+            })
+        })
+        .collect()
+}
+
+/// Folds one trial's phase rows into a series accumulator (rows keyed by
+/// phase name; counts and durations add).
+pub fn merge_phase_profile(acc: &mut Vec<PhaseProfile>, rows: &[PhaseProfile]) {
+    for row in rows {
+        match acc.iter_mut().find(|a| a.phase == row.phase) {
+            Some(a) => {
+                a.count = a.count.saturating_add(row.count);
+                a.sim_ns = a.sim_ns.saturating_add(row.sim_ns);
+                a.self_sim_ns = a.self_sim_ns.saturating_add(row.self_sim_ns);
+                a.wall_ns = a.wall_ns.saturating_add(row.wall_ns);
+                a.self_wall_ns = a.self_wall_ns.saturating_add(row.self_wall_ns);
+            }
+            None => acc.push(*row),
+        }
+    }
+    // Keep a canonical phase order regardless of which trial introduced a
+    // kind first (artefact bytes must not depend on per-trial span sets).
+    acc.sort_by_key(|r| {
+        SpanKind::parse(r.phase)
+            .map(SpanKind::index)
+            .unwrap_or(usize::MAX)
+    });
 }
 
 /// Metrics extracted from one trial's registry after the run.
@@ -56,6 +129,9 @@ pub struct TrialMetrics {
     pub sync_wall_s: f64,
     /// Wall-clock seconds spent in the attack phase.
     pub attack_wall_s: f64,
+    /// Per-phase span attribution (empty when spans never closed, e.g.
+    /// telemetry off).
+    pub phase_profile: Vec<PhaseProfile>,
 }
 
 impl TrialMetrics {
@@ -72,6 +148,7 @@ impl TrialMetrics {
             events_per_sec: events_total as f64 / wall,
             sync_wall_s,
             attack_wall_s,
+            phase_profile: phase_profile_from_registry(reg),
         }
     }
 }
@@ -108,6 +185,57 @@ mod tests {
         assert_eq!(m.lead_time.as_ref().map(HistogramUs::count), Some(1));
         assert_eq!(m.anchor_error.as_ref().map(HistogramUs::count), Some(1));
         assert!(m.ifs_delta.is_none());
+    }
+
+    #[test]
+    fn phase_profile_skips_unclosed_kinds_and_merges_by_name() {
+        let mut reg = MetricsRegistry::new();
+        reg.add("span.trial_sync.count", 1);
+        reg.add("span.trial_sync.sim_ns", 1_000);
+        reg.add("span.trial_sync.self_sim_ns", 800);
+        reg.add("span.trial_sync.wall_ns", 50);
+        reg.add("span.trial_sync.self_wall_ns", 40);
+        let rows = phase_profile_from_registry(&reg);
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0].phase, "trial-sync");
+        assert_eq!(rows[0].sim_ns, 1_000);
+
+        let mut acc = Vec::new();
+        merge_phase_profile(&mut acc, &rows);
+        merge_phase_profile(&mut acc, &rows);
+        assert_eq!(acc.len(), 1);
+        assert_eq!(acc[0].count, 2);
+        assert_eq!(acc[0].sim_ns, 2_000);
+        assert_eq!(acc[0].self_wall_ns, 80);
+    }
+
+    #[test]
+    fn merged_phase_rows_sort_in_kind_order() {
+        let follow = PhaseProfile {
+            phase: "trial-follow",
+            count: 1,
+            sim_ns: 5,
+            self_sim_ns: 5,
+            wall_ns: 0,
+            self_wall_ns: 0,
+        };
+        let sync = PhaseProfile {
+            phase: "trial-sync",
+            count: 1,
+            sim_ns: 9,
+            self_sim_ns: 9,
+            wall_ns: 0,
+            self_wall_ns: 0,
+        };
+        // First trial only saw the follow phase; canonical order must not
+        // depend on that accident.
+        let mut acc = Vec::new();
+        merge_phase_profile(&mut acc, &[follow]);
+        merge_phase_profile(&mut acc, &[sync, follow]);
+        assert_eq!(
+            acc.iter().map(|r| r.phase).collect::<Vec<_>>(),
+            vec!["trial-sync", "trial-follow"]
+        );
     }
 
     #[test]

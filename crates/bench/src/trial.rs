@@ -1,7 +1,7 @@
 //! One injection trial = one data point of Figure 9.
 
 use ble_link::Llid;
-use ble_telemetry::{JsonlSink, MetricsSink, SharedRegistry};
+use ble_telemetry::{SharedRegistry, SpanKind};
 use injectable::{Attacker, Mission};
 use simkit::Duration;
 
@@ -136,14 +136,6 @@ impl StallTracker {
     }
 }
 
-/// Attaches a metrics sink to the rig and returns the shared registry.
-fn attach_metrics(rig: &mut ExperimentRig) -> SharedRegistry {
-    let sink = MetricsSink::new();
-    let registry = sink.handle();
-    rig.scenario.world.add_telemetry_sink(Box::new(sink));
-    registry
-}
-
 /// Flushes sinks and snapshots the registry into a per-trial metric block.
 fn finish_metrics(
     rig: &mut ExperimentRig,
@@ -158,29 +150,19 @@ fn finish_metrics(
 /// Runs a single trial to its first confirmed injection.
 pub fn run_trial(cfg: &TrialConfig) -> TrialOutcome {
     let wall_start = crate::wallclock::Stopwatch::start();
-    let mut rig = ExperimentRig::new(cfg.seed, &cfg.rig);
-    let mut telemetry_downgraded = false;
-    let registry = match &cfg.telemetry {
-        TelemetryMode::Off => None,
-        TelemetryMode::Metrics => Some(attach_metrics(&mut rig)),
-        TelemetryMode::Jsonl(path) => {
-            match JsonlSink::create(path) {
-                Ok(sink) => rig.scenario.world.add_telemetry_sink(Box::new(sink)),
-                Err(err) => {
-                    // Degrade to metrics-only, but record the downgrade so
-                    // report rows can flag that the JSONL artefact the user
-                    // asked for does not exist.
-                    telemetry_downgraded = true;
-                    eprintln!(
-                        "warning: cannot write JSONL telemetry to {}: {err}",
-                        path.display()
-                    );
-                }
-            }
-            Some(attach_metrics(&mut rig))
-        }
-    };
+    // The rig routes `cfg.telemetry` through the scenario builder so sinks
+    // attach before node bootstrap; a failed JSONL sink degrades the trial
+    // to metrics-only, recorded so report rows can flag that the artefact
+    // the user asked for does not exist.
+    let mut rig = ExperimentRig::with_telemetry(cfg.seed, &cfg.rig, cfg.telemetry.clone());
+    let telemetry_downgraded = rig.scenario.telemetry_downgraded;
+    let registry = rig.scenario.metrics().cloned();
+    // Spans price the trial's phases; their wall-clock side reads the
+    // quarantined harness clock the rig installed (R8) and is a no-op when
+    // no sink is attached.
+    let sync_span = rig.scenario.world.span_enter(SpanKind::TrialSync, 0);
     if !rig.wait_synchronised(Duration::from_secs(30)) {
+        rig.scenario.world.span_exit(sync_span);
         let sync_wall_s = wall_start.elapsed_s();
         let metrics = finish_metrics(&mut rig, registry.as_ref(), sync_wall_s, 0.0);
         return TrialOutcome {
@@ -191,6 +173,7 @@ pub fn run_trial(cfg: &TrialConfig) -> TrialOutcome {
             telemetry_downgraded,
         };
     }
+    rig.scenario.world.span_exit(sync_span);
     let sync_wall_s = wall_start.elapsed_s();
     rig.attacker_mut().arm(Mission::InjectRaw {
         llid: cfg.llid,
@@ -200,6 +183,7 @@ pub fn run_trial(cfg: &TrialConfig) -> TrialOutcome {
     let deadline = rig.scenario.now() + cfg.sim_budget;
     let mut attempts = None;
     let mut stall = StallTracker::default();
+    let follow_span = rig.scenario.world.span_enter(SpanKind::TrialFollow, 0);
     while rig.scenario.now() < deadline {
         rig.scenario.run_for(Duration::from_millis(200));
         let bounce = {
@@ -232,9 +216,14 @@ pub fn run_trial(cfg: &TrialConfig) -> TrialOutcome {
                 .with_node_ctx::<Attacker, _>(attacker_id, |a, ctx| a.restart_resync(ctx));
         }
     }
+    rig.scenario.world.span_exit(follow_span);
     let attack_wall_s = wall_start.elapsed_s() - sync_wall_s;
-    let metrics = finish_metrics(&mut rig, registry.as_ref(), sync_wall_s, attack_wall_s);
+    let verify_span = rig.scenario.world.span_enter(SpanKind::TrialVerify, 0);
     let effect_observed = rig.bulb().app.pings > 0;
+    // The verify span must close before the flush inside `finish_metrics`,
+    // or its exit record would miss the registry snapshot.
+    rig.scenario.world.span_exit(verify_span);
+    let metrics = finish_metrics(&mut rig, registry.as_ref(), sync_wall_s, attack_wall_s);
     TrialOutcome {
         attempts,
         sim_seconds: rig.scenario.now().as_micros_f64() / 1e6,
@@ -361,6 +350,41 @@ mod tests {
         assert!(lead.count() >= 1);
         let anchor = metrics.anchor_error.expect("anchors were observed");
         assert!(anchor.count() >= 1);
+    }
+
+    #[test]
+    fn trial_phases_land_in_the_phase_profile() {
+        let cfg = TrialConfig::new(42);
+        let out = run_trial(&cfg);
+        let metrics = out.metrics.expect("default telemetry mode is Metrics");
+        let phase = |name: &str| {
+            metrics
+                .phase_profile
+                .iter()
+                .find(|p| p.phase == name)
+                .copied()
+                .unwrap_or_else(|| panic!("phase {name} missing: {:?}", metrics.phase_profile))
+        };
+        let sync = phase("trial-sync");
+        assert_eq!(sync.count, 1);
+        assert!(sync.sim_ns > 0, "sync phase consumes simulated time");
+        let follow = phase("trial-follow");
+        assert_eq!(follow.count, 1);
+        assert!(follow.sim_ns > 0);
+        let verify = phase("trial-verify");
+        assert_eq!(verify.count, 1);
+        // Verification is a pure state read: zero simulated time.
+        assert_eq!(verify.sim_ns, 0);
+        // The attacker and PHY layers report under the trial phases. (No
+        // `ll-procedure` row: a clean close-range trial exchanges no LL
+        // control PDUs — that span is covered by the ble-link tests.)
+        assert!(phase("attacker-scan").count >= 1);
+        assert!(phase("attacker-follow").count >= 1);
+        assert!(phase("attacker-inject").count >= 1);
+        assert!(phase("channel-airtime").count > 10);
+        // Airtime nests under the trial phases, so the trial phases' self
+        // time is strictly less than their total.
+        assert!(follow.self_sim_ns < follow.sim_ns);
     }
 
     #[test]

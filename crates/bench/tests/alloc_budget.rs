@@ -74,10 +74,13 @@ unsafe impl GlobalAlloc for CountingAllocator {
 #[global_allocator]
 static ALLOCATOR: CountingAllocator = CountingAllocator;
 
-/// Transmits a fixed 22-byte frame every 500 µs.
+/// Transmits a fixed 22-byte frame every 500 µs. With `spans` set it brackets
+/// each transmission in a span enter/exit pair — with no sink attached both
+/// calls must stay on the branch-and-return path.
 struct Beacon {
     pdu: Pdu,
     sent: u64,
+    spans: bool,
 }
 
 impl RadioListener for Beacon {
@@ -86,12 +89,20 @@ impl RadioListener for Beacon {
             ctx.set_timer_local(Duration::from_micros(500), TimerKey(1));
             if !ctx.is_transmitting() {
                 self.sent += 1;
+                let span = if self.spans {
+                    Some(ctx.span_enter(ble_telemetry::SpanKind::AttackerInject, 0))
+                } else {
+                    None
+                };
                 let frame = RawFrame::new(
                     AccessAddress::ADVERTISING,
                     self.pdu.clone(),
                     ble_phy::ADVERTISING_CRC_INIT,
                 );
                 ctx.transmit(Channel::advertising_wrapped(0), frame);
+                if let Some(span) = span {
+                    ctx.span_exit(span);
+                }
             }
         }
     }
@@ -119,15 +130,29 @@ impl RadioListener for Sink {
 
 /// Builds the beacon→sink scene, warms it up, then measures allocations
 /// over a steady-state delivery window. `faults` (when given) is installed
-/// before the warm-up.
-fn measure_steady_state(faults: Option<FaultPlan>) -> (u64, u64) {
+/// before the warm-up; `spans` additionally installs a span clock and opens
+/// a span pair around every transmission (disabled path: no sink attached).
+fn measure_steady_state_with(faults: Option<FaultPlan>, spans: bool) -> (u64, u64) {
     let mut pdu = Pdu::new();
     pdu.try_extend_from_slice(&[0xC3; 22]).expect("22 B fits");
 
     let mut sim = Simulation::new(Environment::indoor_default(), SimRng::seed_from(5));
+    if spans {
+        // The clock must never be read on the disabled path; a counting
+        // clock would not allocate anyway, but a constant keeps the test
+        // honest about what the budget covers.
+        fn fixed_clock() -> u64 {
+            7
+        }
+        sim.set_span_clock(fixed_clock);
+    }
     let tx = sim.add_node(
         NodeConfig::new("beacon", Position::new(0.0, 0.0)),
-        Beacon { pdu, sent: 0 },
+        Beacon {
+            pdu,
+            sent: 0,
+            spans,
+        },
     );
     let rx = sim.add_node(
         NodeConfig::new("sink", Position::new(2.0, 0.0)),
@@ -163,6 +188,10 @@ fn measure_steady_state(faults: Option<FaultPlan>) -> (u64, u64) {
     (delta, received)
 }
 
+fn measure_steady_state(faults: Option<FaultPlan>) -> (u64, u64) {
+    measure_steady_state_with(faults, false)
+}
+
 #[test]
 fn steady_state_frame_delivery_allocates_nothing() {
     let (delta, received) = measure_steady_state(None);
@@ -186,5 +215,22 @@ fn steady_state_frame_delivery_allocates_nothing() {
     assert_eq!(
         delta, 0,
         "an empty FaultPlan must not add allocations ({delta} over {received} deliveries)"
+    );
+}
+
+#[test]
+fn disabled_spans_with_an_installed_clock_allocate_nothing() {
+    // The span layer's zero-cost claim: a span clock is installed (as the
+    // experiment rig always does) but no sink is attached, so every
+    // enter/exit pair on the delivery path must be a branch-and-return —
+    // no id counter, no stack frame, no clock read, no heap.
+    let (delta, received) = measure_steady_state_with(None, true);
+    assert!(
+        received >= 90,
+        "steady state with spans must keep delivering: {received}"
+    );
+    assert_eq!(
+        delta, 0,
+        "disabled spans must not allocate ({delta} allocations over {received} deliveries)"
     );
 }

@@ -1668,7 +1668,25 @@ impl LinkLayer {
 
     /// Handles a received LL control PDU. Returns `true` if the connection
     /// was torn down.
+    ///
+    /// Wrapped in an `LlProcedure` span (detail = opcode) so the profiler
+    /// can attribute control-procedure handling cost; the sim-time duration
+    /// is 0 (processing is instantaneous in the model), the wall-clock
+    /// duration measures the handler itself.
     fn handle_control(
+        &mut self,
+        ctx: &mut NodeCtx<'_>,
+        payload: &[u8],
+        delegate: &mut dyn LinkLayerDelegate,
+    ) -> bool {
+        let opcode = payload.first().copied().unwrap_or(0);
+        let span = ctx.span_enter(ble_telemetry::SpanKind::LlProcedure, u32::from(opcode));
+        let torn_down = self.handle_control_inner(ctx, payload, delegate);
+        ctx.span_exit(span);
+        torn_down
+    }
+
+    fn handle_control_inner(
         &mut self,
         ctx: &mut NodeCtx<'_>,
         payload: &[u8],

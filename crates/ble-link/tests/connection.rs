@@ -496,3 +496,42 @@ fn slave_latency_skips_events_but_connection_survives() {
         .iter()
         .any(|(_, p)| p == &vec![0xDD, 2]));
 }
+
+#[test]
+fn ll_control_procedures_are_span_profiled() {
+    use ble_telemetry::{MetricsSink, SpanKind};
+    let mut rig = connected_rig(9, 36);
+    let sink = MetricsSink::new();
+    let registry = sink.handle();
+    rig.sim.add_telemetry_sink(Box::new(sink));
+    // A control procedure on each side: the update travels master→slave,
+    // the terminate slave→master.
+    rig.master_mut().ll.request_connection_update(
+        UpdateRequest {
+            win_size: 2,
+            win_offset: 3,
+            interval: 60,
+            latency: 0,
+            timeout: 200,
+        },
+        10,
+    );
+    rig.sim.run_for(Duration::from_secs(2));
+    rig.slave_mut()
+        .ll
+        .request_disconnect(ERR_REMOTE_USER_TERMINATED);
+    rig.sim.run_for(Duration::from_millis(300));
+    assert!(!rig.master().ll.is_connected());
+    rig.sim.flush_telemetry();
+    let reg = registry.lock();
+    let names = SpanKind::LlProcedure.metric_names();
+    assert!(
+        reg.counter(names.count) >= 2,
+        "connection update + terminate must both close an ll-procedure span, \
+         got {}",
+        reg.counter(names.count)
+    );
+    // Control handling consumes no simulated time: the span prices the
+    // handler's wall cost only.
+    assert_eq!(reg.counter(names.sim_ns), 0);
+}

@@ -18,7 +18,9 @@
 use std::collections::BTreeMap;
 
 use ble_invariants::invariant;
-use ble_telemetry::{FaultKind, Telemetry, TelemetryEvent, TelemetryRecord, TelemetrySink};
+use ble_telemetry::{
+    FaultKind, SpanId, SpanKind, Telemetry, TelemetryEvent, TelemetryRecord, TelemetrySink,
+};
 use simkit::{Duration, EventQueue, FaultPlan, Instant, SimRng, Trace};
 
 use crate::channel::Channel;
@@ -150,6 +152,9 @@ struct NodeState {
     config: NodeConfig,
     rng: SimRng,
     radio: RadioState,
+    /// The open `ChannelAirtime` span for this node's in-flight
+    /// transmission ([`SpanId::DISABLED`] when idle or telemetry is off).
+    tx_span: SpanId,
 }
 
 struct ActiveTx {
@@ -263,6 +268,28 @@ impl SimInner {
         }
     }
 
+    /// Opens a hierarchical span attributed to `node` (or the simulation
+    /// when `None`). Branch-and-return ([`SpanId::DISABLED`]) when no
+    /// telemetry sink is attached; spans are not mirrored into the legacy
+    /// [`Trace`].
+    #[inline]
+    pub(crate) fn span_enter(
+        &mut self,
+        at: Instant,
+        node: Option<NodeId>,
+        kind: SpanKind,
+        detail: u32,
+    ) -> SpanId {
+        let node = node.and_then(|n| u32::try_from(n.0).ok());
+        self.telemetry.span_enter(at, node, kind, detail)
+    }
+
+    /// Closes a span opened by [`SimInner::span_enter`].
+    #[inline]
+    pub(crate) fn span_exit(&mut self, at: Instant, id: SpanId) {
+        self.telemetry.span_exit(at, id);
+    }
+
     /// Legacy free-form trace entry point ([`NodeCtx::trace`]); forwarded to
     /// telemetry sinks as a [`TelemetryEvent::Raw`] so JSONL captures keep
     /// not-yet-migrated call sites.
@@ -317,6 +344,19 @@ impl SimInner {
         let airtime = frame.airtime(phy);
         let end = now + airtime;
         self.node_state_mut(node).radio = RadioState::Tx { until: end };
+
+        // Per-channel airtime span: one per transmission, closed by
+        // `finish_tx`. A release-mode double-transmit abandons the previous
+        // frame, so its span closes here instead.
+        let stale = self.node_state(node).tx_span;
+        self.span_exit(now, stale);
+        let tx_span = self.span_enter(
+            now,
+            Some(node),
+            SpanKind::ChannelAirtime,
+            u32::from(channel.index()),
+        );
+        self.node_state_mut(node).tx_span = tx_span;
 
         let tx_id = self.next_tx_id;
         self.next_tx_id += 1;
@@ -746,7 +786,11 @@ impl SimInner {
         let now = self.now();
         match self.node_state(node).radio {
             RadioState::Tx { until } if until <= now => {
-                self.node_state_mut(node).radio = RadioState::Idle;
+                let state = self.node_state_mut(node);
+                state.radio = RadioState::Idle;
+                let tx_span = state.tx_span;
+                state.tx_span = SpanId::DISABLED;
+                self.span_exit(now, tx_span);
                 self.emit(now, Some(node), || TelemetryEvent::TxEnd);
                 Some(RadioEvent::TxDone { at: now })
             }
@@ -897,10 +941,34 @@ impl World {
         self.inner.telemetry.is_enabled()
     }
 
+    /// Installs the wall clock used for span wall-time attribution — a
+    /// monotonic-nanoseconds function injected by the harness (the bench
+    /// crate's `wallclock` quarantine) so no protocol crate reads
+    /// `std::time` itself. Without a clock, span wall durations read 0.
+    pub fn set_span_clock(&mut self, clock: fn() -> u64) {
+        self.inner.telemetry.set_span_clock(clock);
+    }
+
+    /// Opens a simulation-global span (`node: None`) — e.g. the bench
+    /// harness's trial phases. Node-attributed spans are opened through
+    /// [`NodeCtx::span_enter`] instead.
+    pub fn span_enter(&mut self, kind: SpanKind, detail: u32) -> SpanId {
+        let now = self.inner.now();
+        self.inner.span_enter(now, None, kind, detail)
+    }
+
+    /// Closes a span opened by [`World::span_enter`].
+    pub fn span_exit(&mut self, id: SpanId) {
+        let now = self.inner.now();
+        self.inner.span_exit(now, id);
+    }
+
     /// Flushes every attached telemetry sink (call at end of run before
-    /// reading artefacts).
+    /// reading artefacts). Still-open spans are closed first (topmost
+    /// first) so sinks always see a balanced enter/exit stream.
     pub fn flush_telemetry(&mut self) {
-        self.inner.telemetry.flush();
+        let now = self.inner.now();
+        self.inner.telemetry.flush_at(now);
     }
 
     /// Current simulation time.
@@ -934,6 +1002,7 @@ impl World {
             config,
             rng,
             radio: RadioState::Idle,
+            tx_span: SpanId::DISABLED,
         });
         self.nodes.push(node);
         let now = self.inner.now();

@@ -321,6 +321,27 @@ impl<'a> NodeCtx<'a> {
     pub fn emit_at(&mut self, at: Instant, build: impl FnOnce() -> ble_telemetry::TelemetryEvent) {
         self.sim.emit(at, Some(self.node), build);
     }
+
+    /// Opens a hierarchical span attributed to this node, timestamped
+    /// *now*. Returns [`ble_telemetry::SpanId::DISABLED`] (making the
+    /// matching exit a no-op) when no telemetry sink is attached — the
+    /// disabled path is a branch-and-return like [`NodeCtx::emit`].
+    #[inline]
+    pub fn span_enter(
+        &mut self,
+        kind: ble_telemetry::SpanKind,
+        detail: u32,
+    ) -> ble_telemetry::SpanId {
+        let now = self.now();
+        self.sim.span_enter(now, Some(self.node), kind, detail)
+    }
+
+    /// Closes a span opened by [`NodeCtx::span_enter`], timestamped *now*.
+    #[inline]
+    pub fn span_exit(&mut self, id: ble_telemetry::SpanId) {
+        let now = self.now();
+        self.sim.span_exit(now, id);
+    }
 }
 
 #[cfg(test)]

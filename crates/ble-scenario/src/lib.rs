@@ -129,6 +129,7 @@ pub struct ScenarioBuilder {
     widening_scale: f64,
     wall: Option<Wall>,
     telemetry: TelemetryMode,
+    span_clock: Option<fn() -> u64>,
     faults: Option<FaultPlan>,
 }
 
@@ -160,6 +161,7 @@ impl ScenarioBuilder {
             widening_scale: 1.0,
             wall: None,
             telemetry: TelemetryMode::Off,
+            span_clock: None,
             faults: None,
         }
     }
@@ -321,6 +323,15 @@ impl ScenarioBuilder {
         self
     }
 
+    /// Installs the wall-clock source for span telemetry. The harness
+    /// injects its quarantined monotonic reader here; scenario and protocol
+    /// code never touch `std::time` themselves (lint rule R8). Without a
+    /// clock, spans still measure simulated time and report 0 wall-clock.
+    pub fn span_clock(mut self, clock: fn() -> u64) -> Self {
+        self.span_clock = Some(clock);
+        self
+    }
+
     /// Installs a deterministic [`FaultPlan`] into the built world's radio
     /// medium. The plan draws only from its own seed; an empty plan (and
     /// `None`, the default) leaves the simulation byte-identical to a world
@@ -417,6 +428,33 @@ impl ScenarioBuilder {
             )
         });
 
+        // Telemetry attaches *before* bootstrap so sinks observe the nodes'
+        // first actions — in particular the spans opened in `on_start`
+        // hooks (the attacker's initial scan campaign). Sinks are
+        // observation-only: attaching them earlier cannot perturb the
+        // simulation's RNG streams or schedule.
+        if let Some(clock) = self.span_clock {
+            world.set_span_clock(clock);
+        }
+        let mut telemetry_downgraded = false;
+        let metrics = match &self.telemetry {
+            TelemetryMode::Off => None,
+            TelemetryMode::Metrics => Some(attach_metrics(&mut world)),
+            TelemetryMode::Jsonl(path) => {
+                match JsonlSink::create(path) {
+                    Ok(sink) => world.add_telemetry_sink(Box::new(sink)),
+                    Err(err) => {
+                        telemetry_downgraded = true;
+                        eprintln!(
+                            "warning: cannot write JSONL telemetry to {}: {err}",
+                            path.display()
+                        );
+                    }
+                }
+                Some(attach_metrics(&mut world))
+            }
+        };
+
         world.start(victim_id);
         world.start(central_id);
         if let Some(id) = attacker_id {
@@ -431,21 +469,6 @@ impl ScenarioBuilder {
             world.install_faults(plan);
         }
 
-        let metrics = match &self.telemetry {
-            TelemetryMode::Off => None,
-            TelemetryMode::Metrics => Some(attach_metrics(&mut world)),
-            TelemetryMode::Jsonl(path) => {
-                match JsonlSink::create(path) {
-                    Ok(sink) => world.add_telemetry_sink(Box::new(sink)),
-                    Err(err) => eprintln!(
-                        "warning: cannot write JSONL telemetry to {}: {err}",
-                        path.display()
-                    ),
-                }
-                Some(attach_metrics(&mut world))
-            }
-        };
-
         Scenario {
             world,
             kind: self.kind,
@@ -455,6 +478,7 @@ impl ScenarioBuilder {
             victim_addr,
             attacker_pos,
             metrics,
+            telemetry_downgraded,
         }
     }
 }
@@ -484,6 +508,9 @@ pub struct Scenario {
     /// Where the attacker was placed (useful for co-locating MITM halves).
     pub attacker_pos: Position,
     metrics: Option<SharedRegistry>,
+    /// Whether a requested JSONL telemetry sink could not be opened and the
+    /// scene silently fell back to metrics only.
+    pub telemetry_downgraded: bool,
 }
 
 impl Scenario {

@@ -16,6 +16,8 @@ use std::fmt;
 
 use simkit::{Duration, Instant};
 
+use crate::span::SpanKind;
+
 /// Which side of the connection an event belongs to.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum LinkRole {
@@ -386,6 +388,40 @@ pub enum TelemetryEvent {
         channel: u8,
     },
 
+    // --- spans -------------------------------------------------------------
+    /// A hierarchical span opened (see the `span` module). The matching
+    /// [`TelemetryEvent::SpanExit`] carries the measured durations.
+    SpanEnter {
+        /// Span instance id (matches the eventual exit).
+        id: u32,
+        /// What the span measures.
+        kind: SpanKind,
+        /// Kind-specific detail scalar (channel index for
+        /// [`SpanKind::ChannelAirtime`], LL opcode for
+        /// [`SpanKind::LlProcedure`], 0 otherwise).
+        detail: u32,
+    },
+    /// A hierarchical span closed. Totals cover enter→exit; `self_*` net out
+    /// directly nested spans. Wall-clock fields come from the injected
+    /// quarantined clock and are **excluded from byte-identity** (neutralised
+    /// by `cargo xtask determinism` like `trials_per_sec`).
+    SpanExit {
+        /// Span instance id (matches the earlier enter).
+        id: u32,
+        /// What the span measured.
+        kind: SpanKind,
+        /// Kind-specific detail scalar (same as the enter's).
+        detail: u32,
+        /// Total simulation nanoseconds.
+        sim_ns: u64,
+        /// Total wall-clock nanoseconds (0 without an injected clock).
+        wall_ns: u64,
+        /// Simulation nanoseconds net of child spans.
+        self_sim_ns: u64,
+        /// Wall-clock nanoseconds net of child spans.
+        self_wall_ns: u64,
+    },
+
     // --- escape hatch ------------------------------------------------------
     /// A legacy free-form trace record forwarded through the typed bus.
     /// New instrumentation should add a variant instead of using this.
@@ -428,6 +464,8 @@ impl TelemetryEvent {
             TelemetryEvent::FaultBurst { .. } => "fault-burst",
             TelemetryEvent::FaultEpisode { .. } => "fault-episode",
             TelemetryEvent::FaultFrame { .. } => "fault-frame",
+            TelemetryEvent::SpanEnter { .. } => "span-enter",
+            TelemetryEvent::SpanExit { .. } => "span-exit",
             TelemetryEvent::Raw { .. } => "raw",
         }
     }
@@ -534,6 +572,22 @@ impl fmt::Display for TelemetryEvent {
             TelemetryEvent::FaultFrame { kind, channel } => {
                 write!(f, "{} ch={channel}", kind.as_str())
             }
+            TelemetryEvent::SpanEnter { id, kind, detail } => {
+                write!(f, "{} #{id} detail={detail}", kind.as_str())
+            }
+            TelemetryEvent::SpanExit {
+                id,
+                kind,
+                detail,
+                sim_ns,
+                wall_ns,
+                self_sim_ns,
+                self_wall_ns,
+            } => write!(
+                f,
+                "{} #{id} detail={detail} sim={sim_ns}ns (self {self_sim_ns}ns) wall={wall_ns}ns (self {self_wall_ns}ns)",
+                kind.as_str()
+            ),
             TelemetryEvent::Raw { tag, detail } => write!(f, "[{tag}] {detail}"),
         }
     }

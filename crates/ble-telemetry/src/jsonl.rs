@@ -18,6 +18,7 @@ use simkit::{Duration, Instant};
 
 use crate::event::{AlertKind, FaultKind, LinkRole, LossReason, TelemetryEvent, Verdict};
 use crate::sink::{TelemetryRecord, TelemetrySink};
+use crate::span::SpanKind;
 
 // ---------------------------------------------------------------------
 // encoding
@@ -198,6 +199,28 @@ pub fn to_line(record: &TelemetryRecord) -> String {
         }
         TelemetryEvent::FaultFrame { kind, channel } => {
             let _ = write!(s, ",\"fault\":\"{}\",\"ch\":{channel}", kind.as_str());
+        }
+        TelemetryEvent::SpanEnter { id, kind, detail } => {
+            let _ = write!(
+                s,
+                ",\"span\":\"{}\",\"id\":{id},\"detail\":{detail}",
+                kind.as_str()
+            );
+        }
+        TelemetryEvent::SpanExit {
+            id,
+            kind,
+            detail,
+            sim_ns,
+            wall_ns,
+            self_sim_ns,
+            self_wall_ns,
+        } => {
+            let _ = write!(
+                s,
+                ",\"span\":\"{}\",\"id\":{id},\"detail\":{detail},\"sim_ns\":{sim_ns},\"wall_ns\":{wall_ns},\"self_sim_ns\":{self_sim_ns},\"self_wall_ns\":{self_wall_ns}",
+                kind.as_str()
+            );
         }
         TelemetryEvent::Raw { tag, detail } => {
             push_str_field(&mut s, "tag", tag);
@@ -469,6 +492,20 @@ pub fn parse_line(line: &str) -> Option<TelemetryRecord> {
             kind: FaultKind::parse(get_str(&fields, "fault")?)?,
             channel: get_num(&fields, "ch")?,
         },
+        "span-enter" => TelemetryEvent::SpanEnter {
+            id: get_num(&fields, "id")?,
+            kind: SpanKind::parse(get_str(&fields, "span")?)?,
+            detail: get_num(&fields, "detail")?,
+        },
+        "span-exit" => TelemetryEvent::SpanExit {
+            id: get_num(&fields, "id")?,
+            kind: SpanKind::parse(get_str(&fields, "span")?)?,
+            detail: get_num(&fields, "detail")?,
+            sim_ns: get_num(&fields, "sim_ns")?,
+            wall_ns: get_num(&fields, "wall_ns")?,
+            self_sim_ns: get_num(&fields, "self_sim_ns")?,
+            self_wall_ns: get_num(&fields, "self_wall_ns")?,
+        },
         "raw" => TelemetryEvent::Raw {
             tag: get_str(&fields, "tag")?.to_owned(),
             detail: get_str(&fields, "detail")?.to_owned(),
@@ -655,6 +692,20 @@ mod tests {
             TelemetryEvent::FaultFrame {
                 kind: FaultKind::Loss,
                 channel: 21,
+            },
+            TelemetryEvent::SpanEnter {
+                id: 17,
+                kind: SpanKind::AttackerInject,
+                detail: 23,
+            },
+            TelemetryEvent::SpanExit {
+                id: 17,
+                kind: SpanKind::AttackerInject,
+                detail: 23,
+                sim_ns: 1_250_000,
+                wall_ns: 431,
+                self_sim_ns: 1_100_000,
+                self_wall_ns: 399,
             },
             TelemetryEvent::Raw {
                 tag: "legacy".into(),

@@ -35,9 +35,11 @@ pub mod jsonl;
 pub mod metrics;
 pub mod ring;
 pub mod sink;
+pub mod span;
 
 pub use event::{AlertKind, FaultKind, LinkRole, LossReason, TelemetryEvent, Verdict};
 pub use jsonl::{parse_line, JsonlSink};
 pub use metrics::{HistSummary, HistogramUs, MetricsRegistry, MetricsSink, SharedRegistry};
 pub use ring::{RingBuffer, RingBufferSink, SharedRing};
 pub use sink::{Telemetry, TelemetryRecord, TelemetrySink};
+pub use span::{ClosedSpan, SpanId, SpanKind, SpanMetricNames};

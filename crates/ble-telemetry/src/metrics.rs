@@ -10,6 +10,7 @@ use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 
 use crate::event::TelemetryEvent;
 use crate::sink::{TelemetryRecord, TelemetrySink};
+use crate::span::SpanKind;
 
 /// Default histogram bucket upper bounds, in microseconds. Chosen around
 /// the paper's timing scales: sub-µs clock error, the ±5 µs heuristic
@@ -55,6 +56,8 @@ pub struct HistSummary {
     pub p50: f64,
     /// 90th-percentile estimate.
     pub p90: f64,
+    /// 95th-percentile estimate.
+    pub p95: f64,
     /// 99th-percentile estimate.
     pub p99: f64,
     /// Exact smallest recorded magnitude.
@@ -175,6 +178,7 @@ impl HistogramUs {
             mean: self.sum / self.count as f64,
             p50: self.quantile(0.50),
             p90: self.quantile(0.90),
+            p95: self.quantile(0.95),
             p99: self.quantile(0.99),
             min: self.min,
             max: self.max,
@@ -318,6 +322,13 @@ struct HotTallies {
     fault_frames_lost: u64,
     fault_frames_corrupted: u64,
     raw: u64,
+    span_enters: u64,
+    // Per-SpanKind exit aggregates, indexed by `SpanKind::index()`.
+    span_count: [u64; SpanKind::ALL.len()],
+    span_sim_ns: [u64; SpanKind::ALL.len()],
+    span_self_sim_ns: [u64; SpanKind::ALL.len()],
+    span_wall_ns: [u64; SpanKind::ALL.len()],
+    span_self_wall_ns: [u64; SpanKind::ALL.len()],
     widening_us: HistogramUs,
     lead_us: HistogramUs,
     anchor_error_us: HistogramUs,
@@ -402,11 +413,31 @@ impl MetricsSink {
             ("fault.frames_lost", &mut t.fault_frames_lost),
             ("fault.frames_corrupted", &mut t.fault_frames_corrupted),
             ("telemetry.raw", &mut t.raw),
+            ("span.enters", &mut t.span_enters),
         ];
         for (name, n) in counters {
             if *n != 0 {
                 reg.add(name, *n);
                 *n = 0;
+            }
+        }
+        for kind in SpanKind::ALL {
+            let i = kind.index();
+            let names = kind.metric_names();
+            let slots = [
+                (names.count, t.span_count.get_mut(i)),
+                (names.sim_ns, t.span_sim_ns.get_mut(i)),
+                (names.self_sim_ns, t.span_self_sim_ns.get_mut(i)),
+                (names.wall_ns, t.span_wall_ns.get_mut(i)),
+                (names.self_wall_ns, t.span_self_wall_ns.get_mut(i)),
+            ];
+            for (name, slot) in slots {
+                if let Some(n) = slot {
+                    if *n != 0 {
+                        reg.add(name, *n);
+                        *n = 0;
+                    }
+                }
             }
         }
         reg.set_gauge("sim.last_event_us", t.last_event_us);
@@ -511,6 +542,29 @@ impl TelemetrySink for MetricsSink {
                 | crate::event::FaultKind::Fading
                 | crate::event::FaultKind::Drift => bump(&mut t.fault_frames_lost),
             },
+            TelemetryEvent::SpanEnter { .. } => bump(&mut t.span_enters),
+            TelemetryEvent::SpanExit {
+                kind,
+                sim_ns,
+                wall_ns,
+                self_sim_ns,
+                self_wall_ns,
+                ..
+            } => {
+                let i = kind.index();
+                let adds = [
+                    (t.span_count.get_mut(i), 1u64),
+                    (t.span_sim_ns.get_mut(i), *sim_ns),
+                    (t.span_self_sim_ns.get_mut(i), *self_sim_ns),
+                    (t.span_wall_ns.get_mut(i), *wall_ns),
+                    (t.span_self_wall_ns.get_mut(i), *self_wall_ns),
+                ];
+                for (slot, n) in adds {
+                    if let Some(c) = slot {
+                        *c = c.saturating_add(n);
+                    }
+                }
+            }
             TelemetryEvent::Raw { .. } => bump(&mut t.raw),
         }
     }
@@ -673,6 +727,43 @@ mod tests {
             Some(1)
         );
         assert_eq!(reg.gauge("sim.last_event_us"), Some(10.0));
+    }
+
+    #[test]
+    fn span_exits_fold_into_kind_scoped_counters() {
+        let mut sink = MetricsSink::new();
+        let reg = sink.handle();
+        sink.emit(&TelemetryRecord {
+            at: Instant::from_micros(1),
+            node: None,
+            event: TelemetryEvent::SpanEnter {
+                id: 1,
+                kind: SpanKind::TrialSync,
+                detail: 0,
+            },
+        });
+        sink.emit(&TelemetryRecord {
+            at: Instant::from_micros(9),
+            node: None,
+            event: TelemetryEvent::SpanExit {
+                id: 1,
+                kind: SpanKind::TrialSync,
+                detail: 0,
+                sim_ns: 8_000,
+                wall_ns: 120,
+                self_sim_ns: 6_000,
+                self_wall_ns: 100,
+            },
+        });
+        sink.flush();
+        let reg = reg.lock();
+        assert_eq!(reg.counter("span.enters"), 1);
+        assert_eq!(reg.counter("span.trial_sync.count"), 1);
+        assert_eq!(reg.counter("span.trial_sync.sim_ns"), 8_000);
+        assert_eq!(reg.counter("span.trial_sync.self_sim_ns"), 6_000);
+        assert_eq!(reg.counter("span.trial_sync.wall_ns"), 120);
+        assert_eq!(reg.counter("span.trial_sync.self_wall_ns"), 100);
+        assert_eq!(reg.counter("span.trial_follow.count"), 0);
     }
 
     #[test]

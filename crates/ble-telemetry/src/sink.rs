@@ -3,6 +3,7 @@
 use simkit::Instant;
 
 use crate::event::TelemetryEvent;
+use crate::span::{ClosedSpan, SpanId, SpanKind, SpanTracker};
 
 /// One emitted record: when, who, what.
 #[derive(Debug, Clone, PartialEq)]
@@ -59,12 +60,14 @@ pub trait TelemetrySink: Send {
 #[derive(Default)]
 pub struct Telemetry {
     sinks: Vec<Box<dyn TelemetrySink>>,
+    spans: SpanTracker,
 }
 
 impl std::fmt::Debug for Telemetry {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Telemetry")
             .field("sinks", &self.sinks.len())
+            .field("open_spans", &self.spans.open())
             .finish()
     }
 }
@@ -108,6 +111,92 @@ impl Telemetry {
             event: build(),
         };
         self.emit_record(&record);
+    }
+
+    /// Installs the wall clock used for span wall-time attribution — a
+    /// monotonic-nanoseconds function injected by the harness so this crate
+    /// never reads `std::time` itself (the only sanctioned clock lives in
+    /// the `bench::wallclock` quarantine, lint rule R8). Without a clock,
+    /// span wall durations read 0 and sim-time attribution still works.
+    pub fn set_span_clock(&mut self, clock: fn() -> u64) {
+        self.spans.set_clock(clock);
+    }
+
+    /// Opens a span and emits its [`TelemetryEvent::SpanEnter`] record.
+    ///
+    /// With no sink attached this is a branch-and-return: no id is consumed,
+    /// no clock is read, nothing is pushed, and the returned
+    /// [`SpanId::DISABLED`] sentinel makes the matching
+    /// [`Telemetry::span_exit`] a no-op too.
+    #[inline]
+    pub fn span_enter(
+        &mut self,
+        at: Instant,
+        node: Option<u32>,
+        kind: SpanKind,
+        detail: u32,
+    ) -> SpanId {
+        if self.sinks.is_empty() {
+            return SpanId::DISABLED;
+        }
+        let id = self.spans.enter(at, node, kind, detail);
+        let record = TelemetryRecord {
+            at,
+            node,
+            event: TelemetryEvent::SpanEnter {
+                id: id.raw(),
+                kind,
+                detail,
+            },
+        };
+        self.emit_record(&record);
+        id
+    }
+
+    /// Closes a span and emits its [`TelemetryEvent::SpanExit`] record with
+    /// sim-time and wall-clock totals plus self-time (net of nested spans).
+    /// No-op for [`SpanId::DISABLED`] or an id already closed (e.g. by the
+    /// end-of-run [`Telemetry::flush`]).
+    #[inline]
+    pub fn span_exit(&mut self, at: Instant, id: SpanId) {
+        if id.is_disabled() || self.sinks.is_empty() {
+            return;
+        }
+        if let Some(closed) = self.spans.exit(at, id) {
+            self.emit_closed_span(&closed);
+        }
+    }
+
+    fn emit_closed_span(&mut self, closed: &ClosedSpan) {
+        let record = TelemetryRecord {
+            at: closed.exit_at,
+            node: closed.node,
+            event: TelemetryEvent::SpanExit {
+                id: closed.id.raw(),
+                kind: closed.kind,
+                detail: closed.detail,
+                sim_ns: closed.sim_ns,
+                wall_ns: closed.wall_ns,
+                self_sim_ns: closed.self_sim_ns,
+                self_wall_ns: closed.self_wall_ns,
+            },
+        };
+        self.emit_record(&record);
+    }
+
+    /// Number of spans currently open (test/diagnostic aid).
+    pub fn open_spans(&self) -> usize {
+        self.spans.open()
+    }
+
+    /// Closes every still-open span (topmost first) so sinks always see a
+    /// balanced enter/exit stream, then flushes every sink. Called by the
+    /// world at end of run.
+    pub fn flush_at(&mut self, at: Instant) {
+        for closed in self.spans.close_all(at) {
+            self.emit_closed_span(&closed);
+        }
+        self.flush();
     }
 
     /// Flushes every sink.

@@ -1,0 +1,90 @@
+//! Property tests: span records survive the JSONL codec exactly.
+//!
+//! The span profiler's offline consumers (`timeline --spans`, `profile`)
+//! reconstruct the trace from JSONL lines, so the codec must round-trip
+//! every field of [`TelemetryEvent::SpanEnter`] / [`TelemetryEvent::SpanExit`]
+//! — including the extremes (`u64::MAX` durations, node-less harness spans)
+//! a hand-picked fixture would miss.
+#![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)] // test code may panic freely
+
+use ble_telemetry::jsonl::{parse_line, to_line};
+use ble_telemetry::{parse_line as parse_line_reexport, SpanKind, TelemetryEvent, TelemetryRecord};
+use proptest::prelude::*;
+use simkit::Instant;
+
+fn any_kind() -> impl Strategy<Value = SpanKind> {
+    (0..SpanKind::ALL.len()).prop_map(|i| SpanKind::ALL[i])
+}
+
+fn any_node() -> impl Strategy<Value = Option<u32>> {
+    prop_oneof![Just(None), (0u32..1024).prop_map(Some)]
+}
+
+proptest! {
+    #[test]
+    fn span_enter_round_trips(
+        t_ns in any::<u64>(),
+        node in any_node(),
+        id in 1u32..u32::MAX,
+        kind in any_kind(),
+        detail in any::<u32>(),
+    ) {
+        let rec = TelemetryRecord {
+            at: Instant::from_nanos(t_ns),
+            node,
+            event: TelemetryEvent::SpanEnter { id, kind, detail },
+        };
+        let line = to_line(&rec);
+        prop_assert_eq!(parse_line(&line).expect("enter parses"), rec);
+    }
+
+    #[test]
+    fn span_exit_round_trips(
+        t_ns in any::<u64>(),
+        node in any_node(),
+        id in 1u32..u32::MAX,
+        kind in any_kind(),
+        detail in any::<u32>(),
+        sim_ns in any::<u64>(),
+        wall_ns in any::<u64>(),
+        self_sim_ns in any::<u64>(),
+        self_wall_ns in any::<u64>(),
+    ) {
+        let rec = TelemetryRecord {
+            at: Instant::from_nanos(t_ns),
+            node,
+            event: TelemetryEvent::SpanExit {
+                id,
+                kind,
+                detail,
+                sim_ns,
+                wall_ns,
+                self_sim_ns,
+                self_wall_ns,
+            },
+        };
+        let line = to_line(&rec);
+        prop_assert_eq!(parse_line(&line).expect("exit parses"), rec);
+    }
+
+    #[test]
+    fn span_lines_are_single_line_json(
+        id in 1u32..u32::MAX,
+        kind in any_kind(),
+        detail in any::<u32>(),
+    ) {
+        let rec = TelemetryRecord {
+            at: Instant::ZERO,
+            node: Some(3),
+            event: TelemetryEvent::SpanEnter { id, kind, detail },
+        };
+        let line = to_line(&rec);
+        prop_assert!(!line.contains('\n'));
+        prop_assert!(line.starts_with('{') && line.ends_with('}'));
+        // The crate-root re-export is the same function.
+        prop_assert_eq!(
+            parse_line_reexport(&line).expect("parses via re-export"),
+            rec
+        );
+    }
+}

@@ -20,7 +20,7 @@ use ble_link::{
     SleepClockAccuracy, UpdateRequest, ERR_REMOTE_USER_TERMINATED,
 };
 use ble_phy::{AccessFilter, Channel, NodeCtx, RadioEvent, RadioListener, RawFrame, TimerKey};
-use ble_telemetry::{LinkRole, LossReason, TelemetryEvent, Verdict};
+use ble_telemetry::{LinkRole, LossReason, SpanId, SpanKind, TelemetryEvent, Verdict};
 use simkit::{Duration, Instant};
 
 use crate::heuristic::{injection_succeeded, InjectionAttempt, ObservedResponse};
@@ -220,6 +220,14 @@ pub struct Attacker {
     timer_gen: u64,
     expected_gen: [u64; 4],
     resync: ResyncController,
+    /// Open `AttackerScan` span: from campaign start to sniffer sync (or
+    /// give-up). [`SpanId::DISABLED`] when closed or telemetry is off.
+    span_scan: SpanId,
+    /// Open `AttackerFollow` span: from sniffer sync to loss or takeover.
+    span_follow: SpanId,
+    /// Open `AttackerInject` span: one injection window, from the forged
+    /// frame's transmission to its eq. 7 verdict.
+    span_inject: SpanId,
 }
 
 impl Attacker {
@@ -250,6 +258,9 @@ impl Attacker {
             timer_gen: 0,
             expected_gen: [0; 4],
             resync,
+            span_scan: SpanId::DISABLED,
+            span_follow: SpanId::DISABLED,
+            span_inject: SpanId::DISABLED,
         }
     }
 
@@ -286,8 +297,36 @@ impl Attacker {
     /// Starts scanning for a connection to follow.
     pub fn start(&mut self, ctx: &mut NodeCtx<'_>) {
         self.resync.begin_campaign();
+        self.begin_scan_span(ctx);
         self.phase = Phase::Scanning { channel_pos: 0 };
         self.scan(ctx, 0);
+    }
+
+    // ------------------------------------------------------------------
+    // Phase spans (profiler attribution; no-ops when telemetry is off)
+    // ------------------------------------------------------------------
+
+    /// Opens a fresh `AttackerScan` span (closing any stale one first, so
+    /// repeated campaigns never leak an open frame).
+    fn begin_scan_span(&mut self, ctx: &mut NodeCtx<'_>) {
+        ctx.span_exit(self.span_scan);
+        self.span_scan = ctx.span_enter(SpanKind::AttackerScan, 0);
+    }
+
+    /// Closes the scan span (sniffer synced, or every retry spent).
+    fn end_scan_span(&mut self, ctx: &mut NodeCtx<'_>) {
+        ctx.span_exit(self.span_scan);
+        self.span_scan = SpanId::DISABLED;
+    }
+
+    /// Closes the injection-window span, then the follow span (inner before
+    /// outer so self-time attribution stays correct). Called on connection
+    /// loss and takeover.
+    fn end_follow_spans(&mut self, ctx: &mut NodeCtx<'_>) {
+        ctx.span_exit(self.span_inject);
+        self.span_inject = SpanId::DISABLED;
+        ctx.span_exit(self.span_follow);
+        self.span_follow = SpanId::DISABLED;
     }
 
     /// Where the bounded-retry resynchronisation loop currently stands.
@@ -312,6 +351,7 @@ impl Attacker {
         }
         self.resync.reset();
         self.resync.begin_campaign();
+        self.begin_scan_span(ctx);
         self.scan(ctx, 0);
     }
 
@@ -383,6 +423,12 @@ impl Attacker {
     // ------------------------------------------------------------------
 
     fn scan(&mut self, ctx: &mut NodeCtx<'_>, channel_pos: usize) {
+        // The first campaign starts at node bootstrap, which can precede the
+        // harness attaching telemetry sinks; pick the scan span up on the
+        // next hop once telemetry is live (no-op when it never is).
+        if self.span_scan.is_disabled() {
+            self.span_scan = ctx.span_enter(SpanKind::AttackerScan, 0);
+        }
         self.phase = Phase::Scanning { channel_pos };
         if ctx.is_receiving() {
             ctx.stop_rx();
@@ -397,6 +443,7 @@ impl Attacker {
     }
 
     fn connection_lost(&mut self, ctx: &mut NodeCtx<'_>) {
+        self.end_follow_spans(ctx);
         self.stats.record_connection_lost();
         self.conn = None;
         self.pending_terminate = None;
@@ -408,6 +455,7 @@ impl Attacker {
         }
         if self.cfg.auto_rescan {
             self.resync.begin_campaign();
+            self.begin_scan_span(ctx);
             self.scan(ctx, 0);
         } else {
             self.phase = Phase::Idle;
@@ -439,6 +487,7 @@ impl Attacker {
             }
             None => {
                 self.phase = Phase::Idle;
+                self.end_scan_span(ctx);
                 ctx.trace(
                     "resync-exhausted",
                     format!("gave up after {} scan campaigns", self.resync.campaigns()),
@@ -579,6 +628,11 @@ impl Attacker {
         if ctx.is_receiving() {
             ctx.stop_rx();
         }
+        // One injection window per attempt: transmit → listen → verdict. A
+        // stale window (an attempt whose verdict never arrived) closes here.
+        ctx.span_exit(self.span_inject);
+        self.span_inject =
+            ctx.span_enter(SpanKind::AttackerInject, u32::from(plan.channel.index()));
         let tx = ctx.transmit(plan.channel, frame);
         invariant_window!(tx.start, tx.end, "injected frame airtime");
         // Lead time: how far ahead of the predicted anchor the forged frame
@@ -617,6 +671,8 @@ impl Attacker {
             verdict,
             attempts_total,
         });
+        ctx.span_exit(self.span_inject);
+        self.span_inject = SpanId::DISABLED;
     }
 
     fn handle_injection_response(
@@ -792,6 +848,7 @@ impl Attacker {
         self.takeover_host = Some(host);
         self.mission_state = MissionState::TakenOver;
         self.phase = Phase::TakenOver;
+        self.end_follow_spans(ctx);
         ctx.emit(|| TelemetryEvent::Takeover {
             role: LinkRole::Master,
         });
@@ -830,6 +887,7 @@ impl Attacker {
         if let Some(att) = self.pending_terminate.take() {
             let _ = att;
         }
+        self.end_follow_spans(ctx);
         ctx.emit(|| TelemetryEvent::Takeover {
             role: LinkRole::Slave,
         });
@@ -1068,6 +1126,9 @@ impl RadioListener for Attacker {
                     {
                         let access_address = tracked.params.access_address.value();
                         ctx.emit(|| TelemetryEvent::SnifferSync { access_address });
+                        self.end_scan_span(ctx);
+                        ctx.span_exit(self.span_follow);
+                        self.span_follow = ctx.span_enter(SpanKind::AttackerFollow, 0);
                         self.stats.record_connection_followed();
                         self.resync.synced();
                         self.conn = Some(*tracked);

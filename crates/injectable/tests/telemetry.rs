@@ -66,7 +66,10 @@ fn scenario_a_emits_attempt_then_verdict_into_sinks() {
 
     // The metrics sink classified the same stream consistently, and agrees
     // with the attacker's own statistics. (The sink buffers tallies until
-    // the world flushes its sinks.)
+    // the world flushes its sinks.) The ring guard must be released first:
+    // flushing closes still-open spans, which emits records into every
+    // attached sink — including the ring whose mutex the guard holds.
+    drop(ring);
     s.world.flush_telemetry();
     let reg = registry.lock();
     let stats_attempts = u64::from(s.attacker().stats().attempts_total);

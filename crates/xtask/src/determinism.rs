@@ -379,12 +379,22 @@ fn normalize_stdout(raw: &str) -> String {
     out
 }
 
-/// Neutralises the three wall-clock-defined artefact fields
-/// (`trials_per_sec`, `peak_rss_kb`, `events_per_sec`) so the comparison
-/// covers exactly the simulation-deterministic content.
+/// Neutralises the wall-clock-defined artefact fields (`trials_per_sec`,
+/// `peak_rss_kb`, `events_per_sec`, and the span profile's `wall_ns` /
+/// `self_wall_ns`) so the comparison covers exactly the
+/// simulation-deterministic content.
+///
+/// Field matching is exact: the needle includes the opening quote, so
+/// `wall_ns` does not also swallow `self_wall_ns` (each is listed).
 fn normalize_json(raw: &str) -> String {
     let mut s = raw.to_string();
-    for field in ["trials_per_sec", "peak_rss_kb", "events_per_sec"] {
+    for field in [
+        "trials_per_sec",
+        "peak_rss_kb",
+        "events_per_sec",
+        "wall_ns",
+        "self_wall_ns",
+    ] {
         s = neutralize_field(&s, field);
     }
     s
@@ -449,6 +459,16 @@ mod tests {
         // `null` RSS (non-Linux) normalises to the same bytes as a number.
         let raw_null = r#"{"peak_rss_kb":null,"x":1}"#;
         assert_eq!(normalize_json(raw_null), r#"{"peak_rss_kb":0,"x":1}"#);
+    }
+
+    #[test]
+    fn span_wall_fields_are_neutralised_but_sim_fields_kept() {
+        let raw = r#"{"phase":"trial-sync","count":1,"sim_ns":100000000,"self_sim_ns":99648000,"wall_ns":104802,"self_wall_ns":98975}"#;
+        let n = normalize_json(raw);
+        assert_eq!(
+            n,
+            r#"{"phase":"trial-sync","count":1,"sim_ns":100000000,"self_sim_ns":99648000,"wall_ns":0,"self_wall_ns":0}"#
+        );
     }
 
     #[test]

@@ -17,6 +17,7 @@
 #![forbid(unsafe_code)]
 
 mod determinism;
+mod perfgate;
 
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
@@ -97,6 +98,7 @@ fn main() -> ExitCode {
     match args.first().map(String::as_str) {
         Some("lint") => lint(&args[1..]),
         Some("determinism") => determinism::run(&args[1..]),
+        Some("perfgate") => perfgate::run(&args[1..]),
         Some("help") | None => {
             print_usage();
             ExitCode::SUCCESS
@@ -125,6 +127,12 @@ fn print_usage() {
         "  determinism [--fast] [--trials <n>] [--root <dir>]  build release and \
          prove the experiment binaries byte-identical across same-seed double \
          runs and 1-vs-N-thread runs"
+    );
+    eprintln!(
+        "  perfgate [--fast] [--trials <n>] [--update-baselines] [--root <dir>]  \
+         build release, run the experiment binaries and compare their JSON \
+         artefacts against benchmarks/baselines/ (sim-deterministic metrics \
+         exactly, wall-clock metrics within tolerance)"
     );
 }
 

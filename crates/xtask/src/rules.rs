@@ -439,6 +439,7 @@ const PDU_ENUMS: &[&str] = &[
     "Llid",
     "TelemetryEvent",
     "FaultKind",
+    "SpanKind",
 ];
 
 fn r4_wildcards(tokens: &[Token], out: &mut Vec<Violation>) {

@@ -1,0 +1,14 @@
+//# lint: general
+//# expect: R8@13
+
+/// The span-tracing wall clock is an injected `fn() -> u64` pointer: the
+/// harness hands the quarantined reader (`bench::wallclock::monotonic_ns`)
+/// in at build time, and protocol code only ever calls the pointer — so
+/// the determinism lint stays quiet on the telemetry side.
+fn install_span_clock(clock: fn() -> u64) -> u64 {
+    clock()
+}
+
+fn sneaky_inline_clock() -> u64 {
+    std::time::Instant::now().elapsed().subsec_nanos() as u64
+}
