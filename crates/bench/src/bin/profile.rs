@@ -275,6 +275,11 @@ fn collapse_stacks(records: &[TelemetryRecord]) -> String {
             | TelemetryEvent::IfsDelta { .. }
             | TelemetryEvent::Takeover { .. }
             | TelemetryEvent::DetectorAlert { .. }
+            | TelemetryEvent::PoolExhausted { .. }
+            | TelemetryEvent::SlotDenied
+            | TelemetryEvent::ConnEstablished { .. }
+            | TelemetryEvent::ConnReleased { .. }
+            | TelemetryEvent::PoolHighWater { .. }
             | TelemetryEvent::FaultBurst { .. }
             | TelemetryEvent::FaultEpisode { .. }
             | TelemetryEvent::FaultFrame { .. }

@@ -141,6 +141,11 @@ fn event_channel(event: &TelemetryEvent) -> Option<u8> {
         | TelemetryEvent::FaultEpisode { .. }
         | TelemetryEvent::SpanEnter { .. }
         | TelemetryEvent::SpanExit { .. }
+        | TelemetryEvent::PoolExhausted { .. }
+        | TelemetryEvent::SlotDenied
+        | TelemetryEvent::ConnEstablished { .. }
+        | TelemetryEvent::ConnReleased { .. }
+        | TelemetryEvent::PoolHighWater { .. }
         | TelemetryEvent::Raw { .. } => None,
     }
 }
@@ -177,6 +182,11 @@ fn is_headline(event: &TelemetryEvent) -> bool {
         | TelemetryEvent::FaultFrame { .. }
         | TelemetryEvent::SpanEnter { .. }
         | TelemetryEvent::SpanExit { .. }
+        | TelemetryEvent::PoolExhausted { .. }
+        | TelemetryEvent::SlotDenied
+        | TelemetryEvent::ConnEstablished { .. }
+        | TelemetryEvent::ConnReleased { .. }
+        | TelemetryEvent::PoolHighWater { .. }
         | TelemetryEvent::Raw { .. } => false,
     }
 }
@@ -362,6 +372,11 @@ fn render(records: &[TelemetryRecord], limit: usize, skipped: usize) {
             | TelemetryEvent::FaultEpisode { .. }
             | TelemetryEvent::SpanEnter { .. }
             | TelemetryEvent::SpanExit { .. }
+            | TelemetryEvent::PoolExhausted { .. }
+            | TelemetryEvent::SlotDenied
+            | TelemetryEvent::ConnEstablished { .. }
+            | TelemetryEvent::ConnReleased { .. }
+            | TelemetryEvent::PoolHighWater { .. }
             | TelemetryEvent::Raw { .. } => {}
         }
     }

@@ -13,6 +13,9 @@ use std::alloc::{GlobalAlloc, Layout, System};
 use std::cell::Cell;
 use std::sync::atomic::{AtomicU64, Ordering};
 
+use ble_host::gatt::props;
+use ble_host::{GattServer, HostStack, Uuid};
+use ble_link::{AddressType, DeviceAddress, LinkLayerDelegate};
 use ble_phy::{
     AccessAddress, AccessFilter, Channel, Environment, NodeConfig, NodeCtx, Pdu, Position,
     RadioEvent, RadioListener, RawFrame, Simulation, TimerKey,
@@ -215,6 +218,81 @@ fn steady_state_frame_delivery_allocates_nothing() {
     assert_eq!(
         delta, 0,
         "an empty FaultPlan must not add allocations ({delta} over {received} deliveries)"
+    );
+}
+
+/// Moves every queued outgoing fragment of `from` into `to`, reusing one
+/// scratch buffer — exactly what the Link Layer does at connection events.
+fn shuttle(from: &mut HostStack, to: &mut HostStack, scratch: &mut Vec<u8>) {
+    while let Some(llid) = from.poll_outgoing(scratch) {
+        to.on_data(llid, scratch);
+    }
+}
+
+/// One round of duplex host traffic: an unacknowledged ATT Write Command
+/// one way, a Handle Value Notification the other, application events
+/// drained on both sides (returning their pooled value buffers).
+fn host_round(a: &mut HostStack, b: &mut HostStack, handle: u16, scratch: &mut Vec<u8>) {
+    a.write_command(handle, &[0x01, 0x99, 0, 0, 0]);
+    shuttle(a, b, scratch);
+    b.notify(handle, &[0x42; 5]);
+    shuttle(b, a, scratch);
+    while a.poll_event().is_some() {}
+    while b.poll_event().is_some() {}
+}
+
+#[test]
+fn steady_state_host_queuing_allocates_nothing() {
+    // Two host stacks wired back-to-back through the `LinkLayerDelegate`
+    // seam (no radio: the budget under test is the ATT/L2CAP queuing path
+    // by itself). Buffers crossing the seam are borrowed from each stack's
+    // `PacketPool`; after a warm-up has grown every queue, scratch buffer,
+    // and attribute value to capacity, a sustained duplex write/notify
+    // stream must never touch the heap.
+    let mk = |seed: u8| {
+        HostStack::new(
+            DeviceAddress::new([seed; 6], AddressType::Public),
+            GattServer::new(),
+            SimRng::seed_from(u64::from(seed)),
+        )
+    };
+    let mut a = mk(0xA1);
+    let mut b = mk(0xB2);
+    let handle = b
+        .server_mut()
+        .service(Uuid::short(0xFFE0))
+        .characteristic(
+            Uuid::short(0xFFE1),
+            props::READ | props::WRITE | props::WRITE_WITHOUT_RESPONSE,
+            vec![0],
+        )
+        .finish();
+
+    let mut scratch = Vec::new();
+    for _ in 0..50 {
+        host_round(&mut a, &mut b, handle, &mut scratch);
+    }
+
+    let before = ALLOCATIONS.load(Ordering::Relaxed);
+    COUNTING.with(|c| c.set(true));
+    for _ in 0..200 {
+        host_round(&mut a, &mut b, handle, &mut scratch);
+    }
+    COUNTING.with(|c| c.set(false));
+    let delta = ALLOCATIONS.load(Ordering::Relaxed) - before;
+    assert_eq!(
+        delta, 0,
+        "steady-state host queuing must not allocate ({delta} allocations over 200 duplex rounds)"
+    );
+    assert_eq!(
+        b.server().value(handle),
+        Some(&[0x01, 0x99, 0, 0, 0][..]),
+        "the writes must actually land"
+    );
+    let stats = a.pool().stats();
+    assert_eq!(
+        stats.free, stats.capacity,
+        "steady state must return every pooled buffer"
     );
 }
 

@@ -53,7 +53,7 @@ impl PeripheralApp for BulbApp {
         if *handle != self.control_handle {
             return;
         }
-        self.command_log.push(value.clone());
+        self.command_log.push(value.to_vec());
         match value.split_first() {
             Some((&command::POWER, rest)) => {
                 self.on = rest.first().copied().unwrap_or(0) != 0;
@@ -175,7 +175,7 @@ mod tests {
     fn write_event(handle: u16, value: Vec<u8>) -> HostEvent {
         HostEvent::Written {
             handle,
-            value,
+            value: value.into(),
             acknowledged: true,
         }
     }

@@ -96,7 +96,7 @@ mod tests {
                 &mut host,
                 &HostEvent::Written {
                     handle: h,
-                    value,
+                    value: value.into(),
                     acknowledged: false,
                 },
             );

@@ -27,7 +27,7 @@ mod watch;
 pub use bulb::{
     payloads as bulb_payloads, BulbApp, Lightbulb, BULB_CONTROL_UUID, BULB_SERVICE_UUID,
 };
-pub use central::Central;
+pub use central::{Central, CENTRAL_SLOTS};
 pub use keyfob::{Keyfob, KeyfobApp};
 pub use peripheral::{Peripheral, PeripheralApp, APP_TIMER_BASE};
 pub use watch::{Smartwatch, WatchApp, WATCH_MESSAGE_UUID, WATCH_SERVICE_UUID};

@@ -27,7 +27,7 @@ impl PeripheralApp for WatchApp {
             return;
         };
         if *handle == self.message_handle {
-            self.inbox.push(value.clone());
+            self.inbox.push(value.to_vec());
         }
     }
 }
@@ -104,7 +104,7 @@ mod tests {
                 &mut host,
                 &HostEvent::Written {
                     handle: h,
-                    value: text,
+                    value: text.into(),
                     acknowledged: true,
                 },
             );

@@ -297,6 +297,42 @@ impl AttPdu {
     }
 }
 
+/// Raw ATT opcodes used by the zero-alloc steady-state fast paths.
+pub mod opcode {
+    /// Write Command (no response).
+    pub const WRITE_COMMAND: u8 = 0x52;
+    /// Handle Value Notification.
+    pub const NOTIFICATION: u8 = 0x1B;
+}
+
+/// Appends a handle/value ATT PDU (`opcode`, handle LE, value) to `out`.
+///
+/// Byte-identical to [`AttPdu::to_bytes`] for the Write Command (0x52),
+/// Write Request (0x12), Notification (0x1B), and Indication (0x1D) shapes,
+/// but encodes into a caller-owned buffer so the steady-state TX path
+/// allocates nothing.
+pub fn encode_handle_value_into(opcode: u8, handle: u16, value: &[u8], out: &mut Vec<u8>) {
+    out.push(opcode);
+    out.extend_from_slice(&handle.to_le_bytes());
+    out.extend_from_slice(value);
+}
+
+/// Borrowed parse of a handle/value ATT PDU: returns `(opcode, handle,
+/// value)` without copying the value out of `sdu`.
+///
+/// Accepts only the two steady-state opcodes ([`opcode::WRITE_COMMAND`] and
+/// [`opcode::NOTIFICATION`]); everything else returns `None` so callers fall
+/// back to the full [`AttPdu::from_bytes`] path. Mirrors its length checks:
+/// a PDU shorter than opcode + 2-byte handle is malformed.
+pub fn parse_handle_value(sdu: &[u8]) -> Option<(u8, u16, &[u8])> {
+    let (&op, rest) = sdu.split_first()?;
+    if op != opcode::WRITE_COMMAND && op != opcode::NOTIFICATION {
+        return None;
+    }
+    let (handle_bytes, value) = rest.split_first_chunk::<2>()?;
+    Some((op, u16::from_le_bytes(*handle_bytes), value))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -384,5 +420,76 @@ mod tests {
             handle: 7,
             value: vec![],
         });
+    }
+
+    #[test]
+    fn encode_into_matches_to_bytes() {
+        let cases = [
+            AttPdu::WriteCommand {
+                handle: 0x0021,
+                value: vec![0xDE, 0xAD, 0xBE],
+            },
+            AttPdu::Notification {
+                handle: 0x0009,
+                value: b"SMS: hi".to_vec(),
+            },
+            AttPdu::WriteCommand {
+                handle: 0xFFFF,
+                value: vec![],
+            },
+        ];
+        for pdu in cases {
+            let (op, handle, value) = match &pdu {
+                AttPdu::WriteCommand { handle, value } => {
+                    (opcode::WRITE_COMMAND, *handle, value.clone())
+                }
+                AttPdu::Notification { handle, value } => {
+                    (opcode::NOTIFICATION, *handle, value.clone())
+                }
+                _ => unreachable!(),
+            };
+            let mut out = Vec::new();
+            encode_handle_value_into(op, handle, &value, &mut out);
+            assert_eq!(out, pdu.to_bytes());
+        }
+    }
+
+    #[test]
+    fn parse_handle_value_agrees_with_from_bytes() {
+        let wc = AttPdu::WriteCommand {
+            handle: 0x0102,
+            value: vec![7, 8, 9],
+        }
+        .to_bytes();
+        assert_eq!(
+            parse_handle_value(&wc),
+            Some((opcode::WRITE_COMMAND, 0x0102, &[7u8, 8, 9][..]))
+        );
+
+        let ntf = AttPdu::Notification {
+            handle: 0x0030,
+            value: vec![],
+        }
+        .to_bytes();
+        assert_eq!(
+            parse_handle_value(&ntf),
+            Some((opcode::NOTIFICATION, 0x0030, &[][..]))
+        );
+
+        // Everything the borrowed parser rejects must also be either a
+        // different opcode or malformed to the full parser.
+        assert_eq!(parse_handle_value(&[]), None);
+        assert_eq!(parse_handle_value(&[0x52, 1]), None);
+        assert_eq!(AttPdu::from_bytes(&[0x52, 1]), None);
+        let write_req = AttPdu::WriteRequest {
+            handle: 1,
+            value: vec![2],
+        }
+        .to_bytes();
+        assert_eq!(
+            parse_handle_value(&write_req),
+            None,
+            "0x12 takes the slow path"
+        );
     }
 }

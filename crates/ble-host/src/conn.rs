@@ -1,0 +1,396 @@
+//! Fixed connection slots: typed handles and the slot lifecycle.
+//!
+//! A multi-connection node owns a [`ConnectionManager`] with a const-generic
+//! number of slots. Each slot walks the lifecycle
+//! `Free → Connecting → Established → Disconnecting → Free`; releasing a
+//! slot bumps its reuse generation, so a [`ConnHandle`] captured before the
+//! release is *stale* and every manager method rejects it. This is the
+//! anti-use-after-free discipline embedded real-time stacks (trouble,
+//! Zephyr) use in place of heap-allocated connection objects.
+
+use ble_link::DeviceAddress;
+
+/// Lifecycle state of one connection slot.
+///
+/// Covered by the xtask R4 exhaustive-match rule: consumers must decide
+/// explicitly how to treat every state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SlotState {
+    /// Unoccupied; [`ConnectionManager::allocate`] may claim it.
+    Free,
+    /// Claimed: connection establishment (scan + CONNECT_IND) in flight.
+    Connecting,
+    /// The Link Layer connection is up.
+    Established,
+    /// Teardown requested; the slot is released once the link confirms.
+    Disconnecting,
+}
+
+impl SlotState {
+    /// Stable wire name (telemetry / debugging).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            SlotState::Free => "free",
+            SlotState::Connecting => "connecting",
+            SlotState::Established => "established",
+            SlotState::Disconnecting => "disconnecting",
+        }
+    }
+}
+
+/// A typed, generation-checked reference to one connection slot.
+///
+/// The generation counter makes handles single-use across slot reuse: after
+/// [`ConnectionManager::release`], handles minted for the previous occupant
+/// stop resolving.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ConnHandle {
+    index: u8,
+    generation: u16,
+}
+
+impl ConnHandle {
+    /// Slot index inside the manager.
+    pub fn index(self) -> usize {
+        usize::from(self.index)
+    }
+
+    /// Reuse generation the handle was minted under.
+    pub fn generation(self) -> u16 {
+        self.generation
+    }
+
+    /// Packs the handle into one `u32` (`index | generation << 8`) for
+    /// telemetry fields.
+    pub fn to_raw(self) -> u32 {
+        u32::from(self.index) | (u32::from(self.generation) << 8)
+    }
+
+    /// Inverse of [`ConnHandle::to_raw`].
+    pub fn from_raw(raw: u32) -> Self {
+        ConnHandle {
+            index: (raw & 0xFF) as u8,
+            generation: (raw >> 8) as u16,
+        }
+    }
+}
+
+impl std::fmt::Display for ConnHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "conn#{}.{}", self.index, self.generation)
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Slot {
+    state: SlotState,
+    generation: u16,
+    peer: Option<DeviceAddress>,
+}
+
+const FREE_SLOT: Slot = Slot {
+    state: SlotState::Free,
+    generation: 0,
+    peer: None,
+};
+
+/// Fixed-slot connection bookkeeping for one node.
+///
+/// # Example
+///
+/// ```
+/// use ble_host::conn::{ConnectionManager, SlotState};
+/// use ble_link::{AddressType, DeviceAddress};
+///
+/// let mut mgr = ConnectionManager::<2>::new();
+/// let peer = DeviceAddress::new([0xB1; 6], AddressType::Public);
+/// let h = mgr.allocate(peer).expect("slot free");
+/// assert_eq!(mgr.state(h), Some(SlotState::Connecting));
+/// mgr.establish(h);
+/// mgr.release(h);
+/// assert_eq!(mgr.state(h), None, "stale handle no longer resolves");
+/// ```
+#[derive(Debug)]
+pub struct ConnectionManager<const SLOTS: usize> {
+    slots: [Slot; SLOTS],
+    denials: u64,
+}
+
+impl<const SLOTS: usize> Default for ConnectionManager<SLOTS> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<const SLOTS: usize> ConnectionManager<SLOTS> {
+    /// A manager with every slot free.
+    pub fn new() -> Self {
+        ConnectionManager {
+            slots: [FREE_SLOT; SLOTS],
+            denials: 0,
+        }
+    }
+
+    /// Number of slots (the const parameter, as a value).
+    pub fn capacity(&self) -> usize {
+        SLOTS
+    }
+
+    /// Slots not currently [`SlotState::Free`].
+    pub fn occupied(&self) -> usize {
+        self.slots
+            .iter()
+            .filter(|s| s.state != SlotState::Free)
+            .count()
+    }
+
+    /// Slots in [`SlotState::Established`].
+    pub fn established(&self) -> usize {
+        self.slots
+            .iter()
+            .filter(|s| s.state == SlotState::Established)
+            .count()
+    }
+
+    /// How many [`ConnectionManager::allocate`] calls found no free slot.
+    pub fn denials(&self) -> u64 {
+        self.denials
+    }
+
+    /// Claims the lowest free slot for `peer` (`Free → Connecting`).
+    /// Returns `None` — and counts the denial — when every slot is taken.
+    pub fn allocate(&mut self, peer: DeviceAddress) -> Option<ConnHandle> {
+        let Some(index) = self.slots.iter().position(|s| s.state == SlotState::Free) else {
+            self.denials += 1;
+            return None;
+        };
+        let slot = &mut self.slots[index];
+        slot.state = SlotState::Connecting;
+        slot.peer = Some(peer);
+        Some(ConnHandle {
+            index: index as u8,
+            generation: slot.generation,
+        })
+    }
+
+    /// Claims a *specific* free slot for `peer` (`Free → Connecting`) — the
+    /// multi-connection Central uses this to re-occupy the slot whose
+    /// per-slot link state it already owns. Returns `None` — and counts the
+    /// denial — when `index` is out of range or the slot is occupied.
+    pub fn allocate_at(&mut self, index: usize, peer: DeviceAddress) -> Option<ConnHandle> {
+        match self.slots.get_mut(index) {
+            Some(slot) if slot.state == SlotState::Free => {
+                slot.state = SlotState::Connecting;
+                slot.peer = Some(peer);
+                Some(ConnHandle {
+                    index: index as u8,
+                    generation: slot.generation,
+                })
+            }
+            Some(_) | None => {
+                self.denials += 1;
+                None
+            }
+        }
+    }
+
+    fn slot_mut(&mut self, handle: ConnHandle) -> Option<&mut Slot> {
+        self.slots
+            .get_mut(handle.index())
+            .filter(|s| s.generation == handle.generation && s.state != SlotState::Free)
+    }
+
+    fn slot(&self, handle: ConnHandle) -> Option<&Slot> {
+        self.slots
+            .get(handle.index())
+            .filter(|s| s.generation == handle.generation && s.state != SlotState::Free)
+    }
+
+    /// `Connecting → Established`. Returns `false` on a stale handle or a
+    /// slot not in the connecting state.
+    pub fn establish(&mut self, handle: ConnHandle) -> bool {
+        match self.slot_mut(handle) {
+            Some(slot) if slot.state == SlotState::Connecting => {
+                slot.state = SlotState::Established;
+                true
+            }
+            Some(_) | None => false,
+        }
+    }
+
+    /// `Established → Disconnecting`. Returns `false` on a stale handle or
+    /// a slot not established.
+    pub fn begin_disconnect(&mut self, handle: ConnHandle) -> bool {
+        match self.slot_mut(handle) {
+            Some(slot) if slot.state == SlotState::Established => {
+                slot.state = SlotState::Disconnecting;
+                true
+            }
+            Some(_) | None => false,
+        }
+    }
+
+    /// Frees the slot from any occupied state and bumps the generation, so
+    /// every handle minted for the old occupant goes stale. Returns `false`
+    /// if the handle was already stale.
+    pub fn release(&mut self, handle: ConnHandle) -> bool {
+        match self.slot_mut(handle) {
+            Some(slot) => {
+                slot.state = SlotState::Free;
+                slot.peer = None;
+                slot.generation = slot.generation.wrapping_add(1);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// The slot's state, or `None` for a stale handle.
+    pub fn state(&self, handle: ConnHandle) -> Option<SlotState> {
+        self.slot(handle).map(|s| s.state)
+    }
+
+    /// The peer the slot was allocated for, or `None` for a stale handle.
+    pub fn peer(&self, handle: ConnHandle) -> Option<DeviceAddress> {
+        self.slot(handle).and_then(|s| s.peer)
+    }
+
+    /// Whether the handle still refers to the slot's current occupant.
+    pub fn is_current(&self, handle: ConnHandle) -> bool {
+        self.slot(handle).is_some()
+    }
+
+    /// The current-generation handle occupying `index`, if any.
+    pub fn handle_at(&self, index: usize) -> Option<ConnHandle> {
+        self.slots
+            .get(index)
+            .filter(|s| s.state != SlotState::Free)
+            .map(|s| ConnHandle {
+                index: index as u8,
+                generation: s.generation,
+            })
+    }
+
+    /// Iterates occupied slots as `(handle, state, peer)`.
+    pub fn iter(
+        &self,
+    ) -> impl Iterator<Item = (ConnHandle, SlotState, Option<DeviceAddress>)> + '_ {
+        self.slots
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| s.state != SlotState::Free)
+            .map(|(i, s)| {
+                (
+                    ConnHandle {
+                        index: i as u8,
+                        generation: s.generation,
+                    },
+                    s.state,
+                    s.peer,
+                )
+            })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ble_link::AddressType;
+
+    fn peer(seed: u8) -> DeviceAddress {
+        DeviceAddress::new([seed; 6], AddressType::Public)
+    }
+
+    #[test]
+    fn lifecycle_walks_free_connecting_established_disconnecting() {
+        let mut mgr = ConnectionManager::<2>::new();
+        let h = mgr.allocate(peer(1)).unwrap();
+        assert_eq!(mgr.state(h), Some(SlotState::Connecting));
+        assert!(mgr.establish(h));
+        assert_eq!(mgr.state(h), Some(SlotState::Established));
+        assert_eq!(mgr.established(), 1);
+        assert!(mgr.begin_disconnect(h));
+        assert_eq!(mgr.state(h), Some(SlotState::Disconnecting));
+        assert!(mgr.release(h));
+        assert_eq!(mgr.occupied(), 0);
+    }
+
+    #[test]
+    fn illegal_transitions_are_rejected() {
+        let mut mgr = ConnectionManager::<1>::new();
+        let h = mgr.allocate(peer(1)).unwrap();
+        assert!(!mgr.begin_disconnect(h), "connecting cannot disconnect");
+        assert!(mgr.establish(h));
+        assert!(!mgr.establish(h), "already established");
+    }
+
+    #[test]
+    fn exhausted_slots_deny_and_count() {
+        let mut mgr = ConnectionManager::<2>::new();
+        let _a = mgr.allocate(peer(1)).unwrap();
+        let _b = mgr.allocate(peer(2)).unwrap();
+        assert!(mgr.allocate(peer(3)).is_none());
+        assert_eq!(mgr.denials(), 1);
+    }
+
+    #[test]
+    fn stale_handle_from_released_slot_is_rejected() {
+        let mut mgr = ConnectionManager::<1>::new();
+        let old = mgr.allocate(peer(1)).unwrap();
+        assert!(mgr.establish(old));
+        assert!(mgr.release(old));
+
+        // The slot is reused for a new peer: same index, new generation.
+        let new = mgr.allocate(peer(2)).unwrap();
+        assert_eq!(new.index(), old.index());
+        assert_ne!(new.generation(), old.generation());
+
+        // Every manager method rejects the stale handle while accepting the
+        // current one.
+        assert_eq!(mgr.state(old), None);
+        assert_eq!(mgr.peer(old), None);
+        assert!(!mgr.is_current(old));
+        assert!(!mgr.establish(old));
+        assert!(!mgr.begin_disconnect(old));
+        assert!(!mgr.release(old));
+        assert_eq!(mgr.state(new), Some(SlotState::Connecting));
+        assert_eq!(mgr.peer(new), Some(peer(2)));
+
+        // The stale release attempt must not have freed the new occupant.
+        assert_eq!(mgr.occupied(), 1);
+    }
+
+    #[test]
+    fn raw_round_trip_and_display() {
+        let mut mgr = ConnectionManager::<3>::new();
+        let h = mgr.allocate(peer(9)).unwrap();
+        mgr.release(h);
+        let h2 = mgr.allocate(peer(9)).unwrap();
+        assert_eq!(ConnHandle::from_raw(h2.to_raw()), h2);
+        assert_eq!(format!("{h2}"), "conn#0.1");
+    }
+
+    #[test]
+    fn allocate_at_claims_the_named_slot_only_when_free() {
+        let mut mgr = ConnectionManager::<3>::new();
+        let h = mgr.allocate_at(2, peer(1)).unwrap();
+        assert_eq!(h.index(), 2);
+        assert!(mgr.allocate_at(2, peer(2)).is_none(), "slot 2 occupied");
+        assert!(mgr.allocate_at(9, peer(2)).is_none(), "out of range");
+        assert_eq!(mgr.denials(), 2);
+        mgr.release(h);
+        let h2 = mgr.allocate_at(2, peer(2)).unwrap();
+        assert_eq!(h2.index(), 2);
+        assert_ne!(h2.generation(), h.generation(), "generation bumped");
+    }
+
+    #[test]
+    fn handle_at_tracks_current_generation() {
+        let mut mgr = ConnectionManager::<2>::new();
+        let h = mgr.allocate(peer(1)).unwrap();
+        assert_eq!(mgr.handle_at(0), Some(h));
+        assert_eq!(mgr.handle_at(1), None);
+        mgr.release(h);
+        assert_eq!(mgr.handle_at(0), None);
+    }
+}

@@ -111,18 +111,57 @@ impl GattServer {
         self.mtu
     }
 
+    /// Looks an attribute up by handle. `attributes` is kept sorted by
+    /// handle ([`GattServer::allocate`] is monotonic and every push happens
+    /// in allocation order), so this is a binary search rather than the
+    /// linear scan the server shipped with.
+    fn find(&self, handle: u16) -> Option<&Attribute> {
+        self.attributes
+            .binary_search_by_key(&handle, |a| a.handle)
+            .ok()
+            .map(|i| &self.attributes[i])
+    }
+
+    fn find_mut(&mut self, handle: u16) -> Option<&mut Attribute> {
+        self.attributes
+            .binary_search_by_key(&handle, |a| a.handle)
+            .ok()
+            .map(|i| &mut self.attributes[i])
+    }
+
     /// Current value of an attribute.
     pub fn value(&self, handle: u16) -> Option<&[u8]> {
-        self.attributes
-            .iter()
-            .find(|a| a.handle == handle)
-            .map(|a| a.value.as_slice())
+        self.find(handle).map(|a| a.value.as_slice())
     }
 
     /// Replaces an attribute's value (application-side update).
     pub fn set_value(&mut self, handle: u16, value: Vec<u8>) {
-        if let Some(a) = self.attributes.iter_mut().find(|a| a.handle == handle) {
-            a.value = value;
+        self.set_value_from_slice(handle, &value);
+    }
+
+    /// Replaces an attribute's value from a borrowed slice, reusing the
+    /// attribute's existing buffer capacity — the steady-state write path
+    /// stays off the heap once the value buffer has grown to size.
+    pub fn set_value_from_slice(&mut self, handle: u16, value: &[u8]) {
+        if let Some(a) = self.find_mut(handle) {
+            a.value.clear();
+            a.value.extend_from_slice(value);
+        }
+    }
+
+    /// Applies an unacknowledged Write Command without building an
+    /// [`AttPdu`]: returns whether the value was written (handle exists and
+    /// is writable) so the caller can report the application event. The
+    /// semantics mirror the `WriteCommand` arm of
+    /// [`GattServer::handle_att`]; commands never produce a response.
+    pub fn apply_write_command(&mut self, handle: u16, value: &[u8]) -> bool {
+        match self.find_mut(handle) {
+            Some(attr) if attr.writable => {
+                attr.value.clear();
+                attr.value.extend_from_slice(value);
+                true
+            }
+            Some(_) | None => false,
         }
     }
 
@@ -143,32 +182,31 @@ impl GattServer {
                 self.mtu = (*mtu).clamp(23, 247);
                 Some(AttPdu::ExchangeMtuResponse { mtu: self.mtu })
             }
-            AttPdu::ReadRequest { handle } => {
-                match self.attributes.iter().find(|a| a.handle == *handle) {
-                    Some(attr) if attr.readable => {
-                        events.push(GattEvent::Read { handle: *handle });
-                        let limit = usize::from(self.mtu) - 1;
-                        let mut value = attr.value.clone();
-                        value.truncate(limit);
-                        Some(AttPdu::ReadResponse { value })
-                    }
-                    Some(_) => Some(AttPdu::ErrorResponse {
-                        request_opcode: pdu.opcode(),
-                        handle: *handle,
-                        code: error_code::READ_NOT_PERMITTED,
-                    }),
-                    None => Some(AttPdu::ErrorResponse {
-                        request_opcode: pdu.opcode(),
-                        handle: *handle,
-                        code: error_code::INVALID_HANDLE,
-                    }),
+            AttPdu::ReadRequest { handle } => match self.find(*handle) {
+                Some(attr) if attr.readable => {
+                    events.push(GattEvent::Read { handle: *handle });
+                    let limit = usize::from(self.mtu) - 1;
+                    let mut value = attr.value.clone();
+                    value.truncate(limit);
+                    Some(AttPdu::ReadResponse { value })
                 }
-            }
+                Some(_) => Some(AttPdu::ErrorResponse {
+                    request_opcode: pdu.opcode(),
+                    handle: *handle,
+                    code: error_code::READ_NOT_PERMITTED,
+                }),
+                None => Some(AttPdu::ErrorResponse {
+                    request_opcode: pdu.opcode(),
+                    handle: *handle,
+                    code: error_code::INVALID_HANDLE,
+                }),
+            },
             AttPdu::WriteRequest { handle, value } | AttPdu::WriteCommand { handle, value } => {
                 let acknowledged = matches!(pdu, AttPdu::WriteRequest { .. });
-                match self.attributes.iter_mut().find(|a| a.handle == *handle) {
+                match self.find_mut(*handle) {
                     Some(attr) if attr.writable => {
-                        attr.value = value.clone();
+                        attr.value.clear();
+                        attr.value.extend_from_slice(value);
                         events.push(GattEvent::Written {
                             handle: *handle,
                             value: value.clone(),
@@ -527,6 +565,80 @@ mod tests {
                 value: b"Hacked".to_vec()
             })
         );
+    }
+
+    #[test]
+    fn attributes_stay_sorted_and_binary_search_matches_linear_scan() {
+        // The binary-search lookup relies on the database being sorted by
+        // handle; verify the invariant and that every lookup (present or
+        // absent) agrees with the old linear scan.
+        let (server, _, _) = demo_server();
+        let handles: Vec<u16> = server.attributes.iter().map(|a| a.handle).collect();
+        let mut sorted = handles.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(handles, sorted, "attributes sorted by unique handle");
+
+        for handle in 0..=(handles.last().copied().unwrap_or(0) + 2) {
+            let linear = server
+                .attributes
+                .iter()
+                .find(|a| a.handle == handle)
+                .map(|a| a.value.as_slice());
+            assert_eq!(server.value(handle), linear, "handle {handle}");
+        }
+    }
+
+    #[test]
+    fn lookup_order_and_responses_unchanged_after_binary_search() {
+        // Responses for the same request sequence, replayed against two
+        // identically built servers, must stay byte-for-byte equal — the
+        // binary-search refactor is lookup-only.
+        let (mut server, name, control) = demo_server();
+        let requests = [
+            AttPdu::ReadRequest { handle: name },
+            AttPdu::WriteRequest {
+                handle: control,
+                value: vec![4, 5],
+            },
+            AttPdu::ReadRequest { handle: control },
+            AttPdu::ReadRequest { handle: 0x1234 },
+            AttPdu::WriteCommand {
+                handle: control,
+                value: vec![6],
+            },
+        ];
+        let transcript: Vec<_> = requests.iter().map(|r| server.handle_att(r)).collect();
+        assert_eq!(
+            transcript[0].0,
+            Some(AttPdu::ReadResponse {
+                value: b"Bulb".to_vec()
+            })
+        );
+        assert_eq!(transcript[1].0, Some(AttPdu::WriteResponse));
+        assert_eq!(
+            transcript[2].0,
+            Some(AttPdu::ReadResponse { value: vec![4, 5] })
+        );
+        assert!(matches!(
+            transcript[3].0,
+            Some(AttPdu::ErrorResponse {
+                code: error_code::INVALID_HANDLE,
+                ..
+            })
+        ));
+        assert_eq!(transcript[4].0, None);
+        assert_eq!(server.value(control), Some(&[6u8][..]));
+    }
+
+    #[test]
+    fn apply_write_command_matches_handle_att_semantics() {
+        let (mut server, name, control) = demo_server();
+        assert!(server.apply_write_command(control, &[0xAB]));
+        assert_eq!(server.value(control), Some(&[0xAB][..]));
+        assert!(!server.apply_write_command(name, &[1]), "read-only");
+        assert_eq!(server.value(name), Some(&b"Bulb"[..]), "value untouched");
+        assert!(!server.apply_write_command(0x4444, &[1]), "missing handle");
     }
 
     #[test]

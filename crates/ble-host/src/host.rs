@@ -7,9 +7,10 @@ use std::collections::VecDeque;
 use ble_link::{DeviceAddress, LinkLayerDelegate, Llid, Role};
 use simkit::SimRng;
 
-use crate::att::AttPdu;
+use crate::att::{self, AttPdu};
 use crate::gatt::{GattEvent, GattServer};
 use crate::l2cap::{self, Reassembler, CID_ATT, CID_SMP, DEFAULT_LL_PAYLOAD};
+use crate::pool::{PacketPool, PooledBuf};
 use crate::smp::{SmpContext, SmpInitiator, SmpOutcome, SmpPdu, SmpResponder};
 use crate::uuid::Uuid;
 
@@ -32,8 +33,8 @@ pub enum HostEvent {
     Written {
         /// Value handle.
         handle: u16,
-        /// New value.
-        value: Vec<u8>,
+        /// New value (pool-borrowed on the steady-state path).
+        value: PooledBuf,
         /// Whether it was an acknowledged Write Request.
         acknowledged: bool,
     },
@@ -62,8 +63,8 @@ pub enum HostEvent {
     Notification {
         /// Source handle.
         handle: u16,
-        /// The value.
-        value: Vec<u8>,
+        /// The value (pool-borrowed on the steady-state path).
+        value: PooledBuf,
     },
     /// A Read By Group Type response (service discovery data).
     ServicesDiscovered {
@@ -117,7 +118,11 @@ pub struct HostStack {
     local_addr: DeviceAddress,
     server: GattServer,
     reassembler: Reassembler,
-    ll_out: VecDeque<(Llid, Vec<u8>)>,
+    ll_out: VecDeque<(Llid, PooledBuf)>,
+    pool: PacketPool,
+    pool_client: usize,
+    tx_sdu: Vec<u8>,
+    rx_sdu: Vec<u8>,
     events: VecDeque<HostEvent>,
     actions: VecDeque<SecurityAction>,
     smp_initiator: Option<SmpInitiator>,
@@ -130,13 +135,19 @@ pub struct HostStack {
 }
 
 impl HostStack {
-    /// Creates a stack around a GATT server.
+    /// Creates a stack around a GATT server, with a private
+    /// [`PacketPool::default_for_host`] pool. Multi-connection owners share
+    /// one pool across stacks via [`HostStack::set_pool`].
     pub fn new(local_addr: DeviceAddress, server: GattServer, rng: SimRng) -> Self {
         HostStack {
             local_addr,
             server,
             reassembler: Reassembler::new(),
             ll_out: VecDeque::new(),
+            pool: PacketPool::default_for_host(),
+            pool_client: 0,
+            tx_sdu: Vec::new(),
+            rx_sdu: Vec::new(),
             events: VecDeque::new(),
             actions: VecDeque::new(),
             smp_initiator: None,
@@ -147,6 +158,23 @@ impl HostStack {
             rng,
             encrypted: false,
         }
+    }
+
+    /// Replaces the buffer pool and this stack's client index within it.
+    /// A multi-connection Central calls this once per slot so every stack
+    /// draws from one shared, QoS-arbitrated pool.
+    ///
+    /// Call before traffic flows: buffers already queued stay with their
+    /// original pool (they return there on drop), so switching mid-stream
+    /// is safe but mixes accounting.
+    pub fn set_pool(&mut self, pool: PacketPool, client: usize) {
+        self.pool = pool;
+        self.pool_client = client;
+    }
+
+    /// The buffer pool this stack draws from.
+    pub fn pool(&self) -> &PacketPool {
+        &self.pool
     }
 
     /// The GATT server.
@@ -201,14 +229,25 @@ impl HostStack {
         self.send_att(&AttPdu::WriteRequest { handle, value });
     }
 
-    /// Sends an ATT Write Command (unacknowledged).
-    pub fn write_command(&mut self, handle: u16, value: Vec<u8>) {
-        self.send_att(&AttPdu::WriteCommand { handle, value });
+    /// Sends an ATT Write Command (unacknowledged). This is a steady-state
+    /// fast path: the PDU is encoded into a reused scratch buffer and
+    /// queued in pool-borrowed fragments — no heap allocation.
+    pub fn write_command(&mut self, handle: u16, value: &[u8]) {
+        self.send_handle_value(att::opcode::WRITE_COMMAND, handle, value);
     }
 
-    /// Sends a Handle Value Notification (server push).
-    pub fn notify(&mut self, handle: u16, value: Vec<u8>) {
-        self.send_att(&AttPdu::Notification { handle, value });
+    /// Sends a Handle Value Notification (server push). Steady-state fast
+    /// path like [`HostStack::write_command`].
+    pub fn notify(&mut self, handle: u16, value: &[u8]) {
+        self.send_handle_value(att::opcode::NOTIFICATION, handle, value);
+    }
+
+    fn send_handle_value(&mut self, opcode: u8, handle: u16, value: &[u8]) {
+        let mut sdu = std::mem::take(&mut self.tx_sdu);
+        sdu.clear();
+        att::encode_handle_value_into(opcode, handle, value, &mut sdu);
+        self.send_sdu(CID_ATT, &sdu);
+        self.tx_sdu = sdu;
     }
 
     /// Starts primary service discovery.
@@ -285,19 +324,52 @@ impl HostStack {
         Some(SmpContext { ia, iat, ra, rat })
     }
 
+    /// Fragments one SDU into pool-borrowed LL payloads on the TX queue.
+    fn send_sdu(&mut self, cid: u16, sdu: &[u8]) {
+        let pool = &self.pool;
+        let client = self.pool_client;
+        let ll_out = &mut self.ll_out;
+        l2cap::fragment_into(cid, sdu, DEFAULT_LL_PAYLOAD, |llid, prefix, data| {
+            let mut buf = pool.alloc_or_heap(client);
+            buf.extend_from_slice(prefix);
+            buf.extend_from_slice(data);
+            ll_out.push_back((llid, buf));
+        });
+    }
+
     fn send_att(&mut self, pdu: &AttPdu) {
-        for frag in l2cap::fragment(CID_ATT, &pdu.to_bytes(), DEFAULT_LL_PAYLOAD) {
-            self.ll_out.push_back(frag);
-        }
+        let bytes = pdu.to_bytes();
+        self.send_sdu(CID_ATT, &bytes);
     }
 
     fn send_smp(&mut self, pdu: &SmpPdu) {
-        for frag in l2cap::fragment(CID_SMP, &pdu.to_bytes(), DEFAULT_LL_PAYLOAD) {
-            self.ll_out.push_back(frag);
-        }
+        let bytes = pdu.to_bytes();
+        self.send_sdu(CID_SMP, &bytes);
     }
 
     fn on_att_sdu(&mut self, sdu: &[u8]) {
+        // Steady-state fast paths: the two unacknowledged opcodes are
+        // parsed borrowed and their values land in pool buffers, so the
+        // hot RX path never materialises an `AttPdu`.
+        if let Some((op, handle, value)) = att::parse_handle_value(sdu) {
+            if op == att::opcode::WRITE_COMMAND {
+                if self.server.apply_write_command(handle, value) {
+                    let mut buf = self.pool.alloc_or_heap(self.pool_client);
+                    buf.extend_from_slice(value);
+                    self.events.push_back(HostEvent::Written {
+                        handle,
+                        value: buf,
+                        acknowledged: false,
+                    });
+                }
+            } else {
+                let mut buf = self.pool.alloc_or_heap(self.pool_client);
+                buf.extend_from_slice(value);
+                self.events
+                    .push_back(HostEvent::Notification { handle, value: buf });
+            }
+            return;
+        }
         let Some(pdu) = AttPdu::from_bytes(sdu) else {
             return;
         };
@@ -321,7 +393,7 @@ impl HostStack {
                             acknowledged,
                         } => HostEvent::Written {
                             handle,
-                            value,
+                            value: value.into(),
                             acknowledged,
                         },
                         GattEvent::Read { handle } => HostEvent::ReadByPeer { handle },
@@ -345,7 +417,7 @@ impl HostStack {
             AttPdu::Notification { handle, value } => {
                 self.events.push_back(HostEvent::Notification {
                     handle: *handle,
-                    value: value.clone(),
+                    value: value.clone().into(),
                 })
             }
             AttPdu::ReadByGroupTypeResponse { entry_len, data } => {
@@ -366,7 +438,7 @@ impl HostStack {
             AttPdu::Indication { handle, value } => {
                 self.events.push_back(HostEvent::Notification {
                     handle: *handle,
-                    value: value.clone(),
+                    value: value.clone().into(),
                 });
                 self.send_att(&AttPdu::Confirmation);
             }
@@ -447,17 +519,24 @@ impl LinkLayerDelegate for HostStack {
     }
 
     fn on_data(&mut self, llid: Llid, payload: &[u8]) {
-        if let Some((cid, sdu)) = self.reassembler.push(llid, payload) {
+        // `rx_sdu` is a reused scratch buffer: take it out so the
+        // reassembler can fill it while the dispatch below borrows `self`.
+        let mut sdu = std::mem::take(&mut self.rx_sdu);
+        if let Some(cid) = self.reassembler.push_into(llid, payload, &mut sdu) {
             match cid {
                 CID_ATT => self.on_att_sdu(&sdu),
                 CID_SMP => self.on_smp_sdu(&sdu),
                 _ => {}
             }
         }
+        self.rx_sdu = sdu;
     }
 
-    fn poll_outgoing(&mut self) -> Option<(Llid, Vec<u8>)> {
-        self.ll_out.pop_front()
+    fn poll_outgoing(&mut self, out: &mut Vec<u8>) -> Option<Llid> {
+        let (llid, buf) = self.ll_out.pop_front()?;
+        out.clear();
+        out.extend_from_slice(&buf);
+        Some(llid) // `buf` drops here and returns to the pool
     }
 
     fn has_outgoing(&self) -> bool {
@@ -509,13 +588,14 @@ mod tests {
 
     /// Shuttles LL PDUs between two stacks until both are idle.
     fn pump(a: &mut HostStack, b: &mut HostStack) {
+        let mut p = Vec::new();
         for _ in 0..100 {
             let mut progressed = false;
-            while let Some((llid, p)) = a.poll_outgoing() {
+            while let Some(llid) = a.poll_outgoing(&mut p) {
                 b.on_data(llid, &p);
                 progressed = true;
             }
-            while let Some((llid, p)) = b.poll_outgoing() {
+            while let Some(llid) = b.poll_outgoing(&mut p) {
                 a.on_data(llid, &p);
                 progressed = true;
             }
@@ -561,7 +641,7 @@ mod tests {
         assert!(m.contains(&HostEvent::WriteConfirmed));
         assert!(s.contains(&HostEvent::Written {
             handle: control,
-            value: vec![0x55, 0x10],
+            value: vec![0x55, 0x10].into(),
             acknowledged: true
         }));
     }
@@ -599,13 +679,46 @@ mod tests {
         let mut master = stack(0xA0, 9);
         let mut slave = stack(0xB0, 10);
         connect_pair(&mut master, &mut slave);
-        slave.notify(0x0042, b"SMS!".to_vec());
+        slave.notify(0x0042, b"SMS!");
         pump(&mut master, &mut slave);
         let m: Vec<_> = std::iter::from_fn(|| master.poll_event()).collect();
         assert!(m.contains(&HostEvent::Notification {
             handle: 0x0042,
-            value: b"SMS!".to_vec()
+            value: b"SMS!".to_vec().into()
         }));
+    }
+
+    #[test]
+    fn write_command_fast_path_applies_and_recycles_pool_buffers() {
+        let mut master = stack(0xA0, 21);
+        let mut slave = stack(0xB0, 22);
+        let control = slave
+            .server_mut()
+            .service(Uuid::short(0xFFE0))
+            .characteristic(Uuid::short(0xFFE1), props::WRITE, vec![0])
+            .finish();
+        connect_pair(&mut master, &mut slave);
+        let _ = master.poll_event();
+        let _ = slave.poll_event();
+        let idle_free = master.pool().stats().free;
+        for i in 0..10u8 {
+            master.write_command(control, &[0x40, i]);
+            pump(&mut master, &mut slave);
+            assert_eq!(
+                slave.poll_event(),
+                Some(HostEvent::Written {
+                    handle: control,
+                    value: vec![0x40, i].into(),
+                    acknowledged: false
+                })
+            );
+            assert_eq!(slave.server().value(control), Some(&[0x40, i][..]));
+        }
+        // Every fragment buffer went back: the pool is full again and no
+        // allocation was ever denied.
+        assert_eq!(master.pool().stats().free, idle_free);
+        assert_eq!(master.pool().stats().total_denials(), 0);
+        assert_eq!(slave.pool().stats().total_denials(), 0);
     }
 
     #[test]

@@ -26,30 +26,46 @@ pub const DEFAULT_LL_PAYLOAD: usize = 27;
 /// assert_eq!(frags.len(), 1); // small SDU: single start fragment
 /// ```
 pub fn fragment(cid: u16, sdu: &[u8], ll_payload: usize) -> Vec<(Llid, Vec<u8>)> {
+    let mut out = Vec::new();
+    fragment_into(cid, sdu, ll_payload, |llid, prefix, data| {
+        let mut frag = Vec::with_capacity(prefix.len() + data.len());
+        frag.extend_from_slice(prefix);
+        frag.extend_from_slice(data);
+        out.push((llid, frag));
+    });
+    out
+}
+
+/// Zero-allocation variant of [`fragment`]: invokes `emit` once per
+/// fragment with `(llid, prefix, data)` where the fragment bytes are
+/// `prefix ++ data`.
+///
+/// The 4-byte L2CAP header lives on the stack, so only the first fragment
+/// carries a non-empty `prefix` (the minimum `ll_payload` of 5 guarantees
+/// the header never splits across fragments). Callers copy both slices into
+/// their own buffer — typically a pooled one — and no heap allocation
+/// happens here. Byte-for-byte identical to [`fragment`].
+pub fn fragment_into(
+    cid: u16,
+    sdu: &[u8],
+    ll_payload: usize,
+    mut emit: impl FnMut(Llid, &[u8], &[u8]),
+) {
     assert!(
         ll_payload >= 5,
         "LL payload must fit the L2CAP header plus data"
     );
-    let mut framed = Vec::with_capacity(4 + sdu.len());
-    framed.extend_from_slice(&(sdu.len() as u16).to_le_bytes());
-    framed.extend_from_slice(&cid.to_le_bytes());
-    framed.extend_from_slice(sdu);
-
-    let mut out = Vec::new();
-    let mut offset = 0;
-    let mut first = true;
-    while offset < framed.len() {
-        let take = (framed.len() - offset).min(ll_payload);
-        let llid = if first {
-            Llid::StartOrComplete
-        } else {
-            Llid::ContinuationOrEmpty
-        };
-        out.push((llid, framed[offset..offset + take].to_vec()));
+    let len_bytes = (sdu.len() as u16).to_le_bytes();
+    let cid_bytes = cid.to_le_bytes();
+    let header = [len_bytes[0], len_bytes[1], cid_bytes[0], cid_bytes[1]];
+    let first_data = (ll_payload - header.len()).min(sdu.len());
+    emit(Llid::StartOrComplete, &header, &sdu[..first_data]);
+    let mut offset = first_data;
+    while offset < sdu.len() {
+        let take = (sdu.len() - offset).min(ll_payload);
+        emit(Llid::ContinuationOrEmpty, &[], &sdu[offset..offset + take]);
         offset += take;
-        first = false;
     }
-    out
 }
 
 /// Convenience: feed fragments back through a fresh [`Reassembler`].
@@ -83,6 +99,16 @@ impl Reassembler {
     /// reassembly state and are dropped — the resilience a real stack needs
     /// against the corrupted fragments an injection attack can leave behind.
     pub fn push(&mut self, llid: Llid, payload: &[u8]) -> Option<(u16, Vec<u8>)> {
+        let mut sdu = Vec::new();
+        self.push_into(llid, payload, &mut sdu)
+            .map(|cid| (cid, sdu))
+    }
+
+    /// Zero-allocation variant of [`Reassembler::push`]: on SDU completion
+    /// the payload replaces `out`'s contents (cleared first) and the channel
+    /// id is returned. Feeding a reusable scratch buffer keeps the
+    /// steady-state RX path off the heap.
+    pub fn push_into(&mut self, llid: Llid, payload: &[u8], out: &mut Vec<u8>) -> Option<u16> {
         match llid {
             Llid::Control => return None,
             Llid::StartOrComplete => {
@@ -108,10 +134,11 @@ impl Reassembler {
         if let Some(total) = self.expected {
             if self.buffer.len() >= total {
                 let cid = u16::from_le_bytes([self.buffer[2], self.buffer[3]]);
-                let sdu = self.buffer[4..total].to_vec();
+                out.clear();
+                out.extend_from_slice(&self.buffer[4..total]);
                 self.buffer.clear();
                 self.expected = None;
-                return Some((cid, sdu));
+                return Some(cid);
             }
         }
         None
@@ -208,5 +235,53 @@ mod tests {
     #[should_panic(expected = "payload must fit")]
     fn tiny_ll_payload_rejected() {
         let _ = fragment(CID_ATT, &[1], 4);
+    }
+
+    #[test]
+    fn fragment_into_matches_fragment_bytes() {
+        for (sdu_len, ll_payload) in [
+            (0usize, 27),
+            (3, 27),
+            (23, 27),
+            (24, 27),
+            (200, 27),
+            (50, 5),
+        ] {
+            let sdu: Vec<u8> = (0..sdu_len).map(|i| i as u8).collect();
+            let expected = fragment(CID_SMP, &sdu, ll_payload);
+            let mut got = Vec::new();
+            fragment_into(CID_SMP, &sdu, ll_payload, |llid, prefix, data| {
+                let mut frag = prefix.to_vec();
+                frag.extend_from_slice(data);
+                got.push((llid, frag));
+            });
+            assert_eq!(got, expected, "sdu_len={sdu_len} ll_payload={ll_payload}");
+            // Only the first fragment may carry the header prefix.
+            let mut calls = 0;
+            fragment_into(CID_SMP, &sdu, ll_payload, |_, prefix, _| {
+                assert_eq!(prefix.len(), if calls == 0 { 4 } else { 0 });
+                calls += 1;
+            });
+        }
+    }
+
+    #[test]
+    fn push_into_reuses_scratch_and_matches_push() {
+        let mut r_into = Reassembler::new();
+        let mut r_push = Reassembler::new();
+        let mut scratch = vec![0xEE; 9]; // stale content must be replaced
+        for sdu in [vec![9u8; 40], vec![], vec![1u8, 2, 3]] {
+            for (llid, p) in fragment(CID_ATT, &sdu, 27) {
+                let via_push = r_push.push(llid, &p);
+                let via_into = r_into.push_into(llid, &p, &mut scratch);
+                match via_push {
+                    Some((cid, bytes)) => {
+                        assert_eq!(via_into, Some(cid));
+                        assert_eq!(scratch, bytes);
+                    }
+                    None => assert_eq!(via_into, None),
+                }
+            }
+        }
     }
 }

@@ -15,18 +15,28 @@
 //!   building, plus client-side request tracking;
 //! * [`smp`] — legacy Just Works pairing (confirm exchange via `c1`, STK
 //!   via `s1`) to provision keys for the encryption countermeasure;
+//! * [`conn`] — fixed connection slots ([`ConnectionManager`], typed
+//!   [`ConnHandle`]s with reuse generations) for multi-connection nodes;
+//! * [`pool`] — the fixed-capacity [`PacketPool`] with QoS admission that
+//!   keeps host-side TX/RX queuing off the heap in steady state;
 //! * [`HostStack`] — the glue implementing `ble_link::LinkLayerDelegate`.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
 pub mod att;
+pub mod conn;
 pub mod gatt;
 mod host;
 pub mod l2cap;
+pub mod pool;
 pub mod smp;
 mod uuid;
 
+pub use conn::{ConnHandle, ConnectionManager, SlotState};
 pub use gatt::{CharacteristicBuilder, GattServer, ServiceBuilder};
 pub use host::{HostEvent, HostStack, SecurityAction};
+pub use pool::{
+    PacketPool, PoolStats, PooledBuf, QosPolicy, DEFAULT_BUF_CAPACITY, MAX_POOL_CLIENTS,
+};
 pub use uuid::Uuid;

@@ -44,9 +44,11 @@ pub trait LinkLayerDelegate {
     /// A data PDU arrived (decrypted if encryption is active).
     fn on_data(&mut self, llid: Llid, payload: &[u8]);
 
-    /// The Link Layer can transmit: hand it the next data PDU, or `None`
-    /// to send an empty keep-alive.
-    fn poll_outgoing(&mut self) -> Option<(Llid, Vec<u8>)>;
+    /// The Link Layer can transmit: write the next data PDU payload into
+    /// `out` (cleared first) and return its LLID, or return `None` to send
+    /// an empty keep-alive. `out` is a buffer the Link Layer reuses across
+    /// calls, so a pooled host stack transmits without heap allocation.
+    fn poll_outgoing(&mut self, out: &mut Vec<u8>) -> Option<Llid>;
 
     /// Whether more data is queued — sets the MD (More Data) bit to extend
     /// the connection event.

@@ -59,7 +59,8 @@ fn link_role(role: Role) -> LinkRole {
 /// after the inter-frame spacing.
 const IFS_SLACK: Duration = Duration::from_micros(60);
 
-/// Timer purposes (low byte of [`TimerKey`]; the rest is a generation).
+/// Timer purposes (low byte of [`TimerKey`]; bits 8..56 are a generation,
+/// the top byte is the owner tag of [`LinkLayer::set_timer_tag`]).
 mod purpose {
     pub const ADV_NEXT: u8 = 1;
     pub const ADV_LISTEN_END: u8 = 2;
@@ -69,6 +70,12 @@ mod purpose {
     pub const SUPERVISION: u8 = 6;
     pub const SCAN_HOP: u8 = 7;
 }
+
+/// Bit position of the owner tag inside a [`TimerKey`].
+const TIMER_TAG_SHIFT: u32 = 56;
+/// The timer generation occupies key bits 8..56 (48 bits — at one arm per
+/// simulated microsecond that is nine years of sim time before wrap).
+const TIMER_GEN_MASK: u64 = (1 << 48) - 1;
 
 /// A connection-update request (master-initiated or attacker-forged).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -318,6 +325,9 @@ pub struct LinkLayer {
     timer_gen: u64,
     /// Expected generation per purpose (index = purpose).
     expected_gen: [u64; 8],
+    /// Owner tag OR-ed into the top byte of every timer key (see
+    /// [`LinkLayer::set_timer_tag`]). Zero for single-LL nodes.
+    timer_tag: u64,
     ifs_action: Option<IfsAction>,
     /// A CONNECT_REQ is on the air; become master when it completes.
     pending_connect: Option<(ConnectionParams, DeviceAddress)>,
@@ -348,6 +358,7 @@ impl LinkLayer {
             state: State::Standby,
             timer_gen: 0,
             expected_gen: [0; 8],
+            timer_tag: 0,
             ifs_action: None,
             pending_connect: None,
             own_sca,
@@ -433,6 +444,17 @@ impl LinkLayer {
     // Timer plumbing
     // ------------------------------------------------------------------
 
+    /// Tags every timer key this Link Layer arms with `tag` in the key's
+    /// top byte, and makes [`LinkLayer::handle`] ignore timers carrying a
+    /// different tag. A node driving several Link Layers (the
+    /// multi-connection Central) gives each one a distinct tag so their
+    /// timers can share one `NodeCtx` timer space without cross-firing.
+    /// Tag 0 (the default) leaves keys exactly as a single-LL node mints
+    /// them.
+    pub fn set_timer_tag(&mut self, tag: u8) {
+        self.timer_tag = u64::from(tag) << TIMER_TAG_SHIFT;
+    }
+
     fn arm_local(&mut self, ctx: &mut NodeCtx<'_>, reference: Instant, delay: Duration, p: u8) {
         self.timer_gen += 1;
         let gen = self.timer_gen;
@@ -441,7 +463,7 @@ impl LinkLayer {
         } else {
             invariant!(false, "timer-purpose", "timer purpose {p} out of range");
         }
-        let key = TimerKey(u64::from(p) | (gen << 8));
+        let key = TimerKey(u64::from(p) | ((gen & TIMER_GEN_MASK) << 8) | self.timer_tag);
         ctx.set_timer_local_from(reference, delay, key);
     }
 
@@ -457,10 +479,13 @@ impl LinkLayer {
     }
 
     fn decode_timer(&self, key: TimerKey) -> Option<u8> {
+        if key.0 >> TIMER_TAG_SHIFT != self.timer_tag >> TIMER_TAG_SHIFT {
+            return None; // another Link Layer's timer on a shared node
+        }
         let p = lsb8(key.0);
-        let gen = key.0 >> 8;
+        let gen = (key.0 >> 8) & TIMER_GEN_MASK;
         match self.expected_gen.get(usize::from(p)) {
-            Some(&expected) if expected == gen => Some(p),
+            Some(&expected) if expected & TIMER_GEN_MASK == gen => Some(p),
             _ => None,
         }
     }
@@ -785,11 +810,15 @@ impl LinkLayer {
         } else if c.enc.handshake_active() {
             // Data is paused while encryption starts.
             DataPdu::empty(c.nesn, c.sn)
-        } else if let Some((llid, payload)) = delegate.poll_outgoing() {
-            let sealed = Self::seal(c, llid, payload);
-            DataPdu::new(llid, c.nesn, c.sn, false, sealed)
         } else {
-            DataPdu::empty(c.nesn, c.sn)
+            let mut payload = Vec::new();
+            match delegate.poll_outgoing(&mut payload) {
+                Some(llid) => {
+                    let sealed = Self::seal(c, llid, payload);
+                    DataPdu::new(llid, c.nesn, c.sn, false, sealed)
+                }
+                None => DataPdu::empty(c.nesn, c.sn),
+            }
         };
         // MD: more control or host data waiting?
         let more =
@@ -932,6 +961,17 @@ impl LinkLayer {
                 params,
                 peer,
             } => {
+                if ctx.is_transmitting() {
+                    // Shared radio (multi-link Central): another Link Layer's
+                    // frame is on the air at our IFS deadline. A CONNECT_IND
+                    // sent now would clobber that frame and its `TxDone`
+                    // routing, so abandon this attempt and resume scanning
+                    // for the peer's next ADV_IND. A single-LL node is never
+                    // transmitting at its own IFS deadline, so this arm is
+                    // unreachable there.
+                    self.scan_current(ctx);
+                    return;
+                }
                 ctx.transmit(
                     channel,
                     RawFrame::new(ble_phy::AccessAddress::ADVERTISING, pdu, ADV_CRC_INIT),

@@ -37,8 +37,11 @@ impl LinkLayerDelegate for TestHost {
     fn on_data(&mut self, llid: Llid, payload: &[u8]) {
         self.received.push((llid, payload.to_vec()));
     }
-    fn poll_outgoing(&mut self) -> Option<(Llid, Vec<u8>)> {
-        self.outgoing.pop_front()
+    fn poll_outgoing(&mut self, out: &mut Vec<u8>) -> Option<Llid> {
+        let (llid, payload) = self.outgoing.pop_front()?;
+        out.clear();
+        out.extend_from_slice(&payload);
+        Some(llid)
     }
     fn has_outgoing(&self) -> bool {
         !self.outgoing.is_empty()

@@ -155,6 +155,8 @@ struct NodeState {
     /// The open `ChannelAirtime` span for this node's in-flight
     /// transmission ([`SpanId::DISABLED`] when idle or telemetry is off).
     tx_span: SpanId,
+    /// Transmissions started by this node ([`NodeCtx::tx_start_count`]).
+    tx_starts: u64,
 }
 
 struct ActiveTx {
@@ -332,15 +334,19 @@ impl SimInner {
         let now = self.now();
         let phy = self.node_state(node).config.phy;
         // Half-duplex: transmitting abandons any reception in progress.
-        // Starting a second transmission is a protocol-machine bug — debug
-        // builds assert; release builds abandon the in-flight frame (it
-        // stays on the air as interference) and retune to the new one.
+        // For a single protocol machine, starting a second transmission is
+        // a bug — debug builds assert; release builds (and shared-radio
+        // nodes, whose independent machines cannot globally schedule)
+        // abandon the in-flight frame (it stays on the air as interference)
+        // and retune to the new one.
         invariant!(
-            !matches!(self.node_state(node).radio, RadioState::Tx { .. }),
+            self.node_state(node).config.shared_radio
+                || !matches!(self.node_state(node).radio, RadioState::Tx { .. }),
             "half-duplex",
             "{}: transmit() while already transmitting",
             self.node_label(node)
         );
+        self.node_state_mut(node).tx_starts += 1;
         let airtime = frame.airtime(phy);
         let end = now + airtime;
         self.node_state_mut(node).radio = RadioState::Tx { until: end };
@@ -415,11 +421,12 @@ impl SimInner {
     ) {
         let now = self.now();
         // Opening the receiver mid-transmission is a protocol-machine bug —
-        // debug builds assert; release builds ignore the request and let the
-        // transmission finish.
+        // debug builds assert; release builds (and shared-radio nodes, where
+        // overlapping requests from independent machines are expected) ignore
+        // the request and let the transmission finish.
         if matches!(self.node_state(node).radio, RadioState::Tx { .. }) {
             invariant!(
-                false,
+                self.node_state(node).config.shared_radio,
                 "half-duplex",
                 "{}: start_rx() while transmitting",
                 self.node_label(node)
@@ -813,6 +820,10 @@ impl SimInner {
         matches!(self.node_state(node).radio, RadioState::Tx { .. })
     }
 
+    pub(crate) fn tx_start_count(&self, node: NodeId) -> u64 {
+        self.node_state(node).tx_starts
+    }
+
     pub(crate) fn set_timer_local_from(
         &mut self,
         node: NodeId,
@@ -1003,6 +1014,7 @@ impl World {
             rng,
             radio: RadioState::Idle,
             tx_span: SpanId::DISABLED,
+            tx_starts: 0,
         });
         self.nodes.push(node);
         let now = self.inner.now();

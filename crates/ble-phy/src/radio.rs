@@ -141,6 +141,7 @@ pub struct NodeConfig {
     pub(crate) tx_power_dbm: f64,
     pub(crate) clock: DriftClock,
     pub(crate) phy: PhyMode,
+    pub(crate) shared_radio: bool,
 }
 
 impl NodeConfig {
@@ -153,7 +154,23 @@ impl NodeConfig {
             tx_power_dbm: 0.0,
             clock: DriftClock::ideal(),
             phy: PhyMode::Le1M,
+            shared_radio: false,
         }
+    }
+
+    /// Declares the node's radio as time-multiplexed between several
+    /// protocol state machines (e.g. a multi-connection Central running one
+    /// Link Layer per connection slot).
+    ///
+    /// A single-machine node treats a transmit or receive request while
+    /// already transmitting as a protocol bug (debug builds assert). A
+    /// shared radio cannot globally schedule its independent machines, so
+    /// overlapping requests are expected there: the in-flight frame is
+    /// abandoned mid-air (it keeps interfering, like a real collision) and
+    /// the radio retunes to the new request.
+    pub fn with_shared_radio(mut self) -> Self {
+        self.shared_radio = true;
+        self
     }
 
     /// Sets the transmit power in dBm.
@@ -256,6 +273,16 @@ impl<'a> NodeCtx<'a> {
     /// Whether the radio is currently transmitting.
     pub fn is_transmitting(&self) -> bool {
         self.sim.is_transmitting(self.node)
+    }
+
+    /// How many transmissions this node has started since the simulation
+    /// began. A multiplexer sharing the radio between several protocol
+    /// machines compares this across a machine's event handling to learn
+    /// which machine owns the in-flight transmission (and therefore the
+    /// next `TxDone`) — an `is_transmitting()` edge misses a back-to-back
+    /// replacement, where the flag reads `true` on both sides.
+    pub fn tx_start_count(&self) -> u64 {
+        self.sim.tx_start_count(self.node)
     }
 
     /// Arms a timer `local_delay` (by this node's clock) from *now*, with

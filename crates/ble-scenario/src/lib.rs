@@ -36,7 +36,8 @@
 
 use std::path::PathBuf;
 
-use ble_devices::{Central, Keyfob, Lightbulb, Smartwatch};
+use ble_devices::{Central, Keyfob, Lightbulb, Smartwatch, CENTRAL_SLOTS};
+use ble_host::ConnHandle;
 use ble_link::{ConnectionParams, DeviceAddress};
 use ble_phy::{Environment, Node, NodeConfig, NodeId, PhyMode, Position, Wall, World};
 use ble_telemetry::{JsonlSink, MetricsSink, SharedRegistry};
@@ -131,6 +132,7 @@ pub struct ScenarioBuilder {
     telemetry: TelemetryMode,
     span_clock: Option<fn() -> u64>,
     faults: Option<FaultPlan>,
+    extra_peripherals: usize,
 }
 
 impl ScenarioBuilder {
@@ -163,6 +165,7 @@ impl ScenarioBuilder {
             telemetry: TelemetryMode::Off,
             span_clock: None,
             faults: None,
+            extra_peripherals: 0,
         }
     }
 
@@ -201,6 +204,18 @@ impl ScenarioBuilder {
         let mut b = Self::base(seed, ClockModel::RandomError, 1.0, 0.0);
         b.with_attacker = false;
         b
+    }
+
+    /// Puts `n` peripherals of the scene's device kind on the air (clamped
+    /// to the Central's [`CENTRAL_SLOTS`]). The first is the classic victim
+    /// at the origin; the remaining `n − 1` are added to the scene *after*
+    /// every classic node, each claiming one Central connection slot, so
+    /// `multi_peripheral(1)` builds a world byte-identical to not calling
+    /// this at all. Establishment is serialised: the Central connects the
+    /// victim first, then each extra peer in slot order.
+    pub fn multi_peripheral(mut self, n: usize) -> Self {
+        self.extra_peripherals = n.clamp(1, CENTRAL_SLOTS) - 1;
+        self
     }
 
     /// Seeds the world's own RNG independently of the scenario RNG (some
@@ -409,12 +424,16 @@ impl ScenarioBuilder {
                 .with_clock(clock(self.victim_sca_ppm, &mut rng)),
             victim,
         );
-        let central_id = world.add_node(
-            NodeConfig::new("phone", Position::new(self.central_distance, 0.0))
-                .with_phy(self.phy)
-                .with_clock(clock(self.victim_sca_ppm, &mut rng)),
-            central,
-        );
+        let mut central_cfg = NodeConfig::new("phone", Position::new(self.central_distance, 0.0))
+            .with_phy(self.phy)
+            .with_clock(clock(self.victim_sca_ppm, &mut rng));
+        if self.extra_peripherals > 0 {
+            // Multi-link Central: several Link Layers share one radio, so
+            // overlapping TX/RX requests are expected contention (modelled
+            // as collisions), not protocol-machine bugs.
+            central_cfg = central_cfg.with_shared_radio();
+        }
+        let central_id = world.add_node(central_cfg, central);
         let attacker_pos = self
             .attacker_pos_override
             .unwrap_or_else(|| Position::new(0.0, self.attacker_y_sign * self.attacker_distance));
@@ -427,6 +446,57 @@ impl ScenarioBuilder {
                 attacker,
             )
         });
+
+        // Extra peripherals come strictly *after* every classic node and
+        // draw — with zero extras nothing below touches `rng` or the world,
+        // so single-peripheral scenes stay byte-identical to the historical
+        // build order.
+        let mut extra_peripheral_ids = Vec::new();
+        let mut extra_peers = Vec::new();
+        for k in 0..self.extra_peripherals {
+            let device_rng = rng.fork();
+            let addr_seed = 0xD0 + k as u8;
+            let (node, addr): (Box<dyn Node>, DeviceAddress) = match self.kind {
+                DeviceKind::Lightbulb => {
+                    let mut d = Lightbulb::new(addr_seed, device_rng);
+                    d.ll.set_widening_scale(self.widening_scale);
+                    let addr = d.ll.address();
+                    (Box::new(d), addr)
+                }
+                DeviceKind::Keyfob => {
+                    let mut d = Keyfob::new(addr_seed, device_rng);
+                    d.ll.set_widening_scale(self.widening_scale);
+                    let addr = d.ll.address();
+                    (Box::new(d), addr)
+                }
+                DeviceKind::Smartwatch => {
+                    let mut d = Smartwatch::new(addr_seed, device_rng);
+                    d.ll.set_widening_scale(self.widening_scale);
+                    let addr = d.ll.address();
+                    (Box::new(d), addr)
+                }
+            };
+            let params = ConnectionParams::typical(&mut rng, self.hop_interval);
+            let id = world.add_boxed_node(
+                NodeConfig::new(
+                    format!("peer{}", k + 1),
+                    Position::new(0.0, 0.6 * (k + 1) as f64),
+                )
+                .with_phy(self.phy)
+                .with_clock(clock(self.victim_sca_ppm, &mut rng)),
+                node,
+            );
+            extra_peripheral_ids.push(id);
+            extra_peers.push((addr, params));
+        }
+        let mut extra_conn_handles = Vec::new();
+        if !extra_peers.is_empty() {
+            if let Some(central) = world.node_mut::<Central>(central_id) {
+                for (addr, params) in &extra_peers {
+                    extra_conn_handles.extend(central.add_peer(*addr, *params));
+                }
+            }
+        }
 
         // Telemetry attaches *before* bootstrap so sinks observe the nodes'
         // first actions — in particular the spans opened in `on_start`
@@ -460,6 +530,9 @@ impl ScenarioBuilder {
         if let Some(id) = attacker_id {
             world.start(id);
         }
+        for id in &extra_peripheral_ids {
+            world.start(*id);
+        }
 
         // After every node exists (drift excursions resolve labels here) and
         // after bootstrap, so same-instant fault markers sort behind the
@@ -479,6 +552,8 @@ impl ScenarioBuilder {
             attacker_pos,
             metrics,
             telemetry_downgraded,
+            extra_peripheral_ids,
+            extra_conn_handles,
         }
     }
 }
@@ -511,6 +586,12 @@ pub struct Scenario {
     /// Whether a requested JSONL telemetry sink could not be opened and the
     /// scene silently fell back to metrics only.
     pub telemetry_downgraded: bool,
+    /// Arena ids of the extra peripherals added by
+    /// [`ScenarioBuilder::multi_peripheral`], slot order (slot 1 first).
+    pub extra_peripheral_ids: Vec<NodeId>,
+    /// Central connection-slot handles of the extra peripherals, matching
+    /// [`Scenario::extra_peripheral_ids`] index for index.
+    pub extra_conn_handles: Vec<ConnHandle>,
 }
 
 impl Scenario {
@@ -574,6 +655,59 @@ impl Scenario {
     /// [`TelemetryMode::Metrics`] or [`TelemetryMode::Jsonl`].
     pub fn metrics(&self) -> Option<&SharedRegistry> {
         self.metrics.as_ref()
+    }
+
+    /// An extra peripheral (from [`ScenarioBuilder::multi_peripheral`]),
+    /// downcast to its concrete device type. Index 0 is slot 1.
+    ///
+    /// # Panics
+    /// If the index is out of range or `P` is not the device's type.
+    pub fn extra_peripheral<P: std::any::Any>(&self, index: usize) -> &P {
+        self.world
+            .node::<P>(self.extra_peripheral_ids[index])
+            .expect("extra peripheral has the requested type")
+    }
+
+    /// How many of the Central's connection slots hold a live Link Layer
+    /// connection right now (1 = just the classic victim link).
+    pub fn live_connections(&self) -> usize {
+        self.central().live_connections()
+    }
+
+    /// Aims the attacker's sniffer at the peer behind one Central
+    /// connection slot. Returns `false` — leaving the attacker untouched —
+    /// for a stale handle. Call before the world runs (the sniffer restarts
+    /// its campaign from scratch).
+    ///
+    /// # Panics
+    /// If the scene was built without an attacker.
+    pub fn aim_attacker_at(&mut self, handle: ConnHandle) -> bool {
+        let Some(peer) = self.central().conn_manager().peer(handle) else {
+            return false;
+        };
+        self.attacker_mut().retarget_slave(peer);
+        true
+    }
+
+    /// Tears down the connection behind `handle` (Central-initiated). The
+    /// owning slot re-establishes on its own, and the fresh `CONNECT_IND`
+    /// gives a re-aimed attacker sniffer something to latch onto. Returns
+    /// `false` for a stale handle or an already-down link.
+    pub fn bounce_connection(&mut self, handle: ConnHandle) -> bool {
+        self.central_mut().disconnect(handle, 0x13)
+    }
+
+    /// Runs until `want` Central slots hold live connections (bounded by
+    /// `budget`). Returns whether the target was reached.
+    pub fn wait_connections(&mut self, want: usize, budget: Duration) -> bool {
+        let deadline = self.world.now() + budget;
+        while self.world.now() < deadline {
+            if self.live_connections() >= want {
+                return true;
+            }
+            self.world.run_for(Duration::from_millis(100));
+        }
+        self.live_connections() >= want
     }
 
     /// Advances the simulation.
@@ -740,6 +874,35 @@ mod tests {
             let sc = ScenarioBuilder::legit(3).device(kind).build();
             assert!(sc.victim_control_handle() > 0);
             assert!(!sc.victim_connected());
+        }
+    }
+
+    #[test]
+    fn multi_peripheral_one_adds_nothing() {
+        let sc = ScenarioBuilder::legit(1).multi_peripheral(1).build();
+        assert!(sc.extra_peripheral_ids.is_empty());
+        assert!(sc.extra_conn_handles.is_empty());
+        assert_eq!(sc.central().conn_handles().len(), 1);
+    }
+
+    #[test]
+    fn multi_peripheral_connects_every_slot() {
+        let mut sc = ScenarioBuilder::legit(5).multi_peripheral(4).build();
+        assert_eq!(sc.extra_peripheral_ids.len(), 3);
+        assert_eq!(sc.extra_conn_handles.len(), 3);
+        assert!(
+            sc.wait_connections(4, Duration::from_secs(20)),
+            "only {} of 4 connections up",
+            sc.live_connections()
+        );
+        // Every occupied slot reports Established in the manager too.
+        let central = sc.central();
+        for h in central.conn_handles() {
+            assert_eq!(
+                central.conn_manager().state(h),
+                Some(ble_host::SlotState::Established),
+                "slot {h} not established"
+            );
         }
     }
 

@@ -358,6 +358,31 @@ pub enum TelemetryEvent {
         magnitude_us: f64,
     },
 
+    // --- host: connection slots & packet pool ------------------------------
+    /// The packet pool refused an allocation (capacity or QoS policy).
+    PoolExhausted {
+        /// Pool client index (= connection slot) that was refused.
+        client: u32,
+    },
+    /// The fixed-slot connection manager had no free slot to hand out.
+    SlotDenied,
+    /// A connection slot reached the established state.
+    ConnEstablished {
+        /// Raw `ConnHandle` encoding (`index | generation << 8`).
+        handle: u32,
+    },
+    /// A connection slot was released; its handles are now stale.
+    ConnReleased {
+        /// Raw `ConnHandle` encoding (`index | generation << 8`).
+        handle: u32,
+    },
+    /// The packet pool's high-water mark advanced (at most once per
+    /// distinct occupancy level, so bounded by the pool capacity per run).
+    PoolHighWater {
+        /// Most buffers simultaneously in use so far.
+        in_use: u32,
+    },
+
     // --- injected faults ---------------------------------------------------
     /// An interference burst window opened (`active: true`) or closed on a
     /// channel, as scheduled by the installed `FaultPlan`.
@@ -461,6 +486,11 @@ impl TelemetryEvent {
             TelemetryEvent::IfsDelta { .. } => "ifs-delta",
             TelemetryEvent::Takeover { .. } => "takeover",
             TelemetryEvent::DetectorAlert { .. } => "alert",
+            TelemetryEvent::PoolExhausted { .. } => "pool-exhausted",
+            TelemetryEvent::SlotDenied => "slot-denied",
+            TelemetryEvent::ConnEstablished { .. } => "conn-established",
+            TelemetryEvent::ConnReleased { .. } => "conn-released",
+            TelemetryEvent::PoolHighWater { .. } => "pool-high-water",
             TelemetryEvent::FaultBurst { .. } => "fault-burst",
             TelemetryEvent::FaultEpisode { .. } => "fault-episode",
             TelemetryEvent::FaultFrame { .. } => "fault-frame",
@@ -549,6 +579,19 @@ impl fmt::Display for TelemetryEvent {
             }
             TelemetryEvent::DetectorAlert { kind, magnitude_us } => {
                 write!(f, "{} magnitude={magnitude_us:.3}µs", kind.as_str())
+            }
+            TelemetryEvent::PoolExhausted { client } => {
+                write!(f, "pool refused client={client}")
+            }
+            TelemetryEvent::SlotDenied => write!(f, "no free connection slot"),
+            TelemetryEvent::ConnEstablished { handle } => {
+                write!(f, "conn#{}.{} up", handle & 0xFF, handle >> 8)
+            }
+            TelemetryEvent::ConnReleased { handle } => {
+                write!(f, "conn#{}.{} released", handle & 0xFF, handle >> 8)
+            }
+            TelemetryEvent::PoolHighWater { in_use } => {
+                write!(f, "high water in_use={in_use}")
             }
             TelemetryEvent::FaultBurst {
                 channel,

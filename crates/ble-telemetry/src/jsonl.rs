@@ -176,6 +176,16 @@ pub fn to_line(record: &TelemetryRecord) -> String {
                 kind.as_str()
             );
         }
+        TelemetryEvent::PoolExhausted { client } => {
+            let _ = write!(s, ",\"client\":{client}");
+        }
+        TelemetryEvent::SlotDenied => {}
+        TelemetryEvent::ConnEstablished { handle } | TelemetryEvent::ConnReleased { handle } => {
+            let _ = write!(s, ",\"handle\":{handle}");
+        }
+        TelemetryEvent::PoolHighWater { in_use } => {
+            let _ = write!(s, ",\"in_use\":{in_use}");
+        }
         TelemetryEvent::FaultBurst {
             channel,
             power_dbm,
@@ -478,6 +488,19 @@ pub fn parse_line(line: &str) -> Option<TelemetryRecord> {
             kind: AlertKind::parse(get_str(&fields, "alert")?)?,
             magnitude_us: get_num(&fields, "magnitude_us")?,
         },
+        "pool-exhausted" => TelemetryEvent::PoolExhausted {
+            client: get_num(&fields, "client")?,
+        },
+        "slot-denied" => TelemetryEvent::SlotDenied,
+        "conn-established" => TelemetryEvent::ConnEstablished {
+            handle: get_num(&fields, "handle")?,
+        },
+        "conn-released" => TelemetryEvent::ConnReleased {
+            handle: get_num(&fields, "handle")?,
+        },
+        "pool-high-water" => TelemetryEvent::PoolHighWater {
+            in_use: get_num(&fields, "in_use")?,
+        },
         "fault-burst" => TelemetryEvent::FaultBurst {
             channel: get_num(&fields, "ch")?,
             power_dbm: get_num(&fields, "power_dbm")?,
@@ -679,6 +702,11 @@ mod tests {
                 kind: AlertKind::EarlyAnchor,
                 magnitude_us: 87.5,
             },
+            TelemetryEvent::PoolExhausted { client: 3 },
+            TelemetryEvent::SlotDenied,
+            TelemetryEvent::ConnEstablished { handle: 0x0102 },
+            TelemetryEvent::ConnReleased { handle: 0x0202 },
+            TelemetryEvent::PoolHighWater { in_use: 17 },
             TelemetryEvent::FaultBurst {
                 channel: 17,
                 power_dbm: -32.5,

@@ -317,6 +317,12 @@ struct HotTallies {
     no_response: u64,
     takeover: u64,
     detector_alerts: u64,
+    pool_exhausted: u64,
+    slot_denied: u64,
+    conn_established: u64,
+    conn_released: u64,
+    /// Running maximum, not a counter: folded as a gauge, never reset.
+    pool_high_water: u64,
     fault_bursts: u64,
     fault_episodes: u64,
     fault_frames_lost: u64,
@@ -408,6 +414,10 @@ impl MetricsSink {
             ("attack.no_response", &mut t.no_response),
             ("attack.takeover", &mut t.takeover),
             ("detector.alerts", &mut t.detector_alerts),
+            ("host.pool_exhausted", &mut t.pool_exhausted),
+            ("host.slot_denied", &mut t.slot_denied),
+            ("host.conn_established", &mut t.conn_established),
+            ("host.conn_released", &mut t.conn_released),
             ("fault.bursts", &mut t.fault_bursts),
             ("fault.episodes", &mut t.fault_episodes),
             ("fault.frames_lost", &mut t.fault_frames_lost),
@@ -441,6 +451,11 @@ impl MetricsSink {
             }
         }
         reg.set_gauge("sim.last_event_us", t.last_event_us);
+        if t.pool_high_water != 0 {
+            // Monotone high-water gauge: only present once a pool reported
+            // occupancy, so runs without a pool keep their metric set.
+            reg.set_gauge("host.pool_high_water", t.pool_high_water as f64);
+        }
         let histograms = [
             ("link.widening_us", &mut t.widening_us),
             ("attack.lead_us", &mut t.lead_us),
@@ -522,6 +537,13 @@ impl TelemetrySink for MetricsSink {
             TelemetryEvent::DetectorAlert { magnitude_us, .. } => {
                 bump(&mut t.detector_alerts);
                 t.detector_magnitude_us.record(*magnitude_us);
+            }
+            TelemetryEvent::PoolExhausted { .. } => bump(&mut t.pool_exhausted),
+            TelemetryEvent::SlotDenied => bump(&mut t.slot_denied),
+            TelemetryEvent::ConnEstablished { .. } => bump(&mut t.conn_established),
+            TelemetryEvent::ConnReleased { .. } => bump(&mut t.conn_released),
+            TelemetryEvent::PoolHighWater { in_use } => {
+                t.pool_high_water = t.pool_high_water.max(u64::from(*in_use));
             }
             TelemetryEvent::FaultBurst { active, .. } => {
                 if *active {

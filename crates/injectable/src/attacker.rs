@@ -294,6 +294,17 @@ impl Attacker {
         self.mission = mission;
     }
 
+    /// Redirects the sniffer at a different victim Slave. Call before the
+    /// world runs (or between scan campaigns): the sniffer restarts from
+    /// scratch, so any connection currently being followed is dropped. The
+    /// multi-connection scenarios use this to aim the attack at the peer
+    /// behind one specific Central connection slot.
+    pub fn retarget_slave(&mut self, target: DeviceAddress) {
+        self.cfg.target_slave = Some(target);
+        self.sniffer = ConnectionSniffer::for_slave(target);
+        self.conn = None;
+    }
+
     /// Starts scanning for a connection to follow.
     pub fn start(&mut self, ctx: &mut NodeCtx<'_>) {
         self.resync.begin_campaign();
@@ -917,7 +928,7 @@ impl Attacker {
                 if acked {
                     host.write(handle, value);
                 } else {
-                    host.write_command(handle, value);
+                    host.write_command(handle, &value);
                 }
             }
         }

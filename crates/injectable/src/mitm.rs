@@ -154,9 +154,9 @@ impl MitmSlaveHalf {
             } = &event
             {
                 let mut shared = self.handoff.lock();
-                shared.intercepted.push((*handle, value.clone()));
+                shared.intercepted.push((*handle, value.to_vec()));
                 if shared.forward {
-                    let mut rewritten = value.clone();
+                    let mut rewritten = value.to_vec();
                     for rule in &self.rewrites {
                         rewritten = rule.apply(*handle, &rewritten);
                     }

@@ -63,11 +63,11 @@ fn hijacked_slave_injects_keystrokes_via_hid_profile() {
         s.attacker_mut()
             .takeover_host_mut()
             .unwrap()
-            .notify(report_handle, key_report(key));
+            .notify(report_handle, &key_report(key));
         s.attacker_mut()
             .takeover_host_mut()
             .unwrap()
-            .notify(report_handle, key_report(0)); // release
+            .notify(report_handle, &key_report(0)); // release
         s.run_for(Duration::from_millis(500));
     }
 
@@ -79,7 +79,7 @@ fn hijacked_slave_injects_keystrokes_via_hid_profile() {
         .iter()
         .filter_map(|e| match e {
             HostEvent::Notification { handle, value } if *handle == report_handle => {
-                Some(value.clone())
+                Some(value.to_vec())
             }
             _ => None,
         })

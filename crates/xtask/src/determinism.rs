@@ -100,6 +100,12 @@ const BINARIES: &[BinSpec] = &[
         json: false,
         parallel: false,
     },
+    BinSpec {
+        name: "exp5_multi_conn",
+        takes_trials: true,
+        json: true,
+        parallel: false,
+    },
 ];
 
 /// The per-push fast subset: one parallel sweep, one ablation, and the

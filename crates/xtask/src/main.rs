@@ -54,7 +54,7 @@ const R5_ARENA_CONSUMERS: &[&str] = &["bench", "injectable", "ble-devices", "ble
 /// Crates whose `pub` structs face the radio frame pipeline: rule R6 bans
 /// `Vec<u8>` fields there so the zero-allocation delivery path cannot
 /// silently regrow heap buffers (use the inline `ble_phy::Pdu` instead).
-const R6_FRAME_FACING: &[&str] = &["ble-phy"];
+const R6_FRAME_FACING: &[&str] = &["ble-phy", "ble-host"];
 
 /// Crates whose `src/` carries simulation-order-sensitive state: rule R7
 /// bans `HashMap`/`HashSet` there, because anything iterated in hash order

@@ -35,6 +35,7 @@ const PERF_BINARIES: &[&str] = &[
     "ablation_sync_noise",
     "ablation_widening",
     "ablation_faults",
+    "exp5_multi_conn",
 ];
 
 /// The per-push fast subset: one parallel sweep, one ablation, and the one

@@ -440,6 +440,8 @@ const PDU_ENUMS: &[&str] = &[
     "TelemetryEvent",
     "FaultKind",
     "SpanKind",
+    "SlotState",
+    "QosPolicy",
 ];
 
 fn r4_wildcards(tokens: &[Token], out: &mut Vec<Violation>) {
