@@ -259,6 +259,7 @@ fn collapse_stacks(records: &[TelemetryRecord]) -> String {
             | TelemetryEvent::Relock { .. }
             | TelemetryEvent::RxEnd { .. }
             | TelemetryEvent::Collision { .. }
+            | TelemetryEvent::InterferenceSpill { .. }
             | TelemetryEvent::Anchor { .. }
             | TelemetryEvent::WindowOpen { .. }
             | TelemetryEvent::Hop { .. }

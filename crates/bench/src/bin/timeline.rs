@@ -118,6 +118,7 @@ fn event_channel(event: &TelemetryEvent) -> Option<u8> {
         | TelemetryEvent::Relock { channel }
         | TelemetryEvent::RxEnd { channel, .. }
         | TelemetryEvent::Collision { channel, .. }
+        | TelemetryEvent::InterferenceSpill { channel }
         | TelemetryEvent::Anchor { channel, .. }
         | TelemetryEvent::WindowOpen { channel, .. }
         | TelemetryEvent::Hop { channel, .. }
@@ -174,6 +175,7 @@ fn is_headline(event: &TelemetryEvent) -> bool {
         | TelemetryEvent::RxLock { .. }
         | TelemetryEvent::Relock { .. }
         | TelemetryEvent::RxEnd { .. }
+        | TelemetryEvent::InterferenceSpill { .. }
         | TelemetryEvent::WindowOpen { .. }
         | TelemetryEvent::Hop { .. }
         | TelemetryEvent::SnNesn { .. }
@@ -355,6 +357,7 @@ fn render(records: &[TelemetryRecord], limit: usize, skipped: usize) {
             | TelemetryEvent::RxLock { .. }
             | TelemetryEvent::Relock { .. }
             | TelemetryEvent::RxEnd { .. }
+            | TelemetryEvent::InterferenceSpill { .. }
             | TelemetryEvent::WindowOpen { .. }
             | TelemetryEvent::Hop { .. }
             | TelemetryEvent::SnNesn { .. }

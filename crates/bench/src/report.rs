@@ -57,6 +57,12 @@ pub struct SeriesReport {
     /// byte-identity (neutralised by `cargo xtask determinism`); the
     /// sim-time fields are deterministic.
     pub phase_profile: Vec<PhaseProfile>,
+    /// Extra sim-deterministic columns (`name`, `value`) an experiment
+    /// attaches to the row — e.g. exp6's co-channel collision rate and
+    /// mean scheduled-`RxStart` count. Emitted to JSON only when
+    /// non-empty, so artefacts of experiments that attach none keep their
+    /// historical byte shape.
+    pub extras: Vec<(String, f64)>,
 }
 
 impl SeriesReport {
@@ -102,7 +108,17 @@ impl SeriesReport {
             unconfirmed_effects: outcomes.iter().filter(|o| o.unconfirmed_effect()).count(),
             telemetry_downgrades: outcomes.iter().filter(|o| o.telemetry_downgraded).count(),
             phase_profile,
+            extras: Vec::new(),
         }
+    }
+
+    /// Attaches one extra sim-deterministic column to the row (builder
+    /// style). The value must be a pure function of the simulation — it is
+    /// printed to stdout and written to the JSON artefact, both of which
+    /// `cargo xtask determinism` holds byte-identical.
+    pub fn with_extra(mut self, name: &str, value: f64) -> SeriesReport {
+        self.extras.push((name.to_string(), value));
+        self
     }
 
     /// Prices the row: records trials-per-second from the row's wall-clock
@@ -206,6 +222,12 @@ pub fn print_series(name: &str, title: &str, rows: &[SeriesReport]) {
                  a confirmed attempt",
                 r.parameter, r.value, r.unconfirmed_effects
             );
+        }
+    }
+    // Extra columns are sim-deterministic by contract: stdout-safe.
+    for r in rows {
+        for (name, value) in &r.extras {
+            println!("[metric] {}={}: {name}={value:.4}", r.parameter, r.value);
         }
     }
     // Telemetry downgrades depend on the filesystem, not the simulation:
@@ -318,6 +340,11 @@ fn to_json(rows: &[SeriesReport]) -> String {
                 ",\"telemetry_downgrades\":{}",
                 r.telemetry_downgrades
             ));
+        }
+        // Extra columns, like the anomaly counters, appear only when an
+        // experiment attached them — absent keys, not zeros.
+        for (name, value) in &r.extras {
+            out.push_str(&format!(",\"{name}\":{value:.4}"));
         }
         out.push_str(&format!(
             ",\"phase_profile\":{}",
@@ -444,6 +471,21 @@ mod tests {
         let json = to_json(&[clean]);
         assert!(!json.contains("unconfirmed_effects"));
         assert!(!json.contains("telemetry_downgrades"));
+    }
+
+    #[test]
+    fn extras_appear_only_when_attached() {
+        let r = SeriesReport::from_outcomes("density", 32.0, &outcomes(&[2]))
+            .with_extra("co_channel_collision_rate", 0.125)
+            .with_extra("mean_scheduled_rx_starts", 3.4);
+        let json = to_json(&[r]);
+        assert!(json.contains("\"co_channel_collision_rate\":0.1250"));
+        assert!(json.contains("\"mean_scheduled_rx_starts\":3.4000"));
+        // Rows without extras keep the historical JSON shape.
+        let bare = SeriesReport::from_outcomes("density", 32.0, &outcomes(&[2]));
+        assert!(bare.extras.is_empty());
+        let json = to_json(&[bare]);
+        assert!(!json.contains("co_channel_collision_rate"));
     }
 
     #[test]

@@ -19,7 +19,8 @@ use std::collections::BTreeMap;
 
 use ble_invariants::invariant;
 use ble_telemetry::{
-    FaultKind, SpanId, SpanKind, Telemetry, TelemetryEvent, TelemetryRecord, TelemetrySink,
+    DeliveryTracker, FaultKind, SpanId, SpanKind, Telemetry, TelemetryEvent, TelemetryRecord,
+    TelemetrySink,
 };
 use simkit::{Duration, EventQueue, FaultPlan, Instant, SimRng, Trace};
 
@@ -32,6 +33,31 @@ use crate::propagation::Environment;
 use crate::radio::{
     AccessFilter, Node, NodeConfig, NodeCtx, NodeId, RadioEvent, TimerHandle, TimerKey,
 };
+
+/// Frame-delivery scheduling strategy of the medium.
+///
+/// Both modes produce **event-for-event identical** simulations — the
+/// sharded fast path only skips scheduling `RxStart` edges that the
+/// broadcast path would have discarded without any state or RNG effect
+/// (wrong channel, not listening, or mean power below the reachability
+/// cull). The equivalence is pinned by the `sharding_equivalence`
+/// integration tests, which run the same seeded world under both modes and
+/// compare traces.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum DeliveryMode {
+    /// Schedule `RxStart` only at nodes currently listening on the
+    /// transmission's channel (per-channel listener index) whose mean link
+    /// budget clears the reachability cull. Receivers that open *after*
+    /// the frame left the antenna but *before* its leading edge arrives
+    /// are caught by a pending-arrival scan in `start_rx`. The default.
+    #[default]
+    Sharded,
+    /// Schedule `RxStart` at every other node for every frame, as the
+    /// medium originally did — O(nodes) per transmission. Retained as the
+    /// oracle for the sharded/broadcast equivalence tests and for
+    /// apples-to-apples benchmarks.
+    FullBroadcast,
+}
 
 /// Handle describing a transmission that was just started.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -106,12 +132,18 @@ impl InterferenceBuf {
         }
     }
 
-    fn push(&mut self, entry: Interference) {
+    /// Appends an interferer. Returns whether the entry spilled past the
+    /// inline capacity onto the heap — callers emit
+    /// [`TelemetryEvent::InterferenceSpill`] so pathological pile-ups are
+    /// observable.
+    fn push(&mut self, entry: Interference) -> bool {
         if let Some(slot) = self.inline.get_mut(self.len) {
             *slot = entry;
             self.len += 1;
+            false
         } else {
             self.spill.push(entry);
+            true
         }
     }
 
@@ -159,6 +191,45 @@ struct NodeState {
     tx_starts: u64,
 }
 
+/// Receivers that already have an `RxStart` edge scheduled for an
+/// in-flight transmission. A duplicate edge would make a receiver treat
+/// its own locked frame as interference (an extra RNG draw and a phantom
+/// collision), so sharded delivery dedups the pending-arrival scan in
+/// `start_rx` against this set. The first 128 node ids live in an inline
+/// bitmask; wider worlds spill into extra heap words (the alloc-budget
+/// scenarios stay single-digit, so the steady-state path never allocates).
+#[derive(Debug, Default)]
+struct ScheduledSet {
+    low: u128,
+    high: Vec<u64>,
+}
+
+impl ScheduledSet {
+    fn insert(&mut self, node: NodeId) {
+        if let Some(bit) = node.0.checked_sub(128) {
+            let word = bit / 64;
+            if self.high.len() <= word {
+                self.high.resize(word + 1, 0);
+            }
+            if let Some(w) = self.high.get_mut(word) {
+                *w |= 1u64 << (bit % 64);
+            }
+        } else {
+            self.low |= 1u128 << node.0;
+        }
+    }
+
+    fn contains(&self, node: NodeId) -> bool {
+        match node.0.checked_sub(128) {
+            Some(bit) => self
+                .high
+                .get(bit / 64)
+                .is_some_and(|w| w & (1u64 << (bit % 64)) != 0),
+            None => self.low & (1u128 << node.0) != 0,
+        }
+    }
+}
+
 struct ActiveTx {
     from: NodeId,
     channel: Channel,
@@ -166,6 +237,79 @@ struct ActiveTx {
     frame: RawFrame,
     start: Instant,
     end: Instant,
+    /// Receivers with a scheduled `RxStart` for this frame (sharded
+    /// delivery only; stays empty under [`DeliveryMode::FullBroadcast`],
+    /// where every node gets exactly one edge by construction).
+    scheduled: ScheduledSet,
+}
+
+/// Memoised per-pair mean received power, keyed by `(from, to)` node index
+/// in a flat table. The mean is a pure function of positions, transmit
+/// power and walls, all of which change rarely (experiments move nodes
+/// between trials, not per frame), while the delivery path recomputes it
+/// per scheduled edge, per lock attempt and per interference candidate —
+/// in dense worlds the same `log10` shows up millions of times.
+///
+/// Invalidation is by generation counter: [`World::set_node_position`] and
+/// [`World::env_mut`] bump the generation, instantly staling every entry
+/// without touching the table. The table is (re)sized lazily on the first
+/// lookup after a node-count change.
+struct PairCache {
+    generation: u64,
+    nodes: usize,
+    /// `(generation, mean_dbm)` at `from * nodes + to`.
+    entries: Vec<(u64, f64)>,
+}
+
+impl PairCache {
+    const fn new() -> Self {
+        PairCache {
+            generation: 1,
+            nodes: 0,
+            entries: Vec::new(),
+        }
+    }
+
+    /// Stales every cached mean (a position or the environment changed).
+    fn invalidate(&mut self) {
+        self.generation += 1;
+    }
+
+    /// Cached mean received power for `from → to`, computing and memoising
+    /// on miss. Exactly [`Environment::mean_received_power_dbm`] —
+    /// memoisation can only skip recomputation, never change a value, so
+    /// cached and uncached worlds are bit-identical.
+    fn mean_dbm(
+        &mut self,
+        env: &Environment,
+        nodes: &[NodeState],
+        from: NodeId,
+        to: NodeId,
+    ) -> f64 {
+        if self.nodes != nodes.len() {
+            self.nodes = nodes.len();
+            self.entries.clear();
+            self.entries.resize(self.nodes * self.nodes, (0, 0.0));
+        }
+        let idx = from.0 * self.nodes + to.0;
+        if let Some(&(generation, mean)) = self.entries.get(idx) {
+            if generation == self.generation {
+                return mean;
+            }
+        }
+        let (Some(tx), Some(rx)) = (nodes.get(from.0), nodes.get(to.0)) else {
+            return f64::NEG_INFINITY;
+        };
+        let mean = env.mean_received_power_dbm(
+            tx.config.tx_power_dbm,
+            tx.config.position,
+            rx.config.position,
+        );
+        if let Some(slot) = self.entries.get_mut(idx) {
+            *slot = (self.generation, mean);
+        }
+        mean
+    }
 }
 
 /// Internal simulation state shared between the driver and [`NodeCtx`].
@@ -179,6 +323,20 @@ pub(crate) struct SimInner {
     trace: Trace,
     telemetry: Telemetry,
     faults: FaultState,
+    delivery_mode: DeliveryMode,
+    /// Per-channel listener index: `listeners[c]` holds, in ascending
+    /// `NodeId` order, exactly the nodes whose radio is `Rx` on channel
+    /// `c`. Maintained in **both** delivery modes (the upkeep is two
+    /// binary searches per retune) so the mode can be chosen per world
+    /// without index rebuilds. Update sites are the radio-state writes:
+    /// `start_rx` (retune), `stop_rx` and `transmit` (abandoning a
+    /// reception); `finish_tx` and `handle_rx_end` never enter or leave
+    /// `Rx`, so they leave the index alone.
+    listeners: Vec<Vec<NodeId>>,
+    pair_cache: PairCache,
+    /// Per-packet delivery ledger ([`World::enable_delivery_tracker`]);
+    /// `None` costs one branch per hook.
+    delivery: Option<DeliveryTracker>,
 }
 
 /// How long finished transmissions are retained for interference accounting
@@ -316,12 +474,41 @@ impl SimInner {
         self.trace.record(at, tag, detail);
     }
 
-    fn received_power_dbm(&mut self, from: NodeId, to: NodeId) -> f64 {
-        let tx = &self.node_state(from).config;
-        let rx = &self.node_state(to).config;
-        let mean = self
-            .env
-            .mean_received_power_dbm(tx.tx_power_dbm, tx.position, rx.position);
+    /// Inserts `node` into the sorted listener list of `channel` (no-op if
+    /// already present).
+    fn listeners_insert(listeners: &mut [Vec<NodeId>], channel: Channel, node: NodeId) {
+        if let Some(list) = listeners.get_mut(usize::from(channel.index())) {
+            if let Err(i) = list.binary_search(&node) {
+                list.insert(i, node);
+            }
+        }
+    }
+
+    /// Removes `node` from the sorted listener list of `channel` (no-op if
+    /// absent).
+    fn listeners_remove(listeners: &mut [Vec<NodeId>], channel: Channel, node: NodeId) {
+        if let Some(list) = listeners.get_mut(usize::from(channel.index())) {
+            if let Ok(i) = list.binary_search(&node) {
+                list.remove(i);
+            }
+        }
+    }
+
+    /// Mean received power for the `from → to` link, through the pair
+    /// cache.
+    fn mean_power_dbm(&mut self, from: NodeId, to: NodeId) -> f64 {
+        let SimInner {
+            env,
+            nodes,
+            pair_cache,
+            ..
+        } = self;
+        pair_cache.mean_dbm(env, nodes, from, to)
+    }
+
+    /// One per-frame received-power realisation on top of a (cached) mean:
+    /// a multipath fading draw, minus any fault-plan fading episode.
+    fn received_power_from_mean(&mut self, mean: f64) -> f64 {
         let mut power = mean + self.env.fading_db(&mut self.rng);
         if self.faults.enabled() {
             // Fading episodes attenuate the whole medium symmetrically.
@@ -346,6 +533,11 @@ impl SimInner {
             "{}: transmit() while already transmitting",
             self.node_label(node)
         );
+        // Abandoning a reception stops the node listening, so it leaves
+        // the per-channel index before the radio flips to `Tx`.
+        if let RadioState::Rx { channel: old, .. } = self.node_state(node).radio {
+            Self::listeners_remove(&mut self.listeners, old, node);
+        }
         self.node_state_mut(node).tx_starts += 1;
         let airtime = frame.airtime(phy);
         let end = now + airtime;
@@ -383,27 +575,79 @@ impl SimInner {
                 frame,
                 start: now,
                 end,
+                scheduled: ScheduledSet::default(),
             },
         );
         self.queue.schedule_at(end, SimEvent::TxEnd { node });
         let from_pos = self.node_state(node).config.position;
-        // Split-field borrow: arrival times read `env`/`nodes`, scheduling
-        // writes `queue` — disjoint, so no intermediate collection needed.
+        let mode = self.delivery_mode;
+        // Split-field borrow: arrival times read `env`/`nodes`, the cull
+        // reads the pair cache, scheduling writes `queue` — disjoint, so no
+        // intermediate collection needed. Both modes schedule receivers in
+        // ascending node order (the listener lists are sorted), keeping
+        // same-instant event ties identical between them.
         let SimInner {
-            queue, env, nodes, ..
+            queue,
+            env,
+            nodes,
+            listeners,
+            pair_cache,
+            txs,
+            delivery,
+            ..
         } = self;
-        for (other, state) in nodes.iter().enumerate() {
-            if other == node.0 {
-                continue;
+        let mut scheduled: u32 = 0;
+        let mut culled: u32 = 0;
+        match mode {
+            DeliveryMode::FullBroadcast => {
+                for (other, state) in nodes.iter().enumerate() {
+                    if other == node.0 {
+                        continue;
+                    }
+                    let arrival = now + env.propagation_delay(from_pos, state.config.position);
+                    queue.schedule_at(
+                        arrival,
+                        SimEvent::RxStart {
+                            node: NodeId(other),
+                            tx_id,
+                        },
+                    );
+                    scheduled += 1;
+                }
             }
-            let arrival = now + env.propagation_delay(from_pos, state.config.position);
-            queue.schedule_at(
-                arrival,
-                SimEvent::RxStart {
-                    node: NodeId(other),
-                    tx_id,
-                },
-            );
+            DeliveryMode::Sharded => {
+                let tx = txs.get_mut(&tx_id);
+                let listening = listeners.get(usize::from(channel.index()));
+                if let (Some(tx), Some(listening)) = (tx, listening) {
+                    for &other in listening {
+                        if other == node {
+                            continue;
+                        }
+                        // RNG-free reachability cull: a mean this far under
+                        // the floor fails `try_lock`'s sensitivity check for
+                        // every realistic fading draw, and the broadcast
+                        // path applies the identical predicate before its
+                        // draw — skipping here shifts no RNG stream.
+                        let mean = pair_cache.mean_dbm(env, nodes, node, other);
+                        if !env.reachable_mean_dbm(mean) {
+                            culled += 1;
+                            continue;
+                        }
+                        let Some(state) = nodes.get(other.0) else {
+                            continue;
+                        };
+                        let arrival = now + env.propagation_delay(from_pos, state.config.position);
+                        queue.schedule_at(arrival, SimEvent::RxStart { node: other, tx_id });
+                        tx.scheduled.insert(other);
+                        scheduled += 1;
+                    }
+                }
+            }
+        }
+        if let Some(tracker) = delivery {
+            let peers = u32::try_from(nodes.len().saturating_sub(1)).unwrap_or(u32::MAX);
+            let suppressed = peers.saturating_sub(scheduled).saturating_sub(culled);
+            tracker.on_tx(tx_id, channel.index(), scheduled, culled, suppressed);
         }
         TxHandle {
             start: now,
@@ -433,29 +677,78 @@ impl SimInner {
             );
             return;
         }
+        // Maintain the per-channel listener index across the retune. The
+        // same-channel re-open (the reopen-after-frame hot path) skips the
+        // sorted-Vec edits entirely, keeping steady-state delivery
+        // allocation-free.
+        let prev = match self.node_state(node).radio {
+            RadioState::Rx { channel, .. } => Some(channel),
+            _ => None,
+        };
+        if prev != Some(channel) {
+            if let Some(old) = prev {
+                Self::listeners_remove(&mut self.listeners, old, node);
+            }
+            Self::listeners_insert(&mut self.listeners, channel, node);
+        }
         self.node_state_mut(node).radio = RadioState::Rx {
             channel,
             filter,
             crc_init,
             lock: None,
         };
-        // Late lock: a frame whose preamble began moments ago can still be
-        // caught — required for window semantics where a receiver opens just
-        // in time.
+        // One pass over the in-flight transmissions serves two windows:
+        //
+        // * **Late lock** (`arrival <= now`): a frame whose preamble began
+        //   moments ago can still be caught — required for window semantics
+        //   where a receiver opens just in time.
+        // * **Pending arrival** (`arrival > now`, sharded mode only): the
+        //   frame left the antenna while this node was not listening, so
+        //   the sharded fan-out skipped it. Broadcast delivery would have
+        //   scheduled its `RxStart` unconditionally; schedule it now,
+        //   dedup'd through the transmission's `scheduled` set so the edge
+        //   exists exactly once.
         let phy = self.node_state(node).config.phy;
         let grace = phy.preamble_duration() / 4;
         let mut best: Option<(u64, Instant)> = None;
         let rx_pos = self.node_state(node).config.position;
-        for (&tx_id, tx) in &self.txs {
-            if tx.from == node || tx.channel != channel || tx.phy != phy {
+        let mode = self.delivery_mode;
+        let SimInner {
+            txs,
+            env,
+            nodes,
+            queue,
+            pair_cache,
+            delivery,
+            ..
+        } = self;
+        for (&tx_id, tx) in txs.iter_mut() {
+            if tx.from == node || tx.channel != channel {
                 continue;
             }
-            let delay = self
-                .env
-                .propagation_delay(self.node_state(tx.from).config.position, rx_pos);
+            let Some(tx_state) = nodes.get(tx.from.0) else {
+                continue;
+            };
+            let delay = env.propagation_delay(tx_state.config.position, rx_pos);
             let arrival = tx.start + delay;
+            if arrival > now {
+                if matches!(mode, DeliveryMode::Sharded)
+                    && !tx.scheduled.contains(node)
+                    && env.reachable_mean_dbm(pair_cache.mean_dbm(env, nodes, tx.from, node))
+                {
+                    queue.schedule_at(arrival, SimEvent::RxStart { node, tx_id });
+                    tx.scheduled.insert(node);
+                    if let Some(tracker) = delivery {
+                        tracker.on_late_scheduled(tx_id);
+                    }
+                }
+                continue;
+            }
+            if tx.phy != phy {
+                continue;
+            }
             let tx_end = tx.end + delay;
-            if arrival <= now && now <= arrival + grace && tx_end > now {
+            if now <= arrival + grace && tx_end > now {
                 if !filter.matches(tx.frame.access_address) {
                     continue;
                 }
@@ -490,7 +783,19 @@ impl SimInner {
             };
             (tx.start, tx.end, tx.from)
         };
-        let signal_dbm = known_power.unwrap_or_else(|| self.received_power_dbm(tx_from, node));
+        let signal_dbm = match known_power {
+            Some(power) => power,
+            None => {
+                // Reachability cull — RNG-free and applied identically in
+                // both delivery modes *before* the fading draw, so a culled
+                // link consumes no randomness anywhere.
+                let mean = self.mean_power_dbm(tx_from, node);
+                if !self.env.reachable_mean_dbm(mean) {
+                    return false;
+                }
+                self.received_power_from_mean(mean)
+            }
+        };
         if signal_dbm < self.env.sensitivity_dbm {
             return false;
         }
@@ -534,6 +839,9 @@ impl SimInner {
         self.emit(arrival, Some(node), || TelemetryEvent::RxLock {
             channel: channel.index(),
         });
+        if let Some(tracker) = &mut self.delivery {
+            tracker.on_heard(tx_id);
+        }
         true
     }
 
@@ -563,6 +871,7 @@ impl SimInner {
             nodes,
             rng,
             faults,
+            pair_cache,
             ..
         } = self;
         let fault_fade_db = if faults.enabled() {
@@ -583,11 +892,23 @@ impl SimInner {
             let end = tx.end + delay;
             if arrival <= window_start && end > window_start {
                 let overlap = end.min(window_end) - window_start;
-                let mean =
-                    env.mean_received_power_dbm(tx_cfg.tx_power_dbm, tx_cfg.position, rx_pos);
+                let mean = pair_cache.mean_dbm(env, nodes, tx.from, node);
+                // Reachability cull, RNG-free and pre-draw: an inaudible
+                // interferer is skipped before its fading realisation, in
+                // both delivery modes alike.
+                if !env.reachable_mean_dbm(mean) {
+                    continue;
+                }
                 let power_dbm = mean + env.fading_db(rng) - fault_fade_db;
                 out.push(Interference { power_dbm, overlap });
             }
+        }
+        for _ in 0..out.spill.len() {
+            self.emit(window_start, Some(node), || {
+                TelemetryEvent::InterferenceSpill {
+                    channel: channel.index(),
+                }
+            });
         }
         out
     }
@@ -615,7 +936,14 @@ impl SimInner {
             lock.is_some()
         };
         if already_locked {
-            let power_dbm = self.received_power_dbm(tx_from, node);
+            // Reachability cull — identical RNG-free predicate as the
+            // sharded fan-out, checked *before* the power draw so both
+            // delivery modes consume the same random stream.
+            let mean = self.mean_power_dbm(tx_from, node);
+            if !self.env.reachable_mean_dbm(mean) {
+                return None;
+            }
+            let power_dbm = self.received_power_from_mean(mean);
             // A dominant late arrival steals the lock (receiver
             // re-synchronisation): the previously locked frame is lost.
             let (steals, matches_filter) = {
@@ -654,9 +982,15 @@ impl SimInner {
             else {
                 return None;
             };
+            let mut spilled = false;
             if now < lock.end {
                 let overlap = (now + tx_len).min(lock.end) - now;
-                lock.interference.push(Interference { power_dbm, overlap });
+                spilled = lock.interference.push(Interference { power_dbm, overlap });
+            }
+            if spilled {
+                self.emit(now, Some(node), || TelemetryEvent::InterferenceSpill {
+                    channel: tx_channel.index(),
+                });
             }
             return None;
         }
@@ -718,10 +1052,16 @@ impl SimInner {
         if self.faults.enabled() {
             let ch = channel.index();
             let (arrival, end) = (lock.arrival, lock.end);
+            let spill_before = lock.interference.spill.len();
             self.faults
                 .burst_interference(ch, arrival, end, |power_dbm, overlap| {
                     lock.interference.push(Interference { power_dbm, overlap });
                 });
+            for _ in 0..lock.interference.spill.len().saturating_sub(spill_before) {
+                self.emit(end, Some(node), || TelemetryEvent::InterferenceSpill {
+                    channel: ch,
+                });
+            }
             if self.faults.draw_corruption(end, ch) {
                 forced_corruption = true;
                 self.emit(end, Some(node), || TelemetryEvent::FaultFrame {
@@ -778,6 +1118,9 @@ impl SimInner {
             crc_ok,
             interferers,
         });
+        if let Some(tracker) = &mut self.delivery {
+            tracker.on_delivered(tx_id);
+        }
         Some(ReceivedFrame {
             channel,
             access_address: aa,
@@ -807,8 +1150,9 @@ impl SimInner {
 
     pub(crate) fn stop_rx(&mut self, node: NodeId) {
         let state = self.node_state_mut(node);
-        if let RadioState::Rx { .. } = state.radio {
+        if let RadioState::Rx { channel, .. } = state.radio {
             state.radio = RadioState::Idle;
+            Self::listeners_remove(&mut self.listeners, channel, node);
         }
     }
 
@@ -892,9 +1236,39 @@ impl World {
                 trace: Trace::disabled(),
                 telemetry: Telemetry::default(),
                 faults: FaultState::disabled(),
+                delivery_mode: DeliveryMode::default(),
+                listeners: vec![Vec::new(); usize::from(Channel::COUNT)],
+                pair_cache: PairCache::new(),
+                delivery: None,
             },
             nodes: Vec::new(),
         }
+    }
+
+    /// Selects the frame-delivery scheduling strategy. The two modes are
+    /// event-for-event identical (pinned by the `sharding_equivalence`
+    /// tests); pick one **before the first transmission** — switching with
+    /// frames in flight leaves those frames scheduled under the old
+    /// strategy.
+    pub fn set_delivery_mode(&mut self, mode: DeliveryMode) {
+        self.inner.delivery_mode = mode;
+    }
+
+    /// The active frame-delivery strategy.
+    pub fn delivery_mode(&self) -> DeliveryMode {
+        self.inner.delivery_mode
+    }
+
+    /// Attaches a per-packet delivery tracker retaining per-frame ledger
+    /// rows for the most recent `capacity` transmissions (older rows are
+    /// evicted; the run-wide totals keep counting regardless).
+    pub fn enable_delivery_tracker(&mut self, capacity: usize) {
+        self.inner.delivery = Some(DeliveryTracker::new(capacity));
+    }
+
+    /// The per-packet delivery tracker, when enabled.
+    pub fn delivery_tracker(&self) -> Option<&DeliveryTracker> {
+        self.inner.delivery.as_ref()
     }
 
     /// Installs a deterministic [`FaultPlan`] into the medium.
@@ -993,7 +1367,10 @@ impl World {
     }
 
     /// Mutable access to the environment (e.g. to move walls mid-run).
+    /// Conservatively stales the pair cache — the caller may change
+    /// anything the mean power depends on.
     pub fn env_mut(&mut self) -> &mut Environment {
+        self.inner.pair_cache.invalidate();
         &mut self.inner.env
     }
 
@@ -1077,9 +1454,11 @@ impl World {
         self.inner.node_state(node).config.position
     }
 
-    /// Moves a node (used by the distance-sweep experiments).
+    /// Moves a node (used by the distance-sweep experiments). Stales the
+    /// pair cache so every link mean is recomputed on next use.
     pub fn set_node_position(&mut self, node: NodeId, position: Position) {
         self.inner.node_state_mut(node).config.position = position;
+        self.inner.pair_cache.invalidate();
     }
 
     /// Runs a closure with a [`NodeCtx`] for `node` — the way device state

@@ -21,6 +21,16 @@ use crate::geometry::{Position, Wall};
 /// Speed of light in metres per second.
 const SPEED_OF_LIGHT_M_PER_S: f64 = 299_792_458.0;
 
+/// Headroom (dB) the reachability cull keeps above the sensitivity floor.
+///
+/// A receiver is culled only when the *mean* received power sits this far
+/// below [`Environment::sensitivity_dbm`] — six standard deviations of the
+/// default 5 dB multipath fading, so a frame the cull skips had no
+/// realistic fading draw that could have reached the radio anyway. The
+/// predicate is deliberately RNG-free: culling must never consume a fading
+/// draw, or the scheduling strategy would leak into the random stream.
+pub const CULL_HEADROOM_DB: f64 = 30.0;
+
 /// The RF environment: propagation constants, obstacles and the collision
 /// capture model.
 ///
@@ -77,6 +87,23 @@ impl Environment {
         }
     }
 
+    /// A dense obstructed hall: the crowded-band regime of the exp6 sweep.
+    /// Same 2.4 GHz reference loss as [`Environment::indoor_default`] but a
+    /// heavily obstructed path-loss exponent (`n = 3.4`, bodies and
+    /// furniture between links), which pulls the reachability-cull horizon
+    /// from tens of kilometres down to a few hundred metres — far links in
+    /// a stadium-scale world genuinely cannot hear each other.
+    pub fn dense_hall() -> Self {
+        Environment {
+            path_loss_at_1m_db: 40.0,
+            path_loss_exponent: 3.4,
+            fading_sigma_db: 5.0,
+            sensitivity_dbm: -94.0,
+            walls: Vec::new(),
+            capture: CaptureModel::default(),
+        }
+    }
+
     /// Adds a wall and returns the environment (builder style).
     pub fn with_wall(mut self, wall: Wall) -> Self {
         self.walls.push(wall);
@@ -99,6 +126,17 @@ impl Environment {
         let d = from.distance_to(to).max(0.1);
         let path_loss = self.path_loss_at_1m_db + 10.0 * self.path_loss_exponent * d.log10();
         tx_power_dbm - path_loss - self.wall_loss_db(from, to)
+    }
+
+    /// RNG-free reachability predicate for the delivery cull: whether a
+    /// link whose *mean* received power is `mean_dbm` could plausibly be
+    /// heard at all, keeping [`CULL_HEADROOM_DB`] of fading headroom above
+    /// the sensitivity floor. Used identically by both delivery modes of
+    /// the medium (sharded scheduling and the full-broadcast oracle), so
+    /// culling never shifts an RNG stream or an event schedule between
+    /// them.
+    pub fn reachable_mean_dbm(&self, mean_dbm: f64) -> bool {
+        mean_dbm + CULL_HEADROOM_DB >= self.sensitivity_dbm
     }
 
     /// Draws one per-frame fading realisation, in dB (zero-mean Gaussian).
@@ -186,6 +224,35 @@ mod tests {
         assert!(mean.abs() < 0.2, "mean fading {mean}");
         env.fading_sigma_db = 0.0;
         assert_eq!(env.fading_db(&mut rng), 0.0);
+    }
+
+    #[test]
+    fn reachability_cull_keeps_fading_headroom() {
+        let env = Environment::indoor_default();
+        // Right at the floor: reachable (fading could save it).
+        assert!(env.reachable_mean_dbm(env.sensitivity_dbm));
+        // Within the headroom below the floor: still reachable.
+        assert!(env.reachable_mean_dbm(env.sensitivity_dbm - CULL_HEADROOM_DB));
+        // Beyond the headroom: culled.
+        assert!(!env.reachable_mean_dbm(env.sensitivity_dbm - CULL_HEADROOM_DB - 0.001));
+    }
+
+    #[test]
+    fn indoor_links_are_never_culled_at_experiment_scales() {
+        // The paper's rigs put nodes metres apart; the cull must be
+        // unreachable there so pre-sharding experiments stay byte-identical.
+        let env = Environment::indoor_default();
+        let mean = env.mean_received_power_dbm(0.0, Position::ORIGIN, Position::new(1_000.0, 0.0));
+        assert!(env.reachable_mean_dbm(mean), "1 km indoors still reachable");
+    }
+
+    #[test]
+    fn dense_hall_culls_far_links_but_not_near_ones() {
+        let env = Environment::dense_hall();
+        let near = env.mean_received_power_dbm(0.0, Position::ORIGIN, Position::new(50.0, 0.0));
+        let far = env.mean_received_power_dbm(0.0, Position::ORIGIN, Position::new(500.0, 0.0));
+        assert!(env.reachable_mean_dbm(near), "50 m in the hall is audible");
+        assert!(!env.reachable_mean_dbm(far), "500 m in the hall is culled");
     }
 
     #[test]

@@ -20,6 +20,8 @@ struct Recorder {
     on_timer_tx: Vec<(u64, Channel, RawFrame)>,
     /// Open RX on this channel/filter when timer fires: (key, channel, filter, crc_init).
     on_timer_rx: Vec<(u64, Channel, AccessFilter, u32)>,
+    /// Close the receiver when a timer with this key fires.
+    on_timer_stop: Vec<u64>,
 }
 
 impl Recorder {
@@ -60,6 +62,9 @@ impl RadioListener for Recorder {
                 .collect();
             for (_, ch, filter, crc_init) in actions_rx {
                 ctx.start_rx(ch, filter, crc_init);
+            }
+            if self.on_timer_stop.contains(&key.0) {
+                ctx.stop_rx();
             }
         }
         self.events.push(event);
@@ -562,6 +567,214 @@ fn capture_model_probabilistic_band_gives_mixed_outcomes() {
     }
     assert!(survived > 5, "some collisions must survive ({survived})");
     assert!(corrupted > 5, "some collisions must corrupt ({corrupted})");
+}
+
+/// Runs the same scenario under both delivery modes and asserts identical
+/// observable behaviour — the listener-index maintenance tests below all
+/// use this so every edge case is pinned against the broadcast oracle.
+fn in_both_modes(scenario: impl Fn(ble_phy::DeliveryMode) -> Vec<String>) {
+    let broadcast = scenario(ble_phy::DeliveryMode::FullBroadcast);
+    let sharded = scenario(ble_phy::DeliveryMode::Sharded);
+    assert_eq!(broadcast, sharded, "delivery modes diverged");
+}
+
+/// Ideal long-range setup: no fading (deterministic), transmitter powerful
+/// enough to be heard 3 km away, where propagation takes ~10 µs — a wide
+/// window for a receiver to open or close between `TxStart` and arrival.
+fn long_range_world(mode: ble_phy::DeliveryMode) -> World {
+    let mut sim = World::new(Environment::ideal(), SimRng::seed_from(9));
+    sim.set_delivery_mode(mode);
+    sim
+}
+
+const FAR: Position = Position::new(3_000.0, 0.0);
+
+fn far_tx(sim: &mut World) -> ble_phy::NodeId {
+    let mut tx = Recorder::default();
+    tx.on_timer_tx.push((1, CH, frame(&[1, 2, 3, 4])));
+    let id = sim.add_node(NodeConfig::new("tx", FAR).with_tx_power(20.0), tx);
+    sim.with_ctx(id, |ctx| {
+        ctx.set_timer_at(Instant::from_micros(100), TimerKey(1));
+    });
+    id
+}
+
+fn rx_log(sim: &World, id: ble_phy::NodeId) -> Vec<String> {
+    recorder(sim, id)
+        .events
+        .iter()
+        .map(|e| format!("{e:?}"))
+        .collect()
+}
+
+#[test]
+fn receiver_closing_between_tx_start_and_arrival_misses_the_frame() {
+    // The frame leaves the antenna at t=100 µs and arrives ~10 µs later;
+    // the receiver closes at t=105 µs, in between. Under sharded delivery
+    // the RxStart edge was already scheduled (the node was listening at
+    // transmit time) — it must arrive at a closed radio and do nothing,
+    // exactly as the broadcast oracle's unconditional edge does.
+    in_both_modes(|mode| {
+        let mut sim = long_range_world(mode);
+        far_tx(&mut sim);
+        let mut rx = Recorder::default();
+        rx.on_timer_stop.push(2);
+        let r = sim.add_node(NodeConfig::new("rx", Position::ORIGIN), rx);
+        sim.with_ctx(r, |ctx| ctx.start_rx(CH, AccessFilter::One(AA), 0xABCDEF));
+        sim.with_ctx(r, |ctx| {
+            ctx.set_timer_at(Instant::from_micros(105), TimerKey(2));
+        });
+        sim.run_for(Duration::from_millis(1));
+        assert!(
+            recorder(&sim, r).received().is_empty(),
+            "a closed receiver must miss the in-flight frame"
+        );
+        assert_eq!(recorder(&sim, r).syncs(), 0);
+        rx_log(&sim, r)
+    });
+}
+
+#[test]
+fn receiver_closing_and_reopening_before_arrival_hears_the_frame_once() {
+    // Close at t=103 µs, reopen (same channel) at t=106 µs, arrival at
+    // ~t=110 µs. Sharded delivery must not double-schedule the edge on the
+    // reopen (the pending-arrival scan dedups against the transmission's
+    // scheduled set) — a duplicate would make the receiver treat its own
+    // locked frame as interference.
+    in_both_modes(|mode| {
+        let mut sim = long_range_world(mode);
+        far_tx(&mut sim);
+        let mut rx = Recorder::default();
+        rx.on_timer_stop.push(2);
+        rx.on_timer_rx
+            .push((3, CH, AccessFilter::One(AA), 0xABCDEF));
+        let r = sim.add_node(NodeConfig::new("rx", Position::ORIGIN), rx);
+        sim.with_ctx(r, |ctx| ctx.start_rx(CH, AccessFilter::One(AA), 0xABCDEF));
+        sim.with_ctx(r, |ctx| {
+            ctx.set_timer_at(Instant::from_micros(103), TimerKey(2));
+            ctx.set_timer_at(Instant::from_micros(106), TimerKey(3));
+        });
+        sim.run_for(Duration::from_millis(1));
+        let rec = recorder(&sim, r);
+        assert_eq!(rec.received().len(), 1, "exactly one delivery");
+        assert!(rec.received()[0].crc_ok, "no phantom self-interference");
+        assert_eq!(rec.syncs(), 1, "exactly one sync edge");
+        rx_log(&sim, r)
+    });
+}
+
+#[test]
+fn receiver_opening_after_tx_start_hears_the_in_flight_frame() {
+    // The receiver was deaf when the frame left the antenna and opens at
+    // t=105 µs, before the ~t=110 µs arrival. Broadcast delivery scheduled
+    // the edge unconditionally; sharded delivery must recreate it through
+    // the pending-arrival scan in `start_rx`.
+    in_both_modes(|mode| {
+        let mut sim = long_range_world(mode);
+        far_tx(&mut sim);
+        let mut rx = Recorder::default();
+        rx.on_timer_rx
+            .push((2, CH, AccessFilter::One(AA), 0xABCDEF));
+        let r = sim.add_node(NodeConfig::new("rx", Position::ORIGIN), rx);
+        sim.with_ctx(r, |ctx| {
+            ctx.set_timer_at(Instant::from_micros(105), TimerKey(2));
+        });
+        sim.run_for(Duration::from_millis(1));
+        let rec = recorder(&sim, r);
+        assert_eq!(rec.received().len(), 1, "pending scan must catch the frame");
+        assert!(rec.received()[0].crc_ok);
+        assert_eq!(rec.syncs(), 1);
+        rx_log(&sim, r)
+    });
+}
+
+#[test]
+fn retune_mid_reception_drops_the_lock_and_follows_the_new_channel() {
+    // The receiver locks a frame on CH at t≈100 µs, retunes to channel 6
+    // mid-reception (t=150 µs), and a second transmitter fires on channel 6
+    // at t=300 µs. The abandoned lock must deliver nothing; the new channel
+    // must deliver — and the listener index must have moved the node so
+    // sharded delivery schedules the second frame at all.
+    in_both_modes(|mode| {
+        let ch6 = Channel::new(6).unwrap();
+        let mut sim = World::new(Environment::ideal(), SimRng::seed_from(4));
+        sim.set_delivery_mode(mode);
+        let mut t1 = Recorder::default();
+        t1.on_timer_tx.push((1, CH, frame(&[0xAA; 20])));
+        let a = sim.add_node(NodeConfig::new("t1", Position::new(1.0, 0.0)), t1);
+        let mut t2 = Recorder::default();
+        t2.on_timer_tx.push((1, ch6, frame(&[0xBB; 4])));
+        let b = sim.add_node(NodeConfig::new("t2", Position::new(0.0, 1.0)), t2);
+        let mut rx = Recorder::default();
+        rx.on_timer_rx
+            .push((2, ch6, AccessFilter::One(AA), 0xABCDEF));
+        let r = sim.add_node(NodeConfig::new("rx", Position::ORIGIN), rx);
+        sim.with_ctx(r, |ctx| ctx.start_rx(CH, AccessFilter::One(AA), 0xABCDEF));
+        sim.with_ctx(a, |ctx| {
+            ctx.set_timer_at(Instant::from_micros(100), TimerKey(1));
+        });
+        sim.with_ctx(r, |ctx| {
+            ctx.set_timer_at(Instant::from_micros(150), TimerKey(2));
+        });
+        sim.with_ctx(b, |ctx| {
+            ctx.set_timer_at(Instant::from_micros(300), TimerKey(1));
+        });
+        sim.run_for(Duration::from_millis(1));
+        let rec = recorder(&sim, r);
+        assert_eq!(rec.received().len(), 1, "only the channel-6 frame lands");
+        assert_eq!(rec.received()[0].pdu, vec![0xBB; 4]);
+        rx_log(&sim, r)
+    });
+}
+
+#[test]
+fn shared_radio_ignored_start_rx_keeps_the_listener_index_consistent() {
+    // A shared-radio node (PR 8 slots) requests start_rx mid-transmission:
+    // the request is ignored. The node must not appear in the listener
+    // index — a frame transmitted later on that channel is missed until
+    // the node genuinely reopens, identically in both modes.
+    in_both_modes(|mode| {
+        let mut sim = World::new(Environment::ideal(), SimRng::seed_from(8));
+        sim.set_delivery_mode(mode);
+        let mut shared = Recorder::default();
+        shared.on_timer_tx.push((1, CH, frame(&[0x11; 20]))); // 224 µs airtime
+        shared
+            .on_timer_rx
+            .push((2, CH, AccessFilter::One(AA), 0xABCDEF)); // ignored: still Tx
+        shared
+            .on_timer_rx
+            .push((3, CH, AccessFilter::One(AA), 0xABCDEF)); // real reopen
+        let s = sim.add_node(
+            NodeConfig::new("shared", Position::ORIGIN).with_shared_radio(),
+            shared,
+        );
+        let mut peer = Recorder::default();
+        peer.on_timer_tx.push((1, CH, frame(&[0x22; 4])));
+        let p = sim.add_node(NodeConfig::new("peer", Position::new(1.0, 0.0)), peer);
+        sim.with_ctx(s, |ctx| {
+            ctx.set_timer_at(Instant::from_micros(100), TimerKey(1)); // Tx 100..324 µs
+            ctx.set_timer_at(Instant::from_micros(150), TimerKey(2)); // ignored
+            ctx.set_timer_at(Instant::from_micros(400), TimerKey(3)); // reopen
+        });
+        sim.with_ctx(p, |ctx| {
+            ctx.set_timer_at(Instant::from_micros(350), TimerKey(1)); // while s is deaf
+        });
+        sim.run_for(Duration::from_millis(1));
+        let rec = recorder(&sim, s);
+        assert!(
+            rec.received().is_empty(),
+            "the ignored start_rx must not leave the node listening"
+        );
+        // After the real reopen, a second peer frame lands.
+        sim.with_ctx(p, |ctx| {
+            ctx.set_timer_at(Instant::from_micros(1_500), TimerKey(1));
+        });
+        sim.run_for(Duration::from_millis(1));
+        let rec = recorder(&sim, s);
+        assert_eq!(rec.received().len(), 1, "reopened radio hears the frame");
+        assert_eq!(rec.received()[0].pdu, vec![0x22; 4]);
+        rx_log(&sim, s)
+    });
 }
 
 #[test]

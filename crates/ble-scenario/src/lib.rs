@@ -34,12 +34,18 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+mod background;
+
+pub use background::{BackgroundRx, BackgroundSchedule, BackgroundTx, RX_LEAD};
+
 use std::path::PathBuf;
 
 use ble_devices::{Central, Keyfob, Lightbulb, Smartwatch, CENTRAL_SLOTS};
 use ble_host::ConnHandle;
 use ble_link::{ConnectionParams, DeviceAddress};
-use ble_phy::{Environment, Node, NodeConfig, NodeId, PhyMode, Position, Wall, World};
+use ble_phy::{
+    AccessAddress, Environment, Node, NodeConfig, NodeId, PhyMode, Position, Wall, World,
+};
 use ble_telemetry::{JsonlSink, MetricsSink, SharedRegistry};
 use injectable::{Attacker, AttackerConfig, ResyncPolicy};
 use simkit::{DriftClock, Duration, FaultPlan, SimRng};
@@ -133,6 +139,9 @@ pub struct ScenarioBuilder {
     span_clock: Option<fn() -> u64>,
     faults: Option<FaultPlan>,
     extra_peripherals: usize,
+    environment: Option<Environment>,
+    background_pairs: usize,
+    delivery_tracker: Option<usize>,
 }
 
 impl ScenarioBuilder {
@@ -166,6 +175,9 @@ impl ScenarioBuilder {
             span_clock: None,
             faults: None,
             extra_peripherals: 0,
+            environment: None,
+            background_pairs: 0,
+            delivery_tracker: None,
         }
     }
 
@@ -222,6 +234,32 @@ impl ScenarioBuilder {
     /// legacy tests separate the two).
     pub fn world_seed(mut self, seed: u64) -> Self {
         self.world_seed = Some(seed);
+        self
+    }
+
+    /// Replaces the default indoor propagation environment (a `wall_db` /
+    /// `wall` knob still applies on top of this environment).
+    pub fn environment(mut self, env: Environment) -> Self {
+        self.environment = Some(env);
+        self
+    }
+
+    /// Loads the scene with `n` background connection pairs — lockstep
+    /// transmitter/receiver couples hopping the 37 data channels on their
+    /// own schedules (see [`BackgroundTx`]). Pairs are laid out on a 12 m
+    /// grid away from the rig triangle and are added to the world strictly
+    /// *after* every classic node, so `background_pairs(0)` (the default)
+    /// builds a world byte-identical to not calling this at all.
+    pub fn background_pairs(mut self, n: usize) -> Self {
+        self.background_pairs = n;
+        self
+    }
+
+    /// Enables the medium's per-packet [`ble_telemetry::DeliveryTracker`]
+    /// with row capacity `capacity` before any node bootstraps, so the
+    /// run-wide scheduling totals cover every transmission in the scene.
+    pub fn delivery_tracker(mut self, capacity: usize) -> Self {
+        self.delivery_tracker = Some(capacity);
         self
     }
 
@@ -361,7 +399,10 @@ impl ScenarioBuilder {
     /// given configuration and seed reproduce the identical simulation.
     pub fn build(self) -> Scenario {
         let mut rng = SimRng::seed_from(self.seed);
-        let mut env = Environment::indoor_default();
+        let mut env = self
+            .environment
+            .clone()
+            .unwrap_or_else(Environment::indoor_default);
         if let Some(wall) = self.wall {
             env = env.with_wall(wall);
         }
@@ -370,6 +411,9 @@ impl ScenarioBuilder {
             None => rng.fork(),
         };
         let mut world = World::new(env, world_rng);
+        if let Some(capacity) = self.delivery_tracker {
+            world.enable_delivery_tracker(capacity);
+        }
 
         let (victim, victim_addr): (Box<dyn Node>, DeviceAddress) = {
             let device_rng = rng.fork();
@@ -498,6 +542,42 @@ impl ScenarioBuilder {
             }
         }
 
+        // Background pairs come last of all nodes and draw from a single
+        // fork taken only when pairs were requested, so scenes without them
+        // stay byte-identical to the historical build order.
+        let mut background_ids = Vec::new();
+        if self.background_pairs > 0 {
+            let mut bg_rng = rng.fork();
+            #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+            let cols = (self.background_pairs as f64).sqrt().ceil() as usize;
+            for k in 0..self.background_pairs {
+                let period_us = 7_500 + bg_rng.below(7_500);
+                let schedule = BackgroundSchedule {
+                    aa: AccessAddress::new(
+                        0xB000_0000 + u32::try_from(k).expect("pair count fits u32"),
+                    ),
+                    crc_init: 0x0B_0B00 + u32::try_from(k).expect("pair count fits u32"),
+                    start_channel: u8::try_from(bg_rng.below(37)).expect("channel index fits u8"),
+                    hop: u8::try_from(1 + bg_rng.below(36)).expect("hop fits u8"),
+                    period: Duration::from_micros(period_us),
+                    phase: Duration::from_micros(period_us + bg_rng.below(period_us)),
+                };
+                // 12 m grid starting well outside the rig triangle; the
+                // pair's own link is a fixed 1 m hop.
+                let x = 8.0 + (k % cols.max(1)) as f64 * 12.0;
+                let y = 8.0 + (k / cols.max(1)) as f64 * 12.0;
+                let tx_id = world.add_node(
+                    NodeConfig::new(format!("bgtx{k}"), Position::new(x, y)),
+                    BackgroundTx::new(schedule),
+                );
+                let rx_id = world.add_node(
+                    NodeConfig::new(format!("bgrx{k}"), Position::new(x + 1.0, y)),
+                    BackgroundRx::new(schedule),
+                );
+                background_ids.push((tx_id, rx_id));
+            }
+        }
+
         // Telemetry attaches *before* bootstrap so sinks observe the nodes'
         // first actions — in particular the spans opened in `on_start`
         // hooks (the attacker's initial scan campaign). Sinks are
@@ -533,6 +613,12 @@ impl ScenarioBuilder {
         for id in &extra_peripheral_ids {
             world.start(*id);
         }
+        for (tx_id, rx_id) in &background_ids {
+            // Receiver first: its window-opening tick leads the
+            // transmitter's within every period.
+            world.start(*rx_id);
+            world.start(*tx_id);
+        }
 
         // After every node exists (drift excursions resolve labels here) and
         // after bootstrap, so same-instant fault markers sort behind the
@@ -554,6 +640,7 @@ impl ScenarioBuilder {
             telemetry_downgraded,
             extra_peripheral_ids,
             extra_conn_handles,
+            background_ids,
         }
     }
 }
@@ -592,6 +679,9 @@ pub struct Scenario {
     /// Central connection-slot handles of the extra peripherals, matching
     /// [`Scenario::extra_peripheral_ids`] index for index.
     pub extra_conn_handles: Vec<ConnHandle>,
+    /// `(transmitter, receiver)` arena ids of the background pairs added by
+    /// [`ScenarioBuilder::background_pairs`], pair order.
+    pub background_ids: Vec<(NodeId, NodeId)>,
 }
 
 impl Scenario {
@@ -672,6 +762,31 @@ impl Scenario {
     /// connection right now (1 = just the classic victim link).
     pub fn live_connections(&self) -> usize {
         self.central().live_connections()
+    }
+
+    /// `(sent, received)` frame totals summed over every background pair.
+    pub fn background_frames(&self) -> (u64, u64) {
+        let mut sent = 0;
+        let mut received = 0;
+        for (tx_id, rx_id) in &self.background_ids {
+            sent += self
+                .world
+                .node::<BackgroundTx>(*tx_id)
+                .expect("background slot holds a BackgroundTx")
+                .sent;
+            received += self
+                .world
+                .node::<BackgroundRx>(*rx_id)
+                .expect("background slot holds a BackgroundRx")
+                .received;
+        }
+        (sent, received)
+    }
+
+    /// Run-wide delivery-scheduling totals, when the scene was built with
+    /// [`ScenarioBuilder::delivery_tracker`].
+    pub fn delivery_totals(&self) -> Option<ble_telemetry::DeliveryTotals> {
+        self.world.delivery_tracker().map(|t| t.totals())
     }
 
     /// Aims the attacker's sniffer at the peer behind one Central
@@ -904,6 +1019,52 @@ mod tests {
                 "slot {h} not established"
             );
         }
+    }
+
+    #[test]
+    fn background_pairs_exchange_frames_in_lockstep() {
+        let mut sc = ScenarioBuilder::legit(9)
+            .background_pairs(6)
+            .delivery_tracker(32)
+            .build();
+        assert_eq!(sc.background_ids.len(), 6);
+        sc.run_for(Duration::from_secs(2));
+        let (sent, received) = sc.background_frames();
+        assert!(sent > 0, "pairs must transmit");
+        // Lockstep schedules on a 1 m link: virtually every frame lands
+        // (collisions between pairs sharing an instant and channel are the
+        // only loss mechanism).
+        assert!(
+            received * 10 >= sent * 9,
+            "background pairs out of lockstep: {received} of {sent} frames"
+        );
+        let totals = sc.delivery_totals().expect("tracker was enabled");
+        assert!(totals.tx_frames >= sent);
+    }
+
+    #[test]
+    fn background_pairs_zero_is_byte_identical_to_none() {
+        let run = |with_knob: bool| {
+            let b = ScenarioBuilder::legit(4);
+            let b = if with_knob { b.background_pairs(0) } else { b };
+            let mut sc = b.build();
+            sc.run_for(Duration::from_secs(2));
+            (
+                sc.now(),
+                sc.central().ll.is_connected(),
+                sc.victim_connected(),
+            )
+        };
+        assert_eq!(run(false), run(true));
+    }
+
+    #[test]
+    fn environment_knob_replaces_the_default() {
+        let sc = ScenarioBuilder::legit(2)
+            .environment(ble_phy::Environment::dense_hall())
+            .build();
+        // dense_hall's exponent (3.4) is hotter than indoor (1.8).
+        assert!(sc.world.env().path_loss_exponent > 3.0);
     }
 
     #[test]

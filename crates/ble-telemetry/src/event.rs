@@ -244,6 +244,14 @@ pub enum TelemetryEvent {
         /// Number of interfering transmissions.
         interferers: u32,
     },
+    /// A locked reception accumulated more interferers than the medium's
+    /// inline buffer holds, spilling onto the heap — a pathological
+    /// co-channel pile-up worth observing in dense worlds (one event per
+    /// spilled interferer).
+    InterferenceSpill {
+        /// Channel on which the pile-up happened.
+        channel: u8,
+    },
 
     // --- Link Layer --------------------------------------------------------
     /// A connection-event anchor point: the master's first transmission of
@@ -470,6 +478,7 @@ impl TelemetryEvent {
             TelemetryEvent::Relock { .. } => "relock",
             TelemetryEvent::RxEnd { .. } => "rx-end",
             TelemetryEvent::Collision { .. } => "collision",
+            TelemetryEvent::InterferenceSpill { .. } => "interference-spill",
             TelemetryEvent::Anchor { .. } => "anchor",
             TelemetryEvent::WindowOpen { .. } => "window-open",
             TelemetryEvent::Hop { .. } => "hop",
@@ -533,6 +542,9 @@ impl fmt::Display for TelemetryEvent {
                 channel,
                 interferers,
             } => write!(f, "ch={channel} interferers={interferers}"),
+            TelemetryEvent::InterferenceSpill { channel } => {
+                write!(f, "interference spill ch={channel}")
+            }
             TelemetryEvent::Anchor { role, channel, at } => {
                 write!(f, "{} anchor ch={channel} at={at}", role.as_str())
             }

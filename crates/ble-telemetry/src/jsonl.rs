@@ -89,6 +89,9 @@ pub fn to_line(record: &TelemetryRecord) -> String {
         } => {
             let _ = write!(s, ",\"ch\":{channel},\"interferers\":{interferers}");
         }
+        TelemetryEvent::InterferenceSpill { channel } => {
+            let _ = write!(s, ",\"ch\":{channel}");
+        }
         TelemetryEvent::Anchor { role, channel, at } => {
             let _ = write!(
                 s,
@@ -429,6 +432,9 @@ pub fn parse_line(line: &str) -> Option<TelemetryRecord> {
             channel: get_num(&fields, "ch")?,
             interferers: get_num(&fields, "interferers")?,
         },
+        "interference-spill" => TelemetryEvent::InterferenceSpill {
+            channel: get_num(&fields, "ch")?,
+        },
         "anchor" => TelemetryEvent::Anchor {
             role: LinkRole::parse(get_str(&fields, "role")?)?,
             channel: get_num(&fields, "ch")?,
@@ -651,6 +657,7 @@ mod tests {
                 channel: 8,
                 interferers: 3,
             },
+            TelemetryEvent::InterferenceSpill { channel: 11 },
             TelemetryEvent::Anchor {
                 role: LinkRole::Master,
                 channel: 9,

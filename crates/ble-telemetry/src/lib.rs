@@ -30,6 +30,7 @@
     )
 )]
 
+pub mod delivery;
 pub mod event;
 pub mod jsonl;
 pub mod metrics;
@@ -37,6 +38,7 @@ pub mod ring;
 pub mod sink;
 pub mod span;
 
+pub use delivery::{DeliveryTotals, DeliveryTracker, PacketDelivery};
 pub use event::{AlertKind, FaultKind, LinkRole, LossReason, TelemetryEvent, Verdict};
 pub use jsonl::{parse_line, JsonlSink};
 pub use metrics::{HistSummary, HistogramUs, MetricsRegistry, MetricsSink, SharedRegistry};

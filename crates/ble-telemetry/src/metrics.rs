@@ -301,6 +301,7 @@ struct HotTallies {
     rx: u64,
     rx_crc_bad: u64,
     collision: u64,
+    interference_spill: u64,
     anchor: u64,
     window_open: u64,
     hop: u64,
@@ -398,6 +399,7 @@ impl MetricsSink {
             ("phy.rx", &mut t.rx),
             ("phy.rx_crc_bad", &mut t.rx_crc_bad),
             ("phy.collision", &mut t.collision),
+            ("phy.interference_spill", &mut t.interference_spill),
             ("link.anchor", &mut t.anchor),
             ("link.window_open", &mut t.window_open),
             ("link.hop", &mut t.hop),
@@ -503,6 +505,7 @@ impl TelemetrySink for MetricsSink {
                 }
             }
             TelemetryEvent::Collision { .. } => bump(&mut t.collision),
+            TelemetryEvent::InterferenceSpill { .. } => bump(&mut t.interference_spill),
             TelemetryEvent::Anchor { .. } => bump(&mut t.anchor),
             TelemetryEvent::WindowOpen { widening, .. } => {
                 bump(&mut t.window_open);

@@ -106,6 +106,12 @@ const BINARIES: &[BinSpec] = &[
         json: true,
         parallel: false,
     },
+    BinSpec {
+        name: "exp6_dense_band",
+        takes_trials: true,
+        json: true,
+        parallel: false,
+    },
 ];
 
 /// The per-push fast subset: one parallel sweep, one ablation, and the

@@ -36,6 +36,7 @@ const PERF_BINARIES: &[&str] = &[
     "ablation_widening",
     "ablation_faults",
     "exp5_multi_conn",
+    "exp6_dense_band",
 ];
 
 /// The per-push fast subset: one parallel sweep, one ablation, and the one
