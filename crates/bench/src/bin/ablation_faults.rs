@@ -22,7 +22,7 @@
 //! abandoned by the attacker's bounded retry loop instead of idling out
 //! the whole simulation budget.
 
-use bench::{print_series, run_trials_parallel, Cli, SeriesReport, TrialConfig};
+use bench::{print_series, run_point, Cli, SeriesReport, TrialConfig};
 use injectable::ResyncPolicy;
 use simkit::{Duration, FaultPlan, FrameLossRule, Instant, InterferenceBurst};
 
@@ -83,10 +83,10 @@ fn loss_plan(p: f64) -> FaultPlan {
 }
 
 fn sweep(
+    cli: &Cli,
     parameter: &str,
     levels: &[f64],
     seed_base: u64,
-    trials: u64,
     plan_for: impl Fn(f64) -> FaultPlan,
 ) -> Vec<SeriesReport> {
     let mut rows = Vec::new();
@@ -95,12 +95,7 @@ fn sweep(
         if level > 0.0 {
             cfg.rig.faults = Some(plan_for(level));
         }
-        let row_start = bench::wallclock::Stopwatch::start();
-        let outcomes = run_trials_parallel(&cfg, trials);
-        rows.push(
-            SeriesReport::from_outcomes(parameter, level, &outcomes)
-                .with_throughput(row_start.elapsed_s()),
-        );
+        rows.push(run_point(cli, "ablation_faults", parameter, level, &cfg));
         eprintln!("{parameter} {level}: done");
     }
     rows
@@ -110,17 +105,17 @@ fn main() {
     let cli = Cli::parse(25);
     let base = cli.seed_base(11_000);
     let burst_rows = sweep(
+        &cli,
         "burst_duty",
         &[0.0, 0.2, 0.4, 0.6, 0.8],
         base,
-        cli.trials,
         burst_plan,
     );
     let loss_rows = sweep(
+        &cli,
         "loss_prob",
         &[0.0, 0.2, 0.35, 0.5, 0.6],
         base + 100,
-        cli.trials,
         loss_plan,
     );
     print_series(

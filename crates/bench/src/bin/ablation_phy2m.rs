@@ -5,7 +5,7 @@
 //! LE 1M only; this ablation quantifies how the faster PHY changes the
 //! attacker's cost on otherwise identical scenes.
 
-use bench::{print_series_to, run_trials_parallel, Cli, SeriesReport, TrialConfig};
+use bench::{print_series_to, run_point, Cli, TrialConfig};
 use ble_phy::PhyMode;
 
 fn main() {
@@ -17,12 +17,7 @@ fn main() {
         cfg.rig.phy = phy;
         // A distance where collisions matter (4 m).
         cfg.rig.attacker_distance = 4.0;
-        let row_start = bench::wallclock::Stopwatch::start();
-        let outcomes = run_trials_parallel(&cfg, cli.trials);
-        rows.push(
-            SeriesReport::from_outcomes("phy_mbit", label, &outcomes)
-                .with_throughput(row_start.elapsed_s()),
-        );
+        rows.push(run_point(&cli, "ablation_phy2m", "phy_mbit", label, &cfg));
         eprintln!("LE {label}M: done");
     }
     print_series_to(

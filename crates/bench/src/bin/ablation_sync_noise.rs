@@ -7,7 +7,7 @@
 //! margin `w_slave − w_attacker`, which is only a few µs at small hop
 //! intervals. Better timestamps ⇒ cheaper attacks.
 
-use bench::{print_series_to, run_trials_parallel, Cli, SeriesReport, TrialConfig};
+use bench::{print_series_to, run_point, Cli, TrialConfig};
 
 fn main() {
     let cli = Cli::parse(25);
@@ -17,12 +17,13 @@ fn main() {
         let mut cfg = TrialConfig::new(base + (noise_us * 10.0) as u64);
         cfg.rig.hop_interval = 25; // the tightest margin of experiment 1
         cfg.rig.attacker_anchor_noise_us = Some(noise_us);
-        let row_start = bench::wallclock::Stopwatch::start();
-        let outcomes = run_trials_parallel(&cfg, cli.trials);
-        rows.push(
-            SeriesReport::from_outcomes("noise_us", noise_us, &outcomes)
-                .with_throughput(row_start.elapsed_s()),
-        );
+        rows.push(run_point(
+            &cli,
+            "ablation_sync_noise",
+            "noise_us",
+            noise_us,
+            &cfg,
+        ));
         eprintln!("anchor noise {noise_us} µs: done");
     }
     print_series_to(

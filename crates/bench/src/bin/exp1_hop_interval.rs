@@ -4,7 +4,7 @@
 //! geometry: 2 m equilateral triangle; injected frame: the 22-byte bulb
 //! Write Request.
 
-use bench::{print_series_to, run_trials_parallel, Cli, SeriesReport, TrialConfig};
+use bench::{print_series_to, run_point, Cli, TrialConfig};
 
 fn main() {
     let cli = Cli::parse(25);
@@ -13,12 +13,13 @@ fn main() {
     for hop_interval in [25u16, 50, 75, 100, 125, 150] {
         let mut cfg = TrialConfig::new(base + u64::from(hop_interval));
         cfg.rig.hop_interval = hop_interval;
-        let row_start = bench::wallclock::Stopwatch::start();
-        let outcomes = run_trials_parallel(&cfg, cli.trials);
-        rows.push(
-            SeriesReport::from_outcomes("hop_interval", f64::from(hop_interval), &outcomes)
-                .with_throughput(row_start.elapsed_s()),
-        );
+        rows.push(run_point(
+            &cli,
+            "exp1_hop_interval",
+            "hop_interval",
+            f64::from(hop_interval),
+            &cfg,
+        ));
         eprintln!("hop interval {hop_interval}: done");
     }
     print_series_to(

@@ -4,7 +4,7 @@
 //! 25 trials each.
 
 use bench::trial::raw_payload_of_len;
-use bench::{print_series_to, run_trials_parallel, Cli, SeriesReport, TrialConfig};
+use bench::{print_series_to, run_point, Cli, TrialConfig};
 
 fn main() {
     let cli = Cli::parse(25);
@@ -14,12 +14,13 @@ fn main() {
         let mut cfg = TrialConfig::new(base + size as u64);
         cfg.rig.hop_interval = 75;
         cfg.payload = raw_payload_of_len(size);
-        let row_start = bench::wallclock::Stopwatch::start();
-        let outcomes = run_trials_parallel(&cfg, cli.trials);
-        rows.push(
-            SeriesReport::from_outcomes("payload_bytes", size as f64, &outcomes)
-                .with_throughput(row_start.elapsed_s()),
-        );
+        rows.push(run_point(
+            &cli,
+            "exp2_payload_size",
+            "payload_bytes",
+            size as f64,
+            &cfg,
+        ));
         eprintln!("payload {size} B: done");
     }
     print_series_to(

@@ -2,7 +2,7 @@
 //! (paper §VII-C). Bulb and phone 2 m apart (hop interval 36, the paper's
 //! smartphone default); attacker from 1 m to 10 m.
 
-use bench::{print_series_to, run_trials_parallel, Cli, SeriesReport, TrialConfig};
+use bench::{print_series_to, run_point, Cli, TrialConfig};
 
 fn main() {
     let cli = Cli::parse(25);
@@ -12,12 +12,13 @@ fn main() {
         let mut cfg = TrialConfig::new(base + distance as u64);
         cfg.rig.hop_interval = 36;
         cfg.rig.attacker_distance = distance;
-        let row_start = bench::wallclock::Stopwatch::start();
-        let outcomes = run_trials_parallel(&cfg, cli.trials);
-        rows.push(
-            SeriesReport::from_outcomes("distance_m", distance, &outcomes)
-                .with_throughput(row_start.elapsed_s()),
-        );
+        rows.push(run_point(
+            &cli,
+            "exp3_distance",
+            "distance_m",
+            distance,
+            &cfg,
+        ));
         eprintln!("distance {distance} m: done");
     }
     print_series_to(

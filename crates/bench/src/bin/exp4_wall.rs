@@ -1,7 +1,7 @@
 //! Figure 9, wall experiment: injection attempts with the attacker behind
 //! a wall at 2–8 m (paper §VII-C, final paragraph).
 
-use bench::{print_series_to, run_trials_parallel, Cli, SeriesReport, TrialConfig};
+use bench::{print_series_to, run_point, Cli, TrialConfig};
 
 fn main() {
     let cli = Cli::parse(25);
@@ -13,12 +13,7 @@ fn main() {
         cfg.rig.attacker_distance = distance;
         cfg.rig.wall_db = Some(8.0);
         cfg.sim_budget = simkit::Duration::from_secs(240);
-        let row_start = bench::wallclock::Stopwatch::start();
-        let outcomes = run_trials_parallel(&cfg, cli.trials);
-        rows.push(
-            SeriesReport::from_outcomes("distance_m", distance, &outcomes)
-                .with_throughput(row_start.elapsed_s()),
-        );
+        rows.push(run_point(&cli, "exp4_wall", "distance_m", distance, &cfg));
         eprintln!("wall distance {distance} m: done");
     }
     print_series_to(

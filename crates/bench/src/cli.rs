@@ -4,6 +4,16 @@
 //! optional positional trial count, `--seed <n>` to shift the seed base,
 //! and `--json <path>` to write the `SeriesReport` rows to an extra
 //! artefact path (on top of the default `target/experiments/<name>.json`).
+//!
+//! The campaign flags switch a binary from the in-memory
+//! `run_trials_parallel` path to the streaming, checkpointable
+//! [`crate::campaign`] runner: `--campaign` enables it,
+//! `--chunk-size <n>` overrides the trials-per-chunk granularity,
+//! `--checkpoint-dir <path>` relocates the JSONL sidecars (default
+//! `target/experiments/campaigns/`), and `--campaign-max-chunks <n>`
+//! stops after merging `n` chunks (resume by re-running — CI smoke uses
+//! this to prove kill/resume works). Both paths produce byte-identical
+//! rows at a fixed seed.
 
 use std::path::PathBuf;
 
@@ -16,6 +26,16 @@ pub struct Cli {
     pub seed: Option<u64>,
     /// Extra JSON artefact path (`--json`).
     pub json: Option<PathBuf>,
+    /// Run sweep points through the streaming campaign runner
+    /// (`--campaign`).
+    pub campaign: bool,
+    /// Campaign chunk size override (`--chunk-size`).
+    pub chunk_size: Option<u64>,
+    /// Campaign checkpoint sidecar directory (`--checkpoint-dir`).
+    pub checkpoint_dir: Option<PathBuf>,
+    /// Stop each campaign point after merging this many chunks
+    /// (`--campaign-max-chunks`).
+    pub campaign_max_chunks: Option<u64>,
 }
 
 impl Cli {
@@ -32,6 +52,10 @@ impl Cli {
             trials: default_trials,
             seed: None,
             json: None,
+            campaign: false,
+            chunk_size: None,
+            checkpoint_dir: None,
+            campaign_max_chunks: None,
         };
         let mut args = args.into_iter();
         let mut positional_taken = false;
@@ -44,6 +68,21 @@ impl Cli {
                 "--json" => match args.next() {
                     Some(v) => cli.json = Some(PathBuf::from(v)),
                     None => eprintln!("warning: --json expects a path; ignored"),
+                },
+                "--campaign" => cli.campaign = true,
+                "--chunk-size" => match args.next().and_then(|v| v.parse().ok()) {
+                    Some(v) if v > 0 => cli.chunk_size = Some(v),
+                    _ => eprintln!("warning: --chunk-size expects a positive integer; ignored"),
+                },
+                "--checkpoint-dir" => match args.next() {
+                    Some(v) => cli.checkpoint_dir = Some(PathBuf::from(v)),
+                    None => eprintln!("warning: --checkpoint-dir expects a path; ignored"),
+                },
+                "--campaign-max-chunks" => match args.next().and_then(|v| v.parse().ok()) {
+                    Some(v) if v > 0 => cli.campaign_max_chunks = Some(v),
+                    _ => eprintln!(
+                        "warning: --campaign-max-chunks expects a positive integer; ignored"
+                    ),
                 },
                 other => {
                     if !positional_taken {
@@ -115,5 +154,36 @@ mod tests {
         assert_eq!(cli.seed, None);
         let cli = parse(&["--json"]);
         assert_eq!(cli.json, None);
+    }
+
+    #[test]
+    fn campaign_flags_parse() {
+        let cli = parse(&[]);
+        assert!(!cli.campaign);
+        assert_eq!(cli.chunk_size, None);
+        assert_eq!(cli.checkpoint_dir, None);
+        assert_eq!(cli.campaign_max_chunks, None);
+        let cli = parse(&[
+            "--campaign",
+            "--chunk-size",
+            "128",
+            "--checkpoint-dir",
+            "cp",
+            "--campaign-max-chunks",
+            "2",
+            "9",
+        ]);
+        assert!(cli.campaign);
+        assert_eq!(cli.chunk_size, Some(128));
+        assert_eq!(
+            cli.checkpoint_dir.as_deref(),
+            Some(std::path::Path::new("cp"))
+        );
+        assert_eq!(cli.campaign_max_chunks, Some(2));
+        assert_eq!(cli.trials, 9);
+        // Zero is not a usable chunk size or chunk budget.
+        let cli = parse(&["--chunk-size", "0", "--campaign-max-chunks", "0"]);
+        assert_eq!(cli.chunk_size, None);
+        assert_eq!(cli.campaign_max_chunks, None);
     }
 }

@@ -13,6 +13,7 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod campaign;
 pub mod cli;
 pub mod report;
 pub mod rig;
@@ -21,9 +22,12 @@ pub mod telemetry;
 pub mod trial;
 pub mod wallclock;
 
+pub use campaign::{
+    run_campaign, run_campaign_with, run_point, CampaignConfig, CampaignRun, SeriesAccumulator,
+};
 pub use cli::Cli;
 pub use report::{print_series, print_series_to, SeriesReport};
 pub use rig::ExperimentRig;
 pub use stats::Summary;
 pub use telemetry::{HistRow, TelemetryMode, TrialMetrics};
-pub use trial::{run_trial, run_trials_parallel, TrialConfig, TrialOutcome};
+pub use trial::{run_trial, run_trials_parallel, TrialConfig, TrialOutcome, TrialSeries};

@@ -3,12 +3,12 @@
 use std::io::Write as _;
 use std::path::PathBuf;
 
-use ble_telemetry::HistogramUs;
 use serde::Serialize;
 
+use crate::campaign::SeriesAccumulator;
 use crate::stats::Summary;
-use crate::telemetry::{merge_histogram, merge_phase_profile, HistRow, PhaseProfile};
-use crate::trial::TrialOutcome;
+use crate::telemetry::{HistRow, PhaseProfile};
+use crate::trial::{TrialOutcome, TrialSeries};
 
 /// One row of an experiment series: a parameter value and its outcome
 /// distribution.
@@ -19,9 +19,10 @@ pub struct SeriesReport {
     /// The swept parameter's value for this row.
     pub value: f64,
     /// Successful trials out of total.
-    pub succeeded: usize,
-    /// Total trials.
-    pub trials: usize,
+    pub succeeded: u64,
+    /// Total trials **requested** — panicked trials stay in this
+    /// denominator rather than silently shrinking it.
+    pub trials: u64,
     /// Attempts-before-success distribution over successful trials. All
     /// zeros (`n == 0`) when no trial succeeded.
     pub attempts: Summary,
@@ -32,9 +33,12 @@ pub struct SeriesReport {
     pub anchor_error_us: Option<HistRow>,
     /// Injection lead-time summary (µs), merged across the row's trials.
     pub lead_time_us: Option<HistRow>,
-    /// Mean telemetry events per wall-clock second across the row's trials
-    /// (0 when telemetry was off).
-    pub events_per_sec: f64,
+    /// Mean telemetry events per wall-clock second across the row's trials;
+    /// `None` when no trial recorded a rate (telemetry off or no events).
+    /// An earlier revision emitted `0.0` for that case, which misread as a
+    /// measured rate of zero — and the obvious mean over an empty rate list
+    /// is `0/0`, a NaN that is not even valid JSON.
+    pub events_per_sec: Option<f64>,
     /// Trials completed per wall-clock second for this row (0 when the
     /// binary did not time the row). Wall-clock, so excluded from
     /// byte-identity comparisons of artefacts.
@@ -47,10 +51,14 @@ pub struct SeriesReport {
     /// without the attacker's heuristic ever confirming an attempt
     /// ([`TrialOutcome::unconfirmed_effect`]). Previously these were folded
     /// into the plain failures and the signal was lost.
-    pub unconfirmed_effects: usize,
+    pub unconfirmed_effects: u64,
     /// Trials that silently downgraded a requested JSONL telemetry sink to
     /// metrics-only because the sink could not be opened.
-    pub telemetry_downgrades: usize,
+    pub telemetry_downgrades: u64,
+    /// Trials that panicked mid-run (caught, counted, kept in the `trials`
+    /// denominator). Previously a panicked trial was simply absent from the
+    /// series and every rate computed from it was silently optimistic.
+    pub panicked_trials: u64,
     /// Per-phase span attribution merged across the row's trials, in
     /// [`ble_telemetry::SpanKind`] order. Empty when telemetry was off. The
     /// `wall_ns`/`self_wall_ns` fields are wall-clock and excluded from
@@ -69,47 +77,31 @@ impl SeriesReport {
     /// Builds a row from trial outcomes. A row where no trial succeeded
     /// gets an empty attempts summary instead of panicking, so a sweep
     /// point at the edge of the attack's envelope still produces a row.
+    ///
+    /// Implemented as a sequential fold through
+    /// [`SeriesAccumulator`] — the same per-trial fold the
+    /// streaming campaign runner uses — so the in-memory and campaign
+    /// paths produce byte-identical rows by construction.
     pub fn from_outcomes(parameter: &str, value: f64, outcomes: &[TrialOutcome]) -> SeriesReport {
-        let raw: Vec<u32> = outcomes.iter().filter_map(|o| o.attempts).collect();
-        let attempts = if raw.is_empty() {
-            Summary::empty()
-        } else {
-            Summary::of(&raw)
-        };
-        let mut anchor_error: Option<HistogramUs> = None;
-        let mut lead_time: Option<HistogramUs> = None;
-        let mut events_rates = Vec::new();
-        let mut phase_profile = Vec::new();
-        for m in outcomes.iter().filter_map(|o| o.metrics.as_ref()) {
-            merge_histogram(&mut anchor_error, m.anchor_error.as_ref());
-            merge_histogram(&mut lead_time, m.lead_time.as_ref());
-            merge_phase_profile(&mut phase_profile, &m.phase_profile);
-            if m.events_per_sec > 0.0 {
-                events_rates.push(m.events_per_sec);
-            }
+        let mut acc = SeriesAccumulator::new(outcomes.len() as u64);
+        for o in outcomes {
+            acc.fold(o);
         }
-        let events_per_sec = if events_rates.is_empty() {
-            0.0
-        } else {
-            events_rates.iter().sum::<f64>() / events_rates.len() as f64
-        };
-        SeriesReport {
-            parameter: parameter.to_string(),
-            value,
-            succeeded: raw.len(),
-            trials: outcomes.len(),
-            attempts,
-            raw,
-            anchor_error_us: anchor_error.map(|h| HistRow::from(h.summary())),
-            lead_time_us: lead_time.map(|h| HistRow::from(h.summary())),
-            events_per_sec,
-            trials_per_sec: 0.0,
-            peak_rss_kb: None,
-            unconfirmed_effects: outcomes.iter().filter(|o| o.unconfirmed_effect()).count(),
-            telemetry_downgrades: outcomes.iter().filter(|o| o.telemetry_downgraded).count(),
-            phase_profile,
-            extras: Vec::new(),
+        acc.report(parameter, value)
+    }
+
+    /// Builds a row from a [`TrialSeries`]: like [`Self::from_outcomes`]
+    /// but with the requested-trial denominator and the panicked-trial
+    /// count the series carries.
+    pub fn from_series(parameter: &str, value: f64, series: &TrialSeries) -> SeriesReport {
+        let mut acc = SeriesAccumulator::new(series.requested);
+        for o in &series.outcomes {
+            acc.fold(o);
         }
+        for _ in 0..series.panicked {
+            acc.fold_panicked();
+        }
+        acc.report(parameter, value)
     }
 
     /// Attaches one extra sim-deterministic column to the row (builder
@@ -224,6 +216,18 @@ pub fn print_series(name: &str, title: &str, rows: &[SeriesReport]) {
             );
         }
     }
+    // Panics are a pure function of (seed, config) — deterministic — so
+    // the count is stdout-safe and must be loud: these trials failed the
+    // harness, not the attack.
+    for r in rows {
+        if r.panicked_trials > 0 {
+            println!(
+                "[anomaly] {}={}: {} trial(s) panicked and count as failures \
+                 in the {}-trial denominator",
+                r.parameter, r.value, r.panicked_trials, r.trials
+            );
+        }
+    }
     // Extra columns are sim-deterministic by contract: stdout-safe.
     for r in rows {
         for (name, value) in &r.extras {
@@ -278,7 +282,7 @@ pub fn write_json_to(path: &std::path::Path, rows: &[SeriesReport]) -> std::io::
         }
     }
     let mut file = std::fs::File::create(path)?;
-    file.write_all(to_json(rows).as_bytes())
+    file.write_all(rows_to_json(rows).as_bytes())
 }
 
 /// Workspace-relative artefact directory.
@@ -295,7 +299,7 @@ pub fn artefact_dir() -> PathBuf {
 /// per-trial metrics feeding the rows come out of the name-sorted
 /// (`BTreeMap`) telemetry registry. `cargo xtask determinism` holds the
 /// binaries to this byte-for-byte (modulo the wall-clock fields above).
-fn to_json(rows: &[SeriesReport]) -> String {
+pub fn rows_to_json(rows: &[SeriesReport]) -> String {
     let mut out = String::from("[\n");
     for (i, r) in rows.iter().enumerate() {
         if i > 0 {
@@ -305,7 +309,7 @@ fn to_json(rows: &[SeriesReport]) -> String {
             "  {{\"parameter\":\"{}\",\"value\":{},\"succeeded\":{},\"trials\":{},\
              \"min\":{},\"q1\":{},\"median\":{},\"q3\":{},\"max\":{},\"mean\":{:.3},\
              \"variance\":{:.3},\"raw\":{:?},\"anchor_error_us\":{},\
-             \"lead_time_us\":{},\"events_per_sec\":{:.1},\
+             \"lead_time_us\":{},\"events_per_sec\":{},\
              \"trials_per_sec\":{:.1},\"peak_rss_kb\":{}",
             r.parameter,
             r.value,
@@ -321,7 +325,12 @@ fn to_json(rows: &[SeriesReport]) -> String {
             r.raw,
             hist_json(r.anchor_error_us.as_ref()),
             hist_json(r.lead_time_us.as_ref()),
-            r.events_per_sec,
+            // `null`, not `0.0`, when no trial recorded a rate: a zero
+            // reads as a measurement, and the old empty-row mean was a
+            // 0/0 NaN away from producing invalid JSON.
+            r.events_per_sec
+                .map(|v| format!("{v:.1}"))
+                .unwrap_or_else(|| "null".to_string()),
             r.trials_per_sec,
             r.peak_rss_kb
                 .map(|kb| kb.to_string())
@@ -340,6 +349,9 @@ fn to_json(rows: &[SeriesReport]) -> String {
                 ",\"telemetry_downgrades\":{}",
                 r.telemetry_downgrades
             ));
+        }
+        if r.panicked_trials > 0 {
+            out.push_str(&format!(",\"panicked_trials\":{}", r.panicked_trials));
         }
         // Extra columns, like the anomaly counters, appear only when an
         // experiment attached them — absent keys, not zeros.
@@ -440,7 +452,7 @@ mod tests {
         assert_eq!(r.trials, 1);
         assert_eq!(r.attempts.n, 0);
         assert_eq!(r.attempts.mean, 0.0);
-        let json = to_json(&[r]);
+        let json = rows_to_json(&[r]);
         assert!(json.contains("\"succeeded\":0"));
     }
 
@@ -461,16 +473,59 @@ mod tests {
         assert_eq!(r.succeeded, 1);
         assert_eq!(r.unconfirmed_effects, 1);
         assert_eq!(r.telemetry_downgrades, 1);
-        let json = to_json(&[r]);
+        let json = rows_to_json(&[r]);
         assert!(json.contains("\"unconfirmed_effects\":1"));
         assert!(json.contains("\"telemetry_downgrades\":1"));
         // Healthy rows keep the historical JSON shape: the counters are
         // absent, not zero.
         let clean = SeriesReport::from_outcomes("hop", 36.0, &outcomes(&[2]));
         assert_eq!(clean.unconfirmed_effects, 0);
-        let json = to_json(&[clean]);
+        let json = rows_to_json(&[clean]);
         assert!(!json.contains("unconfirmed_effects"));
         assert!(!json.contains("telemetry_downgrades"));
+    }
+
+    #[test]
+    fn events_rate_serialises_as_number_or_null_never_nan() {
+        // With rates: a plain number.
+        use crate::telemetry::TrialMetrics;
+        let mut with = outcomes(&[1]);
+        with[0].metrics = Some(TrialMetrics {
+            events_per_sec: 40.0,
+            ..TrialMetrics::default()
+        });
+        let json = rows_to_json(&[SeriesReport::from_outcomes("x", 1.0, &with)]);
+        assert!(json.contains("\"events_per_sec\":40.0"));
+        // Without rates (metrics present but zero events, or no metrics at
+        // all): null, and never the string "NaN".
+        let mut without = outcomes(&[1]);
+        without[0].metrics = Some(TrialMetrics::default());
+        let r = SeriesReport::from_outcomes("x", 1.0, &without);
+        assert_eq!(r.events_per_sec, None);
+        let json = rows_to_json(&[r]);
+        assert!(json.contains("\"events_per_sec\":null"));
+        assert!(!json.contains("NaN"));
+    }
+
+    #[test]
+    fn panicked_trials_surface_in_report_and_json() {
+        use crate::trial::TrialSeries;
+        let series = TrialSeries {
+            outcomes: outcomes(&[2, 4]),
+            requested: 5,
+            panicked: 3,
+        };
+        let r = SeriesReport::from_series("hop", 36.0, &series);
+        assert_eq!(r.trials, 5, "denominator is requested, not returned");
+        assert_eq!(r.succeeded, 2);
+        assert_eq!(r.panicked_trials, 3);
+        let json = rows_to_json(&[r]);
+        assert!(json.contains("\"trials\":5"));
+        assert!(json.contains("\"panicked_trials\":3"));
+        // Healthy rows keep the historical JSON shape: the key is absent.
+        let clean = SeriesReport::from_outcomes("hop", 36.0, &outcomes(&[2]));
+        assert_eq!(clean.panicked_trials, 0);
+        assert!(!rows_to_json(&[clean]).contains("panicked_trials"));
     }
 
     #[test]
@@ -478,13 +533,13 @@ mod tests {
         let r = SeriesReport::from_outcomes("density", 32.0, &outcomes(&[2]))
             .with_extra("co_channel_collision_rate", 0.125)
             .with_extra("mean_scheduled_rx_starts", 3.4);
-        let json = to_json(&[r]);
+        let json = rows_to_json(&[r]);
         assert!(json.contains("\"co_channel_collision_rate\":0.1250"));
         assert!(json.contains("\"mean_scheduled_rx_starts\":3.4000"));
         // Rows without extras keep the historical JSON shape.
         let bare = SeriesReport::from_outcomes("density", 32.0, &outcomes(&[2]));
         assert!(bare.extras.is_empty());
-        let json = to_json(&[bare]);
+        let json = rows_to_json(&[bare]);
         assert!(!json.contains("co_channel_collision_rate"));
     }
 
@@ -492,7 +547,7 @@ mod tests {
     fn throughput_pricing_lands_in_json() {
         let r = SeriesReport::from_outcomes("x", 1.0, &outcomes(&[1, 2])).with_throughput(0.5);
         assert_eq!(r.trials_per_sec, 4.0);
-        let json = to_json(&[r]);
+        let json = rows_to_json(&[r]);
         assert!(json.contains("\"trials_per_sec\":4.0"));
         assert!(json.contains("\"peak_rss_kb\":"));
         // Un-priced rows keep the neutral values.
@@ -531,7 +586,7 @@ mod tests {
             for out in o.iter_mut() {
                 out.metrics = Some(TrialMetrics::from_registry(&reg, 1.0, 1.0));
             }
-            to_json(&[SeriesReport::from_outcomes("hop", 36.0, &o)])
+            rows_to_json(&[SeriesReport::from_outcomes("hop", 36.0, &o)])
         };
         assert_eq!(build(false), build(true));
     }
@@ -539,11 +594,14 @@ mod tests {
     #[test]
     fn json_is_wellformed_enough() {
         let r = SeriesReport::from_outcomes("x", 1.0, &outcomes(&[1]));
-        let json = to_json(&[r]);
+        let json = rows_to_json(&[r]);
         assert!(json.starts_with('['));
         assert!(json.contains("\"median\":1"));
         assert!(json.contains("\"anchor_error_us\":null"));
-        assert!(json.contains("\"events_per_sec\":0.0"));
+        // No trial carried a metric block, so there is no events rate to
+        // report: the field is null, not a fabricated 0.0 (and never the
+        // 0/0 NaN the old empty-row mean risked — NaN is invalid JSON).
+        assert!(json.contains("\"events_per_sec\":null"));
         // The phase-profile key is always present so the artefact shape is
         // stable whether or not telemetry ran.
         assert!(json.contains("\"phase_profile\":[]"));
@@ -567,7 +625,7 @@ mod tests {
         assert_eq!(r.phase_profile.len(), 1);
         assert_eq!(r.phase_profile[0].count, 2);
         assert_eq!(r.phase_profile[0].sim_ns, 4_000_000);
-        let json = to_json(&[r]);
+        let json = rows_to_json(&[r]);
         assert!(json.contains(
             "\"phase_profile\":[{\"phase\":\"trial-sync\",\"count\":2,\
              \"sim_ns\":4000000,\"self_sim_ns\":4000000,\"wall_ns\":1554,\
@@ -577,7 +635,7 @@ mod tests {
 
     #[test]
     fn hist_json_reports_p95() {
-        let mut h = HistogramUs::default();
+        let mut h = ble_telemetry::HistogramUs::default();
         for i in 0..100 {
             h.record(f64::from(i));
         }
@@ -613,8 +671,8 @@ mod tests {
         let anchor = r.anchor_error_us.expect("merged anchor histogram");
         assert_eq!(anchor.count, 2);
         assert_eq!(r.lead_time_us.expect("merged lead histogram").count, 2);
-        assert_eq!(r.events_per_sec, 50.0);
-        let json = to_json(&[r]);
+        assert_eq!(r.events_per_sec, Some(50.0));
+        let json = rows_to_json(&[r]);
         assert!(json.contains("\"anchor_error_us\":{\"count\":2"));
     }
 }

@@ -245,74 +245,65 @@ pub fn trial_seed(base: u64, i: u64) -> u64 {
     base.wrapping_add(i.wrapping_mul(0x9E37_79B9_7F4A_7C15))
 }
 
+/// The outcomes of a trial series plus the accounting the outcomes alone
+/// cannot carry: how many trials were *requested* and how many panicked.
+///
+/// Report denominators come from `requested`, never from `outcomes.len()`
+/// — a panicked trial used to silently shrink every success-rate
+/// denominator, which is exactly the lossy accounting this type fixes.
+#[derive(Debug, Clone)]
+pub struct TrialSeries {
+    /// Completed trials in seed order (panicked trials are absent here but
+    /// counted in `panicked`).
+    pub outcomes: Vec<TrialOutcome>,
+    /// Trials requested for the series.
+    pub requested: u64,
+    /// Trials whose `run_trial` panicked (caught; seed reported on stderr).
+    pub panicked: u64,
+}
+
+impl TrialSeries {
+    /// Trials that ran to completion.
+    pub fn completed(&self) -> u64 {
+        self.outcomes.len() as u64
+    }
+}
+
 /// Runs `count` trials across OS threads, trial `i` seeded with
 /// [`trial_seed`]`(base.seed, i)` (a golden-ratio stride, **not**
 /// consecutive seeds — consecutive integers produce correlated RNG
 /// streams).
 ///
 /// A panicking trial does not bring the series down: the panic is caught,
-/// the failing seed is reported on stderr, and every other trial's outcome
-/// is kept (the panicked trial is simply absent from the returned vector,
-/// which stays in seed order).
-pub fn run_trials_parallel(base: &TrialConfig, count: u64) -> Vec<TrialOutcome> {
-    // `BENCH_THREADS` pins the worker count (used by `cargo xtask
-    // determinism` to prove outcomes identical at 1 vs. N threads); the
-    // outcome vector is in seed order either way, so the thread count can
-    // never show through in the artefacts.
-    let threads = std::env::var("BENCH_THREADS")
-        .ok()
-        .and_then(|v| v.parse::<usize>().ok())
-        .filter(|&n| n > 0)
-        .unwrap_or_else(|| {
-            std::thread::available_parallelism()
-                .map(|n| n.get())
-                .unwrap_or(4)
-        })
-        .min(count as usize)
-        .max(1);
-    let mut outcomes: Vec<Option<TrialOutcome>> = vec![None; count as usize];
-    let next = std::sync::atomic::AtomicU64::new(0);
-    std::thread::scope(|scope| {
-        let mut handles = Vec::new();
-        for _ in 0..threads {
-            let next = &next;
-            let base = base.clone();
-            handles.push(scope.spawn(move || {
-                let mut mine = Vec::new();
-                loop {
-                    let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                    if i >= count {
-                        break;
-                    }
-                    let mut cfg = base.clone();
-                    cfg.seed = trial_seed(base.seed, i);
-                    let seed = cfg.seed;
-                    match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| run_trial(&cfg)))
-                    {
-                        Ok(outcome) => mine.push((i as usize, outcome)),
-                        Err(_) => eprintln!(
-                            "[bench] trial {i} (seed {seed}) panicked; \
-                             continuing with the remaining trials"
-                        ),
-                    }
-                }
-                mine
-            }));
-        }
-        for handle in handles {
-            match handle.join() {
-                Ok(mine) => {
-                    for (i, outcome) in mine {
-                        outcomes[i] = Some(outcome);
-                    }
-                }
-                // Unreachable with per-trial catching; keep the series alive
-                // even if a worker dies outside a trial.
-                Err(_) => eprintln!("[bench] a trial worker thread panicked"),
+/// the failing seed is reported on stderr, the trial is counted in
+/// [`TrialSeries::panicked`], and every other trial's outcome is kept in
+/// seed order. `BENCH_THREADS` pins the worker count (used by `cargo xtask
+/// determinism` to prove outcomes identical at 1 vs. N threads); the
+/// series is in seed order either way, so the thread count can never show
+/// through in the artefacts.
+///
+/// This is the in-memory path: every outcome is materialised. For series
+/// too large to hold — or that need checkpoint/resume — use
+/// [`crate::campaign::run_campaign`], which streams outcomes through the
+/// same chunked engine without keeping them.
+pub fn run_trials_parallel(base: &TrialConfig, count: u64) -> TrialSeries {
+    let mut series = TrialSeries {
+        outcomes: Vec::new(),
+        requested: count,
+        panicked: 0,
+    };
+    // Chunk size 1 keeps the old per-trial work stealing (trials are
+    // heavyweight, so scheduling granularity matters more than channel
+    // overhead); chunks arrive at the merger in seed order regardless.
+    crate::campaign::run_chunked(base, count, 1, 0, None, &run_trial, |_, chunk| {
+        for slot in chunk {
+            match slot {
+                Some(outcome) => series.outcomes.push(outcome),
+                None => series.panicked += 1,
             }
         }
     });
-    outcomes.into_iter().flatten().collect()
+    series
 }
 
 #[cfg(test)]
@@ -482,8 +473,11 @@ mod tests {
         let cfg = TrialConfig::new(7);
         let a = run_trials_parallel(&cfg, 4);
         let b = run_trials_parallel(&cfg, 4);
-        let attempts = |v: &Vec<TrialOutcome>| v.iter().map(|o| o.attempts).collect::<Vec<_>>();
+        let attempts = |s: &TrialSeries| s.outcomes.iter().map(|o| o.attempts).collect::<Vec<_>>();
         assert_eq!(attempts(&a), attempts(&b));
+        assert_eq!(a.requested, 4);
+        assert_eq!(a.completed(), 4);
+        assert_eq!(a.panicked, 0);
     }
 
     /// A mild but non-trivial impairment plan: every fault family is
@@ -559,16 +553,27 @@ mod tests {
     fn parallel_trials_survive_a_panicking_trial() {
         // A 300-byte raw payload blows the 255-byte LL limit: the forge path
         // asserts inside the trial. The series must contain the panic,
-        // report the seed, and not bring the caller down.
+        // report the seed, and not bring the caller down — and, since the
+        // lossy-accounting fix, the panicked trials must be *counted*, not
+        // silently absent.
         let mut cfg = TrialConfig::new(99);
         cfg.payload = vec![0xAB; 300];
         let out = run_trials_parallel(&cfg, 2);
         assert!(
-            out.is_empty(),
-            "panicked trials are excluded from the series, not fatal"
+            out.outcomes.is_empty(),
+            "panicked trials contribute no outcomes"
         );
+        assert_eq!(out.requested, 2);
+        assert_eq!(out.panicked, 2, "every panicked trial is accounted for");
+        // The report row keeps the requested denominator and surfaces the
+        // panic count instead of quietly reporting a smaller series.
+        let row = crate::SeriesReport::from_series("payload", 300.0, &out);
+        assert_eq!(row.trials, 2);
+        assert_eq!(row.succeeded, 0);
+        assert_eq!(row.panicked_trials, 2);
         // A well-formed series on the same rig still yields every outcome.
         let ok = run_trials_parallel(&TrialConfig::new(99), 2);
-        assert_eq!(ok.len(), 2);
+        assert_eq!(ok.completed(), 2);
+        assert_eq!(ok.panicked, 0);
     }
 }

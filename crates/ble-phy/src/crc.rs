@@ -43,6 +43,7 @@ const fn build_crc24_table() -> [u32; 256] {
             }
             step += 1;
         }
+        // xtask-allow: R2 — u8 → usize widens on every platform
         table[byte as usize % 256] = state;
         if byte == 255 {
             break;
@@ -70,6 +71,7 @@ const fn build_crc24_table() -> [u32; 256] {
 pub fn crc24(init: u32, data: &[u8]) -> u32 {
     let mut state = init & 0xFF_FFFF;
     for &byte in data {
+        // xtask-allow: R2 — masked to 8 bits before the widening cast
         let idx = ((state ^ u32::from(byte)) & 0xFF) as usize;
         state = (state >> 8) ^ CRC24_TABLE[idx % 256];
     }

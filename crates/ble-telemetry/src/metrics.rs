@@ -120,6 +120,53 @@ impl HistogramUs {
         &self.bounds
     }
 
+    /// Exact sum of recorded magnitudes.
+    pub fn sum(&self) -> f64 {
+        self.sum
+    }
+
+    /// Exact smallest recorded magnitude (`+inf` when empty).
+    pub fn min_value(&self) -> f64 {
+        self.min
+    }
+
+    /// Exact largest recorded magnitude (0 when empty).
+    pub fn max_value(&self) -> f64 {
+        self.max
+    }
+
+    /// Rebuilds a histogram from previously-extracted parts (the campaign
+    /// checkpoint round-trip). Returns `None` when the shape is inconsistent
+    /// (`counts` must be one longer than `bounds` for the overflow bucket,
+    /// and the per-bucket counts must total `count`).
+    pub fn from_parts(
+        bounds: Vec<f64>,
+        counts: Vec<u64>,
+        count: u64,
+        sum: f64,
+        min: f64,
+        max: f64,
+    ) -> Option<Self> {
+        if counts.len() != bounds.len().saturating_add(1) {
+            return None;
+        }
+        let mut total = 0u64;
+        for c in &counts {
+            total = total.saturating_add(*c);
+        }
+        if total != count {
+            return None;
+        }
+        Some(HistogramUs {
+            bounds,
+            counts,
+            count,
+            sum,
+            min,
+            max,
+        })
+    }
+
     /// Upper-bound quantile estimate: the first bucket boundary at which the
     /// cumulative count reaches `q` of the total (the exact maximum for the
     /// overflow bucket). Returns 0 for an empty histogram.
@@ -672,6 +719,34 @@ mod tests {
         let other_layout = HistogramUs::with_bounds(&[3.0]);
         assert!(!a.merge(&other_layout));
         assert_eq!(a.count(), 3, "failed merge must not corrupt");
+    }
+
+    #[test]
+    fn from_parts_round_trips_a_populated_histogram() {
+        let mut h = HistogramUs::with_bounds(&[1.0, 10.0, 100.0]);
+        h.record(0.5);
+        h.record(7.0);
+        h.record(250.0);
+        let rebuilt = HistogramUs::from_parts(
+            h.bounds().to_vec(),
+            h.bucket_counts().to_vec(),
+            h.count(),
+            h.sum(),
+            h.min_value(),
+            h.max_value(),
+        )
+        .expect("consistent parts");
+        assert_eq!(rebuilt, h);
+        // A merge after the round-trip behaves like a merge before it.
+        let mut a = h.clone();
+        let mut b = rebuilt;
+        assert!(a.merge(&h) && b.merge(&h));
+        assert_eq!(a, b);
+        // Inconsistent parts are rejected, not silently accepted: a bucket
+        // total that disagrees with `count`, and a counts vector whose
+        // length does not match `bounds.len() + 1`.
+        assert!(HistogramUs::from_parts(vec![1.0], vec![1, 2], 4, 0.0, 0.0, 0.0).is_none());
+        assert!(HistogramUs::from_parts(vec![1.0], vec![1], 1, 0.0, 0.0, 0.0).is_none());
     }
 
     #[test]

@@ -4,7 +4,9 @@
 //! task proves the *outcome*: it builds the workspace in release mode, runs
 //! every experiment binary twice at its fixed default seed, and — for the
 //! binaries that fan trials out over [`run_trials_parallel`] — additionally
-//! at 1 and 4 worker threads via the `BENCH_THREADS` override. Any byte
+//! at 1 and 4 worker threads via the `BENCH_THREADS` override. Two sweeps
+//! also run a fifth leg through the streaming `--campaign` runner, which
+//! must reproduce the in-memory artefact byte-for-byte. Any byte
 //! divergence in the normalised stdout or `--json` artefact fails the task
 //! with a diff excerpt naming the first divergent line.
 //!
@@ -119,14 +121,23 @@ const BINARIES: &[BinSpec] = &[
 /// nondeterminism source without the full sweep's wall time.
 const FAST_SUBSET: &[&str] = &["exp1_hop_interval", "ablation_phy2m", "scenarios"];
 
+/// Binaries that additionally run through the streaming campaign path
+/// (`--campaign` with a fresh checkpoint directory). The campaign run must
+/// match the in-memory run `a` byte-for-byte — the two aggregation paths
+/// are different code folding the same trials, so any drift between them
+/// is a real accounting bug, not wall-clock noise.
+const CAMPAIGN_BINS: &[&str] = &["exp1_hop_interval", "exp2_payload_size"];
+
 /// Labels for the runs of one binary. Runs `a`/`b` share an environment
-/// (same-seed double run); `t1`/`t4` pin the worker-thread count.
+/// (same-seed double run); `t1`/`t4` pin the worker-thread count; `camp`
+/// re-runs the sweep through the streaming campaign runner.
 #[derive(Clone, Copy, PartialEq, Eq)]
 enum RunKind {
     A,
     B,
     Threads1,
     Threads4,
+    Campaign,
 }
 
 impl RunKind {
@@ -136,6 +147,7 @@ impl RunKind {
             RunKind::B => "b",
             RunKind::Threads1 => "t1",
             RunKind::Threads4 => "t4",
+            RunKind::Campaign => "camp",
         }
     }
 
@@ -144,7 +156,7 @@ impl RunKind {
         match self {
             RunKind::Threads1 => Some("1"),
             RunKind::Threads4 => Some("4"),
-            RunKind::A | RunKind::B => None,
+            RunKind::A | RunKind::B | RunKind::Campaign => None,
         }
     }
 }
@@ -255,6 +267,9 @@ fn check_binary(cfg: &Config, spec: &BinSpec, out_dir: &Path) -> Result<(), Stri
         kinds.push(RunKind::Threads1);
         kinds.push(RunKind::Threads4);
     }
+    if CAMPAIGN_BINS.contains(&spec.name) {
+        kinds.push(RunKind::Campaign);
+    }
     let mut runs = Vec::new();
     for kind in kinds {
         runs.push(run_once(cfg, spec, kind, out_dir)?);
@@ -291,6 +306,14 @@ fn run_once(
     }
     if spec.json {
         cmd.arg("--json").arg(&json_path);
+    }
+    if kind == RunKind::Campaign {
+        // A fresh checkpoint directory per run: the leg proves the
+        // streaming aggregation path, not resume (the CI smoke job and
+        // the bench integration tests cover resume).
+        let cp_dir = out_dir.join(format!("{}_campaign_cp", spec.name));
+        let _ = std::fs::remove_dir_all(&cp_dir);
+        cmd.arg("--campaign").arg("--checkpoint-dir").arg(&cp_dir);
     }
     if let Some(threads) = kind.threads() {
         cmd.env("BENCH_THREADS", threads);
@@ -518,6 +541,20 @@ mod tests {
                 BINARIES.iter().any(|b| b.name == *name),
                 "fast-subset binary {name} missing from the matrix"
             );
+        }
+    }
+
+    #[test]
+    fn campaign_bins_take_trials_and_write_artefacts() {
+        for name in CAMPAIGN_BINS {
+            let spec = BINARIES
+                .iter()
+                .find(|b| b.name == *name)
+                .unwrap_or_else(|| panic!("campaign binary {name} missing from the matrix"));
+            // The campaign leg compares the --json artefact against run
+            // `a`, so the binary must produce one (and accept a trial
+            // count so the leg stays cheap).
+            assert!(spec.takes_trials && spec.json && spec.parallel, "{name}");
         }
     }
 }

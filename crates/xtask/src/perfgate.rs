@@ -8,9 +8,12 @@
 //! metrics, and compares each metric against the baseline artefact:
 //!
 //! - **Sim-deterministic metrics** (success counts, attempt quartiles,
-//!   histogram percentiles, span `sim_ns`/`self_sim_ns`, …) must match
-//!   **exactly** — they are pure functions of the seed, so any drift is a
-//!   behaviour change that needs a deliberate `--update-baselines`.
+//!   histogram percentiles, span `sim_ns`/`self_sim_ns`, the
+//!   `panicked_trials` counter, …) must match **exactly** — they are pure
+//!   functions of the seed, so any drift is a behaviour change that needs
+//!   a deliberate `--update-baselines`. `panicked_trials` is emitted only
+//!   when non-zero, so a trial starting to panic surfaces as a
+//!   missing-metric failure against a clean baseline.
 //! - **Wall-clock metrics** (`trials_per_sec`, `events_per_sec`,
 //!   `peak_rss_kb`, span `wall_ns`/`self_wall_ns`) get a generous relative
 //!   tolerance plus an absolute noise floor, and are skipped entirely when
@@ -108,7 +111,7 @@ fn optional(key: &str) -> bool {
 
 // ---------------------------------------------------------------------------
 // Minimal JSON reader. The artefacts are produced by our own hand-rolled
-// writer (`bench::report::to_json`), so this reader only needs the subset
+// writer (`bench::report::rows_to_json`), so this reader only needs the subset
 // that writer emits: objects, arrays, strings without escapes, numbers,
 // and `null`. Kept here rather than pulling in a JSON dependency.
 // ---------------------------------------------------------------------------
@@ -650,7 +653,7 @@ pub fn run(args: &[String]) -> ExitCode {
 mod tests {
     use super::*;
 
-    /// A miniature artefact in exactly the shape `bench::report::to_json`
+    /// A miniature artefact in exactly the shape `bench::report::rows_to_json`
     /// emits: one row with histogram, wall metrics, and a phase profile.
     fn artefact(mean: f64, trials_per_sec: f64, wall_ns: u64) -> String {
         format!(
@@ -812,6 +815,14 @@ mod tests {
             "[0].phase_profile[trial-sync].sim_ns",
             "[0].phase_profile[trial-sync].self_sim_ns",
             "[0].anchor_error_us.p95",
+            // Trial-accounting counters are sim-deterministic: a panicked
+            // trial at a fixed seed is a code regression, never noise, so
+            // the gate holds them exact (and `panicked_trials` appearing
+            // where the baseline has none is a missing-metric failure,
+            // which is the point).
+            "[0].panicked_trials",
+            "[0].trials",
+            "[0].succeeded",
         ] {
             assert_eq!(spec_for(key).direction, Direction::Exact, "{key}");
         }

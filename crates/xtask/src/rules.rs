@@ -3,7 +3,7 @@
 //! | rule | scope                  | forbids                                                     |
 //! |------|------------------------|-------------------------------------------------------------|
 //! | R1   | protocol crates        | `panic!`/`unwrap`/`expect`/`unreachable!` and unchecked indexing |
-//! | R2   | protocol crates        | truncating `as` casts to narrow integer types               |
+//! | R2   | protocol crates        | truncating `as` casts to narrow or platform-width integer types |
 //! | R3   | protocol crates        | raw arithmetic on extracted time tick counts                |
 //! | R4   | whole workspace        | `_` wildcard arms in matches over PDU/LL-control/telemetry enums |
 //! | R5   | arena consumers        | `Rc<RefCell<…>>` shared-node graphs (use the `World` arena) |
@@ -328,7 +328,12 @@ fn r1_indexing(tokens: &[Token], out: &mut Vec<Violation>) {
 // R2: no truncating `as` casts
 // ---------------------------------------------------------------------
 
-const NARROW_INTS: &[&str] = &["u8", "u16", "u32", "i8", "i16", "i32"];
+/// Cast targets R2 rejects: the narrow fixed-width integers plus the
+/// platform-width pair. `u64 as usize` silently truncates on 32-bit
+/// hosts, and `count as usize` buffer pre-allocation is exactly how the
+/// old in-memory trial runner capped campaigns at `usize::MAX` trials —
+/// use `usize::try_from(..)` and make the fallback explicit.
+const NARROW_INTS: &[&str] = &["u8", "u16", "u32", "i8", "i16", "i32", "usize", "isize"];
 
 fn r2_casts(tokens: &[Token], out: &mut Vec<Violation>) {
     for (i, t) in tokens.iter().enumerate() {

@@ -1,9 +1,10 @@
 //# lint: protocol
-//# expect: R2@4 R2@5 R2@6
+//# expect: R2@4 R2@5 R2@6 R2@8 R2@9
 
 fn a(x: u64) -> u8 { x as u8 }
 fn b(x: u64) -> u16 { x as u16 }
 fn c(x: u64) -> i32 { x as i32 }
 fn ok1(x: u8) -> u64 { x as u64 }
-fn ok2(x: u8) -> usize { x as usize }
+fn narrow_on_32bit(x: u64) -> usize { x as usize }
+fn signed_platform(x: i64) -> isize { x as isize }
 use std::fmt as formatting;

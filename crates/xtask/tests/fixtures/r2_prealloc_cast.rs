@@ -1,0 +1,16 @@
+//# lint: protocol
+//# expect: R2@8 R2@10
+
+// The lossy-accounting shape the campaign runner replaced: a u64 trial
+// count truncated to usize to pre-allocate one slot per trial. On a
+// 32-bit host `count as usize` silently wraps, so the buffer is smaller
+// than the campaign it claims to hold.
+fn prealloc(count: u64) -> Vec<Option<u32>> { vec![None; count as usize] }
+
+fn signed_cursor(count: u64) -> isize { count as isize }
+
+// The checked form makes the narrowing explicit and fallible.
+fn prealloc_checked(count: u64) -> Option<Vec<Option<u32>>> {
+    let len = usize::try_from(count).ok()?;
+    Some(vec![None; len])
+}
